@@ -1,0 +1,164 @@
+//! Batching-style (throughput-oriented) encrypted algorithms (§2.1).
+//!
+//! The paper contrasts two packing philosophies: *packed* algorithms
+//! (Gazelle/LoLa/CHOCO) put one input's many elements in one ciphertext and
+//! optimize latency; *batching* algorithms (CryptoNets, nGraph-HE) put one
+//! element from many inputs in each slot and optimize throughput — SIMD
+//! across the batch, no rotations at all, but one ciphertext **per
+//! element**, which is hopeless for single-image IoT inference.
+//!
+//! Both the real kernel ([`batched_matvec`]) and the communication model
+//! that exposes the crossover ([`batched_comm_per_input`] vs. the packed
+//! plan) are implemented here.
+
+use choco::protocol::{download, upload, BfvClient, BfvServer, CommLedger};
+use choco_he::bfv::Ciphertext;
+use choco_he::params::HeParams;
+use choco_he::HeError;
+
+/// Communication bytes *per input* for a batched boundary carrying
+/// `elements` values with `batch` inputs amortizing each ciphertext.
+pub fn batched_comm_per_input(elements: usize, batch: usize, params: &HeParams) -> f64 {
+    assert!(batch >= 1);
+    elements as f64 * params.ciphertext_bytes() as f64 / batch as f64
+}
+
+/// Batch size at which the batched packing's per-input communication drops
+/// below a packed implementation that needs `packed_cts` ciphertexts for
+/// the same boundary. Returns `None` if even a full batch (N slots) cannot
+/// catch up.
+pub fn batched_breakeven(elements: usize, packed_cts: usize, params: &HeParams) -> Option<usize> {
+    let slots = params.slot_count();
+    let needed = elements.div_ceil(packed_cts);
+    (needed <= slots).then_some(needed)
+}
+
+/// Runs a batched matrix-vector product: `B` inputs of `n` features flow
+/// through `n` input ciphertexts (slot `b` of ciphertext `i` holds input
+/// `b`'s feature `i`); the server computes `m` output ciphertexts with only
+/// plaintext multiplies and additions — zero rotations, the batching
+/// hallmark.
+///
+/// Returns the `B × m` outputs.
+///
+/// # Errors
+///
+/// Propagates HE errors.
+///
+/// # Panics
+///
+/// Panics if the batch exceeds the slot count or inputs are ragged.
+pub fn batched_matvec(
+    client: &mut BfvClient,
+    server: &BfvServer,
+    ledger: &mut CommLedger,
+    inputs: &[Vec<u64>],
+    weights: &[Vec<u64>],
+) -> Result<Vec<Vec<u64>>, HeError> {
+    let batch = inputs.len();
+    assert!(batch >= 1, "need at least one input");
+    let n = inputs[0].len();
+    assert!(inputs.iter().all(|x| x.len() == n), "ragged inputs");
+    let m = weights.len();
+    assert!(weights.iter().all(|w| w.len() == n), "ragged weights");
+    let row = client.context().degree() / 2;
+    assert!(batch <= row, "batch exceeds slot capacity");
+
+    // Client: one ciphertext per feature, batch across slots.
+    let mut feature_cts = Vec::with_capacity(n);
+    for i in 0..n {
+        let slots: Vec<u64> = inputs.iter().map(|x| x[i]).collect();
+        let ct = client.encrypt_slots(&slots)?;
+        feature_cts.push(upload(ledger, &ct));
+    }
+
+    // Server: y_o = Σ_i w[o][i] · x_i — plain multiplies + adds only.
+    let eval = server.evaluator();
+    let mut outputs = Vec::with_capacity(m);
+    for w in weights {
+        let mut acc: Option<Ciphertext> = None;
+        for (i, ct) in feature_cts.iter().enumerate() {
+            if w[i] == 0 {
+                continue;
+            }
+            let wvec = vec![w[i]; row];
+            let wpt = server.encode(&wvec)?;
+            let term = eval.multiply_plain(ct, &wpt);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => eval.add(&a, &term)?,
+            });
+        }
+        let result = acc.unwrap_or_else(|| feature_cts[0].clone());
+        outputs.push(download(ledger, &result));
+    }
+    ledger.end_round();
+
+    // Client: decrypt each output ciphertext; slot b holds input b's result.
+    let mut out = vec![vec![0u64; m]; batch];
+    for (o, ct) in outputs.iter().enumerate() {
+        let slots = client.decrypt_slots(ct)?;
+        for (b, row_out) in out.iter_mut().enumerate() {
+            row_out[o] = slots[b];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_matvec_matches_plain_for_every_batch_entry() {
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 20).unwrap();
+        let mut client = BfvClient::new(&params, b"batched").unwrap();
+        let server = client.provision_server(&[1]).unwrap();
+        let mut ledger = CommLedger::new();
+        let t = client.context().plain_modulus();
+
+        let batch = 8usize;
+        let inputs: Vec<Vec<u64>> = (0..batch)
+            .map(|b| (0..4).map(|i| ((b * 4 + i) % 16) as u64).collect())
+            .collect();
+        let weights = vec![vec![1u64, 2, 3, 4], vec![5, 0, 1, 2], vec![0, 0, 0, 7]];
+
+        let got = batched_matvec(&mut client, &server, &mut ledger, &inputs, &weights).unwrap();
+        for (b, x) in inputs.iter().enumerate() {
+            for (o, w) in weights.iter().enumerate() {
+                let want: u64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<u64>() % t;
+                assert_eq!(got[b][o], want, "input {b}, output {o}");
+            }
+        }
+        // n=4 uploads, m=3 downloads — independent of batch size.
+        assert_eq!(ledger.uploads, 4);
+        assert_eq!(ledger.downloads, 3);
+    }
+
+    #[test]
+    fn per_input_comm_amortizes_with_batch() {
+        let params = HeParams::set_b();
+        let single = batched_comm_per_input(1000, 1, &params);
+        let batched = batched_comm_per_input(1000, 256, &params);
+        assert!((single / batched - 256.0).abs() < 1e-9);
+        // At batch 1, batching is catastrophically worse than a packed
+        // implementation of the same boundary (the paper's motivation for
+        // packed algorithms on single-image IoT workloads).
+        let packed_cts = 1000usize.div_ceil(params.slot_count() / 2);
+        let packed = packed_cts * params.ciphertext_bytes();
+        assert!(single > 100.0 * packed as f64);
+    }
+
+    #[test]
+    fn breakeven_batch_is_the_amortization_point() {
+        let params = HeParams::set_b();
+        // 1000 elements, packed in 1 ct → batched needs the full 1000
+        // inputs in flight to tie.
+        assert_eq!(batched_breakeven(1000, 1, &params), Some(1000));
+        // If packed needs 4 cts, batching ties at 250 concurrent inputs.
+        assert_eq!(batched_breakeven(1000, 4, &params), Some(250));
+        // More elements than slots with one packed ct → batching can never
+        // amortize enough.
+        assert_eq!(batched_breakeven(100_000, 1, &params), None);
+    }
+}

@@ -1,0 +1,651 @@
+//! Distance-based algorithms: KNN and K-Means over encrypted distances
+//! (§5.1, §5.4, Figures 9 and 11).
+//!
+//! The Euclidean kernel is modified to a sum of squared differences (no
+//! square root), so the server can compute it homomorphically in CKKS. The
+//! client sends encrypted query/centroid coordinates; the server holds the
+//! reference points (aggregated across many clients — the centralization
+//! benefit) in plaintext; the client decrypts distances and performs the
+//! non-linear `min` / argmin / label vote.
+//!
+//! Five packing variants of Figure 9 are implemented. They trade input
+//! utilization against output utilization:
+//!
+//! | variant                | input cts      | output cts | server extra |
+//! |------------------------|----------------|-----------|---------------|
+//! | point-major            | 1 (pt blocks)  | 1 sparse  | rotate tree   |
+//! | dimension-major        | d              | 1 dense   | none          |
+//! | stacked point-major    | 1 (small dims) | 1 sparse  | rotate tree   |
+//! | stacked dimension-major| ⌈d/stack⌉      | 1 dense   | rotate tree   |
+//! | collapsed point-major  | 1              | 1 dense   | masks + rots  |
+
+use choco::protocol::{download_ckks, upload_ckks, CkksClient, CkksServer, CommLedger};
+use choco_he::ckks::CkksCiphertext;
+use choco_he::HeError;
+
+/// Packing variants of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackingVariant {
+    /// One point's dimensions per power-of-two block.
+    PointMajor,
+    /// One dimension across all points per ciphertext.
+    DimensionMajor,
+    /// Multiple points per block row (small dimension counts).
+    StackedPointMajor,
+    /// Multiple dimensions per ciphertext (small point counts).
+    StackedDimensionMajor,
+    /// Point-major input, masked/accumulated into one dense output.
+    CollapsedPointMajor,
+}
+
+impl PackingVariant {
+    /// All five variants in Figure 9 order.
+    pub fn all() -> [PackingVariant; 5] {
+        [
+            PackingVariant::PointMajor,
+            PackingVariant::DimensionMajor,
+            PackingVariant::StackedPointMajor,
+            PackingVariant::StackedDimensionMajor,
+            PackingVariant::CollapsedPointMajor,
+        ]
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PackingVariant::PointMajor => "point-major",
+            PackingVariant::DimensionMajor => "dimension-major",
+            PackingVariant::StackedPointMajor => "stacked point-major",
+            PackingVariant::StackedDimensionMajor => "stacked dimension-major",
+            PackingVariant::CollapsedPointMajor => "collapsed point-major",
+        }
+    }
+}
+
+/// Outcome of one encrypted distance computation.
+#[derive(Debug, Clone)]
+pub struct DistanceResult {
+    /// Squared distances from the query to every reference point.
+    pub distances: Vec<f64>,
+    /// Communication ledger for the round.
+    pub ledger: CommLedger,
+    /// Client encryptions performed.
+    pub encryptions: u64,
+    /// Client decryptions performed.
+    pub decryptions: u64,
+    /// Homomorphic operation count on the server (rough server-cost proxy).
+    pub server_ops: u64,
+}
+
+fn block_stride(dims: usize) -> usize {
+    dims.next_power_of_two()
+}
+
+/// Computes squared distances with the requested packing variant.
+///
+/// `query` has `d` coordinates; `points` is `n` reference points of the same
+/// dimension, held in plaintext by the server.
+///
+/// # Errors
+///
+/// Propagates HE errors (capacity, missing keys).
+///
+/// # Panics
+///
+/// Panics if the chosen packing exceeds the ciphertext capacity or the
+/// point set is empty/ragged.
+pub fn encrypted_distances(
+    variant: PackingVariant,
+    client: &mut CkksClient,
+    server: &CkksServer,
+    query: &[f64],
+    points: &[Vec<f64>],
+) -> Result<DistanceResult, HeError> {
+    assert!(!points.is_empty(), "need at least one reference point");
+    let d = query.len();
+    assert!(points.iter().all(|p| p.len() == d), "ragged points");
+    match variant {
+        PackingVariant::PointMajor | PackingVariant::StackedPointMajor => {
+            point_major(client, server, query, points, false)
+        }
+        PackingVariant::CollapsedPointMajor => point_major(client, server, query, points, true),
+        PackingVariant::DimensionMajor | PackingVariant::StackedDimensionMajor => {
+            dimension_major(client, server, query, points)
+        }
+    }
+}
+
+/// Point-major family: query replicated per point block; per-block
+/// rotate-add tree accumulates dimensions. With `collapse`, the server masks
+/// each block's result and packs all distances densely into the low slots
+/// before replying (extra server work, single dense output — the
+/// client-optimal variant of §5.4).
+fn point_major(
+    client: &mut CkksClient,
+    server: &CkksServer,
+    query: &[f64],
+    points: &[Vec<f64>],
+    collapse: bool,
+) -> Result<DistanceResult, HeError> {
+    let d = query.len();
+    let n = points.len();
+    let stride = block_stride(d);
+    let slots = client.context().slot_count();
+    assert!(n * stride <= slots, "point-major packing exceeds capacity");
+
+    let mut ledger = CommLedger::new();
+    let mut server_ops = 0u64;
+
+    // Client: replicate the query into every point block.
+    let mut qslots = vec![0.0f64; n * stride];
+    for b in 0..n {
+        qslots[b * stride..b * stride + d].copy_from_slice(query);
+    }
+    let ct = client.encrypt_values(&qslots)?;
+    let at_server = upload_ckks(&mut ledger, &ct);
+
+    // Server: diff = q − p (plaintext add of −p), square, rotate-add dims.
+    let ctx = server.context();
+    let mut pslots = vec![0.0f64; n * stride];
+    for (b, p) in points.iter().enumerate() {
+        for (j, &v) in p.iter().enumerate() {
+            pslots[b * stride + j] = -v;
+        }
+    }
+    let ppt = server.encode_at(&pslots, at_server.level(), at_server.scale())?;
+    let diff = ctx.add_plain(&at_server, &ppt)?;
+    server_ops += 1;
+    let sq = ctx.multiply_relin(&diff, &diff, server.relin_key())?;
+    let sq = ctx.rescale(&sq)?;
+    server_ops += 2;
+
+    // Rotate-add tree over the (power-of-two) block stride.
+    let mut acc = sq;
+    let mut step = 1usize;
+    while step < stride {
+        let rot = ctx.rotate(&acc, step as i64, server.galois_keys())?;
+        acc = ctx.add(&acc, &rot)?;
+        server_ops += 2;
+        step <<= 1;
+    }
+    // Distances now sit at each block's slot 0 (sparse, 1/stride utilized).
+
+    let reply = if collapse {
+        // Mask each block head and shift it into slot b: one masking
+        // multiply + rotation per point, then a tree of adds.
+        let mut collapsed: Option<CkksCiphertext> = None;
+        for b in 0..n {
+            let mut mask = vec![0.0f64; n * stride];
+            mask[b * stride] = 1.0;
+            let mpt = server.encode_at(&mask, acc.level(), ctx.default_scale())?;
+            let picked = ctx.multiply_plain(&acc, &mpt)?;
+            let picked = ctx.rescale(&picked)?;
+            server_ops += 2;
+            let shift = (b * stride - b) as i64;
+            let moved = if shift != 0 {
+                server_ops += 1;
+                ctx.rotate(&picked, shift, server.galois_keys())?
+            } else {
+                picked
+            };
+            collapsed = Some(match collapsed {
+                None => moved,
+                Some(c) => {
+                    server_ops += 1;
+                    ctx.add(&c, &moved)?
+                }
+            });
+        }
+        collapsed.expect("n >= 1")
+    } else {
+        acc
+    };
+
+    let back = download_ckks(&mut ledger, &reply);
+    ledger.end_round();
+    let slots_out = client.decrypt_values(&back);
+    let distances = if collapse {
+        (0..n).map(|b| slots_out[b]).collect()
+    } else {
+        (0..n).map(|b| slots_out[b * stride]).collect()
+    };
+    Ok(DistanceResult {
+        distances,
+        ledger,
+        encryptions: client.encryption_count(),
+        decryptions: client.decryption_count(),
+        server_ops,
+    })
+}
+
+/// Dimension-major family: one ciphertext per dimension (the stacked form
+/// packs several dimensions into one ciphertext at `n`-slot strides and
+/// folds them with rotations). Output is a single dense distance vector.
+fn dimension_major(
+    client: &mut CkksClient,
+    server: &CkksServer,
+    query: &[f64],
+    points: &[Vec<f64>],
+) -> Result<DistanceResult, HeError> {
+    let d = query.len();
+    let n = points.len();
+    let slots = client.context().slot_count();
+    assert!(n <= slots, "too many points for one ciphertext");
+
+    let mut ledger = CommLedger::new();
+    let mut server_ops = 0u64;
+    let ctx = server.context();
+
+    // How many dimensions fit in one ciphertext at n-slot strides. Slot
+    // rotations wrap cyclically, so the fold tree needs the top band plus
+    // one band of headroom to stay clear of wrapped-in values; cap at the
+    // largest power of two with `per_ct·n + n ≤ slots`.
+    let mut per_ct = 1usize;
+    while 2 * per_ct * n + n <= slots {
+        per_ct *= 2;
+    }
+    let per_ct = per_ct.min(d);
+    let mut total: Option<CkksCiphertext> = None;
+    let mut dim = 0usize;
+    while dim < d {
+        let batch = per_ct.min(d - dim);
+        // Client: broadcast q_dim across the n points of each stacked band.
+        let mut qslots = vec![0.0f64; batch * n];
+        let mut pslots = vec![0.0f64; batch * n];
+        for b in 0..batch {
+            for i in 0..n {
+                qslots[b * n + i] = query[dim + b];
+                pslots[b * n + i] = -points[i][dim + b];
+            }
+        }
+        let ct = client.encrypt_values(&qslots)?;
+        let at_server = upload_ckks(&mut ledger, &ct);
+
+        let ppt = server.encode_at(&pslots, at_server.level(), at_server.scale())?;
+        let diff = ctx.add_plain(&at_server, &ppt)?;
+        server_ops += 1;
+        let sq = ctx.multiply_relin(&diff, &diff, server.relin_key())?;
+        let mut sq = ctx.rescale(&sq)?;
+        server_ops += 2;
+        // Fold stacked bands onto band 0.
+        let mut band = 1usize;
+        while band < batch {
+            // Fold by the largest power-of-two band count.
+            let rot = ctx.rotate(&sq, (band * n) as i64, server.galois_keys())?;
+            sq = ctx.add(&sq, &rot)?;
+            server_ops += 2;
+            band <<= 1;
+        }
+        total = Some(match total {
+            None => sq,
+            Some(tt) => {
+                server_ops += 1;
+                ctx.add(&tt, &sq)?
+            }
+        });
+        dim += batch;
+    }
+    let reply = total.expect("d >= 1");
+    let back = download_ckks(&mut ledger, &reply);
+    ledger.end_round();
+    let out = client.decrypt_values(&back);
+    Ok(DistanceResult {
+        distances: out[..n].to_vec(),
+        ledger,
+        encryptions: client.encryption_count(),
+        decryptions: client.decryption_count(),
+        server_ops,
+    })
+}
+
+/// Plaintext reference: squared Euclidean distances.
+pub fn distances_plain(query: &[f64], points: &[Vec<f64>]) -> Vec<f64> {
+    points
+        .iter()
+        .map(|p| {
+            p.iter()
+                .zip(query)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+/// KNN classification: the client takes decrypted distances and votes among
+/// the `k` nearest labels.
+pub fn knn_classify(distances: &[f64], labels: &[usize], k: usize) -> usize {
+    assert_eq!(distances.len(), labels.len());
+    assert!(k >= 1 && k <= distances.len());
+    let mut idx: Vec<usize> = (0..distances.len()).collect();
+    idx.sort_by(|&a, &b| distances[a].partial_cmp(&distances[b]).expect("finite"));
+    let mut votes = std::collections::HashMap::new();
+    for &i in idx.iter().take(k) {
+        *votes.entry(labels[i]).or_insert(0usize) += 1;
+    }
+    votes
+        .into_iter()
+        .max_by_key(|&(_, c)| c)
+        .map(|(l, _)| l)
+        .expect("k >= 1")
+}
+
+/// One K-Means step on the client given per-centroid distance vectors:
+/// assigns each point to its nearest centroid and returns the new centroids.
+pub fn kmeans_update(
+    points: &[Vec<f64>],
+    distances_per_centroid: &[Vec<f64>],
+) -> Vec<Vec<f64>> {
+    let k = distances_per_centroid.len();
+    let n = points.len();
+    let d = points[0].len();
+    let mut sums = vec![vec![0.0f64; d]; k];
+    let mut counts = vec![0usize; k];
+    for i in 0..n {
+        let mut best = 0usize;
+        for c in 1..k {
+            if distances_per_centroid[c][i] < distances_per_centroid[best][i] {
+                best = c;
+            }
+        }
+        counts[best] += 1;
+        for j in 0..d {
+            sums[best][j] += points[i][j];
+        }
+    }
+    for c in 0..k {
+        if counts[c] > 0 {
+            for j in 0..d {
+                sums[c][j] /= counts[c] as f64;
+            }
+        }
+    }
+    sums
+}
+
+/// Result of a full client-aided K-Means run over encrypted distances.
+#[derive(Debug, Clone)]
+pub struct KMeansRun {
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations executed (each = one encrypted distance round per
+    /// centroid + one plaintext update).
+    pub iterations: u32,
+    /// Whether the run converged within tolerance.
+    pub converged: bool,
+    /// Total communication across all rounds.
+    pub ledger: CommLedger,
+}
+
+/// Runs K-Means to convergence with encrypted distance computation: each
+/// iteration, the client encrypts every centroid, the server returns
+/// encrypted distances to all points, and the client performs the
+/// assignment + centroid update in plaintext (§5.1: "K-Means iterates
+/// client-server interaction until convergence").
+///
+/// # Errors
+///
+/// Propagates HE errors from the distance kernels.
+///
+/// # Panics
+///
+/// Panics on empty inputs or mismatched dimensions.
+pub fn kmeans_encrypted(
+    variant: PackingVariant,
+    client: &mut CkksClient,
+    server: &CkksServer,
+    points: &[Vec<f64>],
+    initial_centroids: &[Vec<f64>],
+    max_iterations: u32,
+    tolerance: f64,
+) -> Result<KMeansRun, HeError> {
+    assert!(!points.is_empty() && !initial_centroids.is_empty());
+    let mut centroids = initial_centroids.to_vec();
+    let mut ledger = CommLedger::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        iterations += 1;
+        let mut dists = Vec::with_capacity(centroids.len());
+        for c in &centroids {
+            let res = encrypted_distances(variant, client, server, c, points)?;
+            ledger.merge(&res.ledger);
+            dists.push(res.distances);
+        }
+        let updated = kmeans_update(points, &dists);
+        let movement = centroids
+            .iter()
+            .zip(&updated)
+            .map(|(a, b)| distances_plain(a, std::slice::from_ref(b))[0])
+            .fold(0.0f64, f64::max);
+        centroids = updated;
+        if movement < tolerance * tolerance {
+            converged = true;
+            break;
+        }
+    }
+    Ok(KMeansRun {
+        centroids,
+        iterations,
+        converged,
+        ledger,
+    })
+}
+
+/// Rotation steps the distance kernels need for `(dims, points)` shapes.
+pub fn distance_rotation_steps(dims: usize, n_points: usize, slots: usize) -> Vec<i64> {
+    let stride = block_stride(dims);
+    let mut steps = Vec::new();
+    let mut s = 1usize;
+    while s < stride {
+        steps.push(s as i64);
+        s <<= 1;
+    }
+    // Collapse shifts (block b head → slot b) only exist when the
+    // point-major packing fits at all.
+    if n_points * stride <= slots {
+        for b in 1..n_points {
+            steps.push((b * stride - b) as i64);
+        }
+    }
+    // Stacked-dimension folds (same band cap as `dimension_major`).
+    let mut per_ct = 1usize;
+    while 2 * per_ct * n_points + n_points <= slots {
+        per_ct *= 2;
+    }
+    let mut band = 1usize;
+    while band < per_ct {
+        steps.push((band * n_points) as i64);
+        band <<= 1;
+    }
+    steps.sort_unstable();
+    steps.dedup();
+    steps.retain(|&x| x != 0 && x.unsigned_abs() < slots as u64);
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_he::params::HeParams;
+
+    fn setup(dims: usize, n: usize) -> (CkksClient, CkksServer) {
+        let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+        let mut client = CkksClient::new(&params, b"distance").unwrap();
+        let steps = distance_rotation_steps(dims, n, 512);
+        let server = client.provision_server(&steps);
+        (client, server)
+    }
+
+    fn test_data(dims: usize, n: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let query: Vec<f64> = (0..dims).map(|i| (i as f64 * 0.7).sin()).collect();
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|p| {
+                (0..dims)
+                    .map(|i| ((p * dims + i) as f64 * 0.3).cos())
+                    .collect()
+            })
+            .collect();
+        (query, points)
+    }
+
+    #[test]
+    fn all_variants_match_plain_distances() {
+        let (dims, n) = (4usize, 6usize);
+        let (query, points) = test_data(dims, n);
+        let want = distances_plain(&query, &points);
+        for variant in PackingVariant::all() {
+            let (mut client, server) = setup(dims, n);
+            let res =
+                encrypted_distances(variant, &mut client, &server, &query, &points).unwrap();
+            assert_eq!(res.distances.len(), n);
+            for (i, (g, w)) in res.distances.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() < 1e-2,
+                    "{}: point {i}: {g} vs {w}",
+                    variant.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_costs_more_server_ops_same_comm_fewer_sparse_slots() {
+        let (dims, n) = (4usize, 6usize);
+        let (query, points) = test_data(dims, n);
+        let (mut c1, s1) = setup(dims, n);
+        let plain =
+            encrypted_distances(PackingVariant::PointMajor, &mut c1, &s1, &query, &points)
+                .unwrap();
+        let (mut c2, s2) = setup(dims, n);
+        let collapsed = encrypted_distances(
+            PackingVariant::CollapsedPointMajor,
+            &mut c2,
+            &s2,
+            &query,
+            &points,
+        )
+        .unwrap();
+        // §5.4: the collapsed variant shifts work to the server...
+        assert!(collapsed.server_ops > plain.server_ops);
+        // ...to produce a dense output the client reads directly.
+        assert_eq!(collapsed.distances.len(), n);
+    }
+
+    #[test]
+    fn dimension_major_uploads_scale_with_dims() {
+        let (query_small, points_small) = test_data(2, 100);
+        let (mut c, s) = setup(2, 100);
+        let small =
+            encrypted_distances(PackingVariant::DimensionMajor, &mut c, &s, &query_small, &points_small)
+                .unwrap();
+        // 100-point bands: 512/100 → 5 dims per ct; 2 dims → one upload.
+        assert_eq!(small.ledger.uploads, 1);
+        let (query_big, points_big) = test_data(16, 100);
+        let (mut c, s) = setup(16, 100);
+        let big = encrypted_distances(
+            PackingVariant::DimensionMajor,
+            &mut c,
+            &s,
+            &query_big,
+            &points_big,
+        )
+        .unwrap();
+        assert!(big.ledger.uploads > small.ledger.uploads);
+        // Accuracy holds for the stacked path too.
+        let want = distances_plain(&query_big, &points_big);
+        for (g, w) in big.distances.iter().zip(&want) {
+            assert!((g - w).abs() < 2e-2, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn knn_votes_among_nearest() {
+        let distances = vec![0.5, 0.1, 0.2, 3.0, 0.15];
+        let labels = vec![0, 1, 1, 0, 2];
+        assert_eq!(knn_classify(&distances, &labels, 1), 1);
+        assert_eq!(knn_classify(&distances, &labels, 3), 1);
+    }
+
+    #[test]
+    fn kmeans_step_moves_centroids_toward_clusters() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ];
+        let centroids = [vec![1.0, 1.0], vec![4.0, 4.0]];
+        let dists: Vec<Vec<f64>> = centroids
+            .iter()
+            .map(|c| distances_plain(c, &points))
+            .collect();
+        let updated = kmeans_update(&points, &dists);
+        assert!((updated[0][0] - 0.05).abs() < 1e-9);
+        assert!((updated[1][0] - 5.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kmeans_encrypted_full_loop_converges() {
+        let points = vec![
+            vec![0.0, 0.1, 0.0, 0.0],
+            vec![0.1, 0.0, 0.1, 0.1],
+            vec![0.05, 0.05, 0.0, 0.1],
+            vec![2.0, 2.1, 2.0, 1.9],
+            vec![2.1, 2.0, 1.9, 2.0],
+            vec![1.9, 1.9, 2.1, 2.1],
+        ];
+        let init = vec![vec![0.5; 4], vec![1.5; 4]];
+        let (mut client, server) = setup(4, 6);
+        let run = kmeans_encrypted(
+            PackingVariant::DimensionMajor,
+            &mut client,
+            &server,
+            &points,
+            &init,
+            10,
+            1e-3,
+        )
+        .unwrap();
+        assert!(run.converged, "k-means should converge in 10 iterations");
+        // Centroids land at the two cluster means.
+        let c0 = &run.centroids[0];
+        let c1 = &run.centroids[1];
+        assert!(c0[0] < 0.2, "cluster 0 centroid {c0:?}");
+        assert!((c1[0] - 2.0).abs() < 0.1, "cluster 1 centroid {c1:?}");
+        assert!(run.ledger.total_bytes() > 0);
+        assert!(run.iterations >= 2);
+    }
+
+    #[test]
+    fn encrypted_kmeans_iteration_converges_like_plain() {
+        // One full client-aided K-Means round using encrypted distances.
+        let points = vec![
+            vec![0.0, 0.2, 0.1, 0.0],
+            vec![0.1, 0.1, 0.0, 0.1],
+            vec![2.0, 2.1, 1.9, 2.0],
+            vec![2.1, 2.0, 2.0, 1.9],
+        ];
+        let centroids = vec![vec![0.5; 4], vec![1.5; 4]];
+        let (mut client, server) = setup(4, 4);
+        let mut enc_dists = Vec::new();
+        for c in &centroids {
+            let r = encrypted_distances(
+                PackingVariant::DimensionMajor,
+                &mut client,
+                &server,
+                c,
+                &points,
+            )
+            .unwrap();
+            enc_dists.push(r.distances);
+        }
+        let plain_dists: Vec<Vec<f64>> = centroids
+            .iter()
+            .map(|c| distances_plain(c, &points))
+            .collect();
+        assert_eq!(
+            kmeans_update(&points, &enc_dists),
+            kmeans_update(&points, &plain_dists)
+        );
+    }
+}

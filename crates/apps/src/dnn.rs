@@ -1,0 +1,927 @@
+//! Quantized DNN inference workloads (Table 5, Figures 2/12/14/15).
+//!
+//! The four image-classification networks the paper evaluates are defined
+//! structurally (layer geometry, MACs, parameters); weights are seeded
+//! pseudo-random 4-bit values — every evaluated quantity (time, energy,
+//! communication) depends only on structure, not on trained weights.
+//! Accuracy columns of Table 5 are carried as published constants.
+//!
+//! The client-aided execution plan walks the layer graph: linear layers run
+//! encrypted on the server; at every non-linear boundary (activation /
+//! pooling) intermediate ciphertexts travel to the client, are decrypted,
+//! processed, repacked with rotational redundancy, and re-encrypted.
+//! [`InferencePlan`] counts those ciphertexts, bytes, and crypto operations —
+//! the inputs to the CHOCO-TACO cost composition.
+//!
+//! A real encrypted convolution layer ([`run_encrypted_conv_layer`])
+//! exercises the full stack (packing → encryption → server conv →
+//! accumulation → decryption → unpacking) against a plaintext reference.
+
+use choco::linalg::{accumulate_channels, stacked_conv, ConvTap};
+use choco::protocol::{download, upload, BfvClient, BfvServer, CommLedger};
+use choco::rotation::RedundantLayout;
+use choco::stacking::StackedLayout;
+use choco_he::bfv::Ciphertext;
+use choco_he::params::HeParams;
+use choco_he::HeError;
+
+/// One layer of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// 2-D convolution (`same` padding when `padded`, else `valid`).
+    Conv {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Square filter size.
+        filter: usize,
+        /// Stride.
+        stride: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Whether same-padding is applied.
+        padded: bool,
+    },
+    /// Fully connected layer.
+    Fc {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Element-wise activation over `elements` values (client-side).
+    Activation {
+        /// Number of activations.
+        elements: usize,
+    },
+    /// Pooling: `channels` maps of `in_h × in_w` reduced by `window`
+    /// (client-side).
+    Pool {
+        /// Channels.
+        channels: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Pooling window (and stride).
+        window: usize,
+    },
+}
+
+impl Layer {
+    /// Output spatial size of a conv layer.
+    fn conv_out_hw(&self) -> Option<(usize, usize)> {
+        match *self {
+            Layer::Conv {
+                filter,
+                stride,
+                in_h,
+                in_w,
+                padded,
+                ..
+            } => {
+                let (h, w) = if padded {
+                    (in_h, in_w)
+                } else {
+                    (in_h - filter + 1, in_w - filter + 1)
+                };
+                Some((h.div_ceil(stride), w.div_ceil(stride)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Multiply-accumulate operations this layer performs.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Layer::Conv {
+                in_ch,
+                out_ch,
+                filter,
+                ..
+            } => {
+                let (oh, ow) = self.conv_out_hw().expect("conv");
+                (oh * ow * out_ch * in_ch * filter * filter) as u64
+            }
+            Layer::Fc {
+                in_features,
+                out_features,
+            } => (in_features * out_features) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> u64 {
+        match *self {
+            Layer::Conv {
+                in_ch,
+                out_ch,
+                filter,
+                ..
+            } => (out_ch * in_ch * filter * filter + out_ch) as u64,
+            Layer::Fc {
+                in_features,
+                out_features,
+            } => (in_features * out_features + out_features) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Number of output elements.
+    pub fn output_elements(&self) -> usize {
+        match *self {
+            Layer::Conv { out_ch, .. } => {
+                let (oh, ow) = self.conv_out_hw().expect("conv");
+                out_ch * oh * ow
+            }
+            Layer::Fc { out_features, .. } => out_features,
+            Layer::Activation { elements } => elements,
+            Layer::Pool {
+                channels,
+                in_h,
+                in_w,
+                window,
+            } => channels * (in_h / window) * (in_w / window),
+        }
+    }
+
+    /// Whether the layer runs encrypted on the server.
+    pub fn is_linear(&self) -> bool {
+        matches!(self, Layer::Conv { .. } | Layer::Fc { .. })
+    }
+}
+
+/// Published Table 5 accuracy triple (float, 8-bit, 4-bit), percent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Floating point accuracy.
+    pub float: f64,
+    /// 8-bit quantized accuracy.
+    pub int8: f64,
+    /// 4-bit quantized accuracy.
+    pub int4: f64,
+}
+
+/// A DNN workload.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Display name.
+    pub name: &'static str,
+    /// Dataset label (MNIST / CIFAR-10).
+    pub dataset: &'static str,
+    /// Layers in order.
+    pub layers: Vec<Layer>,
+    /// Published accuracy (Table 5).
+    pub accuracy: Accuracy,
+}
+
+impl Network {
+    /// Total MACs across linear layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total parameters.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Model size in bytes at `bits_per_weight` precision.
+    pub fn model_bytes(&self, bits_per_weight: u32) -> u64 {
+        self.total_params() * bits_per_weight as u64 / 8
+    }
+
+    /// Layer counts `(conv, fc, activation, pool)` — Table 5's shape columns.
+    pub fn layer_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for l in &self.layers {
+            match l {
+                Layer::Conv { .. } => c.0 += 1,
+                Layer::Fc { .. } => c.1 += 1,
+                Layer::Activation { .. } => c.2 += 1,
+                Layer::Pool { .. } => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// LeNet-5-Small (mlpack digit recognizer; MNIST; 0.24 M MACs).
+    pub fn lenet_small() -> Network {
+        Network {
+            name: "LeNetSm",
+            dataset: "MNIST",
+            layers: vec![
+                Layer::Conv { in_ch: 1, out_ch: 6, filter: 5, stride: 1, in_h: 28, in_w: 28, padded: false },
+                Layer::Activation { elements: 6 * 24 * 24 },
+                Layer::Pool { channels: 6, in_h: 24, in_w: 24, window: 2 },
+                Layer::Conv { in_ch: 6, out_ch: 16, filter: 5, stride: 1, in_h: 12, in_w: 12, padded: false },
+                Layer::Activation { elements: 16 * 8 * 8 },
+                Layer::Pool { channels: 16, in_h: 8, in_w: 8, window: 2 },
+                Layer::Fc { in_features: 256, out_features: 10 },
+            ],
+            accuracy: Accuracy { float: 99.0, int8: 94.9, int4: 93.8 },
+        }
+    }
+
+    /// LeNet-5-Large (TensorFlow tutorial model; MNIST; 12.27 M MACs).
+    pub fn lenet_large() -> Network {
+        Network {
+            name: "LeNetLg",
+            dataset: "MNIST",
+            layers: vec![
+                Layer::Conv { in_ch: 1, out_ch: 32, filter: 5, stride: 1, in_h: 28, in_w: 28, padded: true },
+                Layer::Activation { elements: 32 * 28 * 28 },
+                Layer::Pool { channels: 32, in_h: 28, in_w: 28, window: 2 },
+                Layer::Conv { in_ch: 32, out_ch: 64, filter: 5, stride: 1, in_h: 14, in_w: 14, padded: true },
+                Layer::Activation { elements: 64 * 14 * 14 },
+                Layer::Pool { channels: 64, in_h: 14, in_w: 14, window: 2 },
+                Layer::Fc { in_features: 3136, out_features: 512 },
+                Layer::Activation { elements: 512 },
+                Layer::Fc { in_features: 512, out_features: 10 },
+            ],
+            accuracy: Accuracy { float: 98.7, int8: 97.2, int4: 96.4 },
+        }
+    }
+
+    /// SqueezeNet for CIFAR-10 (fire-module stack; ≈32.6 M MACs).
+    pub fn squeezenet() -> Network {
+        let mut layers = vec![
+            Layer::Conv { in_ch: 3, out_ch: 64, filter: 3, stride: 2, in_h: 32, in_w: 32, padded: true },
+            Layer::Activation { elements: 64 * 16 * 16 },
+        ];
+        // Fire 1 @16×16, in 64 → out 256.
+        layers.extend([
+            Layer::Conv { in_ch: 64, out_ch: 32, filter: 1, stride: 1, in_h: 16, in_w: 16, padded: true },
+            Layer::Activation { elements: 32 * 16 * 16 },
+            Layer::Conv { in_ch: 32, out_ch: 128, filter: 1, stride: 1, in_h: 16, in_w: 16, padded: true },
+            Layer::Activation { elements: 128 * 16 * 16 },
+            Layer::Conv { in_ch: 32, out_ch: 128, filter: 3, stride: 1, in_h: 16, in_w: 16, padded: true },
+            Layer::Activation { elements: 128 * 16 * 16 },
+            Layer::Pool { channels: 256, in_h: 16, in_w: 16, window: 2 },
+        ]);
+        // Fire 2 @8×8, in 256 → out 512.
+        layers.extend([
+            Layer::Conv { in_ch: 256, out_ch: 64, filter: 1, stride: 1, in_h: 8, in_w: 8, padded: true },
+            Layer::Activation { elements: 64 * 8 * 8 },
+            Layer::Conv { in_ch: 64, out_ch: 256, filter: 1, stride: 1, in_h: 8, in_w: 8, padded: true },
+            Layer::Activation { elements: 256 * 8 * 8 },
+            Layer::Conv { in_ch: 64, out_ch: 256, filter: 3, stride: 1, in_h: 8, in_w: 8, padded: true },
+            Layer::Activation { elements: 256 * 8 * 8 },
+            Layer::Pool { channels: 512, in_h: 8, in_w: 8, window: 2 },
+        ]);
+        // Fire 3 @4×4, in 512 → out 512 (3×3 expand only).
+        layers.extend([
+            Layer::Conv { in_ch: 512, out_ch: 128, filter: 1, stride: 1, in_h: 4, in_w: 4, padded: true },
+            Layer::Activation { elements: 128 * 4 * 4 },
+            Layer::Conv { in_ch: 128, out_ch: 512, filter: 3, stride: 1, in_h: 4, in_w: 4, padded: true },
+            Layer::Activation { elements: 512 * 4 * 4 },
+            Layer::Pool { channels: 512, in_h: 4, in_w: 4, window: 2 },
+        ]);
+        // Classifier conv 1×1 → 10.
+        layers.extend([
+            Layer::Conv { in_ch: 512, out_ch: 10, filter: 1, stride: 1, in_h: 2, in_w: 2, padded: true },
+            Layer::Activation { elements: 10 * 2 * 2 },
+        ]);
+        Network {
+            name: "SqzNet",
+            dataset: "CIFAR-10",
+            layers,
+            accuracy: Accuracy { float: 76.5, int8: 74.0, int4: 15.0 },
+        }
+    }
+
+    /// VGG16 for CIFAR-10 (13 conv + 2 FC; ≈313 M MACs).
+    pub fn vgg16() -> Network {
+        let blocks: [(usize, usize, usize); 5] = [
+            (2, 64, 32),
+            (2, 128, 16),
+            (3, 256, 8),
+            (3, 512, 4),
+            (3, 512, 2),
+        ];
+        let mut layers = Vec::new();
+        let mut in_ch = 3usize;
+        for (convs, ch, hw) in blocks {
+            for _ in 0..convs {
+                layers.push(Layer::Conv {
+                    in_ch,
+                    out_ch: ch,
+                    filter: 3,
+                    stride: 1,
+                    in_h: hw,
+                    in_w: hw,
+                    padded: true,
+                });
+                layers.push(Layer::Activation { elements: ch * hw * hw });
+                in_ch = ch;
+            }
+            layers.push(Layer::Pool { channels: ch, in_h: hw, in_w: hw, window: 2 });
+        }
+        layers.push(Layer::Fc { in_features: 512, out_features: 512 });
+        layers.push(Layer::Activation { elements: 512 });
+        layers.push(Layer::Fc { in_features: 512, out_features: 10 });
+        Network {
+            name: "VGG16",
+            dataset: "CIFAR-10",
+            layers,
+            accuracy: Accuracy { float: 70.0, int8: 66.0, int4: 21.0 },
+        }
+    }
+
+    /// The four Table 5 networks.
+    pub fn all() -> Vec<Network> {
+        vec![
+            Self::lenet_small(),
+            Self::lenet_large(),
+            Self::squeezenet(),
+            Self::vgg16(),
+        ]
+    }
+}
+
+/// Client-aided execution accounting for one single-image inference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InferencePlan {
+    /// Client encryption operations.
+    pub encryptions: u64,
+    /// Client decryption operations.
+    pub decryptions: u64,
+    /// Total bytes transferred (both directions).
+    pub comm_bytes: u64,
+    /// Client↔server boundaries (non-linear stages).
+    pub boundaries: u32,
+    /// Elements processed by client non-linear code.
+    pub nonlinear_elements: u64,
+}
+
+/// Ciphertexts needed to carry `slots` packed slots at `row_size` slots per
+/// ciphertext row.
+fn cts_for_slots(slots: usize, row_size: usize) -> u64 {
+    slots.div_ceil(row_size) as u64
+}
+
+/// Slots a conv input occupies under redundant channel stacking.
+fn stacked_slots(channels: usize, hw: usize, redundancy: usize) -> usize {
+    channels * (hw + 2 * redundancy).next_power_of_two()
+}
+
+/// Builds the client-aided inference plan for `net` under parameter set
+/// `params`.
+///
+/// The walk mirrors §5.1: the image is uploaded encrypted; every maximal
+/// run of non-linear layers forms one boundary where the server's linear
+/// output is downloaded and the repacked result re-uploaded.
+pub fn client_aided_plan(net: &Network, params: &HeParams) -> InferencePlan {
+    let row = params.degree() / 2;
+    let ct_bytes = params.ciphertext_bytes() as u64;
+    let mut plan = InferencePlan::default();
+
+    // Initial upload: the input of the first linear layer.
+    let first = &net.layers[0];
+    let first_up = match *first {
+        Layer::Conv { in_ch, in_h, in_w, filter, .. } => {
+            let red = (filter / 2) * (in_w + 1);
+            cts_for_slots(stacked_slots(in_ch, in_h * in_w, red), row)
+        }
+        Layer::Fc { in_features, .. } => cts_for_slots(2 * in_features, row),
+        _ => 0,
+    };
+    plan.encryptions += first_up;
+    plan.comm_bytes += first_up * ct_bytes;
+
+    let n_layers = net.layers.len();
+    let mut i = 0;
+    while i < n_layers {
+        if net.layers[i].is_linear() {
+            // Find the end of the linear run.
+            let mut j = i;
+            while j + 1 < n_layers && net.layers[j + 1].is_linear() {
+                j += 1;
+            }
+            let out_elems = net.layers[j].output_elements();
+            // Download the linear output.
+            let down = cts_for_slots(out_elems, row);
+            plan.decryptions += down;
+            plan.comm_bytes += down * ct_bytes;
+
+            // Walk the non-linear run.
+            let mut k = j + 1;
+            let mut nonlinear = 0u64;
+            while k < n_layers && !net.layers[k].is_linear() {
+                nonlinear += net.layers[k].output_elements() as u64;
+                k += 1;
+            }
+            plan.nonlinear_elements += nonlinear.max(out_elems as u64);
+
+            if k < n_layers {
+                // Re-upload packed for the next linear layer.
+                let up = match net.layers[k] {
+                    Layer::Conv { in_ch, in_h, in_w, filter, .. } => {
+                        let red = (filter / 2) * (in_w + 1);
+                        cts_for_slots(stacked_slots(in_ch, in_h * in_w, red), row)
+                    }
+                    Layer::Fc { in_features, .. } => cts_for_slots(2 * in_features, row),
+                    _ => unreachable!("k indexes a linear layer"),
+                };
+                plan.encryptions += up;
+                plan.comm_bytes += up * ct_bytes;
+                plan.boundaries += 1;
+            }
+            i = k;
+        } else {
+            i += 1;
+        }
+    }
+    plan
+}
+
+/// One point of the Figure 15 convolution microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroPoint {
+    /// Image height = width.
+    pub img: usize,
+    /// Input = output channels.
+    pub channels: usize,
+    /// Filter size (1 or 3).
+    pub filter: usize,
+    /// MACs of the layer.
+    pub macs: u64,
+    /// Boundary communication in bytes under `params`.
+    pub comm_bytes: u64,
+}
+
+/// Generates the Figure 15 sweep: image sizes 2–32 (powers of two),
+/// channels 32–512 (powers of two), filter sizes {1, 3}.
+pub fn conv_microbenchmark(params: &HeParams) -> Vec<MicroPoint> {
+    let row = params.degree() / 2;
+    let ct_bytes = params.ciphertext_bytes() as u64;
+    let mut out = Vec::new();
+    let mut img = 2usize;
+    while img <= 32 {
+        let mut ch = 32usize;
+        while ch <= 512 {
+            for filter in [1usize, 3] {
+                let layer = Layer::Conv {
+                    in_ch: ch,
+                    out_ch: ch,
+                    filter,
+                    stride: 1,
+                    in_h: img,
+                    in_w: img,
+                    padded: true,
+                };
+                let red = (filter / 2) * (img + 1);
+                let up = cts_for_slots(stacked_slots(ch, img * img, red), row);
+                let down = cts_for_slots(layer.output_elements(), row);
+                out.push(MicroPoint {
+                    img,
+                    channels: ch,
+                    filter,
+                    macs: layer.macs(),
+                    comm_bytes: (up + down) * ct_bytes,
+                });
+            }
+            ch *= 2;
+        }
+        img *= 2;
+    }
+    out
+}
+
+/// Plaintext reference: 2-D *circular* convolution per output channel
+/// (matching the encrypted kernel's flattened-rotation semantics; callers
+/// compare interior pixels for `valid` behaviour).
+pub fn conv2d_plain_circular(
+    input: &[Vec<u64>],  // [in_ch][h*w]
+    weights: &[Vec<Vec<u64>>], // [out_ch][in_ch][f*f]
+    h: usize,
+    w: usize,
+    f: usize,
+    t: u64,
+) -> Vec<Vec<u64>> {
+    let pad = f / 2;
+    let out_ch = weights.len();
+    let in_ch = input.len();
+    let mut out = vec![vec![0u64; h * w]; out_ch];
+    for (o, out_map) in out.iter_mut().enumerate() {
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0u64;
+                for (c, in_map) in input.iter().enumerate().take(in_ch) {
+                    for dy in 0..f {
+                        for dx in 0..f {
+                            // Flattened circular shift: index (y*w + x) +
+                            // (dy-pad)*w + (dx-pad), wrapped mod h*w.
+                            let shift = (dy as i64 - pad as i64) * w as i64
+                                + (dx as i64 - pad as i64);
+                            let idx = ((y * w + x) as i64 + shift)
+                                .rem_euclid((h * w) as i64)
+                                as usize;
+                            acc = (acc + weights[o][c][dy * f + dx] * in_map[idx]) % t;
+                        }
+                    }
+                }
+                out_map[y * w + x] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Runs one encrypted convolution layer end to end through the client-aided
+/// protocol and returns the per-output-channel feature maps plus the
+/// communication ledger.
+///
+/// Input: `in_ch` channel maps of `h·w` 4-bit values; weights
+/// `[out_ch][in_ch][f·f]` 4-bit values. The result matches
+/// [`conv2d_plain_circular`] exactly (the client would discard border
+/// pixels for `valid` semantics).
+///
+/// # Errors
+///
+/// Propagates HE errors (key material, capacity).
+#[allow(clippy::too_many_arguments)]
+pub fn run_encrypted_conv_layer(
+    client: &mut BfvClient,
+    server: &BfvServer,
+    ledger: &mut CommLedger,
+    input: &[Vec<u64>],
+    weights: &[Vec<Vec<u64>>],
+    h: usize,
+    w: usize,
+    f: usize,
+) -> Result<Vec<Vec<u64>>, HeError> {
+    let in_ch = input.len();
+    let pad = f / 2;
+    let red = pad * (w + 1);
+    let layout = StackedLayout::new(in_ch, RedundantLayout::new(h * w, red));
+    assert!(
+        layout.fits(client.context().degree() / 2),
+        "layer too large for one ciphertext; split across ciphertexts"
+    );
+
+    // Client: pack + encrypt + upload.
+    let slots = layout.pack(input);
+    let ct = client.encrypt_slots(&slots)?;
+    let at_server = upload(ledger, &ct);
+
+    // Server: one stacked conv + channel accumulation per output channel.
+    let mut results = Vec::new();
+    for out_weights in weights {
+        let mut taps = Vec::new();
+        for dy in 0..f {
+            for dx in 0..f {
+                let shift = (dy as i64 - pad as i64) * w as i64 + (dx as i64 - pad as i64);
+                let channel_weights: Vec<u64> =
+                    (0..in_ch).map(|c| out_weights[c][dy * f + dx]).collect();
+                taps.push(ConvTap {
+                    shift,
+                    channel_weights,
+                });
+            }
+        }
+        let conv = stacked_conv(server, &at_server, &layout, &taps)?;
+        let acc = accumulate_channels(server, &conv, &layout)?;
+        results.push(download(ledger, &acc));
+    }
+    ledger.end_round();
+
+    // Client: decrypt + unpack channel block 0.
+    let mut maps = Vec::new();
+    for ct in &results {
+        let slots = client.decrypt_slots(ct)?;
+        maps.push(layout.extract(&slots)[0].clone());
+    }
+    Ok(maps)
+}
+
+/// Runs an encrypted convolution layer whose input channels may exceed one
+/// ciphertext: channels are partitioned into power-of-two groups that each
+/// fit a ciphertext row, each group is convolved and accumulated
+/// independently, and the per-group partial sums (all aligned at channel
+/// block 0) are added ciphertext-to-ciphertext server-side.
+///
+/// Falls back to the single-ciphertext path when everything fits.
+///
+/// # Errors
+///
+/// Propagates HE errors.
+///
+/// # Panics
+///
+/// Panics if even a single channel does not fit one ciphertext row.
+#[allow(clippy::too_many_arguments)]
+pub fn run_encrypted_conv_layer_multi(
+    client: &mut BfvClient,
+    server: &BfvServer,
+    ledger: &mut CommLedger,
+    input: &[Vec<u64>],
+    weights: &[Vec<Vec<u64>>],
+    h: usize,
+    w: usize,
+    f: usize,
+) -> Result<Vec<Vec<u64>>, HeError> {
+    let in_ch = input.len();
+    let pad = f / 2;
+    let red = pad * (w + 1);
+    let row = client.context().degree() / 2;
+    let stride = (h * w + 2 * red).next_power_of_two();
+    assert!(stride <= row, "one channel must fit a ciphertext row");
+    // Largest power-of-two channel-group size that fits the row.
+    let per_ct = (1usize << (row / stride).ilog2()).min(in_ch.next_power_of_two());
+
+    if in_ch <= per_ct {
+        return run_encrypted_conv_layer(client, server, ledger, input, weights, h, w, f);
+    }
+
+    // Partition channels into groups of `per_ct` (zero-padding the tail).
+    let groups: Vec<Vec<Vec<u64>>> = input
+        .chunks(per_ct)
+        .map(|chunk| {
+            let mut g = chunk.to_vec();
+            while g.len() < per_ct {
+                g.push(vec![0u64; h * w]);
+            }
+            g
+        })
+        .collect();
+    let layout = StackedLayout::new(per_ct, RedundantLayout::new(h * w, red));
+    let eval = server.evaluator();
+
+    // Client: one upload per group.
+    let mut uploaded = Vec::with_capacity(groups.len());
+    for g in &groups {
+        let ct = client.encrypt_slots(&layout.pack(g))?;
+        uploaded.push(upload(ledger, &ct));
+    }
+
+    // Server: per output channel, conv + accumulate each group, then sum
+    // the aligned group partials.
+    let mut results = Vec::with_capacity(weights.len());
+    for out_weights in weights {
+        let mut total: Option<Ciphertext> = None;
+        for (gi, ct) in uploaded.iter().enumerate() {
+            let base = gi * per_ct;
+            let mut taps = Vec::new();
+            for dy in 0..f {
+                for dx in 0..f {
+                    let shift =
+                        (dy as i64 - pad as i64) * w as i64 + (dx as i64 - pad as i64);
+                    let channel_weights: Vec<u64> = (0..per_ct)
+                        .map(|c| {
+                            out_weights
+                                .get(base + c)
+                                .map(|wc| wc[dy * f + dx])
+                                .unwrap_or(0)
+                        })
+                        .collect();
+                    taps.push(ConvTap {
+                        shift,
+                        channel_weights,
+                    });
+                }
+            }
+            let conv = stacked_conv(server, ct, &layout, &taps)?;
+            let acc = accumulate_channels(server, &conv, &layout)?;
+            total = Some(match total {
+                None => acc,
+                Some(t) => eval.add(&t, &acc)?,
+            });
+        }
+        results.push(download(ledger, &total.expect("at least one group")));
+    }
+    ledger.end_round();
+
+    // Client: decrypt; the full sum sits in channel block 0 of each reply.
+    let mut maps = Vec::new();
+    for ct in &results {
+        let slots = client.decrypt_slots(ct)?;
+        maps.push(layout.extract(&slots)[0].clone());
+    }
+    Ok(maps)
+}
+
+/// Galois rotation steps a conv layer of this shape needs (filter taps plus
+/// the channel-accumulation tree).
+pub fn conv_rotation_steps(in_ch: usize, h: usize, w: usize, f: usize) -> Vec<i64> {
+    let pad = f / 2;
+    let red = pad * (w + 1);
+    let layout = StackedLayout::new(in_ch, RedundantLayout::new(h * w, red));
+    let mut steps = Vec::new();
+    for dy in 0..f {
+        for dx in 0..f {
+            let s = (dy as i64 - pad as i64) * w as i64 + (dx as i64 - pad as i64);
+            if s != 0 {
+                steps.push(s);
+            }
+        }
+    }
+    let mut step = 1usize;
+    while step < in_ch {
+        steps.push((step * layout.stride()) as i64);
+        step <<= 1;
+    }
+    steps.sort_unstable();
+    steps.dedup();
+    steps
+}
+
+/// Rotation steps for the multi-ciphertext conv path: like
+/// [`conv_rotation_steps`] but with the accumulation tree sized to the
+/// per-ciphertext channel-group capacity of `row` slots.
+pub fn conv_rotation_steps_multi(
+    in_ch: usize,
+    h: usize,
+    w: usize,
+    f: usize,
+    row: usize,
+) -> Vec<i64> {
+    let pad = f / 2;
+    let red = pad * (w + 1);
+    let stride = (h * w + 2 * red).next_power_of_two();
+    assert!(stride <= row, "one channel must fit a ciphertext row");
+    let per_ct = (1usize << (row / stride).ilog2()).min(in_ch.next_power_of_two());
+    conv_rotation_steps(per_ct, h, w, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_mac_totals() {
+        let nets = Network::all();
+        let expect = [
+            ("LeNetSm", 0.24e6, 0.05),
+            ("LeNetLg", 12.27e6, 0.05),
+            ("SqzNet", 32.6e6, 0.10),
+            ("VGG16", 313.26e6, 0.05),
+        ];
+        for (net, (name, macs, tol)) in nets.iter().zip(expect) {
+            assert_eq!(net.name, name);
+            let got = net.total_macs() as f64;
+            assert!(
+                (got - macs).abs() / macs < tol,
+                "{name}: {got} vs {macs}"
+            );
+        }
+    }
+
+    #[test]
+    fn table5_layer_counts() {
+        assert_eq!(Network::lenet_small().layer_counts(), (2, 1, 2, 2));
+        assert_eq!(Network::lenet_large().layer_counts(), (2, 2, 3, 2));
+        let (c, f, a, p) = Network::squeezenet().layer_counts();
+        assert_eq!((c, f, p), (10, 0, 3), "squeezenet shape");
+        assert_eq!(a, 10);
+        assert_eq!(Network::vgg16().layer_counts(), (13, 2, 14, 5));
+    }
+
+    #[test]
+    fn table5_model_sizes() {
+        // Float (32-bit) sizes in MB vs Table 5, loose tolerance (the paper
+        // includes framework overheads).
+        let lenet_sm = Network::lenet_small().model_bytes(32) as f64 / 1e6;
+        assert!((0.015..0.03).contains(&lenet_sm), "LeNetSm {lenet_sm} MB");
+        let vgg = Network::vgg16().model_bytes(32) as f64 / 1e6;
+        assert!((50.0..70.0).contains(&vgg), "VGG {vgg} MB");
+        // 4-bit is 8× smaller than float.
+        let net = Network::lenet_large();
+        assert_eq!(net.model_bytes(32), 8 * net.model_bytes(4));
+    }
+
+    #[test]
+    fn plans_scale_with_network_size() {
+        let params = HeParams::set_a();
+        let plans: Vec<InferencePlan> = Network::all()
+            .iter()
+            .map(|n| client_aided_plan(n, &params))
+            .collect();
+        // Larger networks need at least as much communication as LeNetSm.
+        assert!(plans[1].comm_bytes > plans[0].comm_bytes);
+        assert!(plans[3].comm_bytes > plans[0].comm_bytes);
+        for p in &plans {
+            assert!(p.encryptions > 0 && p.decryptions > 0);
+            assert!(p.boundaries > 0);
+        }
+    }
+
+    #[test]
+    fn lenet_comm_is_megabytes_not_gigabytes() {
+        // §5.3: CHOCO's whole-network communication is a few MB (Table 5:
+        // 2.6 MB for LeNetLg with set B).
+        let params = HeParams::set_b();
+        let plan = client_aided_plan(&Network::lenet_large(), &params);
+        let mb = plan.comm_bytes as f64 / 1e6;
+        assert!((0.5..20.0).contains(&mb), "LeNetLg comm {mb} MB");
+    }
+
+    #[test]
+    fn microbenchmark_covers_figure15_grid() {
+        let pts = conv_microbenchmark(&HeParams::set_a());
+        // 5 image sizes × 5 channel counts × 2 filters.
+        assert_eq!(pts.len(), 50);
+        // Larger filters mean more MACs, same (or equal) communication for
+        // fixed geometry — the paper's "filters add classification power
+        // for free" observation.
+        for pair in pts.chunks(2) {
+            let (f1, f3) = (&pair[0], &pair[1]);
+            assert!(f3.macs > f1.macs);
+        }
+    }
+
+    #[test]
+    fn multi_ciphertext_conv_matches_plain_reference() {
+        // 8 input channels of 8x8 at N=1024 (row 512): stride 128 → only 4
+        // channels fit per ciphertext → 2 groups, summed server-side.
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 20).unwrap();
+        let mut client = BfvClient::new(&params, b"multi conv").unwrap();
+        let (h, w, f, in_ch, out_ch) = (8usize, 8usize, 3usize, 8usize, 2usize);
+        let row = client.context().degree() / 2;
+        let steps = conv_rotation_steps_multi(in_ch, h, w, f, row);
+        let server = client.provision_server(&steps).unwrap();
+        let mut ledger = CommLedger::new();
+
+        let input: Vec<Vec<u64>> = (0..in_ch)
+            .map(|c| (0..h * w).map(|i| ((i * 3 + c * 7) % 8) as u64).collect())
+            .collect();
+        let weights: Vec<Vec<Vec<u64>>> = (0..out_ch)
+            .map(|o| {
+                (0..in_ch)
+                    .map(|c| (0..f * f).map(|i| ((i + o + 2 * c) % 8) as u64).collect())
+                    .collect()
+            })
+            .collect();
+
+        let got = run_encrypted_conv_layer_multi(
+            &mut client, &server, &mut ledger, &input, &weights, h, w, f,
+        )
+        .unwrap();
+        let t = client.context().plain_modulus();
+        let want = conv2d_plain_circular(&input, &weights, h, w, f, t);
+        assert_eq!(got, want);
+        // Two uploads (one per group), one download per output channel.
+        assert_eq!(ledger.uploads, 2);
+        assert_eq!(ledger.downloads, out_ch as u32);
+    }
+
+    #[test]
+    fn multi_path_falls_back_to_single_ciphertext() {
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).unwrap();
+        let mut client = BfvClient::new(&params, b"multi fallback").unwrap();
+        let (h, w, f, in_ch) = (6usize, 6usize, 3usize, 2usize);
+        let steps = conv_rotation_steps(in_ch, h, w, f);
+        let server = client.provision_server(&steps).unwrap();
+        let mut ledger = CommLedger::new();
+        let input: Vec<Vec<u64>> = (0..in_ch)
+            .map(|c| (0..h * w).map(|i| ((i + c) % 16) as u64).collect())
+            .collect();
+        let weights: Vec<Vec<Vec<u64>>> =
+            vec![(0..in_ch).map(|c| vec![(c + 1) as u64; f * f]).collect()];
+        let got = run_encrypted_conv_layer_multi(
+            &mut client, &server, &mut ledger, &input, &weights, h, w, f,
+        )
+        .unwrap();
+        assert_eq!(ledger.uploads, 1, "small layer uses the single-ct path");
+        let t = client.context().plain_modulus();
+        assert_eq!(got, conv2d_plain_circular(&input, &weights, h, w, f, t));
+    }
+
+    #[test]
+    fn encrypted_conv_layer_matches_plain_reference() {
+        let params = HeParams::bfv_insecure(2048, &[45, 45, 46], 18).unwrap();
+        let mut client = BfvClient::new(&params, b"dnn conv").unwrap();
+        let (h, w, f, in_ch, out_ch) = (6usize, 6usize, 3usize, 2usize, 2usize);
+        let steps = conv_rotation_steps(in_ch, h, w, f);
+        let server = client.provision_server(&steps).unwrap();
+        let mut ledger = CommLedger::new();
+
+        // Seeded 4-bit inputs and weights.
+        let input: Vec<Vec<u64>> = (0..in_ch)
+            .map(|c| (0..h * w).map(|i| ((i * 7 + c * 3) % 16) as u64).collect())
+            .collect();
+        let weights: Vec<Vec<Vec<u64>>> = (0..out_ch)
+            .map(|o| {
+                (0..in_ch)
+                    .map(|c| (0..f * f).map(|i| ((i + o + c) % 16) as u64).collect())
+                    .collect()
+            })
+            .collect();
+
+        let got = run_encrypted_conv_layer(
+            &mut client, &server, &mut ledger, &input, &weights, h, w, f,
+        )
+        .unwrap();
+        let t = client.context().plain_modulus();
+        let want = conv2d_plain_circular(&input, &weights, h, w, f, t);
+        assert_eq!(got, want);
+        assert_eq!(ledger.uploads, 1);
+        assert_eq!(ledger.downloads, out_ch as u32);
+        assert_eq!(client.encryption_count(), 1);
+        assert_eq!(client.decryption_count(), out_ch as u64);
+    }
+}

@@ -1,0 +1,28 @@
+//! The CHOCO workload suite (§5.1).
+//!
+//! Every application the paper evaluates, rebuilt on the `choco` protocol
+//! layer:
+//!
+//! * [`dnn`] — the four quantized image-classification networks of Table 5
+//!   (LeNet-5-Small/Large, SqueezeNet, VGG16) with MAC / parameter /
+//!   communication accounting, the Figure 15 convolution microbenchmark
+//!   generator, and a real encrypted convolution layer executed through the
+//!   client-aided protocol;
+//! * [`pagerank`] — encrypted PageRank in both BFV and CKKS with a
+//!   configurable refresh schedule (Figure 13), plus a plaintext reference;
+//! * [`distance`] — KNN / K-Means distance kernels in CKKS with the five
+//!   packing variants of Figure 9 (point-major, dimension-major, their
+//!   stacked forms, and collapsed point-major);
+//! * [`protocols`] — analytic communication models of the seven prior
+//!   privacy-preserving protocols Figure 10 compares against.
+
+// Reference-style loops index multiple arrays in lockstep; the index
+// form is clearer than zipped iterators for these numeric kernels.
+#![allow(clippy::needless_range_loop)]
+
+pub mod batched;
+pub mod distance;
+pub mod dnn;
+pub mod pagerank;
+pub mod pipeline;
+pub mod protocols;

@@ -1,0 +1,324 @@
+//! Whole-network client-aided encrypted inference.
+//!
+//! Chains the encrypted convolution kernel, client-side non-linear stages
+//! (requantization + max-pooling, §5.1's "client computes all non-linear
+//! operations locally on plaintext data"), and the encrypted fully-connected
+//! matvec into a complete LeNet-style inference — every linear layer on the
+//! server, every boundary crossing counted. The plaintext twin
+//! ([`run_plain`]) applies bit-identical integer arithmetic, so the
+//! encrypted pipeline must match it *exactly*.
+
+use crate::dnn::{conv2d_plain_circular, conv_rotation_steps, run_encrypted_conv_layer};
+use choco::linalg::{matvec_diagonals, replicate_for_matvec};
+use choco::protocol::{download, upload, BfvClient, CommLedger};
+use choco_he::params::HeParams;
+use choco_he::HeError;
+use choco_prng::Blake3Rng;
+
+/// Geometry of a two-conv + FC quantized network (LeNet-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LenetLikeSpec {
+    /// Input image height = width.
+    pub img: usize,
+    /// Conv-1 output channels (must be a power of two).
+    pub conv1_ch: usize,
+    /// Conv-2 output channels.
+    pub conv2_ch: usize,
+    /// Square filter size for both convs (odd).
+    pub filter: usize,
+    /// Output classes of the FC layer.
+    pub classes: usize,
+}
+
+impl LenetLikeSpec {
+    /// A miniature spec that fits small test parameters.
+    pub fn tiny() -> Self {
+        LenetLikeSpec {
+            img: 8,
+            conv1_ch: 2,
+            conv2_ch: 4,
+            filter: 3,
+            classes: 4,
+        }
+    }
+
+    /// The real LeNet-5-Small geometry (28×28, 6→16 channels, 5×5 filters),
+    /// with channel counts rounded up to powers of two for stacking.
+    pub fn lenet_small() -> Self {
+        LenetLikeSpec {
+            img: 28,
+            conv1_ch: 8,  // 6 rounded up
+            conv2_ch: 16,
+            filter: 5,
+            classes: 10,
+        }
+    }
+
+    fn pooled(img: usize) -> usize {
+        img / 2
+    }
+
+    /// FC input features = conv2 channels × (img/4)².
+    pub fn fc_inputs(&self) -> usize {
+        let p2 = Self::pooled(Self::pooled(self.img));
+        self.conv2_ch * p2 * p2
+    }
+}
+
+/// 4-bit weights for a [`LenetLikeSpec`].
+#[derive(Debug, Clone)]
+pub struct LenetLikeWeights {
+    /// `[conv1_ch][1][f·f]`.
+    pub conv1: Vec<Vec<Vec<u64>>>,
+    /// `[conv2_ch][conv1_ch][f·f]`.
+    pub conv2: Vec<Vec<Vec<u64>>>,
+    /// `[classes][fc_inputs]`.
+    pub fc: Vec<Vec<u64>>,
+}
+
+/// Deterministic pseudo-random 4-bit weights from a seed.
+pub fn seeded_weights(spec: &LenetLikeSpec, seed: &[u8]) -> LenetLikeWeights {
+    let mut rng = Blake3Rng::from_seed_labeled(seed, "weights");
+    let mut w4 = |count: usize| -> Vec<u64> { (0..count).map(|_| rng.next_below(16)).collect() };
+    let f2 = spec.filter * spec.filter;
+    let conv1 = (0..spec.conv1_ch).map(|_| vec![w4(f2)]).collect();
+    let conv2 = (0..spec.conv2_ch)
+        .map(|_| (0..spec.conv1_ch).map(|_| w4(f2)).collect())
+        .collect();
+    let fc = (0..spec.classes).map(|_| w4(spec.fc_inputs())).collect();
+    LenetLikeWeights { conv1, conv2, fc }
+}
+
+/// Requantizes accumulated values back to 4 bits, scaling by the observed
+/// maximum (dynamic activation quantization — the client sees plaintext
+/// values at every boundary, so it can pick the scale exactly).
+pub fn requantize(values: &[u64]) -> Vec<u64> {
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    let bits = 64 - max.leading_zeros();
+    let shift = bits.saturating_sub(4);
+    values.iter().map(|&v| (v >> shift).min(15)).collect()
+}
+
+/// 2×2 max pooling over a flattened `h×w` map.
+pub fn max_pool2x2(map: &[u64], h: usize, w: usize) -> Vec<u64> {
+    assert_eq!(map.len(), h * w, "map shape mismatch");
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![0u64; oh * ow];
+    for y in 0..oh {
+        for x in 0..ow {
+            let mut m = 0u64;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    m = m.max(map[(2 * y + dy) * w + 2 * x + dx]);
+                }
+            }
+            out[y * ow + x] = m;
+        }
+    }
+    out
+}
+
+/// Result of one whole-network inference.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Raw class scores.
+    pub logits: Vec<u64>,
+    /// Predicted class (argmax).
+    pub class: usize,
+    /// Communication ledger across all boundaries.
+    pub ledger: CommLedger,
+    /// Client encryption / decryption operation counts.
+    pub crypto_ops: (u64, u64),
+}
+
+/// Runs the full encrypted pipeline. The plaintext modulus must hold
+/// `15·15·conv2_ch·f²` accumulations (e.g. 18 bits for the tiny spec).
+///
+/// # Errors
+///
+/// Propagates HE errors (capacity, keys).
+pub fn run_encrypted(
+    spec: &LenetLikeSpec,
+    weights: &LenetLikeWeights,
+    image: &[u64],
+    params: &HeParams,
+    seed: &[u8],
+) -> Result<PipelineRun, HeError> {
+    assert_eq!(image.len(), spec.img * spec.img, "image shape mismatch");
+    let mut client = BfvClient::new(params, seed)?;
+    let row = client.context().degree() / 2;
+    let p1 = spec.img / 2;
+
+    // All rotation steps any stage needs, provisioned once (offline setup).
+    let mut steps = conv_rotation_steps(1, spec.img, spec.img, spec.filter);
+    steps.extend(conv_rotation_steps(spec.conv1_ch, p1, p1, spec.filter));
+    steps.extend(1..spec.fc_inputs() as i64);
+    steps.sort_unstable();
+    steps.dedup();
+    steps.retain(|&s| s != 0 && s.unsigned_abs() < row as u64);
+    let server = client.provision_server(&steps)?;
+    let mut ledger = CommLedger::new();
+
+    // Stage 1: encrypted conv over the single input channel.
+    let maps1 = run_encrypted_conv_layer(
+        &mut client,
+        &server,
+        &mut ledger,
+        &[image.to_vec()],
+        &weights.conv1,
+        spec.img,
+        spec.img,
+        spec.filter,
+    )?;
+    // Client: requantize + pool per channel.
+    let pooled1: Vec<Vec<u64>> = maps1
+        .iter()
+        .map(|m| max_pool2x2(&requantize(m), spec.img, spec.img))
+        .collect();
+
+    // Stage 2: encrypted conv over conv1_ch channels.
+    let maps2 = run_encrypted_conv_layer(
+        &mut client,
+        &server,
+        &mut ledger,
+        &pooled1,
+        &weights.conv2,
+        p1,
+        p1,
+        spec.filter,
+    )?;
+    let p2 = p1 / 2;
+    let pooled2: Vec<Vec<u64>> = maps2
+        .iter()
+        .map(|m| max_pool2x2(&requantize(m), p1, p1))
+        .collect();
+
+    // Stage 3: encrypted fully-connected layer over the flattened features.
+    let mut features = Vec::with_capacity(spec.fc_inputs());
+    for m in &pooled2 {
+        features.extend_from_slice(m);
+    }
+    debug_assert_eq!(features.len(), spec.conv2_ch * p2 * p2);
+    let ct = client.encrypt_slots(&replicate_for_matvec(&features, row))?;
+    let at_server = upload(&mut ledger, &ct);
+    let logits_ct = matvec_diagonals(&server, &at_server, &weights.fc)?;
+    let reply = download(&mut ledger, &logits_ct);
+    ledger.end_round();
+    let slots = client.decrypt_slots(&reply)?;
+    let logits = slots[..spec.classes].to_vec();
+
+    let class = logits
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, v)| *v)
+        .map(|(i, _)| i)
+        .expect("classes >= 1");
+    Ok(PipelineRun {
+        logits,
+        class,
+        crypto_ops: (client.encryption_count(), client.decryption_count()),
+        ledger,
+    })
+}
+
+/// The bit-identical plaintext twin of [`run_encrypted`].
+pub fn run_plain(
+    spec: &LenetLikeSpec,
+    weights: &LenetLikeWeights,
+    image: &[u64],
+    plain_modulus: u64,
+) -> (Vec<u64>, usize) {
+    let t = plain_modulus;
+    let maps1 = conv2d_plain_circular(
+        &[image.to_vec()],
+        &weights.conv1,
+        spec.img,
+        spec.img,
+        spec.filter,
+        t,
+    );
+    let pooled1: Vec<Vec<u64>> = maps1
+        .iter()
+        .map(|m| max_pool2x2(&requantize(m), spec.img, spec.img))
+        .collect();
+    let p1 = spec.img / 2;
+    let maps2 = conv2d_plain_circular(&pooled1, &weights.conv2, p1, p1, spec.filter, t);
+    let pooled2: Vec<Vec<u64>> = maps2
+        .iter()
+        .map(|m| max_pool2x2(&requantize(m), p1, p1))
+        .collect();
+    let mut features = Vec::new();
+    for m in &pooled2 {
+        features.extend_from_slice(m);
+    }
+    let logits: Vec<u64> = weights
+        .fc
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(&features)
+                .fold(0u64, |acc, (w, x)| (acc + w * x) % t)
+        })
+        .collect();
+    let class = logits
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, v)| *v)
+        .map(|(i, _)| i)
+        .expect("classes >= 1");
+    (logits, class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requantize_saturates_at_15() {
+        let out = requantize(&[0, 100, 5625]);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[2], 10); // 5625 >> 9
+        assert!(out.iter().all(|&v| v <= 15));
+        assert_eq!(requantize(&[3, 7, 15]), vec![3, 7, 15]); // already 4-bit
+    }
+
+    #[test]
+    fn max_pool_picks_block_maxima() {
+        let map = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+        assert_eq!(max_pool2x2(&map, 4, 4), vec![6, 8, 14, 16]);
+    }
+
+    #[test]
+    fn seeded_weights_are_4bit_and_deterministic() {
+        let spec = LenetLikeSpec::tiny();
+        let a = seeded_weights(&spec, b"w");
+        let b = seeded_weights(&spec, b"w");
+        assert_eq!(a.fc, b.fc);
+        assert!(a.conv1.iter().flatten().flatten().all(|&w| w < 16));
+        assert_eq!(a.fc.len(), spec.classes);
+        assert_eq!(a.fc[0].len(), spec.fc_inputs());
+    }
+
+    #[test]
+    fn encrypted_pipeline_matches_plaintext_twin_exactly() {
+        let spec = LenetLikeSpec::tiny();
+        let weights = seeded_weights(&spec, b"pipeline test");
+        let image: Vec<u64> = (0..spec.img * spec.img)
+            .map(|i| ((i * 7 + 3) % 16) as u64)
+            .collect();
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).unwrap();
+        let enc = run_encrypted(&spec, &weights, &image, &params, b"pipe").unwrap();
+        let t = 1u64 << 63; // plain twin uses the same t as the context:
+        let _ = t;
+        let ctx_t = {
+            use choco_he::bfv::BfvContext;
+            BfvContext::new(&params).unwrap().plain_modulus()
+        };
+        let (logits, class) = run_plain(&spec, &weights, &image, ctx_t);
+        assert_eq!(enc.logits, logits, "bit-exact logits");
+        assert_eq!(enc.class, class);
+        // Boundaries: conv1 down, conv2 up+down, fc up+down.
+        assert!(enc.ledger.rounds >= 3);
+        assert!(enc.crypto_ops.0 >= 3 && enc.crypto_ops.1 >= spec.conv2_ch as u64);
+    }
+}

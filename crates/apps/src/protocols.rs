@@ -1,0 +1,107 @@
+//! Communication totals of prior privacy-preserving inference protocols
+//! (Figure 10's comparison points).
+//!
+//! The paper compares CHOCO's measured communication against seven prior
+//! systems for single-image MNIST (vs. LeNet-5-Large) and CIFAR-10
+//! (vs. SqueezeNet) inference, including offline preprocessing traffic.
+//! The original artifacts are unavailable here, so each comparison point is
+//! an analytic constant reconstructed from the protocol papers' published
+//! totals where available and otherwise from the improvement factors this
+//! paper reports (the 14×–2948× range of §1/§5.3, with ≈90× vs. Gazelle).
+//! Treat them as the *shape* of Figure 10, not fresh measurements.
+
+/// A prior protocol's published/reconstructed communication for one
+/// single-image inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolComm {
+    /// Protocol name.
+    pub name: &'static str,
+    /// Benchmark dataset.
+    pub dataset: &'static str,
+    /// Total communication in megabytes (offline + online).
+    pub comm_mb: f64,
+    /// Whether the protocol is client-aided (needs per-layer interaction).
+    pub client_aided: bool,
+}
+
+/// The Figure 10 comparison set for MNIST (vs. CHOCO's LeNet-5-Large).
+pub fn mnist_protocols() -> Vec<ProtocolComm> {
+    vec![
+        ProtocolComm { name: "LoLa", dataset: "MNIST", comm_mb: 36.4, client_aided: false },
+        ProtocolComm { name: "Gazelle", dataset: "MNIST", comm_mb: 234.0, client_aided: true },
+        ProtocolComm { name: "MiniONN", dataset: "MNIST", comm_mb: 657.5, client_aided: true },
+        ProtocolComm { name: "SecureML", dataset: "MNIST", comm_mb: 791.0, client_aided: true },
+        ProtocolComm { name: "CryptoNets", dataset: "MNIST", comm_mb: 372.0, client_aided: false },
+    ]
+}
+
+/// The Figure 10 comparison set for CIFAR-10 (vs. CHOCO's SqueezeNet).
+pub fn cifar_protocols() -> Vec<ProtocolComm> {
+    vec![
+        ProtocolComm { name: "Gazelle", dataset: "CIFAR-10", comm_mb: 1242.0, client_aided: true },
+        ProtocolComm { name: "MiniONN", dataset: "CIFAR-10", comm_mb: 9272.0, client_aided: true },
+        ProtocolComm { name: "DELPHI", dataset: "CIFAR-10", comm_mb: 2100.0, client_aided: true },
+        ProtocolComm { name: "XONN", dataset: "CIFAR-10", comm_mb: 40_700.0, client_aided: true },
+    ]
+}
+
+/// Improvement factor of a CHOCO measurement over a comparison point.
+pub fn improvement(choco_mb: f64, other: &ProtocolComm) -> f64 {
+    other.comm_mb / choco_mb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnn::{client_aided_plan, Network};
+    use choco_he::params::HeParams;
+
+    #[test]
+    fn improvement_range_matches_paper_claims() {
+        // CHOCO's measured totals for the two comparison networks.
+        let lenet = client_aided_plan(&Network::lenet_large(), &HeParams::set_b());
+        let sqz = client_aided_plan(&Network::squeezenet(), &HeParams::set_a());
+        let lenet_mb = lenet.comm_bytes as f64 / 1e6;
+        let sqz_mb = sqz.comm_bytes as f64 / 1e6;
+
+        let mut factors = Vec::new();
+        for p in mnist_protocols() {
+            factors.push(improvement(lenet_mb, &p));
+        }
+        for p in cifar_protocols() {
+            factors.push(improvement(sqz_mb, &p));
+        }
+        let min = factors.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = factors.iter().cloned().fold(0.0, f64::max);
+        // Paper: improvements range 14×–2948×. Our measured ciphertext
+        // stream differs in constants; require the same order of magnitude.
+        assert!(min > 3.0, "min improvement {min}×");
+        assert!(max > 500.0, "max improvement {max}×");
+        assert!(
+            factors.iter().all(|&f| f > 1.0),
+            "CHOCO must beat every baseline"
+        );
+    }
+
+    #[test]
+    fn xonn_is_the_heaviest_baseline() {
+        let max = cifar_protocols()
+            .into_iter()
+            .max_by(|a, b| a.comm_mb.partial_cmp(&b.comm_mb).unwrap())
+            .unwrap();
+        assert_eq!(max.name, "XONN");
+    }
+
+    #[test]
+    fn gazelle_is_the_closest_comparable() {
+        // §5.3: "for the most closely comparable protocol, namely Gazelle,
+        // CHOCO still provides nearly 90× improvement".
+        let lenet = client_aided_plan(&Network::lenet_large(), &HeParams::set_b());
+        let gazelle = mnist_protocols()
+            .into_iter()
+            .find(|p| p.name == "Gazelle")
+            .unwrap();
+        let f = improvement(lenet.comm_bytes as f64 / 1e6, &gazelle);
+        assert!((10.0..500.0).contains(&f), "Gazelle improvement {f}×");
+    }
+}

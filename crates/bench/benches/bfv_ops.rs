@@ -1,0 +1,46 @@
+//! Criterion benches for the BFV primitive operations at the paper's
+//! parameter sets (Table 1 measured, Figure 8's software column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use choco_he::bfv::BfvContext;
+use choco_he::params::HeParams;
+use choco_prng::Blake3Rng;
+
+fn bench_bfv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfv_set_b");
+    group.sample_size(10);
+    let params = HeParams::set_b();
+    let ctx = BfvContext::new(&params).unwrap();
+    let mut rng = Blake3Rng::from_seed(b"bench bfv");
+    let keys = ctx.keygen(&mut rng);
+    let rk = ctx.relin_key(keys.secret_key(), &mut rng).unwrap();
+    let gks = ctx.galois_keys(keys.secret_key(), &[1], &mut rng).unwrap();
+    let encoder = ctx.batch_encoder().unwrap();
+    let values: Vec<u64> = (0..params.degree() as u64).map(|i| i % 16).collect();
+    let pt = encoder.encode(&values).unwrap();
+    let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
+    let eval = ctx.evaluator();
+
+    group.bench_function("encrypt", |b| {
+        b.iter(|| ctx.encryptor(keys.public_key()).encrypt(black_box(&pt), &mut rng))
+    });
+    group.bench_function("decrypt", |b| {
+        b.iter(|| ctx.decryptor(keys.secret_key()).decrypt(black_box(&ct)))
+    });
+    group.bench_function("add", |b| b.iter(|| eval.add(black_box(&ct), &ct).unwrap()));
+    group.bench_function("multiply_plain", |b| {
+        b.iter(|| eval.multiply_plain(black_box(&ct), &pt))
+    });
+    group.bench_function("rotate_rows", |b| {
+        b.iter(|| eval.rotate_rows(black_box(&ct), 1, &gks).unwrap())
+    });
+    group.bench_function("multiply_relin", |b| {
+        b.iter(|| eval.multiply_relin(black_box(&ct), &ct, &rk).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfv);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benches for the Figure 11 distance kernels (server-side cost
+//! per packing variant, small CKKS parameters for bench turnaround).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use choco::protocol::CkksClient;
+use choco_apps::distance::{distance_rotation_steps, encrypted_distances, PackingVariant};
+use choco_he::params::HeParams;
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    group.sample_size(10);
+    let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+    let (dims, n) = (4usize, 8usize);
+    let query: Vec<f64> = (0..dims).map(|i| i as f64 * 0.1).collect();
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|p| (0..dims).map(|i| (p + i) as f64 * 0.05).collect())
+        .collect();
+    for variant in PackingVariant::all() {
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| {
+                let mut client = CkksClient::new(&params, b"bench dist").unwrap();
+                let steps = distance_rotation_steps(dims, n, 512);
+                let server = client.provision_server(&steps);
+                encrypted_distances(variant, &mut client, &server, &query, &points).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates **Figure 13**: client-aided encrypted PageRank — total
+//! communication vs. total iterations for every feasible refresh schedule,
+//! in both BFV and CKKS, plus a real encrypted validation run.
+
+use choco_apps::pagerank::{
+    pagerank_comm_model, pagerank_encrypted_bfv, pagerank_plain, Graph,
+};
+use choco_bench::{header, note};
+use choco_he::params::{HeParams, SchemeType};
+
+fn main() {
+    header("Figure 13: encrypted PageRank communication vs refresh schedule");
+    let nodes = 64usize;
+    let scale_bits = 16u32;
+    println!(
+        "{:<7} {:<6} {:>6} {:>7} {:>4} {:>12}  (diamond = optimum)",
+        "scheme", "total", "burst", "N", "k", "comm (MB)"
+    );
+    for scheme in [SchemeType::Bfv, SchemeType::Ckks] {
+        for total in [4u32, 8, 12, 16, 24, 32, 48] {
+            let mut rows = Vec::new();
+            for set in 1..=total {
+                if total % set != 0 {
+                    continue; // iteration sets must tile the total
+                }
+                if let Some((n, k, bytes)) =
+                    pagerank_comm_model(scheme, total, set, nodes, scale_bits)
+                {
+                    rows.push((set, n, k, bytes));
+                }
+            }
+            let best = rows.iter().map(|r| r.3).min().unwrap_or(u64::MAX);
+            for (set, n, k, bytes) in rows {
+                println!(
+                    "{:<7} {:<6} {:>6} {:>7} {:>4} {:>12.3}  {}",
+                    format!("{scheme}"),
+                    total,
+                    set,
+                    n,
+                    k,
+                    bytes as f64 / 1e6,
+                    if bytes == best { "<> optimum" } else { "" }
+                );
+            }
+        }
+    }
+
+    // Real encrypted validation at small scale.
+    println!("\nValidation: real encrypted BFV PageRank vs plaintext reference");
+    let g = Graph::from_adjacency(&[vec![1, 2], vec![2], vec![0], vec![0, 2]]);
+    let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).expect("params");
+    let enc = pagerank_encrypted_bfv(&g, 0.85, 8, 1, &params, 10).expect("run");
+    let plain = pagerank_plain(&g, 0.85, 8);
+    let max_err = enc
+        .ranks
+        .iter()
+        .zip(&plain)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "  8 iterations, refresh every 1: max |enc - plain| = {max_err:.4}, comm = {:.2} MB",
+        enc.ledger.total_bytes() as f64 / 1e6
+    );
+    assert!(max_err < 0.02, "encrypted run must track the reference");
+
+    note("frequent refresh with small parameters dominates; optima sit at N <= 8192, k <= 3 (the CHOCO-TACO envelope)");
+    note("CKKS reaches the same schedules with smaller chains, so its curves sit at or below BFV");
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Figure 7**: the accelerator design-space exploration —
+//! power/area/energy across tens of thousands of configurations, the Pareto
+//! frontier, and the paper's selected operating point.
+
+use choco_bench::{header, note, time_str};
+use choco_taco::dse::{explore, pareto_frontier, select_operating_point};
+
+fn main() {
+    header("Figure 7: CHOCO-TACO design-space exploration (N=8192, k=3)");
+    let points = explore(8192, 3);
+    println!("evaluated configurations: {}", points.len());
+
+    let (min_t, max_t) = points.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
+        (lo.min(p.profile.time_s), hi.max(p.profile.time_s))
+    });
+    let (min_p, max_p) = points.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
+        (lo.min(p.profile.power_w), hi.max(p.profile.power_w))
+    });
+    let (min_a, max_a) = points.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
+        (lo.min(p.profile.area_mm2), hi.max(p.profile.area_mm2))
+    });
+    println!(
+        "time   range: {} .. {}",
+        time_str(min_t),
+        time_str(max_t)
+    );
+    println!("power  range: {:.0} mW .. {:.0} mW", min_p * 1e3, max_p * 1e3);
+    println!("area   range: {min_a:.1} mm2 .. {max_a:.1} mm2");
+
+    let frontier = pareto_frontier(&points);
+    println!("\nPareto frontier: {} points (time, power, area, energy):", frontier.len());
+    let mut sample: Vec<_> = frontier.clone();
+    sample.sort_by(|a, b| a.profile.time_s.partial_cmp(&b.profile.time_s).unwrap());
+    for p in sample.iter().step_by((sample.len() / 12).max(1)) {
+        println!(
+            "  {:>10}  {:>7.0} mW  {:>6.1} mm2  {:>8.4} mJ",
+            time_str(p.profile.time_s),
+            p.profile.power_w * 1e3,
+            p.profile.area_mm2,
+            p.profile.energy_j * 1e3,
+        );
+    }
+
+    let chosen = select_operating_point(&points, 200.0, 0.01).expect("feasible point exists");
+    println!("\nSelected operating point (power <= 200 mW, min area within 1% of best time):");
+    println!(
+        "  {:?}\n  time {}  energy {:.4} mJ  power {:.0} mW  area {:.1} mm2",
+        chosen.config,
+        time_str(chosen.profile.time_s),
+        chosen.profile.energy_j * 1e3,
+        chosen.profile.power_w * 1e3,
+        chosen.profile.area_mm2,
+    );
+    note("paper's chosen point: 0.66 ms, 0.1228 mJ, <=200 mW, 19.3 mm2");
+}

@@ -1,0 +1,36 @@
+//! Cross-validation of the two CHOCO-TACO latency estimators: the
+//! closed-form analytic model (`taco::model`, used by the DSE for speed)
+//! against the discrete-event dataflow simulator (`taco::sim`, the
+//! reproduction of the paper's "custom simulation infrastructure").
+
+use choco_bench::{header, note, time_str};
+use choco_taco::config::AcceleratorConfig;
+use choco_taco::model::{decryption_profile, encryption_profile};
+use choco_taco::sim::{simulate_decryption, simulate_encryption};
+
+fn main() {
+    header("Model validation: analytic closed form vs dataflow simulation");
+    println!(
+        "{:<12} {:>12} {:>12} {:>7} | {:>12} {:>12} {:>7}",
+        "(N, k)", "enc model", "enc sim", "ratio", "dec model", "dec sim", "ratio"
+    );
+    let cfg = AcceleratorConfig::paper_operating_point();
+    for (n, k) in [(2048usize, 1usize), (4096, 2), (8192, 3), (16384, 3), (32768, 3)] {
+        let em = encryption_profile(&cfg, n, k).time_s;
+        let es = simulate_encryption(&cfg, n, k);
+        let dm = decryption_profile(&cfg, n, k).time_s;
+        let ds = simulate_decryption(&cfg, n, k);
+        println!(
+            "{:<12} {:>12} {:>12} {:>6.2}x | {:>12} {:>12} {:>6.2}x",
+            format!("({n}, {k})"),
+            time_str(em),
+            time_str(es),
+            em / es,
+            time_str(dm),
+            time_str(ds),
+            dm / ds,
+        );
+    }
+    note("the analytic model serializes module passes the scheduler overlaps; its memory-stall factor absorbs SRAM contention the scheduler does not see");
+    note("agreement within a small constant across (N, k) validates using the fast closed form for the 38k-point DSE sweep");
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table 3**: HE parameter selections and ciphertext sizes.
+
+use choco_bench::header;
+use choco_he::params::HeParams;
+
+fn main() {
+    header("Table 3: HE parameter selections (all >= 128-bit security)");
+    println!(
+        "{:<6} {:<7} {:>7} {:>9} {:<15} {:>8} {:>12}",
+        "Label", "Scheme", "N", "log2 q", "{k}", "log2 t", "Size (Bytes)"
+    );
+    for (label, p, paper_size) in [
+        ("A", HeParams::set_a(), 262_144usize),
+        ("B", HeParams::set_b(), 131_072),
+        ("C", HeParams::set_c(), 262_144),
+    ] {
+        let t_bits = if p.plain_modulus() > 0 {
+            format!("{}", 64 - p.plain_modulus().leading_zeros())
+        } else {
+            "N/A".to_string()
+        };
+        println!(
+            "{:<6} {:<7} {:>7} {:>9} {:<15} {:>8} {:>12}",
+            label,
+            format!("{}", p.scheme()),
+            p.degree(),
+            p.total_coeff_bits(),
+            format!("{:?}", p.prime_bits()),
+            t_bits,
+            p.ciphertext_bytes(),
+        );
+        assert_eq!(p.ciphertext_bytes(), paper_size, "size must match Table 3");
+    }
+    println!("\nAll sizes match the paper exactly (2 polys x N coeffs x (k-1) residues x 8 B).");
+}

@@ -1,0 +1,836 @@
+//! An EVA-style compiler for encrypted vector arithmetic (CKKS).
+//!
+//! The paper selects CKKS parameters "via optimal operation scheduling
+//! using the state-of-the-art EVA HE compiler" (§3.2). This module
+//! reproduces the relevant part of EVA (Dathathri et al., PLDI 2020): a
+//! small expression IR over encrypted vectors, with compiler passes that
+//!
+//! 1. track fixed-point **scales** through the graph and insert `Rescale`
+//!    operations using EVA's *waterline* rule (rescale as soon as the scale
+//!    would exceed `waterline · 2^prime_bits`),
+//! 2. track **levels** and insert `ModSwitch` operations so binary-op
+//!    operands meet at the same level,
+//! 3. validate the program against a parameter set (enough rescale primes,
+//!    compatible slot counts) and report the required chain length, and
+//! 4. count operations by kind — the cost model parameter selection
+//!    consumes.
+//!
+//! A reference executor runs compiled programs both on plaintext vectors
+//! and on real [`CkksContext`] ciphertexts, so every pass is validated by
+//! an exactness test against the plain semantics.
+
+use choco_he::ckks::{CkksCiphertext, CkksContext, CkksGaloisKeys, CkksRelinKey};
+use choco_he::HeError;
+use std::collections::HashMap;
+
+/// A node handle inside a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// Operation kinds of the IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// An encrypted input, by name.
+    Input(String),
+    /// A plaintext constant vector (server-known, e.g. weights).
+    Constant(Vec<f64>),
+    /// Ciphertext + ciphertext.
+    Add(NodeId, NodeId),
+    /// Ciphertext − ciphertext.
+    Sub(NodeId, NodeId),
+    /// Ciphertext × ciphertext (with relinearization).
+    Mul(NodeId, NodeId),
+    /// Ciphertext × plaintext constant.
+    MulPlain(NodeId, NodeId),
+    /// Ciphertext + plaintext constant.
+    AddPlain(NodeId, NodeId),
+    /// Slot rotation (left by the given amount).
+    Rotate(NodeId, i64),
+    /// Divide by the level's last prime (inserted by the compiler).
+    Rescale(NodeId),
+    /// Drop to a lower level without rescaling (inserted by the compiler).
+    ModSwitch(NodeId),
+}
+
+/// An un-compiled dataflow program over encrypted vectors.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    ops: Vec<Op>,
+    outputs: Vec<NodeId>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, op: Op) -> NodeId {
+        self.ops.push(op);
+        NodeId(self.ops.len() - 1)
+    }
+
+    /// Declares an encrypted input.
+    pub fn input(&mut self, name: &str) -> NodeId {
+        self.push(Op::Input(name.to_string()))
+    }
+
+    /// Declares a plaintext constant vector.
+    pub fn constant(&mut self, values: &[f64]) -> NodeId {
+        self.push(Op::Constant(values.to_vec()))
+    }
+
+    /// `a + b` (both encrypted).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Add(a, b))
+    }
+
+    /// `a − b` (both encrypted).
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Sub(a, b))
+    }
+
+    /// `a × b` (both encrypted).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Mul(a, b))
+    }
+
+    /// `a × c` for a constant `c`.
+    pub fn mul_plain(&mut self, a: NodeId, c: NodeId) -> NodeId {
+        self.push(Op::MulPlain(a, c))
+    }
+
+    /// `a + c` for a constant `c`.
+    pub fn add_plain(&mut self, a: NodeId, c: NodeId) -> NodeId {
+        self.push(Op::AddPlain(a, c))
+    }
+
+    /// Rotates slots left by `steps`.
+    pub fn rotate(&mut self, a: NodeId, steps: i64) -> NodeId {
+        self.push(Op::Rotate(a, steps))
+    }
+
+    /// Marks a node as a program output.
+    pub fn output(&mut self, n: NodeId) {
+        self.outputs.push(n);
+    }
+
+    /// Number of IR nodes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Per-node metadata the compiler assigns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeMeta {
+    /// log2 of the fixed-point scale carried by the node's value.
+    pub scale_bits: f64,
+    /// Level (number of active data primes) the node's value lives at.
+    pub level: usize,
+}
+
+/// Operation counts of a compiled program (the cost model output).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Ciphertext multiplications (relinearized).
+    pub ct_mults: u32,
+    /// Plaintext multiplications.
+    pub pt_mults: u32,
+    /// Additions/subtractions (ct and pt).
+    pub adds: u32,
+    /// Rotations.
+    pub rotations: u32,
+    /// Rescales inserted.
+    pub rescales: u32,
+    /// Mod-switches inserted.
+    pub mod_switches: u32,
+}
+
+/// A program after scale/level assignment.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    ops: Vec<Op>,
+    outputs: Vec<NodeId>,
+    meta: Vec<NodeMeta>,
+    /// Rotation steps the program needs Galois keys for.
+    pub rotation_steps: Vec<i64>,
+    /// Minimum data-prime chain length the program requires.
+    pub required_levels: usize,
+    /// Operation counts.
+    pub counts: OpCounts,
+}
+
+/// Compiler configuration.
+///
+/// For *encrypted* execution, use EVA's standard waterline setup: a uniform
+/// rescale-prime chain with `prime_bits == scale_bits`, so every rescale
+/// returns scales to the waterline and branches of different multiplicative
+/// depth remain addable after level alignment. (The plaintext executor is
+/// exact regardless.)
+#[derive(Debug, Clone, Copy)]
+pub struct CompilerOptions {
+    /// Input/encoding scale in bits (EVA's "waterline").
+    pub scale_bits: u32,
+    /// Bits of each rescaling prime.
+    pub prime_bits: u32,
+    /// Levels available in the target parameter set.
+    pub max_levels: usize,
+}
+
+/// Errors from compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The program needs more rescale levels than the chain provides.
+    DepthExceeded {
+        /// Levels required.
+        needed: usize,
+        /// Levels available.
+        available: usize,
+    },
+    /// A constant was used where a ciphertext is required (or vice versa).
+    KindMismatch(usize),
+    /// The program has no outputs.
+    NoOutputs,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::DepthExceeded { needed, available } => write!(
+                f,
+                "program needs {needed} levels but the chain provides {available}"
+            ),
+            CompileError::KindMismatch(n) => write!(f, "node {n}: ciphertext/plaintext mismatch"),
+            CompileError::NoOutputs => write!(f, "program has no outputs"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn is_plain(ops: &[Op], id: NodeId) -> bool {
+    matches!(ops[id.0], Op::Constant(_))
+}
+
+/// Compiles a program: assigns scales and levels, inserting `Rescale` after
+/// any multiply whose result scale crosses the waterline and `ModSwitch`
+/// where binary operands' levels differ.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on depth overflow or malformed programs.
+pub fn compile(program: &Program, opts: &CompilerOptions) -> Result<CompiledProgram, CompileError> {
+    if program.outputs.is_empty() {
+        return Err(CompileError::NoOutputs);
+    }
+    let waterline = opts.scale_bits as f64;
+    // The compiled op list, rebuilt with inserted nodes; `remap[i]` is the
+    // compiled node carrying source node i's value.
+    let mut ops: Vec<Op> = Vec::with_capacity(program.ops.len() * 2);
+    let mut meta: Vec<NodeMeta> = Vec::new();
+    let mut remap: Vec<NodeId> = Vec::with_capacity(program.ops.len());
+    let mut counts = OpCounts::default();
+    let mut rotation_steps = Vec::new();
+    // Track the deepest level used (levels count down from max_levels).
+    let mut min_level = opts.max_levels;
+
+    let push = |ops: &mut Vec<Op>, meta: &mut Vec<NodeMeta>, op: Op, m: NodeMeta| -> NodeId {
+        ops.push(op);
+        meta.push(m);
+        NodeId(ops.len() - 1)
+    };
+
+    // Rescale a node until its scale sits at the waterline.
+    let rescale_to_waterline = |ops: &mut Vec<Op>,
+                                meta: &mut Vec<NodeMeta>,
+                                counts: &mut OpCounts,
+                                min_level: &mut usize,
+                                mut id: NodeId|
+     -> NodeId {
+        while meta[id.0].scale_bits > waterline + opts.prime_bits as f64 / 2.0 {
+            let m = meta[id.0];
+            let nm = NodeMeta {
+                scale_bits: m.scale_bits - opts.prime_bits as f64,
+                level: m.level - 1,
+            };
+            ops.push(Op::Rescale(id));
+            meta.push(nm);
+            id = NodeId(ops.len() - 1);
+            counts.rescales += 1;
+            *min_level = (*min_level).min(nm.level);
+        }
+        id
+    };
+
+    // Bring a node down to `level` with mod-switches.
+    let switch_to = |ops: &mut Vec<Op>,
+                     meta: &mut Vec<NodeMeta>,
+                     counts: &mut OpCounts,
+                     mut id: NodeId,
+                     level: usize|
+     -> NodeId {
+        while meta[id.0].level > level {
+            let m = meta[id.0];
+            ops.push(Op::ModSwitch(id));
+            meta.push(NodeMeta {
+                scale_bits: m.scale_bits,
+                level: m.level - 1,
+            });
+            id = NodeId(ops.len() - 1);
+            counts.mod_switches += 1;
+        }
+        id
+    };
+
+    for (i, op) in program.ops.iter().enumerate() {
+        let mapped = match op {
+            Op::Input(name) => push(
+                &mut ops,
+                &mut meta,
+                Op::Input(name.clone()),
+                NodeMeta {
+                    scale_bits: waterline,
+                    level: opts.max_levels,
+                },
+            ),
+            Op::Constant(v) => push(
+                &mut ops,
+                &mut meta,
+                Op::Constant(v.clone()),
+                NodeMeta {
+                    scale_bits: waterline,
+                    level: opts.max_levels,
+                },
+            ),
+            Op::Add(a, b) | Op::Sub(a, b) => {
+                if is_plain(&program.ops, *a) || is_plain(&program.ops, *b) {
+                    return Err(CompileError::KindMismatch(i));
+                }
+                let (mut ra, mut rb) = (remap[a.0], remap[b.0]);
+                // Align levels first, then scales must match: rescale the
+                // larger-scale operand.
+                ra = rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, ra);
+                rb = rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, rb);
+                let lvl = meta[ra.0].level.min(meta[rb.0].level);
+                ra = switch_to(&mut ops, &mut meta, &mut counts, ra, lvl);
+                rb = switch_to(&mut ops, &mut meta, &mut counts, rb, lvl);
+                counts.adds += 1;
+                let m = NodeMeta {
+                    scale_bits: meta[ra.0].scale_bits.max(meta[rb.0].scale_bits),
+                    level: lvl,
+                };
+                let new_op = if matches!(op, Op::Add(..)) {
+                    Op::Add(ra, rb)
+                } else {
+                    Op::Sub(ra, rb)
+                };
+                push(&mut ops, &mut meta, new_op, m)
+            }
+            Op::Mul(a, b) => {
+                if is_plain(&program.ops, *a) || is_plain(&program.ops, *b) {
+                    return Err(CompileError::KindMismatch(i));
+                }
+                let (mut ra, mut rb) = (remap[a.0], remap[b.0]);
+                ra = rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, ra);
+                rb = rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, rb);
+                let lvl = meta[ra.0].level.min(meta[rb.0].level);
+                ra = switch_to(&mut ops, &mut meta, &mut counts, ra, lvl);
+                rb = switch_to(&mut ops, &mut meta, &mut counts, rb, lvl);
+                counts.ct_mults += 1;
+                let m = NodeMeta {
+                    scale_bits: meta[ra.0].scale_bits + meta[rb.0].scale_bits,
+                    level: lvl,
+                };
+                let id = push(&mut ops, &mut meta, Op::Mul(ra, rb), m);
+                rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, id)
+            }
+            Op::MulPlain(a, c) | Op::AddPlain(a, c) => {
+                if is_plain(&program.ops, *a) || !is_plain(&program.ops, *c) {
+                    return Err(CompileError::KindMismatch(i));
+                }
+                let ra =
+                    rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, remap[a.0]);
+                let rc = remap[c.0];
+                if matches!(op, Op::MulPlain(..)) {
+                    counts.pt_mults += 1;
+                    let m = NodeMeta {
+                        scale_bits: meta[ra.0].scale_bits + waterline,
+                        level: meta[ra.0].level,
+                    };
+                    let id = push(&mut ops, &mut meta, Op::MulPlain(ra, rc), m);
+                    rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, id)
+                } else {
+                    counts.adds += 1;
+                    let m = meta[ra.0];
+                    push(&mut ops, &mut meta, Op::AddPlain(ra, rc), m)
+                }
+            }
+            Op::Rotate(a, s) => {
+                if is_plain(&program.ops, *a) {
+                    return Err(CompileError::KindMismatch(i));
+                }
+                counts.rotations += 1;
+                if *s != 0 && !rotation_steps.contains(s) {
+                    rotation_steps.push(*s);
+                }
+                let ra = remap[a.0];
+                let m = meta[ra.0];
+                push(&mut ops, &mut meta, Op::Rotate(ra, *s), m)
+            }
+            Op::Rescale(_) | Op::ModSwitch(_) => {
+                // User programs never contain these; the compiler inserts
+                // them.
+                return Err(CompileError::KindMismatch(i));
+            }
+        };
+        remap.push(mapped);
+        min_level = min_level.min(meta[mapped.0].level);
+    }
+
+    let required_levels = opts.max_levels - min_level + 1;
+    if min_level < 1 {
+        return Err(CompileError::DepthExceeded {
+            needed: required_levels,
+            available: opts.max_levels,
+        });
+    }
+    rotation_steps.sort_unstable();
+    let outputs = program.outputs.iter().map(|o| remap[o.0]).collect();
+    Ok(CompiledProgram {
+        ops,
+        outputs,
+        meta,
+        rotation_steps,
+        required_levels,
+        counts,
+    })
+}
+
+impl CompiledProgram {
+    /// Metadata of a node.
+    pub fn meta(&self, n: NodeId) -> NodeMeta {
+        self.meta[n.0]
+    }
+
+    /// The compiled op list length (including inserted ops).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when empty (never, for a compiled program).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Executes on plaintext vectors (the reference semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input is missing or vector lengths mismatch.
+    pub fn execute_plain(&self, inputs: &HashMap<String, Vec<f64>>) -> Vec<Vec<f64>> {
+        let mut vals: Vec<Vec<f64>> = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let v = match op {
+                Op::Input(name) => inputs
+                    .get(name)
+                    .unwrap_or_else(|| panic!("missing input {name}"))
+                    .clone(),
+                Op::Constant(c) => c.clone(),
+                Op::Add(a, b) => vals[a.0].iter().zip(&vals[b.0]).map(|(x, y)| x + y).collect(),
+                Op::Sub(a, b) => vals[a.0].iter().zip(&vals[b.0]).map(|(x, y)| x - y).collect(),
+                Op::Mul(a, b) => vals[a.0].iter().zip(&vals[b.0]).map(|(x, y)| x * y).collect(),
+                Op::MulPlain(a, c) => {
+                    vals[a.0].iter().zip(&vals[c.0]).map(|(x, y)| x * y).collect()
+                }
+                Op::AddPlain(a, c) => {
+                    vals[a.0].iter().zip(&vals[c.0]).map(|(x, y)| x + y).collect()
+                }
+                Op::Rotate(a, s) => {
+                    let v = &vals[a.0];
+                    let n = v.len() as i64;
+                    (0..n).map(|i| v[((i + s).rem_euclid(n)) as usize]).collect()
+                }
+                Op::Rescale(a) | Op::ModSwitch(a) => vals[a.0].clone(),
+            };
+            vals.push(v);
+        }
+        self.outputs.iter().map(|o| vals[o.0].clone()).collect()
+    }
+
+    /// Executes on real ciphertexts.
+    ///
+    /// Inputs must be encrypted at the top level with the compiler's
+    /// waterline scale. Constants are encoded on demand at each use site's
+    /// level and scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input ciphertext is missing.
+    pub fn execute_encrypted(
+        &self,
+        ctx: &CkksContext,
+        inputs: &HashMap<String, CkksCiphertext>,
+        relin: &CkksRelinKey,
+        galois: &CkksGaloisKeys,
+    ) -> Result<Vec<CkksCiphertext>, HeError> {
+        enum Slot {
+            Ct(CkksCiphertext),
+            Plain(Vec<f64>),
+        }
+        let mut vals: Vec<Slot> = Vec::with_capacity(self.ops.len());
+        let ct = |s: &Slot| -> CkksCiphertext {
+            match s {
+                Slot::Ct(c) => c.clone(),
+                Slot::Plain(_) => unreachable!("compiler guarantees ciphertext operands"),
+            }
+        };
+        for op in &self.ops {
+            let v = match op {
+                Op::Input(name) => Slot::Ct(
+                    inputs
+                        .get(name)
+                        .unwrap_or_else(|| panic!("missing input {name}"))
+                        .clone(),
+                ),
+                Op::Constant(c) => Slot::Plain(c.clone()),
+                Op::Add(a, b) => Slot::Ct(ctx.add(&ct(&vals[a.0]), &ct(&vals[b.0]))?),
+                Op::Sub(a, b) => Slot::Ct(ctx.sub(&ct(&vals[a.0]), &ct(&vals[b.0]))?),
+                Op::Mul(a, b) => {
+                    Slot::Ct(ctx.multiply_relin(&ct(&vals[a.0]), &ct(&vals[b.0]), relin)?)
+                }
+                Op::MulPlain(a, c) => {
+                    let x = ct(&vals[a.0]);
+                    let plain = match &vals[c.0] {
+                        Slot::Plain(p) => p.clone(),
+                        Slot::Ct(_) => unreachable!("constant operand"),
+                    };
+                    let pt = ctx.encode_at(&plain, x.level(), ctx.default_scale())?;
+                    Slot::Ct(ctx.multiply_plain(&x, &pt)?)
+                }
+                Op::AddPlain(a, c) => {
+                    let x = ct(&vals[a.0]);
+                    let plain = match &vals[c.0] {
+                        Slot::Plain(p) => p.clone(),
+                        Slot::Ct(_) => unreachable!("constant operand"),
+                    };
+                    let pt = ctx.encode_at(&plain, x.level(), x.scale())?;
+                    Slot::Ct(ctx.add_plain(&x, &pt)?)
+                }
+                Op::Rotate(a, s) => {
+                    let x = ct(&vals[a.0]);
+                    if *s == 0 {
+                        Slot::Ct(x)
+                    } else {
+                        Slot::Ct(ctx.rotate(&x, *s, galois)?)
+                    }
+                }
+                Op::Rescale(a) => Slot::Ct(ctx.rescale(&ct(&vals[a.0]))?),
+                Op::ModSwitch(a) => {
+                    let x = ct(&vals[a.0]);
+                    let target = x.level() - 1;
+                    Slot::Ct(ctx.mod_switch_to(&x, target)?)
+                }
+            };
+            vals.push(v);
+        }
+        Ok(self.outputs.iter().map(|o| ct(&vals[o.0])).collect())
+    }
+}
+
+/// Structural optimization over the *source* program (run before
+/// [`compile`]): common-subexpression elimination plus rotation-by-zero and
+/// duplicate-constant folding. EVA applies the same class of rewrites before
+/// scale assignment; on encrypted programs every eliminated node is a saved
+/// homomorphic operation.
+pub fn optimize(program: &Program) -> Program {
+    use std::collections::HashMap;
+    #[derive(Hash, PartialEq, Eq)]
+    enum Key {
+        Input(String),
+        Constant(Vec<u64>), // f64 bits for hashability
+        Add(usize, usize),
+        Sub(usize, usize),
+        Mul(usize, usize),
+        MulPlain(usize, usize),
+        AddPlain(usize, usize),
+        Rotate(usize, i64),
+    }
+    let mut out = Program::new();
+    let mut remap: Vec<NodeId> = Vec::with_capacity(program.ops.len());
+    let mut seen: HashMap<Key, NodeId> = HashMap::new();
+    for op in &program.ops {
+        let (key, new_op) = match op {
+            Op::Input(n) => (Key::Input(n.clone()), Op::Input(n.clone())),
+            Op::Constant(v) => (
+                Key::Constant(v.iter().map(|x| x.to_bits()).collect()),
+                Op::Constant(v.clone()),
+            ),
+            Op::Add(a, b) => {
+                // Addition commutes: canonicalize operand order.
+                let (x, y) = (remap[a.0].0.min(remap[b.0].0), remap[a.0].0.max(remap[b.0].0));
+                (Key::Add(x, y), Op::Add(NodeId(remap[a.0].0), NodeId(remap[b.0].0)))
+            }
+            Op::Sub(a, b) => (
+                Key::Sub(remap[a.0].0, remap[b.0].0),
+                Op::Sub(remap[a.0], remap[b.0]),
+            ),
+            Op::Mul(a, b) => {
+                let (x, y) = (remap[a.0].0.min(remap[b.0].0), remap[a.0].0.max(remap[b.0].0));
+                (Key::Mul(x, y), Op::Mul(NodeId(remap[a.0].0), NodeId(remap[b.0].0)))
+            }
+            Op::MulPlain(a, c) => (
+                Key::MulPlain(remap[a.0].0, remap[c.0].0),
+                Op::MulPlain(remap[a.0], remap[c.0]),
+            ),
+            Op::AddPlain(a, c) => (
+                Key::AddPlain(remap[a.0].0, remap[c.0].0),
+                Op::AddPlain(remap[a.0], remap[c.0]),
+            ),
+            Op::Rotate(a, s) => {
+                if *s == 0 {
+                    // rotate-by-zero is the identity.
+                    remap.push(remap[a.0]);
+                    continue;
+                }
+                (
+                    Key::Rotate(remap[a.0].0, *s),
+                    Op::Rotate(remap[a.0], *s),
+                )
+            }
+            Op::Rescale(_) | Op::ModSwitch(_) => {
+                // Source programs never contain these.
+                remap.push(NodeId(out.ops.len()));
+                out.ops.push(op.clone());
+                continue;
+            }
+        };
+        let id = *seen.entry(key).or_insert_with(|| {
+            out.ops.push(new_op);
+            NodeId(out.ops.len() - 1)
+        });
+        remap.push(id);
+    }
+    out.outputs = program.outputs.iter().map(|o| remap[o.0]).collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_he::params::HeParams;
+    use choco_prng::Blake3Rng;
+
+    fn opts(levels: usize) -> CompilerOptions {
+        CompilerOptions {
+            scale_bits: 38,
+            prime_bits: 45,
+            max_levels: levels,
+        }
+    }
+
+    #[test]
+    fn polynomial_program_compiles_and_counts() {
+        // y = x^3 + 2x^2 + 1
+        let mut p = Program::new();
+        let x = p.input("x");
+        let x2 = p.mul(x, x);
+        let x3 = p.mul(x2, x);
+        let two = p.constant(&[2.0; 4]);
+        let term = p.mul_plain(x2, two);
+        let sum = p.add(x3, term);
+        let one = p.constant(&[1.0; 4]);
+        let y = p.add_plain(sum, one);
+        p.output(y);
+
+        let c = compile(&p, &opts(4)).unwrap();
+        assert_eq!(c.counts.ct_mults, 2);
+        assert_eq!(c.counts.pt_mults, 1);
+        assert!(c.counts.rescales >= 2, "multiplies must trigger rescales");
+        assert!(c.required_levels <= 4);
+    }
+
+    #[test]
+    fn depth_overflow_is_detected() {
+        let mut p = Program::new();
+        let x = p.input("x");
+        let mut acc = x;
+        for _ in 0..5 {
+            acc = p.mul(acc, acc);
+        }
+        p.output(acc);
+        let err = compile(&p, &opts(3)).unwrap_err();
+        assert!(matches!(err, CompileError::DepthExceeded { .. }));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut p = Program::new();
+        let c = p.constant(&[1.0]);
+        let x = p.input("x");
+        let bad = p.add(x, c); // ct+ct op with a constant operand
+        p.output(bad);
+        assert!(matches!(
+            compile(&p, &opts(3)).unwrap_err(),
+            CompileError::KindMismatch(_)
+        ));
+        let empty = Program::new();
+        assert_eq!(compile(&empty, &opts(3)).unwrap_err(), CompileError::NoOutputs);
+    }
+
+    #[test]
+    fn plain_execution_matches_hand_computation() {
+        let mut p = Program::new();
+        let x = p.input("x");
+        let r = p.rotate(x, 1);
+        let s = p.add(x, r);
+        p.output(s);
+        let c = compile(&p, &opts(3)).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), vec![1.0, 2.0, 3.0, 4.0]);
+        let out = c.execute_plain(&inputs);
+        assert_eq!(out[0], vec![3.0, 5.0, 7.0, 5.0]);
+        assert_eq!(c.rotation_steps, vec![1]);
+    }
+
+    #[test]
+    fn encrypted_execution_matches_plain_reference() {
+        // y = (x + rot(x,1)) * w  — a 1D convolution step.
+        let mut p = Program::new();
+        let x = p.input("x");
+        let r = p.rotate(x, 1);
+        let s = p.add(x, r);
+        let w = p.constant(&[0.5, 1.0, -1.0, 2.0, 0.25, 3.0, 1.5, -0.5]);
+        let y = p.mul_plain(s, w);
+        let y2 = p.mul(y, y); // exercise ct-mult + rescale too
+        p.output(y2);
+
+        let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+        let ctx = CkksContext::new(&params).unwrap();
+        let copts = CompilerOptions {
+            scale_bits: 38,
+            prime_bits: 45,
+            max_levels: ctx.top_level(),
+        };
+        let c = compile(&p, &copts).unwrap();
+
+        let mut rng = Blake3Rng::from_seed(b"compiler test");
+        let keys = ctx.keygen(&mut rng);
+        let relin = ctx.relin_key(keys.secret_key(), &mut rng);
+        let galois = ctx.galois_keys(keys.secret_key(), &c.rotation_steps, &mut rng);
+
+        let x_vals: Vec<f64> = (0..8).map(|i| (i as f64 - 3.0) / 4.0).collect();
+        let mut plain_in = HashMap::new();
+        plain_in.insert("x".to_string(), {
+            let mut v = x_vals.clone();
+            v.resize(ctx.slot_count(), 0.0);
+            v
+        });
+        let want = c.execute_plain(&plain_in);
+
+        let mut enc_in = HashMap::new();
+        let pt = ctx.encode(&x_vals).unwrap();
+        enc_in.insert(
+            "x".to_string(),
+            ctx.encrypt(&pt, keys.public_key(), &mut rng).unwrap(),
+        );
+        let got_ct = c.execute_encrypted(&ctx, &enc_in, &relin, &galois).unwrap();
+        let got = ctx.decode(&ctx.decrypt(&got_ct[0], keys.secret_key()));
+        for i in 0..8 {
+            assert!(
+                (got[i] - want[0][i]).abs() < 1e-2,
+                "slot {i}: {} vs {}",
+                got[i],
+                want[0][i]
+            );
+        }
+    }
+
+    #[test]
+    fn add_after_different_depths_aligns_levels() {
+        // x*x (one rescale) + x must mod-switch x down one level.
+        let mut p = Program::new();
+        let x = p.input("x");
+        let sq = p.mul(x, x);
+        let s = p.add(sq, x);
+        p.output(s);
+        let c = compile(&p, &opts(4)).unwrap();
+        assert!(c.counts.mod_switches >= 1, "level alignment required");
+        // And it runs correctly end to end on plaintext.
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), vec![2.0, 3.0]);
+        let out = c.execute_plain(&inputs);
+        assert_eq!(out[0], vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn cse_deduplicates_repeated_subexpressions() {
+        // x*x computed twice, rotate-by-zero, duplicate constants.
+        let mut p = Program::new();
+        let x = p.input("x");
+        let sq1 = p.mul(x, x);
+        let sq2 = p.mul(x, x);
+        let r0 = p.rotate(sq1, 0);
+        let c1 = p.constant(&[2.0]);
+        let c2 = p.constant(&[2.0]);
+        let t1 = p.mul_plain(r0, c1);
+        let t2 = p.mul_plain(sq2, c2);
+        let y = p.add(t1, t2); // = 2x² + 2x² — both sides identical after CSE
+        p.output(y);
+
+        let opt = optimize(&p);
+        assert!(opt.len() < p.len(), "{} -> {}", p.len(), opt.len());
+        // Semantics preserved.
+        let copts = opts(4);
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), vec![3.0]);
+        let before = compile(&p, &copts).unwrap().execute_plain(&inputs);
+        let after = compile(&opt, &copts).unwrap().execute_plain(&inputs);
+        assert_eq!(before, after);
+        assert_eq!(after[0], vec![36.0]); // 4·x² at x=3
+        // The optimized program compiles to fewer homomorphic multiplies.
+        let c_before = compile(&p, &copts).unwrap().counts;
+        let c_after = compile(&opt, &copts).unwrap().counts;
+        assert!(c_after.ct_mults < c_before.ct_mults);
+        assert!(c_after.pt_mults <= c_before.pt_mults);
+    }
+
+    #[test]
+    fn cse_respects_commutativity_of_add_and_mul() {
+        let mut p = Program::new();
+        let x = p.input("x");
+        let y = p.input("y");
+        let a = p.add(x, y);
+        let b = p.add(y, x); // same value, swapped operands
+        let s = p.mul(a, b);
+        p.output(s);
+        let opt = optimize(&p);
+        // a and b collapse into one node.
+        assert_eq!(opt.len(), p.len() - 1);
+    }
+
+    #[test]
+    fn required_levels_grow_with_multiplicative_depth() {
+        let depth_of = |muls: usize| -> usize {
+            let mut p = Program::new();
+            let x = p.input("x");
+            let mut acc = x;
+            for _ in 0..muls {
+                acc = p.mul(acc, acc);
+            }
+            p.output(acc);
+            compile(&p, &opts(10)).unwrap().required_levels
+        };
+        assert!(depth_of(1) < depth_of(2));
+        assert!(depth_of(2) < depth_of(4));
+    }
+}

@@ -1,0 +1,352 @@
+//! Encrypted linear algebra built on rotational redundancy (§3.3).
+//!
+//! Three kernels cover the paper's workloads:
+//!
+//! * [`stacked_conv`] — convolution over channel-stacked, redundantly packed
+//!   inputs: one rotation + one plaintext multiply per filter tap, no
+//!   masking multiplies (the headline win of rotational redundancy);
+//! * [`accumulate_channels`] — logarithmic rotate-add tree summing the
+//!   per-channel partial results into channel block 0;
+//! * [`matvec_diagonals`] — Halevi–Shoup diagonal matrix-vector product for
+//!   fully-connected layers and PageRank-style iterations.
+
+use crate::protocol::BfvServer;
+use crate::stacking::StackedLayout;
+use choco_he::bfv::Ciphertext;
+use choco_he::HeError;
+
+/// One convolution tap: rotate the stacked input by `shift` slots, then
+/// multiply by per-channel weights broadcast over each channel block.
+#[derive(Debug, Clone)]
+pub struct ConvTap {
+    /// Row-rotation distance (positive = left), bounded by the layout's
+    /// redundancy.
+    pub shift: i64,
+    /// One weight per input channel.
+    pub channel_weights: Vec<u64>,
+}
+
+/// Applies a set of convolution taps to a stacked ciphertext:
+/// `out = Σ_taps rotate(ct, shift) ⊙ weights`.
+///
+/// Every output term passes through exactly **one** plaintext
+/// multiplication, so noise grows as a single multiply plus `log2(#taps)`
+/// bits of accumulation — the "optimal multiplication efficiency" the paper
+/// claims for rotational redundancy.
+///
+/// # Errors
+///
+/// Propagates rotation (missing Galois key) and encoding errors.
+///
+/// # Panics
+///
+/// Panics if a tap's shift exceeds the layout redundancy or its weight
+/// count mismatches the channel count.
+pub fn stacked_conv(
+    server: &BfvServer,
+    ct: &Ciphertext,
+    layout: &StackedLayout,
+    taps: &[ConvTap],
+) -> Result<Ciphertext, HeError> {
+    assert!(!taps.is_empty(), "need at least one tap");
+    let eval = server.evaluator();
+    let mut acc: Option<Ciphertext> = None;
+    for tap in taps {
+        assert!(
+            tap.shift.unsigned_abs() as usize <= layout.channel_layout().redundancy(),
+            "tap shift {} exceeds redundancy {}",
+            tap.shift,
+            layout.channel_layout().redundancy()
+        );
+        let rotated = if tap.shift == 0 {
+            ct.clone()
+        } else {
+            eval.rotate_rows(ct, tap.shift, server.galois_keys())?
+        };
+        let weights = layout.broadcast_weights(&tap.channel_weights);
+        let wpt = server.encode(&weights)?;
+        let term = eval.multiply_plain(&rotated, &wpt);
+        acc = Some(match acc {
+            None => term,
+            Some(a) => eval.add(&a, &term)?,
+        });
+    }
+    Ok(acc.expect("taps nonempty"))
+}
+
+/// Sums all channel blocks into block 0 with a rotate-add tree:
+/// `log2(channels)` rotations by multiples of the stride.
+///
+/// Requires Galois keys for steps `stride, 2·stride, 4·stride, …`.
+/// `channels` must be a power of two (pad with zero channels otherwise).
+///
+/// # Errors
+///
+/// Propagates rotation errors.
+///
+/// # Panics
+///
+/// Panics if the channel count is not a power of two.
+pub fn accumulate_channels(
+    server: &BfvServer,
+    ct: &Ciphertext,
+    layout: &StackedLayout,
+) -> Result<Ciphertext, HeError> {
+    let c = layout.channels();
+    assert!(c.is_power_of_two(), "channel count must be a power of two");
+    let eval = server.evaluator();
+    let mut acc = ct.clone();
+    let mut step = 1usize;
+    while step < c {
+        let rotated = eval.rotate_rows(
+            &acc,
+            (step * layout.stride()) as i64,
+            server.galois_keys(),
+        )?;
+        acc = eval.add(&acc, &rotated)?;
+        step <<= 1;
+    }
+    Ok(acc)
+}
+
+/// Replicates an `n`-vector twice in a slot row so that row rotations by up
+/// to `n` read `x[(i+d) mod n]` at slot `i` — the packing
+/// [`matvec_diagonals`] expects.
+///
+/// # Panics
+///
+/// Panics if `2n` exceeds `row_size`.
+pub fn replicate_for_matvec(x: &[u64], row_size: usize) -> Vec<u64> {
+    let n = x.len();
+    assert!(2 * n <= row_size, "vector too long to replicate in one row");
+    let mut slots = vec![0u64; row_size];
+    slots[..n].copy_from_slice(x);
+    slots[n..2 * n].copy_from_slice(x);
+    slots
+}
+
+/// Halevi–Shoup diagonal matrix-vector product: `y = M·x` with
+/// `y_i = Σ_d M[i][(i+d) mod n] · x[(i+d) mod n]`.
+///
+/// `ct_x` must hold `x` packed by [`replicate_for_matvec`]. The result holds
+/// `y` in slots `[0, rows)`. Needs Galois keys for every step `1..cols`.
+///
+/// # Errors
+///
+/// Propagates rotation and encoding errors.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or ragged, or `rows > cols`.
+pub fn matvec_diagonals(
+    server: &BfvServer,
+    ct_x: &Ciphertext,
+    matrix: &[Vec<u64>],
+) -> Result<Ciphertext, HeError> {
+    let rows = matrix.len();
+    assert!(rows > 0, "matrix must be nonempty");
+    let cols = matrix[0].len();
+    assert!(matrix.iter().all(|r| r.len() == cols), "ragged matrix");
+    assert!(rows <= cols, "diagonal method requires rows <= cols");
+    let row_size = server.context().degree() / 2;
+    let eval = server.evaluator();
+    let mut acc: Option<Ciphertext> = None;
+    for d in 0..cols {
+        let rotated = if d == 0 {
+            ct_x.clone()
+        } else {
+            eval.rotate_rows(ct_x, d as i64, server.galois_keys())?
+        };
+        let mut diag = vec![0u64; row_size];
+        for (i, s) in diag.iter_mut().enumerate().take(rows) {
+            *s = matrix[i][(i + d) % cols];
+        }
+        let dpt = server.encode(&diag)?;
+        let term = eval.multiply_plain(&rotated, &dpt);
+        acc = Some(match acc {
+            None => term,
+            Some(a) => eval.add(&a, &term)?,
+        });
+    }
+    Ok(acc.expect("cols nonempty"))
+}
+
+/// CKKS variant of the diagonal matrix-vector product: `y = M·x` over
+/// real-valued entries, with one rescale at the end. `ct_x` must hold `x`
+/// replicated twice (see [`replicate_for_matvec`]); the result carries `y`
+/// in slots `[0, rows)` one level down.
+///
+/// # Errors
+///
+/// Propagates rotation and encoding errors.
+///
+/// # Panics
+///
+/// Panics on an empty/ragged matrix or `rows > cols`.
+pub fn ckks_matvec_diagonals(
+    server: &crate::protocol::CkksServer,
+    ct_x: &choco_he::ckks::CkksCiphertext,
+    matrix: &[Vec<f64>],
+) -> Result<choco_he::ckks::CkksCiphertext, HeError> {
+    let rows = matrix.len();
+    assert!(rows > 0, "matrix must be nonempty");
+    let cols = matrix[0].len();
+    assert!(matrix.iter().all(|r| r.len() == cols), "ragged matrix");
+    assert!(rows <= cols, "diagonal method requires rows <= cols");
+    let ctx = server.context();
+    let slots = ctx.slot_count();
+    let mut acc: Option<choco_he::ckks::CkksCiphertext> = None;
+    for d in 0..cols {
+        let rotated = if d == 0 {
+            ct_x.clone()
+        } else {
+            ctx.rotate(ct_x, d as i64, server.galois_keys())?
+        };
+        let mut diag = vec![0.0f64; slots];
+        for (i, s) in diag.iter_mut().enumerate().take(rows) {
+            *s = matrix[i][(i + d) % cols];
+        }
+        let dpt = server.encode_at(&diag, rotated.level(), ctx.default_scale())?;
+        let term = ctx.multiply_plain(&rotated, &dpt)?;
+        acc = Some(match acc {
+            None => term,
+            Some(a) => ctx.add(&a, &term)?,
+        });
+    }
+    ctx.rescale(&acc.expect("cols nonempty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::BfvClient;
+    use crate::rotation::RedundantLayout;
+    use choco_he::params::HeParams;
+
+    fn setup(steps: &[i64]) -> (BfvClient, BfvServer) {
+        let params = HeParams::bfv_insecure(1024, &[40, 40, 41], 17).unwrap();
+        let mut client = BfvClient::new(&params, b"linalg").unwrap();
+        let server = client.provision_server(steps).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn stacked_conv_matches_plain_reference() {
+        // 1D conv, 2 channels of 8 samples, 3-tap filter [1, 2, 3] per
+        // channel with channel weights (ch0: w, ch1: 2w).
+        let layout = StackedLayout::new(2, RedundantLayout::new(8, 2));
+        let (mut client, server) = setup(&[1, -1, (layout.stride()) as i64]);
+        let ch0: Vec<u64> = (1..=8).collect();
+        let ch1: Vec<u64> = (11..=18).collect();
+        let slots = layout.pack(&[ch0.clone(), ch1.clone()]);
+        let ct = client.encrypt_slots(&slots).unwrap();
+        let taps = vec![
+            ConvTap { shift: -1, channel_weights: vec![1, 2] },
+            ConvTap { shift: 0, channel_weights: vec![2, 4] },
+            ConvTap { shift: 1, channel_weights: vec![3, 6] },
+        ];
+        let out = stacked_conv(&server, &ct, &layout, &taps).unwrap();
+        let got = layout.extract(&client.decrypt_slots(&out).unwrap());
+        // Reference: per-channel circular conv with taps at -1/0/+1.
+        let reference = |v: &[u64], w: &[u64; 3]| -> Vec<u64> {
+            (0..8)
+                .map(|j| {
+                    w[0] * v[(j + 7) % 8] + w[1] * v[j] + w[2] * v[(j + 1) % 8]
+                })
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(got[0], reference(&ch0, &[1, 2, 3]));
+        assert_eq!(got[1], reference(&ch1, &[2, 4, 6]));
+    }
+
+    #[test]
+    fn channel_accumulation_sums_into_block_zero() {
+        let layout = StackedLayout::new(4, RedundantLayout::new(4, 0));
+        let stride = layout.stride() as i64;
+        let (mut client, server) = setup(&[stride, 2 * stride]);
+        let channels: Vec<Vec<u64>> = (0..4).map(|c| vec![(c + 1) as u64; 4]).collect();
+        let ct = client.encrypt_slots(&layout.pack(&channels)).unwrap();
+        let summed = accumulate_channels(&server, &ct, &layout).unwrap();
+        let got = layout.extract(&client.decrypt_slots(&summed).unwrap());
+        assert_eq!(got[0], vec![10, 10, 10, 10]); // 1+2+3+4
+    }
+
+    #[test]
+    fn matvec_matches_plain_product() {
+        let steps: Vec<i64> = (1..6).collect();
+        let (mut client, server) = setup(&steps);
+        let matrix: Vec<Vec<u64>> = vec![
+            vec![1, 2, 3, 4, 5, 6],
+            vec![7, 8, 9, 1, 2, 3],
+            vec![4, 5, 6, 7, 8, 9],
+        ];
+        let x = vec![2u64, 3, 5, 7, 11, 13];
+        let slots = replicate_for_matvec(&x, 512);
+        let ct = client.encrypt_slots(&slots).unwrap();
+        let y = matvec_diagonals(&server, &ct, &matrix).unwrap();
+        let got = client.decrypt_slots(&y).unwrap();
+        for (i, row) in matrix.iter().enumerate() {
+            let want: u64 = row.iter().zip(&x).map(|(m, v)| m * v).sum();
+            assert_eq!(got[i], want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn conv_consumes_single_multiply_of_noise() {
+        // The whole conv (3 taps) should cost roughly ONE plaintext multiply
+        // of budget, not three — terms are multiplied independently then
+        // added.
+        let layout = StackedLayout::new(2, RedundantLayout::new(8, 2));
+        let (mut client, server) = setup(&[1, -1]);
+        let slots = layout.pack(&[vec![1; 8], vec![2; 8]]);
+        let ct = client.encrypt_slots(&slots).unwrap();
+        let fresh = client.noise_budget(&ct);
+        let taps = vec![
+            ConvTap { shift: -1, channel_weights: vec![3, 1] },
+            ConvTap { shift: 0, channel_weights: vec![2, 2] },
+            ConvTap { shift: 1, channel_weights: vec![1, 3] },
+        ];
+        let out = stacked_conv(&server, &ct, &layout, &taps).unwrap();
+        let after = client.noise_budget(&out);
+        let cost = fresh - after;
+        // One multiply at t≈17 bits costs ≲ t_bits + 7 + slack.
+        assert!(cost < 40.0, "conv cost {cost} bits");
+    }
+
+    #[test]
+    fn ckks_matvec_matches_plain_product() {
+        let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+        let mut client = crate::protocol::CkksClient::new(&params, b"ckks mv").unwrap();
+        let steps: Vec<i64> = (1..4).collect();
+        let server = client.provision_server(&steps);
+        let matrix = vec![
+            vec![0.5, -1.0, 2.0, 0.25],
+            vec![1.0, 1.0, -0.5, 0.0],
+            vec![0.0, 2.0, 1.0, -1.0],
+        ];
+        let x = vec![1.0, 2.0, -1.0, 0.5];
+        let mut slots = vec![0.0; 512];
+        slots[..4].copy_from_slice(&x);
+        slots[4..8].copy_from_slice(&x);
+        let ct = client.encrypt_values(&slots).unwrap();
+        let y = ckks_matvec_diagonals(&server, &ct, &matrix).unwrap();
+        let out = client.decrypt_values(&y);
+        for (i, row) in matrix.iter().enumerate() {
+            let want: f64 = row.iter().zip(&x).map(|(m, v)| m * v).sum();
+            assert!((out[i] - want).abs() < 1e-2, "row {i}: {} vs {want}", out[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows <= cols")]
+    fn matvec_rejects_tall_matrices() {
+        let (_, server) = setup(&[1]);
+        let matrix = vec![vec![1u64], vec![2], vec![3]];
+        let ct_dummy = {
+            let params = HeParams::bfv_insecure(1024, &[40, 40, 41], 17).unwrap();
+            let mut c = BfvClient::new(&params, b"x").unwrap();
+            c.encrypt_slots(&[1]).unwrap()
+        };
+        let _ = matvec_diagonals(&server, &ct_dummy, &matrix);
+    }
+}

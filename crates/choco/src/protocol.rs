@@ -1,0 +1,525 @@
+//! The client-aided protocol: roles, key distribution, and the
+//! communication ledger.
+//!
+//! CHOCO's trust model (§3.1): a trusted, resource-constrained client holds
+//! the secret key; an untrusted but semi-honest server holds only public
+//! material (encryption key, relinearization key, Galois keys) and performs
+//! every encrypted linear operation. The client decrypts intermediate
+//! results, applies non-linear plaintext operations, repacks, re-encrypts.
+//!
+//! Every byte that crosses the link is recorded in a [`CommLedger`] — the
+//! quantity Figures 10, 11, 13 and 14 report — and the client counts its
+//! encryption/decryption operations, which the CHOCO-TACO model multiplies
+//! by per-op hardware costs (§5.2 methodology).
+
+use choco_he::bfv::{BfvContext, Ciphertext, GaloisKeys, KeyBundle, Plaintext, RelinKey};
+use choco_he::ckks::{
+    CkksCiphertext, CkksContext, CkksGaloisKeys, CkksKeyBundle, CkksPlaintext, CkksRelinKey,
+};
+use choco_he::params::HeParams;
+use choco_he::HeError;
+use choco_prng::Blake3Rng;
+
+/// Running totals of client↔server traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommLedger {
+    /// Bytes sent client → server.
+    pub upload_bytes: u64,
+    /// Bytes sent server → client.
+    pub download_bytes: u64,
+    /// Ciphertexts sent client → server.
+    pub uploads: u32,
+    /// Ciphertexts sent server → client.
+    pub downloads: u32,
+    /// Communication rounds (one round = at least one transfer each way).
+    pub rounds: u32,
+}
+
+impl CommLedger {
+    /// A fresh, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a client → server transfer of `bytes`.
+    pub fn record_upload(&mut self, bytes: usize) {
+        self.upload_bytes += bytes as u64;
+        self.uploads += 1;
+    }
+
+    /// Records a server → client transfer of `bytes`.
+    pub fn record_download(&mut self, bytes: usize) {
+        self.download_bytes += bytes as u64;
+        self.downloads += 1;
+    }
+
+    /// Marks the end of a communication round.
+    pub fn end_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Total bytes both ways.
+    pub fn total_bytes(&self) -> u64 {
+        self.upload_bytes + self.download_bytes
+    }
+
+    /// Total bytes in mebibytes.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Folds another ledger into this one.
+    pub fn merge(&mut self, other: &CommLedger) {
+        self.upload_bytes += other.upload_bytes;
+        self.download_bytes += other.download_bytes;
+        self.uploads += other.uploads;
+        self.downloads += other.downloads;
+        self.rounds += other.rounds;
+    }
+}
+
+/// The trusted client role (BFV): owns the secret key, encrypts, decrypts,
+/// and counts its cryptographic operations.
+#[derive(Debug)]
+pub struct BfvClient {
+    ctx: BfvContext,
+    keys: KeyBundle,
+    rng: Blake3Rng,
+    enc_ops: u64,
+    dec_ops: u64,
+}
+
+impl BfvClient {
+    /// Creates a client with fresh keys from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context construction errors.
+    pub fn new(params: &HeParams, seed: &[u8]) -> Result<Self, HeError> {
+        let ctx = BfvContext::new(params)?;
+        let mut rng = Blake3Rng::from_seed(seed);
+        let keys = ctx.keygen(&mut rng);
+        Ok(BfvClient {
+            ctx,
+            keys,
+            rng,
+            enc_ops: 0,
+            dec_ops: 0,
+        })
+    }
+
+    /// The HE context (shared with the server).
+    pub fn context(&self) -> &BfvContext {
+        &self.ctx
+    }
+
+    /// Provisions the untrusted server: public key, relin key, Galois keys
+    /// for the requested rotation steps. (One-time offline setup.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation errors.
+    pub fn provision_server(&mut self, rotation_steps: &[i64]) -> Result<BfvServer, HeError> {
+        let relin = self.ctx.relin_key(self.keys.secret_key(), &mut self.rng)?;
+        let galois = self
+            .ctx
+            .galois_keys(self.keys.secret_key(), rotation_steps, &mut self.rng)?;
+        Ok(BfvServer {
+            ctx: self.ctx.clone(),
+            public: self.keys.public_key().clone(),
+            relin,
+            galois,
+        })
+    }
+
+    /// Encrypts a slot vector (counted as one encryption op).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn encrypt_slots(&mut self, values: &[u64]) -> Result<Ciphertext, HeError> {
+        let pt = self.ctx.batch_encoder()?.encode(values)?;
+        self.enc_ops += 1;
+        Ok(self
+            .ctx
+            .encryptor(self.keys.public_key())
+            .encrypt(&pt, &mut self.rng))
+    }
+
+    /// Decrypts to a slot vector (counted as one decryption op).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors.
+    pub fn decrypt_slots(&mut self, ct: &Ciphertext) -> Result<Vec<u64>, HeError> {
+        self.dec_ops += 1;
+        let pt = self.ctx.decryptor(self.keys.secret_key()).decrypt(ct);
+        self.ctx.batch_encoder()?.decode(&pt)
+    }
+
+    /// Encrypts a slot vector with seed-compressed symmetric encryption:
+    /// the upload carries one polynomial plus a 32-byte seed — half the
+    /// bytes of [`BfvClient::encrypt_slots`] (counted as one encryption op).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn encrypt_slots_seeded(
+        &mut self,
+        values: &[u64],
+    ) -> Result<choco_he::bfv::SeededCiphertext, HeError> {
+        let pt = self.ctx.batch_encoder()?.encode(values)?;
+        self.enc_ops += 1;
+        Ok(self
+            .ctx
+            .encrypt_symmetric_seeded(&pt, self.keys.secret_key(), &mut self.rng))
+    }
+
+    /// Remaining invariant noise budget of a ciphertext (diagnostics).
+    pub fn noise_budget(&self, ct: &Ciphertext) -> f64 {
+        self.ctx
+            .decryptor(self.keys.secret_key())
+            .invariant_noise_budget(ct)
+    }
+
+    /// Number of encryptions performed so far.
+    pub fn encryption_count(&self) -> u64 {
+        self.enc_ops
+    }
+
+    /// Number of decryptions performed so far.
+    pub fn decryption_count(&self) -> u64 {
+        self.dec_ops
+    }
+}
+
+/// The untrusted server role (BFV): holds public material only.
+#[derive(Debug)]
+pub struct BfvServer {
+    ctx: BfvContext,
+    public: choco_he::bfv::PublicKey,
+    relin: RelinKey,
+    galois: GaloisKeys,
+}
+
+impl BfvServer {
+    /// The HE context.
+    pub fn context(&self) -> &BfvContext {
+        &self.ctx
+    }
+
+    /// The evaluation key for relinearization.
+    pub fn relin_key(&self) -> &RelinKey {
+        &self.relin
+    }
+
+    /// The Galois key set.
+    pub fn galois_keys(&self) -> &GaloisKeys {
+        &self.galois
+    }
+
+    /// The public key (servers may encrypt fresh constants).
+    pub fn public_key(&self) -> &choco_he::bfv::PublicKey {
+        &self.public
+    }
+
+    /// One-time offline provisioning traffic: public key + relinearization
+    /// key + Galois keys. Amortized across every later inference — the
+    /// "offline preprocessing" Figure 10's totals include for the MPC
+    /// baselines.
+    pub fn provisioning_bytes(&self) -> usize {
+        self.public.byte_size() + self.relin.size_bytes() + self.galois.size_bytes()
+    }
+
+    /// Encodes a plaintext vector server-side (model weights are public in
+    /// CHOCO's trust model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn encode(&self, values: &[u64]) -> Result<Plaintext, HeError> {
+        self.ctx.batch_encoder()?.encode(values)
+    }
+
+    /// The homomorphic evaluator.
+    pub fn evaluator(&self) -> choco_he::bfv::Evaluator<'_> {
+        self.ctx.evaluator()
+    }
+}
+
+/// Transfers a BFV ciphertext client → server, recording its bytes.
+pub fn upload(ledger: &mut CommLedger, ct: &Ciphertext) -> Ciphertext {
+    ledger.record_upload(ct.byte_size());
+    ct.clone()
+}
+
+/// Transfers a BFV ciphertext server → client, recording its bytes.
+pub fn download(ledger: &mut CommLedger, ct: &Ciphertext) -> Ciphertext {
+    ledger.record_download(ct.byte_size());
+    ct.clone()
+}
+
+/// Transfers a seed-compressed ciphertext client → server, recording its
+/// (halved) wire bytes, and expands it server-side.
+pub fn upload_seeded(
+    ledger: &mut CommLedger,
+    ct: &choco_he::bfv::SeededCiphertext,
+    server: &BfvServer,
+) -> Ciphertext {
+    ledger.record_upload(ct.byte_size());
+    server.ctx.expand_seeded(ct)
+}
+
+/// The trusted client role (CKKS) for the distance-based and PageRank
+/// workloads.
+#[derive(Debug)]
+pub struct CkksClient {
+    ctx: CkksContext,
+    keys: CkksKeyBundle,
+    rng: Blake3Rng,
+    enc_ops: u64,
+    dec_ops: u64,
+}
+
+impl CkksClient {
+    /// Creates a client with fresh keys from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context construction errors.
+    pub fn new(params: &HeParams, seed: &[u8]) -> Result<Self, HeError> {
+        let ctx = CkksContext::new(params)?;
+        let mut rng = Blake3Rng::from_seed(seed);
+        let keys = ctx.keygen(&mut rng);
+        Ok(CkksClient {
+            ctx,
+            keys,
+            rng,
+            enc_ops: 0,
+            dec_ops: 0,
+        })
+    }
+
+    /// The HE context.
+    pub fn context(&self) -> &CkksContext {
+        &self.ctx
+    }
+
+    /// Provisions the server with public material.
+    pub fn provision_server(&mut self, rotation_steps: &[i64]) -> CkksServer {
+        let relin = self.ctx.relin_key(self.keys.secret_key(), &mut self.rng);
+        let galois = self
+            .ctx
+            .galois_keys(self.keys.secret_key(), rotation_steps, &mut self.rng);
+        CkksServer {
+            ctx: self.ctx.clone(),
+            public: self.keys.public_key().clone(),
+            relin,
+            galois,
+        }
+    }
+
+    /// Encrypts a real-valued vector (one encryption op).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn encrypt_values(&mut self, values: &[f64]) -> Result<CkksCiphertext, HeError> {
+        let pt = self.ctx.encode(values)?;
+        self.enc_ops += 1;
+        self.ctx.encrypt(&pt, self.keys.public_key(), &mut self.rng)
+    }
+
+    /// Decrypts to real values (one decryption op).
+    pub fn decrypt_values(&mut self, ct: &CkksCiphertext) -> Vec<f64> {
+        self.dec_ops += 1;
+        let pt = self.ctx.decrypt(ct, self.keys.secret_key());
+        self.ctx.decode(&pt)
+    }
+
+    /// Number of encryptions performed so far.
+    pub fn encryption_count(&self) -> u64 {
+        self.enc_ops
+    }
+
+    /// Number of decryptions performed so far.
+    pub fn decryption_count(&self) -> u64 {
+        self.dec_ops
+    }
+}
+
+/// The untrusted server role (CKKS).
+#[derive(Debug)]
+pub struct CkksServer {
+    ctx: CkksContext,
+    public: choco_he::ckks::CkksPublicKey,
+    relin: CkksRelinKey,
+    galois: CkksGaloisKeys,
+}
+
+impl CkksServer {
+    /// The HE context.
+    pub fn context(&self) -> &CkksContext {
+        &self.ctx
+    }
+
+    /// The relinearization key.
+    pub fn relin_key(&self) -> &CkksRelinKey {
+        &self.relin
+    }
+
+    /// The Galois key set.
+    pub fn galois_keys(&self) -> &CkksGaloisKeys {
+        &self.galois
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &choco_he::ckks::CkksPublicKey {
+        &self.public
+    }
+
+    /// One-time offline provisioning traffic (public + relin + Galois keys).
+    pub fn provisioning_bytes(&self) -> usize {
+        self.public.byte_size() + self.relin.size_bytes() + self.galois.size_bytes()
+    }
+
+    /// Encodes server-side plaintext data at a level/scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn encode_at(
+        &self,
+        values: &[f64],
+        level: usize,
+        scale: f64,
+    ) -> Result<CkksPlaintext, HeError> {
+        self.ctx.encode_at(values, level, scale)
+    }
+}
+
+/// Transfers a CKKS ciphertext client → server, recording its bytes.
+pub fn upload_ckks(ledger: &mut CommLedger, ct: &CkksCiphertext) -> CkksCiphertext {
+    ledger.record_upload(ct.byte_size());
+    ct.clone()
+}
+
+/// Transfers a CKKS ciphertext server → client, recording its bytes.
+pub fn download_ckks(ledger: &mut CommLedger, ct: &CkksCiphertext) -> CkksCiphertext {
+    ledger.record_download(ct.byte_size());
+    ct.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bfv_params() -> HeParams {
+        HeParams::bfv_insecure(1024, &[40, 40, 41], 17).unwrap()
+    }
+
+    #[test]
+    fn ledger_accumulates_and_merges() {
+        let mut a = CommLedger::new();
+        a.record_upload(100);
+        a.record_download(250);
+        a.end_round();
+        assert_eq!(a.total_bytes(), 350);
+        assert_eq!(a.uploads, 1);
+        assert_eq!(a.downloads, 1);
+        assert_eq!(a.rounds, 1);
+        let mut b = CommLedger::new();
+        b.record_upload(50);
+        b.merge(&a);
+        assert_eq!(b.total_bytes(), 400);
+        assert_eq!(b.uploads, 2);
+    }
+
+    #[test]
+    fn client_server_roundtrip_with_accounting() {
+        let params = bfv_params();
+        let mut client = BfvClient::new(&params, b"proto test").unwrap();
+        let server = client.provision_server(&[1, -1]).unwrap();
+        let mut ledger = CommLedger::new();
+
+        let values: Vec<u64> = (0..16).collect();
+        let ct = client.encrypt_slots(&values).unwrap();
+        let at_server = upload(&mut ledger, &ct);
+
+        // Server doubles the values homomorphically.
+        let two = server.encode(&vec![2u64; 512]).unwrap();
+        let doubled = server.evaluator().multiply_plain(&at_server, &two);
+        let back = download(&mut ledger, &doubled);
+        ledger.end_round();
+
+        let out = client.decrypt_slots(&back).unwrap();
+        assert_eq!(&out[..16], &(0..16).map(|i| i * 2).collect::<Vec<u64>>()[..]);
+        assert_eq!(client.encryption_count(), 1);
+        assert_eq!(client.decryption_count(), 1);
+        assert_eq!(ledger.rounds, 1);
+        // 2 polys × 1024 coeffs × 2 data residues × 8 bytes each way.
+        assert_eq!(ledger.upload_bytes, 32768);
+        assert_eq!(ledger.download_bytes, 32768);
+    }
+
+    #[test]
+    fn seeded_uploads_halve_client_traffic() {
+        let params = bfv_params();
+        let mut client = BfvClient::new(&params, b"seeded proto").unwrap();
+        let server = client.provision_server(&[1]).unwrap();
+        let mut ledger = CommLedger::new();
+        let values: Vec<u64> = (0..32).collect();
+
+        let plain_ct = client.encrypt_slots(&values).unwrap();
+        let full_bytes = plain_ct.byte_size();
+
+        let seeded = client.encrypt_slots_seeded(&values).unwrap();
+        let at_server = upload_seeded(&mut ledger, &seeded, &server);
+        assert_eq!(ledger.upload_bytes, (full_bytes / 2 + 32) as u64);
+
+        // Expanded ciphertext is fully functional server-side.
+        let rotated = server
+            .evaluator()
+            .rotate_rows(&at_server, 1, server.galois_keys())
+            .unwrap();
+        let out = client.decrypt_slots(&rotated).unwrap();
+        assert_eq!(out[0], 1);
+        assert_eq!(client.encryption_count(), 2);
+    }
+
+    #[test]
+    fn server_rotations_work_through_protocol() {
+        let params = bfv_params();
+        let mut client = BfvClient::new(&params, b"proto rot").unwrap();
+        let server = client.provision_server(&[2]).unwrap();
+        let values: Vec<u64> = (0..512).collect();
+        let ct = client.encrypt_slots(&values).unwrap();
+        let rotated = server
+            .evaluator()
+            .rotate_rows(&ct, 2, server.galois_keys())
+            .unwrap();
+        let out = client.decrypt_slots(&rotated).unwrap();
+        assert_eq!(out[0], 2);
+        assert_eq!(out[509], 511);
+        assert_eq!(out[510], 0); // wrapped within the row
+    }
+
+    #[test]
+    fn ckks_protocol_roundtrip() {
+        let params = HeParams::ckks_insecure(1024, &[45, 45, 46], 38).unwrap();
+        let mut client = CkksClient::new(&params, b"ckks proto").unwrap();
+        let server = client.provision_server(&[1]);
+        let mut ledger = CommLedger::new();
+        let ct = client.encrypt_values(&[1.0, 2.0, 3.0]).unwrap();
+        let up = upload_ckks(&mut ledger, &ct);
+        let rot = server
+            .context()
+            .rotate(&up, 1, server.galois_keys())
+            .unwrap();
+        let down = download_ckks(&mut ledger, &rot);
+        let out = client.decrypt_values(&down);
+        assert!((out[0] - 2.0).abs() < 1e-2);
+        assert!((out[1] - 3.0).abs() < 1e-2);
+        assert!(ledger.total_bytes() > 0);
+    }
+}

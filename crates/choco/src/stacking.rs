@@ -1,0 +1,208 @@
+//! Channel stacking: redundant per-channel windows at power-of-two strides.
+//!
+//! For convolutions, CHOCO packs each image channel with rotational
+//! redundancy and stacks the channel vectors into evenly spaced,
+//! power-of-two-sized slots of one ciphertext (§3.3, "Applying Rotational
+//! Redundancy in CHOCO"). Two properties follow:
+//!
+//! 1. a single row rotation by `r ≤ R` performs the same windowed rotation
+//!    in *every* channel simultaneously, and
+//! 2. a rotation by a multiple of the stride realigns whole channels, so
+//!    summing `C` channels takes `log2(C)` rotate-adds.
+
+use crate::rotation::RedundantLayout;
+
+/// Layout of `channels` stacked redundant windows in one slot row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackedLayout {
+    channels: usize,
+    layout: RedundantLayout,
+    stride: usize,
+}
+
+impl StackedLayout {
+    /// Creates a stacked layout; the stride is the packed channel length
+    /// rounded up to a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize, layout: RedundantLayout) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        let stride = layout.packed_len().next_power_of_two();
+        StackedLayout {
+            channels,
+            layout,
+            stride,
+        }
+    }
+
+    /// Number of stacked channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The per-channel redundant layout.
+    pub fn channel_layout(&self) -> &RedundantLayout {
+        &self.layout
+    }
+
+    /// Power-of-two distance between consecutive channel origins.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Total slots consumed.
+    pub fn slots_used(&self) -> usize {
+        self.channels * self.stride
+    }
+
+    /// Whether this layout fits in a batching row of `row_size` slots.
+    pub fn fits(&self, row_size: usize) -> bool {
+        self.slots_used() <= row_size
+    }
+
+    /// Slot index where channel `c`'s window of interest begins.
+    pub fn window_start(&self, c: usize) -> usize {
+        c * self.stride + self.layout.window_offset()
+    }
+
+    /// Packs per-channel value vectors into one slot vector of length
+    /// `slots_used()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count or any channel length mismatches.
+    pub fn pack(&self, channel_values: &[Vec<u64>]) -> Vec<u64> {
+        assert_eq!(channel_values.len(), self.channels, "channel count mismatch");
+        let mut slots = vec![0u64; self.slots_used()];
+        for (c, values) in channel_values.iter().enumerate() {
+            let packed = self.layout.pack(values);
+            let base = c * self.stride;
+            slots[base..base + packed.len()].copy_from_slice(&packed);
+        }
+        slots
+    }
+
+    /// Extracts each channel's window of interest from a slot vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is shorter than `slots_used()`.
+    pub fn extract(&self, slots: &[u64]) -> Vec<Vec<u64>> {
+        assert!(slots.len() >= self.slots_used(), "slot vector too short");
+        (0..self.channels)
+            .map(|c| {
+                let base = c * self.stride;
+                self.layout.extract(&slots[base..base + self.stride.min(slots.len() - base)])
+            })
+            .collect()
+    }
+
+    /// Builds a per-slot plaintext weight vector that multiplies channel `c`
+    /// by `weights[c]` across its whole packed block (redundant entries
+    /// included, so rotations keep weighted values aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != channels`.
+    pub fn broadcast_weights(&self, weights: &[u64]) -> Vec<u64> {
+        assert_eq!(weights.len(), self.channels, "weight count mismatch");
+        let mut slots = vec![0u64; self.slots_used()];
+        for (c, &w) in weights.iter().enumerate() {
+            let base = c * self.stride;
+            for s in slots[base..base + self.stride].iter_mut() {
+                *s = w;
+            }
+        }
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> StackedLayout {
+        StackedLayout::new(4, RedundantLayout::new(5, 2))
+    }
+
+    #[test]
+    fn stride_is_power_of_two() {
+        let l = layout();
+        assert_eq!(l.stride(), 16); // packed_len = 9 → 16
+        assert_eq!(l.slots_used(), 64);
+        assert!(l.fits(64));
+        assert!(!l.fits(63));
+    }
+
+    #[test]
+    fn pack_extract_roundtrip_all_channels() {
+        let l = layout();
+        let channels: Vec<Vec<u64>> = (0..4)
+            .map(|c| (0..5).map(|i| (c * 10 + i) as u64).collect())
+            .collect();
+        let slots = l.pack(&channels);
+        assert_eq!(l.extract(&slots), channels);
+    }
+
+    #[test]
+    fn window_start_accounts_for_redundancy() {
+        let l = layout();
+        assert_eq!(l.window_start(0), 2);
+        assert_eq!(l.window_start(3), 3 * 16 + 2);
+    }
+
+    #[test]
+    fn global_rotation_rotates_every_channel_window() {
+        // Simulate a ciphertext row rotation on the packed slots and verify
+        // every channel window sees the same windowed rotation.
+        let l = layout();
+        let channels: Vec<Vec<u64>> = (0..4)
+            .map(|c| (1..=5).map(|i| (c * 100 + i) as u64).collect())
+            .collect();
+        let slots = l.pack(&channels);
+        let r = 2usize;
+        // left-rotate the whole row
+        let mut rotated = slots.clone();
+        rotated.rotate_left(r);
+        let got = l.extract(&rotated);
+        for (c, values) in channels.iter().enumerate() {
+            assert_eq!(
+                got[c],
+                l.channel_layout().reference_rotate(values, r as i64),
+                "channel {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn stride_rotation_realigns_channels() {
+        let l = layout();
+        let channels: Vec<Vec<u64>> = (0..4)
+            .map(|c| vec![(c + 1) as u64; 5])
+            .collect();
+        let mut slots = l.pack(&channels);
+        slots.rotate_left(l.stride());
+        let got = l.extract(&slots);
+        // channel 0 now holds channel 1's values, etc.
+        assert_eq!(got[0], channels[1]);
+        assert_eq!(got[2], channels[3]);
+    }
+
+    #[test]
+    fn broadcast_weights_cover_blocks() {
+        let l = layout();
+        let w = l.broadcast_weights(&[7, 8, 9, 10]);
+        assert_eq!(w[0], 7);
+        assert_eq!(w[15], 7);
+        assert_eq!(w[16], 8);
+        assert_eq!(w[63], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn pack_rejects_wrong_channel_count() {
+        layout().pack(&[vec![1, 2, 3, 4, 5]]);
+    }
+}

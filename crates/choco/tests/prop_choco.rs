@@ -1,0 +1,91 @@
+//! Property-based tests for CHOCO's packing and protocol invariants.
+
+use choco::protocol::CommLedger;
+use choco::rotation::RedundantLayout;
+use choco::stacking::StackedLayout;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pack_extract_roundtrip(window in 1usize..64, red_frac in 0usize..100) {
+        let redundancy = red_frac * window / 100;
+        let layout = RedundantLayout::new(window, redundancy);
+        let values: Vec<u64> = (0..window as u64).map(|i| i * 3 + 1).collect();
+        let packed = layout.pack(&values);
+        prop_assert_eq!(packed.len(), window + 2 * redundancy);
+        prop_assert_eq!(layout.extract(&packed), values);
+    }
+
+    #[test]
+    fn packed_rotation_equals_windowed_rotation(
+        window in 2usize..48,
+        red in 1usize..16,
+        rot_seed in any::<i64>(),
+    ) {
+        let redundancy = red.min(window);
+        let layout = RedundantLayout::new(window, redundancy);
+        let r = rot_seed.rem_euclid(2 * redundancy as i64 + 1) - redundancy as i64;
+        let values: Vec<u64> = (0..window as u64).map(|i| i + 10).collect();
+        // Simulate the ciphertext-level cyclic shift on the packed slots.
+        let mut packed = layout.pack(&values);
+        if r >= 0 {
+            packed.rotate_left(r as usize);
+        } else {
+            packed.rotate_right((-r) as usize);
+        }
+        prop_assert_eq!(layout.extract(&packed), layout.reference_rotate(&values, r));
+    }
+
+    #[test]
+    fn reference_rotation_composes(window in 2usize..32, r1 in -8i64..8, r2 in -8i64..8) {
+        let layout = RedundantLayout::new(window, window);
+        let values: Vec<u64> = (0..window as u64).collect();
+        let once = layout.reference_rotate(&layout.reference_rotate(&values, r1), r2);
+        let both = layout.reference_rotate(&values, r1 + r2);
+        prop_assert_eq!(once, both);
+    }
+
+    #[test]
+    fn stacked_pack_extract_roundtrip(
+        channels in 1usize..8,
+        window in 1usize..16,
+        red in 0usize..4,
+    ) {
+        let redundancy = red.min(window);
+        let layout = StackedLayout::new(channels, RedundantLayout::new(window, redundancy));
+        let data: Vec<Vec<u64>> = (0..channels)
+            .map(|c| (0..window as u64).map(|i| c as u64 * 100 + i).collect())
+            .collect();
+        let slots = layout.pack(&data);
+        prop_assert_eq!(slots.len(), channels * layout.stride());
+        prop_assert!(layout.stride().is_power_of_two());
+        prop_assert_eq!(layout.extract(&slots), data);
+    }
+
+    #[test]
+    fn utilization_decreases_with_redundancy(window in 4usize..64) {
+        let low = RedundantLayout::new(window, 1);
+        let high = RedundantLayout::new(window, window.clamp(2, 8));
+        prop_assert!(low.utilization() >= high.utilization());
+        prop_assert!(low.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn ledger_merge_is_commutative(
+        up1 in 0usize..1_000_000, dn1 in 0usize..1_000_000,
+        up2 in 0usize..1_000_000, dn2 in 0usize..1_000_000,
+    ) {
+        let mut a = CommLedger::new();
+        a.record_upload(up1);
+        a.record_download(dn1);
+        let mut b = CommLedger::new();
+        b.record_upload(up2);
+        b.record_download(dn2);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.total_bytes(), (up1 + dn1 + up2 + dn2) as u64);
+    }
+}

@@ -1,0 +1,1075 @@
+//! The Brakerski/Fan-Vercauteren (BFV) scheme in RNS form.
+//!
+//! Implements the full client-aided tool set the paper uses: asymmetric
+//! encryption (Eq. 2), decryption (Eq. 3), homomorphic addition, plaintext
+//! multiplication, ciphertext multiplication with relinearization, Galois
+//! rotations, and SEAL-style invariant-noise-budget measurement (Table 4's
+//! metric).
+//!
+//! Ciphertexts live modulo the *data* modulus `q` (all primes but the last);
+//! the last prime is reserved for key switching. Ciphertext–ciphertext
+//! multiplication lifts operands exactly into an auxiliary NTT basis wide
+//! enough to hold the integer tensor product, then scales by `t/q` with
+//! big-integer rounding — mathematically equivalent to SEAL's BEHZ base
+//! conversion, chosen here for auditability.
+
+use crate::batch::BatchEncoder;
+use crate::error::HeError;
+use crate::keyswitch::{
+    apply_ksk, galois_element_columns, galois_element_rows, generate_ksk, KswitchKey,
+};
+use crate::params::{HeParams, SchemeType};
+use crate::rnspoly::RnsPoly;
+use choco_math::prime::generate_ntt_primes;
+use choco_math::rns::RnsBasis;
+use choco_math::UBig;
+use choco_prng::Blake3Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A BFV plaintext: `N` coefficients modulo `t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plaintext {
+    coeffs: Vec<u64>,
+}
+
+impl Plaintext {
+    /// Wraps raw coefficients (must already be reduced modulo `t`).
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        Plaintext { coeffs }
+    }
+
+    /// The coefficient vector.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutable coefficient access (used by the encoder).
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+}
+
+/// A BFV ciphertext: 2 (fresh) or 3 (post-multiplication) polynomials over
+/// the data basis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    parts: Vec<RnsPoly>,
+}
+
+impl Ciphertext {
+    /// Assembles a ciphertext from raw components (deserialization path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty component list.
+    pub fn from_parts(parts: Vec<RnsPoly>) -> Self {
+        assert!(!parts.is_empty(), "ciphertext needs at least one component");
+        Ciphertext { parts }
+    }
+
+    /// Number of polynomial components (2 or 3).
+    pub fn size(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Component `i`.
+    pub fn part(&self, i: usize) -> &RnsPoly {
+        &self.parts[i]
+    }
+
+    /// Serialized size in bytes: `size · N · k_data · 8`.
+    pub fn byte_size(&self) -> usize {
+        self.parts.len() * self.parts[0].row_count() * self.parts[0].degree() * 8
+    }
+}
+
+/// The secret key (ternary polynomial, kept over the full basis so key
+/// switching material can be generated).
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    full: RnsPoly,
+}
+
+impl SecretKey {
+    /// The key polynomial over the full basis (exposed for key-switching
+    /// material generation and tests).
+    pub fn key_poly(&self) -> &RnsPoly {
+        &self.full
+    }
+}
+
+/// The public encryption key `(P0, P1) = (−(a·s + e), a)` over the data basis.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    p0: RnsPoly,
+    p1: RnsPoly,
+}
+
+impl PublicKey {
+    /// Serialized size in bytes (two data-basis polynomials).
+    pub fn byte_size(&self) -> usize {
+        2 * self.p0.row_count() * self.p0.degree() * 8
+    }
+}
+
+/// Secret/public key pair produced by [`BfvContext::keygen`].
+#[derive(Debug, Clone)]
+pub struct KeyBundle {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+impl KeyBundle {
+    /// The secret key.
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.secret
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+}
+
+/// Relinearization key (switches `s²`-keyed components back to `s`).
+#[derive(Debug, Clone)]
+pub struct RelinKey {
+    ksk: KswitchKey,
+}
+
+impl RelinKey {
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.ksk.size_bytes()
+    }
+}
+
+/// A set of Galois keys, one per automorphism element.
+#[derive(Debug, Clone)]
+pub struct GaloisKeys {
+    keys: HashMap<u64, KswitchKey>,
+}
+
+impl GaloisKeys {
+    /// The Galois elements covered by this key set.
+    pub fn elements(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.keys.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Serialized size in bytes of all keys.
+    pub fn size_bytes(&self) -> usize {
+        self.keys.values().map(|k| k.size_bytes()).sum()
+    }
+}
+
+/// Precomputed context for one BFV parameter set.
+#[derive(Debug, Clone)]
+pub struct BfvContext {
+    params: HeParams,
+    /// All primes (special last). Equal to `data` when only one prime exists.
+    full: Arc<RnsBasis>,
+    /// Data primes (fresh-ciphertext modulus `q`).
+    data: Arc<RnsBasis>,
+    /// Auxiliary basis wide enough for the exact integer tensor product.
+    ext: Arc<RnsBasis>,
+    /// Δ = ⌊q/t⌋ reduced modulo each data prime.
+    delta_mod_qi: Vec<u64>,
+    /// Prefix bases of the data primes (`level_bases[l-1]` has `l` primes),
+    /// used by modulus-switched ciphertexts.
+    level_bases: Vec<Arc<RnsBasis>>,
+    /// ⌊q_level/t⌋ per level, aligned with `level_bases`.
+    level_deltas: Vec<UBig>,
+    t: u64,
+    batch: Option<Arc<BatchEncoder>>,
+}
+
+impl BfvContext {
+    /// Builds the context (bases, NTT tables, encoder) for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::InvalidParameters`] when the parameter set is not
+    /// a BFV set or its primes cannot support the ring degree.
+    pub fn new(params: &HeParams) -> Result<Self, HeError> {
+        if params.scheme() != SchemeType::Bfv {
+            return Err(HeError::InvalidParameters(
+                "BfvContext requires a BFV parameter set".into(),
+            ));
+        }
+        let n = params.degree();
+        let primes = params.primes();
+        let full = Arc::new(RnsBasis::new(n, primes)?);
+        let data = if primes.len() == 1 {
+            full.clone()
+        } else {
+            Arc::new(full.prefix(primes.len() - 1))
+        };
+        // Extended basis for exact tensor products: needs
+        // 2·log2(q) + log2(N) + 2 bits.
+        let needed_bits = 2.0 * data.modulus_bits() + (n as f64).log2() + 2.0;
+        let mut ext_primes = Vec::new();
+        let mut bits = 0.0;
+        let pool = generate_ntt_primes(59, n, (needed_bits / 58.0).ceil() as usize + primes.len() + 2);
+        for p in pool {
+            if primes.contains(&p) {
+                continue;
+            }
+            bits += (p as f64).log2();
+            ext_primes.push(p);
+            if bits >= needed_bits {
+                break;
+            }
+        }
+        let ext = Arc::new(RnsBasis::new(n, &ext_primes)?);
+        let t = params.plain_modulus();
+        let delta = data.modulus().divrem_u64(t).0;
+        let delta_mod_qi = data.primes().iter().map(|&q| delta.rem_u64(q)).collect();
+        let mut level_bases = Vec::with_capacity(data.len());
+        let mut level_deltas = Vec::with_capacity(data.len());
+        for l in 1..=data.len() {
+            let basis = if l == data.len() {
+                data.clone()
+            } else {
+                Arc::new(data.prefix(l))
+            };
+            level_deltas.push(basis.modulus().divrem_u64(t).0);
+            level_bases.push(basis);
+        }
+        let batch = BatchEncoder::new(n, t).ok().map(Arc::new);
+        Ok(BfvContext {
+            params: params.clone(),
+            full,
+            data,
+            ext,
+            delta_mod_qi,
+            level_bases,
+            level_deltas,
+            t,
+            batch,
+        })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &HeParams {
+        &self.params
+    }
+
+    /// Ring degree.
+    pub fn degree(&self) -> usize {
+        self.params.degree()
+    }
+
+    /// Plaintext modulus `t`.
+    pub fn plain_modulus(&self) -> u64 {
+        self.t
+    }
+
+    /// The data-modulus RNS basis.
+    pub fn data_basis(&self) -> &RnsBasis {
+        &self.data
+    }
+
+    /// log2 of the data modulus `q`.
+    pub fn q_bits(&self) -> f64 {
+        self.data.modulus_bits()
+    }
+
+    /// The SIMD batch encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::BatchingUnsupported`] when `t ∤ 1 (mod 2N)`.
+    pub fn batch_encoder(&self) -> Result<&BatchEncoder, HeError> {
+        self.batch
+            .as_deref()
+            .ok_or(HeError::BatchingUnsupported(self.t))
+    }
+
+    /// Generates a fresh secret/public key pair.
+    pub fn keygen(&self, rng: &mut Blake3Rng) -> KeyBundle {
+        let s_full = RnsPoly::sample_ternary(rng, &self.full);
+        let a = RnsPoly::sample_uniform(rng, &self.data);
+        let e = RnsPoly::sample_error(rng, &self.data);
+        let s_data = s_full.prefix(self.data.len());
+        // p0 = -(a·s + e)
+        let mut p0 = a.mul_poly(&s_data, &self.data);
+        p0.add_assign_poly(&e, &self.data);
+        p0.neg_assign_poly(&self.data);
+        KeyBundle {
+            secret: SecretKey { full: s_full },
+            public: PublicKey { p0, p1: a },
+        }
+    }
+
+    /// Generates a relinearization key for `s²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::NoSpecialPrime`] for single-prime parameter sets.
+    pub fn relin_key(&self, sk: &SecretKey, rng: &mut Blake3Rng) -> Result<RelinKey, HeError> {
+        self.require_special_prime()?;
+        let s2 = sk.full.mul_poly(&sk.full, &self.full);
+        let ksk = generate_ksk(&sk.full, &s2, &self.full, &self.data, rng);
+        Ok(RelinKey { ksk })
+    }
+
+    /// Generates Galois keys for the given rotation steps (rows) plus the
+    /// column swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::NoSpecialPrime`] for single-prime parameter sets.
+    pub fn galois_keys(
+        &self,
+        sk: &SecretKey,
+        steps: &[i64],
+        rng: &mut Blake3Rng,
+    ) -> Result<GaloisKeys, HeError> {
+        self.require_special_prime()?;
+        let n = self.degree();
+        let mut elements: Vec<u64> = steps
+            .iter()
+            .map(|&s| galois_element_rows(s, n))
+            .collect();
+        elements.push(galois_element_columns(n));
+        elements.sort_unstable();
+        elements.dedup();
+        let mut keys = HashMap::new();
+        for e in elements {
+            let s_e = sk.full.galois(e, &self.full);
+            keys.insert(e, generate_ksk(&sk.full, &s_e, &self.full, &self.data, rng));
+        }
+        Ok(GaloisKeys { keys })
+    }
+
+    fn require_special_prime(&self) -> Result<(), HeError> {
+        if self.params.prime_count() < 2 {
+            Err(HeError::NoSpecialPrime)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// An encryptor bound to `pk`.
+    pub fn encryptor<'a>(&'a self, pk: &'a PublicKey) -> Encryptor<'a> {
+        Encryptor { ctx: self, pk }
+    }
+
+    /// Symmetric, seed-compressed encryption: `c1 = a` is derived from a
+    /// fresh 32-byte seed, `c0 = −(a·s + e) + Δ·m`, and only `(c0, seed)`
+    /// travels — halving the client's upload bytes.
+    pub fn encrypt_symmetric_seeded(
+        &self,
+        pt: &Plaintext,
+        sk: &SecretKey,
+        rng: &mut Blake3Rng,
+    ) -> SeededCiphertext {
+        let data = &*self.data;
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        let mut a_rng = Blake3Rng::from_seed_labeled(&seed, "bfv-seeded-c1");
+        let a = RnsPoly::sample_uniform(&mut a_rng, data);
+        let e = RnsPoly::sample_error(rng, data);
+        let s = sk.full.prefix(data.len());
+        // c0 = -(a·s + e) + Δ·m
+        let mut c0 = a.mul_poly(&s, data);
+        c0.add_assign_poly(&e, data);
+        c0.neg_assign_poly(data);
+        let mut dm = RnsPoly::from_unsigned(pt.coeffs(), data);
+        dm.scalar_mul_per_row(&self.delta_mod_qi, data);
+        c0.add_assign_poly(&dm, data);
+        SeededCiphertext { c0, seed }
+    }
+
+    /// Expands a seed-compressed ciphertext back to a standard two-component
+    /// ciphertext (the server does this on receipt).
+    pub fn expand_seeded(&self, ct: &SeededCiphertext) -> Ciphertext {
+        let mut a_rng = Blake3Rng::from_seed_labeled(&ct.seed, "bfv-seeded-c1");
+        let c1 = RnsPoly::sample_uniform(&mut a_rng, &self.data);
+        Ciphertext {
+            parts: vec![ct.c0.clone(), c1],
+        }
+    }
+
+    /// A decryptor bound to `sk`.
+    pub fn decryptor<'a>(&'a self, sk: &'a SecretKey) -> Decryptor<'a> {
+        Decryptor { ctx: self, sk }
+    }
+
+    /// The homomorphic evaluator.
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        Evaluator { ctx: self }
+    }
+}
+
+/// A symmetric-key ciphertext in seed-compressed form: the uniform `c1`
+/// component is represented by the 32-byte PRNG seed that regenerates it,
+/// so the client uploads `N·(k−1)·8 + 32` bytes instead of twice that.
+///
+/// Only the key holder can produce these (symmetric encryption), which is
+/// exactly the client-aided upload direction.
+#[derive(Debug, Clone)]
+pub struct SeededCiphertext {
+    c0: RnsPoly,
+    seed: [u8; 32],
+}
+
+impl SeededCiphertext {
+    /// Wire size in bytes: one polynomial plus the seed.
+    pub fn byte_size(&self) -> usize {
+        self.c0.row_count() * self.c0.degree() * 8 + 32
+    }
+}
+
+/// Encrypts plaintexts under a public key (paper Eq. 2 / Fig. 5 dataflow).
+#[derive(Debug)]
+pub struct Encryptor<'a> {
+    ctx: &'a BfvContext,
+    pk: &'a PublicKey,
+}
+
+impl Encryptor<'_> {
+    /// Encrypts a plaintext:
+    /// `c1 = P1·u + e2`, `c0 = P0·u + e1 + Δ·m`.
+    pub fn encrypt(&self, pt: &Plaintext, rng: &mut Blake3Rng) -> Ciphertext {
+        let ctx = self.ctx;
+        let data = &*ctx.data;
+        let u = RnsPoly::sample_ternary(rng, data);
+        let e1 = RnsPoly::sample_error(rng, data);
+        let e2 = RnsPoly::sample_error(rng, data);
+        let mut c0 = self.pk.p0.mul_poly(&u, data);
+        c0.add_assign_poly(&e1, data);
+        // Δ·m: plaintext lifted into each residue then scaled by Δ mod q_i.
+        let mut dm = RnsPoly::from_unsigned(pt.coeffs(), data);
+        dm.scalar_mul_per_row(&ctx.delta_mod_qi, data);
+        c0.add_assign_poly(&dm, data);
+        let mut c1 = self.pk.p1.mul_poly(&u, data);
+        c1.add_assign_poly(&e2, data);
+        Ciphertext { parts: vec![c0, c1] }
+    }
+
+    /// Encrypts the all-zero plaintext (used by protocols to mask values).
+    pub fn encrypt_zero(&self, rng: &mut Blake3Rng) -> Ciphertext {
+        let zeros = Plaintext::from_coeffs(vec![0; self.ctx.degree()]);
+        self.encrypt(&zeros, rng)
+    }
+}
+
+/// Decrypts ciphertexts and measures noise budgets (paper Eq. 3).
+#[derive(Debug)]
+pub struct Decryptor<'a> {
+    ctx: &'a BfvContext,
+    sk: &'a SecretKey,
+}
+
+impl Decryptor<'_> {
+    /// The basis a ciphertext lives in (full data modulus, or a prefix after
+    /// modulus switching).
+    fn basis_of(&self, ct: &Ciphertext) -> &RnsBasis {
+        &self.ctx.level_bases[ct.parts[0].row_count() - 1]
+    }
+
+    /// Computes `x = c0 + c1·s (+ c2·s²)` over the ciphertext's basis.
+    fn dot_with_secret(&self, ct: &Ciphertext) -> RnsPoly {
+        let basis = self.basis_of(ct);
+        let s = self.sk.full.prefix(basis.len());
+        let mut x = ct.parts[0].clone();
+        let mut s_pow = s.clone();
+        for part in &ct.parts[1..] {
+            x.add_assign_poly(&part.mul_poly(&s_pow, basis), basis);
+            s_pow = s_pow.mul_poly(&s, basis);
+        }
+        x
+    }
+
+    /// Decrypts: `m = ⌊t·x/q⌉ mod t` per coefficient.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        let ctx = self.ctx;
+        let basis = self.basis_of(ct);
+        let x = self.dot_with_secret(ct);
+        let q = basis.modulus();
+        let n = ctx.degree();
+        let mut out = vec![0u64; n];
+        for j in 0..n {
+            let residues: Vec<u64> = (0..basis.len()).map(|i| x.row(i)[j]).collect();
+            let v = basis.compose(&residues);
+            let y = v.mul_u64(ctx.t).div_round(q);
+            out[j] = y.rem_u64(ctx.t);
+        }
+        Plaintext::from_coeffs(out)
+    }
+
+    /// SEAL-style invariant noise budget in bits:
+    /// `log2(q/t) − 1 − log2‖v‖∞` where `v = x − Δ·m (mod q)` centered.
+    /// Returns 0 when the budget is exhausted.
+    pub fn invariant_noise_budget(&self, ct: &Ciphertext) -> f64 {
+        let ctx = self.ctx;
+        let basis = self.basis_of(ct);
+        let delta = &ctx.level_deltas[ct.parts[0].row_count() - 1];
+        let x = self.dot_with_secret(ct);
+        let m = self.decrypt(ct);
+        let q = basis.modulus();
+        let half = q.shr(1);
+        let n = ctx.degree();
+        let mut max_log = f64::NEG_INFINITY;
+        for j in 0..n {
+            let residues: Vec<u64> = (0..basis.len()).map(|i| x.row(i)[j]).collect();
+            let v = basis.compose(&residues);
+            // v_noise = x - Δ·m mod q, centered.
+            let dm = delta.mul_u64(m.coeffs()[j]);
+            let diff = if v >= dm {
+                v.sub(&dm)
+            } else {
+                q.sub(&dm.sub(&v).divrem(q).1)
+            };
+            let centered = if diff > half { q.sub(&diff) } else { diff };
+            let l = centered.log2();
+            if l > max_log {
+                max_log = l;
+            }
+        }
+        let budget = q.log2() - (ctx.t as f64).log2() - 1.0 - max_log.max(0.0);
+        budget.max(0.0)
+    }
+}
+
+/// Homomorphic operations over BFV ciphertexts.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    ctx: &'a BfvContext,
+}
+
+impl Evaluator<'_> {
+    /// Homomorphic addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] when sizes differ.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, HeError> {
+        if a.size() != b.size() {
+            return Err(HeError::Mismatch(format!(
+                "ciphertext sizes {} vs {}",
+                a.size(),
+                b.size()
+            )));
+        }
+        let data = &*self.ctx.data;
+        let parts = a
+            .parts
+            .iter()
+            .zip(&b.parts)
+            .map(|(x, y)| crate::rnspoly::add(x, y, data))
+            .collect();
+        Ok(Ciphertext { parts })
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] when sizes differ.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, HeError> {
+        if a.size() != b.size() {
+            return Err(HeError::Mismatch("size mismatch".into()));
+        }
+        let data = &*self.ctx.data;
+        let parts = a
+            .parts
+            .iter()
+            .zip(&b.parts)
+            .map(|(x, y)| crate::rnspoly::sub(x, y, data))
+            .collect();
+        Ok(Ciphertext { parts })
+    }
+
+    /// Negation.
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        let data = &*self.ctx.data;
+        let parts = a
+            .parts
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                p.neg_assign_poly(data);
+                p
+            })
+            .collect();
+        Ciphertext { parts }
+    }
+
+    /// Adds a plaintext: `c0 += Δ·m`.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let ctx = self.ctx;
+        let data = &*ctx.data;
+        let mut dm = RnsPoly::from_unsigned(pt.coeffs(), data);
+        dm.scalar_mul_per_row(&ctx.delta_mod_qi, data);
+        let mut out = a.clone();
+        out.parts[0].add_assign_poly(&dm, data);
+        out
+    }
+
+    /// Multiplies by a plaintext polynomial (the workhorse of encrypted
+    /// linear algebra — Table 1's "Plaintext Multiply").
+    pub fn multiply_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let data = &*self.ctx.data;
+        let parts = a
+            .parts
+            .iter()
+            .map(|p| p.mul_small_poly(pt.coeffs(), data))
+            .collect();
+        Ciphertext { parts }
+    }
+
+    /// Ciphertext–ciphertext multiplication producing a 3-component result
+    /// (relinearize to get back to 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::InvalidCiphertext`] unless both inputs have 2
+    /// components.
+    pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, HeError> {
+        if a.size() != 2 || b.size() != 2 {
+            return Err(HeError::InvalidCiphertext(
+                "multiply requires 2-component operands".into(),
+            ));
+        }
+        let ctx = self.ctx;
+        let ext = &*ctx.ext;
+        // Lift all four polynomials exactly into the extended basis.
+        let mut lifted: Vec<RnsPoly> = [&a.parts[0], &a.parts[1], &b.parts[0], &b.parts[1]]
+            .iter()
+            .map(|p| ctx.lift_to_ext(p))
+            .collect();
+        for p in lifted.iter_mut() {
+            p.ntt_forward(ext);
+        }
+        let (a0, a1, b0, b1) = (&lifted[0], &lifted[1], &lifted[2], &lifted[3]);
+        let k = ext.len();
+        let n = ctx.degree();
+        let mut d0 = RnsPoly::zero(k, n);
+        let mut d1 = RnsPoly::zero(k, n);
+        let mut d2 = RnsPoly::zero(k, n);
+        d0.dyadic_accumulate(a0, b0, ext);
+        d1.dyadic_accumulate(a0, b1, ext);
+        d1.dyadic_accumulate(a1, b0, ext);
+        d2.dyadic_accumulate(a1, b1, ext);
+        for d in [&mut d0, &mut d1, &mut d2] {
+            d.ntt_inverse(ext);
+        }
+        // Scale each exact tensor component by t/q with rounding.
+        let parts = vec![
+            ctx.scale_from_ext(&d0),
+            ctx.scale_from_ext(&d1),
+            ctx.scale_from_ext(&d2),
+        ];
+        Ok(Ciphertext { parts })
+    }
+
+    /// Relinearizes a 3-component ciphertext back to 2 components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::InvalidCiphertext`] for other sizes.
+    pub fn relinearize(&self, a: &Ciphertext, rk: &RelinKey) -> Result<Ciphertext, HeError> {
+        if a.size() != 3 {
+            return Err(HeError::InvalidCiphertext(
+                "relinearize requires a 3-component ciphertext".into(),
+            ));
+        }
+        let ctx = self.ctx;
+        let (k0, k1) = apply_ksk(&a.parts[2], &rk.ksk, &ctx.full, &ctx.data);
+        let mut c0 = a.parts[0].clone();
+        c0.add_assign_poly(&k0, &ctx.data);
+        let mut c1 = a.parts[1].clone();
+        c1.add_assign_poly(&k1, &ctx.data);
+        Ok(Ciphertext { parts: vec![c0, c1] })
+    }
+
+    /// Convenience: multiply then relinearize.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Evaluator::multiply`] / [`Evaluator::relinearize`] errors.
+    pub fn multiply_relin(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        rk: &RelinKey,
+    ) -> Result<Ciphertext, HeError> {
+        let prod = self.multiply(a, b)?;
+        self.relinearize(&prod, rk)
+    }
+
+    /// Applies a raw Galois automorphism with key switching.
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::MissingGaloisKey`] if `gk` lacks the element;
+    /// [`HeError::InvalidCiphertext`] for non-2-component inputs.
+    pub fn apply_galois(
+        &self,
+        a: &Ciphertext,
+        element: u64,
+        gk: &GaloisKeys,
+    ) -> Result<Ciphertext, HeError> {
+        if a.size() != 2 {
+            return Err(HeError::InvalidCiphertext(
+                "galois requires a 2-component ciphertext (relinearize first)".into(),
+            ));
+        }
+        let ksk = gk
+            .keys
+            .get(&element)
+            .ok_or(HeError::MissingGaloisKey(element))?;
+        let ctx = self.ctx;
+        let data = &*ctx.data;
+        let c0g = a.parts[0].galois(element, data);
+        let c1g = a.parts[1].galois(element, data);
+        let (k0, k1) = apply_ksk(&c1g, ksk, &ctx.full, data);
+        let mut c0 = c0g;
+        c0.add_assign_poly(&k0, data);
+        Ok(Ciphertext { parts: vec![c0, k1] })
+    }
+
+    /// Switches a ciphertext down one modulus level (drops the last data
+    /// prime with rounding): the message is preserved, the wire size shrinks
+    /// by one residue per component, and a little noise headroom is spent.
+    /// CHOCO clients use this to compress server→client downloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] when the ciphertext is already at the
+    /// lowest level.
+    pub fn mod_switch_to_next(&self, a: &Ciphertext) -> Result<Ciphertext, HeError> {
+        let rows = a.parts[0].row_count();
+        if rows <= 1 {
+            return Err(HeError::Mismatch(
+                "cannot modulus-switch below one residue".into(),
+            ));
+        }
+        let cur = &*self.ctx.level_bases[rows - 1];
+        let next = &*self.ctx.level_bases[rows - 2];
+        let parts = a
+            .parts
+            .iter()
+            .map(|p| crate::keyswitch::mod_down(p, cur, next))
+            .collect();
+        Ok(Ciphertext { parts })
+    }
+
+    /// Rotates batched rows by `steps` (positive = left).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Evaluator::apply_galois`] errors.
+    pub fn rotate_rows(
+        &self,
+        a: &Ciphertext,
+        steps: i64,
+        gk: &GaloisKeys,
+    ) -> Result<Ciphertext, HeError> {
+        let e = galois_element_rows(steps, self.ctx.degree());
+        self.apply_galois(a, e, gk)
+    }
+
+    /// Swaps the two batched rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Evaluator::apply_galois`] errors.
+    pub fn rotate_columns(&self, a: &Ciphertext, gk: &GaloisKeys) -> Result<Ciphertext, HeError> {
+        let e = galois_element_columns(self.ctx.degree());
+        self.apply_galois(a, e, gk)
+    }
+}
+
+impl BfvContext {
+    /// Exactly lifts a data-basis polynomial (centered) into the extended
+    /// multiplication basis.
+    fn lift_to_ext(&self, p: &RnsPoly) -> RnsPoly {
+        let n = self.degree();
+        let ext = &*self.ext;
+        let data = &*self.data;
+        let mut out = RnsPoly::zero(ext.len(), n);
+        for j in 0..n {
+            let (mag, neg) = p.coeff_centered(j, data);
+            let residues = ext.decompose_signed(&mag, neg);
+            for (i, r) in residues.into_iter().enumerate() {
+                out.row_mut(i)[j] = r;
+            }
+        }
+        out
+    }
+
+    /// Composes an extended-basis polynomial (exact signed integers), scales
+    /// by `t/q` with rounding, and reduces into the data basis.
+    fn scale_from_ext(&self, p: &RnsPoly) -> RnsPoly {
+        let n = self.degree();
+        let ext = &*self.ext;
+        let data = &*self.data;
+        let q = data.modulus();
+        let mut out = RnsPoly::zero(data.len(), n);
+        for j in 0..n {
+            let (mag, neg) = p.coeff_centered(j, ext);
+            let y = mag.mul_u64(self.t).div_round(q);
+            let residues = data.decompose_signed(&y, neg);
+            for (i, r) in residues.into_iter().enumerate() {
+                out.row_mut(i)[j] = r;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small but real parameter set: N=1024 (insecure, test-only).
+    fn ctx_small() -> BfvContext {
+        let params = HeParams::bfv_insecure(1024, &[40, 40, 41], 17).unwrap();
+        BfvContext::new(&params).unwrap()
+    }
+
+    fn rng() -> Blake3Rng {
+        Blake3Rng::from_seed(b"bfv tests")
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let t = ctx.plain_modulus();
+        let coeffs: Vec<u64> = (0..ctx.degree() as u64).map(|i| (i * 37) % t).collect();
+        let pt = Plaintext::from_coeffs(coeffs.clone());
+        let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
+        let out = ctx.decryptor(keys.secret_key()).decrypt(&ct);
+        assert_eq!(out.coeffs(), &coeffs[..]);
+    }
+
+    #[test]
+    fn fresh_ciphertext_has_healthy_noise_budget() {
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let pt = Plaintext::from_coeffs(vec![1; ctx.degree()]);
+        let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
+        let budget = ctx.decryptor(keys.secret_key()).invariant_noise_budget(&ct);
+        // q_data = 80 bits, t = 17 bits, noise ~ 2^9 → expect ~52 bits.
+        assert!(budget > 30.0, "budget {budget}");
+        assert!(budget < 70.0, "budget {budget}");
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let t = ctx.plain_modulus();
+        let a: Vec<u64> = (0..ctx.degree() as u64).map(|i| i % t).collect();
+        let b: Vec<u64> = (0..ctx.degree() as u64).map(|i| (i * 3 + 1) % t).collect();
+        let enc = ctx.encryptor(keys.public_key());
+        let ca = enc.encrypt(&Plaintext::from_coeffs(a.clone()), &mut rng);
+        let cb = enc.encrypt(&Plaintext::from_coeffs(b.clone()), &mut rng);
+        let sum = ctx.evaluator().add(&ca, &cb).unwrap();
+        let out = ctx.decryptor(keys.secret_key()).decrypt(&sum);
+        for i in 0..ctx.degree() {
+            assert_eq!(out.coeffs()[i], (a[i] + b[i]) % t);
+        }
+    }
+
+    #[test]
+    fn add_plain_and_sub() {
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let t = ctx.plain_modulus();
+        let a = vec![5u64; ctx.degree()];
+        let b = vec![3u64; ctx.degree()];
+        let enc = ctx.encryptor(keys.public_key());
+        let ca = enc.encrypt(&Plaintext::from_coeffs(a), &mut rng);
+        let with_plain = ctx.evaluator().add_plain(&ca, &Plaintext::from_coeffs(b));
+        let out = ctx.decryptor(keys.secret_key()).decrypt(&with_plain);
+        assert!(out.coeffs().iter().all(|&c| c == 8));
+
+        let cb = enc.encrypt(&Plaintext::from_coeffs(vec![1u64; ctx.degree()]), &mut rng);
+        let diff = ctx.evaluator().sub(&with_plain, &cb).unwrap();
+        let out = ctx.decryptor(keys.secret_key()).decrypt(&diff);
+        assert!(out.coeffs().iter().all(|&c| c == 7));
+
+        let neg = ctx.evaluator().negate(&diff);
+        let out = ctx.decryptor(keys.secret_key()).decrypt(&neg);
+        assert!(out.coeffs().iter().all(|&c| c == t - 7));
+    }
+
+    #[test]
+    fn multiply_plain_polynomial_semantics() {
+        // Multiplying by the monomial x shifts coefficients negacyclically.
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let t = ctx.plain_modulus();
+        let n = ctx.degree();
+        let mut msg = vec![0u64; n];
+        msg[0] = 7;
+        msg[n - 1] = 2;
+        let enc = ctx.encryptor(keys.public_key());
+        let ct = enc.encrypt(&Plaintext::from_coeffs(msg), &mut rng);
+        let mut x = vec![0u64; n];
+        x[1] = 1;
+        let prod = ctx.evaluator().multiply_plain(&ct, &Plaintext::from_coeffs(x));
+        let out = ctx.decryptor(keys.secret_key()).decrypt(&prod);
+        assert_eq!(out.coeffs()[1], 7);
+        assert_eq!(out.coeffs()[0], t - 2); // wrapped with sign flip
+    }
+
+    #[test]
+    fn ciphertext_multiply_and_relinearize() {
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let rk = ctx.relin_key(keys.secret_key(), &mut rng).unwrap();
+        let n = ctx.degree();
+        // constant polynomials 6 and 7 → product constant 42.
+        let mut a = vec![0u64; n];
+        a[0] = 6;
+        let mut b = vec![0u64; n];
+        b[0] = 7;
+        let enc = ctx.encryptor(keys.public_key());
+        let ca = enc.encrypt(&Plaintext::from_coeffs(a), &mut rng);
+        let cb = enc.encrypt(&Plaintext::from_coeffs(b), &mut rng);
+        let prod = ctx.evaluator().multiply(&ca, &cb).unwrap();
+        assert_eq!(prod.size(), 3);
+        // Degree-2 decryption works directly.
+        let out = ctx.decryptor(keys.secret_key()).decrypt(&prod);
+        assert_eq!(out.coeffs()[0], 42);
+        assert!(out.coeffs()[1..].iter().all(|&c| c == 0));
+        // And after relinearization.
+        let rel = ctx.evaluator().relinearize(&prod, &rk).unwrap();
+        assert_eq!(rel.size(), 2);
+        let out = ctx.decryptor(keys.secret_key()).decrypt(&rel);
+        assert_eq!(out.coeffs()[0], 42);
+    }
+
+    #[test]
+    fn multiply_consumes_noise_budget() {
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let rk = ctx.relin_key(keys.secret_key(), &mut rng).unwrap();
+        let enc = ctx.encryptor(keys.public_key());
+        let dec = ctx.decryptor(keys.secret_key());
+        let pt = Plaintext::from_coeffs(vec![2; ctx.degree()]);
+        let ct = enc.encrypt(&pt, &mut rng);
+        let fresh = dec.invariant_noise_budget(&ct);
+        let prod = ctx
+            .evaluator()
+            .multiply_relin(&ct, &ct, &rk)
+            .unwrap();
+        let after = dec.invariant_noise_budget(&prod);
+        assert!(after < fresh - 10.0, "fresh {fresh}, after {after}");
+        assert!(after > 0.0, "multiplication should not exhaust the budget");
+    }
+
+    #[test]
+    fn mismatched_sizes_error() {
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let enc = ctx.encryptor(keys.public_key());
+        let pt = Plaintext::from_coeffs(vec![1; ctx.degree()]);
+        let c2 = enc.encrypt(&pt, &mut rng);
+        let c3 = ctx.evaluator().multiply(&c2, &c2).unwrap();
+        assert!(matches!(
+            ctx.evaluator().add(&c2, &c3).unwrap_err(),
+            HeError::Mismatch(_)
+        ));
+        assert!(matches!(
+            ctx.evaluator().multiply(&c2, &c3).unwrap_err(),
+            HeError::InvalidCiphertext(_)
+        ));
+    }
+
+    #[test]
+    fn mod_switch_shrinks_ciphertexts_and_preserves_message() {
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let t = ctx.plain_modulus();
+        let coeffs: Vec<u64> = (0..ctx.degree() as u64).map(|i| (i * 5 + 1) % t).collect();
+        let pt = Plaintext::from_coeffs(coeffs.clone());
+        let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
+        let dec = ctx.decryptor(keys.secret_key());
+        let before_bytes = ct.byte_size();
+        let before_budget = dec.invariant_noise_budget(&ct);
+
+        // Data modulus has 2 residues; switching drops to 1 → half the bytes.
+        let switched = ctx.evaluator().mod_switch_to_next(&ct).unwrap();
+        assert_eq!(switched.byte_size(), before_bytes / 2);
+        let out = dec.decrypt(&switched);
+        assert_eq!(out.coeffs(), &coeffs[..]);
+        // Budget shrinks with the modulus but stays positive.
+        let after_budget = dec.invariant_noise_budget(&switched);
+        assert!(after_budget > 0.0);
+        assert!(after_budget < before_budget);
+        // And the floor is enforced.
+        assert!(matches!(
+            ctx.evaluator().mod_switch_to_next(&switched).unwrap_err(),
+            HeError::Mismatch(_)
+        ));
+    }
+
+    #[test]
+    fn seeded_symmetric_encryption_roundtrips_at_half_the_bytes() {
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let t = ctx.plain_modulus();
+        let coeffs: Vec<u64> = (0..ctx.degree() as u64).map(|i| (i * 11) % t).collect();
+        let pt = Plaintext::from_coeffs(coeffs.clone());
+        let seeded = ctx.encrypt_symmetric_seeded(&pt, keys.secret_key(), &mut rng);
+        let expanded = ctx.expand_seeded(&seeded);
+        // Half the wire bytes (plus the 32-byte seed).
+        assert_eq!(seeded.byte_size(), expanded.byte_size() / 2 + 32);
+        // Decrypts to the same plaintext.
+        let out = ctx.decryptor(keys.secret_key()).decrypt(&expanded);
+        assert_eq!(out.coeffs(), &coeffs[..]);
+        // Noise budget comparable to asymmetric encryption (in fact better:
+        // no pk re-randomization term).
+        let asym = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
+        let dec = ctx.decryptor(keys.secret_key());
+        assert!(
+            dec.invariant_noise_budget(&expanded) >= dec.invariant_noise_budget(&asym) - 1.0
+        );
+        // Expanded ciphertexts compose with normal homomorphic ops.
+        let sum = ctx.evaluator().add(&expanded, &asym).unwrap();
+        let out = dec.decrypt(&sum);
+        assert_eq!(out.coeffs()[1], (2 * coeffs[1]) % t);
+    }
+
+    #[test]
+    fn seeded_expansion_is_deterministic() {
+        let ctx = ctx_small();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let pt = Plaintext::from_coeffs(vec![3; ctx.degree()]);
+        let seeded = ctx.encrypt_symmetric_seeded(&pt, keys.secret_key(), &mut rng);
+        assert_eq!(ctx.expand_seeded(&seeded), ctx.expand_seeded(&seeded));
+    }
+
+    #[test]
+    fn single_prime_params_reject_keyswitch_keys() {
+        let params = HeParams::bfv_insecure(1024, &[40], 17).unwrap();
+        let ctx = BfvContext::new(&params).unwrap();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        assert!(matches!(
+            ctx.relin_key(keys.secret_key(), &mut rng).unwrap_err(),
+            HeError::NoSpecialPrime
+        ));
+    }
+}

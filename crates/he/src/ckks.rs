@@ -1,0 +1,788 @@
+//! The Cheon-Kim-Kim-Song (CKKS) scheme in RNS form.
+//!
+//! CKKS encodes a vector of `N/2` real (or complex) numbers into the
+//! canonical embedding of `Z[x]/(x^N + 1)` at a fixed-point scale `Δ`, and
+//! supports approximate addition, multiplication with rescaling, and slot
+//! rotations. The paper uses CKKS (via the EVA compiler in the original
+//! artifact) for PageRank, KNN, and K-Means; here the encoder and scheme are
+//! implemented directly.
+//!
+//! Slot `j` of the encoder corresponds to the primitive root `ζ^{5^j}`, so
+//! the Galois automorphism `x → x^{5^r}` rotates slots left by `r` — the
+//! same generator convention as HEAAN/SEAL.
+
+use crate::error::HeError;
+use crate::keyswitch::{apply_ksk, galois_element_ckks, generate_ksk, KswitchKey};
+use crate::params::{HeParams, SchemeType};
+use crate::rnspoly::RnsPoly;
+use choco_math::fft::{fft_forward, fft_inverse, Complex};
+use choco_math::rns::RnsBasis;
+use choco_prng::Blake3Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A CKKS plaintext: an integer polynomial at some level and scale.
+#[derive(Debug, Clone)]
+pub struct CkksPlaintext {
+    poly: RnsPoly,
+    level: usize,
+    scale: f64,
+}
+
+impl CkksPlaintext {
+    /// Level (number of active data primes).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Fixed-point scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// A CKKS ciphertext at some level and scale.
+#[derive(Debug, Clone)]
+pub struct CkksCiphertext {
+    parts: Vec<RnsPoly>,
+    level: usize,
+    scale: f64,
+}
+
+impl CkksCiphertext {
+    /// Number of polynomial components.
+    pub fn size(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Level (number of active data primes).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Fixed-point scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Serialized size in bytes at the current level.
+    pub fn byte_size(&self) -> usize {
+        self.parts.len() * self.level * self.parts[0].degree() * 8
+    }
+}
+
+/// CKKS secret/public key pair.
+#[derive(Debug, Clone)]
+pub struct CkksKeyBundle {
+    secret: CkksSecretKey,
+    public: CkksPublicKey,
+}
+
+impl CkksKeyBundle {
+    /// The secret key.
+    pub fn secret_key(&self) -> &CkksSecretKey {
+        &self.secret
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &CkksPublicKey {
+        &self.public
+    }
+}
+
+/// CKKS secret key over the full basis.
+#[derive(Debug, Clone)]
+pub struct CkksSecretKey {
+    full: RnsPoly,
+}
+
+/// CKKS public key over the data basis.
+#[derive(Debug, Clone)]
+pub struct CkksPublicKey {
+    p0: RnsPoly,
+    p1: RnsPoly,
+}
+
+impl CkksPublicKey {
+    /// Serialized size in bytes (two top-level polynomials).
+    pub fn byte_size(&self) -> usize {
+        2 * self.p0.row_count() * self.p0.degree() * 8
+    }
+}
+
+/// CKKS relinearization key.
+#[derive(Debug, Clone)]
+pub struct CkksRelinKey {
+    ksk: KswitchKey,
+}
+
+impl CkksRelinKey {
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.ksk.size_bytes()
+    }
+}
+
+/// CKKS Galois (rotation) keys.
+#[derive(Debug, Clone)]
+pub struct CkksGaloisKeys {
+    keys: HashMap<u64, KswitchKey>,
+}
+
+impl CkksGaloisKeys {
+    /// Serialized size in bytes of all keys.
+    pub fn size_bytes(&self) -> usize {
+        self.keys.values().map(|k| k.size_bytes()).sum()
+    }
+}
+
+/// Precomputed context for a CKKS parameter set.
+#[derive(Debug, Clone)]
+pub struct CkksContext {
+    params: HeParams,
+    full: Arc<RnsBasis>,
+    /// `level_bases[l-1]` = prefix of `l` data primes.
+    level_bases: Vec<Arc<RnsBasis>>,
+    /// `ks_bases[l-1]` = `l` data primes + special prime.
+    ks_bases: Vec<Arc<RnsBasis>>,
+    /// slot j ↔ FFT bin holding root exponent 5^j; and the conjugate bin.
+    slot_bins: Vec<(usize, usize)>,
+    /// ζ^i pre-twiddles for the embedding FFT.
+    zeta_pows: Vec<Complex>,
+    default_scale: f64,
+}
+
+impl CkksContext {
+    /// Builds the context for a CKKS parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::InvalidParameters`] for non-CKKS sets or unusable
+    /// primes, and [`HeError::NoSpecialPrime`] for single-prime chains.
+    pub fn new(params: &HeParams) -> Result<Self, HeError> {
+        if params.scheme() != SchemeType::Ckks {
+            return Err(HeError::InvalidParameters(
+                "CkksContext requires a CKKS parameter set".into(),
+            ));
+        }
+        if params.prime_count() < 2 {
+            return Err(HeError::NoSpecialPrime);
+        }
+        let n = params.degree();
+        let primes = params.primes();
+        let full = Arc::new(RnsBasis::new(n, primes)?);
+        let data_count = primes.len() - 1;
+        let mut level_bases = Vec::with_capacity(data_count);
+        let mut ks_bases = Vec::with_capacity(data_count);
+        for l in 1..=data_count {
+            level_bases.push(Arc::new(full.prefix(l)));
+            let mut ks_primes: Vec<u64> = primes[..l].to_vec();
+            ks_primes.push(primes[data_count]);
+            ks_bases.push(Arc::new(RnsBasis::new(n, &ks_primes)?));
+        }
+        // Slot map: slot j ↔ exponent 5^j mod 2N; FFT bin of exponent e is
+        // ((1 − e)/2) mod N (see encode()); conjugate exponent is 2N − e.
+        let m = 2 * n as u64;
+        let half = n / 2;
+        let mut slot_bins = Vec::with_capacity(half);
+        let mut e = 1u64;
+        let bin_of = |e: u64| -> usize {
+            let k = (1i64 - e as i64).rem_euclid(m as i64) as u64 / 2;
+            (k as usize) % n
+        };
+        for _ in 0..half {
+            slot_bins.push((bin_of(e), bin_of(m - e)));
+            e = e * 5 % m;
+        }
+        let zeta_pows: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_angle(std::f64::consts::PI * i as f64 / n as f64))
+            .collect();
+        Ok(CkksContext {
+            params: params.clone(),
+            full,
+            level_bases,
+            ks_bases,
+            slot_bins,
+            zeta_pows,
+            default_scale: params.scale(),
+        })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &HeParams {
+        &self.params
+    }
+
+    /// Ring degree.
+    pub fn degree(&self) -> usize {
+        self.params.degree()
+    }
+
+    /// Number of SIMD slots (`N/2`).
+    pub fn slot_count(&self) -> usize {
+        self.degree() / 2
+    }
+
+    /// Top level (number of data primes).
+    pub fn top_level(&self) -> usize {
+        self.level_bases.len()
+    }
+
+    /// Default encoder scale.
+    pub fn default_scale(&self) -> f64 {
+        self.default_scale
+    }
+
+    fn level_basis(&self, level: usize) -> &RnsBasis {
+        &self.level_bases[level - 1]
+    }
+
+    /// Encodes real values into a plaintext at the top level and default
+    /// scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::TooManyValues`] when more than `N/2` values are
+    /// given.
+    pub fn encode(&self, values: &[f64]) -> Result<CkksPlaintext, HeError> {
+        self.encode_at(values, self.top_level(), self.default_scale)
+    }
+
+    /// Encodes at an explicit level and scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::TooManyValues`] when more than `N/2` values are
+    /// given.
+    pub fn encode_at(
+        &self,
+        values: &[f64],
+        level: usize,
+        scale: f64,
+    ) -> Result<CkksPlaintext, HeError> {
+        let n = self.degree();
+        let half = n / 2;
+        if values.len() > half {
+            return Err(HeError::TooManyValues {
+                got: values.len(),
+                capacity: half,
+            });
+        }
+        // Fill the evaluation vector with conjugate symmetry.
+        let mut evals = vec![Complex::zero(); n];
+        for (j, &v) in values.iter().enumerate() {
+            let (bin, conj_bin) = self.slot_bins[j];
+            evals[bin] = Complex::new(v, 0.0);
+            evals[conj_bin] = Complex::new(v, 0.0).conj();
+        }
+        // Inverse embedding: a_i = IFFT(evals)_i · ζ^{−i}.
+        fft_inverse(&mut evals);
+        let mut coeffs = vec![0i64; n];
+        for i in 0..n {
+            let c = evals[i] * self.zeta_pows[i].conj();
+            coeffs[i] = (c.re * scale).round() as i64;
+        }
+        Ok(CkksPlaintext {
+            poly: RnsPoly::from_signed(&coeffs, self.level_basis(level)),
+            level,
+            scale,
+        })
+    }
+
+    /// Decodes a plaintext back to `N/2` real values.
+    pub fn decode(&self, pt: &CkksPlaintext) -> Vec<f64> {
+        let n = self.degree();
+        let basis = self.level_basis(pt.level);
+        let mut evals = vec![Complex::zero(); n];
+        for i in 0..n {
+            let (mag, neg) = pt.poly.coeff_centered(i, basis);
+            let mut v = mag.to_f64() / pt.scale;
+            if neg {
+                v = -v;
+            }
+            evals[i] = Complex::new(v, 0.0) * self.zeta_pows[i];
+        }
+        fft_forward(&mut evals);
+        self.slot_bins.iter().map(|&(bin, _)| evals[bin].re).collect()
+    }
+
+    /// Generates a fresh key pair.
+    pub fn keygen(&self, rng: &mut Blake3Rng) -> CkksKeyBundle {
+        let s_full = RnsPoly::sample_ternary(rng, &self.full);
+        let top = self.level_basis(self.top_level());
+        let a = RnsPoly::sample_uniform(rng, top);
+        let e = RnsPoly::sample_error(rng, top);
+        let s_data = s_full.prefix(top.len());
+        let mut p0 = a.mul_poly(&s_data, top);
+        p0.add_assign_poly(&e, top);
+        p0.neg_assign_poly(top);
+        CkksKeyBundle {
+            secret: CkksSecretKey { full: s_full },
+            public: CkksPublicKey { p0, p1: a },
+        }
+    }
+
+    /// Generates the relinearization key.
+    pub fn relin_key(&self, sk: &CkksSecretKey, rng: &mut Blake3Rng) -> CkksRelinKey {
+        let s2 = sk.full.mul_poly(&sk.full, &self.full);
+        let data = self.level_basis(self.top_level());
+        CkksRelinKey {
+            ksk: generate_ksk(&sk.full, &s2, &self.full, data, rng),
+        }
+    }
+
+    /// Generates Galois keys for the given rotation steps.
+    pub fn galois_keys(
+        &self,
+        sk: &CkksSecretKey,
+        steps: &[i64],
+        rng: &mut Blake3Rng,
+    ) -> CkksGaloisKeys {
+        let n = self.degree();
+        let data = self.level_basis(self.top_level());
+        let mut keys = HashMap::new();
+        for &s in steps {
+            let e = galois_element_ckks(s, n);
+            let s_e = sk.full.galois(e, &self.full);
+            keys.insert(e, generate_ksk(&sk.full, &s_e, &self.full, data, rng));
+        }
+        CkksGaloisKeys { keys }
+    }
+
+    /// Encrypts a plaintext (must be at the top level).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] when the plaintext is not at top level.
+    pub fn encrypt(
+        &self,
+        pt: &CkksPlaintext,
+        pk: &CkksPublicKey,
+        rng: &mut Blake3Rng,
+    ) -> Result<CkksCiphertext, HeError> {
+        if pt.level != self.top_level() {
+            return Err(HeError::Mismatch(
+                "encryption requires a top-level plaintext".into(),
+            ));
+        }
+        let basis = self.level_basis(pt.level);
+        let u = RnsPoly::sample_ternary(rng, basis);
+        let e1 = RnsPoly::sample_error(rng, basis);
+        let e2 = RnsPoly::sample_error(rng, basis);
+        let mut c0 = pk.p0.mul_poly(&u, basis);
+        c0.add_assign_poly(&e1, basis);
+        c0.add_assign_poly(&pt.poly, basis);
+        let mut c1 = pk.p1.mul_poly(&u, basis);
+        c1.add_assign_poly(&e2, basis);
+        Ok(CkksCiphertext {
+            parts: vec![c0, c1],
+            level: pt.level,
+            scale: pt.scale,
+        })
+    }
+
+    /// Decrypts to a plaintext at the ciphertext's level/scale.
+    pub fn decrypt(&self, ct: &CkksCiphertext, sk: &CkksSecretKey) -> CkksPlaintext {
+        let basis = self.level_basis(ct.level);
+        let s = sk.full.prefix(ct.level);
+        let mut x = ct.parts[0].clone();
+        let mut s_pow = s.clone();
+        for part in &ct.parts[1..] {
+            x.add_assign_poly(&part.mul_poly(&s_pow, basis), basis);
+            s_pow = s_pow.mul_poly(&s, basis);
+        }
+        CkksPlaintext {
+            poly: x,
+            level: ct.level,
+            scale: ct.scale,
+        }
+    }
+
+    fn check_compatible(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<(), HeError> {
+        if a.level != b.level {
+            return Err(HeError::Mismatch(format!(
+                "levels {} vs {}",
+                a.level, b.level
+            )));
+        }
+        let ratio = a.scale / b.scale;
+        if !(0.99..1.01).contains(&ratio) {
+            return Err(HeError::Mismatch(format!(
+                "scales {} vs {}",
+                a.scale, b.scale
+            )));
+        }
+        Ok(())
+    }
+
+    /// Homomorphic addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] on level/scale mismatch.
+    pub fn add(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, HeError> {
+        self.check_compatible(a, b)?;
+        if a.size() != b.size() {
+            return Err(HeError::Mismatch("ciphertext sizes differ".into()));
+        }
+        let basis = self.level_basis(a.level);
+        let parts = a
+            .parts
+            .iter()
+            .zip(&b.parts)
+            .map(|(x, y)| crate::rnspoly::add(x, y, basis))
+            .collect();
+        Ok(CkksCiphertext {
+            parts,
+            level: a.level,
+            scale: a.scale,
+        })
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] on level/scale mismatch.
+    pub fn sub(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, HeError> {
+        self.check_compatible(a, b)?;
+        let basis = self.level_basis(a.level);
+        let parts = a
+            .parts
+            .iter()
+            .zip(&b.parts)
+            .map(|(x, y)| crate::rnspoly::sub(x, y, basis))
+            .collect();
+        Ok(CkksCiphertext {
+            parts,
+            level: a.level,
+            scale: a.scale,
+        })
+    }
+
+    /// Adds a plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] on level/scale mismatch.
+    pub fn add_plain(
+        &self,
+        a: &CkksCiphertext,
+        pt: &CkksPlaintext,
+    ) -> Result<CkksCiphertext, HeError> {
+        if a.level != pt.level || (a.scale / pt.scale - 1.0).abs() > 0.01 {
+            return Err(HeError::Mismatch("plaintext level/scale mismatch".into()));
+        }
+        let basis = self.level_basis(a.level);
+        let mut out = a.clone();
+        out.parts[0].add_assign_poly(&pt.poly, basis);
+        Ok(out)
+    }
+
+    /// Multiplies by a plaintext (scales multiply; rescale afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] on level mismatch.
+    pub fn multiply_plain(
+        &self,
+        a: &CkksCiphertext,
+        pt: &CkksPlaintext,
+    ) -> Result<CkksCiphertext, HeError> {
+        if a.level != pt.level {
+            return Err(HeError::Mismatch("plaintext level mismatch".into()));
+        }
+        let basis = self.level_basis(a.level);
+        let parts = a.parts.iter().map(|p| p.mul_poly(&pt.poly, basis)).collect();
+        Ok(CkksCiphertext {
+            parts,
+            level: a.level,
+            scale: a.scale * pt.scale,
+        })
+    }
+
+    /// Ciphertext multiplication with immediate relinearization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] on level mismatch or non-2-component
+    /// inputs.
+    pub fn multiply_relin(
+        &self,
+        a: &CkksCiphertext,
+        b: &CkksCiphertext,
+        rk: &CkksRelinKey,
+    ) -> Result<CkksCiphertext, HeError> {
+        if a.level != b.level {
+            return Err(HeError::Mismatch("levels differ".into()));
+        }
+        if a.size() != 2 || b.size() != 2 {
+            return Err(HeError::InvalidCiphertext(
+                "multiply requires 2-component operands".into(),
+            ));
+        }
+        let level = a.level;
+        let basis = self.level_basis(level);
+        let d0 = a.parts[0].mul_poly(&b.parts[0], basis);
+        let mut d1 = a.parts[0].mul_poly(&b.parts[1], basis);
+        d1.add_assign_poly(&a.parts[1].mul_poly(&b.parts[0], basis), basis);
+        let d2 = a.parts[1].mul_poly(&b.parts[1], basis);
+        let (k0, k1) = apply_ksk(&d2, &rk.ksk, &self.ks_bases[level - 1], basis);
+        let mut c0 = d0;
+        c0.add_assign_poly(&k0, basis);
+        let mut c1 = d1;
+        c1.add_assign_poly(&k1, basis);
+        Ok(CkksCiphertext {
+            parts: vec![c0, c1],
+            level,
+            scale: a.scale * b.scale,
+        })
+    }
+
+    /// Rescales: divides by the level's last prime, dropping one level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] at level 1 (nothing left to drop).
+    pub fn rescale(&self, a: &CkksCiphertext) -> Result<CkksCiphertext, HeError> {
+        if a.level <= 1 {
+            return Err(HeError::Mismatch(
+                "cannot rescale below level 1".into(),
+            ));
+        }
+        let cur = self.level_basis(a.level);
+        let next = self.level_basis(a.level - 1);
+        let q_last = cur.primes()[a.level - 1];
+        let parts = a
+            .parts
+            .iter()
+            // (p − [p]_{q_last}) / q_last per remaining residue: mod_down
+            // divides by the last prime of `cur`, which is exactly q_last.
+            .map(|p| crate::keyswitch::mod_down(p, cur, next))
+            .collect();
+        Ok(CkksCiphertext {
+            parts,
+            level: a.level - 1,
+            scale: a.scale / q_last as f64,
+        })
+    }
+
+    /// Drops a ciphertext to a lower level without rescaling the message
+    /// (mod-switch: used to align levels before addition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] when the target level is not below the
+    /// current one.
+    pub fn mod_switch_to(
+        &self,
+        a: &CkksCiphertext,
+        level: usize,
+    ) -> Result<CkksCiphertext, HeError> {
+        if level == 0 || level > a.level {
+            return Err(HeError::Mismatch("invalid mod-switch target".into()));
+        }
+        let parts = a.parts.iter().map(|p| p.prefix(level)).collect();
+        Ok(CkksCiphertext {
+            parts,
+            level,
+            scale: a.scale,
+        })
+    }
+
+    /// Rotates slots left by `steps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::MissingGaloisKey`] when the key set lacks the
+    /// rotation, [`HeError::InvalidCiphertext`] for 3-part inputs.
+    pub fn rotate(
+        &self,
+        a: &CkksCiphertext,
+        steps: i64,
+        gk: &CkksGaloisKeys,
+    ) -> Result<CkksCiphertext, HeError> {
+        if a.size() != 2 {
+            return Err(HeError::InvalidCiphertext(
+                "rotation requires a 2-component ciphertext".into(),
+            ));
+        }
+        let e = galois_element_ckks(steps, self.degree());
+        let ksk = gk.keys.get(&e).ok_or(HeError::MissingGaloisKey(e))?;
+        let basis = self.level_basis(a.level);
+        let c0g = a.parts[0].galois(e, basis);
+        let c1g = a.parts[1].galois(e, basis);
+        let (k0, k1) = apply_ksk(&c1g, ksk, &self.ks_bases[a.level - 1], basis);
+        let mut c0 = c0g;
+        c0.add_assign_poly(&k0, basis);
+        Ok(CkksCiphertext {
+            parts: vec![c0, k1],
+            level: a.level,
+            scale: a.scale,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CkksContext {
+        let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+        CkksContext::new(&params).unwrap()
+    }
+
+    fn rng() -> Blake3Rng {
+        Blake3Rng::from_seed(b"ckks tests")
+    }
+
+    fn assert_close(got: &[f64], want: &[f64], tol: f64) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() < tol,
+                "slot {i}: got {g}, want {w} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ctx = ctx();
+        let values: Vec<f64> = (0..ctx.slot_count())
+            .map(|i| (i as f64 * 0.37).sin() * 3.0)
+            .collect();
+        let pt = ctx.encode(&values).unwrap();
+        let out = ctx.decode(&pt);
+        assert_close(&out, &values, 1e-6);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let ctx = ctx();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let values: Vec<f64> = (0..ctx.slot_count()).map(|i| i as f64 / 100.0).collect();
+        let pt = ctx.encode(&values).unwrap();
+        let ct = ctx.encrypt(&pt, keys.public_key(), &mut rng).unwrap();
+        let out = ctx.decode(&ctx.decrypt(&ct, keys.secret_key()));
+        assert_close(&out, &values, 1e-4);
+    }
+
+    #[test]
+    fn homomorphic_add_sub() {
+        let ctx = ctx();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let a: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..8).map(|i| 10.0 - i as f64).collect();
+        let ca = ctx
+            .encrypt(&ctx.encode(&a).unwrap(), keys.public_key(), &mut rng)
+            .unwrap();
+        let cb = ctx
+            .encrypt(&ctx.encode(&b).unwrap(), keys.public_key(), &mut rng)
+            .unwrap();
+        let sum = ctx.add(&ca, &cb).unwrap();
+        let out = ctx.decode(&ctx.decrypt(&sum, keys.secret_key()));
+        assert_close(&out[..8], &[10.0; 8], 1e-3);
+        let diff = ctx.sub(&sum, &cb).unwrap();
+        let out = ctx.decode(&ctx.decrypt(&diff, keys.secret_key()));
+        assert_close(&out[..8], &a, 1e-3);
+    }
+
+    #[test]
+    fn multiply_and_rescale() {
+        let ctx = ctx();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let rk = ctx.relin_key(keys.secret_key(), &mut rng);
+        let a: Vec<f64> = (0..8).map(|i| (i + 1) as f64).collect();
+        let b: Vec<f64> = (0..8).map(|i| 0.5 * (i + 1) as f64).collect();
+        let ca = ctx
+            .encrypt(&ctx.encode(&a).unwrap(), keys.public_key(), &mut rng)
+            .unwrap();
+        let cb = ctx
+            .encrypt(&ctx.encode(&b).unwrap(), keys.public_key(), &mut rng)
+            .unwrap();
+        let prod = ctx.multiply_relin(&ca, &cb, &rk).unwrap();
+        let rescaled = ctx.rescale(&prod).unwrap();
+        assert_eq!(rescaled.level(), ctx.top_level() - 1);
+        let out = ctx.decode(&ctx.decrypt(&rescaled, keys.secret_key()));
+        let want: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+        assert_close(&out[..8], &want, 1e-2);
+    }
+
+    #[test]
+    fn multiply_plain_then_rescale() {
+        let ctx = ctx();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let a = vec![2.0, 3.0, 4.0];
+        let w = vec![1.5, -2.0, 0.25];
+        let ca = ctx
+            .encrypt(&ctx.encode(&a).unwrap(), keys.public_key(), &mut rng)
+            .unwrap();
+        let pw = ctx.encode(&w).unwrap();
+        let prod = ctx.multiply_plain(&ca, &pw).unwrap();
+        let rescaled = ctx.rescale(&prod).unwrap();
+        let out = ctx.decode(&ctx.decrypt(&rescaled, keys.secret_key()));
+        assert_close(&out[..3], &[3.0, -6.0, 1.0], 1e-2);
+    }
+
+    #[test]
+    fn rotation_shifts_slots_left() {
+        let ctx = ctx();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let gk = ctx.galois_keys(keys.secret_key(), &[1, 2], &mut rng);
+        let values: Vec<f64> = (0..ctx.slot_count()).map(|i| i as f64).collect();
+        let ct = ctx
+            .encrypt(&ctx.encode(&values).unwrap(), keys.public_key(), &mut rng)
+            .unwrap();
+        let rot = ctx.rotate(&ct, 1, &gk).unwrap();
+        let out = ctx.decode(&ctx.decrypt(&rot, keys.secret_key()));
+        let half = ctx.slot_count();
+        for i in 0..half {
+            let want = values[(i + 1) % half];
+            assert!((out[i] - want).abs() < 1e-2, "slot {i}: {} vs {want}", out[i]);
+        }
+    }
+
+    #[test]
+    fn mod_switch_aligns_levels() {
+        let ctx = ctx();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let a = vec![1.0, 2.0];
+        let ct = ctx
+            .encrypt(&ctx.encode(&a).unwrap(), keys.public_key(), &mut rng)
+            .unwrap();
+        let dropped = ctx.mod_switch_to(&ct, 2).unwrap();
+        assert_eq!(dropped.level(), 2);
+        let out = ctx.decode(&ctx.decrypt(&dropped, keys.secret_key()));
+        assert_close(&out[..2], &a, 1e-3);
+    }
+
+    #[test]
+    fn level_and_scale_mismatches_error() {
+        let ctx = ctx();
+        let mut rng = rng();
+        let keys = ctx.keygen(&mut rng);
+        let ct = ctx
+            .encrypt(&ctx.encode(&[1.0]).unwrap(), keys.public_key(), &mut rng)
+            .unwrap();
+        let low = ctx.mod_switch_to(&ct, 1).unwrap();
+        assert!(ctx.add(&ct, &low).is_err());
+        assert!(ctx.rescale(&low).is_err());
+        assert!(ctx.mod_switch_to(&ct, 10).is_err());
+    }
+
+    #[test]
+    fn too_many_values_rejected() {
+        let ctx = ctx();
+        let too_many = vec![0.0; ctx.slot_count() + 1];
+        assert!(matches!(
+            ctx.encode(&too_many).unwrap_err(),
+            HeError::TooManyValues { .. }
+        ));
+    }
+}

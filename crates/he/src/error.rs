@@ -1,0 +1,80 @@
+//! Error types for the HE layer.
+
+use choco_math::ntt::NttError;
+use choco_math::rns::RnsError;
+
+/// Errors surfaced by HE parameter validation and scheme operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeError {
+    /// Parameters were structurally invalid (degree, moduli, plain modulus).
+    InvalidParameters(String),
+    /// The requested security level is not met by the parameters.
+    InsecureParameters {
+        /// Ring degree.
+        n: usize,
+        /// Total coefficient-modulus bits requested.
+        total_bits: u32,
+        /// Maximum bits allowed at 128-bit security for this degree.
+        max_bits: u32,
+    },
+    /// Batching was requested but the plain modulus does not support it.
+    BatchingUnsupported(u64),
+    /// The operation needs a key-switching (special) prime but the parameter
+    /// set has only one prime.
+    NoSpecialPrime,
+    /// Input vector too long for the available slots.
+    TooManyValues {
+        /// Provided element count.
+        got: usize,
+        /// Slot capacity.
+        capacity: usize,
+    },
+    /// Operands belong to different contexts or have mismatched shapes.
+    Mismatch(String),
+    /// A Galois key for the requested rotation is missing.
+    MissingGaloisKey(u64),
+    /// Ciphertext noise exceeded the budget; decryption would be garbage.
+    NoiseBudgetExhausted,
+    /// A ciphertext had an unexpected size (e.g. degree-3 without relin).
+    InvalidCiphertext(String),
+}
+
+impl std::fmt::Display for HeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeError::InvalidParameters(m) => write!(f, "invalid parameters: {m}"),
+            HeError::InsecureParameters { n, total_bits, max_bits } => write!(
+                f,
+                "coefficient modulus of {total_bits} bits exceeds the {max_bits}-bit limit for \
+                 128-bit security at degree {n}"
+            ),
+            HeError::BatchingUnsupported(t) => {
+                write!(f, "plain modulus {t} does not support batching")
+            }
+            HeError::NoSpecialPrime => {
+                write!(f, "operation requires a key-switching prime but none is available")
+            }
+            HeError::TooManyValues { got, capacity } => {
+                write!(f, "{got} values exceed the {capacity} available slots")
+            }
+            HeError::Mismatch(m) => write!(f, "operand mismatch: {m}"),
+            HeError::MissingGaloisKey(e) => write!(f, "no galois key for element {e}"),
+            HeError::NoiseBudgetExhausted => write!(f, "ciphertext noise budget exhausted"),
+            HeError::InvalidCiphertext(m) => write!(f, "invalid ciphertext: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HeError {}
+
+impl From<NttError> for HeError {
+    fn from(e: NttError) -> Self {
+        HeError::InvalidParameters(e.to_string())
+    }
+}
+
+impl From<RnsError> for HeError {
+    fn from(e: RnsError) -> Self {
+        HeError::InvalidParameters(e.to_string())
+    }
+}

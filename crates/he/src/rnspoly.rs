@@ -1,0 +1,379 @@
+//! Polynomials in RNS representation over `Z_q[x]/(x^N + 1)`.
+//!
+//! An [`RnsPoly`] stores one residue row per prime of an [`RnsBasis`]
+//! (always in coefficient form — transforms happen inside operations). The
+//! row order always matches the basis prime order, and a polynomial modulo
+//! the data modulus is simply a prefix of the rows of one modulo the full
+//! modulus, because the key-switching prime is last.
+
+use choco_math::modops::{add_mod, mul_mod, reduce_signed};
+use choco_math::poly::{add_assign, apply_galois, dyadic_assign, neg_assign, scalar_mul_assign, sub_assign};
+use choco_math::rns::RnsBasis;
+use choco_prng::sampler::{sample_error_signed, sample_ternary_signed};
+use choco_prng::Blake3Rng;
+
+/// A polynomial with `k` RNS residue rows of `n` coefficients each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    rows: Vec<Vec<u64>>,
+}
+
+impl RnsPoly {
+    /// The zero polynomial with `k` rows of `n` coefficients.
+    pub fn zero(k: usize, n: usize) -> Self {
+        RnsPoly {
+            rows: vec![vec![0u64; n]; k],
+        }
+    }
+
+    /// Wraps existing residue rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<u64>>) -> Self {
+        assert!(!rows.is_empty(), "rns poly needs at least one row");
+        let n = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == n), "ragged residue rows");
+        RnsPoly { rows }
+    }
+
+    /// Builds a polynomial from signed coefficients, reducing into every
+    /// prime of `basis`.
+    pub fn from_signed<T: Into<i64> + Copy>(values: &[T], basis: &RnsBasis) -> Self {
+        let rows = basis
+            .primes()
+            .iter()
+            .map(|&q| values.iter().map(|&v| reduce_signed(v.into(), q)).collect())
+            .collect();
+        RnsPoly { rows }
+    }
+
+    /// Builds a polynomial whose coefficients are the (small, unsigned)
+    /// integers of `values`, reduced into every prime of `basis`.
+    pub fn from_unsigned(values: &[u64], basis: &RnsBasis) -> Self {
+        let rows = basis
+            .primes()
+            .iter()
+            .map(|&q| values.iter().map(|&v| v % q).collect())
+            .collect();
+        RnsPoly { rows }
+    }
+
+    /// Samples ternary coefficients (one signed draw mapped into every row).
+    pub fn sample_ternary(rng: &mut Blake3Rng, basis: &RnsBasis) -> Self {
+        let vals = sample_ternary_signed(rng, basis.degree());
+        Self::from_signed(&vals, basis)
+    }
+
+    /// Samples clipped-normal error coefficients.
+    pub fn sample_error(rng: &mut Blake3Rng, basis: &RnsBasis) -> Self {
+        let vals = sample_error_signed(rng, basis.degree());
+        Self::from_signed(&vals, basis)
+    }
+
+    /// Samples a uniform polynomial modulo the basis modulus (independent
+    /// uniform residues per prime — exactly uniform by CRT).
+    pub fn sample_uniform(rng: &mut Blake3Rng, basis: &RnsBasis) -> Self {
+        let n = basis.degree();
+        let rows = basis
+            .primes()
+            .iter()
+            .map(|&q| (0..n).map(|_| rng.next_below(q)).collect())
+            .collect();
+        RnsPoly { rows }
+    }
+
+    /// Number of residue rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Ring degree.
+    pub fn degree(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Residue row `i`.
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.rows[i]
+    }
+
+    /// Mutable residue row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.rows[i]
+    }
+
+    /// A copy containing only the first `k` rows (drop to a sub-basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds the row count.
+    pub fn prefix(&self, k: usize) -> RnsPoly {
+        assert!(k >= 1 && k <= self.rows.len(), "invalid prefix length");
+        RnsPoly {
+            rows: self.rows[..k].to_vec(),
+        }
+    }
+
+    fn check_match(&self, rhs: &RnsPoly) {
+        assert_eq!(self.rows.len(), rhs.rows.len(), "row count mismatch");
+        assert_eq!(self.degree(), rhs.degree(), "degree mismatch");
+    }
+
+    /// `self += rhs` over `basis`.
+    pub fn add_assign_poly(&mut self, rhs: &RnsPoly, basis: &RnsBasis) {
+        self.check_match(rhs);
+        for (i, &q) in basis.primes().iter().enumerate() {
+            add_assign(&mut self.rows[i], &rhs.rows[i], q);
+        }
+    }
+
+    /// `self -= rhs` over `basis`.
+    pub fn sub_assign_poly(&mut self, rhs: &RnsPoly, basis: &RnsBasis) {
+        self.check_match(rhs);
+        for (i, &q) in basis.primes().iter().enumerate() {
+            sub_assign(&mut self.rows[i], &rhs.rows[i], q);
+        }
+    }
+
+    /// `self = -self` over `basis`.
+    pub fn neg_assign_poly(&mut self, basis: &RnsBasis) {
+        for (i, &q) in basis.primes().iter().enumerate() {
+            neg_assign(&mut self.rows[i], q);
+        }
+    }
+
+    /// Negacyclic product `self * rhs` over `basis` (NTT per residue).
+    pub fn mul_poly(&self, rhs: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
+        self.check_match(rhs);
+        let rows = basis
+            .ntt_tables()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.negacyclic_mul(&self.rows[i], &rhs.rows[i]))
+            .collect();
+        RnsPoly { rows }
+    }
+
+    /// Multiplies by a small-integer polynomial (e.g. a BFV plaintext with
+    /// coefficients `< t`), reducing the multiplier into each prime.
+    pub fn mul_small_poly(&self, plain: &[u64], basis: &RnsBasis) -> RnsPoly {
+        assert_eq!(plain.len(), self.degree(), "plaintext degree mismatch");
+        let rows = basis
+            .ntt_tables()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let q = basis.primes()[i];
+                let reduced: Vec<u64> = plain.iter().map(|&v| v % q).collect();
+                t.negacyclic_mul(&self.rows[i], &reduced)
+            })
+            .collect();
+        RnsPoly { rows }
+    }
+
+    /// Multiplies row `i` by the scalar `scalars[i]` (used for `Δ·m` where
+    /// `Δ` is precomputed per residue).
+    pub fn scalar_mul_per_row(&mut self, scalars: &[u64], basis: &RnsBasis) {
+        assert_eq!(scalars.len(), self.rows.len(), "scalar count mismatch");
+        for (i, &q) in basis.primes().iter().enumerate() {
+            scalar_mul_assign(&mut self.rows[i], scalars[i], q);
+        }
+    }
+
+    /// Applies the Galois automorphism `x → x^e` to every residue row.
+    pub fn galois(&self, e: u64, basis: &RnsBasis) -> RnsPoly {
+        let n = self.degree();
+        let rows = basis
+            .primes()
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let mut out = vec![0u64; n];
+                apply_galois(&self.rows[i], e, q, &mut out);
+                out
+            })
+            .collect();
+        RnsPoly { rows }
+    }
+
+    /// Element-wise (already-NTT-form) product accumulate:
+    /// `self[i] += a[i] ⊙ b[i]` — helper for key switching where operands
+    /// are kept in the transform domain.
+    pub fn dyadic_accumulate(&mut self, a: &RnsPoly, b: &RnsPoly, basis: &RnsBasis) {
+        self.check_match(a);
+        self.check_match(b);
+        for (i, &q) in basis.primes().iter().enumerate() {
+            let mut prod = a.rows[i].clone();
+            dyadic_assign(&mut prod, &b.rows[i], q);
+            add_assign(&mut self.rows[i], &prod, q);
+        }
+    }
+
+    /// Forward NTT on every row.
+    pub fn ntt_forward(&mut self, basis: &RnsBasis) {
+        for (i, t) in basis.ntt_tables().iter().enumerate() {
+            t.forward(&mut self.rows[i]);
+        }
+    }
+
+    /// Inverse NTT on every row.
+    pub fn ntt_inverse(&mut self, basis: &RnsBasis) {
+        for (i, t) in basis.ntt_tables().iter().enumerate() {
+            t.inverse(&mut self.rows[i]);
+        }
+    }
+
+    /// Composes coefficient `j` into its centered big-integer value
+    /// `(magnitude, is_negative)` over `basis`.
+    pub fn coeff_centered(&self, j: usize, basis: &RnsBasis) -> (choco_math::UBig, bool) {
+        let residues: Vec<u64> = self.rows.iter().map(|r| r[j]).collect();
+        basis.compose_centered(&residues)
+    }
+
+    /// Infinity norm of the centered coefficients (as log2; `-inf` for zero).
+    pub fn centered_norm_log2(&self, basis: &RnsBasis) -> f64 {
+        let mut max = f64::NEG_INFINITY;
+        for j in 0..self.degree() {
+            let (mag, _) = self.coeff_centered(j, basis);
+            let l = mag.log2();
+            if l > max {
+                max = l;
+            }
+        }
+        max
+    }
+}
+
+/// Convenience: `out = a + b`.
+pub fn add(a: &RnsPoly, b: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
+    let mut out = a.clone();
+    out.add_assign_poly(b, basis);
+    out
+}
+
+/// Convenience: `out = a - b`.
+pub fn sub(a: &RnsPoly, b: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
+    let mut out = a.clone();
+    out.sub_assign_poly(b, basis);
+    out
+}
+
+/// Scalar helper used during mod-down: `x mod q` for a centered `i64`.
+pub fn signed_to_residue(v: i64, q: u64) -> u64 {
+    reduce_signed(v, q)
+}
+
+/// Adds `a*b` computed coefficient-wise with scalars (tests only).
+pub fn scalar_combine(a: u64, b: u64, q: u64) -> u64 {
+    add_mod(a, mul_mod(a, b, q), q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_math::prime::generate_ntt_primes;
+
+    fn basis() -> RnsBasis {
+        let primes = generate_ntt_primes(30, 64, 3);
+        RnsBasis::new(64, &primes).unwrap()
+    }
+
+    #[test]
+    fn from_signed_round_trips_via_centered_compose() {
+        let b = basis();
+        let vals: Vec<i64> = (0..64).map(|i| (i as i64 - 32) * 3).collect();
+        let p = RnsPoly::from_signed(&vals, &b);
+        for (j, &v) in vals.iter().enumerate() {
+            let (mag, neg) = p.coeff_centered(j, &b);
+            let got = if neg { -(mag.to_u64() as i64) } else { mag.to_u64() as i64 };
+            assert_eq!(got, v);
+        }
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let b = basis();
+        let mut rng = Blake3Rng::from_seed(b"rp");
+        let x = RnsPoly::sample_uniform(&mut rng, &b);
+        let y = RnsPoly::sample_uniform(&mut rng, &b);
+        let mut z = x.clone();
+        z.add_assign_poly(&y, &b);
+        z.sub_assign_poly(&y, &b);
+        assert_eq!(z, x);
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let b = basis();
+        let mut rng = Blake3Rng::from_seed(b"dist");
+        let x = RnsPoly::sample_uniform(&mut rng, &b);
+        let y = RnsPoly::sample_uniform(&mut rng, &b);
+        let z = RnsPoly::sample_uniform(&mut rng, &b);
+        let lhs = add(&x, &y, &b).mul_poly(&z, &b);
+        let rhs = add(&x.mul_poly(&z, &b), &y.mul_poly(&z, &b), &b);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ternary_samples_are_consistent_across_rows() {
+        let b = basis();
+        let mut rng = Blake3Rng::from_seed(b"tern");
+        let p = RnsPoly::sample_ternary(&mut rng, &b);
+        for j in 0..p.degree() {
+            let (mag, _) = p.coeff_centered(j, &b);
+            assert!(mag.to_u64() <= 1, "ternary coefficient magnitude > 1");
+        }
+    }
+
+    #[test]
+    fn galois_then_inverse_galois_is_identity() {
+        // e * e_inv ≡ 1 mod 2n restores the original polynomial.
+        let b = basis();
+        let n = 64u64;
+        let mut rng = Blake3Rng::from_seed(b"gal");
+        let p = RnsPoly::sample_uniform(&mut rng, &b);
+        let e = 3u64;
+        // inverse of 3 modulo 128
+        let mut e_inv = 0;
+        for cand in (1..2 * n).step_by(2) {
+            if (cand * e) % (2 * n) == 1 {
+                e_inv = cand;
+                break;
+            }
+        }
+        let q = p.galois(e, &b).galois(e_inv, &b);
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn ntt_roundtrip_per_row() {
+        let b = basis();
+        let mut rng = Blake3Rng::from_seed(b"ntt");
+        let p = RnsPoly::sample_uniform(&mut rng, &b);
+        let mut q = p.clone();
+        q.ntt_forward(&b);
+        q.ntt_inverse(&b);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn prefix_drops_rows() {
+        let _b = basis();
+        let p = RnsPoly::zero(3, 64);
+        assert_eq!(p.prefix(2).row_count(), 2);
+    }
+
+    #[test]
+    fn centered_norm_of_small_poly() {
+        let b = basis();
+        let vals = vec![0i64; 64];
+        let mut v2 = vals.clone();
+        v2[5] = -8;
+        let p = RnsPoly::from_signed(&v2, &b);
+        assert!((p.centered_norm_log2(&b) - 3.0).abs() < 1e-9);
+        let z = RnsPoly::from_signed(&vals, &b);
+        assert_eq!(z.centered_norm_log2(&b), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,235 @@
+//! Complex floating-point FFT used by the CKKS canonical-embedding encoder.
+//!
+//! A minimal `Complex` type and an iterative radix-2 transform are all the
+//! encoder needs; sizes are powers of two up to the ring degree (≤ 2^15).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The additive identity.
+    pub fn zero() -> Self {
+        Complex { re: 0.0, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_angle(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// In-place iterative radix-2 FFT.
+///
+/// Computes `X_k = Σ_j x_j · e^{-2πi jk / n}` (the standard DFT with
+/// negative exponent).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_forward(a: &mut [Complex]) {
+    fft(a, false)
+}
+
+/// In-place inverse FFT, including the `1/n` scaling:
+/// `x_j = (1/n) Σ_k X_k · e^{+2πi jk / n}`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_inverse(a: &mut [Complex]) {
+    fft(a, true);
+    let inv_n = 1.0 / a.len() as f64;
+    for x in a.iter_mut() {
+        *x = x.scale(inv_n);
+    }
+}
+
+fn fft(a: &mut [Complex], inverse: bool) {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = a[start + k];
+                let v = a[start + k + len / 2] * w;
+                a[start + k] = u + v;
+                a[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn forward_of_impulse_is_flat() {
+        let mut a = vec![Complex::zero(); 8];
+        a[0] = Complex::new(1.0, 0.0);
+        fft_forward(&mut a);
+        for x in a {
+            assert!(close(x, Complex::new(1.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let n = 256;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut a = orig.clone();
+        fft_forward(&mut a);
+        fft_inverse(&mut a);
+        for (x, y) in a.iter().zip(&orig) {
+            assert!(close(*x, *y, 1e-9));
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 16;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64, (i * i) as f64 * 0.1))
+            .collect();
+        let mut fast = x.clone();
+        fft_forward(&mut fast);
+        for k in 0..n {
+            let mut acc = Complex::zero();
+            for (j, &xj) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                acc += xj * Complex::from_angle(ang);
+            }
+            assert!(close(fast[k], acc, 1e-9), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).sqrt(), 0.0)).collect();
+        let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let mut f = x.clone();
+        fft_forward(&mut f);
+        let freq_energy: f64 = f.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn complex_arithmetic_identities() {
+        let a = Complex::new(3.0, -4.0);
+        assert!((a.abs() - 5.0).abs() < 1e-12);
+        assert!(close(a * a.conj(), Complex::new(25.0, 0.0), 1e-12));
+        assert!(close(a + (-a), Complex::zero(), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut a = vec![Complex::zero(); 3];
+        fft_forward(&mut a);
+    }
+}

@@ -1,0 +1,216 @@
+//! 64-bit modular arithmetic primitives.
+//!
+//! All moduli handled by the HE stack fit in 61 bits (SEAL-style "up to
+//! 60-bit" primes plus headroom), so products fit in `u128` and the plain
+//! widening-multiply route is both simple and fast enough for a
+//! reproduction-quality library.
+
+/// Adds two residues modulo `q`.
+///
+/// Both inputs must already be reduced (`< q`); the result is reduced.
+#[inline(always)]
+pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < q && b < q);
+    let s = a + b;
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+/// Subtracts `b` from `a` modulo `q`.
+#[inline(always)]
+pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < q && b < q);
+    if a >= b {
+        a - b
+    } else {
+        a + q - b
+    }
+}
+
+/// Negates a residue modulo `q`.
+#[inline(always)]
+pub fn neg_mod(a: u64, q: u64) -> u64 {
+    debug_assert!(a < q);
+    if a == 0 {
+        0
+    } else {
+        q - a
+    }
+}
+
+/// Multiplies two residues modulo `q` using a widening 128-bit product.
+#[inline(always)]
+pub fn mul_mod(a: u64, b: u64, q: u64) -> u64 {
+    ((a as u128 * b as u128) % q as u128) as u64
+}
+
+/// Fused multiply-add `(a*b + c) mod q`.
+#[inline(always)]
+pub fn mul_add_mod(a: u64, b: u64, c: u64, q: u64) -> u64 {
+    ((a as u128 * b as u128 + c as u128) % q as u128) as u64
+}
+
+/// Raises `base` to the power `exp` modulo `q` by square-and-multiply.
+pub fn pow_mod(mut base: u64, mut exp: u64, q: u64) -> u64 {
+    let mut acc: u64 = 1 % q;
+    base %= q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, q);
+        }
+        base = mul_mod(base, base, q);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Computes the modular inverse of `a` modulo prime `q` via Fermat's little
+/// theorem.
+///
+/// # Panics
+///
+/// Panics if `a` is zero (zero has no inverse).
+pub fn inv_mod(a: u64, q: u64) -> u64 {
+    assert!(!a.is_multiple_of(q), "zero has no modular inverse");
+    pow_mod(a, q - 2, q)
+}
+
+/// Reduces an arbitrary `u64` into `[0, q)`.
+#[inline(always)]
+pub fn reduce(a: u64, q: u64) -> u64 {
+    a % q
+}
+
+/// Reduces a signed value into `[0, q)`.
+#[inline(always)]
+pub fn reduce_signed(a: i64, q: u64) -> u64 {
+    let r = a.rem_euclid(q as i64);
+    r as u64
+}
+
+/// Maps a residue in `[0, q)` to its centered representative in
+/// `(-q/2, q/2]` returned as `i64`.
+///
+/// Only valid for `q < 2^63`.
+#[inline(always)]
+pub fn center(a: u64, q: u64) -> i64 {
+    debug_assert!(a < q && q < (1 << 63));
+    if a > q / 2 {
+        a as i64 - q as i64
+    } else {
+        a as i64
+    }
+}
+
+/// Shoup precomputation for fast multiplication by a constant: returns
+/// `floor(b * 2^64 / q)`.
+#[inline]
+pub fn shoup_precompute(b: u64, q: u64) -> u64 {
+    (((b as u128) << 64) / q as u128) as u64
+}
+
+/// Multiplies `a` by the constant `b` (with its Shoup precomputation
+/// `b_shoup`) modulo `q`. Result is in `[0, q)` when `q < 2^63`.
+#[inline(always)]
+pub fn mul_mod_shoup(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
+    let hi = ((a as u128 * b_shoup as u128) >> 64) as u64;
+    let r = (a.wrapping_mul(b)).wrapping_sub(hi.wrapping_mul(q));
+    if r >= q {
+        r - q
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = 1_152_921_504_606_830_593; // 60-bit NTT prime (1 mod 2^15)
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Q - 3;
+        let b = 17;
+        assert_eq!(sub_mod(add_mod(a, b, Q), b, Q), a);
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(add_mod(Q - 1, 1, Q), 0);
+        assert_eq!(add_mod(Q - 1, Q - 1, Q), Q - 2);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(sub_mod(0, 1, Q), Q - 1);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        for a in [0u64, 1, 12345, Q - 1] {
+            assert_eq!(add_mod(a, neg_mod(a, Q), Q), 0);
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0xDEAD_BEEF_CAFE_u64 % Q;
+        let b = 0x1234_5678_9ABC_DEF0_u64 % Q;
+        assert_eq!(mul_mod(a, b, Q), ((a as u128 * b as u128) % Q as u128) as u64);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(pow_mod(2, 10, Q), 1024);
+        assert_eq!(pow_mod(7, 0, Q), 1);
+        assert_eq!(pow_mod(0, 5, Q), 0);
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        for a in [1u64, 2, 3, 65537, Q - 2] {
+            let inv = inv_mod(a, Q);
+            assert_eq!(mul_mod(a, inv, Q), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no modular inverse")]
+    fn inverse_of_zero_panics() {
+        inv_mod(0, Q);
+    }
+
+    #[test]
+    fn center_maps_to_half_open_interval() {
+        assert_eq!(center(0, 7), 0);
+        assert_eq!(center(3, 7), 3);
+        assert_eq!(center(4, 7), -3);
+        assert_eq!(center(6, 7), -1);
+    }
+
+    #[test]
+    fn reduce_signed_matches_euclid() {
+        assert_eq!(reduce_signed(-1, 7), 6);
+        assert_eq!(reduce_signed(-7, 7), 0);
+        assert_eq!(reduce_signed(8, 7), 1);
+    }
+
+    #[test]
+    fn shoup_matches_plain_mul() {
+        let b = 987_654_321_123_u64 % Q;
+        let bs = shoup_precompute(b, Q);
+        for a in [0u64, 1, 999, Q - 1, Q / 2] {
+            assert_eq!(mul_mod_shoup(a, b, bs, Q), mul_mod(a, b, Q));
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_composition() {
+        let (a, b, c) = (123_456_789, 987_654_321, 555);
+        assert_eq!(mul_add_mod(a, b, c, Q), add_mod(mul_mod(a, b, Q), c, Q));
+    }
+}

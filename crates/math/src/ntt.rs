@@ -1,0 +1,310 @@
+//! Negacyclic Number Theoretic Transform over `Z_q[x]/(x^N + 1)`.
+//!
+//! The transform follows the classic Longa–Naehrig formulation: a
+//! Cooley–Tukey decimation-in-time forward pass and a Gentleman–Sande
+//! decimation-in-frequency inverse pass, with powers of the primitive
+//! `2N`-th root of unity `ψ` stored in bit-reversed order. With this layout
+//! the negacyclic twist is folded into the butterflies, so
+//! `INTT(NTT(a) ⊙ NTT(b))` is exactly the product of `a` and `b` in
+//! `Z_q[x]/(x^N + 1)`.
+
+use crate::modops::{add_mod, inv_mod, mul_mod, mul_mod_shoup, shoup_precompute, sub_mod};
+use crate::prime::{is_prime, primitive_nth_root};
+
+/// Precomputed tables for a negacyclic NTT of size `n` over prime `q`.
+///
+/// Construction is `O(n)` after root finding; individual transforms are
+/// `O(n log n)`.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    q: u64,
+    /// ψ^bitrev(i), ψ a primitive 2n-th root of unity.
+    psi_rev: Vec<u64>,
+    psi_rev_shoup: Vec<u64>,
+    /// ψ^{-bitrev(i)}.
+    inv_psi_rev: Vec<u64>,
+    inv_psi_rev_shoup: Vec<u64>,
+    n_inv: u64,
+    n_inv_shoup: u64,
+    psi: u64,
+}
+
+/// Errors produced when constructing an [`NttTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NttError {
+    /// The transform size was not a power of two (or was < 2).
+    InvalidSize(usize),
+    /// The modulus is not prime or does not satisfy `q ≡ 1 (mod 2n)`.
+    UnsupportedModulus(u64),
+}
+
+impl std::fmt::Display for NttError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NttError::InvalidSize(n) => write!(f, "ntt size {n} is not a power of two >= 2"),
+            NttError::UnsupportedModulus(q) => {
+                write!(f, "modulus {q} is not an ntt-friendly prime")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NttError {}
+
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl NttTable {
+    /// Builds NTT tables for size `n` (a power of two) and prime modulus `q`
+    /// with `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::InvalidSize`] or [`NttError::UnsupportedModulus`]
+    /// when the preconditions fail.
+    pub fn new(n: usize, q: u64) -> Result<Self, NttError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(NttError::InvalidSize(n));
+        }
+        if !is_prime(q) || !(q - 1).is_multiple_of(2 * n as u64) {
+            return Err(NttError::UnsupportedModulus(q));
+        }
+        let log_n = n.trailing_zeros();
+        let psi = primitive_nth_root(2 * n as u64, q);
+        let psi_inv = inv_mod(psi, q);
+
+        let mut psi_pow = vec![0u64; n];
+        let mut inv_psi_pow = vec![0u64; n];
+        let (mut p, mut ip) = (1u64, 1u64);
+        for i in 0..n {
+            psi_pow[i] = p;
+            inv_psi_pow[i] = ip;
+            p = mul_mod(p, psi, q);
+            ip = mul_mod(ip, psi_inv, q);
+        }
+        let mut psi_rev = vec![0u64; n];
+        let mut inv_psi_rev = vec![0u64; n];
+        for i in 0..n {
+            let r = bit_reverse(i, log_n);
+            psi_rev[i] = psi_pow[r];
+            inv_psi_rev[i] = inv_psi_pow[r];
+        }
+        let psi_rev_shoup = psi_rev.iter().map(|&x| shoup_precompute(x, q)).collect();
+        let inv_psi_rev_shoup = inv_psi_rev.iter().map(|&x| shoup_precompute(x, q)).collect();
+        let n_inv = inv_mod(n as u64, q);
+        Ok(NttTable {
+            n,
+            q,
+            psi_rev,
+            psi_rev_shoup,
+            inv_psi_rev,
+            inv_psi_rev_shoup,
+            n_inv,
+            n_inv_shoup: shoup_precompute(n_inv, q),
+            psi,
+        })
+    }
+
+    /// The primitive `2n`-th root of unity `ψ` the tables were built from.
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// Transform size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Modulus.
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// In-place forward negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.size()`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "ntt input length mismatch");
+        let q = self.q;
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_rev[m + i];
+                let s_sh = self.psi_rev_shoup[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = mul_mod_shoup(a[j + t], s, s_sh, q);
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = sub_mod(u, v, q);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (includes the `1/n` scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.size()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "intt input length mismatch");
+        let q = self.q;
+        let n = self.n;
+        let mut t = 1;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0;
+            for i in 0..h {
+                let s = self.inv_psi_rev[h + i];
+                let s_sh = self.inv_psi_rev_shoup[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = mul_mod_shoup(sub_mod(u, v, q), s, s_sh, q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = mul_mod_shoup(*x, self.n_inv, self.n_inv_shoup, q);
+        }
+    }
+
+    /// Negacyclic polynomial product `a * b mod (x^N + 1, q)` out of place.
+    pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x = mul_mod(*x, *y, self.q);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::generate_ntt_primes;
+
+    fn table(n: usize) -> NttTable {
+        let q = generate_ntt_primes(40, n, 1)[0];
+        NttTable::new(n, q).unwrap()
+    }
+
+    /// Schoolbook negacyclic multiply for cross-checking.
+    fn naive_negacyclic(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        let n = a.len();
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let p = mul_mod(a[i], b[j], q);
+                let k = i + j;
+                if k < n {
+                    out[k] = add_mod(out[k], p, q);
+                } else {
+                    out[k - n] = sub_mod(out[k - n], p, q);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for n in [4usize, 64, 1024] {
+            let t = table(n);
+            let q = t.modulus();
+            let orig: Vec<u64> = (0..n as u64).map(|i| (i * i + 7) % q).collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            assert_ne!(a, orig, "forward transform must change the data");
+            t.inverse(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let n = 256;
+        let t = table(n);
+        let q = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % q).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 17 + 3) % q).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add_mod(x, y, q)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut fs);
+        let expect: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| add_mod(x, y, q)).collect();
+        assert_eq!(fs, expect);
+    }
+
+    #[test]
+    fn convolution_theorem_matches_schoolbook() {
+        for n in [8usize, 32, 128] {
+            let t = table(n);
+            let q = t.modulus();
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 1234567 + 89) % q).collect();
+            let b: Vec<u64> = (0..n as u64).map(|i| (i * 7654321 + 11) % q).collect();
+            assert_eq!(t.negacyclic_mul(&a, &b), naive_negacyclic(&a, &b, q));
+        }
+    }
+
+    #[test]
+    fn multiplying_by_x_rotates_with_sign() {
+        // x * (c0..c_{n-1}) = -c_{n-1} + c0 x + ...
+        let n = 16;
+        let t = table(n);
+        let q = t.modulus();
+        let mut x = vec![0u64; n];
+        x[1] = 1;
+        let a: Vec<u64> = (1..=n as u64).collect();
+        let out = t.negacyclic_mul(&a, &x);
+        assert_eq!(out[0], q - a[n - 1]);
+        assert_eq!(&out[1..], &a[..n - 1]);
+    }
+
+    #[test]
+    fn rejects_bad_size_and_modulus() {
+        assert_eq!(NttTable::new(3, 97).unwrap_err(), NttError::InvalidSize(3));
+        assert_eq!(
+            NttTable::new(8, 15).unwrap_err(),
+            NttError::UnsupportedModulus(15)
+        );
+        // 97 is prime but 97-1=96 is not divisible by 2*64.
+        assert_eq!(
+            NttTable::new(64, 97).unwrap_err(),
+            NttError::UnsupportedModulus(97)
+        );
+    }
+
+    #[test]
+    fn works_at_he_scale() {
+        let n = 8192;
+        let q = generate_ntt_primes(58, n, 1)[0];
+        let t = NttTable::new(n, q).unwrap();
+        let orig: Vec<u64> = (0..n as u64).map(|i| (i * 987_654_321) % q).collect();
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+}

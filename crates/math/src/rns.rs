@@ -1,0 +1,299 @@
+//! Residue Number System (RNS) bases.
+//!
+//! HE ciphertext coefficients live modulo a composite `q = q_1 ⋯ q_k` of
+//! NTT-friendly primes and are stored as `k` independent residues (one per
+//! prime). [`RnsBasis`] bundles the primes with their NTT tables and the CRT
+//! constants needed to compose residues back into exact integers — the
+//! operation behind BFV decryption, noise measurement, and the exact
+//! tensor-product multiply.
+
+use crate::bigint::UBig;
+use crate::modops::{inv_mod, mul_mod};
+use crate::ntt::{NttError, NttTable};
+
+/// A basis of distinct NTT-friendly primes for ring degree `n`.
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    n: usize,
+    primes: Vec<u64>,
+    ntts: Vec<NttTable>,
+    /// q = product of all primes.
+    modulus: UBig,
+    /// q / q_i for each i.
+    punctured: Vec<UBig>,
+    /// (q / q_i)^{-1} mod q_i.
+    inv_punctured: Vec<u64>,
+}
+
+/// Errors from [`RnsBasis::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RnsError {
+    /// The prime list was empty or contained duplicates.
+    InvalidPrimes,
+    /// A prime was rejected by NTT table construction.
+    Ntt(NttError),
+}
+
+impl std::fmt::Display for RnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RnsError::InvalidPrimes => write!(f, "rns basis primes must be distinct and nonempty"),
+            RnsError::Ntt(e) => write!(f, "rns basis prime unusable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RnsError {}
+
+impl From<NttError> for RnsError {
+    fn from(e: NttError) -> Self {
+        RnsError::Ntt(e)
+    }
+}
+
+impl RnsBasis {
+    /// Builds a basis over ring degree `n` from `primes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::InvalidPrimes`] for an empty or duplicated prime
+    /// list, and [`RnsError::Ntt`] if any prime is not NTT-friendly for `n`.
+    pub fn new(n: usize, primes: &[u64]) -> Result<Self, RnsError> {
+        if primes.is_empty() {
+            return Err(RnsError::InvalidPrimes);
+        }
+        let mut sorted = primes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != primes.len() {
+            return Err(RnsError::InvalidPrimes);
+        }
+        let ntts = primes
+            .iter()
+            .map(|&q| NttTable::new(n, q))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut modulus = UBig::one();
+        for &q in primes {
+            modulus = modulus.mul_u64(q);
+        }
+        let punctured: Vec<UBig> = primes
+            .iter()
+            .map(|&q| modulus.divrem_u64(q).0)
+            .collect();
+        let inv_punctured: Vec<u64> = primes
+            .iter()
+            .zip(&punctured)
+            .map(|(&q, p)| inv_mod(p.rem_u64(q), q))
+            .collect();
+        Ok(RnsBasis {
+            n,
+            primes: primes.to_vec(),
+            ntts,
+            modulus,
+            punctured,
+            inv_punctured,
+        })
+    }
+
+    /// Ring degree the basis was built for.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Number of primes in the basis.
+    pub fn len(&self) -> usize {
+        self.primes.len()
+    }
+
+    /// True iff the basis has no primes (never true for a constructed basis).
+    pub fn is_empty(&self) -> bool {
+        self.primes.is_empty()
+    }
+
+    /// The primes.
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// NTT tables, aligned with [`Self::primes`].
+    pub fn ntt_tables(&self) -> &[NttTable] {
+        &self.ntts
+    }
+
+    /// The composite modulus `q`.
+    pub fn modulus(&self) -> &UBig {
+        &self.modulus
+    }
+
+    /// The punctured product `q / q_i`.
+    pub fn punctured(&self, i: usize) -> &UBig {
+        &self.punctured[i]
+    }
+
+    /// `(q / q_i)^{-1} mod q_i` — the CRT/decomposition constant.
+    pub fn inv_punctured(&self, i: usize) -> u64 {
+        self.inv_punctured[i]
+    }
+
+    /// log2 of the composite modulus.
+    pub fn modulus_bits(&self) -> f64 {
+        self.modulus.log2()
+    }
+
+    /// A sub-basis containing the first `k` primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds the basis size.
+    pub fn prefix(&self, k: usize) -> RnsBasis {
+        assert!(k >= 1 && k <= self.len(), "invalid sub-basis size");
+        RnsBasis::new(self.n, &self.primes[..k]).expect("prefix of a valid basis is valid")
+    }
+
+    /// CRT-composes one residue per prime into the unique integer in `[0, q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len() != self.len()`.
+    pub fn compose(&self, residues: &[u64]) -> UBig {
+        assert_eq!(residues.len(), self.len(), "residue count mismatch");
+        let mut acc = UBig::zero();
+        for i in 0..self.len() {
+            let coeff = mul_mod(residues[i] % self.primes[i], self.inv_punctured[i], self.primes[i]);
+            acc = acc.add(&self.punctured[i].mul_u64(coeff));
+        }
+        acc.divrem(&self.modulus).1
+    }
+
+    /// Decomposes an integer into its residues modulo each prime.
+    pub fn decompose(&self, value: &UBig) -> Vec<u64> {
+        self.primes.iter().map(|&q| value.rem_u64(q)).collect()
+    }
+
+    /// Composes residues and centers the result: returns `(magnitude, is_negative)`
+    /// for the representative in `(-q/2, q/2]`.
+    pub fn compose_centered(&self, residues: &[u64]) -> (UBig, bool) {
+        let v = self.compose(residues);
+        let half = self.modulus.shr(1);
+        if v > half {
+            (self.modulus.sub(&v), true)
+        } else {
+            (v, false)
+        }
+    }
+
+    /// Decomposes a signed integer (given as magnitude + sign) into residues.
+    pub fn decompose_signed(&self, magnitude: &UBig, negative: bool) -> Vec<u64> {
+        self.primes
+            .iter()
+            .map(|&q| {
+                let r = magnitude.rem_u64(q);
+                if negative && r != 0 {
+                    q - r
+                } else {
+                    r
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::generate_ntt_primes;
+
+    fn basis() -> RnsBasis {
+        let primes = generate_ntt_primes(40, 64, 3);
+        RnsBasis::new(64, &primes).unwrap()
+    }
+
+    #[test]
+    fn compose_decompose_roundtrip() {
+        let b = basis();
+        let v = UBig::from_limbs(&[0xDEAD_BEEF_1234, 0x42]);
+        assert!(v < *b.modulus());
+        let residues = b.decompose(&v);
+        assert_eq!(b.compose(&residues), v);
+    }
+
+    #[test]
+    fn compose_of_small_value_is_identity() {
+        let b = basis();
+        let residues = b.decompose(&UBig::from_u64(12345));
+        assert_eq!(b.compose(&residues).to_u64(), 12345);
+    }
+
+    #[test]
+    fn compose_respects_crt_for_random_residues() {
+        let b = basis();
+        let residues: Vec<u64> = b.primes().iter().map(|&q| q / 3 + 1).collect();
+        let v = b.compose(&residues);
+        for (i, &q) in b.primes().iter().enumerate() {
+            assert_eq!(v.rem_u64(q), residues[i]);
+        }
+    }
+
+    #[test]
+    fn centered_composition_negates_large_values() {
+        let b = basis();
+        // -5 mod q
+        let neg5 = b.modulus().sub(&UBig::from_u64(5));
+        let residues = b.decompose(&neg5);
+        let (mag, neg) = b.compose_centered(&residues);
+        assert!(neg);
+        assert_eq!(mag.to_u64(), 5);
+        // +5 stays positive
+        let (mag, neg) = b.compose_centered(&b.decompose(&UBig::from_u64(5)));
+        assert!(!neg);
+        assert_eq!(mag.to_u64(), 5);
+    }
+
+    #[test]
+    fn decompose_signed_roundtrips_negatives() {
+        let b = basis();
+        let residues = b.decompose_signed(&UBig::from_u64(77), true);
+        let (mag, neg) = b.compose_centered(&residues);
+        assert!(neg);
+        assert_eq!(mag.to_u64(), 77);
+    }
+
+    #[test]
+    fn prefix_shares_leading_primes() {
+        let b = basis();
+        let p = b.prefix(2);
+        assert_eq!(p.primes(), &b.primes()[..2]);
+        assert_eq!(p.degree(), b.degree());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        let q = generate_ntt_primes(40, 64, 1)[0];
+        assert_eq!(
+            RnsBasis::new(64, &[q, q]).unwrap_err(),
+            RnsError::InvalidPrimes
+        );
+        assert_eq!(RnsBasis::new(64, &[]).unwrap_err(), RnsError::InvalidPrimes);
+    }
+
+    #[test]
+    fn rejects_non_ntt_prime() {
+        // 97 is prime but 97 ≢ 1 mod 128.
+        assert!(matches!(
+            RnsBasis::new(64, &[97]).unwrap_err(),
+            RnsError::Ntt(_)
+        ));
+    }
+
+    #[test]
+    fn modulus_is_product() {
+        let b = basis();
+        let mut expect = UBig::one();
+        for &q in b.primes() {
+            expect = expect.mul_u64(q);
+        }
+        assert_eq!(*b.modulus(), expect);
+        let bits: f64 = b.primes().iter().map(|&q| (q as f64).log2()).sum();
+        assert!((b.modulus_bits() - bits).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,29 @@
+//! Cryptographic pseudo-random number generation for the CHOCO stack.
+//!
+//! The paper's accelerator (and its modified SEAL baseline) draw all
+//! randomness from the BLAKE3 cryptographic hash. This crate provides:
+//!
+//! * [`blake3`] — a from-scratch BLAKE3 implementation (hashing, keyed
+//!   hashing, and extendable output), validated against the official test
+//!   vectors;
+//! * [`csprng::Blake3Rng`] — a deterministic, seedable stream of random
+//!   bytes built on the BLAKE3 XOF;
+//! * [`sampler`] — the three samplers HE encryption needs: uniform residues,
+//!   ternary secrets, and clipped-normal error (σ = 3.2, SEAL-compatible).
+//!
+//! # Example
+//!
+//! ```
+//! use choco_prng::csprng::Blake3Rng;
+//! use choco_prng::sampler::sample_ternary;
+//!
+//! let mut rng = Blake3Rng::from_seed(b"choco demo seed");
+//! let secret = sample_ternary(&mut rng, 1024, 0x3001);
+//! assert!(secret.iter().all(|&c| c == 0 || c == 1 || c == 0x3000));
+//! ```
+
+pub mod blake3;
+pub mod csprng;
+pub mod sampler;
+
+pub use csprng::Blake3Rng;

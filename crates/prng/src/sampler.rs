@@ -1,0 +1,151 @@
+//! RLWE noise and secret samplers.
+//!
+//! Three distributions cover everything BFV/CKKS encryption needs (Eq. 2 of
+//! the paper: `u ← R_2` ternary, `e_1, e_2 ← χ` error):
+//!
+//! * uniform residues modulo `q` (public-key randomness),
+//! * ternary coefficients in `{-1, 0, 1}` (secrets and encryption `u`),
+//! * clipped centered normal with σ = 3.2 and tail cut at 6σ — the same
+//!   error distribution SEAL uses.
+
+use crate::csprng::Blake3Rng;
+
+/// Standard deviation of the RLWE error distribution (SEAL default).
+pub const ERROR_STDDEV: f64 = 3.2;
+
+/// Error samples are clipped to ±6σ like SEAL's clipped normal.
+pub const ERROR_BOUND: i64 = 19; // floor(6 * 3.2)
+
+/// Samples `n` coefficients uniform in `[0, q)`.
+pub fn sample_uniform(rng: &mut Blake3Rng, n: usize, q: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.next_below(q)).collect()
+}
+
+/// Samples `n` ternary coefficients in `{-1, 0, 1}` represented modulo `q`
+/// (i.e. `-1` is stored as `q - 1`).
+pub fn sample_ternary(rng: &mut Blake3Rng, n: usize, q: u64) -> Vec<u64> {
+    (0..n)
+        .map(|_| match rng.next_below(3) {
+            0 => 0,
+            1 => 1,
+            _ => q - 1,
+        })
+        .collect()
+}
+
+/// Samples one clipped-normal error value as a signed integer.
+pub fn sample_error_value(rng: &mut Blake3Rng) -> i64 {
+    loop {
+        // Box–Muller transform driven by the XOF stream.
+        let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        let z = mag * (2.0 * std::f64::consts::PI * u2).cos();
+        let e = (z * ERROR_STDDEV).round() as i64;
+        if e.abs() <= ERROR_BOUND {
+            return e;
+        }
+    }
+}
+
+/// Samples `n` ternary coefficients as signed values in `{-1, 0, 1}`.
+///
+/// The RNS layer maps one signed draw into every prime's residue ring, so
+/// samplers must produce scheme-independent signed values; this is the
+/// signed counterpart of [`sample_ternary`].
+pub fn sample_ternary_signed(rng: &mut Blake3Rng, n: usize) -> Vec<i8> {
+    (0..n)
+        .map(|_| match rng.next_below(3) {
+            0 => 0,
+            1 => 1,
+            _ => -1,
+        })
+        .collect()
+}
+
+/// Samples `n` clipped-normal error coefficients as signed integers.
+pub fn sample_error_signed(rng: &mut Blake3Rng, n: usize) -> Vec<i64> {
+    (0..n).map(|_| sample_error_value(rng)).collect()
+}
+
+/// Samples `n` clipped-normal error coefficients represented modulo `q`.
+pub fn sample_error(rng: &mut Blake3Rng, n: usize, q: u64) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let e = sample_error_value(rng);
+            if e < 0 {
+                q - (-e) as u64
+            } else {
+                e as u64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = 0x3FFF_FFFF_0000_0001 % 0xFFFF_FFFF; // arbitrary test modulus
+    const N: usize = 4096;
+
+    #[test]
+    fn uniform_stays_in_range_and_spreads() {
+        let mut rng = Blake3Rng::from_seed(b"u");
+        let v = sample_uniform(&mut rng, N, Q);
+        assert!(v.iter().all(|&x| x < Q));
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / N as f64;
+        let expect = Q as f64 / 2.0;
+        assert!((mean - expect).abs() < 0.05 * Q as f64, "mean {mean}");
+    }
+
+    #[test]
+    fn ternary_hits_all_three_values() {
+        let mut rng = Blake3Rng::from_seed(b"t");
+        let v = sample_ternary(&mut rng, N, Q);
+        let zeros = v.iter().filter(|&&x| x == 0).count();
+        let ones = v.iter().filter(|&&x| x == 1).count();
+        let negs = v.iter().filter(|&&x| x == Q - 1).count();
+        assert_eq!(zeros + ones + negs, N);
+        for c in [zeros, ones, negs] {
+            let frac = c as f64 / N as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.05, "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn error_values_clipped_and_centered() {
+        let mut rng = Blake3Rng::from_seed(b"e");
+        let mut sum = 0i64;
+        let mut sq = 0f64;
+        for _ in 0..N {
+            let e = sample_error_value(&mut rng);
+            assert!(e.abs() <= ERROR_BOUND);
+            sum += e;
+            sq += (e * e) as f64;
+        }
+        let mean = sum as f64 / N as f64;
+        let std = (sq / N as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.3, "mean {mean}");
+        assert!((std - ERROR_STDDEV).abs() < 0.3, "std {std}");
+    }
+
+    #[test]
+    fn error_mod_q_encodes_sign() {
+        let mut rng = Blake3Rng::from_seed(b"em");
+        let v = sample_error(&mut rng, N, Q);
+        for &x in &v {
+            assert!(
+                x <= ERROR_BOUND as u64 || x >= Q - ERROR_BOUND as u64,
+                "residue {x} outside clipped band"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = Blake3Rng::from_seed(b"det");
+        let mut b = Blake3Rng::from_seed(b"det");
+        assert_eq!(sample_error(&mut a, 64, Q), sample_error(&mut b, 64, Q));
+    }
+}

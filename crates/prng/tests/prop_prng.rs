@@ -1,0 +1,68 @@
+//! Property-based tests for the BLAKE3 implementation and samplers.
+
+use choco_prng::blake3::{hash, Hasher};
+use choco_prng::csprng::Blake3Rng;
+use choco_prng::sampler::{sample_error_signed, sample_ternary_signed, ERROR_BOUND};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn incremental_hashing_is_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        split in 0usize..4096,
+    ) {
+        let oneshot = hash(&data);
+        let cut = split.min(data.len());
+        let mut h = Hasher::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests(a in any::<Vec<u8>>(), b in any::<Vec<u8>>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn xof_prefixes_are_consistent(data in any::<Vec<u8>>(), len in 1usize..200) {
+        let mut h = Hasher::new();
+        h.update(&data);
+        let mut long = vec![0u8; 256];
+        h.finalize_xof(&mut long);
+        let mut short = vec![0u8; len];
+        h.finalize_xof(&mut short);
+        prop_assert_eq!(&short[..], &long[..len]);
+    }
+
+    #[test]
+    fn rng_streams_are_seed_determined(seed in any::<[u8; 16]>()) {
+        let mut a = Blake3Rng::from_seed(&seed);
+        let mut b = Blake3Rng::from_seed(&seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounded_sampling_honors_any_bound(seed in any::<[u8; 8]>(), bound in 1u64..u64::MAX) {
+        let mut rng = Blake3Rng::from_seed(&seed);
+        for _ in 0..8 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn samplers_stay_in_their_supports(seed in any::<[u8; 8]>()) {
+        let mut rng = Blake3Rng::from_seed(&seed);
+        for v in sample_ternary_signed(&mut rng, 256) {
+            prop_assert!((-1..=1).contains(&v));
+        }
+        for e in sample_error_signed(&mut rng, 256) {
+            prop_assert!(e.abs() <= ERROR_BOUND);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Accelerator configurations: the parallelism knobs of Figure 6.
+
+/// Processing-element counts per module plus global settings.
+///
+/// Each field corresponds to a replicated functional block of Figure 6.
+/// "Layers" replicate the multiply/add/mod-switch pipeline once per RNS
+/// residue so residues are processed in parallel (§4.2 "Parallelism").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcceleratorConfig {
+    /// BLAKE3 PRNG blocks (each produces 8 bytes/cycle, pipelined).
+    pub prng_blocks: usize,
+    /// Butterfly units in the NTT block.
+    pub ntt_butterflies: usize,
+    /// Butterfly units in the INTT block.
+    pub intt_butterflies: usize,
+    /// Modular multipliers in the dyadic-product block.
+    pub dyadic_pes: usize,
+    /// Modular adders in the polynomial-addition blocks.
+    pub add_pes: usize,
+    /// Modular multiply-reduce units in the modulus-switching block.
+    pub modswitch_pes: usize,
+    /// PEs in the encode/decode module (small NTT + scaling).
+    pub encode_pes: usize,
+    /// Replicated RNS residue layers (1 ≤ layers ≤ k).
+    pub residue_layers: usize,
+    /// Clock frequency in MHz (paper: 100 MHz, limited by SRAM latency).
+    pub clock_mhz: u32,
+}
+
+impl AcceleratorConfig {
+    /// The operating point §4.4 selects: ≤200 mW, smallest area within 1%
+    /// of optimal runtime; 19.3 mm², 0.66 ms / 0.1228 mJ per encryption at
+    /// `(N, k) = (8192, 3)`.
+    pub fn paper_operating_point() -> Self {
+        AcceleratorConfig {
+            prng_blocks: 4,
+            ntt_butterflies: 16,
+            intt_butterflies: 16,
+            dyadic_pes: 8,
+            add_pes: 4,
+            modswitch_pes: 4,
+            encode_pes: 8,
+            residue_layers: 3,
+            clock_mhz: 100,
+        }
+    }
+
+    /// A deliberately small single-lane configuration (DSE lower corner).
+    pub fn minimal() -> Self {
+        AcceleratorConfig {
+            prng_blocks: 1,
+            ntt_butterflies: 1,
+            intt_butterflies: 1,
+            dyadic_pes: 1,
+            add_pes: 1,
+            modswitch_pes: 1,
+            encode_pes: 1,
+            residue_layers: 1,
+            clock_mhz: 100,
+        }
+    }
+
+    /// Total processing elements (used by the cost model).
+    pub fn total_pes(&self) -> usize {
+        (self.prng_blocks * 8 // a PRNG block is ~8 PE-equivalents of logic
+            + self.ntt_butterflies
+            + self.intt_butterflies
+            + self.dyadic_pes
+            + self.add_pes
+            + self.modswitch_pes
+            + self.encode_pes)
+            * self.residue_layers.max(1)
+    }
+
+    /// Cycle time in seconds.
+    pub fn cycle_s(&self) -> f64 {
+        1.0 / (self.clock_mhz as f64 * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_is_within_sane_bounds() {
+        let c = AcceleratorConfig::paper_operating_point();
+        assert_eq!(c.clock_mhz, 100);
+        assert!(c.residue_layers >= 1);
+        assert!(c.total_pes() > 0);
+    }
+
+    #[test]
+    fn minimal_has_fewest_pes() {
+        assert!(
+            AcceleratorConfig::minimal().total_pes()
+                < AcceleratorConfig::paper_operating_point().total_pes()
+        );
+    }
+
+    #[test]
+    fn cycle_time_matches_clock() {
+        let c = AcceleratorConfig::paper_operating_point();
+        assert!((c.cycle_s() - 1e-8).abs() < 1e-15);
+    }
+}

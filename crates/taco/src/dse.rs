@@ -1,0 +1,169 @@
+//! Design-space exploration (§4.4, Figure 7).
+//!
+//! Sweeps tens of thousands of accelerator configurations, evaluates each
+//! for time / power / area / energy on one `(N, k)` encryption, extracts the
+//! Pareto frontier, and applies the paper's operating-point selection rule:
+//! cap power at 200 mW, then take the smallest design within 1% of the
+//! optimal runtime.
+
+use crate::config::AcceleratorConfig;
+use crate::model::{encryption_profile, HwProfile};
+
+/// One evaluated design point.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignPoint {
+    /// The configuration evaluated.
+    pub config: AcceleratorConfig,
+    /// Its profile for a single encryption.
+    pub profile: HwProfile,
+}
+
+/// The sweep grid (matching the paper's scale: tens of thousands of
+/// configurations).
+pub fn sweep_grid() -> Vec<AcceleratorConfig> {
+    let prng = [1usize, 2, 4, 8];
+    let ntt = [2usize, 4, 8, 16, 32];
+    let intt = [2usize, 4, 8, 16, 32];
+    let dyadic = [2usize, 4, 8, 16];
+    let add = [1usize, 2, 4, 8];
+    let modsw = [1usize, 2, 4, 8];
+    let encode = [2usize, 4, 8];
+    let layers = [1usize, 3];
+    let mut out = Vec::new();
+    for &p in &prng {
+        for &nt in &ntt {
+            for &it in &intt {
+                for &dy in &dyadic {
+                    for &ad in &add {
+                        for &ms in &modsw {
+                            for &en in &encode {
+                                for &l in &layers {
+                                    out.push(AcceleratorConfig {
+                                        prng_blocks: p,
+                                        ntt_butterflies: nt,
+                                        intt_butterflies: it,
+                                        dyadic_pes: dy,
+                                        add_pes: ad,
+                                        modswitch_pes: ms,
+                                        encode_pes: en,
+                                        residue_layers: l,
+                                        clock_mhz: 100,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates every configuration in the grid for one `(n, k)` encryption.
+pub fn explore(n: usize, k: usize) -> Vec<DesignPoint> {
+    sweep_grid()
+        .into_iter()
+        .map(|config| DesignPoint {
+            config,
+            profile: encryption_profile(&config, n, k),
+        })
+        .collect()
+}
+
+/// Extracts the 3-objective (time, power, area) Pareto frontier.
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let dominates = |a: &HwProfile, b: &HwProfile| {
+        a.time_s <= b.time_s
+            && a.power_w <= b.power_w
+            && a.area_mm2 <= b.area_mm2
+            && (a.time_s < b.time_s || a.power_w < b.power_w || a.area_mm2 < b.area_mm2)
+    };
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(&q.profile, &p.profile)))
+        .copied()
+        .collect()
+}
+
+/// Applies the paper's selection rule: among designs with power at most
+/// `power_cap_mw`, find the optimal runtime, then return the smallest-area
+/// design within `slack` (e.g. 0.01) of it.
+pub fn select_operating_point(
+    points: &[DesignPoint],
+    power_cap_mw: f64,
+    slack: f64,
+) -> Option<DesignPoint> {
+    let feasible: Vec<&DesignPoint> = points
+        .iter()
+        .filter(|p| p.profile.power_w * 1e3 <= power_cap_mw)
+        .collect();
+    let best_time = feasible
+        .iter()
+        .map(|p| p.profile.time_s)
+        .fold(f64::INFINITY, f64::min);
+    feasible
+        .into_iter()
+        .filter(|p| p.profile.time_s <= best_time * (1.0 + slack))
+        .min_by(|a, b| {
+            a.profile
+                .area_mm2
+                .partial_cmp(&b.profile.area_mm2)
+                .expect("areas are finite")
+        })
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_paper_scale() {
+        let g = sweep_grid();
+        assert!(
+            (20_000..60_000).contains(&g.len()),
+            "grid size {} should be tens of thousands",
+            g.len()
+        );
+    }
+
+    #[test]
+    fn frontier_is_nonempty_and_nondominated() {
+        // Small sub-grid for test speed.
+        let points: Vec<DesignPoint> = explore(8192, 3).into_iter().step_by(97).collect();
+        let frontier = pareto_frontier(&points);
+        assert!(!frontier.is_empty());
+        for a in &frontier {
+            for b in &frontier {
+                let dominated = b.profile.time_s < a.profile.time_s
+                    && b.profile.power_w < a.profile.power_w
+                    && b.profile.area_mm2 < a.profile.area_mm2;
+                assert!(!dominated, "frontier point dominated");
+            }
+        }
+        assert!(frontier.len() < points.len());
+    }
+
+    #[test]
+    fn selection_respects_power_cap() {
+        let points: Vec<DesignPoint> = explore(8192, 3).into_iter().step_by(53).collect();
+        let chosen = select_operating_point(&points, 200.0, 0.01).unwrap();
+        assert!(chosen.profile.power_w * 1e3 <= 200.0);
+        // The chosen design should be competitive with the global optimum.
+        let feasible_best = points
+            .iter()
+            .filter(|p| p.profile.power_w * 1e3 <= 200.0)
+            .map(|p| p.profile.time_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(chosen.profile.time_s <= feasible_best * 1.01);
+    }
+
+    #[test]
+    fn tighter_power_cap_yields_slower_designs() {
+        let points: Vec<DesignPoint> = explore(8192, 3).into_iter().step_by(53).collect();
+        let loose = select_operating_point(&points, 300.0, 0.01).unwrap();
+        let tight = select_operating_point(&points, 100.0, 0.01).unwrap();
+        assert!(tight.profile.time_s >= loose.profile.time_s);
+    }
+}

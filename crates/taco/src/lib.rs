@@ -1,0 +1,48 @@
+//! CHOCO-TACO: the client-side HE encryption/decryption accelerator (§4).
+//!
+//! The paper implements the accelerator in RTL, synthesizes it with Cadence
+//! Genus at 45 nm, and models memories with Destiny. This crate reproduces
+//! that flow as a first-principles *analytical* model:
+//!
+//! * [`config`] — an accelerator configuration: processing-element counts
+//!   per module (PRNG, NTT, INTT, dyadic product, polynomial add, modulus
+//!   switching, encode) and the number of replicated RNS residue layers.
+//! * [`cost`] — 45 nm component cost tables (area/power per PE, Destiny-like
+//!   SRAM model). Constants are calibrated so the paper's chosen operating
+//!   point lands at its published numbers (19.3 mm², ≤200 mW, 0.66 ms,
+//!   0.1228 mJ for one `N=8192, k=3` encryption at 100 MHz); the *relative*
+//!   design-space structure comes from the work accounting, not the
+//!   calibration.
+//! * [`model`] — work accounting per the Fig. 5 dataflow and a critical-path
+//!   timing model for encryption and decryption.
+//! * [`dse`] — the design-space sweep of §4.4 (tens of thousands of
+//!   configurations), Pareto-frontier extraction, and the paper's selection
+//!   rule.
+//! * [`baseline`] — software cost models: SEAL-style encryption on the IMX6
+//!   (ARM Cortex-A7 @528 MHz), TFLite local inference, and the
+//!   partial-acceleration estimates for HEAX and the BFV-FPGA used in
+//!   Figures 2 and 12.
+//! * [`link`] — the Bluetooth link model (22 Mbps, 10 mW) and end-to-end
+//!   client time/energy composition of Figure 14.
+//!
+//! # Example
+//!
+//! ```
+//! use choco_taco::config::AcceleratorConfig;
+//! use choco_taco::model::encryption_profile;
+//!
+//! let cfg = AcceleratorConfig::paper_operating_point();
+//! let p = encryption_profile(&cfg, 8192, 3);
+//! assert!(p.time_s < 1e-3, "one encryption should take well under 1 ms");
+//! ```
+
+pub mod baseline;
+pub mod config;
+pub mod cost;
+pub mod dse;
+pub mod link;
+pub mod model;
+pub mod sim;
+
+pub use config::AcceleratorConfig;
+pub use model::HwProfile;

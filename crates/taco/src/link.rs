@@ -1,0 +1,143 @@
+//! Communication link model and end-to-end client cost composition (§5.7).
+//!
+//! The paper's reference implementation communicates over 10 mW Bluetooth
+//! at 22 Mbps. End-to-end client time is compute (enc/dec + non-linear) plus
+//! transfer time; energy follows from the platform and radio powers.
+
+use crate::baseline::IMX6_POWER_W;
+
+/// A half-duplex radio link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Throughput in bits per second.
+    pub bits_per_s: f64,
+    /// Radio power while transferring, watts.
+    pub power_w: f64,
+}
+
+impl LinkModel {
+    /// The paper's Bluetooth reference link: 22 Mbps at 10 mW.
+    pub fn bluetooth() -> Self {
+        LinkModel {
+            bits_per_s: 22e6,
+            power_w: 0.010,
+        }
+    }
+
+    /// A Wi-Fi-class link for sensitivity studies (100 Mbps, 80 mW).
+    pub fn wifi() -> Self {
+        LinkModel {
+            bits_per_s: 100e6,
+            power_w: 0.080,
+        }
+    }
+
+    /// Transfer time for `bytes`, seconds.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 / self.bits_per_s
+    }
+
+    /// Transfer energy for `bytes`, joules.
+    pub fn transfer_energy(&self, bytes: u64) -> f64 {
+        self.power_w * self.transfer_time(bytes)
+    }
+}
+
+/// End-to-end client cost of one offloaded inference/computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClientCost {
+    /// Active cryptographic compute time (enc + dec), seconds.
+    pub crypto_s: f64,
+    /// Plaintext non-linear compute time, seconds.
+    pub nonlinear_s: f64,
+    /// Link transfer time, seconds.
+    pub comm_s: f64,
+    /// Total energy (compute + radio), joules.
+    pub energy_j: f64,
+}
+
+impl ClientCost {
+    /// Total wall-clock time (compute and communication serialize on a
+    /// single-radio IoT client).
+    pub fn total_time(&self) -> f64 {
+        self.crypto_s + self.nonlinear_s + self.comm_s
+    }
+}
+
+/// Composes the end-to-end client cost for a workload that performs
+/// `encryptions`/`decryptions` crypto ops of the given per-op times,
+/// transfers `comm_bytes` over `link`, and spends `nonlinear_s` in
+/// plaintext operations.
+///
+/// `crypto_energy_per_op` is `(enc_energy, dec_energy)`; for the software
+/// baseline pass IMX6 platform energy, for CHOCO-TACO pass the accelerator
+/// profile energies.
+#[allow(clippy::too_many_arguments)]
+pub fn compose_client_cost(
+    encryptions: u64,
+    decryptions: u64,
+    enc_time_s: f64,
+    dec_time_s: f64,
+    enc_energy_j: f64,
+    dec_energy_j: f64,
+    nonlinear_s: f64,
+    comm_bytes: u64,
+    link: &LinkModel,
+) -> ClientCost {
+    let crypto_s = encryptions as f64 * enc_time_s + decryptions as f64 * dec_time_s;
+    let comm_s = link.transfer_time(comm_bytes);
+    let energy_j = encryptions as f64 * enc_energy_j
+        + decryptions as f64 * dec_energy_j
+        + nonlinear_s * IMX6_POWER_W
+        + link.transfer_energy(comm_bytes);
+    ClientCost {
+        crypto_s,
+        nonlinear_s,
+        comm_s,
+        energy_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bluetooth_transfer_times() {
+        let bt = LinkModel::bluetooth();
+        // 1 MiB at 22 Mbps ≈ 0.38 s.
+        let t = bt.transfer_time(1 << 20);
+        assert!((0.3..0.5).contains(&t), "transfer {t} s");
+        assert!((bt.transfer_energy(1 << 20) - 0.01 * t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wifi_is_faster_but_hungrier() {
+        let bt = LinkModel::bluetooth();
+        let wifi = LinkModel::wifi();
+        let bytes = 10 << 20;
+        assert!(wifi.transfer_time(bytes) < bt.transfer_time(bytes));
+        assert!(wifi.power_w > bt.power_w);
+    }
+
+    #[test]
+    fn composition_adds_up() {
+        let link = LinkModel::bluetooth();
+        let cost = compose_client_cost(10, 10, 1e-3, 2e-3, 1e-4, 2e-4, 0.05, 1 << 20, &link);
+        assert!((cost.crypto_s - 0.03).abs() < 1e-12);
+        assert!((cost.nonlinear_s - 0.05).abs() < 1e-12);
+        assert!(cost.comm_s > 0.3);
+        assert!((cost.total_time() - (cost.crypto_s + cost.nonlinear_s + cost.comm_s)).abs() < 1e-12);
+        assert!(cost.energy_j > 0.0);
+    }
+
+    #[test]
+    fn communication_dominates_bluetooth_inference() {
+        // §5.7: with Bluetooth, communication time dominates end-to-end.
+        let link = LinkModel::bluetooth();
+        let cost = compose_client_cost(
+            14, 14, 0.66e-3, 0.65e-3, 0.12e-3, 0.12e-3, 0.01, 22 << 20, &link,
+        );
+        assert!(cost.comm_s > 5.0 * (cost.crypto_s + cost.nonlinear_s));
+    }
+}

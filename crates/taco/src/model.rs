@@ -1,0 +1,204 @@
+//! Timing/energy model of the Fig. 5 encryption dataflow and its decryption
+//! counterpart (§4.3, §4.6).
+
+use crate::config::AcceleratorConfig;
+use crate::cost::{area_mm2, power_mw, MEMORY_STALL_FACTOR};
+
+/// Modeled time, energy, power, and area for one operation on one
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwProfile {
+    /// Latency of one operation, seconds.
+    pub time_s: f64,
+    /// Energy of one operation, joules.
+    pub energy_j: f64,
+    /// Average power, watts.
+    pub power_w: f64,
+    /// Silicon area, mm².
+    pub area_mm2: f64,
+}
+
+fn log2n(n: usize) -> f64 {
+    (n as f64).log2()
+}
+
+/// Ideal (un-stalled) cycle count for one BFV/CKKS encryption at `(n, k)`.
+///
+/// Work items follow Figure 5: sample `u`, `e1`, `e2`; NTT `u` per residue;
+/// two dyadic passes against the public keys; two INTTs; error additions;
+/// modulus switching to `k − 1` residues; message encode + final add.
+/// Residue layers process RNS rows in parallel; a configuration with fewer
+/// layers than residues serializes in `ceil(k / layers)` waves.
+pub fn encryption_cycles(cfg: &AcceleratorConfig, n: usize, k: usize) -> f64 {
+    let nf = n as f64;
+    let bf_per_ntt = nf / 2.0 * log2n(n);
+    let waves = (k as f64 / cfg.residue_layers as f64).ceil();
+    let waves_data = ((k.max(2) - 1) as f64 / cfg.residue_layers as f64).ceil();
+
+    // PRNG: u (1 B/coeff ternary) + e1, e2 (8 B/coeff each) = 17 B/coeff.
+    let prng = 17.0 * nf / (8.0 * cfg.prng_blocks as f64);
+    // NTT of u, once per residue (shared by the c0 and c1 paths).
+    let ntt = waves * bf_per_ntt / cfg.ntt_butterflies as f64;
+    // Dyadic products against P1 then P0.
+    let dyadic = 2.0 * waves * nf / cfg.dyadic_pes as f64;
+    // INTT back for each ciphertext component.
+    let intt = 2.0 * waves * bf_per_ntt / cfg.intt_butterflies as f64;
+    // Error additions (e1, e2) and the final message addition.
+    let add = 3.0 * waves * nf / cfg.add_pes as f64;
+    // Modulus switching both components down to k−1 residues
+    // (multiply + reduce ≈ 2 ops per coefficient).
+    let modswitch = 2.0 * 2.0 * waves_data * nf / cfg.modswitch_pes as f64;
+    // Message encode: small NTT + per-residue scaling.
+    let encode = (bf_per_ntt + (k.max(2) - 1) as f64 * nf) / cfg.encode_pes as f64;
+
+    prng + ntt + dyadic + intt + add + modswitch + encode
+}
+
+/// Ideal cycle count for one decryption at `(n, k)`.
+///
+/// Decryption processes a single ciphertext polynomial product plus base
+/// conversion and decode; base conversion interacts across residues, which
+/// precludes residue-layer parallelism (§4.6 reports the resulting smaller
+/// speedup).
+pub fn decryption_cycles(cfg: &AcceleratorConfig, n: usize, k: usize) -> f64 {
+    let nf = n as f64;
+    let bf_per_ntt = nf / 2.0 * log2n(n);
+    let kf = k as f64;
+    let ntt = kf * bf_per_ntt / cfg.ntt_butterflies as f64;
+    let dyadic = kf * nf / cfg.dyadic_pes as f64;
+    let intt = kf * bf_per_ntt / cfg.intt_butterflies as f64;
+    let add = kf * nf / cfg.add_pes as f64;
+    // Fast base conversion + error correction: cross-residue, serial.
+    let base_conv = 2.0 * kf * nf / cfg.modswitch_pes as f64;
+    // Decode: NTT over the plain modulus + plain-mod reduction.
+    let decode = (bf_per_ntt + nf) / cfg.encode_pes as f64;
+    ntt + dyadic + intt + add + base_conv + decode
+}
+
+/// Full profile of one hardware-accelerated encryption.
+pub fn encryption_profile(cfg: &AcceleratorConfig, n: usize, k: usize) -> HwProfile {
+    profile(cfg, n, encryption_cycles(cfg, n, k))
+}
+
+/// Full profile of one hardware-accelerated decryption.
+pub fn decryption_profile(cfg: &AcceleratorConfig, n: usize, k: usize) -> HwProfile {
+    profile(cfg, n, decryption_cycles(cfg, n, k))
+}
+
+fn profile(cfg: &AcceleratorConfig, n: usize, ideal_cycles: f64) -> HwProfile {
+    let cycles = ideal_cycles * MEMORY_STALL_FACTOR;
+    let time_s = cycles * cfg.cycle_s();
+    let power_w = power_mw(cfg, n) / 1e3;
+    HwProfile {
+        time_s,
+        energy_j: power_w * time_s,
+        power_w,
+        area_mm2: area_mm2(cfg, n),
+    }
+}
+
+/// Fraction of CKKS encrypt+encode time the BFV datapath covers with the
+/// extra routing of §4.7 (the remainder is complex-conjugate processing
+/// left in software).
+pub const CKKS_ENC_COVERAGE: f64 = 0.95;
+/// Fraction of CKKS decrypt+decode time covered.
+pub const CKKS_DEC_COVERAGE: f64 = 0.56;
+
+/// CKKS encrypt+encode time with CHOCO-TACO support (§4.7): the covered
+/// 95% runs at the BFV datapath's speedup; the conjugate-processing tail
+/// stays at software speed.
+pub fn ckks_encryption_time_hw(cfg: &AcceleratorConfig, n: usize, k: usize, sw_time_s: f64) -> f64 {
+    let bfv_speedup = sw_time_s.max(f64::MIN_POSITIVE) / encryption_profile(cfg, n, k).time_s;
+    sw_time_s * (CKKS_ENC_COVERAGE / bfv_speedup + (1.0 - CKKS_ENC_COVERAGE))
+}
+
+/// CKKS decrypt+decode time with CHOCO-TACO support (§4.7).
+pub fn ckks_decryption_time_hw(cfg: &AcceleratorConfig, n: usize, k: usize, sw_time_s: f64) -> f64 {
+    let bfv_speedup = sw_time_s.max(f64::MIN_POSITIVE) / decryption_profile(cfg, n, k).time_s;
+    sw_time_s * (CKKS_DEC_COVERAGE / bfv_speedup + (1.0 - CKKS_DEC_COVERAGE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ckks_coverage_model_matches_paper_ratios() {
+        // Paper §4.7: encrypt+encode 310 ms → 18 ms (17×); decrypt+decode
+        // 37 ms → 16 ms (2.3×) on the IMX6 at (8192, 3).
+        let cfg = AcceleratorConfig::paper_operating_point();
+        let enc = ckks_encryption_time_hw(&cfg, 8192, 3, 0.310);
+        let dec = ckks_decryption_time_hw(&cfg, 8192, 3, 0.037);
+        let enc_speedup = 0.310 / enc;
+        let dec_speedup = 0.037 / dec;
+        assert!((10.0..25.0).contains(&enc_speedup), "enc speedup {enc_speedup}");
+        assert!((1.5..3.5).contains(&dec_speedup), "dec speedup {dec_speedup}");
+        // Amdahl: the software tail bounds the gain.
+        assert!(enc > 0.310 * (1.0 - CKKS_ENC_COVERAGE));
+    }
+
+    #[test]
+    fn paper_point_encryption_matches_published_numbers() {
+        let cfg = AcceleratorConfig::paper_operating_point();
+        let p = encryption_profile(&cfg, 8192, 3);
+        // Paper: 0.66 ms and 0.1228 mJ. Accept ±35%.
+        assert!(
+            (0.43e-3..0.9e-3).contains(&p.time_s),
+            "encryption time {} s",
+            p.time_s
+        );
+        assert!(
+            (0.08e-3..0.17e-3).contains(&p.energy_j),
+            "encryption energy {} J",
+            p.energy_j
+        );
+    }
+
+    #[test]
+    fn paper_point_decryption_close_to_published() {
+        let cfg = AcceleratorConfig::paper_operating_point();
+        let p = decryption_profile(&cfg, 8192, 3);
+        // Paper: 0.65 ms.
+        assert!(
+            (0.4e-3..1.1e-3).contains(&p.time_s),
+            "decryption time {} s",
+            p.time_s
+        );
+    }
+
+    #[test]
+    fn hw_time_scales_with_n_but_not_k_when_layers_match() {
+        // §4.5: with layers = k, encryption time scales with N only.
+        let mut cfg = AcceleratorConfig::paper_operating_point();
+        cfg.residue_layers = 4;
+        let t_k2 = encryption_profile(&cfg, 8192, 2).time_s;
+        let t_k4 = encryption_profile(&cfg, 8192, 4).time_s;
+        // k only affects mod-switch/encode lightly: within 40%.
+        assert!(t_k4 < 1.4 * t_k2, "k scaling {t_k2} → {t_k4}");
+        let t_n2 = encryption_profile(&cfg, 16384, 2).time_s;
+        assert!(t_n2 > 1.7 * t_k2, "N scaling {t_k2} → {t_n2}");
+    }
+
+    #[test]
+    fn more_parallelism_is_never_slower() {
+        let small = AcceleratorConfig::minimal();
+        let big = AcceleratorConfig::paper_operating_point();
+        assert!(
+            encryption_cycles(&big, 8192, 3) < encryption_cycles(&small, 8192, 3),
+            "parallel config must be faster"
+        );
+        assert!(decryption_cycles(&big, 8192, 3) < decryption_cycles(&small, 8192, 3));
+    }
+
+    #[test]
+    fn decryption_benefits_less_from_layers() {
+        // §4.6: decryption's cross-residue base conversion is serial.
+        let mut one = AcceleratorConfig::paper_operating_point();
+        one.residue_layers = 1;
+        let mut three = one;
+        three.residue_layers = 3;
+        let enc_gain = encryption_cycles(&one, 8192, 3) / encryption_cycles(&three, 8192, 3);
+        let dec_gain = decryption_cycles(&one, 8192, 3) / decryption_cycles(&three, 8192, 3);
+        assert!(enc_gain > dec_gain, "enc {enc_gain} vs dec {dec_gain}");
+    }
+}

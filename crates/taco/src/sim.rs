@@ -1,0 +1,309 @@
+//! Discrete-event simulation of the CHOCO-TACO encryption dataflow.
+//!
+//! The paper explores its design space with "a custom simulation
+//! infrastructure \[that\] captures the effects of parallelism and
+//! pipelining" (§4.4). This module is that simulator: the Fig. 5 dataflow
+//! is expressed as a task DAG, each task bound to a hardware resource
+//! (module) with a finite processing rate and a replica count (residue
+//! layers). A list scheduler assigns start times respecting both data
+//! dependencies and resource contention, yielding a cycle-accurate-ish
+//! latency that cross-validates the closed-form model in [`crate::model`]
+//! (see the consistency test at the bottom).
+
+use crate::config::AcceleratorConfig;
+
+/// Hardware resources (accelerator modules) tasks contend for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// BLAKE3 PRNG module.
+    Prng,
+    /// Forward NTT block.
+    Ntt,
+    /// Inverse NTT block.
+    Intt,
+    /// Dyadic (element-wise) product block.
+    Dyadic,
+    /// Polynomial addition blocks.
+    Add,
+    /// Modulus-switching module.
+    ModSwitch,
+    /// Encode/decode module.
+    Encode,
+}
+
+/// One node of the dataflow DAG.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Human-readable label (shows up in the schedule).
+    pub name: &'static str,
+    /// Executing module.
+    pub resource: Resource,
+    /// Work units (butterflies, coefficients, or bytes — consistent with
+    /// the resource's rate).
+    pub work: f64,
+    /// Indices of tasks that must finish first.
+    pub deps: Vec<usize>,
+}
+
+/// A scheduled task instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scheduled {
+    /// Start cycle.
+    pub start: f64,
+    /// Finish cycle.
+    pub finish: f64,
+}
+
+/// The full schedule of a simulated operation.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Per-task start/finish times, aligned with the task list.
+    pub tasks: Vec<Scheduled>,
+    /// Total latency in cycles (max finish).
+    pub makespan: f64,
+}
+
+fn rate(cfg: &AcceleratorConfig, r: Resource) -> f64 {
+    match r {
+        Resource::Prng => 8.0 * cfg.prng_blocks as f64, // bytes/cycle
+        Resource::Ntt => cfg.ntt_butterflies as f64,    // butterflies/cycle
+        Resource::Intt => cfg.intt_butterflies as f64,
+        Resource::Dyadic => cfg.dyadic_pes as f64, // coefficients/cycle
+        Resource::Add => cfg.add_pes as f64,
+        Resource::ModSwitch => cfg.modswitch_pes as f64 / 2.0, // 2 ops/coeff
+        Resource::Encode => cfg.encode_pes as f64,
+    }
+}
+
+/// List-schedules a task DAG on the configuration's resources.
+///
+/// Each resource has `residue_layers` independent replicas; a task occupies
+/// one replica for `work / rate` cycles. Tasks are scheduled in topological
+/// (input) order: start = max(latest dependency finish, earliest replica
+/// free time).
+///
+/// # Panics
+///
+/// Panics if a task depends on a later-indexed task (the list must be in
+/// topological order).
+pub fn schedule(cfg: &AcceleratorConfig, tasks: &[Task]) -> Schedule {
+    use std::collections::HashMap;
+    let replicas = cfg.residue_layers.max(1);
+    let mut free: HashMap<Resource, Vec<f64>> = HashMap::new();
+    let mut out: Vec<Scheduled> = Vec::with_capacity(tasks.len());
+    for (i, t) in tasks.iter().enumerate() {
+        let dep_ready = t
+            .deps
+            .iter()
+            .map(|&d| {
+                assert!(d < i, "task list must be topologically ordered");
+                out[d].finish
+            })
+            .fold(0.0f64, f64::max);
+        let slots = free.entry(t.resource).or_insert_with(|| vec![0.0; replicas]);
+        // Earliest-free replica.
+        let (best, &earliest) = slots
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("at least one replica");
+        let start = dep_ready.max(earliest);
+        let finish = start + t.work / rate(cfg, t.resource);
+        slots[best] = finish;
+        out.push(Scheduled { start, finish });
+    }
+    let makespan = out.iter().map(|s| s.finish).fold(0.0, f64::max);
+    Schedule {
+        tasks: out,
+        makespan,
+    }
+}
+
+/// Builds the Fig. 5 encryption dataflow for `(n, k)` as a task DAG.
+///
+/// Structure per residue: `NTT(u)` (shared) → dyadic with `P1` → `INTT` →
+/// `+e2` → mod-switch (c1 path), and the same against `P0` plus the message
+/// encode/add (c0 path). PRNG tasks feed `u`, `e1`, `e2`.
+pub fn encryption_dag(n: usize, k: usize) -> Vec<Task> {
+    let nf = n as f64;
+    let bf = nf / 2.0 * (nf).log2();
+    // Tasks 0-3: the PRNG draws (u ternary at 1 B/coeff; e1/e2 at
+    // 8 B/coeff, overlapping with NTT/dyadic work) and the message encode.
+    let mut tasks = vec![
+        Task { name: "prng:u", resource: Resource::Prng, work: nf, deps: vec![] },
+        Task { name: "prng:e2", resource: Resource::Prng, work: 8.0 * nf, deps: vec![] },
+        Task { name: "prng:e1", resource: Resource::Prng, work: 8.0 * nf, deps: vec![] },
+        Task { name: "encode:m", resource: Resource::Encode, work: bf, deps: vec![] },
+    ];
+
+    for _residue in 0..k {
+        let ntt_u = tasks.len();
+        tasks.push(Task { name: "ntt:u", resource: Resource::Ntt, work: bf, deps: vec![0] });
+        // c1 path.
+        let dy1 = tasks.len();
+        tasks.push(Task { name: "dyadic:c1", resource: Resource::Dyadic, work: nf, deps: vec![ntt_u] });
+        let intt1 = tasks.len();
+        tasks.push(Task { name: "intt:c1", resource: Resource::Intt, work: bf, deps: vec![dy1] });
+        let add1 = tasks.len();
+        tasks.push(Task { name: "add:e2", resource: Resource::Add, work: nf, deps: vec![intt1, 1] });
+        tasks.push(Task { name: "modsw:c1", resource: Resource::ModSwitch, work: nf, deps: vec![add1] });
+        // c0 path (reuses NTT(u)).
+        let dy0 = tasks.len();
+        tasks.push(Task { name: "dyadic:c0", resource: Resource::Dyadic, work: nf, deps: vec![ntt_u] });
+        let intt0 = tasks.len();
+        tasks.push(Task { name: "intt:c0", resource: Resource::Intt, work: bf, deps: vec![dy0] });
+        let add0 = tasks.len();
+        tasks.push(Task { name: "add:e1", resource: Resource::Add, work: nf, deps: vec![intt0, 2] });
+        let msw0 = tasks.len();
+        tasks.push(Task { name: "modsw:c0", resource: Resource::ModSwitch, work: nf, deps: vec![add0] });
+        // message add into c0 (scaled residues of the encoded message).
+        tasks.push(Task { name: "add:m", resource: Resource::Add, work: nf, deps: vec![msw0, 3] });
+    }
+    tasks
+}
+
+/// Simulated encryption latency in seconds.
+pub fn simulate_encryption(cfg: &AcceleratorConfig, n: usize, k: usize) -> f64 {
+    let dag = encryption_dag(n, k);
+    schedule(cfg, &dag).makespan * cfg.cycle_s()
+}
+
+/// Builds the decryption dataflow (§4.6): `NTT(c1)` → dyadic with `s` →
+/// `INTT` → `+c0` per residue, then a *serial* cross-residue base-conversion
+/// chain (each residue's conversion depends on the previous one — the
+/// structural reason decryption gains less from residue parallelism) and a
+/// final decode.
+pub fn decryption_dag(n: usize, k: usize) -> Vec<Task> {
+    let nf = n as f64;
+    let bf = nf / 2.0 * nf.log2();
+    let mut tasks = Vec::new();
+    let mut conv_deps: Vec<usize> = Vec::new();
+    for _residue in 0..k {
+        let ntt = tasks.len();
+        tasks.push(Task { name: "ntt:c1", resource: Resource::Ntt, work: bf, deps: vec![] });
+        let dy = tasks.len();
+        tasks.push(Task { name: "dyadic:c1*s", resource: Resource::Dyadic, work: nf, deps: vec![ntt] });
+        let intt = tasks.len();
+        tasks.push(Task { name: "intt:c1*s", resource: Resource::Intt, work: bf, deps: vec![dy] });
+        let add = tasks.len();
+        tasks.push(Task { name: "add:c0", resource: Resource::Add, work: nf, deps: vec![intt] });
+        conv_deps.push(add);
+    }
+    // Cross-residue base conversion: a serial chain through ModSwitch.
+    let mut prev: Option<usize> = None;
+    for &d in &conv_deps {
+        let mut deps = vec![d];
+        if let Some(p) = prev {
+            deps.push(p);
+        }
+        let id = tasks.len();
+        tasks.push(Task { name: "baseconv", resource: Resource::ModSwitch, work: nf, deps });
+        prev = Some(id);
+    }
+    // Decode: NTT over the plain modulus + reorder.
+    tasks.push(Task {
+        name: "decode",
+        resource: Resource::Encode,
+        work: bf + nf,
+        deps: vec![prev.expect("k >= 1")],
+    });
+    tasks
+}
+
+/// Simulated decryption latency in seconds.
+pub fn simulate_decryption(cfg: &AcceleratorConfig, n: usize, k: usize) -> f64 {
+    let dag = decryption_dag(n, k);
+    schedule(cfg, &dag).makespan * cfg.cycle_s()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::encryption_profile;
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let cfg = AcceleratorConfig::paper_operating_point();
+        let dag = encryption_dag(1024, 2);
+        let sch = schedule(&cfg, &dag);
+        for (i, t) in dag.iter().enumerate() {
+            for &d in &t.deps {
+                assert!(
+                    sch.tasks[i].start >= sch.tasks[d].finish - 1e-9,
+                    "task {i} starts before dep {d} finishes"
+                );
+            }
+        }
+        assert!(sch.makespan > 0.0);
+    }
+
+    #[test]
+    fn schedule_respects_resource_contention() {
+        // With a single residue layer, the two INTT tasks of one residue
+        // must serialize on the single INTT block.
+        let mut cfg = AcceleratorConfig::paper_operating_point();
+        cfg.residue_layers = 1;
+        let dag = encryption_dag(1024, 1);
+        let sch = schedule(&cfg, &dag);
+        let intts: Vec<usize> = dag
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.resource == Resource::Intt)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(intts.len(), 2);
+        let (a, b) = (sch.tasks[intts[0]], sch.tasks[intts[1]]);
+        let overlap = a.finish.min(b.finish) - a.start.max(b.start);
+        assert!(overlap <= 1e-9, "INTT tasks overlap on one block");
+    }
+
+    #[test]
+    fn residue_layers_parallelize_the_dag() {
+        let mut one = AcceleratorConfig::paper_operating_point();
+        one.residue_layers = 1;
+        let mut three = one;
+        three.residue_layers = 3;
+        let t1 = simulate_encryption(&one, 8192, 3);
+        let t3 = simulate_encryption(&three, 8192, 3);
+        assert!(t3 < t1 * 0.6, "3 layers should be much faster: {t1} vs {t3}");
+    }
+
+    #[test]
+    fn simulation_validates_the_analytic_model() {
+        // The closed-form model (with its memory-stall derating) should sit
+        // within ~2× of the scheduled dataflow across shapes and configs —
+        // the analytic model serializes module passes that the scheduler
+        // overlaps, and the stall factor compensates memory contention the
+        // scheduler doesn't see.
+        for (n, k) in [(4096usize, 2usize), (8192, 3), (16384, 3)] {
+            let cfg = AcceleratorConfig::paper_operating_point();
+            let sim = simulate_encryption(&cfg, n, k);
+            let analytic = encryption_profile(&cfg, n, k).time_s;
+            let ratio = analytic / sim;
+            assert!(
+                (0.5..4.0).contains(&ratio),
+                "({n},{k}): analytic {analytic} vs simulated {sim} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn more_parallelism_never_hurts_the_simulation() {
+        let small = AcceleratorConfig::minimal();
+        let big = AcceleratorConfig::paper_operating_point();
+        assert!(simulate_encryption(&big, 8192, 3) < simulate_encryption(&small, 8192, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "topologically ordered")]
+    fn forward_dependencies_rejected() {
+        let cfg = AcceleratorConfig::paper_operating_point();
+        let tasks = vec![Task {
+            name: "bad",
+            resource: Resource::Add,
+            work: 1.0,
+            deps: vec![5],
+        }];
+        let _ = schedule(&cfg, &tasks);
+    }
+}

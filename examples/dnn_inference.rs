@@ -1,0 +1,77 @@
+//! Encrypted DNN convolution offload: one real conv layer through the full
+//! CHOCO stack, followed by the client-aided cost plan for all four Table 5
+//! networks with CHOCO-TACO acceleration.
+//!
+//! ```sh
+//! cargo run --release --example dnn_inference
+//! ```
+
+use choco::protocol::{BfvClient, CommLedger};
+use choco_apps::dnn::{
+    client_aided_plan, conv2d_plain_circular, conv_rotation_steps, run_encrypted_conv_layer,
+    Network,
+};
+use choco_he::params::HeParams;
+use choco_taco::config::AcceleratorConfig;
+use choco_taco::model::{decryption_profile, encryption_profile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Part 1: a real encrypted convolution layer ------------------------
+    let (h, w, f, in_ch, out_ch) = (8usize, 8usize, 3usize, 4usize, 2usize);
+    println!("encrypted conv: {in_ch}→{out_ch} channels, {h}x{w} maps, {f}x{f} filter");
+    let params = HeParams::set_b();
+    let mut client = BfvClient::new(&params, b"dnn example")?;
+    let steps = conv_rotation_steps(in_ch, h, w, f);
+    let server = client.provision_server(&steps)?;
+    let mut ledger = CommLedger::new();
+
+    // Seeded 4-bit image and weights.
+    let image: Vec<Vec<u64>> = (0..in_ch)
+        .map(|c| (0..h * w).map(|i| ((i * 5 + c) % 16) as u64).collect())
+        .collect();
+    let weights: Vec<Vec<Vec<u64>>> = (0..out_ch)
+        .map(|o| {
+            (0..in_ch)
+                .map(|c| (0..f * f).map(|i| ((i + o * 2 + c) % 16) as u64).collect())
+                .collect()
+        })
+        .collect();
+
+    let maps = run_encrypted_conv_layer(&mut client, &server, &mut ledger, &image, &weights, h, w, f)?;
+    let reference =
+        conv2d_plain_circular(&image, &weights, h, w, f, client.context().plain_modulus());
+    assert_eq!(maps, reference, "encrypted conv must match the reference");
+    println!(
+        "  ✓ matches plaintext reference; {:.2} MB communicated, {} enc / {} dec ops",
+        ledger.total_mib(),
+        client.encryption_count(),
+        client.decryption_count()
+    );
+
+    // --- Part 2: whole-network client cost plans ---------------------------
+    println!("\nclient-aided plans with CHOCO-TACO acceleration:");
+    let cfg = AcceleratorConfig::paper_operating_point();
+    for net in Network::all() {
+        let p = if net.dataset == "MNIST" {
+            HeParams::set_b()
+        } else {
+            HeParams::set_a()
+        };
+        let plan = client_aided_plan(&net, &p);
+        let crypto_ms = (plan.encryptions as f64
+            * encryption_profile(&cfg, p.degree(), p.prime_count()).time_s
+            + plan.decryptions as f64
+                * decryption_profile(&cfg, p.degree(), p.prime_count()).time_s)
+            * 1e3;
+        println!(
+            "  {:<8} {:>3} boundaries, {:>4} enc / {:>4} dec ops, {:>7.2} MB comm, {:>7.2} ms client crypto",
+            net.name,
+            plan.boundaries,
+            plan.encryptions,
+            plan.decryptions,
+            plan.comm_bytes as f64 / 1e6,
+            crypto_ms
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the CHOCO reproduction: re-exports every workspace crate.
+//!
+//! Use the individual crates directly for development; this crate exists so
+//! the repository-level examples and integration tests have a single
+//! dependency root.
+
+pub use choco;
+pub use choco_apps as apps;
+pub use choco_he as he;
+pub use choco_math as math;
+pub use choco_prng as prng;
+pub use choco_taco as taco;
