@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local CI gate: build, tests, lints, formatting.
+#
+# This is the same bar every PR must clear. It is offline-friendly — the
+# workspace has no registry dependencies, so `cargo` never touches the
+# network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (all workspace members)"
+cargo test -q --workspace
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "CI green."

@@ -20,6 +20,7 @@
 //! | collapsed point-major  | 1              | 1 dense   | masks + rots  |
 
 use choco::protocol::{download_ckks, upload_ckks, CkksClient, CkksServer, CommLedger};
+use choco::transport::{CkksResilientSession, TransportError};
 use choco_he::ckks::CkksCiphertext;
 use choco_he::HeError;
 
@@ -102,6 +103,7 @@ pub fn encrypted_distances(
     points: &[Vec<f64>],
 ) -> Result<DistanceResult, HeError> {
     assert!(!points.is_empty(), "need at least one reference point");
+    assert!(!query.is_empty(), "need at least one dimension");
     let d = query.len();
     assert!(points.iter().all(|p| p.len() == d), "ragged points");
     match variant {
@@ -115,36 +117,79 @@ pub fn encrypted_distances(
     }
 }
 
-/// Point-major family: query replicated per point block; per-block
-/// rotate-add tree accumulates dimensions. With `collapse`, the server masks
-/// each block's result and packs all distances densely into the low slots
-/// before replying (extra server work, single dense output — the
-/// client-optimal variant of §5.4).
-fn point_major(
-    client: &mut CkksClient,
-    server: &CkksServer,
+/// [`encrypted_distances`] over a fault-tolerant transport: identical
+/// packing and server computation, but every ciphertext crosses the
+/// session's framed, retried channels. The reported ledger covers only this
+/// call (the session's cumulative ledger keeps growing).
+///
+/// # Errors
+///
+/// Typed [`TransportError`]s when the link defeats the retry budget;
+/// HE-layer failures wrapped in [`TransportError::He`].
+///
+/// # Panics
+///
+/// As [`encrypted_distances`].
+pub fn encrypted_distances_resilient(
+    variant: PackingVariant,
+    session: &mut CkksResilientSession,
     query: &[f64],
     points: &[Vec<f64>],
-    collapse: bool,
-) -> Result<DistanceResult, HeError> {
+) -> Result<DistanceResult, TransportError> {
+    assert!(!points.is_empty(), "need at least one reference point");
+    assert!(!query.is_empty(), "need at least one dimension");
     let d = query.len();
-    let n = points.len();
-    let stride = block_stride(d);
-    let slots = client.context().slot_count();
-    assert!(n * stride <= slots, "point-major packing exceeds capacity");
+    assert!(points.iter().all(|p| p.len() == d), "ragged points");
+    let before = *session.ledger();
+    let mut res = match variant {
+        PackingVariant::PointMajor | PackingVariant::StackedPointMajor => {
+            point_major_resilient(session, query, points, false)
+        }
+        PackingVariant::CollapsedPointMajor => point_major_resilient(session, query, points, true),
+        PackingVariant::DimensionMajor | PackingVariant::StackedDimensionMajor => {
+            dimension_major_resilient(session, query, points)
+        }
+    }?;
+    res.ledger = ledger_delta(session.ledger(), &before);
+    Ok(res)
+}
 
-    let mut ledger = CommLedger::new();
-    let mut server_ops = 0u64;
+/// Per-call traffic: the session ledger's growth since `before`.
+fn ledger_delta(after: &CommLedger, before: &CommLedger) -> CommLedger {
+    CommLedger {
+        upload_bytes: after.upload_bytes - before.upload_bytes,
+        download_bytes: after.download_bytes - before.download_bytes,
+        uploads: after.uploads - before.uploads,
+        downloads: after.downloads - before.downloads,
+        rounds: after.rounds - before.rounds,
+        retransmit_bytes: after.retransmit_bytes - before.retransmit_bytes,
+        refresh_rounds: after.refresh_rounds - before.refresh_rounds,
+    }
+}
 
-    // Client: replicate the query into every point block.
+/// Client-side point-major packing: the query replicated into every point
+/// block.
+fn point_major_qslots(query: &[f64], n: usize, stride: usize) -> Vec<f64> {
+    let d = query.len();
     let mut qslots = vec![0.0f64; n * stride];
     for b in 0..n {
         qslots[b * stride..b * stride + d].copy_from_slice(query);
     }
-    let ct = client.encrypt_values(&qslots)?;
-    let at_server = upload_ckks(&mut ledger, &ct);
+    qslots
+}
 
-    // Server: diff = q − p (plaintext add of −p), square, rotate-add dims.
+/// Server-side point-major computation: diff = q − p (plaintext add of −p),
+/// square, rotate-add dims; optionally collapse block heads into dense low
+/// slots. Returns the reply ciphertext and the homomorphic op count.
+fn point_major_server(
+    server: &CkksServer,
+    at_server: &CkksCiphertext,
+    points: &[Vec<f64>],
+    stride: usize,
+    collapse: bool,
+) -> Result<(CkksCiphertext, u64), HeError> {
+    let n = points.len();
+    let mut server_ops = 0u64;
     let ctx = server.context();
     let mut pslots = vec![0.0f64; n * stride];
     for (b, p) in points.iter().enumerate() {
@@ -153,7 +198,7 @@ fn point_major(
         }
     }
     let ppt = server.encode_at(&pslots, at_server.level(), at_server.scale())?;
-    let diff = ctx.add_plain(&at_server, &ppt)?;
+    let diff = ctx.add_plain(at_server, &ppt)?;
     server_ops += 1;
     let sq = ctx.multiply_relin(&diff, &diff, server.relin_key())?;
     let sq = ctx.rescale(&sq)?;
@@ -196,26 +241,146 @@ fn point_major(
                 }
             });
         }
-        collapsed.expect("n >= 1")
+        collapsed.ok_or_else(|| HeError::Mismatch("need at least one point".into()))?
     } else {
         acc
     };
+    Ok((reply, server_ops))
+}
 
-    let back = download_ckks(&mut ledger, &reply);
-    ledger.end_round();
-    let slots_out = client.decrypt_values(&back);
-    let distances = if collapse {
+/// Reads the distances out of a decrypted point-major reply.
+fn point_major_extract(slots_out: &[f64], n: usize, stride: usize, collapse: bool) -> Vec<f64> {
+    if collapse {
         (0..n).map(|b| slots_out[b]).collect()
     } else {
         (0..n).map(|b| slots_out[b * stride]).collect()
-    };
+    }
+}
+
+/// Point-major family: query replicated per point block; per-block
+/// rotate-add tree accumulates dimensions. With `collapse`, the server masks
+/// each block's result and packs all distances densely into the low slots
+/// before replying (extra server work, single dense output — the
+/// client-optimal variant of §5.4).
+fn point_major(
+    client: &mut CkksClient,
+    server: &CkksServer,
+    query: &[f64],
+    points: &[Vec<f64>],
+    collapse: bool,
+) -> Result<DistanceResult, HeError> {
+    let n = points.len();
+    let stride = block_stride(query.len());
+    let slots = client.context().slot_count();
+    assert!(n * stride <= slots, "point-major packing exceeds capacity");
+
+    let mut ledger = CommLedger::new();
+    let ct = client.encrypt_values(&point_major_qslots(query, n, stride))?;
+    let at_server = upload_ckks(&mut ledger, &ct);
+    let (reply, server_ops) = point_major_server(server, &at_server, points, stride, collapse)?;
+    let back = download_ckks(&mut ledger, &reply);
+    ledger.end_round();
+    let slots_out = client.decrypt_values(&back);
     Ok(DistanceResult {
-        distances,
+        distances: point_major_extract(&slots_out, n, stride, collapse),
         ledger,
         encryptions: client.encryption_count(),
         decryptions: client.decryption_count(),
         server_ops,
     })
+}
+
+/// [`point_major`] over a resilient session: same packing, same server
+/// computation, framed/retried transfers.
+fn point_major_resilient(
+    session: &mut CkksResilientSession,
+    query: &[f64],
+    points: &[Vec<f64>],
+    collapse: bool,
+) -> Result<DistanceResult, TransportError> {
+    let n = points.len();
+    let stride = block_stride(query.len());
+    let slots = session.server().context().slot_count();
+    assert!(n * stride <= slots, "point-major packing exceeds capacity");
+
+    let ct = session
+        .client_mut()
+        .encrypt_values(&point_major_qslots(query, n, stride))?;
+    let at_server = session.upload(&ct)?;
+    let (reply, server_ops) =
+        point_major_server(session.server(), &at_server, points, stride, collapse)?;
+    let back = session.download(&reply)?;
+    session.ledger_mut().end_round();
+    let slots_out = session.client_mut().decrypt_values(&back);
+    Ok(DistanceResult {
+        distances: point_major_extract(&slots_out, n, stride, collapse),
+        ledger: CommLedger::new(), // overwritten by the caller with the delta
+        encryptions: session.client_mut().encryption_count(),
+        decryptions: session.client_mut().decryption_count(),
+        server_ops,
+    })
+}
+
+/// How many dimensions fit in one ciphertext at `n`-slot strides. Slot
+/// rotations wrap cyclically, so the fold tree needs the top band plus one
+/// band of headroom to stay clear of wrapped-in values; cap at the largest
+/// power of two with `per_ct·n + n ≤ slots`.
+fn dims_per_ciphertext(n: usize, slots: usize) -> usize {
+    let mut per_ct = 1usize;
+    while 2 * per_ct * n + n <= slots {
+        per_ct *= 2;
+    }
+    per_ct
+}
+
+/// Client-side packing of one dimension batch: broadcast `q_dim` across the
+/// `n` points of each stacked band (and the negated point coordinates the
+/// server will add).
+fn dimension_batch_slots(
+    query: &[f64],
+    points: &[Vec<f64>],
+    dim: usize,
+    batch: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = points.len();
+    let mut qslots = vec![0.0f64; batch * n];
+    let mut pslots = vec![0.0f64; batch * n];
+    for b in 0..batch {
+        for i in 0..n {
+            qslots[b * n + i] = query[dim + b];
+            pslots[b * n + i] = -points[i][dim + b];
+        }
+    }
+    (qslots, pslots)
+}
+
+/// Server-side work for one dimension batch: diff, square, fold stacked
+/// bands onto band 0. Returns the partial-sum ciphertext and op count.
+fn dimension_batch_server(
+    server: &CkksServer,
+    at_server: &CkksCiphertext,
+    pslots: &[f64],
+    batch: usize,
+    n: usize,
+) -> Result<(CkksCiphertext, u64), HeError> {
+    let ctx = server.context();
+    let mut server_ops = 0u64;
+    let ppt = server.encode_at(pslots, at_server.level(), at_server.scale())?;
+    let diff = ctx.add_plain(at_server, &ppt)?;
+    server_ops += 1;
+    let sq = ctx.multiply_relin(&diff, &diff, server.relin_key())?;
+    let mut sq = ctx.rescale(&sq)?;
+    server_ops += 2;
+    // Fold stacked bands onto band 0.
+    let mut band = 1usize;
+    while band < batch {
+        // Fold by the largest power-of-two band count.
+        let rot = ctx.rotate(&sq, (band * n) as i64, server.galois_keys())?;
+        sq = ctx.add(&sq, &rot)?;
+        server_ops += 2;
+        band <<= 1;
+    }
+    Ok((sq, server_ops))
 }
 
 /// Dimension-major family: one ciphertext per dimension (the stacked form
@@ -236,46 +401,16 @@ fn dimension_major(
     let mut server_ops = 0u64;
     let ctx = server.context();
 
-    // How many dimensions fit in one ciphertext at n-slot strides. Slot
-    // rotations wrap cyclically, so the fold tree needs the top band plus
-    // one band of headroom to stay clear of wrapped-in values; cap at the
-    // largest power of two with `per_ct·n + n ≤ slots`.
-    let mut per_ct = 1usize;
-    while 2 * per_ct * n + n <= slots {
-        per_ct *= 2;
-    }
-    let per_ct = per_ct.min(d);
+    let per_ct = dims_per_ciphertext(n, slots).min(d);
     let mut total: Option<CkksCiphertext> = None;
     let mut dim = 0usize;
     while dim < d {
         let batch = per_ct.min(d - dim);
-        // Client: broadcast q_dim across the n points of each stacked band.
-        let mut qslots = vec![0.0f64; batch * n];
-        let mut pslots = vec![0.0f64; batch * n];
-        for b in 0..batch {
-            for i in 0..n {
-                qslots[b * n + i] = query[dim + b];
-                pslots[b * n + i] = -points[i][dim + b];
-            }
-        }
+        let (qslots, pslots) = dimension_batch_slots(query, points, dim, batch);
         let ct = client.encrypt_values(&qslots)?;
         let at_server = upload_ckks(&mut ledger, &ct);
-
-        let ppt = server.encode_at(&pslots, at_server.level(), at_server.scale())?;
-        let diff = ctx.add_plain(&at_server, &ppt)?;
-        server_ops += 1;
-        let sq = ctx.multiply_relin(&diff, &diff, server.relin_key())?;
-        let mut sq = ctx.rescale(&sq)?;
-        server_ops += 2;
-        // Fold stacked bands onto band 0.
-        let mut band = 1usize;
-        while band < batch {
-            // Fold by the largest power-of-two band count.
-            let rot = ctx.rotate(&sq, (band * n) as i64, server.galois_keys())?;
-            sq = ctx.add(&sq, &rot)?;
-            server_ops += 2;
-            band <<= 1;
-        }
+        let (sq, ops) = dimension_batch_server(server, &at_server, &pslots, batch, n)?;
+        server_ops += ops;
         total = Some(match total {
             None => sq,
             Some(tt) => {
@@ -285,7 +420,7 @@ fn dimension_major(
         });
         dim += batch;
     }
-    let reply = total.expect("d >= 1");
+    let reply = total.ok_or_else(|| HeError::Mismatch("need at least one dimension".into()))?;
     let back = download_ckks(&mut ledger, &reply);
     ledger.end_round();
     let out = client.decrypt_values(&back);
@@ -294,6 +429,53 @@ fn dimension_major(
         ledger,
         encryptions: client.encryption_count(),
         decryptions: client.decryption_count(),
+        server_ops,
+    })
+}
+
+/// [`dimension_major`] over a resilient session: same packing and server
+/// computation, framed/retried transfers.
+fn dimension_major_resilient(
+    session: &mut CkksResilientSession,
+    query: &[f64],
+    points: &[Vec<f64>],
+) -> Result<DistanceResult, TransportError> {
+    let d = query.len();
+    let n = points.len();
+    let slots = session.server().context().slot_count();
+    assert!(n <= slots, "too many points for one ciphertext");
+
+    let mut server_ops = 0u64;
+    let per_ct = dims_per_ciphertext(n, slots).min(d);
+    let mut total: Option<CkksCiphertext> = None;
+    let mut dim = 0usize;
+    while dim < d {
+        let batch = per_ct.min(d - dim);
+        let (qslots, pslots) = dimension_batch_slots(query, points, dim, batch);
+        let ct = session.client_mut().encrypt_values(&qslots)?;
+        let at_server = session.upload(&ct)?;
+        let (sq, ops) = dimension_batch_server(session.server(), &at_server, &pslots, batch, n)?;
+        server_ops += ops;
+        total = Some(match total {
+            None => sq,
+            Some(tt) => {
+                server_ops += 1;
+                session.server().context().add(&tt, &sq)?
+            }
+        });
+        dim += batch;
+    }
+    let reply = total.ok_or_else(|| {
+        TransportError::He(HeError::Mismatch("need at least one dimension".into()))
+    })?;
+    let back = session.download(&reply)?;
+    session.ledger_mut().end_round();
+    let out = session.client_mut().decrypt_values(&back);
+    Ok(DistanceResult {
+        distances: out[..n].to_vec(),
+        ledger: CommLedger::new(), // overwritten by the caller with the delta
+        encryptions: session.client_mut().encryption_count(),
+        decryptions: session.client_mut().decryption_count(),
         server_ops,
     })
 }
@@ -317,7 +499,9 @@ pub fn knn_classify(distances: &[f64], labels: &[usize], k: usize) -> usize {
     assert_eq!(distances.len(), labels.len());
     assert!(k >= 1 && k <= distances.len());
     let mut idx: Vec<usize> = (0..distances.len()).collect();
-    idx.sort_by(|&a, &b| distances[a].partial_cmp(&distances[b]).expect("finite"));
+    // total_cmp: NaN distances (e.g. from a corrupted reply) sort last
+    // instead of panicking mid-vote.
+    idx.sort_by(|&a, &b| distances[a].total_cmp(&distances[b]));
     let mut votes = std::collections::HashMap::new();
     for &i in idx.iter().take(k) {
         *votes.entry(labels[i]).or_insert(0usize) += 1;
@@ -331,10 +515,7 @@ pub fn knn_classify(distances: &[f64], labels: &[usize], k: usize) -> usize {
 
 /// One K-Means step on the client given per-centroid distance vectors:
 /// assigns each point to its nearest centroid and returns the new centroids.
-pub fn kmeans_update(
-    points: &[Vec<f64>],
-    distances_per_centroid: &[Vec<f64>],
-) -> Vec<Vec<f64>> {
+pub fn kmeans_update(points: &[Vec<f64>], distances_per_centroid: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let k = distances_per_centroid.len();
     let n = points.len();
     let d = points[0].len();
@@ -495,8 +676,7 @@ mod tests {
         let want = distances_plain(&query, &points);
         for variant in PackingVariant::all() {
             let (mut client, server) = setup(dims, n);
-            let res =
-                encrypted_distances(variant, &mut client, &server, &query, &points).unwrap();
+            let res = encrypted_distances(variant, &mut client, &server, &query, &points).unwrap();
             assert_eq!(res.distances.len(), n);
             for (i, (g, w)) in res.distances.iter().zip(&want).enumerate() {
                 assert!(
@@ -514,8 +694,7 @@ mod tests {
         let (query, points) = test_data(dims, n);
         let (mut c1, s1) = setup(dims, n);
         let plain =
-            encrypted_distances(PackingVariant::PointMajor, &mut c1, &s1, &query, &points)
-                .unwrap();
+            encrypted_distances(PackingVariant::PointMajor, &mut c1, &s1, &query, &points).unwrap();
         let (mut c2, s2) = setup(dims, n);
         let collapsed = encrypted_distances(
             PackingVariant::CollapsedPointMajor,
@@ -535,9 +714,14 @@ mod tests {
     fn dimension_major_uploads_scale_with_dims() {
         let (query_small, points_small) = test_data(2, 100);
         let (mut c, s) = setup(2, 100);
-        let small =
-            encrypted_distances(PackingVariant::DimensionMajor, &mut c, &s, &query_small, &points_small)
-                .unwrap();
+        let small = encrypted_distances(
+            PackingVariant::DimensionMajor,
+            &mut c,
+            &s,
+            &query_small,
+            &points_small,
+        )
+        .unwrap();
         // 100-point bands: 512/100 → 5 dims per ct; 2 dims → one upload.
         assert_eq!(small.ledger.uploads, 1);
         let (query_big, points_big) = test_data(16, 100);

@@ -21,6 +21,7 @@ use choco::linalg::{accumulate_channels, stacked_conv, ConvTap};
 use choco::protocol::{download, upload, BfvClient, BfvServer, CommLedger};
 use choco::rotation::RedundantLayout;
 use choco::stacking::StackedLayout;
+use choco::transport::{ResilientSession, TransportError};
 use choco_he::bfv::Ciphertext;
 use choco_he::params::HeParams;
 use choco_he::HeError;
@@ -215,15 +216,52 @@ impl Network {
             name: "LeNetSm",
             dataset: "MNIST",
             layers: vec![
-                Layer::Conv { in_ch: 1, out_ch: 6, filter: 5, stride: 1, in_h: 28, in_w: 28, padded: false },
-                Layer::Activation { elements: 6 * 24 * 24 },
-                Layer::Pool { channels: 6, in_h: 24, in_w: 24, window: 2 },
-                Layer::Conv { in_ch: 6, out_ch: 16, filter: 5, stride: 1, in_h: 12, in_w: 12, padded: false },
-                Layer::Activation { elements: 16 * 8 * 8 },
-                Layer::Pool { channels: 16, in_h: 8, in_w: 8, window: 2 },
-                Layer::Fc { in_features: 256, out_features: 10 },
+                Layer::Conv {
+                    in_ch: 1,
+                    out_ch: 6,
+                    filter: 5,
+                    stride: 1,
+                    in_h: 28,
+                    in_w: 28,
+                    padded: false,
+                },
+                Layer::Activation {
+                    elements: 6 * 24 * 24,
+                },
+                Layer::Pool {
+                    channels: 6,
+                    in_h: 24,
+                    in_w: 24,
+                    window: 2,
+                },
+                Layer::Conv {
+                    in_ch: 6,
+                    out_ch: 16,
+                    filter: 5,
+                    stride: 1,
+                    in_h: 12,
+                    in_w: 12,
+                    padded: false,
+                },
+                Layer::Activation {
+                    elements: 16 * 8 * 8,
+                },
+                Layer::Pool {
+                    channels: 16,
+                    in_h: 8,
+                    in_w: 8,
+                    window: 2,
+                },
+                Layer::Fc {
+                    in_features: 256,
+                    out_features: 10,
+                },
             ],
-            accuracy: Accuracy { float: 99.0, int8: 94.9, int4: 93.8 },
+            accuracy: Accuracy {
+                float: 99.0,
+                int8: 94.9,
+                int4: 93.8,
+            },
         }
     }
 
@@ -233,64 +271,223 @@ impl Network {
             name: "LeNetLg",
             dataset: "MNIST",
             layers: vec![
-                Layer::Conv { in_ch: 1, out_ch: 32, filter: 5, stride: 1, in_h: 28, in_w: 28, padded: true },
-                Layer::Activation { elements: 32 * 28 * 28 },
-                Layer::Pool { channels: 32, in_h: 28, in_w: 28, window: 2 },
-                Layer::Conv { in_ch: 32, out_ch: 64, filter: 5, stride: 1, in_h: 14, in_w: 14, padded: true },
-                Layer::Activation { elements: 64 * 14 * 14 },
-                Layer::Pool { channels: 64, in_h: 14, in_w: 14, window: 2 },
-                Layer::Fc { in_features: 3136, out_features: 512 },
+                Layer::Conv {
+                    in_ch: 1,
+                    out_ch: 32,
+                    filter: 5,
+                    stride: 1,
+                    in_h: 28,
+                    in_w: 28,
+                    padded: true,
+                },
+                Layer::Activation {
+                    elements: 32 * 28 * 28,
+                },
+                Layer::Pool {
+                    channels: 32,
+                    in_h: 28,
+                    in_w: 28,
+                    window: 2,
+                },
+                Layer::Conv {
+                    in_ch: 32,
+                    out_ch: 64,
+                    filter: 5,
+                    stride: 1,
+                    in_h: 14,
+                    in_w: 14,
+                    padded: true,
+                },
+                Layer::Activation {
+                    elements: 64 * 14 * 14,
+                },
+                Layer::Pool {
+                    channels: 64,
+                    in_h: 14,
+                    in_w: 14,
+                    window: 2,
+                },
+                Layer::Fc {
+                    in_features: 3136,
+                    out_features: 512,
+                },
                 Layer::Activation { elements: 512 },
-                Layer::Fc { in_features: 512, out_features: 10 },
+                Layer::Fc {
+                    in_features: 512,
+                    out_features: 10,
+                },
             ],
-            accuracy: Accuracy { float: 98.7, int8: 97.2, int4: 96.4 },
+            accuracy: Accuracy {
+                float: 98.7,
+                int8: 97.2,
+                int4: 96.4,
+            },
         }
     }
 
     /// SqueezeNet for CIFAR-10 (fire-module stack; ≈32.6 M MACs).
     pub fn squeezenet() -> Network {
         let mut layers = vec![
-            Layer::Conv { in_ch: 3, out_ch: 64, filter: 3, stride: 2, in_h: 32, in_w: 32, padded: true },
-            Layer::Activation { elements: 64 * 16 * 16 },
+            Layer::Conv {
+                in_ch: 3,
+                out_ch: 64,
+                filter: 3,
+                stride: 2,
+                in_h: 32,
+                in_w: 32,
+                padded: true,
+            },
+            Layer::Activation {
+                elements: 64 * 16 * 16,
+            },
         ];
         // Fire 1 @16×16, in 64 → out 256.
         layers.extend([
-            Layer::Conv { in_ch: 64, out_ch: 32, filter: 1, stride: 1, in_h: 16, in_w: 16, padded: true },
-            Layer::Activation { elements: 32 * 16 * 16 },
-            Layer::Conv { in_ch: 32, out_ch: 128, filter: 1, stride: 1, in_h: 16, in_w: 16, padded: true },
-            Layer::Activation { elements: 128 * 16 * 16 },
-            Layer::Conv { in_ch: 32, out_ch: 128, filter: 3, stride: 1, in_h: 16, in_w: 16, padded: true },
-            Layer::Activation { elements: 128 * 16 * 16 },
-            Layer::Pool { channels: 256, in_h: 16, in_w: 16, window: 2 },
+            Layer::Conv {
+                in_ch: 64,
+                out_ch: 32,
+                filter: 1,
+                stride: 1,
+                in_h: 16,
+                in_w: 16,
+                padded: true,
+            },
+            Layer::Activation {
+                elements: 32 * 16 * 16,
+            },
+            Layer::Conv {
+                in_ch: 32,
+                out_ch: 128,
+                filter: 1,
+                stride: 1,
+                in_h: 16,
+                in_w: 16,
+                padded: true,
+            },
+            Layer::Activation {
+                elements: 128 * 16 * 16,
+            },
+            Layer::Conv {
+                in_ch: 32,
+                out_ch: 128,
+                filter: 3,
+                stride: 1,
+                in_h: 16,
+                in_w: 16,
+                padded: true,
+            },
+            Layer::Activation {
+                elements: 128 * 16 * 16,
+            },
+            Layer::Pool {
+                channels: 256,
+                in_h: 16,
+                in_w: 16,
+                window: 2,
+            },
         ]);
         // Fire 2 @8×8, in 256 → out 512.
         layers.extend([
-            Layer::Conv { in_ch: 256, out_ch: 64, filter: 1, stride: 1, in_h: 8, in_w: 8, padded: true },
-            Layer::Activation { elements: 64 * 8 * 8 },
-            Layer::Conv { in_ch: 64, out_ch: 256, filter: 1, stride: 1, in_h: 8, in_w: 8, padded: true },
-            Layer::Activation { elements: 256 * 8 * 8 },
-            Layer::Conv { in_ch: 64, out_ch: 256, filter: 3, stride: 1, in_h: 8, in_w: 8, padded: true },
-            Layer::Activation { elements: 256 * 8 * 8 },
-            Layer::Pool { channels: 512, in_h: 8, in_w: 8, window: 2 },
+            Layer::Conv {
+                in_ch: 256,
+                out_ch: 64,
+                filter: 1,
+                stride: 1,
+                in_h: 8,
+                in_w: 8,
+                padded: true,
+            },
+            Layer::Activation {
+                elements: 64 * 8 * 8,
+            },
+            Layer::Conv {
+                in_ch: 64,
+                out_ch: 256,
+                filter: 1,
+                stride: 1,
+                in_h: 8,
+                in_w: 8,
+                padded: true,
+            },
+            Layer::Activation {
+                elements: 256 * 8 * 8,
+            },
+            Layer::Conv {
+                in_ch: 64,
+                out_ch: 256,
+                filter: 3,
+                stride: 1,
+                in_h: 8,
+                in_w: 8,
+                padded: true,
+            },
+            Layer::Activation {
+                elements: 256 * 8 * 8,
+            },
+            Layer::Pool {
+                channels: 512,
+                in_h: 8,
+                in_w: 8,
+                window: 2,
+            },
         ]);
         // Fire 3 @4×4, in 512 → out 512 (3×3 expand only).
         layers.extend([
-            Layer::Conv { in_ch: 512, out_ch: 128, filter: 1, stride: 1, in_h: 4, in_w: 4, padded: true },
-            Layer::Activation { elements: 128 * 4 * 4 },
-            Layer::Conv { in_ch: 128, out_ch: 512, filter: 3, stride: 1, in_h: 4, in_w: 4, padded: true },
-            Layer::Activation { elements: 512 * 4 * 4 },
-            Layer::Pool { channels: 512, in_h: 4, in_w: 4, window: 2 },
+            Layer::Conv {
+                in_ch: 512,
+                out_ch: 128,
+                filter: 1,
+                stride: 1,
+                in_h: 4,
+                in_w: 4,
+                padded: true,
+            },
+            Layer::Activation {
+                elements: 128 * 4 * 4,
+            },
+            Layer::Conv {
+                in_ch: 128,
+                out_ch: 512,
+                filter: 3,
+                stride: 1,
+                in_h: 4,
+                in_w: 4,
+                padded: true,
+            },
+            Layer::Activation {
+                elements: 512 * 4 * 4,
+            },
+            Layer::Pool {
+                channels: 512,
+                in_h: 4,
+                in_w: 4,
+                window: 2,
+            },
         ]);
         // Classifier conv 1×1 → 10.
         layers.extend([
-            Layer::Conv { in_ch: 512, out_ch: 10, filter: 1, stride: 1, in_h: 2, in_w: 2, padded: true },
-            Layer::Activation { elements: 10 * 2 * 2 },
+            Layer::Conv {
+                in_ch: 512,
+                out_ch: 10,
+                filter: 1,
+                stride: 1,
+                in_h: 2,
+                in_w: 2,
+                padded: true,
+            },
+            Layer::Activation {
+                elements: 10 * 2 * 2,
+            },
         ]);
         Network {
             name: "SqzNet",
             dataset: "CIFAR-10",
             layers,
-            accuracy: Accuracy { float: 76.5, int8: 74.0, int4: 15.0 },
+            accuracy: Accuracy {
+                float: 76.5,
+                int8: 74.0,
+                int4: 15.0,
+            },
         }
     }
 
@@ -316,19 +513,36 @@ impl Network {
                     in_w: hw,
                     padded: true,
                 });
-                layers.push(Layer::Activation { elements: ch * hw * hw });
+                layers.push(Layer::Activation {
+                    elements: ch * hw * hw,
+                });
                 in_ch = ch;
             }
-            layers.push(Layer::Pool { channels: ch, in_h: hw, in_w: hw, window: 2 });
+            layers.push(Layer::Pool {
+                channels: ch,
+                in_h: hw,
+                in_w: hw,
+                window: 2,
+            });
         }
-        layers.push(Layer::Fc { in_features: 512, out_features: 512 });
+        layers.push(Layer::Fc {
+            in_features: 512,
+            out_features: 512,
+        });
         layers.push(Layer::Activation { elements: 512 });
-        layers.push(Layer::Fc { in_features: 512, out_features: 10 });
+        layers.push(Layer::Fc {
+            in_features: 512,
+            out_features: 10,
+        });
         Network {
             name: "VGG16",
             dataset: "CIFAR-10",
             layers,
-            accuracy: Accuracy { float: 70.0, int8: 66.0, int4: 21.0 },
+            accuracy: Accuracy {
+                float: 70.0,
+                int8: 66.0,
+                int4: 21.0,
+            },
         }
     }
 
@@ -383,7 +597,13 @@ pub fn client_aided_plan(net: &Network, params: &HeParams) -> InferencePlan {
     // Initial upload: the input of the first linear layer.
     let first = &net.layers[0];
     let first_up = match *first {
-        Layer::Conv { in_ch, in_h, in_w, filter, .. } => {
+        Layer::Conv {
+            in_ch,
+            in_h,
+            in_w,
+            filter,
+            ..
+        } => {
             let red = (filter / 2) * (in_w + 1);
             cts_for_slots(stacked_slots(in_ch, in_h * in_w, red), row)
         }
@@ -420,7 +640,13 @@ pub fn client_aided_plan(net: &Network, params: &HeParams) -> InferencePlan {
             if k < n_layers {
                 // Re-upload packed for the next linear layer.
                 let up = match net.layers[k] {
-                    Layer::Conv { in_ch, in_h, in_w, filter, .. } => {
+                    Layer::Conv {
+                        in_ch,
+                        in_h,
+                        in_w,
+                        filter,
+                        ..
+                    } => {
                         let red = (filter / 2) * (in_w + 1);
                         cts_for_slots(stacked_slots(in_ch, in_h * in_w, red), row)
                     }
@@ -496,7 +722,7 @@ pub fn conv_microbenchmark(params: &HeParams) -> Vec<MicroPoint> {
 /// (matching the encrypted kernel's flattened-rotation semantics; callers
 /// compare interior pixels for `valid` behaviour).
 pub fn conv2d_plain_circular(
-    input: &[Vec<u64>],  // [in_ch][h*w]
+    input: &[Vec<u64>],        // [in_ch][h*w]
     weights: &[Vec<Vec<u64>>], // [out_ch][in_ch][f*f]
     h: usize,
     w: usize,
@@ -516,11 +742,10 @@ pub fn conv2d_plain_circular(
                         for dx in 0..f {
                             // Flattened circular shift: index (y*w + x) +
                             // (dy-pad)*w + (dx-pad), wrapped mod h*w.
-                            let shift = (dy as i64 - pad as i64) * w as i64
-                                + (dx as i64 - pad as i64);
-                            let idx = ((y * w + x) as i64 + shift)
-                                .rem_euclid((h * w) as i64)
-                                as usize;
+                            let shift =
+                                (dy as i64 - pad as i64) * w as i64 + (dx as i64 - pad as i64);
+                            let idx =
+                                ((y * w + x) as i64 + shift).rem_euclid((h * w) as i64) as usize;
                             acc = (acc + weights[o][c][dy * f + dx] * in_map[idx]) % t;
                         }
                     }
@@ -572,18 +797,7 @@ pub fn run_encrypted_conv_layer(
     // Server: one stacked conv + channel accumulation per output channel.
     let mut results = Vec::new();
     for out_weights in weights {
-        let mut taps = Vec::new();
-        for dy in 0..f {
-            for dx in 0..f {
-                let shift = (dy as i64 - pad as i64) * w as i64 + (dx as i64 - pad as i64);
-                let channel_weights: Vec<u64> =
-                    (0..in_ch).map(|c| out_weights[c][dy * f + dx]).collect();
-                taps.push(ConvTap {
-                    shift,
-                    channel_weights,
-                });
-            }
-        }
+        let taps = conv_taps(out_weights, in_ch, f, w);
         let conv = stacked_conv(server, &at_server, &layout, &taps)?;
         let acc = accumulate_channels(server, &conv, &layout)?;
         results.push(download(ledger, &acc));
@@ -596,6 +810,74 @@ pub fn run_encrypted_conv_layer(
         let slots = client.decrypt_slots(ct)?;
         maps.push(layout.extract(&slots)[0].clone());
     }
+    Ok(maps)
+}
+
+/// Filter taps for one output channel: per-tap shift plus the per-input-
+/// channel weight vector.
+fn conv_taps(out_weights: &[Vec<u64>], in_ch: usize, f: usize, w: usize) -> Vec<ConvTap> {
+    let pad = f / 2;
+    let mut taps = Vec::with_capacity(f * f);
+    for dy in 0..f {
+        for dx in 0..f {
+            let shift = (dy as i64 - pad as i64) * w as i64 + (dx as i64 - pad as i64);
+            let channel_weights: Vec<u64> =
+                (0..in_ch).map(|c| out_weights[c][dy * f + dx]).collect();
+            taps.push(ConvTap {
+                shift,
+                channel_weights,
+            });
+        }
+    }
+    taps
+}
+
+/// [`run_encrypted_conv_layer`] over a [`ResilientSession`]: the same
+/// client-aided layer, but every ciphertext crosses a (possibly faulty)
+/// framed channel with retries, and the noise watchdog guards the input
+/// ciphertext before each output channel's server-side work.
+///
+/// Under a lossless link this produces bit-identical feature maps to the
+/// plain path, with identical primary ledger counters.
+///
+/// # Errors
+///
+/// Typed [`TransportError`]s when the link is worse than the retry budget;
+/// HE-layer failures are wrapped in [`TransportError::He`].
+pub fn run_encrypted_conv_layer_resilient(
+    session: &mut ResilientSession,
+    input: &[Vec<u64>],
+    weights: &[Vec<Vec<u64>>],
+    h: usize,
+    w: usize,
+    f: usize,
+) -> Result<Vec<Vec<u64>>, TransportError> {
+    let in_ch = input.len();
+    let red = (f / 2) * (w + 1);
+    let layout = StackedLayout::new(in_ch, RedundantLayout::new(h * w, red));
+    assert!(
+        layout.fits(session.server().context().degree() / 2),
+        "layer too large for one ciphertext; split across ciphertexts"
+    );
+
+    // Client: pack + encrypt + upload (framed, retried).
+    let slots = layout.pack(input);
+    let ct = session.client_mut().encrypt_slots(&slots)?;
+    let mut at_server = session.upload(&ct)?;
+
+    // Server: stacked conv + accumulation per output channel, with the
+    // watchdog checking the input's remaining budget before each pass.
+    let mut maps = Vec::new();
+    for out_weights in weights {
+        at_server = session.guard(&at_server)?;
+        let taps = conv_taps(out_weights, in_ch, f, w);
+        let conv = stacked_conv(session.server(), &at_server, &layout, &taps)?;
+        let acc = accumulate_channels(session.server(), &conv, &layout)?;
+        let back = session.download(&acc)?;
+        let slots = session.client_mut().decrypt_slots(&back)?;
+        maps.push(layout.extract(&slots)[0].clone());
+    }
+    session.ledger_mut().end_round();
     Ok(maps)
 }
 
@@ -669,8 +951,7 @@ pub fn run_encrypted_conv_layer_multi(
             let mut taps = Vec::new();
             for dy in 0..f {
                 for dx in 0..f {
-                    let shift =
-                        (dy as i64 - pad as i64) * w as i64 + (dx as i64 - pad as i64);
+                    let shift = (dy as i64 - pad as i64) * w as i64 + (dx as i64 - pad as i64);
                     let channel_weights: Vec<u64> = (0..per_ct)
                         .map(|c| {
                             out_weights
@@ -764,10 +1045,7 @@ mod tests {
         for (net, (name, macs, tol)) in nets.iter().zip(expect) {
             assert_eq!(net.name, name);
             let got = net.total_macs() as f64;
-            assert!(
-                (got - macs).abs() / macs < tol,
-                "{name}: {got} vs {macs}"
-            );
+            assert!((got - macs).abs() / macs < tol, "{name}: {got} vs {macs}");
         }
     }
 
@@ -858,7 +1136,14 @@ mod tests {
             .collect();
 
         let got = run_encrypted_conv_layer_multi(
-            &mut client, &server, &mut ledger, &input, &weights, h, w, f,
+            &mut client,
+            &server,
+            &mut ledger,
+            &input,
+            &weights,
+            h,
+            w,
+            f,
         )
         .unwrap();
         let t = client.context().plain_modulus();
@@ -883,7 +1168,14 @@ mod tests {
         let weights: Vec<Vec<Vec<u64>>> =
             vec![(0..in_ch).map(|c| vec![(c + 1) as u64; f * f]).collect()];
         let got = run_encrypted_conv_layer_multi(
-            &mut client, &server, &mut ledger, &input, &weights, h, w, f,
+            &mut client,
+            &server,
+            &mut ledger,
+            &input,
+            &weights,
+            h,
+            w,
+            f,
         )
         .unwrap();
         assert_eq!(ledger.uploads, 1, "small layer uses the single-ct path");
@@ -912,10 +1204,9 @@ mod tests {
             })
             .collect();
 
-        let got = run_encrypted_conv_layer(
-            &mut client, &server, &mut ledger, &input, &weights, h, w, f,
-        )
-        .unwrap();
+        let got =
+            run_encrypted_conv_layer(&mut client, &server, &mut ledger, &input, &weights, h, w, f)
+                .unwrap();
         let t = client.context().plain_modulus();
         let want = conv2d_plain_circular(&input, &weights, h, w, f, t);
         assert_eq!(got, want);

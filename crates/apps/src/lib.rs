@@ -16,6 +16,10 @@
 //! * [`protocols`] — analytic communication models of the seven prior
 //!   privacy-preserving protocols Figure 10 compares against.
 
+// Panics hide protocol bugs: outside tests, prefer typed errors (PR 1's
+// robustness audit). New `unwrap`/`expect` calls in library code must either
+// be converted to `Result` or carry a `# Panics` contract at the public API.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 // Reference-style loops index multiple arrays in lockstep; the index
 // form is clearer than zipped iterators for these numeric kernels.
 #![allow(clippy::needless_range_loop)]

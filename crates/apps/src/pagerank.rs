@@ -12,7 +12,9 @@
 //! Figure 13 live here.
 
 use choco::linalg::{matvec_diagonals, replicate_for_matvec};
-use choco::protocol::{download, upload, BfvClient, CommLedger};
+use choco::protocol::{download, upload, BfvClient, BfvServer, CommLedger};
+use choco::transport::{LinkConfig, ResilientSession, TransportError};
+use choco_he::bfv::Ciphertext;
 use choco_he::params::{max_coeff_bits_128, HeParams, SchemeType, WORD_BYTES};
 use choco_he::HeError;
 
@@ -83,6 +85,81 @@ pub struct EncryptedPageRank {
     pub decryptions: u64,
 }
 
+/// Quantizes a real vector to `scale` fixed point modulo `t`.
+fn quantize(values: &[f64], scale: u64, t: u64) -> Vec<u64> {
+    values
+        .iter()
+        .map(|&v| ((v * scale as f64).round() as u64) % t)
+        .collect()
+}
+
+/// Rotation steps the PageRank kernels need: diagonal shifts plus the
+/// replication shift for multi-iteration bursts.
+fn pagerank_rotation_steps(n: usize) -> Vec<i64> {
+    let mut steps: Vec<i64> = (1..n as i64).collect();
+    steps.push(-(n as i64));
+    steps
+}
+
+/// Server-side burst: `burst` encrypted PageRank iterations on `at_server`.
+///
+/// Every term carries scale `scale^(it+2)` after iteration `it`, so teleport
+/// constants are injected at the matching scale and everything meets at
+/// `scale^(burst+1)` for the client to strip.
+fn bfv_burst_server(
+    server: &BfvServer,
+    mut at_server: Ciphertext,
+    qm: &[Vec<u64>],
+    burst: u32,
+    teleport: f64,
+    scale: u64,
+    n: usize,
+) -> Result<Ciphertext, HeError> {
+    let t = server.context().plain_modulus();
+    let row = server.context().degree() / 2;
+    for it in 0..burst {
+        at_server = matvec_diagonals(server, &at_server, qm)?;
+        let tq = ((teleport * (scale as f64).powi(it as i32 + 2)).round() as u64) % t;
+        let mut tvec = vec![0u64; row];
+        for s in tvec.iter_mut().take(n) {
+            *s = tq;
+        }
+        let tpt = server.encode(&tvec)?;
+        at_server = server.evaluator().add_plain(&at_server, &tpt);
+        if it + 1 < burst {
+            // Continuous encrypted operation must re-replicate the rank
+            // vector for the next diagonal product: one masking multiply
+            // plus one rotation — exactly the noise tax that makes long
+            // bursts lose to frequent refresh (§5.6).
+            let mut mask = vec![0u64; row];
+            for s in mask.iter_mut().take(n) {
+                *s = 1;
+            }
+            let mpt = server.encode(&mask)?;
+            let masked = server.evaluator().multiply_plain(&at_server, &mpt);
+            let copy =
+                server
+                    .evaluator()
+                    .rotate_rows(&masked, -(n as i64), server.galois_keys())?;
+            at_server = server.evaluator().add(&masked, &copy)?;
+        }
+    }
+    Ok(at_server)
+}
+
+/// Client-side post-processing of a decrypted burst: strips the accumulated
+/// scale and renormalizes to a probability vector.
+fn strip_and_renormalize(slots: &[u64], ranks: &mut [f64], scale: u64, burst: u32) {
+    let denom = (scale as f64).powi(burst as i32 + 1);
+    for (r, &s) in ranks.iter_mut().zip(slots) {
+        *r = s as f64 / denom;
+    }
+    let sum: f64 = ranks.iter().sum();
+    for r in ranks.iter_mut() {
+        *r /= sum;
+    }
+}
+
 /// Runs client-aided PageRank in BFV fixed point.
 ///
 /// Ranks and matrix entries are quantized with `scale_bits` fractional bits.
@@ -110,9 +187,7 @@ pub fn pagerank_encrypted_bfv(
     let mut client = BfvClient::new(params, b"pagerank bfv")?;
     let row = client.context().degree() / 2;
     assert!(2 * n <= row, "graph too large for one ciphertext row");
-    let mut steps: Vec<i64> = (1..n as i64).collect();
-    steps.push(-(n as i64)); // replication shift for multi-iteration bursts
-    let server = client.provision_server(&steps)?;
+    let server = client.provision_server(&pagerank_rotation_steps(n))?;
     let mut ledger = CommLedger::new();
 
     let scale = 1u64 << scale_bits;
@@ -122,71 +197,120 @@ pub fn pagerank_encrypted_bfv(
         .transition
         .iter()
         .map(|row| {
-            row.iter()
-                .map(|&v| ((damping * v * scale as f64).round() as u64) % t)
-                .collect()
+            quantize(
+                &row.iter().map(|&v| damping * v).collect::<Vec<_>>(),
+                scale,
+                t,
+            )
         })
         .collect();
+    let teleport = (1.0 - damping) / n as f64;
 
     let mut ranks: Vec<f64> = vec![1.0 / n as f64; n];
     let mut done = 0u32;
     while done < total_iterations {
         let burst = iters_per_refresh.min(total_iterations - done);
         // Client quantizes and encrypts the current ranks.
-        let qr: Vec<u64> = ranks
-            .iter()
-            .map(|&v| ((v * scale as f64).round() as u64) % t)
-            .collect();
+        let qr = quantize(&ranks, scale, t);
         let ct = client.encrypt_slots(&replicate_for_matvec(&qr, row))?;
-        let mut at_server = upload(&mut ledger, &ct);
+        let at_server = upload(&mut ledger, &ct);
 
-        // Server: a burst of encrypted iterations. Every term carries scale
-        // `scale^(it+2)` after iteration `it`, so teleport constants are
-        // injected at the matching scale and everything meets at
-        // `scale^(burst+1)` for the client to strip.
-        let teleport = (1.0 - damping) / n as f64;
-        for it in 0..burst {
-            at_server = matvec_diagonals(&server, &at_server, &qm)?;
-            let tq = ((teleport * (scale as f64).powi(it as i32 + 2)).round() as u64) % t;
-            let mut tvec = vec![0u64; row];
-            for s in tvec.iter_mut().take(n) {
-                *s = tq;
-            }
-            let tpt = server.encode(&tvec)?;
-            at_server = server.evaluator().add_plain(&at_server, &tpt);
-            if it + 1 < burst {
-                // Continuous encrypted operation must re-replicate the rank
-                // vector for the next diagonal product: one masking multiply
-                // plus one rotation — exactly the noise tax that makes long
-                // bursts lose to frequent refresh (§5.6).
-                let mut mask = vec![0u64; row];
-                for s in mask.iter_mut().take(n) {
-                    *s = 1;
-                }
-                let mpt = server.encode(&mask)?;
-                let masked = server.evaluator().multiply_plain(&at_server, &mpt);
-                let copy = server
-                    .evaluator()
-                    .rotate_rows(&masked, -(n as i64), server.galois_keys())?;
-                at_server = server.evaluator().add(&masked, &copy)?;
-            }
-        }
-        let back = download(&mut ledger, &at_server);
+        let out = bfv_burst_server(&server, at_server, &qm, burst, teleport, scale, n)?;
+        let back = download(&mut ledger, &out);
         ledger.end_round();
 
         // Client: decrypt, strip the accumulated scale, renormalize.
         let slots = client.decrypt_slots(&back)?;
-        let denom = (scale as f64).powi(burst as i32 + 1);
-        for i in 0..n {
-            ranks[i] = slots[i] as f64 / denom;
-        }
-        let sum: f64 = ranks.iter().sum();
-        for r in ranks.iter_mut() {
-            *r /= sum;
-        }
+        strip_and_renormalize(&slots[..n], &mut ranks, scale, burst);
         done += burst;
     }
 
+    Ok(EncryptedPageRank {
+        ranks,
+        encryptions: client.encryption_count(),
+        decryptions: client.decryption_count(),
+        ledger,
+    })
+}
+
+/// [`pagerank_encrypted_bfv`] over a [`ResilientSession`]: every upload and
+/// download travels as tagged frames across the supplied channels, with
+/// retries billed to the ledger's `retransmit_bytes`. Under any fault
+/// schedule within the retry budget the ranks are bit-identical to the
+/// direct run; beyond it the typed transport error surfaces instead of a
+/// wrong answer.
+///
+/// PageRank already refreshes every `iters_per_refresh` iterations by
+/// design, so the session's noise watchdog is additionally armed before
+/// each burst via [`ResilientSession::guard`] — if a fault forced a partial
+/// round, the re-encrypted ciphertext never enters a burst it cannot
+/// survive.
+///
+/// # Errors
+///
+/// Returns transport errors (retries exhausted, timeout) and propagates
+/// HE-layer failures.
+///
+/// # Panics
+///
+/// Panics if the graph exceeds one ciphertext row.
+pub fn pagerank_encrypted_bfv_resilient(
+    graph: &Graph,
+    damping: f64,
+    total_iterations: u32,
+    iters_per_refresh: u32,
+    params: &HeParams,
+    scale_bits: u32,
+    link: LinkConfig,
+) -> Result<EncryptedPageRank, TransportError> {
+    assert!(iters_per_refresh >= 1);
+    let n = graph.len();
+    let mut session = ResilientSession::new(
+        params,
+        b"pagerank bfv",
+        &pagerank_rotation_steps(n),
+        link.uplink,
+        link.downlink,
+        link.policy,
+    )?;
+    let row = session.server().context().degree() / 2;
+    assert!(2 * n <= row, "graph too large for one ciphertext row");
+
+    let scale = 1u64 << scale_bits;
+    let t = session.server().context().plain_modulus();
+    let qm: Vec<Vec<u64>> = graph
+        .transition
+        .iter()
+        .map(|row| {
+            quantize(
+                &row.iter().map(|&v| damping * v).collect::<Vec<_>>(),
+                scale,
+                t,
+            )
+        })
+        .collect();
+    let teleport = (1.0 - damping) / n as f64;
+
+    let mut ranks: Vec<f64> = vec![1.0 / n as f64; n];
+    let mut done = 0u32;
+    while done < total_iterations {
+        let burst = iters_per_refresh.min(total_iterations - done);
+        let qr = quantize(&ranks, scale, t);
+        let replicated = replicate_for_matvec(&qr, row);
+        let ct = session.client_mut().encrypt_slots(&replicated)?;
+        let uploaded = session.upload(&ct)?;
+        let at_server = session.guard(&uploaded)?;
+
+        let out = bfv_burst_server(session.server(), at_server, &qm, burst, teleport, scale, n)?;
+        let back = session.download(&out)?;
+        session.ledger_mut().end_round();
+
+        let slots = session.client_mut().decrypt_slots(&back)?;
+        strip_and_renormalize(&slots[..n], &mut ranks, scale, burst);
+        done += burst;
+    }
+
+    let (client, _server, ledger) = session.into_parts();
     Ok(EncryptedPageRank {
         ranks,
         encryptions: client.encryption_count(),
@@ -226,9 +350,7 @@ pub fn pagerank_encrypted_ckks(
     let mut client = CkksClient::new(params, b"pagerank ckks")?;
     let slots = client.context().slot_count();
     assert!(2 * n <= slots, "graph too large for one ciphertext row");
-    let mut steps: Vec<i64> = (1..n as i64).collect();
-    steps.push(-(n as i64));
-    let server = client.provision_server(&steps);
+    let server = client.provision_server(&pagerank_rotation_steps(n));
     let mut ledger = CommLedger::new();
 
     let damped: Vec<Vec<f64>> = graph
@@ -391,10 +513,7 @@ mod tests {
         let enc = pagerank_encrypted_bfv(&g, 0.85, 6, 1, &params, 10).unwrap();
         let plain = pagerank_plain(&g, 0.85, 6);
         for (i, (e, p)) in enc.ranks.iter().zip(&plain).enumerate() {
-            assert!(
-                (e - p).abs() < 0.02,
-                "node {i}: encrypted {e} vs plain {p}"
-            );
+            assert!((e - p).abs() < 0.02, "node {i}: encrypted {e} vs plain {p}");
         }
         assert_eq!(enc.encryptions, 6);
         assert_eq!(enc.decryptions, 6);
@@ -443,13 +562,57 @@ mod tests {
         let enc = pagerank_encrypted_bfv(&g, 0.85, 4, 2, &params, 6).unwrap();
         let plain = pagerank_plain(&g, 0.85, 4);
         for (i, (e, p)) in enc.ranks.iter().zip(&plain).enumerate() {
-            assert!(
-                (e - p).abs() < 0.05,
-                "node {i}: encrypted {e} vs plain {p}"
-            );
+            assert!((e - p).abs() < 0.05, "node {i}: encrypted {e} vs plain {p}");
         }
         // Half the refreshes of the burst-1 schedule.
         assert_eq!(enc.ledger.rounds, 2);
+    }
+
+    #[test]
+    fn resilient_pagerank_matches_direct_under_faults() {
+        use choco::transport::{FaultPlan, FaultyChannel, RetryPolicy};
+
+        let g = small_graph();
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).unwrap();
+        let baseline = pagerank_encrypted_bfv(&g, 0.85, 4, 1, &params, 10).unwrap();
+
+        let plan = FaultPlan::lossless()
+            .with_drop_rate(0.25)
+            .with_corrupt_rate(0.2)
+            .with_max_latency_ms(15);
+        let link = LinkConfig {
+            uplink: Box::new(FaultyChannel::new(b"pagerank up", plan)),
+            downlink: Box::new(FaultyChannel::new(b"pagerank down", plan)),
+            policy: RetryPolicy {
+                max_attempts: 16,
+                ..RetryPolicy::default()
+            },
+        };
+        let enc = pagerank_encrypted_bfv_resilient(&g, 0.85, 4, 1, &params, 10, link).unwrap();
+        // Bit-identical ranks: faults only cost retries, never precision.
+        assert_eq!(enc.ranks, baseline.ranks);
+        assert_eq!(enc.ledger.rounds, baseline.ledger.rounds);
+        assert!(
+            enc.ledger.retransmit_bytes > 0,
+            "a lossy channel must bill retransmissions"
+        );
+        // Paper-visible counters stay comparable to the direct run.
+        assert_eq!(enc.ledger.upload_bytes, baseline.ledger.upload_bytes);
+        assert_eq!(enc.ledger.download_bytes, baseline.ledger.download_bytes);
+    }
+
+    #[test]
+    fn resilient_pagerank_surfaces_dead_channel() {
+        use choco::transport::{FaultPlan, FaultyChannel};
+
+        let g = small_graph();
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).unwrap();
+        let link = LinkConfig {
+            uplink: Box::new(FaultyChannel::new(b"void", FaultPlan::blackhole())),
+            ..LinkConfig::direct()
+        };
+        let err = pagerank_encrypted_bfv_resilient(&g, 0.85, 2, 1, &params, 10, link).unwrap_err();
+        assert!(matches!(err, TransportError::RetriesExhausted { .. }));
     }
 
     #[test]
@@ -463,7 +626,11 @@ mod tests {
         // even stronger version of the paper's point — otherwise frequent
         // refresh must communicate strictly less.
         if let Some((_, _, bytes)) = rare {
-            assert!(frequent.2 < bytes, "frequent {} vs rare {bytes}", frequent.2);
+            assert!(
+                frequent.2 < bytes,
+                "frequent {} vs rare {bytes}",
+                frequent.2
+            );
         }
     }
 
@@ -473,8 +640,7 @@ mod tests {
         for total in [8u32, 16, 24, 48] {
             let mut best: Option<(u32, usize, usize, u64)> = None;
             for set in 1..=total {
-                if let Some((n, k, bytes)) =
-                    pagerank_comm_model(SchemeType::Bfv, total, set, 64, 8)
+                if let Some((n, k, bytes)) = pagerank_comm_model(SchemeType::Bfv, total, set, 64, 8)
                 {
                     if best.is_none() || bytes < best.unwrap().3 {
                         best = Some((set, n, k, bytes));

@@ -8,9 +8,13 @@
 //! ([`run_plain`]) applies bit-identical integer arithmetic, so the
 //! encrypted pipeline must match it *exactly*.
 
-use crate::dnn::{conv2d_plain_circular, conv_rotation_steps, run_encrypted_conv_layer};
+use crate::dnn::{
+    conv2d_plain_circular, conv_rotation_steps, run_encrypted_conv_layer,
+    run_encrypted_conv_layer_resilient,
+};
 use choco::linalg::{matvec_diagonals, replicate_for_matvec};
 use choco::protocol::{download, upload, BfvClient, CommLedger};
+use choco::transport::{LinkConfig, ResilientSession, TransportError};
 use choco_he::params::HeParams;
 use choco_he::HeError;
 use choco_prng::Blake3Rng;
@@ -47,7 +51,7 @@ impl LenetLikeSpec {
     pub fn lenet_small() -> Self {
         LenetLikeSpec {
             img: 28,
-            conv1_ch: 8,  // 6 rounded up
+            conv1_ch: 8, // 6 rounded up
             conv2_ch: 16,
             filter: 5,
             classes: 10,
@@ -137,6 +141,19 @@ pub struct PipelineRun {
 /// # Errors
 ///
 /// Propagates HE errors (capacity, keys).
+/// All rotation steps any pipeline stage needs, provisioned once (offline
+/// setup).
+fn all_rotation_steps(spec: &LenetLikeSpec, row: usize) -> Vec<i64> {
+    let p1 = spec.img / 2;
+    let mut steps = conv_rotation_steps(1, spec.img, spec.img, spec.filter);
+    steps.extend(conv_rotation_steps(spec.conv1_ch, p1, p1, spec.filter));
+    steps.extend(1..spec.fc_inputs() as i64);
+    steps.sort_unstable();
+    steps.dedup();
+    steps.retain(|&s| s != 0 && s.unsigned_abs() < row as u64);
+    steps
+}
+
 pub fn run_encrypted(
     spec: &LenetLikeSpec,
     weights: &LenetLikeWeights,
@@ -145,17 +162,12 @@ pub fn run_encrypted(
     seed: &[u8],
 ) -> Result<PipelineRun, HeError> {
     assert_eq!(image.len(), spec.img * spec.img, "image shape mismatch");
+    assert!(spec.classes > 0, "need at least one output class");
     let mut client = BfvClient::new(params, seed)?;
     let row = client.context().degree() / 2;
     let p1 = spec.img / 2;
 
-    // All rotation steps any stage needs, provisioned once (offline setup).
-    let mut steps = conv_rotation_steps(1, spec.img, spec.img, spec.filter);
-    steps.extend(conv_rotation_steps(spec.conv1_ch, p1, p1, spec.filter));
-    steps.extend(1..spec.fc_inputs() as i64);
-    steps.sort_unstable();
-    steps.dedup();
-    steps.retain(|&s| s != 0 && s.unsigned_abs() < row as u64);
+    let steps = all_rotation_steps(spec, row);
     let server = client.provision_server(&steps)?;
     let mut ledger = CommLedger::new();
 
@@ -213,6 +225,103 @@ pub fn run_encrypted(
         .max_by_key(|&(_, v)| *v)
         .map(|(i, _)| i)
         .expect("classes >= 1");
+    Ok(PipelineRun {
+        logits,
+        class,
+        crypto_ops: (client.encryption_count(), client.decryption_count()),
+        ledger,
+    })
+}
+
+/// [`run_encrypted`] over a fault-tolerant transport: the same three-stage
+/// pipeline, but every ciphertext crosses the given (possibly faulty)
+/// channels as a tagged, retried frame, and the noise watchdog can insert
+/// client-aided refresh rounds.
+///
+/// Under any fault schedule within the retry budget this returns logits
+/// **bit-identical** to [`run_encrypted`] with the same `seed`; a link
+/// worse than the budget yields a typed [`TransportError`], never garbage.
+///
+/// # Errors
+///
+/// Transport errors when the link defeats the retry policy; HE-layer
+/// failures wrapped in [`TransportError::He`].
+pub fn run_encrypted_resilient(
+    spec: &LenetLikeSpec,
+    weights: &LenetLikeWeights,
+    image: &[u64],
+    params: &HeParams,
+    seed: &[u8],
+    link: LinkConfig,
+) -> Result<PipelineRun, TransportError> {
+    assert_eq!(image.len(), spec.img * spec.img, "image shape mismatch");
+    assert!(spec.classes > 0, "need at least one output class");
+    let row = params.degree() / 2;
+    let p1 = spec.img / 2;
+
+    let steps = all_rotation_steps(spec, row);
+    let mut session = ResilientSession::new(
+        params,
+        seed,
+        &steps,
+        link.uplink,
+        link.downlink,
+        link.policy,
+    )?;
+
+    // Stage 1: encrypted conv over the single input channel.
+    let maps1 = run_encrypted_conv_layer_resilient(
+        &mut session,
+        &[image.to_vec()],
+        &weights.conv1,
+        spec.img,
+        spec.img,
+        spec.filter,
+    )?;
+    let pooled1: Vec<Vec<u64>> = maps1
+        .iter()
+        .map(|m| max_pool2x2(&requantize(m), spec.img, spec.img))
+        .collect();
+
+    // Stage 2: encrypted conv over conv1_ch channels.
+    let maps2 = run_encrypted_conv_layer_resilient(
+        &mut session,
+        &pooled1,
+        &weights.conv2,
+        p1,
+        p1,
+        spec.filter,
+    )?;
+    let p2 = p1 / 2;
+    let pooled2: Vec<Vec<u64>> = maps2
+        .iter()
+        .map(|m| max_pool2x2(&requantize(m), p1, p1))
+        .collect();
+
+    // Stage 3: encrypted fully-connected layer.
+    let mut features = Vec::with_capacity(spec.fc_inputs());
+    for m in &pooled2 {
+        features.extend_from_slice(m);
+    }
+    debug_assert_eq!(features.len(), spec.conv2_ch * p2 * p2);
+    let ct = session
+        .client_mut()
+        .encrypt_slots(&replicate_for_matvec(&features, row))?;
+    let uploaded = session.upload(&ct)?;
+    let at_server = session.guard(&uploaded)?;
+    let logits_ct = matvec_diagonals(session.server(), &at_server, &weights.fc)?;
+    let reply = session.download(&logits_ct)?;
+    session.ledger_mut().end_round();
+    let slots = session.client_mut().decrypt_slots(&reply)?;
+    let logits = slots[..spec.classes].to_vec();
+
+    let class = logits
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, v)| *v)
+        .map(|(i, _)| i)
+        .expect("classes >= 1");
+    let (client, _server, ledger) = session.into_parts();
     Ok(PipelineRun {
         logits,
         class,

@@ -27,21 +27,66 @@ pub struct ProtocolComm {
 /// The Figure 10 comparison set for MNIST (vs. CHOCO's LeNet-5-Large).
 pub fn mnist_protocols() -> Vec<ProtocolComm> {
     vec![
-        ProtocolComm { name: "LoLa", dataset: "MNIST", comm_mb: 36.4, client_aided: false },
-        ProtocolComm { name: "Gazelle", dataset: "MNIST", comm_mb: 234.0, client_aided: true },
-        ProtocolComm { name: "MiniONN", dataset: "MNIST", comm_mb: 657.5, client_aided: true },
-        ProtocolComm { name: "SecureML", dataset: "MNIST", comm_mb: 791.0, client_aided: true },
-        ProtocolComm { name: "CryptoNets", dataset: "MNIST", comm_mb: 372.0, client_aided: false },
+        ProtocolComm {
+            name: "LoLa",
+            dataset: "MNIST",
+            comm_mb: 36.4,
+            client_aided: false,
+        },
+        ProtocolComm {
+            name: "Gazelle",
+            dataset: "MNIST",
+            comm_mb: 234.0,
+            client_aided: true,
+        },
+        ProtocolComm {
+            name: "MiniONN",
+            dataset: "MNIST",
+            comm_mb: 657.5,
+            client_aided: true,
+        },
+        ProtocolComm {
+            name: "SecureML",
+            dataset: "MNIST",
+            comm_mb: 791.0,
+            client_aided: true,
+        },
+        ProtocolComm {
+            name: "CryptoNets",
+            dataset: "MNIST",
+            comm_mb: 372.0,
+            client_aided: false,
+        },
     ]
 }
 
 /// The Figure 10 comparison set for CIFAR-10 (vs. CHOCO's SqueezeNet).
 pub fn cifar_protocols() -> Vec<ProtocolComm> {
     vec![
-        ProtocolComm { name: "Gazelle", dataset: "CIFAR-10", comm_mb: 1242.0, client_aided: true },
-        ProtocolComm { name: "MiniONN", dataset: "CIFAR-10", comm_mb: 9272.0, client_aided: true },
-        ProtocolComm { name: "DELPHI", dataset: "CIFAR-10", comm_mb: 2100.0, client_aided: true },
-        ProtocolComm { name: "XONN", dataset: "CIFAR-10", comm_mb: 40_700.0, client_aided: true },
+        ProtocolComm {
+            name: "Gazelle",
+            dataset: "CIFAR-10",
+            comm_mb: 1242.0,
+            client_aided: true,
+        },
+        ProtocolComm {
+            name: "MiniONN",
+            dataset: "CIFAR-10",
+            comm_mb: 9272.0,
+            client_aided: true,
+        },
+        ProtocolComm {
+            name: "DELPHI",
+            dataset: "CIFAR-10",
+            comm_mb: 2100.0,
+            client_aided: true,
+        },
+        ProtocolComm {
+            name: "XONN",
+            dataset: "CIFAR-10",
+            comm_mb: 40_700.0,
+            client_aided: true,
+        },
     ]
 }
 

@@ -1,0 +1,201 @@
+//! End-to-end resilience acceptance tests (deterministic quickprop
+//! harness).
+//!
+//! The transport contract, observed from the application layer:
+//!
+//! * any seeded fault schedule *within* the retry budget yields results
+//!   bit-identical to the fault-free run — faults cost retransmitted bytes,
+//!   never correctness — and nothing panics;
+//! * a schedule *beyond* the budget surfaces a typed [`TransportError`]
+//!   instead of a wrong answer;
+//! * when noise runs out mid-workload, the session's watchdog buys more
+//!   depth with client-aided refresh rounds, visible in the ledger.
+
+use choco::transport::{
+    Channel, FaultPlan, FaultyChannel, LinkConfig, ResilientSession, RetryPolicy, TransportError,
+};
+use choco_apps::distance::{
+    distance_rotation_steps, encrypted_distances, encrypted_distances_resilient, knn_classify,
+    PackingVariant,
+};
+use choco_apps::pipeline::{run_encrypted, run_encrypted_resilient, seeded_weights, LenetLikeSpec};
+use choco_he::params::HeParams;
+use choco_quickprop::{run_cases, Gen};
+
+fn test_image(spec: &LenetLikeSpec) -> Vec<u64> {
+    (0..spec.img * spec.img)
+        .map(|i| ((i * 7 + 3) % 16) as u64)
+        .collect()
+}
+
+fn bfv_params() -> HeParams {
+    HeParams::bfv_insecure(1024, &[45, 45, 46], 18).unwrap()
+}
+
+/// A random fault schedule that a 16-attempt budget beats with margin.
+fn survivable_plan(g: &mut Gen, label: &str) -> Box<dyn Channel> {
+    let plan = FaultPlan::lossless()
+        .with_drop_rate(g.f64() * 0.3)
+        .with_corrupt_rate(g.f64() * 0.25)
+        .with_truncate_rate(g.f64() * 0.15)
+        .with_duplicate_rate(g.f64() * 0.2)
+        .with_max_latency_ms(g.u64_below(30));
+    let seed: Vec<u8> = label.bytes().chain(g.array_u8::<8>()).collect();
+    Box::new(FaultyChannel::new(&seed, plan))
+}
+
+#[test]
+fn dnn_pipeline_is_bit_identical_under_survivable_faults() {
+    let spec = LenetLikeSpec::tiny();
+    let weights = seeded_weights(&spec, b"e2e weights");
+    let image = test_image(&spec);
+    let params = bfv_params();
+    let baseline = run_encrypted(&spec, &weights, &image, &params, b"e2e pipe").unwrap();
+
+    run_cases("resilient dnn bit-identical", 5, |g| {
+        let link = LinkConfig {
+            uplink: survivable_plan(g, "up"),
+            downlink: survivable_plan(g, "down"),
+            policy: RetryPolicy {
+                max_attempts: 16,
+                ..RetryPolicy::default()
+            },
+        };
+        let enc =
+            run_encrypted_resilient(&spec, &weights, &image, &params, b"e2e pipe", link).unwrap();
+        assert_eq!(enc.logits, baseline.logits, "logits diverged under faults");
+        assert_eq!(enc.class, baseline.class);
+        // Figure-10-comparable counters are unchanged; only the
+        // retransmission column grows.
+        assert_eq!(enc.ledger.upload_bytes, baseline.ledger.upload_bytes);
+        assert_eq!(enc.ledger.download_bytes, baseline.ledger.download_bytes);
+        assert_eq!(enc.ledger.rounds, baseline.ledger.rounds);
+    });
+}
+
+#[test]
+fn dnn_pipeline_over_perfect_channels_matches_and_bills_nothing_extra() {
+    let spec = LenetLikeSpec::tiny();
+    let weights = seeded_weights(&spec, b"e2e weights");
+    let image = test_image(&spec);
+    let params = bfv_params();
+    let baseline = run_encrypted(&spec, &weights, &image, &params, b"e2e pipe").unwrap();
+    let enc = run_encrypted_resilient(
+        &spec,
+        &weights,
+        &image,
+        &params,
+        b"e2e pipe",
+        LinkConfig::direct(),
+    )
+    .unwrap();
+    assert_eq!(enc.logits, baseline.logits);
+    assert_eq!(enc.ledger.retransmit_bytes, 0);
+    assert_eq!(enc.ledger.refresh_rounds, 0);
+}
+
+#[test]
+fn dnn_pipeline_beyond_budget_fails_typed_not_wrong() {
+    let spec = LenetLikeSpec::tiny();
+    let weights = seeded_weights(&spec, b"e2e weights");
+    let image = test_image(&spec);
+    let params = bfv_params();
+    let link = LinkConfig {
+        uplink: Box::new(FaultyChannel::new(b"dead uplink", FaultPlan::blackhole())),
+        ..LinkConfig::direct()
+    };
+    let err =
+        run_encrypted_resilient(&spec, &weights, &image, &params, b"e2e pipe", link).unwrap_err();
+    assert!(
+        matches!(err, TransportError::RetriesExhausted { .. }),
+        "expected RetriesExhausted, got {err}"
+    );
+}
+
+#[test]
+fn watchdog_extends_multiply_depth_with_refresh_rounds() {
+    // A multiply-plain chain deeper than the parameters' noise budget
+    // allows: without the watchdog this dies with NoiseBudgetExhausted;
+    // with it, each low-budget checkpoint becomes a client-aided refresh
+    // round billed to the ledger.
+    let params = bfv_params();
+    let mut session = ResilientSession::direct(&params, b"watchdog e2e", &[]).unwrap();
+    let values = vec![1u64; 16];
+    let ct = session.client_mut().encrypt_slots(&values).unwrap();
+    let mut at_server = session.upload(&ct).unwrap();
+    let two = session.server().encode(&[2u64; 16]).unwrap();
+    for _ in 0..24 {
+        at_server = session.ensure_budget(&at_server, 15.0).unwrap();
+        at_server = session
+            .server()
+            .evaluator()
+            .multiply_plain(&at_server, &two);
+    }
+    let back = session.download(&at_server).unwrap();
+    let slots = session.client_mut().decrypt_slots(&back).unwrap();
+    let t = session.server().context().plain_modulus();
+    let want = (0..24).fold(1u64, |acc, _| acc.wrapping_mul(2) % t);
+    assert_eq!(slots[0], want, "chain result wrong after refreshes");
+    let ledger = session.ledger();
+    assert!(
+        ledger.refresh_rounds > 0,
+        "a 24-deep chain must have triggered refreshes"
+    );
+    assert!(ledger.rounds >= ledger.refresh_rounds);
+}
+
+#[test]
+fn knn_over_faulty_channels_matches_direct_classification() {
+    let (dims, n) = (4usize, 6usize);
+    let query: Vec<f64> = (0..dims).map(|i| (i as f64 * 0.7).sin()).collect();
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|p| {
+            (0..dims)
+                .map(|i| ((p * dims + i) as f64 * 0.3).cos())
+                .collect()
+        })
+        .collect();
+    let labels = [0usize, 1, 0, 1, 0, 1];
+    let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+    let steps = distance_rotation_steps(dims, n, 512);
+
+    // Direct reference.
+    let mut client = choco::protocol::CkksClient::new(&params, b"knn e2e").unwrap();
+    let server = client.provision_server(&steps);
+    let direct = encrypted_distances(
+        PackingVariant::PointMajor,
+        &mut client,
+        &server,
+        &query,
+        &points,
+    )
+    .unwrap();
+    let direct_class = knn_classify(&direct.distances, &labels, 3);
+
+    // Same computation across lossy channels (rates high enough that a
+    // point-major round's two transfers are certain to see faults).
+    let plan = FaultPlan::flaky()
+        .with_drop_rate(0.6)
+        .with_corrupt_rate(0.5);
+    let mut session = choco::transport::CkksResilientSession::new(
+        &params,
+        b"knn e2e",
+        &steps,
+        Box::new(FaultyChannel::new(b"knn up", plan)),
+        Box::new(FaultyChannel::new(b"knn down", plan)),
+        RetryPolicy {
+            max_attempts: 16,
+            ..RetryPolicy::default()
+        },
+    )
+    .unwrap();
+    let res =
+        encrypted_distances_resilient(PackingVariant::PointMajor, &mut session, &query, &points)
+            .unwrap();
+    assert_eq!(res.distances, direct.distances, "bit-identical distances");
+    assert_eq!(knn_classify(&res.distances, &labels, 3), direct_class);
+    assert!(
+        res.ledger.retransmit_bytes > 0,
+        "flaky link must bill retries"
+    );
+}

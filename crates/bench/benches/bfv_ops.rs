@@ -1,16 +1,15 @@
-//! Criterion benches for the BFV primitive operations at the paper's
-//! parameter sets (Table 1 measured, Figure 8's software column).
+//! Micro-benches for the BFV primitive operations at the paper's parameter
+//! sets (Table 1 measured, Figure 8's software column).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use choco_bench::{bench, bench_group};
 use choco_he::bfv::BfvContext;
 use choco_he::params::HeParams;
 use choco_prng::Blake3Rng;
 
-fn bench_bfv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bfv_set_b");
-    group.sample_size(10);
+fn main() {
+    bench_group("bfv_set_b");
     let params = HeParams::set_b();
     let ctx = BfvContext::new(&params).unwrap();
     let mut rng = Blake3Rng::from_seed(b"bench bfv");
@@ -23,24 +22,22 @@ fn bench_bfv(c: &mut Criterion) {
     let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
     let eval = ctx.evaluator();
 
-    group.bench_function("encrypt", |b| {
-        b.iter(|| ctx.encryptor(keys.public_key()).encrypt(black_box(&pt), &mut rng))
+    let mut enc_rng = Blake3Rng::from_seed(b"bench bfv encrypt");
+    bench("encrypt", || {
+        ctx.encryptor(keys.public_key())
+            .encrypt(black_box(&pt), &mut enc_rng)
     });
-    group.bench_function("decrypt", |b| {
-        b.iter(|| ctx.decryptor(keys.secret_key()).decrypt(black_box(&ct)))
+    bench("decrypt", || {
+        ctx.decryptor(keys.secret_key()).decrypt(black_box(&ct))
     });
-    group.bench_function("add", |b| b.iter(|| eval.add(black_box(&ct), &ct).unwrap()));
-    group.bench_function("multiply_plain", |b| {
-        b.iter(|| eval.multiply_plain(black_box(&ct), &pt))
+    bench("add", || eval.add(black_box(&ct), &ct).unwrap());
+    bench("multiply_plain", || {
+        eval.multiply_plain(black_box(&ct), &pt)
     });
-    group.bench_function("rotate_rows", |b| {
-        b.iter(|| eval.rotate_rows(black_box(&ct), 1, &gks).unwrap())
+    bench("rotate_rows", || {
+        eval.rotate_rows(black_box(&ct), 1, &gks).unwrap()
     });
-    group.bench_function("multiply_relin", |b| {
-        b.iter(|| eval.multiply_relin(black_box(&ct), &ct, &rk).unwrap())
+    bench("multiply_relin", || {
+        eval.multiply_relin(black_box(&ct), &ct, &rk).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_bfv);
-criterion_main!(benches);

@@ -1,41 +1,38 @@
-//! Criterion benches for CKKS primitives (the PageRank/KNN substrate;
-//! §4.7's encode/decode costs).
+//! Micro-benches for CKKS primitives (the PageRank/KNN substrate; §4.7's
+//! encode/decode costs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use choco_bench::{bench, bench_group};
 use choco_he::ckks::CkksContext;
 use choco_he::params::HeParams;
 use choco_prng::Blake3Rng;
 
-fn bench_ckks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ckks_set_c");
-    group.sample_size(10);
+fn main() {
+    bench_group("ckks_set_c");
     let params = HeParams::set_c();
     let ctx = CkksContext::new(&params).unwrap();
     let mut rng = Blake3Rng::from_seed(b"bench ckks");
     let keys = ctx.keygen(&mut rng);
     let rk = ctx.relin_key(keys.secret_key(), &mut rng);
     let gks = ctx.galois_keys(keys.secret_key(), &[1], &mut rng);
-    let values: Vec<f64> = (0..ctx.slot_count()).map(|i| (i as f64 * 0.01).sin()).collect();
+    let values: Vec<f64> = (0..ctx.slot_count())
+        .map(|i| (i as f64 * 0.01).sin())
+        .collect();
     let pt = ctx.encode(&values).unwrap();
     let ct = ctx.encrypt(&pt, keys.public_key(), &mut rng).unwrap();
 
-    group.bench_function("encode", |b| b.iter(|| ctx.encode(black_box(&values)).unwrap()));
-    group.bench_function("encrypt", |b| {
-        b.iter(|| ctx.encrypt(black_box(&pt), keys.public_key(), &mut rng).unwrap())
+    bench("encode", || ctx.encode(black_box(&values)).unwrap());
+    let mut enc_rng = Blake3Rng::from_seed(b"bench ckks encrypt");
+    bench("encrypt", || {
+        ctx.encrypt(black_box(&pt), keys.public_key(), &mut enc_rng)
+            .unwrap()
     });
-    group.bench_function("decrypt_decode", |b| {
-        b.iter(|| ctx.decode(&ctx.decrypt(black_box(&ct), keys.secret_key())))
+    bench("decrypt_decode", || {
+        ctx.decode(&ctx.decrypt(black_box(&ct), keys.secret_key()))
     });
-    group.bench_function("multiply_relin", |b| {
-        b.iter(|| ctx.multiply_relin(black_box(&ct), &ct, &rk).unwrap())
+    bench("multiply_relin", || {
+        ctx.multiply_relin(black_box(&ct), &ct, &rk).unwrap()
     });
-    group.bench_function("rotate", |b| {
-        b.iter(|| ctx.rotate(black_box(&ct), 1, &gks).unwrap())
-    });
-    group.finish();
+    bench("rotate", || ctx.rotate(black_box(&ct), 1, &gks).unwrap());
 }
-
-criterion_group!(benches, bench_ckks);
-criterion_main!(benches);

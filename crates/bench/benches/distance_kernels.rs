@@ -1,15 +1,13 @@
-//! Criterion benches for the Figure 11 distance kernels (server-side cost
-//! per packing variant, small CKKS parameters for bench turnaround).
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Benches for the Figure 11 distance kernels (server-side cost per packing
+//! variant, small CKKS parameters for bench turnaround).
 
 use choco::protocol::CkksClient;
 use choco_apps::distance::{distance_rotation_steps, encrypted_distances, PackingVariant};
+use choco_bench::{bench, bench_group};
 use choco_he::params::HeParams;
 
-fn bench_distance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("distance_kernels");
-    group.sample_size(10);
+fn main() {
+    bench_group("distance_kernels");
     let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
     let (dims, n) = (4usize, 8usize);
     let query: Vec<f64> = (0..dims).map(|i| i as f64 * 0.1).collect();
@@ -17,17 +15,11 @@ fn bench_distance(c: &mut Criterion) {
         .map(|p| (0..dims).map(|i| (p + i) as f64 * 0.05).collect())
         .collect();
     for variant in PackingVariant::all() {
-        group.bench_function(variant.label(), |b| {
-            b.iter(|| {
-                let mut client = CkksClient::new(&params, b"bench dist").unwrap();
-                let steps = distance_rotation_steps(dims, n, 512);
-                let server = client.provision_server(&steps);
-                encrypted_distances(variant, &mut client, &server, &query, &points).unwrap()
-            })
+        bench(variant.label(), || {
+            let mut client = CkksClient::new(&params, b"bench dist").unwrap();
+            let steps = distance_rotation_steps(dims, n, 512);
+            let server = client.provision_server(&steps);
+            encrypted_distances(variant, &mut client, &server, &query, &points).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_distance);
-criterion_main!(benches);

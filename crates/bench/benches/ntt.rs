@@ -1,32 +1,25 @@
-//! Criterion benches for the NTT substrate (the kernel every HE op rests
-//! on; Table 1's O(N log N) terms).
+//! Micro-benches for the NTT substrate (the kernel every HE op rests on;
+//! Table 1's O(N log N) terms). Plain-std harness; see `choco_bench::bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use choco_bench::{bench, bench_group};
 use choco_math::ntt::NttTable;
 use choco_math::prime::generate_ntt_primes;
 
-fn bench_ntt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ntt");
-    group.sample_size(20);
+fn main() {
+    bench_group("ntt");
     for n in [1024usize, 4096, 8192] {
         let q = generate_ntt_primes(58, n, 1)[0];
         let table = NttTable::new(n, q).unwrap();
         let data: Vec<u64> = (0..n as u64).map(|i| i % q).collect();
-        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
-            b.iter(|| {
-                let mut a = data.clone();
-                table.forward(black_box(&mut a));
-                a
-            })
+        bench(&format!("forward/{n}"), || {
+            let mut a = data.clone();
+            table.forward(black_box(&mut a));
+            a
         });
-        group.bench_with_input(BenchmarkId::new("negacyclic_mul", n), &n, |b, _| {
-            b.iter(|| table.negacyclic_mul(black_box(&data), black_box(&data)))
+        bench(&format!("negacyclic_mul/{n}"), || {
+            table.negacyclic_mul(black_box(&data), black_box(&data))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ntt);
-criterion_main!(benches);

@@ -1,17 +1,16 @@
-//! Criterion bench contrasting the paper's two windowed-rotation paths
-//! (Figure 4 / Table 4): rotational redundancy vs. masked permutation.
+//! Bench contrasting the paper's two windowed-rotation paths (Figure 4 /
+//! Table 4): rotational redundancy vs. masked permutation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use choco::rotation::{windowed_rotate_masked, windowed_rotate_redundant, RedundantLayout};
+use choco_bench::{bench, bench_group};
 use choco_he::bfv::BfvContext;
 use choco_he::params::HeParams;
 use choco_prng::Blake3Rng;
 
-fn bench_rotation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("windowed_rotation_set_b");
-    group.sample_size(10);
+fn main() {
+    bench_group("windowed_rotation_set_b");
     let params = HeParams::set_b();
     let ctx = BfvContext::new(&params).unwrap();
     let mut rng = Blake3Rng::from_seed(b"bench rot");
@@ -29,14 +28,10 @@ fn bench_rotation(c: &mut Criterion) {
         .encryptor(keys.public_key())
         .encrypt(&encoder.encode(&values).unwrap(), &mut rng);
 
-    group.bench_function("rotational_redundancy", |b| {
-        b.iter(|| windowed_rotate_redundant(&ctx, black_box(&ct_red), &layout, 3, &gks).unwrap())
+    bench("rotational_redundancy", || {
+        windowed_rotate_redundant(&ctx, black_box(&ct_red), &layout, 3, &gks).unwrap()
     });
-    group.bench_function("masked_permute_baseline", |b| {
-        b.iter(|| windowed_rotate_masked(&ctx, black_box(&ct_plain), 16, 3, &gks).unwrap())
+    bench("masked_permute_baseline", || {
+        windowed_rotate_masked(&ctx, black_box(&ct_plain), 16, 3, &gks).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_rotation);
-criterion_main!(benches);

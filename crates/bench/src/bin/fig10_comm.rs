@@ -13,7 +13,10 @@ fn main() {
     let lenet = client_aided_plan(&Network::lenet_large(), &HeParams::set_b());
     let lenet_mb = lenet.comm_bytes as f64 / 1e6;
     println!("MNIST (vs CHOCO LeNet-5-Large = {lenet_mb:.2} MB measured):");
-    println!("{:<12} {:>12} {:>14}", "Protocol", "Comm (MB)", "CHOCO gain");
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "Protocol", "Comm (MB)", "CHOCO gain"
+    );
     for p in mnist_protocols() {
         println!(
             "{:<12} {:>12.1} {:>13.0}x",
@@ -27,7 +30,10 @@ fn main() {
     let sqz = client_aided_plan(&Network::squeezenet(), &HeParams::set_a());
     let sqz_mb = sqz.comm_bytes as f64 / 1e6;
     println!("\nCIFAR-10 (vs CHOCO SqueezeNet = {sqz_mb:.2} MB measured):");
-    println!("{:<12} {:>12} {:>14}", "Protocol", "Comm (MB)", "CHOCO gain");
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "Protocol", "Comm (MB)", "CHOCO gain"
+    );
     for p in cifar_protocols() {
         println!(
             "{:<12} {:>12.1} {:>13.0}x",

@@ -8,10 +8,10 @@
 //! down from the paper's to keep Galois-key material tractable in a demo
 //! binary; the *ordering* of variants is the result under test.
 
+use choco::protocol::CkksClient;
 use choco_apps::distance::{
     distance_rotation_steps, distances_plain, encrypted_distances, PackingVariant,
 };
-use choco::protocol::CkksClient;
 use choco_bench::{header, note, time_str, timed};
 use choco_he::params::HeParams;
 use choco_taco::baseline::{sw_decryption_time, sw_encryption_time};
@@ -39,18 +39,20 @@ fn main() {
         );
         let query: Vec<f64> = (0..dims).map(|i| (i as f64 * 0.31).sin()).collect();
         let points: Vec<Vec<f64>> = (0..points_n)
-            .map(|p| (0..dims).map(|i| ((p * dims + i) as f64 * 0.17).cos()).collect())
+            .map(|p| {
+                (0..dims)
+                    .map(|i| ((p * dims + i) as f64 * 0.17).cos())
+                    .collect()
+            })
             .collect();
         let want = distances_plain(&query, &points);
 
         for variant in PackingVariant::all() {
             let mut client = CkksClient::new(&params, b"fig11").expect("client");
-            let steps =
-                distance_rotation_steps(dims, points_n, client.context().slot_count());
+            let steps = distance_rotation_steps(dims, points_n, client.context().slot_count());
             let server = client.provision_server(&steps);
             let (res, server_time) = timed(|| {
-                encrypted_distances(variant, &mut client, &server, &query, &points)
-                    .expect("kernel")
+                encrypted_distances(variant, &mut client, &server, &query, &points).expect("kernel")
             });
             // Validate against the plaintext reference.
             for (g, w) in res.distances.iter().zip(&want) {

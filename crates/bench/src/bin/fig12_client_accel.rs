@@ -54,7 +54,10 @@ fn main() {
             local / taco,
         );
     }
-    let geo: f64 = taco_ratios.iter().product::<f64>().powf(1.0 / taco_ratios.len() as f64);
+    let geo: f64 = taco_ratios
+        .iter()
+        .product::<f64>()
+        .powf(1.0 / taco_ratios.len() as f64);
     println!("\ngeomean local/TACO speedup: {geo:.2}x");
     note("paper: CHOCO sw ~1.7x over default SEAL; +TACO makes active client compute 2.2x faster than local on average");
     note("paper: even HEAX-class partial support stays ~14.5x slower than local");

@@ -9,7 +9,10 @@ use choco_he::params::HeParams;
 fn main() {
     header("Figure 15: MACs vs communication for convolution layers");
     let params = HeParams::set_a();
-    println!("{:>5} {:>9} {:>7} {:>12} {:>10} {:>14}", "img", "channels", "filter", "MACs", "comm MB", "MACs per MB");
+    println!(
+        "{:>5} {:>9} {:>7} {:>12} {:>10} {:>14}",
+        "img", "channels", "filter", "MACs", "comm MB", "MACs per MB"
+    );
     for p in conv_microbenchmark(&params) {
         let mb = p.comm_bytes as f64 / 1e6;
         println!(
@@ -30,7 +33,14 @@ fn main() {
         let mut total_macs = 0u64;
         let mut total_mb = 0.0;
         for layer in &net.layers {
-            if let Layer::Conv { in_ch, in_h, in_w, filter, .. } = *layer {
+            if let Layer::Conv {
+                in_ch,
+                in_h,
+                in_w,
+                filter,
+                ..
+            } = *layer
+            {
                 let red = (filter / 2) * (in_w + 1);
                 let stride = (in_h * in_w + 2 * red).next_power_of_two();
                 let up = (in_ch * stride).div_ceil(row) as u64;

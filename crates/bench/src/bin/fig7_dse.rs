@@ -19,16 +19,19 @@ fn main() {
     let (min_a, max_a) = points.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
         (lo.min(p.profile.area_mm2), hi.max(p.profile.area_mm2))
     });
+    println!("time   range: {} .. {}", time_str(min_t), time_str(max_t));
     println!(
-        "time   range: {} .. {}",
-        time_str(min_t),
-        time_str(max_t)
+        "power  range: {:.0} mW .. {:.0} mW",
+        min_p * 1e3,
+        max_p * 1e3
     );
-    println!("power  range: {:.0} mW .. {:.0} mW", min_p * 1e3, max_p * 1e3);
     println!("area   range: {min_a:.1} mm2 .. {max_a:.1} mm2");
 
     let frontier = pareto_frontier(&points);
-    println!("\nPareto frontier: {} points (time, power, area, energy):", frontier.len());
+    println!(
+        "\nPareto frontier: {} points (time, power, area, energy):",
+        frontier.len()
+    );
     let mut sample: Vec<_> = frontier.clone();
     sample.sort_by(|a, b| a.profile.time_s.partial_cmp(&b.profile.time_s).unwrap());
     for p in sample.iter().step_by((sample.len() / 12).max(1)) {

@@ -15,7 +15,13 @@ fn main() {
         "(N, k)", "enc model", "enc sim", "ratio", "dec model", "dec sim", "ratio"
     );
     let cfg = AcceleratorConfig::paper_operating_point();
-    for (n, k) in [(2048usize, 1usize), (4096, 2), (8192, 3), (16384, 3), (32768, 3)] {
+    for (n, k) in [
+        (2048usize, 1usize),
+        (4096, 2),
+        (8192, 3),
+        (16384, 3),
+        (32768, 3),
+    ] {
         let em = encryption_profile(&cfg, n, k).time_s;
         let es = simulate_encryption(&cfg, n, k);
         let dm = decryption_profile(&cfg, n, k).time_s;

@@ -6,7 +6,7 @@
 //! and invariant-noise-budget consumption — confirming the complexity and
 //! noise-growth classes.
 
-use choco_bench::{header, timed_avg, time_str};
+use choco_bench::{header, time_str, timed_avg};
 use choco_he::bfv::{BfvContext, Plaintext};
 use choco_he::params::HeParams;
 use choco_prng::Blake3Rng;
@@ -18,7 +18,9 @@ fn main() {
     let mut rng = Blake3Rng::from_seed(b"table1");
     let keys = ctx.keygen(&mut rng);
     let rk = ctx.relin_key(keys.secret_key(), &mut rng).expect("relin");
-    let gks = ctx.galois_keys(keys.secret_key(), &[1], &mut rng).expect("galois");
+    let gks = ctx
+        .galois_keys(keys.secret_key(), &[1], &mut rng)
+        .expect("galois");
     let encoder = ctx.batch_encoder().expect("batch");
     let dec = ctx.decryptor(keys.secret_key());
     let eval = ctx.evaluator();
@@ -37,12 +39,24 @@ fn main() {
     let t_enc = timed_avg(iters, || {
         let _ = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
     });
-    println!("{:<22} {:>12} {:>16} {:<10}", "Encrypt", time_str(t_enc), "-", "N/A");
+    println!(
+        "{:<22} {:>12} {:>16} {:<10}",
+        "Encrypt",
+        time_str(t_enc),
+        "-",
+        "N/A"
+    );
 
     let t_dec = timed_avg(iters, || {
         let _ = dec.decrypt(&ct);
     });
-    println!("{:<22} {:>12} {:>16} {:<10}", "Decrypt", time_str(t_dec), "-", "N/A");
+    println!(
+        "{:<22} {:>12} {:>16} {:<10}",
+        "Decrypt",
+        time_str(t_dec),
+        "-",
+        "N/A"
+    );
 
     let pt_small = Plaintext::from_coeffs(vec![1; params.degree()]);
     let t_pa = timed_avg(iters, || {
@@ -51,7 +65,10 @@ fn main() {
     let cost_pa = fresh - dec.invariant_noise_budget(&eval.add_plain(&ct, &pt_small));
     println!(
         "{:<22} {:>12} {:>16.1} {:<10}",
-        "Plaintext Add", time_str(t_pa), cost_pa, "Small"
+        "Plaintext Add",
+        time_str(t_pa),
+        cost_pa,
+        "Small"
     );
 
     let t_ca = timed_avg(iters, || {
@@ -60,7 +77,10 @@ fn main() {
     let cost_ca = fresh - dec.invariant_noise_budget(&eval.add(&ct, &ct).unwrap());
     println!(
         "{:<22} {:>12} {:>16.1} {:<10}",
-        "Ciphertext Add", time_str(t_ca), cost_ca, "Small"
+        "Ciphertext Add",
+        time_str(t_ca),
+        cost_ca,
+        "Small"
     );
 
     let t_pm = timed_avg(iters, || {
@@ -69,7 +89,10 @@ fn main() {
     let cost_pm = fresh - dec.invariant_noise_budget(&eval.multiply_plain(&ct, &pt));
     println!(
         "{:<22} {:>12} {:>16.1} {:<10}",
-        "Plaintext Multiply", time_str(t_pm), cost_pm, "Moderate"
+        "Plaintext Multiply",
+        time_str(t_pm),
+        cost_pm,
+        "Moderate"
     );
 
     let t_cm = timed_avg(2, || {
@@ -78,7 +101,10 @@ fn main() {
     let cost_cm = fresh - dec.invariant_noise_budget(&eval.multiply_relin(&ct, &ct, &rk).unwrap());
     println!(
         "{:<22} {:>12} {:>16.1} {:<10}",
-        "Ciphertext Multiply", time_str(t_cm), cost_cm, "Large"
+        "Ciphertext Multiply",
+        time_str(t_cm),
+        cost_cm,
+        "Large"
     );
 
     let t_rot = timed_avg(iters, || {
@@ -87,7 +113,10 @@ fn main() {
     let cost_rot = fresh - dec.invariant_noise_budget(&eval.rotate_rows(&ct, 1, &gks).unwrap());
     println!(
         "{:<22} {:>12} {:>16.1} {:<10}",
-        "Ciphertext Rotate", time_str(t_rot), cost_rot, "Small"
+        "Ciphertext Rotate",
+        time_str(t_rot),
+        cost_rot,
+        "Small"
     );
 
     println!("\nFresh noise budget: {fresh:.1} bits.");

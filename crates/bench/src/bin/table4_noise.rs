@@ -24,18 +24,51 @@ struct Row {
 fn main() {
     header("Table 4: noise budget — initial / post-rotate / post-permute");
     let rows = [
-        Row { n: 8192, t_bits: 20, chain: &[58, 58, 59], paper: (68, 66, 42) },
-        Row { n: 8192, t_bits: 23, chain: &[58, 58, 59], paper: (62, 59, 33) },
-        Row { n: 8192, t_bits: 28, chain: &[58, 58, 59], paper: (52, 50, 18) },
-        Row { n: 4096, t_bits: 16, chain: &[36, 36, 37], paper: (33, 31, 12) },
-        Row { n: 4096, t_bits: 18, chain: &[36, 36, 37], paper: (29, 26, 5) },
-        Row { n: 4096, t_bits: 20, chain: &[36, 36, 37], paper: (25, 22, 0) },
+        Row {
+            n: 8192,
+            t_bits: 20,
+            chain: &[58, 58, 59],
+            paper: (68, 66, 42),
+        },
+        Row {
+            n: 8192,
+            t_bits: 23,
+            chain: &[58, 58, 59],
+            paper: (62, 59, 33),
+        },
+        Row {
+            n: 8192,
+            t_bits: 28,
+            chain: &[58, 58, 59],
+            paper: (52, 50, 18),
+        },
+        Row {
+            n: 4096,
+            t_bits: 16,
+            chain: &[36, 36, 37],
+            paper: (33, 31, 12),
+        },
+        Row {
+            n: 4096,
+            t_bits: 18,
+            chain: &[36, 36, 37],
+            paper: (29, 26, 5),
+        },
+        Row {
+            n: 4096,
+            t_bits: 20,
+            chain: &[36, 36, 37],
+            paper: (25, 22, 0),
+        },
     ];
     println!(
         "{:<24} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "Parameters", "init", "rot", "perm", "p.init", "p.rot", "p.perm"
     );
-    println!("{:<24} | {:>26} | {:>26}", "(N, log2 t, {k})", "measured", "paper");
+    println!(
+        "{:<24} | {:>26} | {:>26}",
+        "(N, log2 t, {k})", "measured", "paper"
+    );
     for row in rows {
         let params = HeParams::bfv(row.n, row.chain, row.t_bits).expect("table row valid");
         let ctx = BfvContext::new(&params).expect("context");
@@ -59,7 +92,9 @@ fn main() {
         let post_rotate = dec.invariant_noise_budget(&rotated);
 
         let plain_pt = encoder.encode(&values).expect("encode");
-        let ct2 = ctx.encryptor(keys.public_key()).encrypt(&plain_pt, &mut rng);
+        let ct2 = ctx
+            .encryptor(keys.public_key())
+            .encrypt(&plain_pt, &mut rng);
         let permuted = windowed_rotate_masked(&ctx, &ct2, window, 3, &gks).expect("permute");
         let post_permute = dec.invariant_noise_budget(&permuted);
 

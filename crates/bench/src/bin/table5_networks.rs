@@ -9,7 +9,18 @@ fn main() {
     header("Table 5: Neural networks used for system evaluation");
     println!(
         "{:<8} {:>3} {:>3} {:>4} {:>3} {:>9} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9}",
-        "Network", "Cnv", "FC", "Act", "Pl", "MACs(1e6)", "%fp", "%8b", "%4b", "MB float", "MB 4b", "Comm"
+        "Network",
+        "Cnv",
+        "FC",
+        "Act",
+        "Pl",
+        "MACs(1e6)",
+        "%fp",
+        "%8b",
+        "%4b",
+        "MB float",
+        "MB 4b",
+        "Comm"
     );
     for net in Network::all() {
         // MNIST networks use set B, CIFAR networks set A (as in §5.3).

@@ -51,6 +51,30 @@ pub fn timed_avg(iters: usize, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() / iters as f64
 }
 
+/// A plain-std micro-benchmark runner (offline substitute for Criterion:
+/// the container cannot fetch external crates, and the regeneration
+/// binaries only need stable relative timings, not statistical rigor).
+///
+/// Warms the closure up, then auto-scales the iteration count so each
+/// measurement window runs ≥ `min_window_ms`, and prints the mean time per
+/// iteration. Results of the closure are passed through `std::hint::black_box`
+/// to keep the optimizer honest.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    const MIN_WINDOW_MS: f64 = 200.0;
+    // Warm-up and initial calibration.
+    let (_, first) = timed(|| std::hint::black_box(f()));
+    let iters = ((MIN_WINDOW_MS / 1e3 / first.max(1e-9)).ceil() as usize).clamp(1, 10_000);
+    let per_iter = timed_avg(iters, || {
+        std::hint::black_box(f());
+    });
+    println!("{name:<40} {:>12} ({iters} iters)", time_str(per_iter));
+}
+
+/// Prints the bench-group banner.
+pub fn bench_group(name: &str) {
+    println!("\n--- bench group: {name} ---");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -354,8 +354,13 @@ pub fn compile(program: &Program, opts: &CompilerOptions) -> Result<CompiledProg
                 if is_plain(&program.ops, *a) || !is_plain(&program.ops, *c) {
                     return Err(CompileError::KindMismatch(i));
                 }
-                let ra =
-                    rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, remap[a.0]);
+                let ra = rescale_to_waterline(
+                    &mut ops,
+                    &mut meta,
+                    &mut counts,
+                    &mut min_level,
+                    remap[a.0],
+                );
                 let rc = remap[c.0];
                 if matches!(op, Op::MulPlain(..)) {
                     counts.pt_mults += 1;
@@ -442,19 +447,37 @@ impl CompiledProgram {
                     .unwrap_or_else(|| panic!("missing input {name}"))
                     .clone(),
                 Op::Constant(c) => c.clone(),
-                Op::Add(a, b) => vals[a.0].iter().zip(&vals[b.0]).map(|(x, y)| x + y).collect(),
-                Op::Sub(a, b) => vals[a.0].iter().zip(&vals[b.0]).map(|(x, y)| x - y).collect(),
-                Op::Mul(a, b) => vals[a.0].iter().zip(&vals[b.0]).map(|(x, y)| x * y).collect(),
-                Op::MulPlain(a, c) => {
-                    vals[a.0].iter().zip(&vals[c.0]).map(|(x, y)| x * y).collect()
-                }
-                Op::AddPlain(a, c) => {
-                    vals[a.0].iter().zip(&vals[c.0]).map(|(x, y)| x + y).collect()
-                }
+                Op::Add(a, b) => vals[a.0]
+                    .iter()
+                    .zip(&vals[b.0])
+                    .map(|(x, y)| x + y)
+                    .collect(),
+                Op::Sub(a, b) => vals[a.0]
+                    .iter()
+                    .zip(&vals[b.0])
+                    .map(|(x, y)| x - y)
+                    .collect(),
+                Op::Mul(a, b) => vals[a.0]
+                    .iter()
+                    .zip(&vals[b.0])
+                    .map(|(x, y)| x * y)
+                    .collect(),
+                Op::MulPlain(a, c) => vals[a.0]
+                    .iter()
+                    .zip(&vals[c.0])
+                    .map(|(x, y)| x * y)
+                    .collect(),
+                Op::AddPlain(a, c) => vals[a.0]
+                    .iter()
+                    .zip(&vals[c.0])
+                    .map(|(x, y)| x + y)
+                    .collect(),
                 Op::Rotate(a, s) => {
                     let v = &vals[a.0];
                     let n = v.len() as i64;
-                    (0..n).map(|i| v[((i + s).rem_euclid(n)) as usize]).collect()
+                    (0..n)
+                        .map(|i| v[((i + s).rem_euclid(n)) as usize])
+                        .collect()
                 }
                 Op::Rescale(a) | Op::ModSwitch(a) => vals[a.0].clone(),
             };
@@ -577,16 +600,28 @@ pub fn optimize(program: &Program) -> Program {
             ),
             Op::Add(a, b) => {
                 // Addition commutes: canonicalize operand order.
-                let (x, y) = (remap[a.0].0.min(remap[b.0].0), remap[a.0].0.max(remap[b.0].0));
-                (Key::Add(x, y), Op::Add(NodeId(remap[a.0].0), NodeId(remap[b.0].0)))
+                let (x, y) = (
+                    remap[a.0].0.min(remap[b.0].0),
+                    remap[a.0].0.max(remap[b.0].0),
+                );
+                (
+                    Key::Add(x, y),
+                    Op::Add(NodeId(remap[a.0].0), NodeId(remap[b.0].0)),
+                )
             }
             Op::Sub(a, b) => (
                 Key::Sub(remap[a.0].0, remap[b.0].0),
                 Op::Sub(remap[a.0], remap[b.0]),
             ),
             Op::Mul(a, b) => {
-                let (x, y) = (remap[a.0].0.min(remap[b.0].0), remap[a.0].0.max(remap[b.0].0));
-                (Key::Mul(x, y), Op::Mul(NodeId(remap[a.0].0), NodeId(remap[b.0].0)))
+                let (x, y) = (
+                    remap[a.0].0.min(remap[b.0].0),
+                    remap[a.0].0.max(remap[b.0].0),
+                );
+                (
+                    Key::Mul(x, y),
+                    Op::Mul(NodeId(remap[a.0].0), NodeId(remap[b.0].0)),
+                )
             }
             Op::MulPlain(a, c) => (
                 Key::MulPlain(remap[a.0].0, remap[c.0].0),
@@ -602,10 +637,7 @@ pub fn optimize(program: &Program) -> Program {
                     remap.push(remap[a.0]);
                     continue;
                 }
-                (
-                    Key::Rotate(remap[a.0].0, *s),
-                    Op::Rotate(remap[a.0], *s),
-                )
+                (Key::Rotate(remap[a.0].0, *s), Op::Rotate(remap[a.0], *s))
             }
             Op::Rescale(_) | Op::ModSwitch(_) => {
                 // Source programs never contain these.
@@ -684,7 +716,10 @@ mod tests {
             CompileError::KindMismatch(_)
         ));
         let empty = Program::new();
-        assert_eq!(compile(&empty, &opts(3)).unwrap_err(), CompileError::NoOutputs);
+        assert_eq!(
+            compile(&empty, &opts(3)).unwrap_err(),
+            CompileError::NoOutputs
+        );
     }
 
     #[test]
@@ -797,7 +832,7 @@ mod tests {
         let after = compile(&opt, &copts).unwrap().execute_plain(&inputs);
         assert_eq!(before, after);
         assert_eq!(after[0], vec![36.0]); // 4·x² at x=3
-        // The optimized program compiles to fewer homomorphic multiplies.
+                                          // The optimized program compiles to fewer homomorphic multiplies.
         let c_before = compile(&p, &copts).unwrap().counts;
         let c_after = compile(&opt, &copts).unwrap().counts;
         assert!(c_after.ct_mults < c_before.ct_mults);

@@ -39,12 +39,17 @@
 //! // windowed rotation of the original values.
 //! ```
 
+// Panics hide protocol bugs: outside tests, prefer typed errors (PR 1's
+// robustness audit). New `unwrap`/`expect` calls in library code must either
+// be converted to `Result` or carry a `# Panics` contract at the public API.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod compiler;
 pub mod linalg;
 pub mod params;
 pub mod protocol;
 pub mod rotation;
 pub mod stacking;
+pub mod transport;
 
 pub use protocol::{BfvClient, BfvServer, CommLedger};
 pub use rotation::RedundantLayout;

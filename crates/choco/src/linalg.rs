@@ -36,7 +36,8 @@ pub struct ConvTap {
 ///
 /// # Errors
 ///
-/// Propagates rotation (missing Galois key) and encoding errors.
+/// Propagates rotation (missing Galois key) and encoding errors; an empty
+/// tap set is a [`HeError::Mismatch`].
 ///
 /// # Panics
 ///
@@ -48,7 +49,6 @@ pub fn stacked_conv(
     layout: &StackedLayout,
     taps: &[ConvTap],
 ) -> Result<Ciphertext, HeError> {
-    assert!(!taps.is_empty(), "need at least one tap");
     let eval = server.evaluator();
     let mut acc: Option<Ciphertext> = None;
     for tap in taps {
@@ -71,7 +71,7 @@ pub fn stacked_conv(
             Some(a) => eval.add(&a, &term)?,
         });
     }
-    Ok(acc.expect("taps nonempty"))
+    acc.ok_or_else(|| HeError::Mismatch("convolution needs at least one tap".into()))
 }
 
 /// Sums all channel blocks into block 0 with a rotate-add tree:
@@ -98,11 +98,8 @@ pub fn accumulate_channels(
     let mut acc = ct.clone();
     let mut step = 1usize;
     while step < c {
-        let rotated = eval.rotate_rows(
-            &acc,
-            (step * layout.stride()) as i64,
-            server.galois_keys(),
-        )?;
+        let rotated =
+            eval.rotate_rows(&acc, (step * layout.stride()) as i64, server.galois_keys())?;
         acc = eval.add(&acc, &rotated)?;
         step <<= 1;
     }
@@ -168,7 +165,7 @@ pub fn matvec_diagonals(
             Some(a) => eval.add(&a, &term)?,
         });
     }
-    Ok(acc.expect("cols nonempty"))
+    acc.ok_or_else(|| HeError::Mismatch("matrix needs at least one column".into()))
 }
 
 /// CKKS variant of the diagonal matrix-vector product: `y = M·x` over
@@ -213,7 +210,8 @@ pub fn ckks_matvec_diagonals(
             Some(a) => ctx.add(&a, &term)?,
         });
     }
-    ctx.rescale(&acc.expect("cols nonempty"))
+    let acc = acc.ok_or_else(|| HeError::Mismatch("matrix needs at least one column".into()))?;
+    ctx.rescale(&acc)
 }
 
 #[cfg(test)]
@@ -241,18 +239,25 @@ mod tests {
         let slots = layout.pack(&[ch0.clone(), ch1.clone()]);
         let ct = client.encrypt_slots(&slots).unwrap();
         let taps = vec![
-            ConvTap { shift: -1, channel_weights: vec![1, 2] },
-            ConvTap { shift: 0, channel_weights: vec![2, 4] },
-            ConvTap { shift: 1, channel_weights: vec![3, 6] },
+            ConvTap {
+                shift: -1,
+                channel_weights: vec![1, 2],
+            },
+            ConvTap {
+                shift: 0,
+                channel_weights: vec![2, 4],
+            },
+            ConvTap {
+                shift: 1,
+                channel_weights: vec![3, 6],
+            },
         ];
         let out = stacked_conv(&server, &ct, &layout, &taps).unwrap();
         let got = layout.extract(&client.decrypt_slots(&out).unwrap());
         // Reference: per-channel circular conv with taps at -1/0/+1.
         let reference = |v: &[u64], w: &[u64; 3]| -> Vec<u64> {
             (0..8)
-                .map(|j| {
-                    w[0] * v[(j + 7) % 8] + w[1] * v[j] + w[2] * v[(j + 1) % 8]
-                })
+                .map(|j| w[0] * v[(j + 7) % 8] + w[1] * v[j] + w[2] * v[(j + 1) % 8])
                 .collect::<Vec<u64>>()
         };
         assert_eq!(got[0], reference(&ch0, &[1, 2, 3]));
@@ -302,9 +307,18 @@ mod tests {
         let ct = client.encrypt_slots(&slots).unwrap();
         let fresh = client.noise_budget(&ct);
         let taps = vec![
-            ConvTap { shift: -1, channel_weights: vec![3, 1] },
-            ConvTap { shift: 0, channel_weights: vec![2, 2] },
-            ConvTap { shift: 1, channel_weights: vec![1, 3] },
+            ConvTap {
+                shift: -1,
+                channel_weights: vec![3, 1],
+            },
+            ConvTap {
+                shift: 0,
+                channel_weights: vec![2, 2],
+            },
+            ConvTap {
+                shift: 1,
+                channel_weights: vec![1, 3],
+            },
         ];
         let out = stacked_conv(&server, &ct, &layout, &taps).unwrap();
         let after = client.noise_budget(&out);
@@ -333,7 +347,11 @@ mod tests {
         let out = client.decrypt_values(&y);
         for (i, row) in matrix.iter().enumerate() {
             let want: f64 = row.iter().zip(&x).map(|(m, v)| m * v).sum();
-            assert!((out[i] - want).abs() < 1e-2, "row {i}: {} vs {want}", out[i]);
+            assert!(
+                (out[i] - want).abs() < 1e-2,
+                "row {i}: {} vs {want}",
+                out[i]
+            );
         }
     }
 

@@ -87,10 +87,7 @@ fn candidate_chains(n: usize) -> Vec<Vec<u32>> {
             vec![43, 43, 44, 44, 44],
             vec![55, 55, 54, 54],
         ],
-        16384 => vec![
-            vec![58, 58, 59],
-            vec![48, 48, 48, 48, 48, 48, 48, 48, 48],
-        ],
+        16384 => vec![vec![58, 58, 59], vec![48, 48, 48, 48, 48, 48, 48, 48, 48]],
         _ => vec![],
     }
 }
@@ -132,8 +129,7 @@ pub fn select_bfv_params(
             } else {
                 chain[0]
             };
-            let demand =
-                rounds_between_refresh as f64 * round_noise_bits(profile, n, t_bits);
+            let demand = rounds_between_refresh as f64 * round_noise_bits(profile, n, t_bits);
             let budget = data_bits as f64 - t_bits as f64 - 1.0;
             if budget <= demand {
                 continue;

@@ -33,6 +33,15 @@ pub struct CommLedger {
     pub downloads: u32,
     /// Communication rounds (one round = at least one transfer each way).
     pub rounds: u32,
+    /// Extra wire bytes spent re-sending frames the transport layer lost or
+    /// rejected (tag mismatch, truncation, drop). Kept separate from
+    /// `upload_bytes`/`download_bytes` so Figure-10-style reports under a
+    /// fault schedule stay point-comparable to the fault-free baseline.
+    pub retransmit_bytes: u64,
+    /// Client-aided noise-refresh round trips triggered by the transport
+    /// watchdog (download → decrypt → re-encrypt → upload). The refresh
+    /// traffic itself is billed to the regular byte counters.
+    pub refresh_rounds: u32,
 }
 
 impl CommLedger {
@@ -58,6 +67,17 @@ impl CommLedger {
         self.rounds += 1;
     }
 
+    /// Records `bytes` of retransmitted wire traffic (lost/corrupt frames
+    /// re-sent by the transport layer).
+    pub fn record_retransmit(&mut self, bytes: usize) {
+        self.retransmit_bytes += bytes as u64;
+    }
+
+    /// Records one watchdog-triggered noise-refresh round trip.
+    pub fn record_refresh(&mut self) {
+        self.refresh_rounds += 1;
+    }
+
     /// Total bytes both ways.
     pub fn total_bytes(&self) -> u64 {
         self.upload_bytes + self.download_bytes
@@ -75,6 +95,8 @@ impl CommLedger {
         self.uploads += other.uploads;
         self.downloads += other.downloads;
         self.rounds += other.rounds;
+        self.retransmit_bytes += other.retransmit_bytes;
+        self.refresh_rounds += other.refresh_rounds;
     }
 }
 
@@ -453,7 +475,10 @@ mod tests {
         ledger.end_round();
 
         let out = client.decrypt_slots(&back).unwrap();
-        assert_eq!(&out[..16], &(0..16).map(|i| i * 2).collect::<Vec<u64>>()[..]);
+        assert_eq!(
+            &out[..16],
+            &(0..16).map(|i| i * 2).collect::<Vec<u64>>()[..]
+        );
         assert_eq!(client.encryption_count(), 1);
         assert_eq!(client.decryption_count(), 1);
         assert_eq!(ledger.rounds, 1);

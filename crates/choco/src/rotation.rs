@@ -285,14 +285,18 @@ mod tests {
         let values: Vec<u64> = (1..=16).collect();
 
         let packed_pt = encoder.encode(&layout.pack(&values)).unwrap();
-        let ct_red = ctx.encryptor(keys.public_key()).encrypt(&packed_pt, &mut rng);
+        let ct_red = ctx
+            .encryptor(keys.public_key())
+            .encrypt(&packed_pt, &mut rng);
         let fresh = dec.invariant_noise_budget(&ct_red);
 
         let red = windowed_rotate_redundant(&ctx, &ct_red, &layout, 3, &gks).unwrap();
         let after_red = dec.invariant_noise_budget(&red);
 
         let plain_pt = encoder.encode(&values).unwrap();
-        let ct_mask = ctx.encryptor(keys.public_key()).encrypt(&plain_pt, &mut rng);
+        let ct_mask = ctx
+            .encryptor(keys.public_key())
+            .encrypt(&plain_pt, &mut rng);
         let masked = windowed_rotate_masked(&ctx, &ct_mask, 16, 3, &gks).unwrap();
         let after_mask = dec.invariant_noise_budget(&masked);
 
@@ -311,7 +315,9 @@ mod tests {
         let (ctx, keys, gks, mut rng) = setup();
         let encoder = ctx.batch_encoder().unwrap();
         let layout = RedundantLayout::new(8, 2);
-        let pt = encoder.encode(&layout.pack(&[1, 2, 3, 4, 5, 6, 7, 8])).unwrap();
+        let pt = encoder
+            .encode(&layout.pack(&[1, 2, 3, 4, 5, 6, 7, 8]))
+            .unwrap();
         let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
         let _ = windowed_rotate_redundant(&ctx, &ct, &layout, 3, &gks);
     }

@@ -74,7 +74,11 @@ impl StackedLayout {
     ///
     /// Panics if the channel count or any channel length mismatches.
     pub fn pack(&self, channel_values: &[Vec<u64>]) -> Vec<u64> {
-        assert_eq!(channel_values.len(), self.channels, "channel count mismatch");
+        assert_eq!(
+            channel_values.len(),
+            self.channels,
+            "channel count mismatch"
+        );
         let mut slots = vec![0u64; self.slots_used()];
         for (c, values) in channel_values.iter().enumerate() {
             let packed = self.layout.pack(values);
@@ -94,7 +98,8 @@ impl StackedLayout {
         (0..self.channels)
             .map(|c| {
                 let base = c * self.stride;
-                self.layout.extract(&slots[base..base + self.stride.min(slots.len() - base)])
+                self.layout
+                    .extract(&slots[base..base + self.stride.min(slots.len() - base)])
             })
             .collect()
     }
@@ -179,9 +184,7 @@ mod tests {
     #[test]
     fn stride_rotation_realigns_channels() {
         let l = layout();
-        let channels: Vec<Vec<u64>> = (0..4)
-            .map(|c| vec![(c + 1) as u64; 5])
-            .collect();
+        let channels: Vec<Vec<u64>> = (0..4).map(|c| vec![(c + 1) as u64; 5]).collect();
         let mut slots = l.pack(&channels);
         slots.rotate_left(l.stride());
         let got = l.extract(&slots);

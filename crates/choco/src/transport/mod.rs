@@ -1,0 +1,124 @@
+//! Fault-tolerant client↔server transport for the offload protocol.
+//!
+//! The paper's evaluation assumes a perfect link: every ciphertext the
+//! client uploads arrives intact, and the noise budget is provisioned
+//! offline so no computation ever runs dry mid-protocol. This module keeps
+//! the protocol (and its communication accounting) honest when neither
+//! assumption holds:
+//!
+//! * [`frame`] defines a length-delimited wire frame — kind, sequence
+//!   number, payload, and a keyed BLAKE3 integrity tag derived from the
+//!   session seed. HE gives semantic security but no integrity (a bit-flip
+//!   in a ciphertext decrypts to garbage, silently); the tag is the
+//!   *systems-level* integrity check layered outside the HE threat model.
+//! * [`channel`] is the byte-pipe abstraction: [`channel::DirectChannel`]
+//!   is a lossless in-memory queue.
+//! * [`fault`] provides [`fault::FaultyChannel`], a deterministic,
+//!   seed-driven adversary that drops, corrupts, truncates, duplicates and
+//!   delays frames per a configurable [`fault::FaultPlan`].
+//! * [`session`] wraps a [`crate::protocol::BfvClient`]/
+//!   [`crate::protocol::BfvServer`] pair in a [`session::ResilientSession`]:
+//!   retries with bounded attempts and deterministic exponential backoff,
+//!   a per-round timeout budget, and a noise-budget watchdog that converts
+//!   would-be [`choco_he::HeError::NoiseBudgetExhausted`] failures into
+//!   client-aided refresh rounds billed to the [`crate::CommLedger`].
+//!
+//! Everything is deterministic: channels and retry jitter are seeded, and
+//! time is a simulated millisecond clock, so a given `(seed, FaultPlan)`
+//! pair replays bit-identically.
+
+pub mod channel;
+pub mod fault;
+pub mod frame;
+pub mod session;
+
+pub use channel::{Channel, Delivery, DirectChannel};
+pub use fault::{FaultPlan, FaultStats, FaultyChannel};
+pub use frame::{Frame, FrameKind, TagKey};
+pub use session::{CkksResilientSession, LinkConfig, ResilientSession, RetryPolicy};
+
+use choco_he::HeError;
+
+/// Errors surfaced by the transport layer.
+///
+/// Malformed or tampered frames are *detected*, never propagated into the
+/// HE layer: a frame either decodes to exactly the bytes that were sent or
+/// the exchange is retried, and a link worse than the retry budget yields
+/// [`TransportError::RetriesExhausted`] — a typed error, not garbage
+/// plaintext.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// Frame shorter than its own framing overhead or declared length.
+    Truncated {
+        /// Bytes the frame claimed or minimally requires.
+        need: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// Structurally invalid frame (bad length field, unknown kind byte).
+    Malformed(String),
+    /// The keyed BLAKE3 tag did not match the payload: the frame was
+    /// altered in flight.
+    TagMismatch {
+        /// Sequence number carried by the tampered frame.
+        seq: u64,
+    },
+    /// The channel delivered nothing (the frame was dropped in flight).
+    Dropped,
+    /// The simulated clock exceeded the per-round timeout budget.
+    TimeoutExceeded {
+        /// Configured budget in milliseconds.
+        budget_ms: u64,
+        /// Simulated time actually spent.
+        elapsed_ms: u64,
+    },
+    /// Every retry attempt failed; the link is worse than the retry policy
+    /// can absorb.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last per-attempt failure observed.
+        last: String,
+    },
+    /// An HE-layer error inside a session exchange (encode/encrypt/etc.).
+    He(HeError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            TransportError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            TransportError::TagMismatch { seq } => {
+                write!(f, "integrity tag mismatch on frame seq {seq}")
+            }
+            TransportError::Dropped => write!(f, "frame dropped in flight"),
+            TransportError::TimeoutExceeded {
+                budget_ms,
+                elapsed_ms,
+            } => {
+                write!(
+                    f,
+                    "round timeout exceeded: {elapsed_ms} ms spent, budget {budget_ms} ms"
+                )
+            }
+            TransportError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts (last: {last})"
+                )
+            }
+            TransportError::He(e) => write!(f, "HE error during exchange: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<HeError> for TransportError {
+    fn from(e: HeError) -> Self {
+        TransportError::He(e)
+    }
+}

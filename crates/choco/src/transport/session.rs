@@ -1,0 +1,734 @@
+//! Resilient protocol sessions: retries, backoff, and the noise watchdog.
+//!
+//! A [`ResilientSession`] owns both protocol roles plus the two directed
+//! channels between them, and replaces the bare `upload`/`download` helpers
+//! of [`crate::protocol`] with fault-tolerant exchanges:
+//!
+//! * every ciphertext crosses the link as a tagged frame
+//!   ([`super::frame`]); the receiver discards corrupt, truncated and stale
+//!   duplicate deliveries by tag and sequence number;
+//! * a failed exchange is retried up to [`RetryPolicy::max_attempts`]
+//!   times with exponential backoff and deterministic jitter on a
+//!   *simulated* millisecond clock (runs are reproducible; no wall time);
+//! * the first attempt of an exchange bills the ciphertext's payload bytes
+//!   to the regular [`CommLedger`] counters — identical to the fault-free
+//!   protocol, keeping Figure-10-style reports comparable — while every
+//!   retransmission bills its full wire bytes to
+//!   [`CommLedger::retransmit_bytes`];
+//! * a noise-budget watchdog ([`ResilientSession::ensure_budget`]) checks
+//!   the invariant noise budget before server-side work and, when it runs
+//!   low, performs a client-aided refresh round (download → decrypt →
+//!   re-encrypt → upload, one extra round in the ledger) instead of letting
+//!   the computation die with `NoiseBudgetExhausted`.
+
+use super::channel::Channel;
+use super::fault::FaultStats;
+use super::frame::{self, FrameKind, TagKey};
+use super::TransportError;
+use crate::protocol::{BfvClient, BfvServer, CkksClient, CkksServer, CommLedger};
+use choco_he::bfv::Ciphertext;
+use choco_he::ckks::CkksCiphertext;
+use choco_he::params::HeParams;
+use choco_he::serialize::{
+    ciphertext_from_bytes, ciphertext_to_bytes, ckks_ciphertext_from_bytes,
+    ckks_ciphertext_to_bytes,
+};
+use choco_prng::Blake3Rng;
+
+/// Bounded-retry policy for one frame exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per exchange (first try included).
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt, in milliseconds; doubles per
+    /// attempt.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Simulated-time budget for one exchange, in milliseconds.
+    pub round_timeout_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ms: 10,
+            max_backoff_ms: 500,
+            round_timeout_ms: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Exponential backoff for `attempt` (0-based), plus deterministic
+    /// jitter in `[0, backoff/2]` drawn from the session's jitter stream.
+    fn backoff_ms(&self, attempt: u32, jitter: &mut Blake3Rng) -> u64 {
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_backoff_ms);
+        exp + jitter.next_below(exp / 2 + 1)
+    }
+}
+
+/// Channels plus retry policy — everything a resilient application runner
+/// needs to describe its link, bundled so runner signatures stay short.
+pub struct LinkConfig {
+    /// Client → server channel.
+    pub uplink: Box<dyn Channel>,
+    /// Server → client channel.
+    pub downlink: Box<dyn Channel>,
+    /// Retry/backoff/timeout budget per exchange.
+    pub policy: RetryPolicy,
+}
+
+impl LinkConfig {
+    /// Perfect in-memory channels with the default retry policy.
+    pub fn direct() -> Self {
+        LinkConfig {
+            uplink: Box::new(super::channel::DirectChannel::new()),
+            downlink: Box::new(super::channel::DirectChannel::new()),
+            policy: RetryPolicy::default(),
+        }
+    }
+}
+
+enum Direction {
+    Upload,
+    Download,
+}
+
+/// The shared retry engine: everything except the scheme-specific
+/// serialization and refresh logic.
+struct Link {
+    uplink: Box<dyn Channel>,
+    downlink: Box<dyn Channel>,
+    tag_key: TagKey,
+    policy: RetryPolicy,
+    jitter: Blake3Rng,
+    clock_ms: u64,
+    next_seq: u64,
+}
+
+impl Link {
+    fn new(
+        seed: &[u8],
+        uplink: Box<dyn Channel>,
+        downlink: Box<dyn Channel>,
+        policy: RetryPolicy,
+    ) -> Self {
+        Link {
+            uplink,
+            downlink,
+            tag_key: TagKey::from_session_seed(seed),
+            policy,
+            jitter: Blake3Rng::from_seed_labeled(seed, "retry-jitter"),
+            clock_ms: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Sends `payload` one way and waits for it to arrive intact, retrying
+    /// per the policy. Returns the delivered payload bytes.
+    fn transfer(
+        &mut self,
+        dir: Direction,
+        kind: FrameKind,
+        payload: &[u8],
+        billed_payload: usize,
+        ledger: &mut CommLedger,
+    ) -> Result<Vec<u8>, TransportError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let wire = frame::encode_frame(kind, seq, payload, &self.tag_key);
+        let start = self.clock_ms;
+        let mut last = TransportError::Dropped;
+        for attempt in 0..self.policy.max_attempts {
+            let channel = match dir {
+                Direction::Upload => &mut self.uplink,
+                Direction::Download => &mut self.downlink,
+            };
+            channel.send(wire.clone());
+            if attempt == 0 {
+                // Bill exactly what the fault-free protocol would: the
+                // ciphertext payload, not the framing overhead.
+                match dir {
+                    Direction::Upload => ledger.record_upload(billed_payload),
+                    Direction::Download => ledger.record_download(billed_payload),
+                }
+            } else {
+                ledger.record_retransmit(wire.len());
+            }
+            // Drain deliveries until our frame verifies or the pipe is dry.
+            let mut arrived = None;
+            loop {
+                let channel = match dir {
+                    Direction::Upload => &mut self.uplink,
+                    Direction::Download => &mut self.downlink,
+                };
+                let Some(delivery) = channel.recv() else {
+                    break;
+                };
+                self.clock_ms += delivery.latency_ms;
+                match frame::decode_frame(&delivery.wire, &self.tag_key) {
+                    Ok(f) if f.seq == seq => {
+                        arrived = Some(f.payload);
+                        break;
+                    }
+                    // A verified frame with an older seq is a stale
+                    // duplicate from a previous exchange: discard.
+                    Ok(_) => continue,
+                    Err(e) => {
+                        last = e;
+                        continue;
+                    }
+                }
+            }
+            if let Some(bytes) = arrived {
+                return Ok(bytes);
+            }
+            if attempt + 1 < self.policy.max_attempts {
+                self.clock_ms += self.policy.backoff_ms(attempt, &mut self.jitter);
+            }
+            let elapsed = self.clock_ms - start;
+            if elapsed > self.policy.round_timeout_ms {
+                return Err(TransportError::TimeoutExceeded {
+                    budget_ms: self.policy.round_timeout_ms,
+                    elapsed_ms: elapsed,
+                });
+            }
+        }
+        Err(TransportError::RetriesExhausted {
+            attempts: self.policy.max_attempts,
+            last: last.to_string(),
+        })
+    }
+}
+
+/// A fault-tolerant BFV offload session.
+pub struct ResilientSession {
+    client: BfvClient,
+    server: BfvServer,
+    link: Link,
+    ledger: CommLedger,
+    refresh_threshold_bits: f64,
+}
+
+impl ResilientSession {
+    /// Default noise-budget floor (bits) below which the watchdog refreshes.
+    pub const DEFAULT_REFRESH_THRESHOLD_BITS: f64 = 8.0;
+
+    /// Builds a session: keygen from `seed`, server provisioned with
+    /// `rotation_steps`, frames exchanged over the given channels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE-layer setup failures.
+    pub fn new(
+        params: &HeParams,
+        seed: &[u8],
+        rotation_steps: &[i64],
+        uplink: Box<dyn Channel>,
+        downlink: Box<dyn Channel>,
+        policy: RetryPolicy,
+    ) -> Result<Self, TransportError> {
+        let mut client = BfvClient::new(params, seed)?;
+        let server = client.provision_server(rotation_steps)?;
+        Ok(ResilientSession {
+            client,
+            server,
+            link: Link::new(seed, uplink, downlink, policy),
+            ledger: CommLedger::new(),
+            refresh_threshold_bits: Self::DEFAULT_REFRESH_THRESHOLD_BITS,
+        })
+    }
+
+    /// Convenience constructor over perfect in-memory channels.
+    pub fn direct(
+        params: &HeParams,
+        seed: &[u8],
+        rotation_steps: &[i64],
+    ) -> Result<Self, TransportError> {
+        Self::new(
+            params,
+            seed,
+            rotation_steps,
+            Box::new(super::channel::DirectChannel::new()),
+            Box::new(super::channel::DirectChannel::new()),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Overrides the watchdog's refresh threshold.
+    pub fn with_refresh_threshold(mut self, bits: f64) -> Self {
+        self.refresh_threshold_bits = bits;
+        self
+    }
+
+    /// The client role.
+    pub fn client_mut(&mut self) -> &mut BfvClient {
+        &mut self.client
+    }
+
+    /// The server role.
+    pub fn server(&self) -> &BfvServer {
+        &self.server
+    }
+
+    /// The communication ledger.
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access (for marking protocol rounds).
+    pub fn ledger_mut(&mut self) -> &mut CommLedger {
+        &mut self.ledger
+    }
+
+    /// Simulated milliseconds spent on the link so far.
+    pub fn clock_ms(&self) -> u64 {
+        self.link.clock_ms
+    }
+
+    /// Fault counters of the client → server link.
+    pub fn uplink_stats(&self) -> FaultStats {
+        self.link.uplink.fault_stats()
+    }
+
+    /// Fault counters of the server → client link.
+    pub fn downlink_stats(&self) -> FaultStats {
+        self.link.downlink.fault_stats()
+    }
+
+    /// Sends a ciphertext client → server, retrying until it arrives
+    /// intact.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport errors if the link is worse than the retry budget.
+    pub fn upload(&mut self, ct: &Ciphertext) -> Result<Ciphertext, TransportError> {
+        let payload = ciphertext_to_bytes(ct);
+        let billed = ct.byte_size();
+        let bytes = self.link.transfer(
+            Direction::Upload,
+            FrameKind::BfvCiphertext,
+            &payload,
+            billed,
+            &mut self.ledger,
+        )?;
+        Ok(ciphertext_from_bytes(&bytes)?)
+    }
+
+    /// Sends a ciphertext server → client, retrying until it arrives
+    /// intact.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport errors if the link is worse than the retry budget.
+    pub fn download(&mut self, ct: &Ciphertext) -> Result<Ciphertext, TransportError> {
+        let payload = ciphertext_to_bytes(ct);
+        let billed = ct.byte_size();
+        let bytes = self.link.transfer(
+            Direction::Download,
+            FrameKind::BfvCiphertext,
+            &payload,
+            billed,
+            &mut self.ledger,
+        )?;
+        Ok(ciphertext_from_bytes(&bytes)?)
+    }
+
+    /// The noise watchdog: returns `ct` unchanged while its invariant
+    /// noise budget stays at or above `min_bits`, otherwise runs a
+    /// client-aided refresh round and returns the re-encrypted ciphertext.
+    ///
+    /// The client can evaluate the budget because it holds the secret key;
+    /// in the deployed protocol it tracks the same quantity analytically
+    /// from the public operation sequence (§4.4 parameter model).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the refresh round trip.
+    pub fn ensure_budget(
+        &mut self,
+        ct: &Ciphertext,
+        min_bits: f64,
+    ) -> Result<Ciphertext, TransportError> {
+        if self.client.noise_budget(ct) >= min_bits {
+            return Ok(ct.clone());
+        }
+        self.refresh(ct)
+    }
+
+    /// [`Self::ensure_budget`] with the session's configured threshold.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the refresh round trip.
+    pub fn guard(&mut self, ct: &Ciphertext) -> Result<Ciphertext, TransportError> {
+        self.ensure_budget(ct, self.refresh_threshold_bits)
+    }
+
+    /// Client-aided noise refresh: download → decrypt → re-encrypt →
+    /// upload. Costs one extra protocol round, visible in the ledger as
+    /// `refresh_rounds += 1` plus the refresh traffic.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from either leg of the round trip.
+    pub fn refresh(&mut self, ct: &Ciphertext) -> Result<Ciphertext, TransportError> {
+        let at_client = self.download(ct)?;
+        let slots = self.client.decrypt_slots(&at_client)?;
+        let fresh = self.client.encrypt_slots(&slots)?;
+        let back = self.upload(&fresh)?;
+        self.ledger.record_refresh();
+        self.ledger.end_round();
+        Ok(back)
+    }
+
+    /// Consumes the session, returning the roles and the final ledger.
+    pub fn into_parts(self) -> (BfvClient, BfvServer, CommLedger) {
+        (self.client, self.server, self.ledger)
+    }
+}
+
+/// A fault-tolerant CKKS offload session.
+///
+/// CKKS tracks computation depth through *levels* rather than a noise
+/// budget; the watchdog here refreshes when the remaining level count drops
+/// below a floor ([`CkksResilientSession::ensure_level`]).
+pub struct CkksResilientSession {
+    client: CkksClient,
+    server: CkksServer,
+    link: Link,
+    ledger: CommLedger,
+}
+
+impl CkksResilientSession {
+    /// Builds a session over the given channels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE-layer setup failures.
+    pub fn new(
+        params: &HeParams,
+        seed: &[u8],
+        rotation_steps: &[i64],
+        uplink: Box<dyn Channel>,
+        downlink: Box<dyn Channel>,
+        policy: RetryPolicy,
+    ) -> Result<Self, TransportError> {
+        let mut client = CkksClient::new(params, seed)?;
+        let server = client.provision_server(rotation_steps);
+        Ok(CkksResilientSession {
+            client,
+            server,
+            link: Link::new(seed, uplink, downlink, policy),
+            ledger: CommLedger::new(),
+        })
+    }
+
+    /// The client role.
+    pub fn client_mut(&mut self) -> &mut CkksClient {
+        &mut self.client
+    }
+
+    /// The server role.
+    pub fn server(&self) -> &CkksServer {
+        &self.server
+    }
+
+    /// The communication ledger.
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access.
+    pub fn ledger_mut(&mut self) -> &mut CommLedger {
+        &mut self.ledger
+    }
+
+    /// Sends a ciphertext client → server, retrying until intact.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport errors if the link is worse than the retry budget.
+    pub fn upload(&mut self, ct: &CkksCiphertext) -> Result<CkksCiphertext, TransportError> {
+        let payload = ckks_ciphertext_to_bytes(ct);
+        let billed = ct.byte_size();
+        let bytes = self.link.transfer(
+            Direction::Upload,
+            FrameKind::CkksCiphertext,
+            &payload,
+            billed,
+            &mut self.ledger,
+        )?;
+        Ok(ckks_ciphertext_from_bytes(&bytes)?)
+    }
+
+    /// Sends a ciphertext server → client, retrying until intact.
+    ///
+    /// # Errors
+    ///
+    /// Typed transport errors if the link is worse than the retry budget.
+    pub fn download(&mut self, ct: &CkksCiphertext) -> Result<CkksCiphertext, TransportError> {
+        let payload = ckks_ciphertext_to_bytes(ct);
+        let billed = ct.byte_size();
+        let bytes = self.link.transfer(
+            Direction::Download,
+            FrameKind::CkksCiphertext,
+            &payload,
+            billed,
+            &mut self.ledger,
+        )?;
+        Ok(ckks_ciphertext_from_bytes(&bytes)?)
+    }
+
+    /// The level watchdog: refreshes (download → decrypt → re-encrypt at
+    /// top level → upload) when fewer than `min_levels` remain.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the refresh round trip.
+    pub fn ensure_level(
+        &mut self,
+        ct: &CkksCiphertext,
+        min_levels: usize,
+    ) -> Result<CkksCiphertext, TransportError> {
+        if ct.level() >= min_levels {
+            return Ok(ct.clone());
+        }
+        let at_client = self.download(ct)?;
+        let values = self.client.decrypt_values(&at_client);
+        let fresh = self.client.encrypt_values(&values)?;
+        let back = self.upload(&fresh)?;
+        self.ledger.record_refresh();
+        self.ledger.end_round();
+        Ok(back)
+    }
+
+    /// Consumes the session, returning the roles and the final ledger.
+    pub fn into_parts(self) -> (CkksClient, CkksServer, CommLedger) {
+        (self.client, self.server, self.ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::fault::{FaultPlan, FaultyChannel};
+
+    fn params() -> HeParams {
+        HeParams::bfv_insecure(256, &[40, 40, 41], 14).unwrap()
+    }
+
+    fn faulty(seed: &[u8], plan: FaultPlan) -> Box<dyn Channel> {
+        Box::new(FaultyChannel::new(seed, plan))
+    }
+
+    #[test]
+    fn direct_session_matches_plain_protocol_billing() {
+        let mut s = ResilientSession::direct(&params(), b"session direct", &[]).unwrap();
+        let values: Vec<u64> = (0..256).collect();
+        let ct = s.client_mut().encrypt_slots(&values).unwrap();
+        let at_server = s.upload(&ct).unwrap();
+        let back = s.download(&at_server).unwrap();
+        let out = s.client_mut().decrypt_slots(&back).unwrap();
+        assert_eq!(out, values);
+        // Billing matches the fault-free protocol: payload bytes only.
+        assert_eq!(s.ledger().upload_bytes, ct.byte_size() as u64);
+        assert_eq!(s.ledger().download_bytes, ct.byte_size() as u64);
+        assert_eq!(s.ledger().retransmit_bytes, 0);
+        assert_eq!(s.ledger().refresh_rounds, 0);
+    }
+
+    #[test]
+    fn flaky_link_recovers_and_bills_retransmits() {
+        let plan = FaultPlan::flaky();
+        let mut s = ResilientSession::new(
+            &params(),
+            b"session flaky",
+            &[],
+            faulty(b"up", plan),
+            faulty(b"down", plan),
+            RetryPolicy {
+                max_attempts: 16,
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap();
+        let values: Vec<u64> = (0..256).map(|i| i * 7 % 101).collect();
+        for round in 0..10 {
+            let ct = s.client_mut().encrypt_slots(&values).unwrap();
+            let at_server = s.upload(&ct).unwrap();
+            let back = s.download(&at_server).unwrap();
+            let out = s.client_mut().decrypt_slots(&back).unwrap();
+            assert_eq!(out, values, "round {round} corrupted data");
+        }
+        let faults = s.uplink_stats().total_faults() + s.downlink_stats().total_faults();
+        assert!(faults > 0, "flaky plan injected no faults");
+        assert!(s.ledger().retransmit_bytes > 0);
+        // Primary counters unaffected by retries: 10 uploads + 10 downloads.
+        assert_eq!(s.ledger().uploads, 10);
+        assert_eq!(s.ledger().downloads, 10);
+    }
+
+    #[test]
+    fn blackhole_link_yields_typed_error() {
+        let mut s = ResilientSession::new(
+            &params(),
+            b"session dead",
+            &[],
+            faulty(b"up", FaultPlan::blackhole()),
+            faulty(b"down", FaultPlan::blackhole()),
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        let ct = s.client_mut().encrypt_slots(&[1; 256]).unwrap();
+        match s.upload(&ct) {
+            Err(TransportError::RetriesExhausted { attempts, .. }) => {
+                assert_eq!(attempts, RetryPolicy::default().max_attempts);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_budget_is_enforced() {
+        let mut s = ResilientSession::new(
+            &params(),
+            b"session slow",
+            &[],
+            faulty(b"up", FaultPlan::blackhole()),
+            faulty(b"down", FaultPlan::blackhole()),
+            RetryPolicy {
+                max_attempts: 50,
+                base_backoff_ms: 100,
+                max_backoff_ms: 1000,
+                round_timeout_ms: 300,
+            },
+        )
+        .unwrap();
+        let ct = s.client_mut().encrypt_slots(&[2; 256]).unwrap();
+        match s.upload(&ct) {
+            Err(TransportError::TimeoutExceeded {
+                budget_ms,
+                elapsed_ms,
+            }) => {
+                assert_eq!(budget_ms, 300);
+                assert!(elapsed_ms > 300);
+            }
+            other => panic!("expected TimeoutExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_refreshes_exhausted_ciphertext() {
+        let mut s = ResilientSession::direct(&params(), b"session watchdog", &[]).unwrap();
+        let values: Vec<u64> = (0..256).map(|i| i % 13).collect();
+        let ct = s.client_mut().encrypt_slots(&values).unwrap();
+        let mut at_server = s.upload(&ct).unwrap();
+        // Burn noise budget with repeated plain multiplications until the
+        // watchdog would trip.
+        let weights = s.server().encode(&vec![3u64; 256]).unwrap();
+        let mut refreshed = 0;
+        for _ in 0..64 {
+            let guarded = s.ensure_budget(&at_server, 15.0).unwrap();
+            if s.ledger().refresh_rounds > refreshed {
+                refreshed = s.ledger().refresh_rounds;
+            }
+            at_server = s.server().evaluator().multiply_plain(&guarded, &weights);
+        }
+        assert!(refreshed > 0, "watchdog never refreshed");
+        // The final ciphertext still decrypts to *something* well-formed —
+        // the chain would have died without refreshes.
+        let back = s.download(&at_server).unwrap();
+        let out = s.client_mut().decrypt_slots(&back).unwrap();
+        assert_eq!(out.len(), 256);
+    }
+
+    #[test]
+    fn refresh_resets_noise_budget() {
+        let mut s = ResilientSession::direct(&params(), b"session refresh", &[]).unwrap();
+        let ct = s.client_mut().encrypt_slots(&[5; 256]).unwrap();
+        let at_server = s.upload(&ct).unwrap();
+        let weights = s.server().encode(&[7; 256]).unwrap();
+        let worn = s.server().evaluator().multiply_plain(&at_server, &weights);
+        let before = {
+            let c = s.client_mut();
+            c.noise_budget(&worn)
+        };
+        let fresh = s.refresh(&worn).unwrap();
+        let after = s.client_mut().noise_budget(&fresh);
+        assert!(
+            after > before,
+            "refresh did not recover budget ({before} -> {after})"
+        );
+        assert_eq!(s.ledger().refresh_rounds, 1);
+    }
+
+    #[test]
+    fn ckks_session_roundtrips_under_faults() {
+        let params = HeParams::ckks_insecure(256, &[45, 45, 46], 38).unwrap();
+        let plan = FaultPlan::lossless()
+            .with_drop_rate(0.3)
+            .with_corrupt_rate(0.2);
+        let mut s = CkksResilientSession::new(
+            &params,
+            b"ckks session",
+            &[],
+            faulty(b"cu", plan),
+            faulty(b"cd", plan),
+            RetryPolicy {
+                max_attempts: 16,
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap();
+        let values: Vec<f64> = (0..128).map(|i| i as f64 / 16.0).collect();
+        let ct = s.client_mut().encrypt_values(&values).unwrap();
+        let at_server = s.upload(&ct).unwrap();
+        let back = s.download(&at_server).unwrap();
+        let out = s.client_mut().decrypt_values(&back);
+        for i in 0..values.len() {
+            assert!((out[i] - values[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn ckks_level_watchdog_refreshes() {
+        let params = HeParams::ckks_insecure(256, &[45, 45, 45, 46], 38).unwrap();
+        let mut s = CkksResilientSession::new(
+            &params,
+            b"ckks levels",
+            &[],
+            Box::new(crate::transport::channel::DirectChannel::new()),
+            Box::new(crate::transport::channel::DirectChannel::new()),
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        let values: Vec<f64> = (0..128).map(|i| (i % 7) as f64 / 8.0).collect();
+        let ct = s.client_mut().encrypt_values(&values).unwrap();
+        let mut at_server = s.upload(&ct).unwrap();
+        let top = at_server.level();
+        // Rescale down until only one level remains, guarding each step.
+        let ctx_levels = top;
+        let mut refreshes_seen = 0;
+        for _ in 0..(2 * ctx_levels) {
+            at_server = s.ensure_level(&at_server, 2).unwrap();
+            refreshes_seen = s.ledger().refresh_rounds;
+            let pt = s
+                .server()
+                .encode_at(&vec![0.5; 128], at_server.level(), at_server.scale())
+                .unwrap();
+            let prod = s
+                .server()
+                .context()
+                .multiply_plain(&at_server, &pt)
+                .unwrap();
+            at_server = s.server().context().rescale(&prod).unwrap();
+        }
+        assert!(refreshes_seen > 0, "level watchdog never refreshed");
+    }
+}

@@ -1,27 +1,31 @@
-//! Property-based tests for CHOCO's packing and protocol invariants.
+//! Property-based tests for CHOCO's packing and protocol invariants
+//! (deterministic quickprop harness).
 
 use choco::protocol::CommLedger;
 use choco::rotation::RedundantLayout;
 use choco::stacking::StackedLayout;
-use proptest::prelude::*;
+use choco_quickprop::run_cases;
 
-proptest! {
-    #[test]
-    fn pack_extract_roundtrip(window in 1usize..64, red_frac in 0usize..100) {
+#[test]
+fn pack_extract_roundtrip() {
+    run_cases("pack/extract roundtrip", 128, |g| {
+        let window = g.usize_in(1, 64);
+        let red_frac = g.usize_in(0, 100);
         let redundancy = red_frac * window / 100;
         let layout = RedundantLayout::new(window, redundancy);
         let values: Vec<u64> = (0..window as u64).map(|i| i * 3 + 1).collect();
         let packed = layout.pack(&values);
-        prop_assert_eq!(packed.len(), window + 2 * redundancy);
-        prop_assert_eq!(layout.extract(&packed), values);
-    }
+        assert_eq!(packed.len(), window + 2 * redundancy);
+        assert_eq!(layout.extract(&packed), values);
+    });
+}
 
-    #[test]
-    fn packed_rotation_equals_windowed_rotation(
-        window in 2usize..48,
-        red in 1usize..16,
-        rot_seed in any::<i64>(),
-    ) {
+#[test]
+fn packed_rotation_equals_windowed_rotation() {
+    run_cases("packed rotation windowed", 128, |g| {
+        let window = g.usize_in(2, 48);
+        let red = g.usize_in(1, 16);
+        let rot_seed = g.i64();
         let redundancy = red.min(window);
         let layout = RedundantLayout::new(window, redundancy);
         let r = rot_seed.rem_euclid(2 * redundancy as i64 + 1) - redundancy as i64;
@@ -33,48 +37,60 @@ proptest! {
         } else {
             packed.rotate_right((-r) as usize);
         }
-        prop_assert_eq!(layout.extract(&packed), layout.reference_rotate(&values, r));
-    }
+        assert_eq!(layout.extract(&packed), layout.reference_rotate(&values, r));
+    });
+}
 
-    #[test]
-    fn reference_rotation_composes(window in 2usize..32, r1 in -8i64..8, r2 in -8i64..8) {
+#[test]
+fn reference_rotation_composes() {
+    run_cases("reference rotation composes", 128, |g| {
+        let window = g.usize_in(2, 32);
+        let r1 = g.i64_in(-8, 8);
+        let r2 = g.i64_in(-8, 8);
         let layout = RedundantLayout::new(window, window);
         let values: Vec<u64> = (0..window as u64).collect();
         let once = layout.reference_rotate(&layout.reference_rotate(&values, r1), r2);
         let both = layout.reference_rotate(&values, r1 + r2);
-        prop_assert_eq!(once, both);
-    }
+        assert_eq!(once, both);
+    });
+}
 
-    #[test]
-    fn stacked_pack_extract_roundtrip(
-        channels in 1usize..8,
-        window in 1usize..16,
-        red in 0usize..4,
-    ) {
+#[test]
+fn stacked_pack_extract_roundtrip() {
+    run_cases("stacked pack/extract", 128, |g| {
+        let channels = g.usize_in(1, 8);
+        let window = g.usize_in(1, 16);
+        let red = g.usize_in(0, 4);
         let redundancy = red.min(window);
         let layout = StackedLayout::new(channels, RedundantLayout::new(window, redundancy));
         let data: Vec<Vec<u64>> = (0..channels)
             .map(|c| (0..window as u64).map(|i| c as u64 * 100 + i).collect())
             .collect();
         let slots = layout.pack(&data);
-        prop_assert_eq!(slots.len(), channels * layout.stride());
-        prop_assert!(layout.stride().is_power_of_two());
-        prop_assert_eq!(layout.extract(&slots), data);
-    }
+        assert_eq!(slots.len(), channels * layout.stride());
+        assert!(layout.stride().is_power_of_two());
+        assert_eq!(layout.extract(&slots), data);
+    });
+}
 
-    #[test]
-    fn utilization_decreases_with_redundancy(window in 4usize..64) {
+#[test]
+fn utilization_decreases_with_redundancy() {
+    run_cases("utilization monotone", 64, |g| {
+        let window = g.usize_in(4, 64);
         let low = RedundantLayout::new(window, 1);
         let high = RedundantLayout::new(window, window.clamp(2, 8));
-        prop_assert!(low.utilization() >= high.utilization());
-        prop_assert!(low.utilization() <= 1.0);
-    }
+        assert!(low.utilization() >= high.utilization());
+        assert!(low.utilization() <= 1.0);
+    });
+}
 
-    #[test]
-    fn ledger_merge_is_commutative(
-        up1 in 0usize..1_000_000, dn1 in 0usize..1_000_000,
-        up2 in 0usize..1_000_000, dn2 in 0usize..1_000_000,
-    ) {
+#[test]
+fn ledger_merge_is_commutative() {
+    run_cases("ledger merge commutes", 128, |g| {
+        let up1 = g.usize_in(0, 1_000_000);
+        let dn1 = g.usize_in(0, 1_000_000);
+        let up2 = g.usize_in(0, 1_000_000);
+        let dn2 = g.usize_in(0, 1_000_000);
         let mut a = CommLedger::new();
         a.record_upload(up1);
         a.record_download(dn1);
@@ -85,7 +101,7 @@ proptest! {
         ab.merge(&b);
         let mut ba = b;
         ba.merge(&a);
-        prop_assert_eq!(ab, ba);
-        prop_assert_eq!(ab.total_bytes(), (up1 + dn1 + up2 + dn2) as u64);
-    }
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_bytes(), (up1 + dn1 + up2 + dn2) as u64);
+    });
 }

@@ -186,7 +186,13 @@ mod tests {
     fn too_many_values_rejected() {
         let enc = encoder(64);
         let err = enc.encode(&vec![1u64; 65]).unwrap_err();
-        assert!(matches!(err, HeError::TooManyValues { got: 65, capacity: 64 }));
+        assert!(matches!(
+            err,
+            HeError::TooManyValues {
+                got: 65,
+                capacity: 64
+            }
+        ));
     }
 
     #[test]
@@ -215,7 +221,11 @@ mod tests {
         let out = enc.decode(&Plaintext::from_coeffs(rotated)).unwrap();
         for i in 0..half {
             assert_eq!(out[i], values[(i + 1) % half], "row1 slot {i}");
-            assert_eq!(out[half + i], values[half + (i + 1) % half], "row2 slot {i}");
+            assert_eq!(
+                out[half + i],
+                values[half + (i + 1) % half],
+                "row2 slot {i}"
+            );
         }
     }
 

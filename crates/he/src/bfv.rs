@@ -212,7 +212,11 @@ impl BfvContext {
         let needed_bits = 2.0 * data.modulus_bits() + (n as f64).log2() + 2.0;
         let mut ext_primes = Vec::new();
         let mut bits = 0.0;
-        let pool = generate_ntt_primes(59, n, (needed_bits / 58.0).ceil() as usize + primes.len() + 2);
+        let pool = generate_ntt_primes(
+            59,
+            n,
+            (needed_bits / 58.0).ceil() as usize + primes.len() + 2,
+        );
         for p in pool {
             if primes.contains(&p) {
                 continue;
@@ -330,10 +334,7 @@ impl BfvContext {
     ) -> Result<GaloisKeys, HeError> {
         self.require_special_prime()?;
         let n = self.degree();
-        let mut elements: Vec<u64> = steps
-            .iter()
-            .map(|&s| galois_element_rows(s, n))
-            .collect();
+        let mut elements: Vec<u64> = steps.iter().map(|&s| galois_element_rows(s, n)).collect();
         elements.push(galois_element_columns(n));
         elements.sort_unstable();
         elements.dedup();
@@ -448,7 +449,9 @@ impl Encryptor<'_> {
         c0.add_assign_poly(&dm, data);
         let mut c1 = self.pk.p1.mul_poly(&u, data);
         c1.add_assign_poly(&e2, data);
-        Ciphertext { parts: vec![c0, c1] }
+        Ciphertext {
+            parts: vec![c0, c1],
+        }
     }
 
     /// Encrypts the all-zero plaintext (used by protocols to mask values).
@@ -685,7 +688,9 @@ impl Evaluator<'_> {
         c0.add_assign_poly(&k0, &ctx.data);
         let mut c1 = a.parts[1].clone();
         c1.add_assign_poly(&k1, &ctx.data);
-        Ok(Ciphertext { parts: vec![c0, c1] })
+        Ok(Ciphertext {
+            parts: vec![c0, c1],
+        })
     }
 
     /// Convenience: multiply then relinearize.
@@ -731,7 +736,9 @@ impl Evaluator<'_> {
         let (k0, k1) = apply_ksk(&c1g, ksk, &ctx.full, data);
         let mut c0 = c0g;
         c0.add_assign_poly(&k0, data);
-        Ok(Ciphertext { parts: vec![c0, k1] })
+        Ok(Ciphertext {
+            parts: vec![c0, k1],
+        })
     }
 
     /// Switches a ciphertext down one modulus level (drops the last data
@@ -921,7 +928,9 @@ mod tests {
         let ct = enc.encrypt(&Plaintext::from_coeffs(msg), &mut rng);
         let mut x = vec![0u64; n];
         x[1] = 1;
-        let prod = ctx.evaluator().multiply_plain(&ct, &Plaintext::from_coeffs(x));
+        let prod = ctx
+            .evaluator()
+            .multiply_plain(&ct, &Plaintext::from_coeffs(x));
         let out = ctx.decryptor(keys.secret_key()).decrypt(&prod);
         assert_eq!(out.coeffs()[1], 7);
         assert_eq!(out.coeffs()[0], t - 2); // wrapped with sign flip
@@ -966,10 +975,7 @@ mod tests {
         let pt = Plaintext::from_coeffs(vec![2; ctx.degree()]);
         let ct = enc.encrypt(&pt, &mut rng);
         let fresh = dec.invariant_noise_budget(&ct);
-        let prod = ctx
-            .evaluator()
-            .multiply_relin(&ct, &ct, &rk)
-            .unwrap();
+        let prod = ctx.evaluator().multiply_relin(&ct, &ct, &rk).unwrap();
         let after = dec.invariant_noise_budget(&prod);
         assert!(after < fresh - 10.0, "fresh {fresh}, after {after}");
         assert!(after > 0.0, "multiplication should not exhaust the budget");
@@ -1042,9 +1048,7 @@ mod tests {
         // no pk re-randomization term).
         let asym = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
         let dec = ctx.decryptor(keys.secret_key());
-        assert!(
-            dec.invariant_noise_budget(&expanded) >= dec.invariant_noise_budget(&asym) - 1.0
-        );
+        assert!(dec.invariant_noise_budget(&expanded) >= dec.invariant_noise_budget(&asym) - 1.0);
         // Expanded ciphertexts compose with normal homomorphic ops.
         let sum = ctx.evaluator().add(&expanded, &asym).unwrap();
         let out = dec.decrypt(&sum);

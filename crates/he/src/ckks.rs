@@ -50,9 +50,24 @@ pub struct CkksCiphertext {
 }
 
 impl CkksCiphertext {
+    /// Reassembles a ciphertext from raw parts (wire deserialization).
+    pub fn from_parts(parts: Vec<RnsPoly>, level: usize, scale: f64) -> Self {
+        assert!(!parts.is_empty(), "ciphertext needs at least one part");
+        CkksCiphertext {
+            parts,
+            level,
+            scale,
+        }
+    }
+
     /// Number of polynomial components.
     pub fn size(&self) -> usize {
         self.parts.len()
+    }
+
+    /// The `i`-th polynomial component.
+    pub fn part(&self, i: usize) -> &RnsPoly {
+        &self.parts[i]
     }
 
     /// Level (number of active data primes).
@@ -303,7 +318,10 @@ impl CkksContext {
             evals[i] = Complex::new(v, 0.0) * self.zeta_pows[i];
         }
         fft_forward(&mut evals);
-        self.slot_bins.iter().map(|&(bin, _)| evals[bin].re).collect()
+        self.slot_bins
+            .iter()
+            .map(|&(bin, _)| evals[bin].re)
+            .collect()
     }
 
     /// Generates a fresh key pair.
@@ -493,7 +511,11 @@ impl CkksContext {
             return Err(HeError::Mismatch("plaintext level mismatch".into()));
         }
         let basis = self.level_basis(a.level);
-        let parts = a.parts.iter().map(|p| p.mul_poly(&pt.poly, basis)).collect();
+        let parts = a
+            .parts
+            .iter()
+            .map(|p| p.mul_poly(&pt.poly, basis))
+            .collect();
         Ok(CkksCiphertext {
             parts,
             level: a.level,
@@ -546,9 +568,7 @@ impl CkksContext {
     /// Returns [`HeError::Mismatch`] at level 1 (nothing left to drop).
     pub fn rescale(&self, a: &CkksCiphertext) -> Result<CkksCiphertext, HeError> {
         if a.level <= 1 {
-            return Err(HeError::Mismatch(
-                "cannot rescale below level 1".into(),
-            ));
+            return Err(HeError::Mismatch("cannot rescale below level 1".into()));
         }
         let cur = self.level_basis(a.level);
         let next = self.level_basis(a.level - 1);
@@ -743,7 +763,11 @@ mod tests {
         let half = ctx.slot_count();
         for i in 0..half {
             let want = values[(i + 1) % half];
-            assert!((out[i] - want).abs() < 1e-2, "slot {i}: {} vs {want}", out[i]);
+            assert!(
+                (out[i] - want).abs() < 1e-2,
+                "slot {i}: {} vs {want}",
+                out[i]
+            );
         }
     }
 

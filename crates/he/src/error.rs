@@ -43,7 +43,11 @@ impl std::fmt::Display for HeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HeError::InvalidParameters(m) => write!(f, "invalid parameters: {m}"),
-            HeError::InsecureParameters { n, total_bits, max_bits } => write!(
+            HeError::InsecureParameters {
+                n,
+                total_bits,
+                max_bits,
+            } => write!(
                 f,
                 "coefficient modulus of {total_bits} bits exceeds the {max_bits}-bit limit for \
                  128-bit security at degree {n}"
@@ -52,7 +56,10 @@ impl std::fmt::Display for HeError {
                 write!(f, "plain modulus {t} does not support batching")
             }
             HeError::NoSpecialPrime => {
-                write!(f, "operation requires a key-switching prime but none is available")
+                write!(
+                    f,
+                    "operation requires a key-switching prime but none is available"
+                )
             }
             HeError::TooManyValues { got, capacity } => {
                 write!(f, "{got} values exceed the {capacity} available slots")

@@ -56,9 +56,16 @@ pub fn generate_ksk(
 ) -> KswitchKey {
     let k = full.len();
     let d = data.len();
-    assert!(k == d + 1, "full basis must be data basis plus special prime");
+    assert!(
+        k == d + 1,
+        "full basis must be data basis plus special prime"
+    );
     assert_eq!(s.row_count(), k, "secret key must span the full basis");
-    assert_eq!(s_prime.row_count(), k, "target key must span the full basis");
+    assert_eq!(
+        s_prime.row_count(),
+        k,
+        "target key must span the full basis"
+    );
     let p_special = full.primes()[k - 1];
 
     let mut pairs = Vec::with_capacity(d);
@@ -106,8 +113,16 @@ pub fn apply_ksk(
 ) -> (RnsPoly, RnsPoly) {
     let level = level_basis.len();
     let n = level_basis.degree();
-    assert_eq!(d_poly.row_count(), level, "input must be over the level basis");
-    assert_eq!(ks_basis.len(), level + 1, "ks basis must add the special prime");
+    assert_eq!(
+        d_poly.row_count(),
+        level,
+        "input must be over the level basis"
+    );
+    assert_eq!(
+        ks_basis.len(),
+        level + 1,
+        "ks basis must add the special prime"
+    );
     assert!(level <= ksk.pairs.len(), "level exceeds key digit count");
     let k_storage = ksk.full_prime_count;
 
@@ -174,7 +189,10 @@ pub fn mod_down(x: &RnsPoly, ks_basis: &RnsBasis, level_basis: &RnsBasis) -> Rns
 /// Panics if `|steps| >= n/2` or `steps == 0`.
 pub fn galois_element_rows(steps: i64, n: usize) -> u64 {
     let half = (n / 2) as i64;
-    assert!(steps != 0 && steps.abs() < half, "rotation step out of range");
+    assert!(
+        steps != 0 && steps.abs() < half,
+        "rotation step out of range"
+    );
     let s = steps.rem_euclid(half) as u64;
     let m = 2 * n as u64;
     let mut e = 1u64;
@@ -196,7 +214,10 @@ pub fn galois_element_columns(n: usize) -> u64 {
 /// Panics if `|steps| >= n/2` or `steps == 0`.
 pub fn galois_element_ckks(steps: i64, n: usize) -> u64 {
     let half = (n / 2) as i64;
-    assert!(steps != 0 && steps.abs() < half, "rotation step out of range");
+    assert!(
+        steps != 0 && steps.abs() < half,
+        "rotation step out of range"
+    );
     let s = steps.rem_euclid(half) as u64;
     let m = 2 * n as u64;
     let mut e = 1u64;

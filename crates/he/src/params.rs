@@ -132,11 +132,10 @@ impl HeParams {
         // Generate one prime per requested size; same-size requests take
         // successive primes scanning downward, so all primes are distinct.
         let mut primes = Vec::with_capacity(coeff_bits.len());
-        let mut by_size: std::collections::HashMap<u32, Vec<u64>> = std::collections::HashMap::new();
+        let mut by_size: std::collections::HashMap<u32, Vec<u64>> =
+            std::collections::HashMap::new();
         for &bits in coeff_bits {
-            let pool = by_size
-                .entry(bits)
-                .or_default();
+            let pool = by_size.entry(bits).or_default();
             let needed = coeff_bits.iter().filter(|&&b| b == bits).count();
             if pool.is_empty() {
                 *pool = generate_ntt_primes(bits, n, needed);
@@ -150,13 +149,11 @@ impl HeParams {
                         "plain modulus must be 13..=40 bits".into(),
                     ));
                 }
-                choco_math::prime::try_generate_plain_modulus(plain_bits, n).ok_or_else(
-                    || {
-                        HeError::InvalidParameters(format!(
-                            "no {plain_bits}-bit batching plain modulus exists for degree {n}"
-                        ))
-                    },
-                )?
+                choco_math::prime::try_generate_plain_modulus(plain_bits, n).ok_or_else(|| {
+                    HeError::InvalidParameters(format!(
+                        "no {plain_bits}-bit batching plain modulus exists for degree {n}"
+                    ))
+                })?
             }
             SchemeType::Ckks => 0,
         };

@@ -7,7 +7,9 @@
 //! modulus, because the key-switching prime is last.
 
 use choco_math::modops::{add_mod, mul_mod, reduce_signed};
-use choco_math::poly::{add_assign, apply_galois, dyadic_assign, neg_assign, scalar_mul_assign, sub_assign};
+use choco_math::poly::{
+    add_assign, apply_galois, dyadic_assign, neg_assign, scalar_mul_assign, sub_assign,
+};
 use choco_math::rns::RnsBasis;
 use choco_prng::sampler::{sample_error_signed, sample_ternary_signed};
 use choco_prng::Blake3Rng;
@@ -287,7 +289,11 @@ mod tests {
         let p = RnsPoly::from_signed(&vals, &b);
         for (j, &v) in vals.iter().enumerate() {
             let (mag, neg) = p.coeff_centered(j, &b);
-            let got = if neg { -(mag.to_u64() as i64) } else { mag.to_u64() as i64 };
+            let got = if neg {
+                -(mag.to_u64() as i64)
+            } else {
+                mag.to_u64() as i64
+            };
             assert_eq!(got, v);
         }
     }

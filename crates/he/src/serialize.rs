@@ -2,20 +2,103 @@
 //!
 //! The paper's communication accounting assumes `s · N · (k−1) · 8` bytes
 //! per ciphertext (Table 3); this module makes that concrete: ciphertexts
-//! serialize to exactly that many payload bytes plus a fixed 16-byte header
-//! (magic, component count, residue count, degree). The ledger in
-//! `choco::protocol` counts payload bytes, so serialized sizes and ledger
-//! sizes agree.
+//! serialize to exactly that many payload bytes plus a fixed header (magic,
+//! component count, residue count / level, degree, and for CKKS the scale).
+//! The ledger in `choco::protocol` counts payload bytes, so serialized sizes
+//! and ledger sizes agree.
+//!
+//! Deserialization is fully checked: every read is bounds-validated and
+//! malformed frames surface as [`HeError::InvalidCiphertext`], never as a
+//! panic — the transport layer (`choco::transport`) feeds these functions
+//! bytes that crossed a lossy link, so "attacker-shaped" input is the normal
+//! case, not the exception. Integrity (detecting *valid-shaped but altered*
+//! frames) is layered above via the transport's keyed BLAKE3 tags;
+//! [`ciphertext_from_bytes`] alone accepts any well-formed frame.
 
 use crate::bfv::Ciphertext;
+use crate::ckks::CkksCiphertext;
 use crate::error::HeError;
 use crate::rnspoly::RnsPoly;
 
 /// Magic tag for BFV ciphertext frames.
 const MAGIC: [u8; 4] = *b"CHO1";
 
-/// Header size in bytes.
+/// Magic tag for CKKS ciphertext frames.
+const CKKS_MAGIC: [u8; 4] = *b"CHO2";
+
+/// BFV header size in bytes (magic, parts, rows, degree).
 pub const HEADER_BYTES: usize = 16;
+
+/// CKKS header size in bytes (magic, parts, level, degree, scale).
+pub const CKKS_HEADER_BYTES: usize = 24;
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], HeError> {
+        let end = self
+            .off
+            .checked_add(n)
+            .ok_or_else(|| HeError::InvalidCiphertext("frame offset overflow".into()))?;
+        if end > self.bytes.len() {
+            return Err(HeError::InvalidCiphertext(format!(
+                "truncated frame: need {end} bytes, have {}",
+                self.bytes.len()
+            )));
+        }
+        let out = &self.bytes[self.off..end];
+        self.off = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, HeError> {
+        let b = self.take(4)?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(b);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, HeError> {
+        let b = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn f64(&mut self) -> Result<f64, HeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Reads `parts` polynomials of `rows × n` little-endian residues.
+fn read_polys(
+    r: &mut Reader<'_>,
+    parts: usize,
+    rows: usize,
+    n: usize,
+) -> Result<Vec<RnsPoly>, HeError> {
+    let mut polys = Vec::with_capacity(parts);
+    for _ in 0..parts {
+        let mut rows_vec = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let mut row = Vec::with_capacity(n);
+            for _ in 0..n {
+                row.push(r.u64()?);
+            }
+            rows_vec.push(row);
+        }
+        polys.push(RnsPoly::from_rows(rows_vec));
+    }
+    Ok(polys)
+}
 
 /// Serializes a BFV ciphertext: 16-byte header + little-endian residues.
 pub fn ciphertext_to_bytes(ct: &Ciphertext) -> Vec<u8> {
@@ -42,17 +125,16 @@ pub fn ciphertext_to_bytes(ct: &Ciphertext) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns [`HeError::InvalidCiphertext`] on malformed frames (bad magic,
-/// truncated payload, or implausible shape).
+/// truncated payload, or implausible shape). Never panics, regardless of
+/// input bytes.
 pub fn ciphertext_from_bytes(bytes: &[u8]) -> Result<Ciphertext, HeError> {
-    if bytes.len() < HEADER_BYTES || bytes[..4] != MAGIC {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != MAGIC {
         return Err(HeError::InvalidCiphertext("bad frame header".into()));
     }
-    let read_u32 = |off: usize| -> usize {
-        u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize
-    };
-    let parts = read_u32(4);
-    let rows = read_u32(8);
-    let n = read_u32(12);
+    let parts = r.u32()? as usize;
+    let rows = r.u32()? as usize;
+    let n = r.u32()? as usize;
     if parts == 0 || parts > 3 || rows == 0 || rows > 32 || !n.is_power_of_two() {
         return Err(HeError::InvalidCiphertext("implausible frame shape".into()));
     }
@@ -63,29 +145,75 @@ pub fn ciphertext_from_bytes(bytes: &[u8]) -> Result<Ciphertext, HeError> {
             bytes.len()
         )));
     }
-    let mut off = HEADER_BYTES;
-    let mut polys = Vec::with_capacity(parts);
-    for _ in 0..parts {
-        let mut rows_vec = Vec::with_capacity(rows);
-        for _ in 0..rows {
-            let mut row = Vec::with_capacity(n);
-            for _ in 0..n {
-                row.push(u64::from_le_bytes(
-                    bytes[off..off + 8].try_into().expect("8 bytes"),
-                ));
-                off += 8;
-            }
-            rows_vec.push(row);
-        }
-        polys.push(RnsPoly::from_rows(rows_vec));
-    }
+    let polys = read_polys(&mut r, parts, rows, n)?;
     Ok(Ciphertext::from_parts(polys))
+}
+
+/// Serializes a CKKS ciphertext: 24-byte header (magic, parts, level,
+/// degree, scale bits) + little-endian residues of each part at the
+/// ciphertext's level.
+pub fn ckks_ciphertext_to_bytes(ct: &CkksCiphertext) -> Vec<u8> {
+    let parts = ct.size();
+    let level = ct.level();
+    let n = ct.part(0).degree();
+    let mut out = Vec::with_capacity(CKKS_HEADER_BYTES + parts * level * n * 8);
+    out.extend_from_slice(&CKKS_MAGIC);
+    out.extend_from_slice(&(parts as u32).to_le_bytes());
+    out.extend_from_slice(&(level as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&ct.scale().to_bits().to_le_bytes());
+    for p in 0..parts {
+        for r in 0..level {
+            for &c in ct.part(p).row(r) {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes a CKKS ciphertext frame.
+///
+/// # Errors
+///
+/// Returns [`HeError::InvalidCiphertext`] on malformed frames (bad magic,
+/// truncated payload, implausible shape, or a non-finite / non-positive
+/// scale). Never panics, regardless of input bytes.
+pub fn ckks_ciphertext_from_bytes(bytes: &[u8]) -> Result<CkksCiphertext, HeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != CKKS_MAGIC {
+        return Err(HeError::InvalidCiphertext("bad CKKS frame header".into()));
+    }
+    let parts = r.u32()? as usize;
+    let level = r.u32()? as usize;
+    let n = r.u32()? as usize;
+    let scale = r.f64()?;
+    if parts == 0 || parts > 3 || level == 0 || level > 32 || !n.is_power_of_two() {
+        return Err(HeError::InvalidCiphertext(
+            "implausible CKKS frame shape".into(),
+        ));
+    }
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(HeError::InvalidCiphertext(format!(
+            "implausible CKKS scale {scale}"
+        )));
+    }
+    let expect = CKKS_HEADER_BYTES + parts * level * n * 8;
+    if bytes.len() != expect {
+        return Err(HeError::InvalidCiphertext(format!(
+            "CKKS frame length {} != expected {expect}",
+            bytes.len()
+        )));
+    }
+    let polys = read_polys(&mut r, parts, level, n)?;
+    Ok(CkksCiphertext::from_parts(polys, level, scale))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bfv::{BfvContext, Plaintext};
+    use crate::ckks::CkksContext;
     use crate::params::HeParams;
     use choco_prng::Blake3Rng;
 
@@ -96,6 +224,17 @@ mod tests {
         let keys = ctx.keygen(&mut rng);
         let pt = Plaintext::from_coeffs((0..256u64).map(|i| i % 100).collect());
         let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
+        (ctx, keys, ct)
+    }
+
+    fn sample_ckks() -> (CkksContext, crate::ckks::CkksKeyBundle, CkksCiphertext) {
+        let params = HeParams::ckks_insecure(256, &[45, 45, 46], 38).unwrap();
+        let ctx = CkksContext::new(&params).unwrap();
+        let mut rng = Blake3Rng::from_seed(b"ckks serialize");
+        let keys = ctx.keygen(&mut rng);
+        let values: Vec<f64> = (0..ctx.slot_count()).map(|i| i as f64 / 8.0).collect();
+        let pt = ctx.encode(&values).unwrap();
+        let ct = ctx.encrypt(&pt, keys.public_key(), &mut rng).unwrap();
         (ctx, keys, ct)
     }
 
@@ -128,6 +267,9 @@ mod tests {
         assert!(ciphertext_from_bytes(&bad).is_err());
         // Truncated.
         assert!(ciphertext_from_bytes(&bytes[..bytes.len() - 9]).is_err());
+        // Empty / header-only.
+        assert!(ciphertext_from_bytes(&[]).is_err());
+        assert!(ciphertext_from_bytes(&bytes[..HEADER_BYTES]).is_err());
         // Implausible shape.
         let mut weird = bytes.clone();
         weird[4..8].copy_from_slice(&100u32.to_le_bytes());
@@ -138,7 +280,8 @@ mod tests {
     fn tampered_payload_still_parses_but_decrypts_to_garbage() {
         // Integrity is not part of the HE threat model (semi-honest server);
         // flipping payload bits yields a valid frame whose decryption is
-        // wrong — documented behaviour, not a defect.
+        // wrong — documented behaviour, not a defect. The transport layer's
+        // keyed tags exist precisely to catch this before decryption.
         let (ctx, keys, ct) = sample_ct();
         let mut bytes = ciphertext_to_bytes(&ct);
         let mid = bytes.len() / 2;
@@ -147,5 +290,64 @@ mod tests {
         let out = ctx.decryptor(keys.secret_key()).decrypt(&tampered);
         let orig = ctx.decryptor(keys.secret_key()).decrypt(&ct);
         assert_ne!(out, orig);
+    }
+
+    #[test]
+    fn ckks_roundtrip_preserves_decryption() {
+        let (ctx, keys, ct) = sample_ckks();
+        let bytes = ckks_ciphertext_to_bytes(&ct);
+        let back = ckks_ciphertext_from_bytes(&bytes).unwrap();
+        assert_eq!(back.level(), ct.level());
+        assert_eq!(back.scale(), ct.scale());
+        assert_eq!(back.size(), ct.size());
+        let out = ctx.decode(&ctx.decrypt(&back, keys.secret_key()));
+        assert!((out[8] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn ckks_roundtrip_survives_rescale_levels() {
+        // After a rescale the ciphertext sits at a lower level with fewer
+        // residue rows; the wire format must carry exactly that shape.
+        let (ctx, keys, ct) = sample_ckks();
+        let rk = {
+            let mut rng = Blake3Rng::from_seed(b"ckks serialize rk");
+            ctx.relin_key(keys.secret_key(), &mut rng)
+        };
+        let sq = ctx.multiply_relin(&ct, &ct, &rk).unwrap();
+        let dropped = ctx.rescale(&sq).unwrap();
+        let bytes = ckks_ciphertext_to_bytes(&dropped);
+        let back = ckks_ciphertext_from_bytes(&bytes).unwrap();
+        assert_eq!(back.level(), dropped.level());
+        let a = ctx.decode(&ctx.decrypt(&back, keys.secret_key()));
+        let b = ctx.decode(&ctx.decrypt(&dropped, keys.secret_key()));
+        assert!((a[4] - b[4]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ckks_payload_matches_byte_size_accounting() {
+        let (_, _, ct) = sample_ckks();
+        let bytes = ckks_ciphertext_to_bytes(&ct);
+        assert_eq!(bytes.len(), CKKS_HEADER_BYTES + ct.byte_size());
+    }
+
+    #[test]
+    fn ckks_rejects_corrupted_frames() {
+        let (_, _, ct) = sample_ckks();
+        let bytes = ckks_ciphertext_to_bytes(&ct);
+        // Bad magic (a BFV frame is not a CKKS frame).
+        let mut bad = bytes.clone();
+        bad[..4].copy_from_slice(b"CHO1");
+        assert!(ckks_ciphertext_from_bytes(&bad).is_err());
+        // Truncated.
+        assert!(ckks_ciphertext_from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(ckks_ciphertext_from_bytes(&[]).is_err());
+        // Implausible level.
+        let mut weird = bytes.clone();
+        weird[8..12].copy_from_slice(&77u32.to_le_bytes());
+        assert!(ckks_ciphertext_from_bytes(&weird).is_err());
+        // Non-finite scale.
+        let mut nan = bytes.clone();
+        nan[12..20].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(ckks_ciphertext_from_bytes(&nan).is_err());
     }
 }

@@ -25,7 +25,9 @@ fn wrong_secret_key_decrypts_to_garbage() {
     let wrong = ctx.decryptor(other.secret_key()).decrypt(&ct);
     assert_ne!(wrong.coeffs(), &msg[..], "wrong key must not decrypt");
     // And the wrong key sees zero noise budget (pure noise).
-    let budget = ctx.decryptor(other.secret_key()).invariant_noise_budget(&ct);
+    let budget = ctx
+        .decryptor(other.secret_key())
+        .invariant_noise_budget(&ct);
     assert!(budget < 1.0, "wrong key sees (near-)zero budget: {budget}");
 }
 
@@ -95,7 +97,9 @@ fn galois_keys_report_their_elements() {
     let ctx = ctx();
     let mut rng = Blake3Rng::from_seed(b"gk");
     let keys = ctx.keygen(&mut rng);
-    let gks = ctx.galois_keys(keys.secret_key(), &[1, 2], &mut rng).unwrap();
+    let gks = ctx
+        .galois_keys(keys.secret_key(), &[1, 2], &mut rng)
+        .unwrap();
     let elements = gks.elements();
     // Two rotation elements plus the column-swap element 2N−1.
     assert_eq!(elements.len(), 3);

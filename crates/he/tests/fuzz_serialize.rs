@@ -1,0 +1,118 @@
+//! Mutation fuzzing of the wire deserializers (deterministic quickprop
+//! harness).
+//!
+//! The deserializers sit on the trust boundary: anything a channel can
+//! mangle reaches them verbatim. The contract is *never panic* — every
+//! mutated frame either fails with a typed [`HeError`] or parses as some
+//! well-formed ciphertext (semantic integrity is the transport tag's job,
+//! one layer up).
+
+use choco_he::bfv::{BfvContext, Plaintext};
+use choco_he::ckks::CkksContext;
+use choco_he::params::HeParams;
+use choco_he::serialize::{
+    ciphertext_from_bytes, ciphertext_to_bytes, ckks_ciphertext_from_bytes,
+    ckks_ciphertext_to_bytes,
+};
+use choco_prng::Blake3Rng;
+use choco_quickprop::{run_cases, Gen};
+
+fn bfv_frame() -> Vec<u8> {
+    let params = HeParams::bfv_insecure(256, &[40, 40, 41], 14).unwrap();
+    let ctx = BfvContext::new(&params).unwrap();
+    let mut rng = Blake3Rng::from_seed(b"fuzz serialize bfv");
+    let keys = ctx.keygen(&mut rng);
+    let pt = Plaintext::from_coeffs((0..256u64).map(|i| i % 100).collect());
+    let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
+    ciphertext_to_bytes(&ct)
+}
+
+fn ckks_frame() -> Vec<u8> {
+    let params = HeParams::ckks_insecure(256, &[45, 45, 46], 38).unwrap();
+    let ctx = CkksContext::new(&params).unwrap();
+    let mut rng = Blake3Rng::from_seed(b"fuzz serialize ckks");
+    let keys = ctx.keygen(&mut rng);
+    let values: Vec<f64> = (0..ctx.slot_count()).map(|i| i as f64 / 8.0).collect();
+    let pt = ctx.encode(&values).unwrap();
+    let ct = ctx.encrypt(&pt, keys.public_key(), &mut rng).unwrap();
+    ckks_ciphertext_to_bytes(&ct)
+}
+
+/// Applies a random mutation (byte flips, truncation, extension, or a
+/// combination) to `frame`.
+fn mutate(g: &mut Gen, frame: &[u8]) -> Vec<u8> {
+    let mut bytes = frame.to_vec();
+    match g.u64_below(4) {
+        0 => {
+            // Flip 1..=8 random bytes anywhere in the frame.
+            for _ in 0..g.usize_in(1, 9) {
+                let i = g.usize_in(0, bytes.len());
+                bytes[i] ^= g.u8().max(1);
+            }
+        }
+        1 => {
+            // Truncate to a random prefix (possibly empty).
+            bytes.truncate(g.usize_in(0, bytes.len()));
+        }
+        2 => {
+            // Append random garbage.
+            bytes.extend(g.bytes(64));
+        }
+        _ => {
+            // Truncate then flip — compound damage.
+            bytes.truncate(g.usize_in(1, bytes.len()));
+            let i = g.usize_in(0, bytes.len());
+            bytes[i] ^= g.u8().max(1);
+        }
+    }
+    bytes
+}
+
+#[test]
+fn bfv_deserializer_never_panics_on_mutations() {
+    let frame = bfv_frame();
+    run_cases("bfv mutation fuzz", 256, |g| {
+        let bytes = mutate(g, &frame);
+        // Err or Ok are both acceptable; a panic fails the whole property
+        // (quickprop catches it and reports the case index).
+        let _ = ciphertext_from_bytes(&bytes);
+    });
+}
+
+#[test]
+fn ckks_deserializer_never_panics_on_mutations() {
+    let frame = ckks_frame();
+    run_cases("ckks mutation fuzz", 256, |g| {
+        let bytes = mutate(g, &frame);
+        let _ = ckks_ciphertext_from_bytes(&bytes);
+    });
+}
+
+#[test]
+fn deserializers_never_panic_on_pure_noise() {
+    run_cases("noise fuzz", 256, |g| {
+        let bytes = g.bytes(512);
+        let _ = ciphertext_from_bytes(&bytes);
+        let _ = ckks_ciphertext_from_bytes(&bytes);
+    });
+}
+
+#[test]
+fn truncations_always_yield_typed_errors() {
+    // Every strict prefix must fail cleanly — a shorter frame can never be
+    // a valid ciphertext of the same header.
+    let frame = bfv_frame();
+    for len in 0..frame.len() {
+        assert!(
+            ciphertext_from_bytes(&frame[..len]).is_err(),
+            "prefix of {len} bytes parsed"
+        );
+    }
+    let frame = ckks_frame();
+    for len in 0..frame.len() {
+        assert!(
+            ckks_ciphertext_from_bytes(&frame[..len]).is_err(),
+            "ckks prefix of {len} bytes parsed"
+        );
+    }
+}

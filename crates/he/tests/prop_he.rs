@@ -1,23 +1,23 @@
-//! Property-based tests of the HE schemes' homomorphic invariants.
+//! Property-based tests of the HE schemes' homomorphic invariants
+//! (deterministic quickprop harness).
 
 use choco_he::bfv::BfvContext;
 use choco_he::ckks::CkksContext;
 use choco_he::params::HeParams;
 use choco_prng::Blake3Rng;
-use proptest::prelude::*;
+use choco_quickprop::run_cases;
 
 fn bfv_ctx() -> BfvContext {
     let params = HeParams::bfv_insecure(256, &[40, 40, 41], 14).unwrap();
     BfvContext::new(&params).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn bfv_roundtrip_random_slot_vectors(seed in any::<u64>()) {
+#[test]
+fn bfv_roundtrip_random_slot_vectors() {
+    run_cases("bfv roundtrip", 12, |g| {
         let ctx = bfv_ctx();
         let t = ctx.plain_modulus();
+        let seed = g.u64();
         let mut rng = Blake3Rng::from_seed(&seed.to_le_bytes());
         let keys = ctx.keygen(&mut rng);
         let values: Vec<u64> = (0..ctx.degree() as u64)
@@ -26,53 +26,78 @@ proptest! {
         let encoder = ctx.batch_encoder().unwrap();
         let pt = encoder.encode(&values).unwrap();
         let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
-        let out = encoder.decode(&ctx.decryptor(keys.secret_key()).decrypt(&ct)).unwrap();
-        prop_assert_eq!(out, values);
-    }
+        let out = encoder
+            .decode(&ctx.decryptor(keys.secret_key()).decrypt(&ct))
+            .unwrap();
+        assert_eq!(out, values);
+    });
+}
 
-    #[test]
-    fn bfv_addition_is_homomorphic(seed in any::<u64>()) {
+#[test]
+fn bfv_addition_is_homomorphic() {
+    run_cases("bfv addition homomorphic", 12, |g| {
         let ctx = bfv_ctx();
         let t = ctx.plain_modulus();
+        let seed = g.u64();
         let mut rng = Blake3Rng::from_seed(&seed.to_le_bytes());
         let keys = ctx.keygen(&mut rng);
         let encoder = ctx.batch_encoder().unwrap();
         let a: Vec<u64> = (0..ctx.degree() as u64).map(|i| (i ^ seed) % t).collect();
-        let b: Vec<u64> = (0..ctx.degree() as u64).map(|i| i.rotate_left(7).wrapping_add(seed) % t).collect();
+        let b: Vec<u64> = (0..ctx.degree() as u64)
+            .map(|i| i.rotate_left(7).wrapping_add(seed) % t)
+            .collect();
         let enc = ctx.encryptor(keys.public_key());
         let ca = enc.encrypt(&encoder.encode(&a).unwrap(), &mut rng);
         let cb = enc.encrypt(&encoder.encode(&b).unwrap(), &mut rng);
         let sum = ctx.evaluator().add(&ca, &cb).unwrap();
-        let out = encoder.decode(&ctx.decryptor(keys.secret_key()).decrypt(&sum)).unwrap();
+        let out = encoder
+            .decode(&ctx.decryptor(keys.secret_key()).decrypt(&sum))
+            .unwrap();
         for i in 0..a.len() {
-            prop_assert_eq!(out[i], (a[i] + b[i]) % t);
+            assert_eq!(out[i], (a[i] + b[i]) % t);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bfv_plain_multiplication_is_slotwise(seed in any::<u64>()) {
+#[test]
+fn bfv_plain_multiplication_is_slotwise() {
+    run_cases("bfv plain mul slotwise", 12, |g| {
         let ctx = bfv_ctx();
         let t = ctx.plain_modulus();
+        let seed = g.u64();
         let mut rng = Blake3Rng::from_seed(&seed.to_le_bytes());
         let keys = ctx.keygen(&mut rng);
         let encoder = ctx.batch_encoder().unwrap();
-        let a: Vec<u64> = (0..ctx.degree() as u64).map(|i| (i.wrapping_mul(3).wrapping_add(seed)) % 16).collect();
-        let w: Vec<u64> = (0..ctx.degree() as u64).map(|i| (i.wrapping_add(seed >> 5)) % 16).collect();
+        let a: Vec<u64> = (0..ctx.degree() as u64)
+            .map(|i| (i.wrapping_mul(3).wrapping_add(seed)) % 16)
+            .collect();
+        let w: Vec<u64> = (0..ctx.degree() as u64)
+            .map(|i| (i.wrapping_add(seed >> 5)) % 16)
+            .collect();
         let enc = ctx.encryptor(keys.public_key());
         let ca = enc.encrypt(&encoder.encode(&a).unwrap(), &mut rng);
-        let prod = ctx.evaluator().multiply_plain(&ca, &encoder.encode(&w).unwrap());
-        let out = encoder.decode(&ctx.decryptor(keys.secret_key()).decrypt(&prod)).unwrap();
+        let prod = ctx
+            .evaluator()
+            .multiply_plain(&ca, &encoder.encode(&w).unwrap());
+        let out = encoder
+            .decode(&ctx.decryptor(keys.secret_key()).decrypt(&prod))
+            .unwrap();
         for i in 0..a.len() {
-            prop_assert_eq!(out[i], a[i] * w[i] % t);
+            assert_eq!(out[i], a[i] * w[i] % t);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bfv_rotation_permutes_rows(step in 1i64..8) {
+#[test]
+fn bfv_rotation_permutes_rows() {
+    run_cases("bfv rotation permutes", 7, |g| {
+        let step = g.i64_in(1, 8);
         let ctx = bfv_ctx();
         let mut rng = Blake3Rng::from_seed(b"prop rot");
         let keys = ctx.keygen(&mut rng);
-        let gks = ctx.galois_keys(keys.secret_key(), &[step], &mut rng).unwrap();
+        let gks = ctx
+            .galois_keys(keys.secret_key(), &[step], &mut rng)
+            .unwrap();
         let encoder = ctx.batch_encoder().unwrap();
         let half = ctx.degree() / 2;
         let values: Vec<u64> = (0..ctx.degree() as u64).collect();
@@ -80,16 +105,21 @@ proptest! {
             .encryptor(keys.public_key())
             .encrypt(&encoder.encode(&values).unwrap(), &mut rng);
         let rot = ctx.evaluator().rotate_rows(&ct, step, &gks).unwrap();
-        let out = encoder.decode(&ctx.decryptor(keys.secret_key()).decrypt(&rot)).unwrap();
+        let out = encoder
+            .decode(&ctx.decryptor(keys.secret_key()).decrypt(&rot))
+            .unwrap();
         for i in 0..half {
-            prop_assert_eq!(out[i], values[(i + step as usize) % half]);
+            assert_eq!(out[i], values[(i + step as usize) % half]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn ckks_add_tracks_float_sum(seed in any::<u32>()) {
+#[test]
+fn ckks_add_tracks_float_sum() {
+    run_cases("ckks add tracks sum", 12, |g| {
         let params = HeParams::ckks_insecure(256, &[45, 45, 46], 38).unwrap();
         let ctx = CkksContext::new(&params).unwrap();
+        let seed = g.u32();
         let mut rng = Blake3Rng::from_seed(&seed.to_le_bytes());
         let keys = ctx.keygen(&mut rng);
         let a: Vec<f64> = (0..ctx.slot_count())
@@ -98,19 +128,26 @@ proptest! {
         let b: Vec<f64> = (0..ctx.slot_count())
             .map(|i| ((i as u32).wrapping_add(seed) % 100) as f64 / 10.0)
             .collect();
-        let ca = ctx.encrypt(&ctx.encode(&a).unwrap(), keys.public_key(), &mut rng).unwrap();
-        let cb = ctx.encrypt(&ctx.encode(&b).unwrap(), keys.public_key(), &mut rng).unwrap();
+        let ca = ctx
+            .encrypt(&ctx.encode(&a).unwrap(), keys.public_key(), &mut rng)
+            .unwrap();
+        let cb = ctx
+            .encrypt(&ctx.encode(&b).unwrap(), keys.public_key(), &mut rng)
+            .unwrap();
         let sum = ctx.add(&ca, &cb).unwrap();
         let out = ctx.decode(&ctx.decrypt(&sum, keys.secret_key()));
         for i in 0..a.len() {
-            prop_assert!((out[i] - (a[i] + b[i])).abs() < 1e-2);
+            assert!((out[i] - (a[i] + b[i])).abs() < 1e-2);
         }
-    }
+    });
+}
 
-    #[test]
-    fn ckks_encoder_is_linear(seed in any::<u32>()) {
+#[test]
+fn ckks_encoder_is_linear() {
+    run_cases("ckks encoder linear", 12, |g| {
         let params = HeParams::ckks_insecure(256, &[45, 45, 46], 38).unwrap();
         let ctx = CkksContext::new(&params).unwrap();
+        let seed = g.u32();
         let a: Vec<f64> = (0..ctx.slot_count())
             .map(|i| (((i as u32) ^ seed) % 64) as f64 / 8.0 - 4.0)
             .collect();
@@ -123,47 +160,65 @@ proptest! {
         let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         let ds = ctx.decode(&ctx.encode(&sum).unwrap());
         for i in 0..8 {
-            prop_assert!((da[i] + db[i] - ds[i]).abs() < 1e-4);
+            assert!((da[i] + db[i] - ds[i]).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    #[test]
-    fn serialization_roundtrips_any_fresh_ciphertext(seed in any::<u64>()) {
+#[test]
+fn serialization_roundtrips_any_fresh_ciphertext() {
+    run_cases("serialization roundtrip", 12, |g| {
         use choco_he::serialize::{ciphertext_from_bytes, ciphertext_to_bytes};
         let ctx = bfv_ctx();
+        let seed = g.u64();
         let mut rng = Blake3Rng::from_seed(&seed.to_le_bytes());
         let keys = ctx.keygen(&mut rng);
         let t = ctx.plain_modulus();
-        let values: Vec<u64> = (0..ctx.degree() as u64).map(|i| i.wrapping_add(seed) % t).collect();
+        let values: Vec<u64> = (0..ctx.degree() as u64)
+            .map(|i| i.wrapping_add(seed) % t)
+            .collect();
         let encoder = ctx.batch_encoder().unwrap();
         let ct = ctx
             .encryptor(keys.public_key())
             .encrypt(&encoder.encode(&values).unwrap(), &mut rng);
         let back = ciphertext_from_bytes(&ciphertext_to_bytes(&ct)).unwrap();
-        prop_assert_eq!(&back, &ct);
-        let out = encoder.decode(&ctx.decryptor(keys.secret_key()).decrypt(&back)).unwrap();
-        prop_assert_eq!(out, values);
-    }
+        assert_eq!(&back, &ct);
+        let out = encoder
+            .decode(&ctx.decryptor(keys.secret_key()).decrypt(&back))
+            .unwrap();
+        assert_eq!(out, values);
+    });
+}
 
-    #[test]
-    fn seeded_encryption_roundtrips_any_vector(seed in any::<u64>()) {
+#[test]
+fn seeded_encryption_roundtrips_any_vector() {
+    run_cases("seeded encryption roundtrip", 12, |g| {
         let ctx = bfv_ctx();
+        let seed = g.u64();
         let mut rng = Blake3Rng::from_seed(&seed.to_le_bytes());
         let keys = ctx.keygen(&mut rng);
         let t = ctx.plain_modulus();
-        let values: Vec<u64> = (0..ctx.degree() as u64).map(|i| ((i * 3) ^ seed) % t).collect();
+        let values: Vec<u64> = (0..ctx.degree() as u64)
+            .map(|i| ((i * 3) ^ seed) % t)
+            .collect();
         let encoder = ctx.batch_encoder().unwrap();
         let pt = encoder.encode(&values).unwrap();
         let seeded = ctx.encrypt_symmetric_seeded(&pt, keys.secret_key(), &mut rng);
         let out = encoder
-            .decode(&ctx.decryptor(keys.secret_key()).decrypt(&ctx.expand_seeded(&seeded)))
+            .decode(
+                &ctx.decryptor(keys.secret_key())
+                    .decrypt(&ctx.expand_seeded(&seeded)),
+            )
             .unwrap();
-        prop_assert_eq!(out, values);
-    }
+        assert_eq!(out, values);
+    });
+}
 
-    #[test]
-    fn bfv_noise_budget_never_increases_under_ops(seed in any::<u64>()) {
+#[test]
+fn bfv_noise_budget_never_increases_under_ops() {
+    run_cases("noise budget monotone", 12, |g| {
         let ctx = bfv_ctx();
+        let seed = g.u64();
         let mut rng = Blake3Rng::from_seed(&seed.to_le_bytes());
         let keys = ctx.keygen(&mut rng);
         let encoder = ctx.batch_encoder().unwrap();
@@ -173,8 +228,8 @@ proptest! {
         let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
         let fresh = dec.invariant_noise_budget(&ct);
         let added = ctx.evaluator().add(&ct, &ct).unwrap();
-        prop_assert!(dec.invariant_noise_budget(&added) <= fresh + 0.5);
+        assert!(dec.invariant_noise_budget(&added) <= fresh + 0.5);
         let mul = ctx.evaluator().multiply_plain(&ct, &pt);
-        prop_assert!(dec.invariant_noise_budget(&mul) < fresh);
-    }
+        assert!(dec.invariant_noise_budget(&mul) < fresh);
+    });
 }

@@ -39,14 +39,18 @@ impl UBig {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut x = UBig { limbs: vec![lo, hi] };
+        let mut x = UBig {
+            limbs: vec![lo, hi],
+        };
         x.normalize();
         x
     }
 
     /// Constructs from little-endian limbs (trailing zeros allowed).
     pub fn from_limbs(limbs: &[u64]) -> Self {
-        let mut x = UBig { limbs: limbs.to_vec() };
+        let mut x = UBig {
+            limbs: limbs.to_vec(),
+        };
         x.normalize();
         x
     }

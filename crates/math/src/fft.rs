@@ -210,7 +210,9 @@ mod tests {
     #[test]
     fn parseval_energy_preserved() {
         let n = 64;
-        let x: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).sqrt(), 0.0)).collect();
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sqrt(), 0.0))
+            .collect();
         let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
         let mut f = x.clone();
         fft_forward(&mut f);

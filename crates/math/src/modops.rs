@@ -160,7 +160,10 @@ mod tests {
     fn mul_matches_u128() {
         let a = 0xDEAD_BEEF_CAFE_u64 % Q;
         let b = 0x1234_5678_9ABC_DEF0_u64 % Q;
-        assert_eq!(mul_mod(a, b, Q), ((a as u128 * b as u128) % Q as u128) as u64);
+        assert_eq!(
+            mul_mod(a, b, Q),
+            ((a as u128 * b as u128) % Q as u128) as u64
+        );
     }
 
     #[test]

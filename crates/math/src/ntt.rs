@@ -92,7 +92,10 @@ impl NttTable {
             inv_psi_rev[i] = inv_psi_pow[r];
         }
         let psi_rev_shoup = psi_rev.iter().map(|&x| shoup_precompute(x, q)).collect();
-        let inv_psi_rev_shoup = inv_psi_rev.iter().map(|&x| shoup_precompute(x, q)).collect();
+        let inv_psi_rev_shoup = inv_psi_rev
+            .iter()
+            .map(|&x| shoup_precompute(x, q))
+            .collect();
         let n_inv = inv_mod(n as u64, q);
         Ok(NttTable {
             n,
@@ -253,7 +256,11 @@ mod tests {
         t.forward(&mut fa);
         t.forward(&mut fb);
         t.forward(&mut fs);
-        let expect: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| add_mod(x, y, q)).collect();
+        let expect: Vec<u64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| add_mod(x, y, q))
+            .collect();
         assert_eq!(fs, expect);
     }
 

@@ -79,7 +79,11 @@ pub fn try_generate_ntt_primes(bits: u32, n: usize, count: usize) -> Option<Vec<
     assert!((2..=62).contains(&bits), "prime size out of range");
     assert!(n.is_power_of_two(), "ring degree must be a power of two");
     let m = 2 * n as u64;
-    let hi = if bits == 62 { u64::MAX >> 2 } else { (1u64 << bits) - 1 };
+    let hi = if bits == 62 {
+        u64::MAX >> 2
+    } else {
+        (1u64 << bits) - 1
+    };
     let lo = 1u64 << (bits - 1);
     if hi < m {
         return None;

@@ -76,10 +76,7 @@ impl RnsBasis {
         for &q in primes {
             modulus = modulus.mul_u64(q);
         }
-        let punctured: Vec<UBig> = primes
-            .iter()
-            .map(|&q| modulus.divrem_u64(q).0)
-            .collect();
+        let punctured: Vec<UBig> = primes.iter().map(|&q| modulus.divrem_u64(q).0).collect();
         let inv_punctured: Vec<u64> = primes
             .iter()
             .zip(&punctured)
@@ -159,7 +156,11 @@ impl RnsBasis {
         assert_eq!(residues.len(), self.len(), "residue count mismatch");
         let mut acc = UBig::zero();
         for i in 0..self.len() {
-            let coeff = mul_mod(residues[i] % self.primes[i], self.inv_punctured[i], self.primes[i]);
+            let coeff = mul_mod(
+                residues[i] % self.primes[i],
+                self.inv_punctured[i],
+                self.primes[i],
+            );
             acc = acc.add(&self.punctured[i].mul_u64(coeff));
         }
         acc.divrem(&self.modulus).1

@@ -1,126 +1,174 @@
-//! Property-based tests for the arithmetic substrate.
+//! Property-based tests for the arithmetic substrate (deterministic
+//! quickprop harness; each property runs seeded random cases).
 
 use choco_math::bigint::UBig;
 use choco_math::modops::{add_mod, center, inv_mod, mul_mod, pow_mod, sub_mod};
 use choco_math::ntt::NttTable;
 use choco_math::prime::generate_ntt_primes;
 use choco_math::rns::RnsBasis;
-use proptest::prelude::*;
+use choco_quickprop::run_cases;
 
 const Q: u64 = 1_152_921_504_606_830_593; // 60-bit prime
 
-proptest! {
-    #[test]
-    fn modops_match_u128_semantics(a in 0..Q, b in 0..Q) {
-        prop_assert_eq!(add_mod(a, b, Q) as u128, (a as u128 + b as u128) % Q as u128);
-        prop_assert_eq!(mul_mod(a, b, Q) as u128, (a as u128 * b as u128) % Q as u128);
-        prop_assert_eq!(
+#[test]
+fn modops_match_u128_semantics() {
+    run_cases("modops match u128", 256, |g| {
+        let (a, b) = (g.u64_below(Q), g.u64_below(Q));
+        assert_eq!(
+            add_mod(a, b, Q) as u128,
+            (a as u128 + b as u128) % Q as u128
+        );
+        assert_eq!(
+            mul_mod(a, b, Q) as u128,
+            (a as u128 * b as u128) % Q as u128
+        );
+        assert_eq!(
             sub_mod(a, b, Q) as u128,
             (a as u128 + Q as u128 - b as u128) % Q as u128
         );
-    }
-
-    #[test]
-    fn modular_inverse_is_inverse(a in 1..Q) {
-        let inv = inv_mod(a, Q);
-        prop_assert_eq!(mul_mod(a, inv, Q), 1);
-    }
-
-    #[test]
-    fn pow_satisfies_exponent_addition(base in 1..Q, e1 in 0u64..1000, e2 in 0u64..1000) {
-        let lhs = pow_mod(base, e1 + e2, Q);
-        let rhs = mul_mod(pow_mod(base, e1, Q), pow_mod(base, e2, Q), Q);
-        prop_assert_eq!(lhs, rhs);
-    }
-
-    #[test]
-    fn center_roundtrips(a in 0..Q) {
-        let c = center(a, Q);
-        let back = c.rem_euclid(Q as i64) as u64;
-        prop_assert_eq!(back, a);
-        prop_assert!(c.unsigned_abs() <= Q / 2 + 1);
-    }
-
-    #[test]
-    fn ubig_add_sub_roundtrip(a in any::<[u64; 4]>(), b in any::<[u64; 3]>()) {
-        let x = UBig::from_limbs(&a);
-        let y = UBig::from_limbs(&b);
-        let sum = x.add(&y);
-        prop_assert_eq!(sum.sub(&y), x);
-    }
-
-    #[test]
-    fn ubig_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
-        let prod = UBig::from_u64(a).mul(&UBig::from_u64(b));
-        prop_assert_eq!(prod, UBig::from_u128(a as u128 * b as u128));
-    }
-
-    #[test]
-    fn ubig_divrem_reconstructs(a in any::<[u64; 5]>(), d in any::<[u64; 2]>()) {
-        let x = UBig::from_limbs(&a);
-        let y = UBig::from_limbs(&d);
-        prop_assume!(!y.is_zero());
-        let (q, r) = x.divrem(&y);
-        prop_assert!(r < y);
-        prop_assert_eq!(q.mul(&y).add(&r), x);
-    }
-
-    #[test]
-    fn ubig_shift_roundtrip(a in any::<[u64; 3]>(), s in 0u32..130) {
-        let x = UBig::from_limbs(&a);
-        prop_assert_eq!(x.shl(s).shr(s), x);
-    }
-
-    #[test]
-    fn ubig_mul_distributes(a in any::<[u64; 2]>(), b in any::<[u64; 2]>(), c in any::<[u64; 2]>()) {
-        let x = UBig::from_limbs(&a);
-        let y = UBig::from_limbs(&b);
-        let z = UBig::from_limbs(&c);
-        prop_assert_eq!(x.add(&y).mul(&z), x.mul(&z).add(&y.mul(&z)));
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn modular_inverse_is_inverse() {
+    run_cases("inverse is inverse", 256, |g| {
+        let a = g.u64_in(1, Q);
+        let inv = inv_mod(a, Q);
+        assert_eq!(mul_mod(a, inv, Q), 1);
+    });
+}
 
-    #[test]
-    fn ntt_roundtrip_random_polys(seed in any::<u64>()) {
+#[test]
+fn pow_satisfies_exponent_addition() {
+    run_cases("pow exponent addition", 128, |g| {
+        let base = g.u64_in(1, Q);
+        let e1 = g.u64_below(1000);
+        let e2 = g.u64_below(1000);
+        let lhs = pow_mod(base, e1 + e2, Q);
+        let rhs = mul_mod(pow_mod(base, e1, Q), pow_mod(base, e2, Q), Q);
+        assert_eq!(lhs, rhs);
+    });
+}
+
+#[test]
+fn center_roundtrips() {
+    run_cases("center roundtrip", 256, |g| {
+        let a = g.u64_below(Q);
+        let c = center(a, Q);
+        let back = c.rem_euclid(Q as i64) as u64;
+        assert_eq!(back, a);
+        assert!(c.unsigned_abs() <= Q / 2 + 1);
+    });
+}
+
+#[test]
+fn ubig_add_sub_roundtrip() {
+    run_cases("ubig add/sub roundtrip", 256, |g| {
+        let x = UBig::from_limbs(&g.array_u64::<4>());
+        let y = UBig::from_limbs(&g.array_u64::<3>());
+        let sum = x.add(&y);
+        assert_eq!(sum.sub(&y), x);
+    });
+}
+
+#[test]
+fn ubig_mul_matches_u128() {
+    run_cases("ubig mul vs u128", 256, |g| {
+        let (a, b) = (g.u64(), g.u64());
+        let prod = UBig::from_u64(a).mul(&UBig::from_u64(b));
+        assert_eq!(prod, UBig::from_u128(a as u128 * b as u128));
+    });
+}
+
+#[test]
+fn ubig_divrem_reconstructs() {
+    run_cases("ubig divrem reconstructs", 256, |g| {
+        let x = UBig::from_limbs(&g.array_u64::<5>());
+        let y = UBig::from_limbs(&g.array_u64::<2>());
+        if y.is_zero() {
+            return; // discard the (astronomically rare) zero divisor
+        }
+        let (q, r) = x.divrem(&y);
+        assert!(r < y);
+        assert_eq!(q.mul(&y).add(&r), x);
+    });
+}
+
+#[test]
+fn ubig_shift_roundtrip() {
+    run_cases("ubig shift roundtrip", 256, |g| {
+        let x = UBig::from_limbs(&g.array_u64::<3>());
+        let s = g.u64_below(130) as u32;
+        assert_eq!(x.shl(s).shr(s), x);
+    });
+}
+
+#[test]
+fn ubig_mul_distributes() {
+    run_cases("ubig mul distributes", 128, |g| {
+        let x = UBig::from_limbs(&g.array_u64::<2>());
+        let y = UBig::from_limbs(&g.array_u64::<2>());
+        let z = UBig::from_limbs(&g.array_u64::<2>());
+        assert_eq!(x.add(&y).mul(&z), x.mul(&z).add(&y.mul(&z)));
+    });
+}
+
+#[test]
+fn ntt_roundtrip_random_polys() {
+    run_cases("ntt roundtrip", 16, |g| {
         let n = 256usize;
         let q = generate_ntt_primes(45, n, 1)[0];
         let table = NttTable::new(n, q).unwrap();
-        let orig: Vec<u64> = (0..n as u64).map(|i| (i.wrapping_mul(seed | 1)) % q).collect();
+        let seed = g.u64();
+        let orig: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(seed | 1)) % q)
+            .collect();
         let mut a = orig.clone();
         table.forward(&mut a);
         table.inverse(&mut a);
-        prop_assert_eq!(a, orig);
-    }
+        assert_eq!(a, orig);
+    });
+}
 
-    #[test]
-    fn ntt_mul_commutes(seed in any::<u64>()) {
+#[test]
+fn ntt_mul_commutes() {
+    run_cases("ntt mul commutes", 16, |g| {
         let n = 128usize;
         let q = generate_ntt_primes(45, n, 1)[0];
         let table = NttTable::new(n, q).unwrap();
-        let a: Vec<u64> = (0..n as u64).map(|i| (i.wrapping_mul(seed | 1)) % q).collect();
-        let b: Vec<u64> = (0..n as u64).map(|i| (i.wrapping_add(seed >> 3)) % q).collect();
-        prop_assert_eq!(table.negacyclic_mul(&a, &b), table.negacyclic_mul(&b, &a));
-    }
+        let seed = g.u64();
+        let a: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(seed | 1)) % q)
+            .collect();
+        let b: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_add(seed >> 3)) % q)
+            .collect();
+        assert_eq!(table.negacyclic_mul(&a, &b), table.negacyclic_mul(&b, &a));
+    });
+}
 
-    #[test]
-    fn rns_compose_decompose_roundtrip(v in any::<[u64; 2]>()) {
+#[test]
+fn rns_compose_decompose_roundtrip() {
+    run_cases("rns compose/decompose", 16, |g| {
         let n = 64usize;
         let primes = generate_ntt_primes(50, n, 3);
         let basis = RnsBasis::new(n, &primes).unwrap();
-        let x = UBig::from_limbs(&v);
-        prop_assume!(x < *basis.modulus());
+        let x = UBig::from_limbs(&g.array_u64::<2>());
+        if x >= *basis.modulus() {
+            return; // discard values outside the RNS range
+        }
         let residues = basis.decompose(&x);
-        prop_assert_eq!(basis.compose(&residues), x);
-    }
+        assert_eq!(basis.compose(&residues), x);
+    });
+}
 
-    #[test]
-    fn rns_compose_is_additive(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn rns_compose_is_additive() {
+    run_cases("rns compose additive", 16, |g| {
         let n = 64usize;
         let primes = generate_ntt_primes(50, n, 2);
         let basis = RnsBasis::new(n, &primes).unwrap();
+        let (a, b) = (g.u64(), g.u64());
         let ra = basis.decompose(&UBig::from_u64(a));
         let rb = basis.decompose(&UBig::from_u64(b));
         let sum: Vec<u64> = ra
@@ -130,7 +178,9 @@ proptest! {
             .map(|((&x, &y), &q)| add_mod(x % q, y % q, q))
             .collect();
         let composed = basis.compose(&sum);
-        let expect = UBig::from_u128(a as u128 + b as u128).divrem(basis.modulus()).1;
-        prop_assert_eq!(composed, expect);
-    }
+        let expect = UBig::from_u128(a as u128 + b as u128)
+            .divrem(basis.modulus())
+            .1;
+        assert_eq!(composed, expect);
+    });
 }

@@ -18,8 +18,7 @@ const ROOT: u32 = 1 << 3;
 const KEYED_HASH: u32 = 1 << 4;
 
 const IV: [u32; 8] = [
-    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A, 0x510E527F, 0x9B05688C, 0x1F83D9AB,
-    0x5BE0CD19,
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A, 0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
 ];
 
 const MSG_PERMUTATION: [usize; 16] = [2, 6, 3, 10, 7, 0, 4, 13, 1, 11, 12, 5, 9, 14, 15, 8];
@@ -108,7 +107,9 @@ fn words_from_block(bytes: &[u8]) -> [u32; 16] {
 }
 
 fn first_8_words(words: [u32; 16]) -> [u32; 8] {
-    words[..8].try_into().unwrap()
+    let mut out = [0u32; 8];
+    out.copy_from_slice(&words[..8]);
+    out
 }
 
 /// The pending output of a chunk or parent node; can be finalized into a
@@ -270,7 +271,9 @@ impl Hasher {
     pub fn new_keyed(key: &[u8; 32]) -> Self {
         let mut key_words = [0u32; 8];
         for (w, chunk) in key_words.iter_mut().zip(key.chunks_exact(4)) {
-            *w = u32::from_le_bytes(chunk.try_into().unwrap());
+            let mut bytes = [0u8; 4];
+            bytes.copy_from_slice(chunk);
+            *w = u32::from_le_bytes(bytes);
         }
         Self::new_internal(key_words, KEYED_HASH)
     }
@@ -316,12 +319,7 @@ impl Hasher {
     fn root(&self) -> Output {
         let mut output = self.chunk_state.output();
         for &left in self.cv_stack.iter().rev() {
-            output = parent_output(
-                left,
-                output.chaining_value(),
-                self.key_words,
-                self.flags,
-            );
+            output = parent_output(left, output.chaining_value(), self.key_words, self.flags);
         }
         output
     }
@@ -412,13 +410,34 @@ mod tests {
     #[test]
     fn official_vectors_single_chunk() {
         let cases = [
-            (1usize, "2d3adedff11b61f14c886e35afa036736dcd87a74d27b5c1510225d0f592e213"),
-            (63, "e9bc37a594daad83be9470df7f7b3798297c3d834ce80ba85d6e207627b7db7b"),
-            (64, "4eed7141ea4a5cd4b788606bd23f46e212af9cacebacdc7d1f4c6dc7f2511b98"),
-            (65, "de1e5fa0be70df6d2be8fffd0e99ceaa8eb6e8c93a63f2d8d1c30ecb6b263dee"),
-            (127, "d81293fda863f008c09e92fc382a81f5a0b4a1251cba1634016a0f86a6bd640d"),
-            (128, "f17e570564b26578c33bb7f44643f539624b05df1a76c81f30acd548c44b45ef"),
-            (1023, "10108970eeda3eb932baac1428c7a2163b0e924c9a9e25b35bba72b28f70bd11"),
+            (
+                1usize,
+                "2d3adedff11b61f14c886e35afa036736dcd87a74d27b5c1510225d0f592e213",
+            ),
+            (
+                63,
+                "e9bc37a594daad83be9470df7f7b3798297c3d834ce80ba85d6e207627b7db7b",
+            ),
+            (
+                64,
+                "4eed7141ea4a5cd4b788606bd23f46e212af9cacebacdc7d1f4c6dc7f2511b98",
+            ),
+            (
+                65,
+                "de1e5fa0be70df6d2be8fffd0e99ceaa8eb6e8c93a63f2d8d1c30ecb6b263dee",
+            ),
+            (
+                127,
+                "d81293fda863f008c09e92fc382a81f5a0b4a1251cba1634016a0f86a6bd640d",
+            ),
+            (
+                128,
+                "f17e570564b26578c33bb7f44643f539624b05df1a76c81f30acd548c44b45ef",
+            ),
+            (
+                1023,
+                "10108970eeda3eb932baac1428c7a2163b0e924c9a9e25b35bba72b28f70bd11",
+            ),
         ];
         for (len, expect) in cases {
             assert_eq!(hex(&hash(&tv_input(len))), expect, "len {len}");
@@ -428,14 +447,38 @@ mod tests {
     #[test]
     fn official_vectors_multi_chunk_tree() {
         let cases = [
-            (1024usize, "42214739f095a406f3fc83deb889744ac00df831c10daa55189b5d121c855af7"),
-            (1025, "d00278ae47eb27b34faecf67b4fe263f82d5412916c1ffd97c8cb7fb814b8444"),
-            (2048, "e776b6028c7cd22a4d0ba182a8bf62205d2ef576467e838ed6f2529b85fba24a"),
-            (3072, "b98cb0ff3623be03326b373de6b9095218513e64f1ee2edd2525c7ad1e5cffd2"),
-            (4096, "015094013f57a5277b59d8475c0501042c0b642e531b0a1c8f58d2163229e969"),
-            (5120, "9cadc15fed8b5d854562b26a9536d9707cadeda9b143978f319ab34230535833"),
-            (8192, "aae792484c8efe4f19e2ca7d371d8c467ffb10748d8a5a1ae579948f718a2a63"),
-            (31744, "62b6960e1a44bcc1eb1a611a8d6235b6b4b78f32e7abc4fb4c6cdcce94895c47"),
+            (
+                1024usize,
+                "42214739f095a406f3fc83deb889744ac00df831c10daa55189b5d121c855af7",
+            ),
+            (
+                1025,
+                "d00278ae47eb27b34faecf67b4fe263f82d5412916c1ffd97c8cb7fb814b8444",
+            ),
+            (
+                2048,
+                "e776b6028c7cd22a4d0ba182a8bf62205d2ef576467e838ed6f2529b85fba24a",
+            ),
+            (
+                3072,
+                "b98cb0ff3623be03326b373de6b9095218513e64f1ee2edd2525c7ad1e5cffd2",
+            ),
+            (
+                4096,
+                "015094013f57a5277b59d8475c0501042c0b642e531b0a1c8f58d2163229e969",
+            ),
+            (
+                5120,
+                "9cadc15fed8b5d854562b26a9536d9707cadeda9b143978f319ab34230535833",
+            ),
+            (
+                8192,
+                "aae792484c8efe4f19e2ca7d371d8c467ffb10748d8a5a1ae579948f718a2a63",
+            ),
+            (
+                31744,
+                "62b6960e1a44bcc1eb1a611a8d6235b6b4b78f32e7abc4fb4c6cdcce94895c47",
+            ),
         ];
         for (len, expect) in cases {
             assert_eq!(hex(&hash(&tv_input(len))), expect, "len {len}");

@@ -22,6 +22,10 @@
 //! assert!(secret.iter().all(|&c| c == 0 || c == 1 || c == 0x3000));
 //! ```
 
+// Panics hide protocol bugs: outside tests, prefer typed errors (PR 1's
+// robustness audit). New `unwrap`/`expect` calls in library code must either
+// be converted to `Result` or carry a `# Panics` contract at the public API.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod blake3;
 pub mod csprng;
 pub mod sampler;

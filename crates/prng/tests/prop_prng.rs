@@ -1,68 +1,86 @@
-//! Property-based tests for the BLAKE3 implementation and samplers.
+//! Property-based tests for the BLAKE3 implementation and samplers
+//! (deterministic quickprop harness).
 
 use choco_prng::blake3::{hash, Hasher};
 use choco_prng::csprng::Blake3Rng;
 use choco_prng::sampler::{sample_error_signed, sample_ternary_signed, ERROR_BOUND};
-use proptest::prelude::*;
+use choco_quickprop::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn incremental_hashing_is_chunking_invariant(
-        data in proptest::collection::vec(any::<u8>(), 0..4096),
-        split in 0usize..4096,
-    ) {
+#[test]
+fn incremental_hashing_is_chunking_invariant() {
+    run_cases("chunking invariance", 32, |g| {
+        let data = g.bytes(4096);
+        let split = g.u64_below(4096) as usize;
         let oneshot = hash(&data);
         let cut = split.min(data.len());
         let mut h = Hasher::new();
         h.update(&data[..cut]);
         h.update(&data[cut..]);
-        prop_assert_eq!(h.finalize(), oneshot);
-    }
+        assert_eq!(h.finalize(), oneshot);
+    });
+}
 
-    #[test]
-    fn distinct_inputs_distinct_digests(a in any::<Vec<u8>>(), b in any::<Vec<u8>>()) {
-        prop_assume!(a != b);
-        prop_assert_ne!(hash(&a), hash(&b));
-    }
+#[test]
+fn distinct_inputs_distinct_digests() {
+    run_cases("distinct digests", 32, |g| {
+        let a = g.bytes(256);
+        let b = g.bytes(256);
+        if a == b {
+            return; // discard collisions in the input generator
+        }
+        assert_ne!(hash(&a), hash(&b));
+    });
+}
 
-    #[test]
-    fn xof_prefixes_are_consistent(data in any::<Vec<u8>>(), len in 1usize..200) {
+#[test]
+fn xof_prefixes_are_consistent() {
+    run_cases("xof prefix consistency", 32, |g| {
+        let data = g.bytes(512);
+        let len = g.usize_in(1, 200);
         let mut h = Hasher::new();
         h.update(&data);
         let mut long = vec![0u8; 256];
         h.finalize_xof(&mut long);
         let mut short = vec![0u8; len];
         h.finalize_xof(&mut short);
-        prop_assert_eq!(&short[..], &long[..len]);
-    }
+        assert_eq!(&short[..], &long[..len]);
+    });
+}
 
-    #[test]
-    fn rng_streams_are_seed_determined(seed in any::<[u8; 16]>()) {
+#[test]
+fn rng_streams_are_seed_determined() {
+    run_cases("seed-determined streams", 32, |g| {
+        let seed = g.array_u8::<16>();
         let mut a = Blake3Rng::from_seed(&seed);
         let mut b = Blake3Rng::from_seed(&seed);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
-    }
+    });
+}
 
-    #[test]
-    fn bounded_sampling_honors_any_bound(seed in any::<[u8; 8]>(), bound in 1u64..u64::MAX) {
+#[test]
+fn bounded_sampling_honors_any_bound() {
+    run_cases("bounded sampling", 32, |g| {
+        let seed = g.array_u8::<8>();
+        let bound = g.u64_in(1, u64::MAX);
         let mut rng = Blake3Rng::from_seed(&seed);
         for _ in 0..8 {
-            prop_assert!(rng.next_below(bound) < bound);
+            assert!(rng.next_below(bound) < bound);
         }
-    }
+    });
+}
 
-    #[test]
-    fn samplers_stay_in_their_supports(seed in any::<[u8; 8]>()) {
+#[test]
+fn samplers_stay_in_their_supports() {
+    run_cases("sampler supports", 32, |g| {
+        let seed = g.array_u8::<8>();
         let mut rng = Blake3Rng::from_seed(&seed);
         for v in sample_ternary_signed(&mut rng, 256) {
-            prop_assert!((-1..=1).contains(&v));
+            assert!((-1..=1).contains(&v));
         }
         for e in sample_error_signed(&mut rng, 256) {
-            prop_assert!(e.abs() <= ERROR_BOUND);
+            assert!(e.abs() <= ERROR_BOUND);
         }
-    }
+    });
 }

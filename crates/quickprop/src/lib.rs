@@ -1,0 +1,215 @@
+//! A minimal, deterministic property-testing harness.
+//!
+//! The build must work with no registry access, so this crate replaces
+//! `proptest` for the workspace's property suites. It is intentionally tiny:
+//! a seeded generator ([`Gen`]) over the in-tree BLAKE3 CSPRNG and a case
+//! runner ([`run_cases`]) that reports the failing case index so any failure
+//! reproduces exactly (every case derives its randomness from the property
+//! label and the case number — there is no global state and no shrinking).
+//!
+//! # Example
+//!
+//! ```
+//! use choco_quickprop::run_cases;
+//!
+//! run_cases("addition commutes", 64, |g| {
+//!     let (a, b) = (g.u64_below(1 << 30), g.u64_below(1 << 30));
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use choco_prng::Blake3Rng;
+
+/// Default number of cases when a property has no special cost profile.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// A per-case deterministic value generator.
+pub struct Gen {
+    rng: Blake3Rng,
+    /// Case index within the property run (0-based).
+    pub case: u32,
+}
+
+impl Gen {
+    /// A generator for `case` of the property named `label`.
+    pub fn for_case(label: &str, case: u32) -> Gen {
+        let mut seed = Vec::with_capacity(label.len() + 4);
+        seed.extend_from_slice(label.as_bytes());
+        seed.extend_from_slice(&case.to_le_bytes());
+        Gen {
+            rng: Blake3Rng::from_seed_labeled(&seed, "quickprop"),
+            case,
+        }
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    /// Uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        (self.rng.next_u32() & 0xff) as u8
+    }
+
+    /// Uniform `i64` over the full range.
+    pub fn i64(&mut self) -> i64 {
+        self.rng.next_u64() as i64
+    }
+
+    /// Uniform value in `[0, bound)` without modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        self.rng.next_below(bound)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.rng.next_below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.rng.next_below((hi - lo) as u64) as i64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.rng.next_f64()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.rng.next_f64() < p
+    }
+
+    /// A random byte vector with length in `[0, max_len]`.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.u64_below(max_len as u64 + 1) as usize;
+        let mut out = vec![0u8; len];
+        self.rng.fill_bytes(&mut out);
+        out
+    }
+
+    /// A fixed-size random byte array.
+    pub fn array_u8<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        self.rng.fill_bytes(&mut out);
+        out
+    }
+
+    /// A fixed-size random `u64` array.
+    pub fn array_u64<const N: usize>(&mut self) -> [u64; N] {
+        let mut out = [0u64; N];
+        for v in out.iter_mut() {
+            *v = self.rng.next_u64();
+        }
+        out
+    }
+
+    /// A random `u64` vector of `len` values below `bound`.
+    pub fn vec_u64_below(&mut self, len: usize, bound: u64) -> Vec<u64> {
+        (0..len).map(|_| self.u64_below(bound)).collect()
+    }
+}
+
+/// Runs `cases` deterministic cases of the property `body`; a panic inside
+/// the body is re-raised annotated with the property label and case index,
+/// which fully determine the failing inputs.
+///
+/// # Panics
+///
+/// Panics when any case fails.
+pub fn run_cases<F>(label: &str, cases: u32, body: F)
+where
+    F: Fn(&mut Gen) + std::panic::RefUnwindSafe,
+{
+    for case in 0..cases {
+        let result = std::panic::catch_unwind(|| {
+            let mut g = Gen::for_case(label, case);
+            body(&mut g);
+        });
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            panic!("property '{label}' failed at case {case}/{cases}: {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Gen::for_case("det", 7);
+        let mut b = Gen::for_case("det", 7);
+        assert_eq!(a.u64(), b.u64());
+        assert_eq!(a.bytes(100), b.bytes(100));
+        assert_eq!(a.i64_in(-50, 50), b.i64_in(-50, 50));
+    }
+
+    #[test]
+    fn distinct_cases_diverge() {
+        let mut a = Gen::for_case("div", 0);
+        let mut b = Gen::for_case("div", 1);
+        assert_ne!(a.u64(), b.u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        run_cases("range bounds", 32, |g| {
+            let v = g.u64_in(10, 20);
+            assert!((10..20).contains(&v));
+            let s = g.i64_in(-5, 5);
+            assert!((-5..5).contains(&s));
+            let bytes = g.bytes(16);
+            assert!(bytes.len() <= 16);
+        });
+    }
+
+    #[test]
+    fn failure_reports_case_index() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases("always fails", 3, |_| panic!("boom"));
+        });
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().expect("string payload").clone(),
+            Ok(()) => panic!("expected failure"),
+        };
+        assert!(msg.contains("'always fails'"));
+        assert!(msg.contains("case 0/3"));
+        assert!(msg.contains("boom"));
+    }
+}

@@ -148,8 +148,8 @@ mod tests {
             ..AcceleratorConfig::paper_operating_point()
         };
         let sw_ratio = sw_encryption_time(8192, 8) / sw_encryption_time(8192, 2);
-        let hw_ratio = encryption_profile(&cfg, 8192, 8).time_s
-            / encryption_profile(&cfg, 8192, 2).time_s;
+        let hw_ratio =
+            encryption_profile(&cfg, 8192, 8).time_s / encryption_profile(&cfg, 8192, 2).time_s;
         assert!(sw_ratio > 3.5, "sw k-scaling {sw_ratio}");
         assert!(hw_ratio < 1.6, "hw k-scaling {hw_ratio}");
     }

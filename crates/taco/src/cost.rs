@@ -49,7 +49,7 @@ pub fn sram_kb(cfg: &AcceleratorConfig, n: usize) -> f64 {
     let poly_kb = (n * 8) as f64 / 1024.0;
     let per_layer = 3.0 * poly_kb // NTT wb + INTT wb + twiddle ROM
         + 1.0                     // streaming buffers (sub-1KiB each)
-        + 0.5;                    // context/key staging
+        + 0.5; // context/key staging
     let encode_kb = 2.0 * poly_kb; // encode/decode module's NTT buffers
     cfg.residue_layers as f64 * per_layer + encode_kb
 }

@@ -127,7 +127,9 @@ mod tests {
         assert!((cost.crypto_s - 0.03).abs() < 1e-12);
         assert!((cost.nonlinear_s - 0.05).abs() < 1e-12);
         assert!(cost.comm_s > 0.3);
-        assert!((cost.total_time() - (cost.crypto_s + cost.nonlinear_s + cost.comm_s)).abs() < 1e-12);
+        assert!(
+            (cost.total_time() - (cost.crypto_s + cost.nonlinear_s + cost.comm_s)).abs() < 1e-12
+        );
         assert!(cost.energy_j > 0.0);
     }
 
@@ -136,7 +138,15 @@ mod tests {
         // §5.7: with Bluetooth, communication time dominates end-to-end.
         let link = LinkModel::bluetooth();
         let cost = compose_client_cost(
-            14, 14, 0.66e-3, 0.65e-3, 0.12e-3, 0.12e-3, 0.01, 22 << 20, &link,
+            14,
+            14,
+            0.66e-3,
+            0.65e-3,
+            0.12e-3,
+            0.12e-3,
+            0.01,
+            22 << 20,
+            &link,
         );
         assert!(cost.comm_s > 5.0 * (cost.crypto_s + cost.nonlinear_s));
     }

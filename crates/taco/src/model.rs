@@ -131,8 +131,14 @@ mod tests {
         let dec = ckks_decryption_time_hw(&cfg, 8192, 3, 0.037);
         let enc_speedup = 0.310 / enc;
         let dec_speedup = 0.037 / dec;
-        assert!((10.0..25.0).contains(&enc_speedup), "enc speedup {enc_speedup}");
-        assert!((1.5..3.5).contains(&dec_speedup), "dec speedup {dec_speedup}");
+        assert!(
+            (10.0..25.0).contains(&enc_speedup),
+            "enc speedup {enc_speedup}"
+        );
+        assert!(
+            (1.5..3.5).contains(&dec_speedup),
+            "dec speedup {dec_speedup}"
+        );
         // Amdahl: the software tail bounds the gain.
         assert!(enc > 0.310 * (1.0 - CKKS_ENC_COVERAGE));
     }

@@ -100,7 +100,9 @@ pub fn schedule(cfg: &AcceleratorConfig, tasks: &[Task]) -> Schedule {
                 out[d].finish
             })
             .fold(0.0f64, f64::max);
-        let slots = free.entry(t.resource).or_insert_with(|| vec![0.0; replicas]);
+        let slots = free
+            .entry(t.resource)
+            .or_insert_with(|| vec![0.0; replicas]);
         // Earliest-free replica.
         let (best, &earliest) = slots
             .iter()
@@ -130,34 +132,104 @@ pub fn encryption_dag(n: usize, k: usize) -> Vec<Task> {
     // Tasks 0-3: the PRNG draws (u ternary at 1 B/coeff; e1/e2 at
     // 8 B/coeff, overlapping with NTT/dyadic work) and the message encode.
     let mut tasks = vec![
-        Task { name: "prng:u", resource: Resource::Prng, work: nf, deps: vec![] },
-        Task { name: "prng:e2", resource: Resource::Prng, work: 8.0 * nf, deps: vec![] },
-        Task { name: "prng:e1", resource: Resource::Prng, work: 8.0 * nf, deps: vec![] },
-        Task { name: "encode:m", resource: Resource::Encode, work: bf, deps: vec![] },
+        Task {
+            name: "prng:u",
+            resource: Resource::Prng,
+            work: nf,
+            deps: vec![],
+        },
+        Task {
+            name: "prng:e2",
+            resource: Resource::Prng,
+            work: 8.0 * nf,
+            deps: vec![],
+        },
+        Task {
+            name: "prng:e1",
+            resource: Resource::Prng,
+            work: 8.0 * nf,
+            deps: vec![],
+        },
+        Task {
+            name: "encode:m",
+            resource: Resource::Encode,
+            work: bf,
+            deps: vec![],
+        },
     ];
 
     for _residue in 0..k {
         let ntt_u = tasks.len();
-        tasks.push(Task { name: "ntt:u", resource: Resource::Ntt, work: bf, deps: vec![0] });
+        tasks.push(Task {
+            name: "ntt:u",
+            resource: Resource::Ntt,
+            work: bf,
+            deps: vec![0],
+        });
         // c1 path.
         let dy1 = tasks.len();
-        tasks.push(Task { name: "dyadic:c1", resource: Resource::Dyadic, work: nf, deps: vec![ntt_u] });
+        tasks.push(Task {
+            name: "dyadic:c1",
+            resource: Resource::Dyadic,
+            work: nf,
+            deps: vec![ntt_u],
+        });
         let intt1 = tasks.len();
-        tasks.push(Task { name: "intt:c1", resource: Resource::Intt, work: bf, deps: vec![dy1] });
+        tasks.push(Task {
+            name: "intt:c1",
+            resource: Resource::Intt,
+            work: bf,
+            deps: vec![dy1],
+        });
         let add1 = tasks.len();
-        tasks.push(Task { name: "add:e2", resource: Resource::Add, work: nf, deps: vec![intt1, 1] });
-        tasks.push(Task { name: "modsw:c1", resource: Resource::ModSwitch, work: nf, deps: vec![add1] });
+        tasks.push(Task {
+            name: "add:e2",
+            resource: Resource::Add,
+            work: nf,
+            deps: vec![intt1, 1],
+        });
+        tasks.push(Task {
+            name: "modsw:c1",
+            resource: Resource::ModSwitch,
+            work: nf,
+            deps: vec![add1],
+        });
         // c0 path (reuses NTT(u)).
         let dy0 = tasks.len();
-        tasks.push(Task { name: "dyadic:c0", resource: Resource::Dyadic, work: nf, deps: vec![ntt_u] });
+        tasks.push(Task {
+            name: "dyadic:c0",
+            resource: Resource::Dyadic,
+            work: nf,
+            deps: vec![ntt_u],
+        });
         let intt0 = tasks.len();
-        tasks.push(Task { name: "intt:c0", resource: Resource::Intt, work: bf, deps: vec![dy0] });
+        tasks.push(Task {
+            name: "intt:c0",
+            resource: Resource::Intt,
+            work: bf,
+            deps: vec![dy0],
+        });
         let add0 = tasks.len();
-        tasks.push(Task { name: "add:e1", resource: Resource::Add, work: nf, deps: vec![intt0, 2] });
+        tasks.push(Task {
+            name: "add:e1",
+            resource: Resource::Add,
+            work: nf,
+            deps: vec![intt0, 2],
+        });
         let msw0 = tasks.len();
-        tasks.push(Task { name: "modsw:c0", resource: Resource::ModSwitch, work: nf, deps: vec![add0] });
+        tasks.push(Task {
+            name: "modsw:c0",
+            resource: Resource::ModSwitch,
+            work: nf,
+            deps: vec![add0],
+        });
         // message add into c0 (scaled residues of the encoded message).
-        tasks.push(Task { name: "add:m", resource: Resource::Add, work: nf, deps: vec![msw0, 3] });
+        tasks.push(Task {
+            name: "add:m",
+            resource: Resource::Add,
+            work: nf,
+            deps: vec![msw0, 3],
+        });
     }
     tasks
 }
@@ -180,13 +252,33 @@ pub fn decryption_dag(n: usize, k: usize) -> Vec<Task> {
     let mut conv_deps: Vec<usize> = Vec::new();
     for _residue in 0..k {
         let ntt = tasks.len();
-        tasks.push(Task { name: "ntt:c1", resource: Resource::Ntt, work: bf, deps: vec![] });
+        tasks.push(Task {
+            name: "ntt:c1",
+            resource: Resource::Ntt,
+            work: bf,
+            deps: vec![],
+        });
         let dy = tasks.len();
-        tasks.push(Task { name: "dyadic:c1*s", resource: Resource::Dyadic, work: nf, deps: vec![ntt] });
+        tasks.push(Task {
+            name: "dyadic:c1*s",
+            resource: Resource::Dyadic,
+            work: nf,
+            deps: vec![ntt],
+        });
         let intt = tasks.len();
-        tasks.push(Task { name: "intt:c1*s", resource: Resource::Intt, work: bf, deps: vec![dy] });
+        tasks.push(Task {
+            name: "intt:c1*s",
+            resource: Resource::Intt,
+            work: bf,
+            deps: vec![dy],
+        });
         let add = tasks.len();
-        tasks.push(Task { name: "add:c0", resource: Resource::Add, work: nf, deps: vec![intt] });
+        tasks.push(Task {
+            name: "add:c0",
+            resource: Resource::Add,
+            work: nf,
+            deps: vec![intt],
+        });
         conv_deps.push(add);
     }
     // Cross-residue base conversion: a serial chain through ModSwitch.
@@ -197,7 +289,12 @@ pub fn decryption_dag(n: usize, k: usize) -> Vec<Task> {
             deps.push(p);
         }
         let id = tasks.len();
-        tasks.push(Task { name: "baseconv", resource: Resource::ModSwitch, work: nf, deps });
+        tasks.push(Task {
+            name: "baseconv",
+            resource: Resource::ModSwitch,
+            work: nf,
+            deps,
+        });
         prev = Some(id);
     }
     // Decode: NTT over the plain modulus + reorder.
@@ -265,7 +362,10 @@ mod tests {
         three.residue_layers = 3;
         let t1 = simulate_encryption(&one, 8192, 3);
         let t3 = simulate_encryption(&three, 8192, 3);
-        assert!(t3 < t1 * 0.6, "3 layers should be much faster: {t1} vs {t3}");
+        assert!(
+            t3 < t1 * 0.6,
+            "3 layers should be much faster: {t1} vs {t3}"
+        );
     }
 
     #[test]

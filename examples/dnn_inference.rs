@@ -37,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    let maps = run_encrypted_conv_layer(&mut client, &server, &mut ledger, &image, &weights, h, w, f)?;
+    let maps =
+        run_encrypted_conv_layer(&mut client, &server, &mut ledger, &image, &weights, h, w, f)?;
     let reference =
         conv2d_plain_circular(&image, &weights, h, w, f, client.context().plain_modulus());
     assert_eq!(maps, reference, "encrypted conv must match the reference");

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image: Vec<u64> = (0..spec.img * spec.img)
         .map(|i| {
             let (y, x) = (i / spec.img, i % spec.img);
-            if y.abs_diff(x) <= 2 { 12 } else { 1 }
+            if y.abs_diff(x) <= 2 {
+                12
+            } else {
+                1
+            }
         })
         .collect();
 
@@ -34,11 +38,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t = BfvContext::new(&params)?.plain_modulus();
     let (plain_logits, plain_class) = run_plain(&spec, &weights, &image, t);
-    assert_eq!(run.logits, plain_logits, "encrypted logits must be bit-exact");
+    assert_eq!(
+        run.logits, plain_logits,
+        "encrypted logits must be bit-exact"
+    );
     assert_eq!(run.class, plain_class);
 
     println!("logits: {:?}", run.logits);
-    println!("predicted class: {} (matches plaintext twin exactly)", run.class);
+    println!(
+        "predicted class: {} (matches plaintext twin exactly)",
+        run.class
+    );
     println!(
         "client: {} encryptions, {} decryptions; {:.2} MB over {} rounds; wall time {:.2?}",
         run.crypto_ops.0,

@@ -6,9 +6,7 @@
 //! cargo run --release --example pagerank
 //! ```
 
-use choco_apps::pagerank::{
-    pagerank_comm_model, pagerank_encrypted_bfv, pagerank_plain, Graph,
-};
+use choco_apps::pagerank::{pagerank_comm_model, pagerank_encrypted_bfv, pagerank_plain, Graph};
 use choco_he::params::{HeParams, SchemeType};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -50,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "  burst {set:>2}: N={n:>5}, k={k}, comm {:>8.2} MB",
                 bytes as f64 / 1e6
             ),
-            None => println!("  burst {set:>2}: no 128-bit-secure parameter set can hold the noise"),
+            None => {
+                println!("  burst {set:>2}: no 128-bit-secure parameter set can hold the noise")
+            }
         }
     }
     println!("frequent refresh with small ciphertexts wins — and fits CHOCO-TACO (N<=8192, k<=3)");

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Paper parameter set B: N = 4096, {36,36,37}, 18-bit t — 128 KiB
     // ciphertexts at 128-bit security.
     let params = HeParams::set_b();
-    println!("parameters: set B — N={}, ciphertext {} bytes", params.degree(), params.ciphertext_bytes());
+    println!(
+        "parameters: set B — N={}, ciphertext {} bytes",
+        params.degree(),
+        params.ciphertext_bytes()
+    );
 
     // The trusted client owns the keys; the server gets public material.
     let mut client = BfvClient::new(&params, b"quickstart seed")?;

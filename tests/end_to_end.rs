@@ -148,12 +148,18 @@ fn end_to_end_dnn_offload_is_communication_bound_on_bluetooth() {
         plan.comm_bytes,
         &LinkModel::bluetooth(),
     );
-    assert!(cost.comm_s > cost.crypto_s, "comm should dominate with TACO");
+    assert!(
+        cost.comm_s > cost.crypto_s,
+        "comm should dominate with TACO"
+    );
     assert!(cost.crypto_s < 1.0, "accelerated crypto under a second");
     // And without the accelerator the same inference is crypto-bound.
-    let sw_crypto = plan.encryptions as f64
-        * sw_encryption_time(params.degree(), params.prime_count());
-    assert!(sw_crypto > cost.comm_s, "software crypto dwarfs communication");
+    let sw_crypto =
+        plan.encryptions as f64 * sw_encryption_time(params.degree(), params.prime_count());
+    assert!(
+        sw_crypto > cost.comm_s,
+        "software crypto dwarfs communication"
+    );
 }
 
 #[test]
