@@ -13,6 +13,17 @@ cargo build --release
 echo "==> cargo test (all workspace members)"
 cargo test -q --workspace
 
+echo "==> parallel/sequential equivalence suite (CHOCO_THREADS=1)"
+CHOCO_THREADS=1 cargo test -q -p choco-math --test prop_math
+CHOCO_THREADS=1 cargo test -q -p choco-he --test prop_he
+
+echo "==> parallel/sequential equivalence suite (CHOCO_THREADS=4)"
+CHOCO_THREADS=4 cargo test -q -p choco-math --test prop_math
+CHOCO_THREADS=4 cargo test -q -p choco-he --test prop_he
+
+echo "==> kernel bench reporter (smoke mode)"
+cargo run --release -q -p choco-bench --bin bench_kernels -- --smoke --json /tmp/bench_kernels_smoke.json
+
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 

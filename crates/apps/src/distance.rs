@@ -216,28 +216,30 @@ fn point_major_server(
     // Distances now sit at each block's slot 0 (sparse, 1/stride utilized).
 
     let reply = if collapse {
-        // Mask each block head and shift it into slot b: one masking
-        // multiply + rotation per point, then a tree of adds.
+        // Rotate-then-mask (equivalent to masking block b's head then
+        // shifting it to slot b, since the mask commutes with the shift):
+        // every rotation acts on the same `acc`, so all of them share one
+        // hoisted key-switch decomposition.
+        let shifts: Vec<i64> = (1..n).map(|b| (b * stride - b) as i64).collect();
+        let rotated = if shifts.is_empty() {
+            Vec::new()
+        } else {
+            server_ops += shifts.len() as u64;
+            ctx.rotate_many(&acc, &shifts, server.galois_keys())?
+        };
         let mut collapsed: Option<CkksCiphertext> = None;
-        for b in 0..n {
+        for (b, rot) in std::iter::once(&acc).chain(rotated.iter()).enumerate() {
             let mut mask = vec![0.0f64; n * stride];
-            mask[b * stride] = 1.0;
-            let mpt = server.encode_at(&mask, acc.level(), ctx.default_scale())?;
-            let picked = ctx.multiply_plain(&acc, &mpt)?;
+            mask[b] = 1.0;
+            let mpt = server.encode_at(&mask, rot.level(), ctx.default_scale())?;
+            let picked = ctx.multiply_plain(rot, &mpt)?;
             let picked = ctx.rescale(&picked)?;
             server_ops += 2;
-            let shift = (b * stride - b) as i64;
-            let moved = if shift != 0 {
-                server_ops += 1;
-                ctx.rotate(&picked, shift, server.galois_keys())?
-            } else {
-                picked
-            };
             collapsed = Some(match collapsed {
-                None => moved,
+                None => picked,
                 Some(c) => {
                     server_ops += 1;
-                    ctx.add(&c, &moved)?
+                    ctx.add(&c, &picked)?
                 }
             });
         }

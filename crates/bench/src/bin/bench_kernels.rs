@@ -1,0 +1,225 @@
+//! Op-level kernel timing reporter for the parallel HE runtime.
+//!
+//! Times the kernels the runtime rework targets — strict vs. lazy NTT,
+//! BFV multiply, naive vs. hoisted rotation batches, and the
+//! diagonal-method matvec through both the per-rotation path and the
+//! fused double-hoisted `dot_rotations_plain` path — and reports the
+//! speedups. `--json <path>` additionally writes a machine-readable
+//! report (the committed baseline lives in `BENCH_kernels.json`);
+//! `--smoke` shrinks the measurement windows so CI can run the reporter
+//! as a gate without inflating wall-clock time.
+
+use std::hint::black_box;
+
+use choco_bench::{header, measure, note, time_str};
+use choco_he::bfv::{BfvContext, Ciphertext, Plaintext};
+use choco_he::params::HeParams;
+use choco_math::ntt::NttTable;
+use choco_math::prime::generate_ntt_primes;
+use choco_prng::Blake3Rng;
+
+struct Entry {
+    name: &'static str,
+    seconds: f64,
+    iters: usize,
+}
+
+fn record(entries: &mut Vec<Entry>, window_ms: f64, name: &'static str, f: impl FnMut()) {
+    let (seconds, iters) = measure(window_ms, f);
+    println!("{name:<44} {:>12} ({iters} iters)", time_str(seconds));
+    entries.push(Entry {
+        name,
+        seconds,
+        iters,
+    });
+}
+
+fn seconds_of(entries: &[Entry], name: &str) -> f64 {
+    entries
+        .iter()
+        .find(|e| e.name == name)
+        .map(|e| e.seconds)
+        .expect("entry recorded")
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Entry names are static identifiers; assert rather than escape.
+    assert!(
+        name.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+        "entry name {name:?} needs JSON escaping"
+    );
+    name
+}
+
+fn write_json(path: &str, mode: &str, threads: usize, entries: &[Entry], derived: &[(&str, f64)]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"choco-bench-kernels/1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seconds_per_iter\": {:.9}, \"iters\": {}}}{sep}\n",
+            json_escape_free(e.name),
+            e.seconds,
+            e.iters
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"derived\": {\n");
+    for (i, (name, value)) in derived.iter().enumerate() {
+        let sep = if i + 1 == derived.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\": {value:.4}{sep}\n",
+            json_escape_free(name)
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).expect("write JSON report");
+    println!("\nwrote {path}");
+}
+
+/// Per-diagonal path: one key-switch decomposition per rotation, one
+/// multiply/add pair per diagonal (the pre-hoisting kernel shape).
+fn matvec_naive(
+    ctx: &BfvContext,
+    ct: &Ciphertext,
+    pts: &[Plaintext],
+    gks: &choco_he::bfv::GaloisKeys,
+) -> Ciphertext {
+    let eval = ctx.evaluator();
+    let mut acc = eval.multiply_plain(ct, &pts[0]);
+    for (d, pt) in pts.iter().enumerate().skip(1) {
+        let rot = eval.rotate_rows(ct, d as i64, gks).unwrap();
+        acc = eval.add(&acc, &eval.multiply_plain(&rot, pt)).unwrap();
+    }
+    acc
+}
+
+/// Hoisted path: decompose once, permute per diagonal, and keep the whole
+/// multiply/accumulate in the NTT domain (`dot_rotations_plain`).
+fn matvec_hoisted(
+    ctx: &BfvContext,
+    ct: &Ciphertext,
+    pts: &[Plaintext],
+    gks: &choco_he::bfv::GaloisKeys,
+) -> Ciphertext {
+    let pairs: Vec<(i64, Plaintext)> = pts
+        .iter()
+        .enumerate()
+        .map(|(d, p)| (d as i64, p.clone()))
+        .collect();
+    ctx.evaluator()
+        .dot_rotations_plain(ct, &pairs, gks)
+        .unwrap()
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--smoke" => smoke = true,
+            other => panic!("unknown flag {other:?} (expected --json <path> or --smoke)"),
+        }
+    }
+    let window_ms = if smoke { 15.0 } else { 250.0 };
+    let mode = if smoke { "smoke" } else { "full" };
+    let threads = choco_math::par::num_threads();
+    let mut entries = Vec::new();
+
+    header("kernel timings: NTT (n=4096, 55-bit prime)");
+    let n = 4096;
+    let q = generate_ntt_primes(55, n, 1)[0];
+    let table = NttTable::new(n, q).unwrap();
+    let mut rng = Blake3Rng::from_seed(b"bench kernels ntt");
+    let mut buf: Vec<u64> = (0..n).map(|_| rng.next_below(q)).collect();
+    // Repeated in-place transforms: the values churn but every iteration
+    // does identical work, so the mean is a clean per-transform time.
+    record(&mut entries, window_ms, "ntt_forward_lazy", || {
+        table.forward(black_box(&mut buf))
+    });
+    record(&mut entries, window_ms, "ntt_forward_strict", || {
+        table.forward_strict(black_box(&mut buf))
+    });
+    record(&mut entries, window_ms, "ntt_inverse_lazy", || {
+        table.inverse(black_box(&mut buf))
+    });
+    record(&mut entries, window_ms, "ntt_inverse_strict", || {
+        table.inverse_strict(black_box(&mut buf))
+    });
+
+    header("kernel timings: BFV ops (paper set B)");
+    let params = HeParams::set_b();
+    let ctx = BfvContext::new(&params).unwrap();
+    let mut rng = Blake3Rng::from_seed(b"bench kernels bfv");
+    let keys = ctx.keygen(&mut rng);
+    let rk = ctx.relin_key(keys.secret_key(), &mut rng).unwrap();
+    let cols = 16usize;
+    let steps: Vec<i64> = (1..cols as i64).collect();
+    let gks = ctx
+        .galois_keys(keys.secret_key(), &steps, &mut rng)
+        .unwrap();
+    let encoder = ctx.batch_encoder().unwrap();
+    let values: Vec<u64> = (0..params.degree() as u64).map(|i| i % 17).collect();
+    let pt = encoder.encode(&values).unwrap();
+    let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
+    let eval = ctx.evaluator();
+    record(&mut entries, window_ms, "bfv_multiply_relin", || {
+        black_box(eval.multiply_relin(black_box(&ct), &ct, &rk).unwrap());
+    });
+
+    header("kernel timings: rotation batch (15 steps)");
+    record(&mut entries, window_ms, "rotations_naive", || {
+        for &s in &steps {
+            black_box(eval.rotate_rows(black_box(&ct), s, &gks).unwrap());
+        }
+    });
+    record(&mut entries, window_ms, "rotations_hoisted", || {
+        black_box(eval.rotate_rows_many(black_box(&ct), &steps, &gks).unwrap());
+    });
+
+    header("kernel timings: diagonal matvec (16 diagonals)");
+    let pts: Vec<Plaintext> = (0..cols as u64)
+        .map(|d| {
+            let diag: Vec<u64> = (0..params.degree() as u64).map(|i| (i + d) % 13).collect();
+            encoder.encode(&diag).unwrap()
+        })
+        .collect();
+    record(&mut entries, window_ms, "matvec_naive", || {
+        black_box(matvec_naive(&ctx, black_box(&ct), &pts, &gks));
+    });
+    record(&mut entries, window_ms, "matvec_hoisted", || {
+        black_box(matvec_hoisted(&ctx, black_box(&ct), &pts, &gks));
+    });
+
+    let fwd = seconds_of(&entries, "ntt_forward_strict") / seconds_of(&entries, "ntt_forward_lazy");
+    let inv = seconds_of(&entries, "ntt_inverse_strict") / seconds_of(&entries, "ntt_inverse_lazy");
+    let rot = seconds_of(&entries, "rotations_naive") / seconds_of(&entries, "rotations_hoisted");
+    let mv = seconds_of(&entries, "matvec_naive") / seconds_of(&entries, "matvec_hoisted");
+    header("speedups (old / new)");
+    println!("ntt_forward   {fwd:.2}x");
+    println!("ntt_inverse   {inv:.2}x");
+    println!("rotations     {rot:.2}x");
+    println!("matvec        {mv:.2}x");
+    note(&format!("worker threads: {threads}"));
+
+    if let Some(path) = json_path {
+        write_json(
+            &path,
+            mode,
+            threads,
+            &entries,
+            &[
+                ("ntt_forward_speedup", fwd),
+                ("ntt_inverse_speedup", inv),
+                ("rotation_speedup", rot),
+                ("matvec_speedup", mv),
+            ],
+        );
+    }
+}

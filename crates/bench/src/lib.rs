@@ -59,15 +59,22 @@ pub fn timed_avg(iters: usize, mut f: impl FnMut()) -> f64 {
 /// measurement window runs ≥ `min_window_ms`, and prints the mean time per
 /// iteration. Results of the closure are passed through `std::hint::black_box`
 /// to keep the optimizer honest.
-pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
-    const MIN_WINDOW_MS: f64 = 200.0;
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) {
+    let (per_iter, iters) = measure(200.0, f);
+    println!("{name:<40} {:>12} ({iters} iters)", time_str(per_iter));
+}
+
+/// Measures a closure like [`bench`] but returns the numbers instead of
+/// printing them: `(seconds_per_iter, iters)`. `min_window_ms` bounds the
+/// measurement window so smoke runs can stay fast.
+pub fn measure<T>(min_window_ms: f64, mut f: impl FnMut() -> T) -> (f64, usize) {
     // Warm-up and initial calibration.
     let (_, first) = timed(|| std::hint::black_box(f()));
-    let iters = ((MIN_WINDOW_MS / 1e3 / first.max(1e-9)).ceil() as usize).clamp(1, 10_000);
+    let iters = ((min_window_ms / 1e3 / first.max(1e-9)).ceil() as usize).clamp(1, 10_000);
     let per_iter = timed_avg(iters, || {
         std::hint::black_box(f());
     });
-    println!("{name:<40} {:>12} ({iters} iters)", time_str(per_iter));
+    (per_iter, iters)
 }
 
 /// Prints the bench-group banner.

@@ -12,7 +12,7 @@
 
 use crate::protocol::BfvServer;
 use crate::stacking::StackedLayout;
-use choco_he::bfv::Ciphertext;
+use choco_he::bfv::{Ciphertext, Plaintext};
 use choco_he::HeError;
 
 /// One convolution tap: rotate the stacked input by `shift` slots, then
@@ -49,8 +49,12 @@ pub fn stacked_conv(
     layout: &StackedLayout,
     taps: &[ConvTap],
 ) -> Result<Ciphertext, HeError> {
+    if taps.is_empty() {
+        return Err(HeError::Mismatch(
+            "convolution needs at least one tap".into(),
+        ));
+    }
     let eval = server.evaluator();
-    let mut acc: Option<Ciphertext> = None;
     for tap in taps {
         assert!(
             tap.shift.unsigned_abs() as usize <= layout.channel_layout().redundancy(),
@@ -58,20 +62,18 @@ pub fn stacked_conv(
             tap.shift,
             layout.channel_layout().redundancy()
         );
-        let rotated = if tap.shift == 0 {
-            ct.clone()
-        } else {
-            eval.rotate_rows(ct, tap.shift, server.galois_keys())?
-        };
-        let weights = layout.broadcast_weights(&tap.channel_weights);
-        let wpt = server.encode(&weights)?;
-        let term = eval.multiply_plain(&rotated, &wpt);
-        acc = Some(match acc {
-            None => term,
-            Some(a) => eval.add(&a, &term)?,
-        });
     }
-    acc.ok_or_else(|| HeError::Mismatch("convolution needs at least one tap".into()))
+    // All tap shifts rotate the same input, so the fused kernel shares one
+    // hoisted decomposition across them and collapses the tap products
+    // into a single NTT-domain inner product with one key-switch rounding.
+    let pairs: Vec<(i64, Plaintext)> = taps
+        .iter()
+        .map(|tap| {
+            let weights = layout.broadcast_weights(&tap.channel_weights);
+            Ok((tap.shift, server.encode(&weights)?))
+        })
+        .collect::<Result<_, HeError>>()?;
+    eval.dot_rotations_plain(ct, &pairs, server.galois_keys())
 }
 
 /// Sums all channel blocks into block 0 with a rotate-add tree:
@@ -147,25 +149,20 @@ pub fn matvec_diagonals(
     assert!(rows <= cols, "diagonal method requires rows <= cols");
     let row_size = server.context().degree() / 2;
     let eval = server.evaluator();
-    let mut acc: Option<Ciphertext> = None;
-    for d in 0..cols {
-        let rotated = if d == 0 {
-            ct_x.clone()
-        } else {
-            eval.rotate_rows(ct_x, d as i64, server.galois_keys())?
-        };
-        let mut diag = vec![0u64; row_size];
-        for (i, s) in diag.iter_mut().enumerate().take(rows) {
-            *s = matrix[i][(i + d) % cols];
-        }
-        let dpt = server.encode(&diag)?;
-        let term = eval.multiply_plain(&rotated, &dpt);
-        acc = Some(match acc {
-            None => term,
-            Some(a) => eval.add(&a, &term)?,
-        });
-    }
-    acc.ok_or_else(|| HeError::Mismatch("matrix needs at least one column".into()))
+    // One hoisted decomposition serves every diagonal's rotation, the
+    // per-diagonal products accumulate in the NTT domain, and the fused
+    // kernel's second hoisting pays a single key-switch rounding for the
+    // whole matvec.
+    let pairs: Vec<(i64, Plaintext)> = (0..cols)
+        .map(|d| {
+            let mut diag = vec![0u64; row_size];
+            for (i, s) in diag.iter_mut().enumerate().take(rows) {
+                *s = matrix[i][(i + d) % cols];
+            }
+            Ok((d as i64, server.encode(&diag)?))
+        })
+        .collect::<Result<_, HeError>>()?;
+    eval.dot_rotations_plain(ct_x, &pairs, server.galois_keys())
 }
 
 /// CKKS variant of the diagonal matrix-vector product: `y = M·x` over
@@ -192,12 +189,20 @@ pub fn ckks_matvec_diagonals(
     assert!(rows <= cols, "diagonal method requires rows <= cols");
     let ctx = server.context();
     let slots = ctx.slot_count();
+    // Share one hoisted decomposition across all diagonal rotations.
+    let steps: Vec<i64> = (1..cols as i64).collect();
+    let mut rotations = if steps.is_empty() {
+        Vec::new()
+    } else {
+        ctx.rotate_many(ct_x, &steps, server.galois_keys())?
+    }
+    .into_iter();
     let mut acc: Option<choco_he::ckks::CkksCiphertext> = None;
     for d in 0..cols {
         let rotated = if d == 0 {
             ct_x.clone()
         } else {
-            ctx.rotate(ct_x, d as i64, server.galois_keys())?
+            rotations.next().expect("one rotation per diagonal")
         };
         let mut diag = vec![0.0f64; slots];
         for (i, s) in diag.iter_mut().enumerate().take(rows) {

@@ -136,6 +136,52 @@ pub fn windowed_rotate_redundant(
     ctx.evaluator().rotate_rows(ct, r, gks)
 }
 
+/// Performs many windowed rotations of the *same* redundantly-packed
+/// ciphertext, sharing a single hoisted key-switch decomposition across all
+/// nonzero distances — the batched form of [`windowed_rotate_redundant`]
+/// for kernels that need every shift of one input (conv taps, matvec
+/// diagonals).
+///
+/// # Errors
+///
+/// Propagates missing-Galois-key and ciphertext-shape errors.
+///
+/// # Panics
+///
+/// Panics if any `|r|` exceeds the layout redundancy.
+pub fn windowed_rotate_redundant_many(
+    ctx: &BfvContext,
+    ct: &Ciphertext,
+    layout: &RedundantLayout,
+    rotations: &[i64],
+    gks: &GaloisKeys,
+) -> Result<Vec<Ciphertext>, HeError> {
+    for &r in rotations {
+        assert!(
+            r.unsigned_abs() as usize <= layout.redundancy(),
+            "rotation {r} exceeds redundancy {}",
+            layout.redundancy()
+        );
+    }
+    let steps: Vec<i64> = rotations.iter().copied().filter(|&r| r != 0).collect();
+    let mut hoisted = if steps.is_empty() {
+        Vec::new()
+    } else {
+        ctx.evaluator().rotate_rows_many(ct, &steps, gks)?
+    }
+    .into_iter();
+    Ok(rotations
+        .iter()
+        .map(|&r| {
+            if r == 0 {
+                ct.clone()
+            } else {
+                hoisted.next().expect("one rotation per nonzero distance")
+            }
+        })
+        .collect())
+}
+
 /// Performs a windowed rotation via the arbitrary-permutation baseline
 /// (Figure 4A): rotate + mask, counter-rotate + mask, add.
 ///

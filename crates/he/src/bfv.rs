@@ -16,10 +16,14 @@
 use crate::batch::BatchEncoder;
 use crate::error::HeError;
 use crate::keyswitch::{
-    apply_ksk, galois_element_columns, galois_element_rows, generate_ksk, KswitchKey,
+    apply_ksk, apply_ksk_hoisted, galois_element_columns, galois_element_rows, generate_ksk,
+    hoist_decompose, hoisted_accumulate, mod_down_ntt, KswitchKey,
 };
 use crate::params::{HeParams, SchemeType};
 use crate::rnspoly::RnsPoly;
+use choco_math::modops::add_mod;
+use choco_math::ntt::galois_ntt_permutation;
+use choco_math::par;
 use choco_math::prime::generate_ntt_primes;
 use choco_math::rns::RnsBasis;
 use choco_math::UBig;
@@ -738,6 +742,308 @@ impl Evaluator<'_> {
         c0.add_assign_poly(&k0, data);
         Ok(Ciphertext {
             parts: vec![c0, k1],
+        })
+    }
+
+    /// Applies many Galois automorphisms to the *same* ciphertext with one
+    /// shared ("hoisted") decomposition: the expensive digit decomposition +
+    /// forward NTTs of `c1` run once, and each element costs only a cheap
+    /// NTT-domain permutation plus multiply-accumulate against its key.
+    ///
+    /// The outputs decrypt identically to [`Evaluator::apply_galois`] on
+    /// each element, with the same noise growth (the permuted digits have
+    /// the same magnitudes as freshly decomposed ones).
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::MissingGaloisKey`] if `gk` lacks any element;
+    /// [`HeError::InvalidCiphertext`] for non-2-component inputs.
+    pub fn apply_galois_many(
+        &self,
+        a: &Ciphertext,
+        elements: &[u64],
+        gk: &GaloisKeys,
+    ) -> Result<Vec<Ciphertext>, HeError> {
+        if a.size() != 2 {
+            return Err(HeError::InvalidCiphertext(
+                "galois requires a 2-component ciphertext (relinearize first)".into(),
+            ));
+        }
+        let ctx = self.ctx;
+        let data = &*ctx.data;
+        let n = ctx.degree();
+        // Decompose c1 once; every element below reuses these digits.
+        let hoisted = hoist_decompose(&a.parts[1], &ctx.full, data);
+        elements
+            .iter()
+            .map(|&element| {
+                let ksk = gk
+                    .keys
+                    .get(&element)
+                    .ok_or(HeError::MissingGaloisKey(element))?;
+                let perm = galois_ntt_permutation(n, element);
+                let (k0, k1) = apply_ksk_hoisted(&hoisted, Some(&perm), ksk, &ctx.full, data);
+                let mut c0 = a.parts[0].galois(element, data);
+                c0.add_assign_poly(&k0, data);
+                Ok(Ciphertext {
+                    parts: vec![c0, k1],
+                })
+            })
+            .collect()
+    }
+
+    /// Rotates batched rows by each of `steps` (positive = left) from the
+    /// same input, sharing one hoisted decomposition across all rotations —
+    /// the fast path for diagonal-method matvec and rotate-reduce kernels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Evaluator::apply_galois_many`] errors.
+    pub fn rotate_rows_many(
+        &self,
+        a: &Ciphertext,
+        steps: &[i64],
+        gk: &GaloisKeys,
+    ) -> Result<Vec<Ciphertext>, HeError> {
+        let n = self.ctx.degree();
+        let elements: Vec<u64> = steps.iter().map(|&s| galois_element_rows(s, n)).collect();
+        self.apply_galois_many(a, &elements, gk)
+    }
+
+    /// Inner product against plaintext vectors: `Σ_i ct_i · pt_i` computed
+    /// with a single NTT-domain accumulation — one forward transform per
+    /// ciphertext row and one inverse per output row, instead of the
+    /// forward+inverse per term that `multiply_plain`+`add` chains pay.
+    /// The result is bit-identical to that chain (all arithmetic is exact).
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::Mismatch`] on empty or unequal-length inputs or mixed
+    /// levels; [`HeError::InvalidCiphertext`] unless every ciphertext has 2
+    /// components.
+    pub fn dot_plain(&self, cts: &[Ciphertext], pts: &[Plaintext]) -> Result<Ciphertext, HeError> {
+        if cts.is_empty() || cts.len() != pts.len() {
+            return Err(HeError::Mismatch(format!(
+                "dot_plain needs matching non-empty inputs ({} cts, {} pts)",
+                cts.len(),
+                pts.len()
+            )));
+        }
+        if cts.iter().any(|c| c.size() != 2) {
+            return Err(HeError::InvalidCiphertext(
+                "dot_plain requires 2-component ciphertexts".into(),
+            ));
+        }
+        let rows = cts[0].parts[0].row_count();
+        if cts.iter().any(|c| c.parts[0].row_count() != rows) {
+            return Err(HeError::Mismatch("dot_plain inputs at mixed levels".into()));
+        }
+        let ctx = self.ctx;
+        let basis = &*ctx.level_bases[rows - 1];
+        let n = ctx.degree();
+        if pts.iter().any(|p| p.coeffs().len() != n) {
+            return Err(HeError::Mismatch("plaintext degree mismatch".into()));
+        }
+        let acc: Vec<(Vec<u64>, Vec<u64>)> = par::par_map_range(rows, |i| {
+            let q = basis.primes()[i];
+            let table = &basis.ntt_tables()[i];
+            // Raw u128 accumulation: products stay below 2^122, so 32 terms
+            // fit before a lazy reduction. The modular sum is unique, so the
+            // result is bit-identical to a multiply_plain/add chain.
+            let mut acc0 = vec![0u128; n];
+            let mut acc1 = vec![0u128; n];
+            let mut ct_ntt = vec![0u64; n];
+            let mut pt_ntt = vec![0u64; n];
+            for (term, (ct, pt)) in cts.iter().zip(pts).enumerate() {
+                if term > 0 && term % 32 == 0 {
+                    for v in acc0.iter_mut().chain(acc1.iter_mut()) {
+                        *v %= q as u128;
+                    }
+                }
+                for (dst, &coeff) in pt_ntt.iter_mut().zip(pt.coeffs()) {
+                    *dst = coeff % q;
+                }
+                table.forward(&mut pt_ntt);
+                for (part, acc) in ct.parts.iter().zip([&mut acc0, &mut acc1]) {
+                    ct_ntt.copy_from_slice(part.row(i));
+                    table.forward(&mut ct_ntt);
+                    for ((slot, &cv), &pv) in acc.iter_mut().zip(&ct_ntt).zip(&pt_ntt) {
+                        *slot += cv as u128 * pv as u128;
+                    }
+                }
+            }
+            let reduce = |acc: Vec<u128>| -> Vec<u64> {
+                acc.into_iter().map(|v| (v % q as u128) as u64).collect()
+            };
+            let mut acc0 = reduce(acc0);
+            let mut acc1 = reduce(acc1);
+            table.inverse(&mut acc0);
+            table.inverse(&mut acc1);
+            (acc0, acc1)
+        });
+        let (rows0, rows1): (Vec<_>, Vec<_>) = acc.into_iter().unzip();
+        Ok(Ciphertext {
+            parts: vec![RnsPoly::from_rows(rows0), RnsPoly::from_rows(rows1)],
+        })
+    }
+
+    /// Fused rotate-and-dot: computes `Σ_k rotate_rows(a, s_k) ⊙ pt_k`
+    /// (step 0 meaning `a` itself) with *double hoisting* — the key-switch
+    /// decomposition of `a` is shared by every rotation (first hoisting),
+    /// and the switched terms are summed over the extended ks basis while
+    /// still carrying the special-prime factor `P`, so the whole dot
+    /// product pays a single rounded `mod_down` (second hoisting) instead
+    /// of one per rotation. Everything stays in the NTT domain until the
+    /// final pair of inverse transforms.
+    ///
+    /// Decrypts to exactly the same plaintext as the equivalent
+    /// `rotate_rows` / `multiply_plain` / `add` chain, with *less* noise:
+    /// one key-switch rounding for the sum instead of one scaled by each
+    /// `pt_k` (the ciphertext bits differ for that reason).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::Mismatch`] for empty input or plaintext length
+    /// mismatches, [`HeError::InvalidCiphertext`] unless `a` has exactly two
+    /// components, and [`HeError::MissingGaloisKey`] when a step's key is
+    /// absent from `gk`.
+    pub fn dot_rotations_plain(
+        &self,
+        a: &Ciphertext,
+        pairs: &[(i64, Plaintext)],
+        gk: &GaloisKeys,
+    ) -> Result<Ciphertext, HeError> {
+        if pairs.is_empty() {
+            return Err(HeError::Mismatch("dot_rotations_plain needs terms".into()));
+        }
+        if a.size() != 2 {
+            return Err(HeError::InvalidCiphertext(
+                "dot_rotations_plain requires a 2-component ciphertext".into(),
+            ));
+        }
+        let ctx = self.ctx;
+        let data = &*ctx.data;
+        let ks_basis = &*ctx.full;
+        let n = ctx.degree();
+        if pairs.iter().any(|(_, p)| p.coeffs().len() != n) {
+            return Err(HeError::Mismatch("plaintext degree mismatch".into()));
+        }
+        let rows = data.len();
+        let k = ks_basis.len();
+        let mut c0_ntt = a.parts[0].clone();
+        c0_ntt.ntt_forward(data);
+        let mut c1_ntt = a.parts[1].clone();
+        c1_ntt.ntt_forward(data);
+        let hoisted = hoist_decompose(&a.parts[1], ks_basis, data);
+        // Per ks prime: the P-scaled key-switch sums (sw0, sw1), and for the
+        // data primes also the unswitched sums Σ pt ⊙ perm(c0) / Σ pt ⊙ c1.
+        // u128 slots absorb up to 32 unreduced products (primes < 2^61).
+        struct RowAcc {
+            sw0: Vec<u128>,
+            sw1: Vec<u128>,
+            plain0: Vec<u128>,
+            plain1: Vec<u128>,
+        }
+        let mut acc: Vec<RowAcc> = (0..k)
+            .map(|i| {
+                let data_row = if i < rows { n } else { 0 };
+                RowAcc {
+                    sw0: vec![0u128; n],
+                    sw1: vec![0u128; n],
+                    plain0: vec![0u128; data_row],
+                    plain1: vec![0u128; data_row],
+                }
+            })
+            .collect();
+        for (term, (step, pt)) in pairs.iter().enumerate() {
+            let switched = if *step == 0 {
+                None
+            } else {
+                let element = galois_element_rows(*step, n);
+                let ksk = gk
+                    .keys
+                    .get(&element)
+                    .ok_or(HeError::MissingGaloisKey(element))?;
+                let perm = galois_ntt_permutation(n, element);
+                let (s0, s1) = hoisted_accumulate(&hoisted, Some(&perm), ksk, ks_basis);
+                Some((s0, s1, perm))
+            };
+            let flush = term > 0 && term % 32 == 0;
+            par::par_for_each_mut(&mut acc, |i, row| {
+                let q = ks_basis.primes()[i];
+                if flush {
+                    for v in row
+                        .sw0
+                        .iter_mut()
+                        .chain(row.sw1.iter_mut())
+                        .chain(row.plain0.iter_mut())
+                        .chain(row.plain1.iter_mut())
+                    {
+                        *v %= q as u128;
+                    }
+                }
+                let mut pt_ntt: Vec<u64> = pt.coeffs().iter().map(|&c| c % q).collect();
+                ks_basis.ntt_tables()[i].forward(&mut pt_ntt);
+                match &switched {
+                    None => {
+                        if i < rows {
+                            let (r0, r1) = (c0_ntt.row(i), c1_ntt.row(i));
+                            for c in 0..n {
+                                row.plain0[c] += pt_ntt[c] as u128 * r0[c] as u128;
+                                row.plain1[c] += pt_ntt[c] as u128 * r1[c] as u128;
+                            }
+                        }
+                    }
+                    Some((s0, s1, perm)) => {
+                        let (s0r, s1r) = (s0.row(i), s1.row(i));
+                        for c in 0..n {
+                            row.sw0[c] += pt_ntt[c] as u128 * s0r[c] as u128;
+                            row.sw1[c] += pt_ntt[c] as u128 * s1r[c] as u128;
+                        }
+                        if i < rows {
+                            let r0 = c0_ntt.row(i);
+                            for c in 0..n {
+                                row.plain0[c] += pt_ntt[c] as u128 * r0[perm[c]] as u128;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        // Second hoisting: one rounded mod_down for the whole switched sum.
+        let reduce = |acc: &[u128], q: u64| -> Vec<u64> {
+            acc.iter().map(|&v| (v % q as u128) as u64).collect()
+        };
+        let sw0 = RnsPoly::from_rows(
+            (0..k)
+                .map(|i| reduce(&acc[i].sw0, ks_basis.primes()[i]))
+                .collect(),
+        );
+        let sw1 = RnsPoly::from_rows(
+            (0..k)
+                .map(|i| reduce(&acc[i].sw1, ks_basis.primes()[i]))
+                .collect(),
+        );
+        let m0 = mod_down_ntt(&sw0, ks_basis, data);
+        let m1 = mod_down_ntt(&sw1, ks_basis, data);
+        let out: Vec<(Vec<u64>, Vec<u64>)> = par::par_map_range(rows, |i| {
+            let q = data.primes()[i];
+            let table = &data.ntt_tables()[i];
+            let mut r0 = reduce(&acc[i].plain0, q);
+            let mut r1 = reduce(&acc[i].plain1, q);
+            for (dst, &m) in r0.iter_mut().zip(m0.row(i)) {
+                *dst = add_mod(*dst, m, q);
+            }
+            for (dst, &m) in r1.iter_mut().zip(m1.row(i)) {
+                *dst = add_mod(*dst, m, q);
+            }
+            table.inverse(&mut r0);
+            table.inverse(&mut r1);
+            (r0, r1)
+        });
+        let (rows0, rows1): (Vec<_>, Vec<_>) = out.into_iter().unzip();
+        Ok(Ciphertext {
+            parts: vec![RnsPoly::from_rows(rows0), RnsPoly::from_rows(rows1)],
         })
     }
 

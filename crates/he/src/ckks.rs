@@ -12,7 +12,9 @@
 //! same generator convention as HEAAN/SEAL.
 
 use crate::error::HeError;
-use crate::keyswitch::{apply_ksk, galois_element_ckks, generate_ksk, KswitchKey};
+use crate::keyswitch::{
+    apply_ksk, apply_ksk_hoisted, galois_element_ckks, generate_ksk, hoist_decompose, KswitchKey,
+};
 use crate::params::{HeParams, SchemeType};
 use crate::rnspoly::RnsPoly;
 use choco_math::fft::{fft_forward, fft_inverse, Complex};
@@ -640,6 +642,48 @@ impl CkksContext {
             level: a.level,
             scale: a.scale,
         })
+    }
+
+    /// Rotates the same ciphertext by many step counts with one shared
+    /// ("hoisted") decomposition of `c1` — the fast path for CKKS
+    /// diagonal-method matvec. Each output decrypts identically to
+    /// [`CkksContext::rotate`] with the same noise growth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::MissingGaloisKey`] when the key set lacks any
+    /// rotation, [`HeError::InvalidCiphertext`] for 3-part inputs.
+    pub fn rotate_many(
+        &self,
+        a: &CkksCiphertext,
+        steps: &[i64],
+        gk: &CkksGaloisKeys,
+    ) -> Result<Vec<CkksCiphertext>, HeError> {
+        if a.size() != 2 {
+            return Err(HeError::InvalidCiphertext(
+                "rotation requires a 2-component ciphertext".into(),
+            ));
+        }
+        let basis = self.level_basis(a.level);
+        let ks_basis = &self.ks_bases[a.level - 1];
+        let n = self.degree();
+        let hoisted = hoist_decompose(&a.parts[1], ks_basis, basis);
+        steps
+            .iter()
+            .map(|&s| {
+                let e = galois_element_ckks(s, n);
+                let ksk = gk.keys.get(&e).ok_or(HeError::MissingGaloisKey(e))?;
+                let perm = choco_math::ntt::galois_ntt_permutation(n, e);
+                let (k0, k1) = apply_ksk_hoisted(&hoisted, Some(&perm), ksk, ks_basis, basis);
+                let mut c0 = a.parts[0].galois(e, basis);
+                c0.add_assign_poly(&k0, basis);
+                Ok(CkksCiphertext {
+                    parts: vec![c0, k1],
+                    level: a.level,
+                    scale: a.scale,
+                })
+            })
+            .collect()
     }
 }
 

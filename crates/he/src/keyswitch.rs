@@ -18,7 +18,11 @@
 //! primes plus `P`, and divides by `P` with rounding.
 
 use crate::rnspoly::RnsPoly;
-use choco_math::modops::{add_mod, center, inv_mod, mul_add_mod, mul_mod, reduce_signed};
+use choco_math::modops::{
+    add_mod, center, inv_mod, mul_mod, mul_mod_shoup, reduce_signed, shoup_precompute, sub_mod,
+};
+use choco_math::ntt::apply_galois_ntt;
+use choco_math::par;
 use choco_math::rns::RnsBasis;
 use choco_prng::Blake3Rng;
 
@@ -111,8 +115,40 @@ pub fn apply_ksk(
     ks_basis: &RnsBasis,
     level_basis: &RnsBasis,
 ) -> (RnsPoly, RnsPoly) {
+    let hoisted = hoist_decompose(d_poly, ks_basis, level_basis);
+    apply_ksk_hoisted(&hoisted, None, ksk, ks_basis, level_basis)
+}
+
+/// The NTT-form decomposition digits of a key-switch input, computed once
+/// and reusable across many Galois elements ("hoisting").
+///
+/// Entry `j` holds `NTT_{q_i}([d]_{q_j} mod q_i)` for every prime `q_i` of
+/// the ks basis. Because a Galois automorphism acts on NTT-domain data as a
+/// pure index permutation ([`choco_math::ntt::galois_ntt_permutation`]),
+/// rotating by `r` different steps costs one decomposition + `r` cheap
+/// permute-and-accumulate passes instead of `r` full decompositions.
+#[derive(Debug, Clone)]
+pub struct HoistedDigits {
+    digits: Vec<RnsPoly>,
+    level: usize,
+}
+
+impl HoistedDigits {
+    /// Number of data primes at the level this decomposition was taken.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+}
+
+/// Decomposes `d_poly` into NTT-form digits over `ks_basis` (the expensive
+/// half of key switching: `level · (level+1)` modular reductions + forward
+/// NTTs). The result feeds [`apply_ksk_hoisted`] any number of times.
+pub fn hoist_decompose(
+    d_poly: &RnsPoly,
+    ks_basis: &RnsBasis,
+    level_basis: &RnsBasis,
+) -> HoistedDigits {
     let level = level_basis.len();
-    let n = level_basis.degree();
     assert_eq!(
         d_poly.row_count(),
         level,
@@ -123,39 +159,133 @@ pub fn apply_ksk(
         level + 1,
         "ks basis must add the special prime"
     );
-    assert!(level <= ksk.pairs.len(), "level exceeds key digit count");
-    let k_storage = ksk.full_prime_count;
-
-    // Accumulators in NTT form over the ks basis (level primes + special).
-    let mut acc0 = RnsPoly::zero(level + 1, n);
-    let mut acc1 = RnsPoly::zero(level + 1, n);
-    for j in 0..level {
-        // Digit D_j = [d]_{q_j}, interpreted as an integer polynomial.
+    let digits = par::par_map_range(level, |j| {
+        // Digit D_j = [d]_{q_j}, interpreted as an integer polynomial and
+        // re-reduced into every ks prime.
         let digit = d_poly.row(j);
-        for i in 0..=level {
-            let qi = ks_basis.primes()[i];
-            let storage_row = if i < level { i } else { k_storage - 1 };
-            let mut dmod: Vec<u64> = digit.iter().map(|&x| x % qi).collect();
-            ks_basis.ntt_tables()[i].forward(&mut dmod);
-            let (b_ntt, a_ntt) = &ksk.pairs[j];
-            let b_row = b_ntt.row(storage_row);
-            let a_row = a_ntt.row(storage_row);
-            let acc0_row = acc0.row_mut(i);
-            for (idx, &dv) in dmod.iter().enumerate() {
-                acc0_row[idx] = mul_add_mod(dv, b_row[idx], acc0_row[idx], qi);
-            }
-            let acc1_row = acc1.row_mut(i);
-            for (idx, &dv) in dmod.iter().enumerate() {
-                acc1_row[idx] = mul_add_mod(dv, a_row[idx], acc1_row[idx], qi);
-            }
-        }
-    }
+        let rows = (0..=level)
+            .map(|i| {
+                let qi = ks_basis.primes()[i];
+                let mut dmod: Vec<u64> = digit.iter().map(|&x| x % qi).collect();
+                ks_basis.ntt_tables()[i].forward(&mut dmod);
+                dmod
+            })
+            .collect();
+        RnsPoly::from_rows(rows)
+    });
+    HoistedDigits { digits, level }
+}
+
+/// Applies a key-switching key to pre-decomposed digits, optionally
+/// permuting each digit by a Galois NTT permutation first (`perm = None`
+/// reproduces [`apply_ksk`] bit-for-bit).
+///
+/// With `Some(perm)` for the automorphism `x → x^e`, the permuted digits
+/// are the RNS residues of the *signed* Galois image of each digit (sign
+/// flips act as negation modulo every prime consistently), so the result is
+/// a valid key-switch of the rotated input with the same noise bound as the
+/// naive decompose-after-rotate path — the digit magnitudes are unchanged.
+pub fn apply_ksk_hoisted(
+    hoisted: &HoistedDigits,
+    perm: Option<&[usize]>,
+    ksk: &KswitchKey,
+    ks_basis: &RnsBasis,
+    level_basis: &RnsBasis,
+) -> (RnsPoly, RnsPoly) {
+    let (mut acc0, mut acc1) = hoisted_accumulate(hoisted, perm, ksk, ks_basis);
     acc0.ntt_inverse(ks_basis);
     acc1.ntt_inverse(ks_basis);
     (
         mod_down(&acc0, ks_basis, level_basis),
         mod_down(&acc1, ks_basis, level_basis),
     )
+}
+
+/// Like [`apply_ksk_hoisted`], but keeps the switched pair in the NTT
+/// domain over `level_basis` (exactly the forward transform of the
+/// [`apply_ksk_hoisted`] output — [`mod_down_ntt`] commutes with the NTT).
+/// The fast path for kernels that consume rotations inside further
+/// evaluation-domain arithmetic: only the special-prime row pays an
+/// inverse transform.
+pub fn apply_ksk_hoisted_ntt(
+    hoisted: &HoistedDigits,
+    perm: Option<&[usize]>,
+    ksk: &KswitchKey,
+    ks_basis: &RnsBasis,
+    level_basis: &RnsBasis,
+) -> (RnsPoly, RnsPoly) {
+    let (acc0, acc1) = hoisted_accumulate(hoisted, perm, ksk, ks_basis);
+    (
+        mod_down_ntt(&acc0, ks_basis, level_basis),
+        mod_down_ntt(&acc1, ks_basis, level_basis),
+    )
+}
+
+/// Shared digit-MAC core of the hoisted key-switch paths: accumulates
+/// `Σ_j perm(D_j) · ksk_j` in the NTT domain over the full ks basis. The
+/// result still carries the special-prime factor `P`; callers divide it
+/// out with [`mod_down`] / [`mod_down_ntt`] — immediately, or (second
+/// hoisting) after summing several switched terms, paying one rounding for
+/// the whole sum.
+pub(crate) fn hoisted_accumulate(
+    hoisted: &HoistedDigits,
+    perm: Option<&[usize]>,
+    ksk: &KswitchKey,
+    ks_basis: &RnsBasis,
+) -> (RnsPoly, RnsPoly) {
+    let level = hoisted.level;
+    let n = ks_basis.degree();
+    assert_eq!(
+        ks_basis.len(),
+        level + 1,
+        "ks basis must add the special prime"
+    );
+    assert!(level <= ksk.pairs.len(), "level exceeds key digit count");
+    let k_storage = ksk.full_prime_count;
+
+    // Accumulate in NTT form, one (acc0, acc1) row pair per ks prime. Rows
+    // are independent, so this is the parallel axis; within a row the digit
+    // order matches the sequential implementation, keeping results
+    // bit-identical at any thread count.
+    let rows: Vec<(Vec<u64>, Vec<u64>)> = par::par_map_range(level + 1, |i| {
+        let qi = ks_basis.primes()[i];
+        let storage_row = if i < level { i } else { k_storage - 1 };
+        // Products are < 2^122 (primes stay below 2^61), so 32 of them fit
+        // in a u128 accumulator; reduce lazily instead of per term. The
+        // modular sum is unique, so this is bit-identical to eager
+        // reduction.
+        let mut acc0 = vec![0u128; n];
+        let mut acc1 = vec![0u128; n];
+        let mut scratch = vec![0u64; n];
+        for (j, digit) in hoisted.digits.iter().enumerate() {
+            if j > 0 && j % 32 == 0 {
+                for v in acc0.iter_mut().chain(acc1.iter_mut()) {
+                    *v %= qi as u128;
+                }
+            }
+            let d_row = digit.row(i);
+            let d: &[u64] = match perm {
+                Some(p) => {
+                    apply_galois_ntt(d_row, p, &mut scratch);
+                    &scratch
+                }
+                None => d_row,
+            };
+            let (b_ntt, a_ntt) = &ksk.pairs[j];
+            let b_row = b_ntt.row(storage_row);
+            let a_row = a_ntt.row(storage_row);
+            for (idx, &dv) in d.iter().enumerate() {
+                acc0[idx] += dv as u128 * b_row[idx] as u128;
+                acc1[idx] += dv as u128 * a_row[idx] as u128;
+            }
+        }
+        let reduce = |acc: Vec<u128>| -> Vec<u64> {
+            acc.into_iter().map(|v| (v % qi as u128) as u64).collect()
+        };
+        (reduce(acc0), reduce(acc1))
+    });
+    let (rows0, rows1): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    (RnsPoly::from_rows(rows0), RnsPoly::from_rows(rows1))
 }
 
 /// Divides a polynomial over `ks_basis` (level primes + special prime last)
@@ -166,19 +296,50 @@ pub fn mod_down(x: &RnsPoly, ks_basis: &RnsBasis, level_basis: &RnsBasis) -> Rns
     let n = ks_basis.degree();
     let p = ks_basis.primes()[k - 1];
     let xp = x.row(k - 1);
-    let mut out = RnsPoly::zero(level_basis.len(), n);
-    for i in 0..level_basis.len() {
+    let rows = par::par_map_range(level_basis.len(), |i| {
         let qi = level_basis.primes()[i];
         let inv_p = inv_mod(p % qi, qi);
-        let row = out.row_mut(i);
-        for c in 0..n {
-            let centered = center(xp[c], p);
-            let sub = reduce_signed(centered, qi);
-            let diff = choco_math::modops::sub_mod(x.row(i)[c], sub, qi);
-            row[c] = mul_mod(diff, inv_p, qi);
-        }
-    }
-    out
+        let inv_p_shoup = shoup_precompute(inv_p, qi);
+        let xi = x.row(i);
+        (0..n)
+            .map(|c| {
+                let centered = center(xp[c], p);
+                let sub = reduce_signed(centered, qi);
+                let diff = sub_mod(xi[c], sub, qi);
+                mul_mod_shoup(diff, inv_p, inv_p_shoup, qi)
+            })
+            .collect()
+    });
+    RnsPoly::from_rows(rows)
+}
+
+/// NTT-domain [`mod_down`]: takes `x` in the evaluation domain over the ks
+/// basis and returns the rounded scale-down still in the evaluation domain
+/// over `level_basis`. Because the NTT is linear and the `P^{-1}` scaling
+/// is pointwise, this equals `NTT(mod_down(iNTT(x)))` bit-for-bit while
+/// paying only one inverse transform (the special-prime row, which feeds
+/// the rounding correction) instead of one per row.
+pub fn mod_down_ntt(x: &RnsPoly, ks_basis: &RnsBasis, level_basis: &RnsBasis) -> RnsPoly {
+    let k = ks_basis.len();
+    let p = ks_basis.primes()[k - 1];
+    let mut xp = x.row(k - 1).to_vec();
+    ks_basis.ntt_tables()[k - 1].inverse(&mut xp);
+    let rows = par::par_map_range(level_basis.len(), |i| {
+        let qi = level_basis.primes()[i];
+        let inv_p = inv_mod(p % qi, qi);
+        let inv_p_shoup = shoup_precompute(inv_p, qi);
+        let mut delta: Vec<u64> = xp
+            .iter()
+            .map(|&v| reduce_signed(center(v, p), qi))
+            .collect();
+        level_basis.ntt_tables()[i].forward(&mut delta);
+        let xi = x.row(i);
+        xi.iter()
+            .zip(&delta)
+            .map(|(&xv, &dv)| mul_mod_shoup(sub_mod(xv, dv, qi), inv_p, inv_p_shoup, qi))
+            .collect()
+    });
+    RnsPoly::from_rows(rows)
 }
 
 /// The Galois element for a row rotation by `steps` slots: `3^steps mod 2N`

@@ -6,9 +6,10 @@
 //! the data modulus is simply a prefix of the rows of one modulo the full
 //! modulus, because the key-switching prime is last.
 
-use choco_math::modops::{add_mod, mul_mod, reduce_signed};
+use choco_math::modops::{add_mod, mul_mod, reduce_signed, sub_mod};
+use choco_math::par;
 use choco_math::poly::{
-    add_assign, apply_galois, dyadic_assign, neg_assign, scalar_mul_assign, sub_assign,
+    add_assign, apply_galois, dyadic_acc_assign, neg_assign, scalar_mul_assign, sub_assign,
 };
 use choco_math::rns::RnsBasis;
 use choco_prng::sampler::{sample_error_signed, sample_ternary_signed};
@@ -126,35 +127,36 @@ impl RnsPoly {
     /// `self += rhs` over `basis`.
     pub fn add_assign_poly(&mut self, rhs: &RnsPoly, basis: &RnsBasis) {
         self.check_match(rhs);
-        for (i, &q) in basis.primes().iter().enumerate() {
-            add_assign(&mut self.rows[i], &rhs.rows[i], q);
-        }
+        let primes = basis.primes();
+        par::par_for_each_mut(&mut self.rows, |i, row| {
+            add_assign(row, &rhs.rows[i], primes[i]);
+        });
     }
 
     /// `self -= rhs` over `basis`.
     pub fn sub_assign_poly(&mut self, rhs: &RnsPoly, basis: &RnsBasis) {
         self.check_match(rhs);
-        for (i, &q) in basis.primes().iter().enumerate() {
-            sub_assign(&mut self.rows[i], &rhs.rows[i], q);
-        }
+        let primes = basis.primes();
+        par::par_for_each_mut(&mut self.rows, |i, row| {
+            sub_assign(row, &rhs.rows[i], primes[i]);
+        });
     }
 
     /// `self = -self` over `basis`.
     pub fn neg_assign_poly(&mut self, basis: &RnsBasis) {
-        for (i, &q) in basis.primes().iter().enumerate() {
-            neg_assign(&mut self.rows[i], q);
-        }
+        let primes = basis.primes();
+        par::par_for_each_mut(&mut self.rows, |i, row| {
+            neg_assign(row, primes[i]);
+        });
     }
 
     /// Negacyclic product `self * rhs` over `basis` (NTT per residue).
     pub fn mul_poly(&self, rhs: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
         self.check_match(rhs);
-        let rows = basis
-            .ntt_tables()
-            .iter()
-            .enumerate()
-            .map(|(i, t)| t.negacyclic_mul(&self.rows[i], &rhs.rows[i]))
-            .collect();
+        let tables = basis.ntt_tables();
+        let rows = par::par_map_range(self.rows.len(), |i| {
+            tables[i].negacyclic_mul(&self.rows[i], &rhs.rows[i])
+        });
         RnsPoly { rows }
     }
 
@@ -162,16 +164,13 @@ impl RnsPoly {
     /// coefficients `< t`), reducing the multiplier into each prime.
     pub fn mul_small_poly(&self, plain: &[u64], basis: &RnsBasis) -> RnsPoly {
         assert_eq!(plain.len(), self.degree(), "plaintext degree mismatch");
-        let rows = basis
-            .ntt_tables()
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let q = basis.primes()[i];
-                let reduced: Vec<u64> = plain.iter().map(|&v| v % q).collect();
-                t.negacyclic_mul(&self.rows[i], &reduced)
-            })
-            .collect();
+        let tables = basis.ntt_tables();
+        let primes = basis.primes();
+        let rows = par::par_map_range(self.rows.len(), |i| {
+            let q = primes[i];
+            let reduced: Vec<u64> = plain.iter().map(|&v| v % q).collect();
+            tables[i].negacyclic_mul(&self.rows[i], &reduced)
+        });
         RnsPoly { rows }
     }
 
@@ -179,52 +178,51 @@ impl RnsPoly {
     /// `Δ` is precomputed per residue).
     pub fn scalar_mul_per_row(&mut self, scalars: &[u64], basis: &RnsBasis) {
         assert_eq!(scalars.len(), self.rows.len(), "scalar count mismatch");
-        for (i, &q) in basis.primes().iter().enumerate() {
-            scalar_mul_assign(&mut self.rows[i], scalars[i], q);
-        }
+        let primes = basis.primes();
+        par::par_for_each_mut(&mut self.rows, |i, row| {
+            scalar_mul_assign(row, scalars[i], primes[i]);
+        });
     }
 
     /// Applies the Galois automorphism `x → x^e` to every residue row.
     pub fn galois(&self, e: u64, basis: &RnsBasis) -> RnsPoly {
         let n = self.degree();
-        let rows = basis
-            .primes()
-            .iter()
-            .enumerate()
-            .map(|(i, &q)| {
-                let mut out = vec![0u64; n];
-                apply_galois(&self.rows[i], e, q, &mut out);
-                out
-            })
-            .collect();
+        let primes = basis.primes();
+        let rows = par::par_map_range(self.rows.len(), |i| {
+            let mut out = vec![0u64; n];
+            apply_galois(&self.rows[i], e, primes[i], &mut out);
+            out
+        });
         RnsPoly { rows }
     }
 
     /// Element-wise (already-NTT-form) product accumulate:
     /// `self[i] += a[i] ⊙ b[i]` — helper for key switching where operands
-    /// are kept in the transform domain.
+    /// are kept in the transform domain. Allocation-free: the products feed
+    /// a fused multiply-add directly into the accumulator rows.
     pub fn dyadic_accumulate(&mut self, a: &RnsPoly, b: &RnsPoly, basis: &RnsBasis) {
         self.check_match(a);
         self.check_match(b);
-        for (i, &q) in basis.primes().iter().enumerate() {
-            let mut prod = a.rows[i].clone();
-            dyadic_assign(&mut prod, &b.rows[i], q);
-            add_assign(&mut self.rows[i], &prod, q);
-        }
+        let primes = basis.primes();
+        par::par_for_each_mut(&mut self.rows, |i, row| {
+            dyadic_acc_assign(row, &a.rows[i], &b.rows[i], primes[i]);
+        });
     }
 
     /// Forward NTT on every row.
     pub fn ntt_forward(&mut self, basis: &RnsBasis) {
-        for (i, t) in basis.ntt_tables().iter().enumerate() {
-            t.forward(&mut self.rows[i]);
-        }
+        let tables = basis.ntt_tables();
+        par::par_for_each_mut(&mut self.rows, |i, row| {
+            tables[i].forward(row);
+        });
     }
 
     /// Inverse NTT on every row.
     pub fn ntt_inverse(&mut self, basis: &RnsBasis) {
-        for (i, t) in basis.ntt_tables().iter().enumerate() {
-            t.inverse(&mut self.rows[i]);
-        }
+        let tables = basis.ntt_tables();
+        par::par_for_each_mut(&mut self.rows, |i, row| {
+            tables[i].inverse(row);
+        });
     }
 
     /// Composes coefficient `j` into its centered big-integer value
@@ -248,18 +246,34 @@ impl RnsPoly {
     }
 }
 
-/// Convenience: `out = a + b`.
+/// Convenience: `out = a + b`, built row-wise without an intermediate clone.
 pub fn add(a: &RnsPoly, b: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
-    let mut out = a.clone();
-    out.add_assign_poly(b, basis);
-    out
+    a.check_match(b);
+    let primes = basis.primes();
+    let rows = par::par_map_range(a.rows.len(), |i| {
+        let q = primes[i];
+        a.rows[i]
+            .iter()
+            .zip(&b.rows[i])
+            .map(|(&x, &y)| add_mod(x, y, q))
+            .collect()
+    });
+    RnsPoly { rows }
 }
 
-/// Convenience: `out = a - b`.
+/// Convenience: `out = a - b`, built row-wise without an intermediate clone.
 pub fn sub(a: &RnsPoly, b: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
-    let mut out = a.clone();
-    out.sub_assign_poly(b, basis);
-    out
+    a.check_match(b);
+    let primes = basis.primes();
+    let rows = par::par_map_range(a.rows.len(), |i| {
+        let q = primes[i];
+        a.rows[i]
+            .iter()
+            .zip(&b.rows[i])
+            .map(|(&x, &y)| sub_mod(x, y, q))
+            .collect()
+    });
+    RnsPoly { rows }
 }
 
 /// Scalar helper used during mod-down: `x mod q` for a centered `i64`.

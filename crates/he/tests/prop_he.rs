@@ -215,6 +215,137 @@ fn seeded_encryption_roundtrips_any_vector() {
 }
 
 #[test]
+fn hoisted_rotations_match_naive_per_step() {
+    run_cases("hoisted rotations match naive", 5, |g| {
+        let ctx = bfv_ctx();
+        let t = ctx.plain_modulus();
+        let seed = g.u64();
+        let mut rng = Blake3Rng::from_seed(&seed.to_le_bytes());
+        let keys = ctx.keygen(&mut rng);
+        let steps = vec![1i64, 2, g.i64_in(3, 8)];
+        let gks = ctx
+            .galois_keys(keys.secret_key(), &steps, &mut rng)
+            .unwrap();
+        let encoder = ctx.batch_encoder().unwrap();
+        let values: Vec<u64> = (0..ctx.degree() as u64)
+            .map(|i| i.wrapping_mul(seed | 1) % t)
+            .collect();
+        let ct = ctx
+            .encryptor(keys.public_key())
+            .encrypt(&encoder.encode(&values).unwrap(), &mut rng);
+        let dec = ctx.decryptor(keys.secret_key());
+        let hoisted = ctx.evaluator().rotate_rows_many(&ct, &steps, &gks).unwrap();
+        for (s, h) in steps.iter().zip(&hoisted) {
+            let naive = ctx.evaluator().rotate_rows(&ct, *s, &gks).unwrap();
+            assert_eq!(
+                encoder.decode(&dec.decrypt(h)).unwrap(),
+                encoder.decode(&dec.decrypt(&naive)).unwrap(),
+                "hoisted rotation by {s} decrypts differently"
+            );
+            // Hoisting reorganizes the key switch; it must not cost noise
+            // beyond rounding jitter relative to the per-step path.
+            assert!(
+                dec.invariant_noise_budget(h) >= dec.invariant_noise_budget(&naive) - 1.0,
+                "hoisted rotation by {s} lost noise budget"
+            );
+        }
+    });
+}
+
+#[test]
+fn fused_dot_rotations_matches_rotate_multiply_add_chain() {
+    run_cases("fused dot rotations match chain", 5, |g| {
+        let ctx = bfv_ctx();
+        let t = ctx.plain_modulus();
+        let seed = g.u64();
+        let mut rng = Blake3Rng::from_seed(&seed.to_le_bytes());
+        let keys = ctx.keygen(&mut rng);
+        let steps = [0i64, 1, 2, g.i64_in(3, 8)];
+        let gks = ctx
+            .galois_keys(keys.secret_key(), &steps[1..], &mut rng)
+            .unwrap();
+        let encoder = ctx.batch_encoder().unwrap();
+        let values: Vec<u64> = (0..ctx.degree() as u64).map(|i| (i ^ seed) % t).collect();
+        let ct = ctx
+            .encryptor(keys.public_key())
+            .encrypt(&encoder.encode(&values).unwrap(), &mut rng);
+        let eval = ctx.evaluator();
+        let pairs: Vec<_> = steps
+            .iter()
+            .enumerate()
+            .map(|(j, &s)| {
+                let w: Vec<u64> = (0..ctx.degree() as u64)
+                    .map(|i| (i.wrapping_add(j as u64).wrapping_add(seed >> 7)) % 32)
+                    .collect();
+                (s, encoder.encode(&w).unwrap())
+            })
+            .collect();
+        let fused = eval.dot_rotations_plain(&ct, &pairs, &gks).unwrap();
+        let mut chain: Option<choco_he::bfv::Ciphertext> = None;
+        for (s, pt) in &pairs {
+            let rot = if *s == 0 {
+                ct.clone()
+            } else {
+                eval.rotate_rows(&ct, *s, &gks).unwrap()
+            };
+            let term = eval.multiply_plain(&rot, pt);
+            chain = Some(match chain {
+                None => term,
+                Some(c) => eval.add(&c, &term).unwrap(),
+            });
+        }
+        let chain = chain.unwrap();
+        let dec = ctx.decryptor(keys.secret_key());
+        assert_eq!(
+            encoder.decode(&dec.decrypt(&fused)).unwrap(),
+            encoder.decode(&dec.decrypt(&chain)).unwrap(),
+            "fused dot decrypts differently"
+        );
+        // Second hoisting rounds once for the whole sum, so the fused path
+        // must be at least as healthy as the chain (up to estimator jitter).
+        assert!(
+            dec.invariant_noise_budget(&fused) >= dec.invariant_noise_budget(&chain) - 1.0,
+            "fused dot lost noise budget"
+        );
+    });
+}
+
+#[test]
+fn parallel_and_sequential_evaluation_bit_identical() {
+    run_cases("parallel evaluation bit identical", 3, |g| {
+        let seed = g.u64();
+        let pipeline = |threads: usize| {
+            choco_math::par::set_num_threads(threads);
+            let ctx = bfv_ctx();
+            let t = ctx.plain_modulus();
+            let mut rng = Blake3Rng::from_seed(&seed.to_le_bytes());
+            let keys = ctx.keygen(&mut rng);
+            let gks = ctx
+                .galois_keys(keys.secret_key(), &[1, 3], &mut rng)
+                .unwrap();
+            let encoder = ctx.batch_encoder().unwrap();
+            let values: Vec<u64> = (0..ctx.degree() as u64)
+                .map(|i| i.wrapping_add(seed) % t)
+                .collect();
+            let pt = encoder.encode(&values).unwrap();
+            let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
+            let prod = ctx.evaluator().multiply_plain(&ct, &pt);
+            let rots = ctx
+                .evaluator()
+                .rotate_rows_many(&prod, &[1, 3], &gks)
+                .unwrap();
+            let out = ctx.evaluator().add(&rots[0], &rots[1]).unwrap();
+            choco_math::par::set_num_threads(0); // restore the default
+            out
+        };
+        let seq = pipeline(1);
+        assert_eq!(seq, pipeline(2), "2 worker threads diverged");
+        let max = choco_math::par::num_threads().max(2);
+        assert_eq!(seq, pipeline(max), "{max} worker threads diverged");
+    });
+}
+
+#[test]
 fn bfv_noise_budget_never_increases_under_ops() {
     run_cases("noise budget monotone", 12, |g| {
         let ctx = bfv_ctx();

@@ -12,6 +12,8 @@
 //! * Residue Number System bases with CRT composition ([`rns`])
 //! * a complex FFT for the CKKS canonical embedding ([`fft`])
 //! * polynomial helpers over a single modulus ([`poly`])
+//! * a dependency-free scoped-thread worker pool for slice-parallel kernels
+//!   ([`par`])
 //!
 //! Everything is implemented from scratch; no external arithmetic crates are
 //! used so that the whole cryptographic stack is auditable in-repo.
@@ -38,6 +40,7 @@ pub mod bigint;
 pub mod fft;
 pub mod modops;
 pub mod ntt;
+pub mod par;
 pub mod poly;
 pub mod prime;
 pub mod rns;

@@ -116,12 +116,48 @@ pub fn shoup_precompute(b: u64, q: u64) -> u64 {
 /// `b_shoup`) modulo `q`. Result is in `[0, q)` when `q < 2^63`.
 #[inline(always)]
 pub fn mul_mod_shoup(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
-    let hi = ((a as u128 * b_shoup as u128) >> 64) as u64;
-    let r = (a.wrapping_mul(b)).wrapping_sub(hi.wrapping_mul(q));
+    let r = mul_mod_shoup_lazy(a, b, b_shoup, q);
     if r >= q {
         r - q
     } else {
         r
+    }
+}
+
+/// Lazy Shoup multiplication: returns a value congruent to `a·b mod q` in
+/// the **half-reduced** range `[0, 2q)`, skipping the final conditional
+/// subtraction. This is the Harvey-NTT workhorse: butterflies keep operands
+/// in `[0, 4q)` and only correct at the very end.
+///
+/// `b` must be reduced (`< q`); `a` may be any `u64` (in particular a lazy
+/// value in `[0, 4q)`). Requires `q < 2^63` so `2q` fits in a `u64`.
+#[inline(always)]
+pub fn mul_mod_shoup_lazy(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
+    debug_assert!(b < q && q < (1 << 63));
+    let hi = ((a as u128 * b_shoup as u128) >> 64) as u64;
+    a.wrapping_mul(b).wrapping_sub(hi.wrapping_mul(q))
+}
+
+/// Final correction for a lazy value in `[0, 4q)`: reduces into `[0, q)`.
+#[inline(always)]
+pub fn reduce_4q(a: u64, q: u64) -> u64 {
+    debug_assert!(a < 4 * q);
+    let a = if a >= 2 * q { a - 2 * q } else { a };
+    if a >= q {
+        a - q
+    } else {
+        a
+    }
+}
+
+/// Final correction for a lazy value in `[0, 2q)`: reduces into `[0, q)`.
+#[inline(always)]
+pub fn reduce_2q(a: u64, q: u64) -> u64 {
+    debug_assert!(a < 2 * q);
+    if a >= q {
+        a - q
+    } else {
+        a
     }
 }
 
@@ -208,6 +244,28 @@ mod tests {
         let bs = shoup_precompute(b, Q);
         for a in [0u64, 1, 999, Q - 1, Q / 2] {
             assert_eq!(mul_mod_shoup(a, b, bs, Q), mul_mod(a, b, Q));
+        }
+    }
+
+    #[test]
+    fn lazy_shoup_is_congruent_and_half_reduced() {
+        let b = 987_654_321_123_u64 % Q;
+        let bs = shoup_precompute(b, Q);
+        // Lazy inputs may sit anywhere in [0, 4q).
+        for a in [0u64, 1, Q - 1, Q, 2 * Q - 1, 2 * Q + 5, 4 * Q - 1] {
+            let r = mul_mod_shoup_lazy(a, b, bs, Q);
+            assert!(r < 2 * Q, "lazy result out of range: {r}");
+            assert_eq!(r % Q, mul_mod(a % Q, b, Q));
+        }
+    }
+
+    #[test]
+    fn lazy_corrections_reduce() {
+        for a in [0u64, 1, Q - 1, Q, 2 * Q - 1] {
+            assert_eq!(reduce_2q(a, Q), a % Q);
+        }
+        for a in [0u64, Q, 2 * Q, 3 * Q + 7, 4 * Q - 1] {
+            assert_eq!(reduce_4q(a, Q), a % Q);
         }
     }
 

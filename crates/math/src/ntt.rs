@@ -8,8 +8,20 @@
 //! `INTT(NTT(a) ⊙ NTT(b))` is exactly the product of `a` and `b` in
 //! `Z_q[x]/(x^N + 1)`.
 
-use crate::modops::{add_mod, inv_mod, mul_mod, mul_mod_shoup, shoup_precompute, sub_mod};
+use crate::modops::{
+    add_mod, inv_mod, mul_mod, mul_mod_shoup, mul_mod_shoup_lazy, reduce_4q, shoup_precompute,
+    sub_mod,
+};
 use crate::prime::{is_prime, primitive_nth_root};
+
+/// Upper bound (exclusive) on NTT moduli: `q < 2^61`.
+///
+/// The lazy-reduction (Harvey) butterflies hold intermediate values in
+/// `[0, 4q)`, which must fit a `u64` — that alone needs `q < 2^62`. We
+/// enforce the stricter `q < 2^61` so every lazy intermediate also has a
+/// spare headroom bit (and `2q` sums stay far from wraparound), matching
+/// SEAL's "up to 60/61-bit primes" convention.
+pub const MAX_NTT_MODULUS_BITS: u32 = 61;
 
 /// Precomputed tables for a negacyclic NTT of size `n` over prime `q`.
 ///
@@ -67,6 +79,9 @@ impl NttTable {
     pub fn new(n: usize, q: u64) -> Result<Self, NttError> {
         if !n.is_power_of_two() || n < 2 {
             return Err(NttError::InvalidSize(n));
+        }
+        if q >= 1 << MAX_NTT_MODULUS_BITS {
+            return Err(NttError::UnsupportedModulus(q));
         }
         if !is_prime(q) || !(q - 1).is_multiple_of(2 * n as u64) {
             return Err(NttError::UnsupportedModulus(q));
@@ -127,10 +142,102 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT.
     ///
+    /// Uses lazy (Harvey) reduction: butterflies keep values in `[0, 4q)`
+    /// and a single correction pass reduces to `[0, q)` at the end, so the
+    /// output is bit-identical to [`Self::forward_strict`].
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.size()`.
     pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "ntt input length mismatch");
+        let q = self.q;
+        let two_q = 2 * q;
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_rev[m + i];
+                let s_sh = self.psi_rev_shoup[m + i];
+                for j in j1..j1 + t {
+                    // Harvey butterfly: u in [0, 2q) after the conditional
+                    // subtraction, v in [0, 2q) from the lazy Shoup multiply;
+                    // both outputs land in [0, 4q).
+                    let mut u = a[j];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = mul_mod_shoup_lazy(a[j + t], s, s_sh, q);
+                    a[j] = u + v;
+                    a[j + t] = u + two_q - v;
+                }
+            }
+            m <<= 1;
+        }
+        for x in a.iter_mut() {
+            *x = reduce_4q(*x, q);
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (includes the `1/n` scaling).
+    ///
+    /// Uses lazy (Harvey) reduction: values stay in `[0, 2q)` between
+    /// stages and the final `1/n` scaling multiply fully reduces, so the
+    /// output is bit-identical to [`Self::inverse_strict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.size()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "intt input length mismatch");
+        let q = self.q;
+        let two_q = 2 * q;
+        let n = self.n;
+        let mut t = 1;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0;
+            for i in 0..h {
+                let s = self.inv_psi_rev[h + i];
+                let s_sh = self.inv_psi_rev_shoup[h + i];
+                for j in j1..j1 + t {
+                    // Gentleman–Sande butterfly on values in [0, 2q):
+                    // the sum is conditionally reduced back below 2q, the
+                    // difference (offset by 2q to stay non-negative) feeds
+                    // the lazy multiply which re-enters [0, 2q).
+                    let u = a[j];
+                    let v = a[j + t];
+                    let mut sum = u + v;
+                    if sum >= two_q {
+                        sum -= two_q;
+                    }
+                    a[j] = sum;
+                    a[j + t] = mul_mod_shoup_lazy(u + two_q - v, s, s_sh, q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            // Full Shoup reduction folds the [0, 2q) slack away.
+            *x = mul_mod_shoup(*x, self.n_inv, self.n_inv_shoup, q);
+        }
+    }
+
+    /// Strict-reduction forward NTT: every butterfly fully reduces.
+    ///
+    /// Kept as the reference implementation the lazy [`Self::forward`] is
+    /// property-tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.size()`.
+    pub fn forward_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "ntt input length mismatch");
         let q = self.q;
         let n = self.n;
@@ -153,12 +260,14 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT (includes the `1/n` scaling).
+    /// Strict-reduction inverse NTT (includes the `1/n` scaling).
+    ///
+    /// Reference implementation for [`Self::inverse`].
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.size()`.
-    pub fn inverse(&self, a: &mut [u64]) {
+    pub fn inverse_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "intt input length mismatch");
         let q = self.q;
         let n = self.n;
@@ -197,6 +306,53 @@ impl NttTable {
         }
         self.inverse(&mut fa);
         fa
+    }
+}
+
+/// Precomputes the index permutation realising the Galois automorphism
+/// `x → x^e` directly on NTT-domain (evaluation-form) data.
+///
+/// With the Longa–Naehrig layout, slot `j` of a forward transform holds the
+/// evaluation at `ψ^{2·br(j)+1}` (`br` = bit reversal over `log2 n` bits).
+/// The automorphism permutes those evaluation points — there are **no sign
+/// flips** in the NTT domain — so `out[j] = in[perm[j]]` with
+/// `perm[j] = br((((2·br(j)+1)·e mod 2n) − 1) / 2)`.
+///
+/// This is what makes rotation hoisting cheap: applying a Galois element to
+/// already-transformed key-switch digits is a pure gather.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two `>= 2` or `e` is even.
+pub fn galois_ntt_permutation(n: usize, e: u64) -> Vec<usize> {
+    assert!(n.is_power_of_two() && n >= 2, "invalid ntt size {n}");
+    assert!(e % 2 == 1, "galois element must be odd");
+    let log_n = n.trailing_zeros();
+    let m = 2 * n as u64;
+    (0..n)
+        .map(|j| {
+            let exp = ((2 * bit_reverse(j, log_n) as u64 + 1) * e) % m;
+            bit_reverse(((exp - 1) / 2) as usize, log_n)
+        })
+        .collect()
+}
+
+/// Applies a permutation from [`galois_ntt_permutation`] to NTT-domain
+/// values: `out[j] = values[perm[j]]`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+#[inline]
+pub fn apply_galois_ntt(values: &[u64], perm: &[usize], out: &mut [u64]) {
+    assert_eq!(
+        values.len(),
+        perm.len(),
+        "galois permutation length mismatch"
+    );
+    assert_eq!(values.len(), out.len(), "galois output length mismatch");
+    for (o, &p) in out.iter_mut().zip(perm) {
+        *o = values[p];
     }
 }
 
@@ -301,6 +457,65 @@ mod tests {
             NttTable::new(64, 97).unwrap_err(),
             NttError::UnsupportedModulus(97)
         );
+    }
+
+    #[test]
+    fn lazy_transforms_match_strict_bitwise() {
+        for n in [8usize, 64, 512] {
+            for bits in [30u32, 45, 58] {
+                let q = generate_ntt_primes(bits, n, 1)[0];
+                let t = NttTable::new(n, q).unwrap();
+                let orig: Vec<u64> = (0..n as u64).map(|i| (i * i * 37 + 11) % q).collect();
+                let mut lazy = orig.clone();
+                let mut strict = orig.clone();
+                t.forward(&mut lazy);
+                t.forward_strict(&mut strict);
+                assert_eq!(lazy, strict, "forward n={n} bits={bits}");
+                t.inverse(&mut lazy);
+                t.inverse_strict(&mut strict);
+                assert_eq!(lazy, strict, "inverse n={n} bits={bits}");
+                assert_eq!(lazy, orig, "roundtrip n={n} bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_modulus() {
+        // 2^62 + small is well above the q < 2^61 lazy-reduction bound; the
+        // size/bound checks fire before primality is even consulted.
+        let q = (1u64 << 62) + 1;
+        assert_eq!(
+            NttTable::new(8, q).unwrap_err(),
+            NttError::UnsupportedModulus(q)
+        );
+    }
+
+    #[test]
+    fn galois_ntt_permutation_matches_coefficient_galois() {
+        use crate::poly::apply_galois;
+        let n = 64;
+        let t = table(n);
+        let q = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 91 + 3) % q).collect();
+        for e in [1u64, 3, 5, 2 * n as u64 - 1, 9, 127] {
+            // Path 1: automorphism in coefficient domain, then NTT.
+            let mut coeff = vec![0u64; n];
+            apply_galois(&a, e, q, &mut coeff);
+            t.forward(&mut coeff);
+            // Path 2: NTT, then pure permutation.
+            let mut eval = a.clone();
+            t.forward(&mut eval);
+            let perm = galois_ntt_permutation(n, e);
+            let mut permuted = vec![0u64; n];
+            apply_galois_ntt(&eval, &perm, &mut permuted);
+            assert_eq!(permuted, coeff, "galois element {e}");
+        }
+    }
+
+    #[test]
+    fn galois_ntt_permutation_identity() {
+        let perm = galois_ntt_permutation(16, 1);
+        assert_eq!(perm, (0..16).collect::<Vec<_>>());
     }
 
     #[test]

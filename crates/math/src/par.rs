@@ -1,0 +1,230 @@
+//! A dependency-free scoped-thread worker pool for the HE hot paths.
+//!
+//! The repo's offline-build constraint rules out rayon, so this module
+//! provides the minimal slice-parallel primitives the kernel layers need,
+//! built on `std::thread::scope`. Work is split into one contiguous chunk
+//! per worker, each chunk owning a disjoint sub-slice, so the result is
+//! **bit-identical** to the sequential order regardless of thread count:
+//! every item is computed by exactly the same pure function and written to
+//! exactly the same slot.
+//!
+//! The worker count comes from, in priority order:
+//!
+//! 1. [`set_num_threads`] (programmatic override, used by benches/tests),
+//! 2. the `CHOCO_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With one worker every primitive degrades to a plain sequential loop (no
+//! threads are spawned). Nested parallelism is suppressed: a task already
+//! running on a pool worker executes further `par_*` calls sequentially, so
+//! batching at the ciphertext level composes with per-residue parallelism
+//! without spawning `threads²` workers.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hard cap on the worker count (sanity bound for `CHOCO_THREADS`).
+pub const MAX_THREADS: usize = 256;
+
+/// Programmatic override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment/hardware default, resolved once.
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// True while the current thread is a pool worker (suppresses nesting).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    *DEFAULT.get_or_init(|| {
+        std::env::var("CHOCO_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .min(MAX_THREADS)
+    })
+}
+
+/// The worker count `par_*` primitives will use on this thread right now.
+///
+/// Returns 1 inside a pool worker (nested parallelism is sequential).
+pub fn num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the worker count process-wide; `0` restores the
+/// `CHOCO_THREADS`/hardware default. Values are clamped to
+/// `[1, MAX_THREADS]` (except the reset value 0).
+pub fn set_num_threads(n: usize) {
+    let v = if n == 0 { 0 } else { n.min(MAX_THREADS) };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Applies `f(index, item)` to every item, splitting the slice across the
+/// pool. Each worker owns a disjoint contiguous chunk, so the output is
+/// bit-identical to the sequential loop for any thread count.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (c, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for (i, item) in slice.iter_mut().enumerate() {
+                    f(c * chunk + i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Maps `f(index, item)` over the slice in parallel, preserving order.
+pub fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (c, (in_chunk, out_chunk)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let f = &f;
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for (i, (x, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(c * chunk + i, x));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("par_map: every slot is written by exactly one worker"))
+        .collect()
+}
+
+/// Maps `f(i)` over `0..count` in parallel, preserving order. Convenience
+/// for loops indexed by residue/row number rather than by a slice.
+pub fn par_map_range<O, F>(count: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let threads = num_threads().min(count);
+    if threads <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let chunk = count.div_ceil(threads);
+    let mut out: Vec<Option<O>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (c, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for (i, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(c * chunk + i));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("par_map_range: every slot is written by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let base: Vec<u64> = (0..1000).collect();
+        for threads in [1usize, 2, 4, 7] {
+            set_num_threads(threads);
+            let mut a = base.clone();
+            par_for_each_mut(&mut a, |i, x| {
+                *x = x.wrapping_mul(31).wrapping_add(i as u64)
+            });
+            let mapped = par_map(&base, |i, &x| x.wrapping_mul(31).wrapping_add(i as u64));
+            let ranged = par_map_range(base.len(), |i| {
+                base[i].wrapping_mul(31).wrapping_add(i as u64)
+            });
+            set_num_threads(1);
+            let expect: Vec<u64> = base
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| x.wrapping_mul(31).wrapping_add(i as u64))
+                .collect();
+            assert_eq!(a, expect, "for_each_mut with {threads} threads");
+            assert_eq!(mapped, expect, "map with {threads} threads");
+            assert_eq!(ranged, expect, "map_range with {threads} threads");
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        set_num_threads(4);
+        let mut empty: Vec<u64> = vec![];
+        par_for_each_mut(&mut empty, |_, _| unreachable!());
+        assert!(par_map(&empty, |_, &x: &u64| x).is_empty());
+        assert!(par_map_range(0, |i| i).is_empty());
+        let mut one = vec![5u64];
+        par_for_each_mut(&mut one, |_, x| *x += 1);
+        assert_eq!(one, vec![6]);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially() {
+        set_num_threads(4);
+        let outer: Vec<usize> = (0..8).collect();
+        // The inner par_map must not deadlock or explode: inside a worker it
+        // degrades to a sequential loop.
+        let result = par_map(&outer, |_, &x| {
+            let inner: Vec<usize> = (0..4).collect();
+            par_map(&inner, |_, &y| x * 10 + y).iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = outer.iter().map(|&x| 4 * (x * 10) + 6).collect();
+        assert_eq!(result, expect);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn override_clamps_and_resets() {
+        set_num_threads(100_000);
+        assert_eq!(num_threads(), MAX_THREADS);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -4,7 +4,7 @@
 //! modulo `q`; the ring structure (`x^N + 1`) is supplied by the caller via
 //! [`crate::ntt::NttTable`] where products are needed.
 
-use crate::modops::{add_mod, mul_mod, neg_mod, sub_mod};
+use crate::modops::{add_mod, mul_add_mod, mul_mod, neg_mod, sub_mod};
 
 /// `a += b (mod q)` element-wise.
 ///
@@ -46,6 +46,20 @@ pub fn dyadic_assign(a: &mut [u64], b: &[u64], q: u64) {
     assert_eq!(a.len(), b.len(), "polynomial length mismatch");
     for (x, &y) in a.iter_mut().zip(b) {
         *x = mul_mod(*x, y, q);
+    }
+}
+
+/// `acc += a ⊙ b (mod q)`: fused dyadic multiply-accumulate, the inner step
+/// of evaluation-form inner products. Avoids materialising the product.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dyadic_acc_assign(acc: &mut [u64], a: &[u64], b: &[u64], q: u64) {
+    assert_eq!(acc.len(), a.len(), "polynomial length mismatch");
+    assert_eq!(acc.len(), b.len(), "polynomial length mismatch");
+    for ((x, &y), &z) in acc.iter_mut().zip(a).zip(b) {
+        *x = mul_add_mod(y, z, *x, q);
     }
 }
 

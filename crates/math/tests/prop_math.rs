@@ -3,7 +3,9 @@
 
 use choco_math::bigint::UBig;
 use choco_math::modops::{add_mod, center, inv_mod, mul_mod, pow_mod, sub_mod};
-use choco_math::ntt::NttTable;
+use choco_math::ntt::{apply_galois_ntt, galois_ntt_permutation, NttTable};
+use choco_math::par;
+use choco_math::poly::apply_galois;
 use choco_math::prime::generate_ntt_primes;
 use choco_math::rns::RnsBasis;
 use choco_quickprop::run_cases;
@@ -144,6 +146,80 @@ fn ntt_mul_commutes() {
             .map(|i| (i.wrapping_add(seed >> 3)) % q)
             .collect();
         assert_eq!(table.negacyclic_mul(&a, &b), table.negacyclic_mul(&b, &a));
+    });
+}
+
+#[test]
+fn lazy_ntt_matches_strict_on_random_polys() {
+    run_cases("lazy ntt matches strict", 24, |g| {
+        let n = 1usize << g.usize_in(5, 10); // 32..512
+        let bits = g.u64_in(30, 61) as u32;
+        let q = generate_ntt_primes(bits, n, 1)[0];
+        let table = NttTable::new(n, q).unwrap();
+        let orig = g.vec_u64_below(n, q);
+
+        let mut lazy = orig.clone();
+        let mut strict = orig.clone();
+        table.forward(&mut lazy);
+        table.forward_strict(&mut strict);
+        assert_eq!(lazy, strict, "forward diverged (n={n}, q={q})");
+
+        table.inverse(&mut lazy);
+        table.inverse_strict(&mut strict);
+        assert_eq!(lazy, strict, "inverse diverged (n={n}, q={q})");
+        assert_eq!(lazy, orig, "roundtrip lost data (n={n}, q={q})");
+    });
+}
+
+#[test]
+fn galois_ntt_permutation_matches_coefficient_automorphism() {
+    run_cases("galois ntt permutation", 24, |g| {
+        let n = 1usize << g.usize_in(4, 9); // 16..256
+        let q = generate_ntt_primes(45, n, 1)[0];
+        let table = NttTable::new(n, q).unwrap();
+        let e = 2 * g.u64_below(n as u64) + 1; // odd element in [1, 2n)
+        let a = g.vec_u64_below(n, q);
+
+        // Coefficient-domain automorphism, then NTT.
+        let mut coeff = vec![0u64; n];
+        apply_galois(&a, e, q, &mut coeff);
+        table.forward(&mut coeff);
+
+        // NTT, then the pure evaluation-domain permutation.
+        let mut ntt = a.clone();
+        table.forward(&mut ntt);
+        let perm = galois_ntt_permutation(n, e);
+        let mut permuted = vec![0u64; n];
+        apply_galois_ntt(&ntt, &perm, &mut permuted);
+
+        assert_eq!(coeff, permuted, "galois mismatch (n={n}, e={e})");
+    });
+}
+
+#[test]
+fn parallel_primitives_match_sequential_at_any_thread_count() {
+    // The workspace invariant: results are bit-identical no matter how many
+    // worker threads run, because each worker owns a contiguous chunk.
+    run_cases("parallel matches sequential", 12, |g| {
+        let len = g.usize_in(1, 300);
+        let q = 1_152_921_504_606_830_593u64;
+        let data = g.vec_u64_below(len, q);
+
+        let expect_map: Vec<u64> = data.iter().map(|&x| mul_mod(x, x, q)).collect();
+        let mut expect_each = data.clone();
+        for (i, v) in expect_each.iter_mut().enumerate() {
+            *v = add_mod(*v, i as u64 % q, q);
+        }
+
+        for threads in [1usize, 2, par::num_threads().max(2)] {
+            par::set_num_threads(threads);
+            let mapped = par::par_map_range(len, |i| mul_mod(data[i], data[i], q));
+            assert_eq!(mapped, expect_map, "par_map_range at {threads} threads");
+            let mut each = data.clone();
+            par::par_for_each_mut(&mut each, |i, v| *v = add_mod(*v, i as u64 % q, q));
+            assert_eq!(each, expect_each, "par_for_each_mut at {threads} threads");
+        }
+        par::set_num_threads(0); // restore the environment default
     });
 }
 
