@@ -24,6 +24,14 @@ CHOCO_THREADS=4 cargo test -q -p choco-he --test prop_he
 echo "==> kernel bench reporter (smoke mode)"
 cargo run --release -q -p choco-bench --bin bench_kernels -- --smoke --json /tmp/bench_kernels_smoke.json
 
+echo "==> choco-lint (secret-independence, lazy-reduction, panic/unsafe audit)"
+# The committed lint.toml pins every allowlisted site by exact count; any
+# drift (new or removed sites) fails here. To regenerate after an audited
+# change: cargo run --release -q -p choco-lint -- --fix-allowlist, then
+# review the diff (git diff lint.toml) and replace any TODO reasons before
+# committing.
+cargo run --release -q -p choco-lint -- --workspace
+
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 

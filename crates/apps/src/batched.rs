@@ -19,7 +19,7 @@ use choco_he::HeError;
 /// Communication bytes *per input* for a batched boundary carrying
 /// `elements` values with `batch` inputs amortizing each ciphertext.
 pub fn batched_comm_per_input(elements: usize, batch: usize, params: &HeParams) -> f64 {
-    assert!(batch >= 1);
+    let batch = batch.max(1);
     elements as f64 * params.ciphertext_bytes() as f64 / batch as f64
 }
 
@@ -43,11 +43,8 @@ pub fn batched_breakeven(elements: usize, packed_cts: usize, params: &HeParams) 
 ///
 /// # Errors
 ///
-/// Propagates HE errors.
-///
-/// # Panics
-///
-/// Panics if the batch exceeds the slot count or inputs are ragged.
+/// Propagates HE errors; an empty batch, ragged inputs/weights, or a batch
+/// exceeding the slot capacity are reported as [`HeError::Mismatch`].
 pub fn batched_matvec(
     client: &mut BfvClient,
     server: &BfvServer,
@@ -56,13 +53,21 @@ pub fn batched_matvec(
     weights: &[Vec<u64>],
 ) -> Result<Vec<Vec<u64>>, HeError> {
     let batch = inputs.len();
-    assert!(batch >= 1, "need at least one input");
+    if batch == 0 {
+        return Err(HeError::Mismatch("need at least one input".into()));
+    }
     let n = inputs[0].len();
-    assert!(inputs.iter().all(|x| x.len() == n), "ragged inputs");
+    if inputs.iter().any(|x| x.len() != n) {
+        return Err(HeError::Mismatch("ragged inputs".into()));
+    }
     let m = weights.len();
-    assert!(weights.iter().all(|w| w.len() == n), "ragged weights");
+    if weights.iter().any(|w| w.len() != n) {
+        return Err(HeError::Mismatch("ragged weights".into()));
+    }
     let row = client.context().degree() / 2;
-    assert!(batch <= row, "batch exceeds slot capacity");
+    if batch > row {
+        return Err(HeError::Mismatch("batch exceeds slot capacity".into()));
+    }
 
     // Client: one ciphertext per feature, batch across slots.
     let mut feature_cts = Vec::with_capacity(n);

@@ -82,6 +82,25 @@ fn block_stride(dims: usize) -> usize {
     dims.next_power_of_two()
 }
 
+/// Rejects empty or ragged inputs before any packing arithmetic runs.
+fn validate_point_set(query: &[f64], points: &[Vec<f64>]) -> Result<(), HeError> {
+    if points.is_empty() {
+        return Err(HeError::Mismatch(
+            "need at least one reference point".into(),
+        ));
+    }
+    if query.is_empty() {
+        return Err(HeError::Mismatch("need at least one dimension".into()));
+    }
+    let d = query.len();
+    if points.iter().any(|p| p.len() != d) {
+        return Err(HeError::Mismatch(format!(
+            "ragged point set: all points must have {d} dimensions"
+        )));
+    }
+    Ok(())
+}
+
 /// Computes squared distances with the requested packing variant.
 ///
 /// `query` has `d` coordinates; `points` is `n` reference points of the same
@@ -89,12 +108,9 @@ fn block_stride(dims: usize) -> usize {
 ///
 /// # Errors
 ///
-/// Propagates HE errors (capacity, missing keys).
-///
-/// # Panics
-///
-/// Panics if the chosen packing exceeds the ciphertext capacity or the
-/// point set is empty/ragged.
+/// Propagates HE errors (capacity, missing keys); empty or ragged point sets
+/// and packings that exceed the ciphertext capacity are reported as
+/// [`HeError::Mismatch`].
 pub fn encrypted_distances(
     variant: PackingVariant,
     client: &mut CkksClient,
@@ -102,10 +118,7 @@ pub fn encrypted_distances(
     query: &[f64],
     points: &[Vec<f64>],
 ) -> Result<DistanceResult, HeError> {
-    assert!(!points.is_empty(), "need at least one reference point");
-    assert!(!query.is_empty(), "need at least one dimension");
-    let d = query.len();
-    assert!(points.iter().all(|p| p.len() == d), "ragged points");
+    validate_point_set(query, points)?;
     match variant {
         PackingVariant::PointMajor | PackingVariant::StackedPointMajor => {
             point_major(client, server, query, points, false)
@@ -127,19 +140,16 @@ pub fn encrypted_distances(
 /// Typed [`TransportError`]s when the link defeats the retry budget;
 /// HE-layer failures wrapped in [`TransportError::He`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// As [`encrypted_distances`].
+/// As [`encrypted_distances`], plus transport failures.
 pub fn encrypted_distances_resilient(
     variant: PackingVariant,
     session: &mut CkksResilientSession,
     query: &[f64],
     points: &[Vec<f64>],
 ) -> Result<DistanceResult, TransportError> {
-    assert!(!points.is_empty(), "need at least one reference point");
-    assert!(!query.is_empty(), "need at least one dimension");
-    let d = query.len();
-    assert!(points.iter().all(|p| p.len() == d), "ragged points");
+    validate_point_set(query, points)?;
     let before = *session.ledger();
     let mut res = match variant {
         PackingVariant::PointMajor | PackingVariant::StackedPointMajor => {
@@ -274,7 +284,11 @@ fn point_major(
     let n = points.len();
     let stride = block_stride(query.len());
     let slots = client.context().slot_count();
-    assert!(n * stride <= slots, "point-major packing exceeds capacity");
+    if n * stride > slots {
+        return Err(HeError::Mismatch(
+            "point-major packing exceeds ciphertext capacity".into(),
+        ));
+    }
 
     let mut ledger = CommLedger::new();
     let ct = client.encrypt_values(&point_major_qslots(query, n, stride))?;
@@ -303,7 +317,11 @@ fn point_major_resilient(
     let n = points.len();
     let stride = block_stride(query.len());
     let slots = session.server().context().slot_count();
-    assert!(n * stride <= slots, "point-major packing exceeds capacity");
+    if n * stride > slots {
+        return Err(
+            HeError::Mismatch("point-major packing exceeds ciphertext capacity".into()).into(),
+        );
+    }
 
     let ct = session
         .client_mut()
@@ -397,7 +415,11 @@ fn dimension_major(
     let d = query.len();
     let n = points.len();
     let slots = client.context().slot_count();
-    assert!(n <= slots, "too many points for one ciphertext");
+    if n > slots {
+        return Err(HeError::Mismatch(
+            "too many points for one ciphertext".into(),
+        ));
+    }
 
     let mut ledger = CommLedger::new();
     let mut server_ops = 0u64;
@@ -445,7 +467,9 @@ fn dimension_major_resilient(
     let d = query.len();
     let n = points.len();
     let slots = session.server().context().slot_count();
-    assert!(n <= slots, "too many points for one ciphertext");
+    if n > slots {
+        return Err(HeError::Mismatch("too many points for one ciphertext".into()).into());
+    }
 
     let mut server_ops = 0u64;
     let per_ct = dims_per_ciphertext(n, slots).min(d);
@@ -498,9 +522,9 @@ pub fn distances_plain(query: &[f64], points: &[Vec<f64>]) -> Vec<f64> {
 /// KNN classification: the client takes decrypted distances and votes among
 /// the `k` nearest labels.
 pub fn knn_classify(distances: &[f64], labels: &[usize], k: usize) -> usize {
-    assert_eq!(distances.len(), labels.len());
-    assert!(k >= 1 && k <= distances.len());
-    let mut idx: Vec<usize> = (0..distances.len()).collect();
+    let n = distances.len().min(labels.len());
+    let k = k.clamp(1, n.max(1));
+    let mut idx: Vec<usize> = (0..n).collect();
     // total_cmp: NaN distances (e.g. from a corrupted reply) sort last
     // instead of panicking mid-vote.
     idx.sort_by(|&a, &b| distances[a].total_cmp(&distances[b]));
@@ -512,7 +536,7 @@ pub fn knn_classify(distances: &[f64], labels: &[usize], k: usize) -> usize {
         .into_iter()
         .max_by_key(|&(_, c)| c)
         .map(|(l, _)| l)
-        .expect("k >= 1")
+        .unwrap_or(0)
 }
 
 /// One K-Means step on the client given per-centroid distance vectors:
@@ -567,11 +591,8 @@ pub struct KMeansRun {
 ///
 /// # Errors
 ///
-/// Propagates HE errors from the distance kernels.
-///
-/// # Panics
-///
-/// Panics on empty inputs or mismatched dimensions.
+/// Propagates HE errors from the distance kernels; empty inputs are
+/// reported as [`HeError::Mismatch`].
 pub fn kmeans_encrypted(
     variant: PackingVariant,
     client: &mut CkksClient,
@@ -581,7 +602,11 @@ pub fn kmeans_encrypted(
     max_iterations: u32,
     tolerance: f64,
 ) -> Result<KMeansRun, HeError> {
-    assert!(!points.is_empty() && !initial_centroids.is_empty());
+    if points.is_empty() || initial_centroids.is_empty() {
+        return Err(HeError::Mismatch(
+            "k-means needs at least one point and one centroid".into(),
+        ));
+    }
     let mut centroids = initial_centroids.to_vec();
     let mut ledger = CommLedger::new();
     let mut converged = false;

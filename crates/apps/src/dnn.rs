@@ -103,10 +103,9 @@ impl Layer {
                 out_ch,
                 filter,
                 ..
-            } => {
-                let (oh, ow) = self.conv_out_hw().expect("conv");
+            } => self.conv_out_hw().map_or(0, |(oh, ow)| {
                 (oh * ow * out_ch * in_ch * filter * filter) as u64
-            }
+            }),
             Layer::Fc {
                 in_features,
                 out_features,
@@ -135,10 +134,7 @@ impl Layer {
     /// Number of output elements.
     pub fn output_elements(&self) -> usize {
         match *self {
-            Layer::Conv { out_ch, .. } => {
-                let (oh, ow) = self.conv_out_hw().expect("conv");
-                out_ch * oh * ow
-            }
+            Layer::Conv { out_ch, .. } => self.conv_out_hw().map_or(0, |(oh, ow)| out_ch * oh * ow),
             Layer::Fc { out_features, .. } => out_features,
             Layer::Activation { elements } => elements,
             Layer::Pool {
@@ -651,7 +647,10 @@ pub fn client_aided_plan(net: &Network, params: &HeParams) -> InferencePlan {
                         cts_for_slots(stacked_slots(in_ch, in_h * in_w, red), row)
                     }
                     Layer::Fc { in_features, .. } => cts_for_slots(2 * in_features, row),
-                    _ => unreachable!("k indexes a linear layer"),
+                    _ => {
+                        debug_assert!(false, "k indexes a linear layer");
+                        0
+                    }
                 };
                 plan.encryptions += up;
                 plan.comm_bytes += up * ct_bytes;
@@ -784,10 +783,11 @@ pub fn run_encrypted_conv_layer(
     let pad = f / 2;
     let red = pad * (w + 1);
     let layout = StackedLayout::new(in_ch, RedundantLayout::new(h * w, red));
-    assert!(
-        layout.fits(client.context().degree() / 2),
-        "layer too large for one ciphertext; split across ciphertexts"
-    );
+    if !layout.fits(client.context().degree() / 2) {
+        return Err(HeError::Mismatch(
+            "layer too large for one ciphertext; split across ciphertexts".into(),
+        ));
+    }
 
     // Client: pack + encrypt + upload.
     let slots = layout.pack(input);
@@ -855,10 +855,12 @@ pub fn run_encrypted_conv_layer_resilient(
     let in_ch = input.len();
     let red = (f / 2) * (w + 1);
     let layout = StackedLayout::new(in_ch, RedundantLayout::new(h * w, red));
-    assert!(
-        layout.fits(session.server().context().degree() / 2),
-        "layer too large for one ciphertext; split across ciphertexts"
-    );
+    if !layout.fits(session.server().context().degree() / 2) {
+        return Err(HeError::Mismatch(
+            "layer too large for one ciphertext; split across ciphertexts".into(),
+        )
+        .into());
+    }
 
     // Client: pack + encrypt + upload (framed, retried).
     let slots = layout.pack(input);
@@ -912,7 +914,11 @@ pub fn run_encrypted_conv_layer_multi(
     let red = pad * (w + 1);
     let row = client.context().degree() / 2;
     let stride = (h * w + 2 * red).next_power_of_two();
-    assert!(stride <= row, "one channel must fit a ciphertext row");
+    if stride > row {
+        return Err(HeError::Mismatch(
+            "one channel must fit a ciphertext row".into(),
+        ));
+    }
     // Largest power-of-two channel-group size that fits the row.
     let per_ct = (1usize << (row / stride).ilog2()).min(in_ch.next_power_of_two());
 
@@ -973,7 +979,9 @@ pub fn run_encrypted_conv_layer_multi(
                 Some(t) => eval.add(&t, &acc)?,
             });
         }
-        results.push(download(ledger, &total.expect("at least one group")));
+        let total =
+            total.ok_or_else(|| HeError::Mismatch("conv layer has no channel groups".into()))?;
+        results.push(download(ledger, &total));
     }
     ledger.end_round();
 

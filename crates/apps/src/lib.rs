@@ -16,6 +16,7 @@
 //! * [`protocols`] — analytic communication models of the seven prior
 //!   privacy-preserving protocols Figure 10 compares against.
 
+#![forbid(unsafe_code)]
 // Panics hide protocol bugs: outside tests, prefer typed errors (PR 1's
 // robustness audit). New `unwrap`/`expect` calls in library code must either
 // be converted to `Result` or carry a `# Panics` contract at the public API.

@@ -169,11 +169,8 @@ fn strip_and_renormalize(slots: &[u64], ranks: &mut [f64], scale: u64, burst: u3
 ///
 /// # Errors
 ///
-/// Propagates HE errors (capacity, keys).
-///
-/// # Panics
-///
-/// Panics if the graph exceeds one ciphertext row.
+/// Propagates HE errors (capacity, keys). Oversized graphs and a zero
+/// refresh cadence are reported as [`HeError::Mismatch`].
 pub fn pagerank_encrypted_bfv(
     graph: &Graph,
     damping: f64,
@@ -182,11 +179,19 @@ pub fn pagerank_encrypted_bfv(
     params: &HeParams,
     scale_bits: u32,
 ) -> Result<EncryptedPageRank, HeError> {
-    assert!(iters_per_refresh >= 1);
+    if iters_per_refresh < 1 {
+        return Err(HeError::Mismatch(
+            "need at least one iteration per refresh".into(),
+        ));
+    }
     let n = graph.len();
     let mut client = BfvClient::new(params, b"pagerank bfv")?;
     let row = client.context().degree() / 2;
-    assert!(2 * n <= row, "graph too large for one ciphertext row");
+    if 2 * n > row {
+        return Err(HeError::Mismatch(
+            "graph too large for one ciphertext row".into(),
+        ));
+    }
     let server = client.provision_server(&pagerank_rotation_steps(n))?;
     let mut ledger = CommLedger::new();
 
@@ -249,11 +254,8 @@ pub fn pagerank_encrypted_bfv(
 /// # Errors
 ///
 /// Returns transport errors (retries exhausted, timeout) and propagates
-/// HE-layer failures.
-///
-/// # Panics
-///
-/// Panics if the graph exceeds one ciphertext row.
+/// HE-layer failures. Oversized graphs and a zero refresh cadence are
+/// reported as [`HeError::Mismatch`].
 pub fn pagerank_encrypted_bfv_resilient(
     graph: &Graph,
     damping: f64,
@@ -263,7 +265,9 @@ pub fn pagerank_encrypted_bfv_resilient(
     scale_bits: u32,
     link: LinkConfig,
 ) -> Result<EncryptedPageRank, TransportError> {
-    assert!(iters_per_refresh >= 1);
+    if iters_per_refresh < 1 {
+        return Err(HeError::Mismatch("need at least one iteration per refresh".into()).into());
+    }
     let n = graph.len();
     let mut session = ResilientSession::new(
         params,
@@ -274,7 +278,9 @@ pub fn pagerank_encrypted_bfv_resilient(
         link.policy,
     )?;
     let row = session.server().context().degree() / 2;
-    assert!(2 * n <= row, "graph too large for one ciphertext row");
+    if 2 * n > row {
+        return Err(HeError::Mismatch("graph too large for one ciphertext row".into()).into());
+    }
 
     let scale = 1u64 << scale_bits;
     let t = session.server().context().plain_modulus();
@@ -330,11 +336,8 @@ pub fn pagerank_encrypted_bfv_resilient(
 ///
 /// Propagates HE errors — including insufficient levels when
 /// `iters_per_refresh` exceeds what the prime chain supports, which is the
-/// Figure 13 tradeoff surfacing as an API error.
-///
-/// # Panics
-///
-/// Panics if the graph exceeds one ciphertext row.
+/// Figure 13 tradeoff surfacing as an API error. Oversized graphs and a
+/// zero refresh cadence are reported as [`HeError::Mismatch`].
 pub fn pagerank_encrypted_ckks(
     graph: &Graph,
     damping: f64,
@@ -345,11 +348,19 @@ pub fn pagerank_encrypted_ckks(
     use choco::linalg::ckks_matvec_diagonals;
     use choco::protocol::{download_ckks, upload_ckks, CkksClient};
 
-    assert!(iters_per_refresh >= 1);
+    if iters_per_refresh < 1 {
+        return Err(HeError::Mismatch(
+            "need at least one iteration per refresh".into(),
+        ));
+    }
     let n = graph.len();
     let mut client = CkksClient::new(params, b"pagerank ckks")?;
     let slots = client.context().slot_count();
-    assert!(2 * n <= slots, "graph too large for one ciphertext row");
+    if 2 * n > slots {
+        return Err(HeError::Mismatch(
+            "graph too large for one ciphertext row".into(),
+        ));
+    }
     let server = client.provision_server(&pagerank_rotation_steps(n));
     let mut ledger = CommLedger::new();
 
@@ -435,7 +446,9 @@ pub fn pagerank_comm_model(
     graph_nodes: usize,
     scale_bits: u32,
 ) -> Option<(usize, usize, u64)> {
-    assert!(set_size >= 1 && set_size <= total_iterations);
+    if set_size < 1 || set_size > total_iterations {
+        return None;
+    }
     let rounds = total_iterations.div_ceil(set_size) as u64;
     let s = set_size;
     let (needed_data_bits, k_data_floor) = match scheme {

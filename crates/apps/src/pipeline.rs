@@ -161,8 +161,17 @@ pub fn run_encrypted(
     params: &HeParams,
     seed: &[u8],
 ) -> Result<PipelineRun, HeError> {
-    assert_eq!(image.len(), spec.img * spec.img, "image shape mismatch");
-    assert!(spec.classes > 0, "need at least one output class");
+    if image.len() != spec.img * spec.img {
+        return Err(HeError::Mismatch(format!(
+            "image has {} pixels, spec wants {}x{}",
+            image.len(),
+            spec.img,
+            spec.img
+        )));
+    }
+    if spec.classes == 0 {
+        return Err(HeError::Mismatch("need at least one output class".into()));
+    }
     let mut client = BfvClient::new(params, seed)?;
     let row = client.context().degree() / 2;
     let p1 = spec.img / 2;
@@ -224,7 +233,7 @@ pub fn run_encrypted(
         .enumerate()
         .max_by_key(|&(_, v)| *v)
         .map(|(i, _)| i)
-        .expect("classes >= 1");
+        .ok_or_else(|| HeError::Mismatch("need at least one output class".into()))?;
     Ok(PipelineRun {
         logits,
         class,
@@ -254,8 +263,18 @@ pub fn run_encrypted_resilient(
     seed: &[u8],
     link: LinkConfig,
 ) -> Result<PipelineRun, TransportError> {
-    assert_eq!(image.len(), spec.img * spec.img, "image shape mismatch");
-    assert!(spec.classes > 0, "need at least one output class");
+    if image.len() != spec.img * spec.img {
+        return Err(HeError::Mismatch(format!(
+            "image has {} pixels, spec wants {}x{}",
+            image.len(),
+            spec.img,
+            spec.img
+        ))
+        .into());
+    }
+    if spec.classes == 0 {
+        return Err(HeError::Mismatch("need at least one output class".into()).into());
+    }
     let row = params.degree() / 2;
     let p1 = spec.img / 2;
 
@@ -320,7 +339,9 @@ pub fn run_encrypted_resilient(
         .enumerate()
         .max_by_key(|&(_, v)| *v)
         .map(|(i, _)| i)
-        .expect("classes >= 1");
+        .ok_or_else(|| {
+            TransportError::from(HeError::Mismatch("need at least one output class".into()))
+        })?;
     let (client, _server, ledger) = session.into_parts();
     Ok(PipelineRun {
         logits,
@@ -374,7 +395,7 @@ pub fn run_plain(
         .enumerate()
         .max_by_key(|&(_, v)| *v)
         .map(|(i, _)| i)
-        .expect("classes >= 1");
+        .unwrap_or(0);
     (logits, class)
 }
 

@@ -4,6 +4,7 @@
 //! before the server replies). Quantifies how much further the CHOCO
 //! communication column of Table 5 could shrink.
 
+#![forbid(unsafe_code)]
 use choco_apps::dnn::{client_aided_plan, Network};
 use choco_bench::{header, note};
 use choco_he::params::HeParams;

@@ -9,6 +9,7 @@
 //! `--smoke` shrinks the measurement windows so CI can run the reporter
 //! as a gate without inflating wall-clock time.
 
+#![forbid(unsafe_code)]
 use std::hint::black_box;
 
 use choco_bench::{header, measure, note, time_str};

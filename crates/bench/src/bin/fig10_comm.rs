@@ -2,6 +2,7 @@
 //! CHOCO (measured from its own ciphertext stream) vs. seven prior
 //! privacy-preserving DNN protocols.
 
+#![forbid(unsafe_code)]
 use choco_apps::dnn::{client_aided_plan, Network};
 use choco_apps::protocols::{cifar_protocols, improvement, mnist_protocols};
 use choco_bench::{header, note};

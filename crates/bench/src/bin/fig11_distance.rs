@@ -8,6 +8,7 @@
 //! down from the paper's to keep Galois-key material tractable in a demo
 //! binary; the *ordering* of variants is the result under test.
 
+#![forbid(unsafe_code)]
 use choco::protocol::CkksClient;
 use choco_apps::distance::{
     distance_rotation_steps, distances_plain, encrypted_distances, PackingVariant,

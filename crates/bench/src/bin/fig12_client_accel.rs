@@ -2,6 +2,7 @@
 //! with CHOCO's software optimizations and with full CHOCO-TACO hardware,
 //! against the partially-accelerated and local baselines of Figure 2.
 
+#![forbid(unsafe_code)]
 use choco_apps::dnn::{client_aided_plan, Network};
 use choco_bench::{header, note, time_str};
 use choco_he::params::HeParams;

@@ -2,6 +2,7 @@
 //! communication vs. total iterations for every feasible refresh schedule,
 //! in both BFV and CKKS, plus a real encrypted validation run.
 
+#![forbid(unsafe_code)]
 use choco_apps::pagerank::{pagerank_comm_model, pagerank_encrypted_bfv, pagerank_plain, Graph};
 use choco_bench::{header, note};
 use choco_he::params::{HeParams, SchemeType};

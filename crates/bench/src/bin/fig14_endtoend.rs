@@ -2,6 +2,7 @@
 //! single-image inference — local TFLite vs. the full CHOCO-TACO reference
 //! implementation over 22 Mbps / 10 mW Bluetooth.
 
+#![forbid(unsafe_code)]
 use choco_apps::dnn::{client_aided_plan, Network};
 use choco_bench::{header, note, time_str};
 use choco_he::params::HeParams;

@@ -2,6 +2,7 @@
 //! convolution-layer microbenchmarks, with the VGG16 and SqueezeNet layers
 //! overlaid — the workload-structure analysis of §5.8.
 
+#![forbid(unsafe_code)]
 use choco_apps::dnn::{conv_microbenchmark, Layer, Network};
 use choco_bench::{header, note};
 use choco_he::params::HeParams;

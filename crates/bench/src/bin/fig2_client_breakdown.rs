@@ -7,6 +7,7 @@
 //! inference — showing that >99% of client compute is enc/decryption and
 //! that partial acceleration cannot close the gap.
 
+#![forbid(unsafe_code)]
 use choco_apps::dnn::{client_aided_plan, Network};
 use choco_bench::{header, time_str};
 use choco_he::params::HeParams;

@@ -2,6 +2,7 @@
 //! power/area/energy across tens of thousands of configurations, the Pareto
 //! frontier, and the paper's selected operating point.
 
+#![forbid(unsafe_code)]
 use choco_bench::{header, note, time_str};
 use choco_taco::dse::{explore, pareto_frontier, select_operating_point};
 

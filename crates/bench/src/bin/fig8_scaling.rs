@@ -6,6 +6,7 @@
 //! `(32768, 16)` because the IMX6 board runs out of memory — reproduced
 //! here as an explicit OOM marker.
 
+#![forbid(unsafe_code)]
 use choco_bench::{header, time_str};
 use choco_taco::baseline::{sw_encryption_time, sw_energy};
 use choco_taco::config::AcceleratorConfig;

@@ -3,6 +3,7 @@
 //! against the discrete-event dataflow simulator (`taco::sim`, the
 //! reproduction of the paper's "custom simulation infrastructure").
 
+#![forbid(unsafe_code)]
 use choco_bench::{header, note, time_str};
 use choco_taco::config::AcceleratorConfig;
 use choco_taco::model::{decryption_profile, encryption_profile};

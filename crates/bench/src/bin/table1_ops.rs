@@ -6,6 +6,7 @@
 //! and invariant-noise-budget consumption — confirming the complexity and
 //! noise-growth classes.
 
+#![forbid(unsafe_code)]
 use choco_bench::{header, time_str, timed_avg};
 use choco_he::bfv::{BfvContext, Plaintext};
 use choco_he::params::HeParams;

@@ -1,5 +1,6 @@
 //! Regenerates **Table 3**: HE parameter selections and ciphertext sizes.
 
+#![forbid(unsafe_code)]
 use choco_bench::header;
 use choco_he::params::HeParams;
 

@@ -8,6 +8,7 @@
 //! printed alongside for comparison; see EXPERIMENTS.md for the discussion
 //! of the absolute-offset difference in the "initial" column.
 
+#![forbid(unsafe_code)]
 use choco::rotation::{windowed_rotate_masked, windowed_rotate_redundant, RedundantLayout};
 use choco_bench::header;
 use choco_he::bfv::BfvContext;

@@ -1,6 +1,7 @@
 //! Regenerates **Table 5**: the evaluated neural networks — layer shape,
 //! MACs, accuracy, model size, and single-image client-aided communication.
 
+#![forbid(unsafe_code)]
 use choco_apps::dnn::{client_aided_plan, Network};
 use choco_bench::header;
 use choco_he::params::HeParams;

@@ -7,6 +7,7 @@
 //! alongside the paper's published values where they are point-comparable.
 //! `EXPERIMENTS.md` archives one run of each.
 
+#![forbid(unsafe_code)]
 use std::time::Instant;
 
 /// Prints a section header.

@@ -197,6 +197,8 @@ pub enum CompileError {
     KindMismatch(usize),
     /// The program has no outputs.
     NoOutputs,
+    /// Execution was given no value for a named input.
+    MissingInput(String),
 }
 
 impl std::fmt::Display for CompileError {
@@ -208,6 +210,7 @@ impl std::fmt::Display for CompileError {
             ),
             CompileError::KindMismatch(n) => write!(f, "node {n}: ciphertext/plaintext mismatch"),
             CompileError::NoOutputs => write!(f, "program has no outputs"),
+            CompileError::MissingInput(name) => write!(f, "missing input {name}"),
         }
     }
 }
@@ -435,16 +438,20 @@ impl CompiledProgram {
 
     /// Executes on plaintext vectors (the reference semantics).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an input is missing or vector lengths mismatch.
-    pub fn execute_plain(&self, inputs: &HashMap<String, Vec<f64>>) -> Vec<Vec<f64>> {
+    /// Returns [`CompileError::MissingInput`] when `inputs` lacks a named
+    /// input of the program.
+    pub fn execute_plain(
+        &self,
+        inputs: &HashMap<String, Vec<f64>>,
+    ) -> Result<Vec<Vec<f64>>, CompileError> {
         let mut vals: Vec<Vec<f64>> = Vec::with_capacity(self.ops.len());
         for op in &self.ops {
             let v = match op {
                 Op::Input(name) => inputs
                     .get(name)
-                    .unwrap_or_else(|| panic!("missing input {name}"))
+                    .ok_or_else(|| CompileError::MissingInput(name.clone()))?
                     .clone(),
                 Op::Constant(c) => c.clone(),
                 Op::Add(a, b) => vals[a.0]
@@ -483,7 +490,7 @@ impl CompiledProgram {
             };
             vals.push(v);
         }
-        self.outputs.iter().map(|o| vals[o.0].clone()).collect()
+        Ok(self.outputs.iter().map(|o| vals[o.0].clone()).collect())
     }
 
     /// Executes on real ciphertexts.
@@ -494,11 +501,8 @@ impl CompiledProgram {
     ///
     /// # Errors
     ///
-    /// Propagates HE errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an input ciphertext is missing.
+    /// Propagates HE errors; a missing or mis-typed operand surfaces as
+    /// [`HeError::Mismatch`] instead of aborting the evaluation.
     pub fn execute_encrypted(
         &self,
         ctx: &CkksContext,
@@ -511,10 +515,20 @@ impl CompiledProgram {
             Plain(Vec<f64>),
         }
         let mut vals: Vec<Slot> = Vec::with_capacity(self.ops.len());
-        let ct = |s: &Slot| -> CkksCiphertext {
+        let ct = |s: &Slot| -> Result<CkksCiphertext, HeError> {
             match s {
-                Slot::Ct(c) => c.clone(),
-                Slot::Plain(_) => unreachable!("compiler guarantees ciphertext operands"),
+                Slot::Ct(c) => Ok(c.clone()),
+                Slot::Plain(_) => Err(HeError::Mismatch(
+                    "compiler invariant violated: ciphertext operand expected".into(),
+                )),
+            }
+        };
+        let plain = |s: &Slot| -> Result<Vec<f64>, HeError> {
+            match s {
+                Slot::Plain(p) => Ok(p.clone()),
+                Slot::Ct(_) => Err(HeError::Mismatch(
+                    "compiler invariant violated: constant operand expected".into(),
+                )),
             }
         };
         for op in &self.ops {
@@ -522,51 +536,45 @@ impl CompiledProgram {
                 Op::Input(name) => Slot::Ct(
                     inputs
                         .get(name)
-                        .unwrap_or_else(|| panic!("missing input {name}"))
+                        .ok_or_else(|| HeError::Mismatch(format!("missing input {name}")))?
                         .clone(),
                 ),
                 Op::Constant(c) => Slot::Plain(c.clone()),
-                Op::Add(a, b) => Slot::Ct(ctx.add(&ct(&vals[a.0]), &ct(&vals[b.0]))?),
-                Op::Sub(a, b) => Slot::Ct(ctx.sub(&ct(&vals[a.0]), &ct(&vals[b.0]))?),
+                Op::Add(a, b) => Slot::Ct(ctx.add(&ct(&vals[a.0])?, &ct(&vals[b.0])?)?),
+                Op::Sub(a, b) => Slot::Ct(ctx.sub(&ct(&vals[a.0])?, &ct(&vals[b.0])?)?),
                 Op::Mul(a, b) => {
-                    Slot::Ct(ctx.multiply_relin(&ct(&vals[a.0]), &ct(&vals[b.0]), relin)?)
+                    Slot::Ct(ctx.multiply_relin(&ct(&vals[a.0])?, &ct(&vals[b.0])?, relin)?)
                 }
                 Op::MulPlain(a, c) => {
-                    let x = ct(&vals[a.0]);
-                    let plain = match &vals[c.0] {
-                        Slot::Plain(p) => p.clone(),
-                        Slot::Ct(_) => unreachable!("constant operand"),
-                    };
-                    let pt = ctx.encode_at(&plain, x.level(), ctx.default_scale())?;
+                    let x = ct(&vals[a.0])?;
+                    let p = plain(&vals[c.0])?;
+                    let pt = ctx.encode_at(&p, x.level(), ctx.default_scale())?;
                     Slot::Ct(ctx.multiply_plain(&x, &pt)?)
                 }
                 Op::AddPlain(a, c) => {
-                    let x = ct(&vals[a.0]);
-                    let plain = match &vals[c.0] {
-                        Slot::Plain(p) => p.clone(),
-                        Slot::Ct(_) => unreachable!("constant operand"),
-                    };
-                    let pt = ctx.encode_at(&plain, x.level(), x.scale())?;
+                    let x = ct(&vals[a.0])?;
+                    let p = plain(&vals[c.0])?;
+                    let pt = ctx.encode_at(&p, x.level(), x.scale())?;
                     Slot::Ct(ctx.add_plain(&x, &pt)?)
                 }
                 Op::Rotate(a, s) => {
-                    let x = ct(&vals[a.0]);
+                    let x = ct(&vals[a.0])?;
                     if *s == 0 {
                         Slot::Ct(x)
                     } else {
                         Slot::Ct(ctx.rotate(&x, *s, galois)?)
                     }
                 }
-                Op::Rescale(a) => Slot::Ct(ctx.rescale(&ct(&vals[a.0]))?),
+                Op::Rescale(a) => Slot::Ct(ctx.rescale(&ct(&vals[a.0])?)?),
                 Op::ModSwitch(a) => {
-                    let x = ct(&vals[a.0]);
+                    let x = ct(&vals[a.0])?;
                     let target = x.level() - 1;
                     Slot::Ct(ctx.mod_switch_to(&x, target)?)
                 }
             };
             vals.push(v);
         }
-        Ok(self.outputs.iter().map(|o| ct(&vals[o.0])).collect())
+        self.outputs.iter().map(|o| ct(&vals[o.0])).collect()
     }
 }
 
@@ -732,7 +740,7 @@ mod tests {
         let c = compile(&p, &opts(3)).unwrap();
         let mut inputs = HashMap::new();
         inputs.insert("x".to_string(), vec![1.0, 2.0, 3.0, 4.0]);
-        let out = c.execute_plain(&inputs);
+        let out = c.execute_plain(&inputs).unwrap();
         assert_eq!(out[0], vec![3.0, 5.0, 7.0, 5.0]);
         assert_eq!(c.rotation_steps, vec![1]);
     }
@@ -770,7 +778,7 @@ mod tests {
             v.resize(ctx.slot_count(), 0.0);
             v
         });
-        let want = c.execute_plain(&plain_in);
+        let want = c.execute_plain(&plain_in).unwrap();
 
         let mut enc_in = HashMap::new();
         let pt = ctx.encode(&x_vals).unwrap();
@@ -803,7 +811,7 @@ mod tests {
         // And it runs correctly end to end on plaintext.
         let mut inputs = HashMap::new();
         inputs.insert("x".to_string(), vec![2.0, 3.0]);
-        let out = c.execute_plain(&inputs);
+        let out = c.execute_plain(&inputs).unwrap();
         assert_eq!(out[0], vec![6.0, 12.0]);
     }
 
@@ -828,8 +836,11 @@ mod tests {
         let copts = opts(4);
         let mut inputs = HashMap::new();
         inputs.insert("x".to_string(), vec![3.0]);
-        let before = compile(&p, &copts).unwrap().execute_plain(&inputs);
-        let after = compile(&opt, &copts).unwrap().execute_plain(&inputs);
+        let before = compile(&p, &copts).unwrap().execute_plain(&inputs).unwrap();
+        let after = compile(&opt, &copts)
+            .unwrap()
+            .execute_plain(&inputs)
+            .unwrap();
         assert_eq!(before, after);
         assert_eq!(after[0], vec![36.0]); // 4·x² at x=3
                                           // The optimized program compiles to fewer homomorphic multiplies.

@@ -39,6 +39,7 @@
 //! // windowed rotation of the original values.
 //! ```
 
+#![forbid(unsafe_code)]
 // Panics hide protocol bugs: outside tests, prefer typed errors (PR 1's
 // robustness audit). New `unwrap`/`expect` calls in library code must either
 // be converted to `Result` or carry a `# Panics` contract at the public API.

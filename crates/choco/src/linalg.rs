@@ -37,12 +37,12 @@ pub struct ConvTap {
 /// # Errors
 ///
 /// Propagates rotation (missing Galois key) and encoding errors; an empty
-/// tap set is a [`HeError::Mismatch`].
+/// tap set or a tap shift exceeding the layout redundancy is a
+/// [`HeError::Mismatch`].
 ///
 /// # Panics
 ///
-/// Panics if a tap's shift exceeds the layout redundancy or its weight
-/// count mismatches the channel count.
+/// Panics if a tap's weight count mismatches the channel count.
 pub fn stacked_conv(
     server: &BfvServer,
     ct: &Ciphertext,
@@ -56,12 +56,13 @@ pub fn stacked_conv(
     }
     let eval = server.evaluator();
     for tap in taps {
-        assert!(
-            tap.shift.unsigned_abs() as usize <= layout.channel_layout().redundancy(),
-            "tap shift {} exceeds redundancy {}",
-            tap.shift,
-            layout.channel_layout().redundancy()
-        );
+        if tap.shift.unsigned_abs() as usize > layout.channel_layout().redundancy() {
+            return Err(HeError::Mismatch(format!(
+                "tap shift {} exceeds redundancy {}",
+                tap.shift,
+                layout.channel_layout().redundancy()
+            )));
+        }
     }
     // All tap shifts rotate the same input, so the fused kernel shares one
     // hoisted decomposition across them and collapses the tap products
@@ -84,18 +85,19 @@ pub fn stacked_conv(
 ///
 /// # Errors
 ///
-/// Propagates rotation errors.
-///
-/// # Panics
-///
-/// Panics if the channel count is not a power of two.
+/// Propagates rotation errors; a non-power-of-two channel count is
+/// reported as [`HeError::Mismatch`].
 pub fn accumulate_channels(
     server: &BfvServer,
     ct: &Ciphertext,
     layout: &StackedLayout,
 ) -> Result<Ciphertext, HeError> {
     let c = layout.channels();
-    assert!(c.is_power_of_two(), "channel count must be a power of two");
+    if !c.is_power_of_two() {
+        return Err(HeError::Mismatch(
+            "channel count must be a power of two".into(),
+        ));
+    }
     let eval = server.evaluator();
     let mut acc = ct.clone();
     let mut step = 1usize;
@@ -132,21 +134,26 @@ pub fn replicate_for_matvec(x: &[u64], row_size: usize) -> Vec<u64> {
 ///
 /// # Errors
 ///
-/// Propagates rotation and encoding errors.
-///
-/// # Panics
-///
-/// Panics if the matrix is empty or ragged, or `rows > cols`.
+/// Propagates rotation and encoding errors; an empty or ragged matrix, or
+/// `rows > cols`, is reported as [`HeError::Mismatch`].
 pub fn matvec_diagonals(
     server: &BfvServer,
     ct_x: &Ciphertext,
     matrix: &[Vec<u64>],
 ) -> Result<Ciphertext, HeError> {
     let rows = matrix.len();
-    assert!(rows > 0, "matrix must be nonempty");
+    if rows == 0 {
+        return Err(HeError::Mismatch("matrix must be nonempty".into()));
+    }
     let cols = matrix[0].len();
-    assert!(matrix.iter().all(|r| r.len() == cols), "ragged matrix");
-    assert!(rows <= cols, "diagonal method requires rows <= cols");
+    if matrix.iter().any(|r| r.len() != cols) {
+        return Err(HeError::Mismatch("ragged matrix".into()));
+    }
+    if rows > cols {
+        return Err(HeError::Mismatch(
+            "diagonal method requires rows <= cols".into(),
+        ));
+    }
     let row_size = server.context().degree() / 2;
     let eval = server.evaluator();
     // One hoisted decomposition serves every diagonal's rotation, the
@@ -172,21 +179,26 @@ pub fn matvec_diagonals(
 ///
 /// # Errors
 ///
-/// Propagates rotation and encoding errors.
-///
-/// # Panics
-///
-/// Panics on an empty/ragged matrix or `rows > cols`.
+/// Propagates rotation and encoding errors; an empty or ragged matrix, or
+/// `rows > cols`, is reported as [`HeError::Mismatch`].
 pub fn ckks_matvec_diagonals(
     server: &crate::protocol::CkksServer,
     ct_x: &choco_he::ckks::CkksCiphertext,
     matrix: &[Vec<f64>],
 ) -> Result<choco_he::ckks::CkksCiphertext, HeError> {
     let rows = matrix.len();
-    assert!(rows > 0, "matrix must be nonempty");
+    if rows == 0 {
+        return Err(HeError::Mismatch("matrix must be nonempty".into()));
+    }
     let cols = matrix[0].len();
-    assert!(matrix.iter().all(|r| r.len() == cols), "ragged matrix");
-    assert!(rows <= cols, "diagonal method requires rows <= cols");
+    if matrix.iter().any(|r| r.len() != cols) {
+        return Err(HeError::Mismatch("ragged matrix".into()));
+    }
+    if rows > cols {
+        return Err(HeError::Mismatch(
+            "diagonal method requires rows <= cols".into(),
+        ));
+    }
     let ctx = server.context();
     let slots = ctx.slot_count();
     // Share one hoisted decomposition across all diagonal rotations.
@@ -202,7 +214,9 @@ pub fn ckks_matvec_diagonals(
         let rotated = if d == 0 {
             ct_x.clone()
         } else {
-            rotations.next().expect("one rotation per diagonal")
+            rotations
+                .next()
+                .ok_or_else(|| HeError::Mismatch("one rotation per diagonal".into()))?
         };
         let mut diag = vec![0.0f64; slots];
         for (i, s) in diag.iter_mut().enumerate().take(rows) {
@@ -361,7 +375,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rows <= cols")]
     fn matvec_rejects_tall_matrices() {
         let (_, server) = setup(&[1]);
         let matrix = vec![vec![1u64], vec![2], vec![3]];
@@ -370,6 +383,7 @@ mod tests {
             let mut c = BfvClient::new(&params, b"x").unwrap();
             c.encrypt_slots(&[1]).unwrap()
         };
-        let _ = matvec_diagonals(&server, &ct_dummy, &matrix);
+        let err = matvec_diagonals(&server, &ct_dummy, &matrix).unwrap_err();
+        assert!(matches!(err, HeError::Mismatch(ref m) if m.contains("rows <= cols")));
     }
 }

@@ -144,11 +144,9 @@ pub fn windowed_rotate_redundant(
 ///
 /// # Errors
 ///
-/// Propagates missing-Galois-key and ciphertext-shape errors.
-///
-/// # Panics
-///
-/// Panics if any `|r|` exceeds the layout redundancy.
+/// Propagates missing-Galois-key and ciphertext-shape errors; a rotation
+/// distance exceeding the layout redundancy is reported as
+/// [`HeError::Mismatch`].
 pub fn windowed_rotate_redundant_many(
     ctx: &BfvContext,
     ct: &Ciphertext,
@@ -157,11 +155,12 @@ pub fn windowed_rotate_redundant_many(
     gks: &GaloisKeys,
 ) -> Result<Vec<Ciphertext>, HeError> {
     for &r in rotations {
-        assert!(
-            r.unsigned_abs() as usize <= layout.redundancy(),
-            "rotation {r} exceeds redundancy {}",
-            layout.redundancy()
-        );
+        if r.unsigned_abs() as usize > layout.redundancy() {
+            return Err(HeError::Mismatch(format!(
+                "rotation {r} exceeds redundancy {}",
+                layout.redundancy()
+            )));
+        }
     }
     let steps: Vec<i64> = rotations.iter().copied().filter(|&r| r != 0).collect();
     let mut hoisted = if steps.is_empty() {
@@ -170,16 +169,18 @@ pub fn windowed_rotate_redundant_many(
         ctx.evaluator().rotate_rows_many(ct, &steps, gks)?
     }
     .into_iter();
-    Ok(rotations
+    rotations
         .iter()
         .map(|&r| {
             if r == 0 {
-                ct.clone()
+                Ok(ct.clone())
             } else {
-                hoisted.next().expect("one rotation per nonzero distance")
+                hoisted
+                    .next()
+                    .ok_or_else(|| HeError::Mismatch("one rotation per nonzero distance".into()))
             }
         })
-        .collect())
+        .collect()
 }
 
 /// Performs a windowed rotation via the arbitrary-permutation baseline

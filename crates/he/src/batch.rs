@@ -58,7 +58,7 @@ impl BatchEncoder {
         for (i, &val) in xpoly.iter().enumerate() {
             let exp = *val_to_exp
                 .get(&val)
-                .expect("ntt output of x must be a power of psi");
+                .ok_or(HeError::BatchingUnsupported(t))?;
             index_of_exp.insert(exp, i);
         }
         // Row 1: slot i at exponent 3^i; row 2: slot i at exponent −3^i.

@@ -39,6 +39,7 @@ pub struct Plaintext {
 
 impl Plaintext {
     /// Wraps raw coefficients (must already be reduced modulo `t`).
+    // choco-lint: ct-safe
     pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
         Plaintext { coeffs }
     }
@@ -297,6 +298,7 @@ impl BfvContext {
     }
 
     /// Generates a fresh secret/public key pair.
+    // choco-lint: secret
     pub fn keygen(&self, rng: &mut Blake3Rng) -> KeyBundle {
         let s_full = RnsPoly::sample_ternary(rng, &self.full);
         let a = RnsPoly::sample_uniform(rng, &self.data);
@@ -366,6 +368,7 @@ impl BfvContext {
     /// Symmetric, seed-compressed encryption: `c1 = a` is derived from a
     /// fresh 32-byte seed, `c0 = −(a·s + e) + Δ·m`, and only `(c0, seed)`
     /// travels — halving the client's upload bytes.
+    // choco-lint: secret
     pub fn encrypt_symmetric_seeded(
         &self,
         pt: &Plaintext,
@@ -439,6 +442,7 @@ pub struct Encryptor<'a> {
 impl Encryptor<'_> {
     /// Encrypts a plaintext:
     /// `c1 = P1·u + e2`, `c0 = P0·u + e1 + Δ·m`.
+    // choco-lint: secret
     pub fn encrypt(&self, pt: &Plaintext, rng: &mut Blake3Rng) -> Ciphertext {
         let ctx = self.ctx;
         let data = &*ctx.data;
@@ -480,6 +484,7 @@ impl Decryptor<'_> {
     }
 
     /// Computes `x = c0 + c1·s (+ c2·s²)` over the ciphertext's basis.
+    // choco-lint: secret
     fn dot_with_secret(&self, ct: &Ciphertext) -> RnsPoly {
         let basis = self.basis_of(ct);
         let s = self.sk.full.prefix(basis.len());
@@ -493,6 +498,7 @@ impl Decryptor<'_> {
     }
 
     /// Decrypts: `m = ⌊t·x/q⌉ mod t` per coefficient.
+    // choco-lint: secret
     pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
         let ctx = self.ctx;
         let basis = self.basis_of(ct);

@@ -327,6 +327,7 @@ impl CkksContext {
     }
 
     /// Generates a fresh key pair.
+    // choco-lint: secret
     pub fn keygen(&self, rng: &mut Blake3Rng) -> CkksKeyBundle {
         let s_full = RnsPoly::sample_ternary(rng, &self.full);
         let top = self.level_basis(self.top_level());
@@ -374,12 +375,14 @@ impl CkksContext {
     /// # Errors
     ///
     /// Returns [`HeError::Mismatch`] when the plaintext is not at top level.
+    // choco-lint: secret
     pub fn encrypt(
         &self,
         pt: &CkksPlaintext,
         pk: &CkksPublicKey,
         rng: &mut Blake3Rng,
     ) -> Result<CkksCiphertext, HeError> {
+        // choco-lint: allow(SEC001) level is public ciphertext metadata, not payload
         if pt.level != self.top_level() {
             return Err(HeError::Mismatch(
                 "encryption requires a top-level plaintext".into(),
@@ -402,6 +405,7 @@ impl CkksContext {
     }
 
     /// Decrypts to a plaintext at the ciphertext's level/scale.
+    // choco-lint: secret
     pub fn decrypt(&self, ct: &CkksCiphertext, sk: &CkksSecretKey) -> CkksPlaintext {
         let basis = self.level_basis(ct.level);
         let s = sk.full.prefix(ct.level);

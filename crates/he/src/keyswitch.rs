@@ -19,7 +19,8 @@
 
 use crate::rnspoly::RnsPoly;
 use choco_math::modops::{
-    add_mod, center, inv_mod, mul_mod, mul_mod_shoup, reduce_signed, shoup_precompute, sub_mod,
+    add_mod, center, inv_mod, mul_mod, mul_mod_shoup, pow_mod, reduce_signed, shoup_precompute,
+    sub_mod,
 };
 use choco_math::ntt::apply_galois_ntt;
 use choco_math::par;
@@ -51,6 +52,7 @@ impl KswitchKey {
 ///
 /// `s` and `s_prime` must be given over the full basis (all `k` primes,
 /// special last); `data` is the prefix basis of the first `k − 1` primes.
+// choco-lint: secret (public: full, data)
 pub fn generate_ksk(
     s: &RnsPoly,
     s_prime: &RnsPoly,
@@ -64,7 +66,9 @@ pub fn generate_ksk(
         k == d + 1,
         "full basis must be data basis plus special prime"
     );
+    // choco-lint: allow(SEC001) row_count is public geometry, not key material
     assert_eq!(s.row_count(), k, "secret key must span the full basis");
+    // choco-lint: allow(SEC001) row_count is public geometry, not key material
     assert_eq!(
         s_prime.row_count(),
         k,
@@ -254,6 +258,7 @@ pub(crate) fn hoisted_accumulate(
         // in a u128 accumulator; reduce lazily instead of per term. The
         // modular sum is unique, so this is bit-identical to eager
         // reduction.
+        // choco-lint: lazy-domain
         let mut acc0 = vec![0u128; n];
         let mut acc1 = vec![0u128; n];
         let mut scratch = vec![0u64; n];
@@ -282,7 +287,9 @@ pub(crate) fn hoisted_accumulate(
         let reduce = |acc: Vec<u128>| -> Vec<u64> {
             acc.into_iter().map(|v| (v % qi as u128) as u64).collect()
         };
-        (reduce(acc0), reduce(acc1))
+        let out = (reduce(acc0), reduce(acc1));
+        // choco-lint: end-lazy-domain
+        out
     });
     let (rows0, rows1): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
     (RnsPoly::from_rows(rows0), RnsPoly::from_rows(rows1))
@@ -356,11 +363,7 @@ pub fn galois_element_rows(steps: i64, n: usize) -> u64 {
     );
     let s = steps.rem_euclid(half) as u64;
     let m = 2 * n as u64;
-    let mut e = 1u64;
-    for _ in 0..s {
-        e = (e * 3) % m;
-    }
-    e
+    pow_mod(3, s, m)
 }
 
 /// The Galois element for the row-swap (column rotation): `2N − 1`.
@@ -381,11 +384,7 @@ pub fn galois_element_ckks(steps: i64, n: usize) -> u64 {
     );
     let s = steps.rem_euclid(half) as u64;
     let m = 2 * n as u64;
-    let mut e = 1u64;
-    for _ in 0..s {
-        e = (e * 5) % m;
-    }
-    e
+    pow_mod(5, s, m)
 }
 
 #[cfg(test)]

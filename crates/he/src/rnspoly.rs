@@ -43,6 +43,7 @@ impl RnsPoly {
 
     /// Builds a polynomial from signed coefficients, reducing into every
     /// prime of `basis`.
+    // choco-lint: secret (public: basis)
     pub fn from_signed<T: Into<i64> + Copy>(values: &[T], basis: &RnsBasis) -> Self {
         let rows = basis
             .primes()
@@ -54,6 +55,7 @@ impl RnsPoly {
 
     /// Builds a polynomial whose coefficients are the (small, unsigned)
     /// integers of `values`, reduced into every prime of `basis`.
+    // choco-lint: secret (public: basis)
     pub fn from_unsigned(values: &[u64], basis: &RnsBasis) -> Self {
         let rows = basis
             .primes()
@@ -64,12 +66,14 @@ impl RnsPoly {
     }
 
     /// Samples ternary coefficients (one signed draw mapped into every row).
+    // choco-lint: secret (public: basis)
     pub fn sample_ternary(rng: &mut Blake3Rng, basis: &RnsBasis) -> Self {
         let vals = sample_ternary_signed(rng, basis.degree());
         Self::from_signed(&vals, basis)
     }
 
     /// Samples clipped-normal error coefficients.
+    // choco-lint: secret (public: basis)
     pub fn sample_error(rng: &mut Blake3Rng, basis: &RnsBasis) -> Self {
         let vals = sample_error_signed(rng, basis.degree());
         Self::from_signed(&vals, basis)
@@ -77,6 +81,7 @@ impl RnsPoly {
 
     /// Samples a uniform polynomial modulo the basis modulus (independent
     /// uniform residues per prime — exactly uniform by CRT).
+    // choco-lint: secret (public: basis)
     pub fn sample_uniform(rng: &mut Blake3Rng, basis: &RnsBasis) -> Self {
         let n = basis.degree();
         let rows = basis

@@ -1,0 +1,302 @@
+//! The committed allowlist (`lint.toml`): reviewed, count-pinned exceptions
+//! for the panic/unsafe audits.
+//!
+//! Grammar — one entry per line, `#` comments allowed:
+//!
+//! ```text
+//! allow RULE path/to/file.rs [fn=name] count=N reason="one-line justification"
+//! ```
+//!
+//! Counts are exact: if a file gains *or* loses a panic site the build
+//! breaks, forcing a reviewed regeneration via `choco-lint --fix-allowlist`.
+//! Blanket patterns are rejected by construction (no wildcards, a concrete
+//! rule id per entry, non-placeholder reasons).
+//!
+//! Only the audit rules are allowlistable here: PANIC001–004 and UNSAFE002.
+//! Secret-independence and lazy-domain findings must be fixed or suppressed
+//! at the offending line with an inline `allow` marker, where the reviewer
+//! can see the code.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::{Diagnostic, Rule};
+
+/// Rules that may appear in the allowlist file.
+pub const ALLOWLISTABLE: &[Rule] = &[
+    Rule::Panic001,
+    Rule::Panic002,
+    Rule::Panic003,
+    Rule::Panic004,
+    Rule::Unsafe002,
+];
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub rule: Rule,
+    pub file: String,
+    /// `Some` pins the entry to one function; `None` covers the whole file.
+    pub func: Option<String>,
+    pub count: usize,
+    pub reason: String,
+}
+
+/// Parses `lint.toml` text. Returns entries or per-line error messages.
+pub fn parse(text: &str) -> Result<Vec<Entry>, Vec<String>> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(e) => entries.push(e),
+            Err(msg) => errors.push(format!("lint.toml:{}: {}", ln + 1, msg)),
+        }
+    }
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+fn parse_line(line: &str) -> Result<Entry, String> {
+    let rest = line
+        .strip_prefix("allow ")
+        .ok_or("expected `allow RULE file ... reason=\"...\"`")?;
+    // Split off the quoted reason first so spaces inside it survive.
+    let (head, reason) = match rest.split_once("reason=\"") {
+        Some((h, r)) => {
+            let reason = r.strip_suffix('"').ok_or("unterminated reason string")?;
+            (h.trim(), reason.trim())
+        }
+        None => return Err("missing reason=\"...\"".into()),
+    };
+    if reason.is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    if reason.to_ascii_uppercase().starts_with("TODO") {
+        return Err("placeholder reason — write a real one-line justification".into());
+    }
+    let mut fields = head.split_whitespace();
+    let rule_txt = fields.next().ok_or("missing rule id")?;
+    let rule = Rule::from_id(rule_txt).ok_or_else(|| format!("unknown rule '{rule_txt}'"))?;
+    if !ALLOWLISTABLE.contains(&rule) {
+        return Err(format!(
+            "{} is not allowlistable — fix it or use an inline allow marker",
+            rule.id()
+        ));
+    }
+    let file = fields.next().ok_or("missing file path")?.to_string();
+    if file.contains('*') || file.contains("..") {
+        return Err("blanket patterns are not allowed — name one file".into());
+    }
+    let mut func = None;
+    let mut count = None;
+    for field in fields {
+        if let Some(v) = field.strip_prefix("fn=") {
+            func = Some(v.to_string());
+        } else if let Some(v) = field.strip_prefix("count=") {
+            let n: usize = v.parse().map_err(|_| format!("bad count '{v}'"))?;
+            if n == 0 {
+                return Err("count=0 is meaningless — delete the entry".into());
+            }
+            count = Some(n);
+        } else {
+            return Err(format!("unexpected field '{field}'"));
+        }
+    }
+    Ok(Entry {
+        rule,
+        file,
+        func,
+        count: count.ok_or("missing count=N")?,
+        reason: reason.to_string(),
+    })
+}
+
+/// Applies the allowlist to a diagnostic set: suppresses exactly-covered
+/// buckets, and reports count mismatches / stale entries as errors.
+///
+/// Returns `(surviving_diagnostics, errors)`.
+pub fn apply(diags: Vec<Diagnostic>, entries: &[Entry]) -> (Vec<Diagnostic>, Vec<String>) {
+    let mut errors = Vec::new();
+    let mut suppressed: HashSet<usize> = HashSet::new();
+    // Function-scoped entries bind tighter than file-scoped ones.
+    let ordered = entries
+        .iter()
+        .filter(|e| e.func.is_some())
+        .chain(entries.iter().filter(|e| e.func.is_none()));
+    for e in ordered {
+        let matching: Vec<usize> = diags
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| {
+                !suppressed.contains(i)
+                    && d.rule == e.rule
+                    && d.file == e.file
+                    && e.func.as_ref().is_none_or(|f| &d.func == f)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if matching.len() == e.count {
+            suppressed.extend(matching);
+        } else {
+            let scope = match &e.func {
+                Some(f) => format!("{} fn={f}", e.file),
+                None => e.file.clone(),
+            };
+            errors.push(format!(
+                "allowlist drift: {} {} pins count={} but found {} — \
+                 re-review and run `choco-lint --fix-allowlist`",
+                e.rule.id(),
+                scope,
+                e.count,
+                matching.len()
+            ));
+        }
+    }
+    let survivors = diags
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !suppressed.contains(i))
+        .map(|(_, d)| d)
+        .collect();
+    (survivors, errors)
+}
+
+/// Regenerates allowlist text from the current diagnostic set, preserving
+/// reasons from `old` where the bucket still exists. New buckets get a
+/// `TODO` placeholder that the gate refuses, forcing the author to write a
+/// real justification before committing.
+pub fn generate(diags: &[Diagnostic], old: &[Entry]) -> String {
+    let mut out = String::from(
+        "# choco-lint allowlist — reviewed, count-pinned panic/unsafe exceptions.\n\
+         # Regenerate with `cargo run -q --release -p choco-lint -- --workspace --fix-allowlist`,\n\
+         # then review the diff and replace any TODO reasons before committing.\n\
+         # Grammar: allow RULE file [fn=name] count=N reason=\"...\"\n",
+    );
+    // Bucket granularity per rule: unwrap/expect and explicit panics are
+    // rare enough to pin per-function; index/assert sites are pinned
+    // per-file to keep the list reviewable.
+    let mut buckets: Vec<(Rule, String, Option<String>, usize)> = Vec::new();
+    for d in diags {
+        if !ALLOWLISTABLE.contains(&d.rule) {
+            continue;
+        }
+        let func = match d.rule {
+            Rule::Panic001 | Rule::Panic002 => Some(d.func.clone()),
+            _ => None,
+        };
+        match buckets
+            .iter_mut()
+            .find(|(r, f, fnm, _)| *r == d.rule && *f == d.file && *fnm == func)
+        {
+            Some(b) => b.3 += 1,
+            None => buckets.push((d.rule, d.file.clone(), func, 1)),
+        }
+    }
+    buckets.sort_by(|a, b| {
+        (a.1.as_str(), a.0.id(), a.2.as_deref()).cmp(&(b.1.as_str(), b.0.id(), b.2.as_deref()))
+    });
+    for (rule, file, func, count) in buckets {
+        let reason = old
+            .iter()
+            .find(|e| e.rule == rule && e.file == file && e.func == func)
+            .map(|e| e.reason.clone())
+            .unwrap_or_else(|| "TODO: justify this exception".into());
+        let _ = write!(out, "allow {} {file}", rule.id());
+        if let Some(f) = func {
+            let _ = write!(out, " fn={f}");
+        }
+        let _ = writeln!(out, " count={count} reason=\"{reason}\"");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: Rule, file: &str, line: u32, func: &str) -> Diagnostic {
+        Diagnostic::new(rule, file, line, func, "msg")
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# header\nallow PANIC001 crates/he/src/x.rs fn=load count=2 reason=\"validated at startup\"\nallow PANIC003 crates/math/src/ntt.rs count=12 reason=\"indices bounded by transform size\"\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].func.as_deref(), Some("load"));
+        assert_eq!(entries[1].count, 12);
+    }
+
+    #[test]
+    fn parse_rejects_blanket_and_placeholder() {
+        assert!(parse("allow PANIC001 crates/* count=1 reason=\"x\"").is_err());
+        assert!(parse("allow PANIC001 a.rs count=1 reason=\"TODO: later\"").is_err());
+        assert!(parse("allow SEC001 a.rs count=1 reason=\"x\"").is_err());
+        assert!(parse("allow PANIC001 a.rs count=0 reason=\"x\"").is_err());
+        assert!(parse("allow PANIC001 a.rs count=1").is_err());
+    }
+
+    #[test]
+    fn apply_exact_count_suppresses() {
+        let diags = vec![
+            diag(Rule::Panic003, "a.rs", 3, "f"),
+            diag(Rule::Panic003, "a.rs", 9, "g"),
+        ];
+        let entries = parse("allow PANIC003 a.rs count=2 reason=\"bounded\"").unwrap();
+        let (left, errs) = apply(diags, &entries);
+        assert!(left.is_empty());
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn apply_detects_drift_both_directions() {
+        let entries = parse("allow PANIC003 a.rs count=2 reason=\"bounded\"").unwrap();
+        let (left, errs) = apply(vec![diag(Rule::Panic003, "a.rs", 3, "f")], &entries);
+        assert_eq!(left.len(), 1, "mismatched entries suppress nothing");
+        assert_eq!(errs.len(), 1);
+        let three = vec![
+            diag(Rule::Panic003, "a.rs", 1, "f"),
+            diag(Rule::Panic003, "a.rs", 2, "f"),
+            diag(Rule::Panic003, "a.rs", 3, "f"),
+        ];
+        let (_, errs2) = apply(three, &entries);
+        assert_eq!(errs2.len(), 1);
+    }
+
+    #[test]
+    fn fn_scoped_binds_before_file_scoped() {
+        let diags = vec![
+            diag(Rule::Panic001, "a.rs", 3, "f"),
+            diag(Rule::Panic001, "a.rs", 9, "g"),
+        ];
+        let entries = parse(
+            "allow PANIC001 a.rs fn=f count=1 reason=\"checked\"\nallow PANIC001 a.rs fn=g count=1 reason=\"checked\"",
+        )
+        .unwrap();
+        let (left, errs) = apply(diags, &entries);
+        assert!(left.is_empty());
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn generate_preserves_reasons_and_buckets() {
+        let diags = vec![
+            diag(Rule::Panic001, "a.rs", 3, "f"),
+            diag(Rule::Panic003, "a.rs", 4, "f"),
+            diag(Rule::Panic003, "a.rs", 9, "g"),
+        ];
+        let old = parse("allow PANIC003 a.rs count=1 reason=\"bounded by n\"").unwrap();
+        let text = generate(&diags, &old);
+        assert!(text.contains("allow PANIC001 a.rs fn=f count=1 reason=\"TODO"));
+        assert!(text.contains("allow PANIC003 a.rs count=2 reason=\"bounded by n\""));
+        // Regenerated text with TODO must not parse cleanly (gate refuses it).
+        assert!(parse(&text).is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! A lightweight Rust lexer.
+//!
+//! Produces just enough token structure for the lint passes: identifiers,
+//! literals, punctuation, and — crucially — comments, because the marker
+//! grammar (`// choco-lint: ...`) lives in comments that ordinary parsers
+//! throw away. It is not a full Rust grammar; the analysis layers above are
+//! explicit about the token-level heuristics they apply.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// Integer literal; the payload keeps any type suffix (`1u64` → `u64`).
+    Int(Option<String>),
+    /// Float literal.
+    Float,
+    /// String / raw string / byte string literal.
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Punctuation, longest-match (`<<=`, `==`, `->`, `::`, `+`, ...).
+    Punct(&'static str),
+    /// `//` or `/* */` comment; payload is the comment text without markers.
+    Comment(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(q) if *q == p)
+    }
+
+    /// True when this token is the given identifier/keyword.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == name)
+    }
+}
+
+/// Multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "::", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "(", ")", "[", "]", "{", "}", ",", ";",
+    ":", "#", "!", "?", ".", "=", "<", ">", "+", "-", "*", "/", "%", "^", "&", "|", "@", "$", "~",
+];
+
+/// Lexes `src` into tokens. Unknown bytes are skipped (the lint passes are
+/// heuristics; a best-effort token stream beats a hard error on exotic
+/// source).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        let start_line = line;
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = memchr_newline(b, i);
+                let text = src[i + 2..end].trim().to_string();
+                toks.push(Token {
+                    tok: Tok::Comment(text),
+                    line: start_line,
+                });
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let (end, nl) = block_comment_end(b, i + 2);
+                let text = src[i + 2..end.saturating_sub(2).max(i + 2)]
+                    .trim()
+                    .to_string();
+                toks.push(Token {
+                    tok: Tok::Comment(text),
+                    line: start_line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'"' => {
+                let (end, nl) = string_end(b, i + 1);
+                toks.push(Token {
+                    tok: Tok::Str,
+                    line: start_line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let (end, nl) = raw_or_byte_string_end(b, i);
+                toks.push(Token {
+                    tok: Tok::Str,
+                    line: start_line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime ('a followed by non-quote) vs char literal ('a').
+                if is_lifetime(b, i) {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    toks.push(Token {
+                        tok: Tok::Lifetime,
+                        line: start_line,
+                    });
+                    i = j;
+                } else {
+                    let (end, nl) = char_literal_end(b, i + 1);
+                    toks.push(Token {
+                        tok: Tok::Char,
+                        line: start_line,
+                    });
+                    line += nl;
+                    i = end;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(src[i..j].to_string()),
+                    line: start_line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let (end, tok) = number_end(src, b, i);
+                toks.push(Token {
+                    tok,
+                    line: start_line,
+                });
+                i = end;
+            }
+            _ => {
+                let rest = &src[i..];
+                if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+                    toks.push(Token {
+                        tok: Tok::Punct(p),
+                        line: start_line,
+                    });
+                    i += p.len();
+                } else {
+                    i += 1; // unknown byte: skip
+                }
+            }
+        }
+    }
+    toks
+}
+
+fn memchr_newline(b: &[u8], from: usize) -> usize {
+    b[from..]
+        .iter()
+        .position(|&c| c == b'\n')
+        .map(|p| from + p)
+        .unwrap_or(b.len())
+}
+
+/// Returns (index past `*/`, newline count). Handles nesting.
+fn block_comment_end(b: &[u8], mut i: usize) -> (usize, u32) {
+    let mut depth = 1usize;
+    let mut nl = 0u32;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            nl += 1;
+            i += 1;
+        } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return (i, nl);
+            }
+        } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            depth += 1;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    (b.len(), nl)
+}
+
+/// Returns (index past closing quote, newline count).
+fn string_end(b: &[u8], mut i: usize) -> (usize, u32) {
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (b.len(), nl)
+}
+
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // r"...", r#"..."#, b"...", br"...", b'x'
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => matches!(b.get(i + 1), Some(b'"') | Some(b'\'') | Some(b'r')),
+        _ => false,
+    }
+}
+
+fn raw_or_byte_string_end(b: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        // byte literal b'x'
+        let (end, nl) = char_literal_end(b, j + 1);
+        return (end, nl);
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return (j, 0); // not actually a string; treat consumed prefix as junk
+    }
+    j += 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            nl += 1;
+            j += 1;
+        } else if !raw && b[j] == b'\\' {
+            j += 2;
+        } else if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while raw && seen < hashes && k < b.len() && b[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (k, nl);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (b.len(), nl)
+}
+
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    // 'a is a lifetime unless followed by a closing quote ('a').
+    let Some(&c1) = b.get(i + 1) else {
+        return false;
+    };
+    if c1 == b'\\' {
+        return false;
+    }
+    if !(c1 == b'_' || c1.is_ascii_alphabetic()) {
+        return false;
+    }
+    let mut j = i + 2;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    b.get(j) != Some(&b'\'')
+}
+
+fn char_literal_end(b: &[u8], mut i: usize) -> (usize, u32) {
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (b.len(), nl)
+}
+
+fn number_end(src: &str, b: &[u8], i: usize) -> (usize, Tok) {
+    let mut j = i;
+    let hex = b[i] == b'0'
+        && matches!(
+            b.get(i + 1),
+            Some(b'x') | Some(b'X') | Some(b'o') | Some(b'b')
+        );
+    if hex {
+        j += 2;
+    }
+    let mut is_float = false;
+    while j < b.len() {
+        let c = b[j];
+        if c.is_ascii_hexdigit() || c == b'_' {
+            j += 1;
+        } else if (!hex && c == b'.' && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()))
+            || (!hex && (c == b'e' || c == b'E') && {
+                let k = if matches!(b.get(j + 1), Some(b'+') | Some(b'-')) {
+                    j + 2
+                } else {
+                    j + 1
+                };
+                b.get(k).is_some_and(|d| d.is_ascii_digit())
+            })
+        {
+            is_float = true;
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    // Type suffix (u64, i32, usize, f64, ...).
+    let suffix_start = j;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    let suffix = if j > suffix_start {
+        Some(src[suffix_start..j].to_string())
+    } else {
+        None
+    };
+    if is_float || matches!(&suffix, Some(s) if s.starts_with('f')) {
+        (j, Tok::Float)
+    } else {
+        (j, Tok::Int(suffix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn foo(a: u64) {\n  a + 1\n}");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("foo"));
+        let plus = toks.iter().find(|t| t.is_punct("+")).unwrap();
+        assert_eq!(plus.line, 2);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = lex("// choco-lint: secret\nfn f() {}");
+        assert_eq!(toks[0].tok, Tok::Comment("choco-lint: secret".into()));
+        assert_eq!(toks[0].line, 1);
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_confuse() {
+        let toks = kinds(r#"let s = "a + b // not comment"; let c = 'x';"#);
+        assert!(toks.contains(&Tok::Str));
+        assert!(toks.contains(&Tok::Char));
+        assert!(!toks.iter().any(|t| matches!(t, Tok::Comment(_))));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let r = r#\"raw \" here\"#; }");
+        assert!(toks.contains(&Tok::Lifetime));
+        assert!(toks.contains(&Tok::Str));
+    }
+
+    #[test]
+    fn int_suffixes_are_kept() {
+        let toks = kinds("let x = 1u64 + 0x3f_u128 + 2.5;");
+        assert!(toks.contains(&Tok::Int(Some("u64".into()))));
+        assert!(toks.contains(&Tok::Int(Some("u128".into()))));
+        assert!(toks.contains(&Tok::Float));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still */ fn");
+        assert!(matches!(toks[0].tok, Tok::Comment(_)));
+        assert!(toks[1].is_ident("fn"));
+    }
+
+    #[test]
+    fn maximal_munch_puncts() {
+        let toks = kinds("a <<= b == c != d..=e");
+        assert!(toks.contains(&Tok::Punct("<<=")));
+        assert!(toks.contains(&Tok::Punct("==")));
+        assert!(toks.contains(&Tok::Punct("!=")));
+        assert!(toks.contains(&Tok::Punct("..=")));
+    }
+}

@@ -1,0 +1,311 @@
+//! `choco-lint`: HE-aware static analysis for the CHOCO workspace.
+//!
+//! A dependency-free lint pass (own lexer — the offline-build rule rules out
+//! syn/proc-macro) enforcing four rule families over the workspace sources,
+//! driven by in-source `// choco-lint:` marker comments and the committed
+//! count-pinned allowlist (`lint.toml`):
+//!
+//! | family | rules | meaning |
+//! |---|---|---|
+//! | secret-independence | SEC001–003 | fns marked `secret` may not branch on, index with, or pass secrets to unreviewed helpers |
+//! | lazy-reduction | LAZY001–002 | raw u64 arithmetic stays inside `modops` wrappers or `lazy-domain` regions, which must canonicalize |
+//! | panic audit | PANIC001–004 | unwrap/expect, panic-family macros, slice indexing, assert-family in library code |
+//! | unsafe audit | UNSAFE001–002 | every crate root carries `#![forbid(unsafe_code)]`; no `unsafe` tokens |
+//!
+//! See DESIGN.md §7 for the marker grammar and the allowlist workflow.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use rules::{FileScope, FnRegistry};
+
+/// Crates whose library code is subject to the panic audit. The tooling
+/// crates (`lint` itself, `bench`, `quickprop`) are exempt: they are not
+/// shipped library surface. All crates get the unsafe audit.
+pub const PANIC_AUDIT_CRATES: &[&str] = &["math", "prng", "he", "choco", "apps", "taco"];
+
+/// Files subject to the lazy-reduction discipline (modular kernels).
+pub const LAZY_FILES: &[&str] = &[
+    "crates/math/src/ntt.rs",
+    "crates/math/src/modops.rs",
+    "crates/he/src/keyswitch.rs",
+];
+
+/// Lint rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Branch (`if`/`while`/`match`/`assert!`) on a secret-derived value.
+    Sec001,
+    /// Memory index derived from a secret value.
+    Sec002,
+    /// Call from a secret fn to an unreviewed workspace helper.
+    Sec003,
+    /// Raw `+`/`*`/`%` on u64 outside modops wrappers / lazy regions.
+    Lazy001,
+    /// Comparison/serialization before canonical reduction in a lazy region.
+    Lazy002,
+    /// `.unwrap()` / `.expect()` in library code.
+    Panic001,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code.
+    Panic002,
+    /// Slice index (may panic) in library code.
+    Panic003,
+    /// `assert!` family (not `debug_assert!`) in library code.
+    Panic004,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    Unsafe001,
+    /// An `unsafe` token anywhere.
+    Unsafe002,
+    /// Malformed `choco-lint:` marker comment.
+    Marker,
+}
+
+impl Rule {
+    /// The stable textual id used in output, markers, and the allowlist.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Sec001 => "SEC001",
+            Rule::Sec002 => "SEC002",
+            Rule::Sec003 => "SEC003",
+            Rule::Lazy001 => "LAZY001",
+            Rule::Lazy002 => "LAZY002",
+            Rule::Panic001 => "PANIC001",
+            Rule::Panic002 => "PANIC002",
+            Rule::Panic003 => "PANIC003",
+            Rule::Panic004 => "PANIC004",
+            Rule::Unsafe001 => "UNSAFE001",
+            Rule::Unsafe002 => "UNSAFE002",
+            Rule::Marker => "MARKER",
+        }
+    }
+
+    /// Parses a rule id as written in markers/allowlist entries.
+    pub fn from_id(s: &str) -> Option<Rule> {
+        Some(match s {
+            "SEC001" => Rule::Sec001,
+            "SEC002" => Rule::Sec002,
+            "SEC003" => Rule::Sec003,
+            "LAZY001" => Rule::Lazy001,
+            "LAZY002" => Rule::Lazy002,
+            "PANIC001" => Rule::Panic001,
+            "PANIC002" => Rule::Panic002,
+            "PANIC003" => Rule::Panic003,
+            "PANIC004" => Rule::Panic004,
+            "UNSAFE001" => Rule::Unsafe001,
+            "UNSAFE002" => Rule::Unsafe002,
+            "MARKER" => Rule::Marker,
+            _ => return None,
+        })
+    }
+}
+
+/// One finding: rule, location, enclosing function, and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    pub line: u32,
+    /// Enclosing function name, or `-` at module level.
+    pub func: String,
+    pub msg: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        rule: Rule,
+        file: &str,
+        line: u32,
+        func: &str,
+        msg: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            func: func.to_string(),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} [{}] {}",
+            self.rule.id(),
+            self.file,
+            self.line,
+            self.func,
+            self.msg
+        )
+    }
+}
+
+/// Computes how a workspace-relative file participates in each rule family.
+pub fn scope_for(rel: &str) -> FileScope {
+    let panic_audit = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .is_some_and(|c| PANIC_AUDIT_CRATES.contains(&c))
+        && rel.contains("/src/");
+    let lazy = LAZY_FILES.contains(&rel);
+    let crate_root = rel.ends_with("/src/lib.rs")
+        || rel == "src/lib.rs"
+        || rel.ends_with("/src/main.rs")
+        || rel == "src/main.rs"
+        || rel.contains("/src/bin/");
+    FileScope {
+        panic_audit,
+        lazy,
+        crate_root,
+    }
+}
+
+/// Discovers the workspace source files to lint: every `.rs` under
+/// `crates/*/src/` plus the umbrella `src/`. Test directories (`tests/`,
+/// `benches/`, `examples/`) are intentionally out of scope.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for c in crate_dirs {
+            let src = c.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut out)?;
+            }
+        }
+    }
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        collect_rs(&umbrella, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Result of a full lint run.
+pub struct RunResult {
+    /// Surviving diagnostics after inline allows + allowlist.
+    pub diags: Vec<Diagnostic>,
+    /// Allowlist parse/drift errors (always fatal).
+    pub errors: Vec<String>,
+    /// All audit-rule diagnostics *before* the allowlist was applied
+    /// (input to `--fix-allowlist`).
+    pub pre_allowlist: Vec<Diagnostic>,
+    pub files_checked: usize,
+}
+
+/// Lints the given files (workspace-relative paths resolved against `root`)
+/// against `allowlist_text`.
+pub fn run(root: &Path, files: &[PathBuf], allowlist_text: &str) -> std::io::Result<RunResult> {
+    let mut parsed = Vec::new();
+    let mut registry = FnRegistry::new();
+    for path in files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        let p = parse::parse(&src);
+        rules::register_fns(&p, &mut registry);
+        parsed.push((rel, p));
+    }
+    let mut all = Vec::new();
+    for (rel, p) in &parsed {
+        let scope = scope_for(rel);
+        all.extend(rules::check_file(rel, p, &scope, &registry));
+    }
+    let (entries, mut errors) = match allowlist::parse(allowlist_text) {
+        Ok(e) => (e, Vec::new()),
+        Err(errs) => (Vec::new(), errs),
+    };
+    let pre_allowlist = all.clone();
+    let (mut survivors, drift) = allowlist::apply(all, &entries);
+    errors.extend(drift);
+    survivors
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(RunResult {
+        diags: survivors,
+        errors,
+        pre_allowlist,
+        files_checked: parsed.len(),
+    })
+}
+
+/// Workspace-relative path with forward slashes.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_roundtrip() {
+        for r in [
+            Rule::Sec001,
+            Rule::Sec002,
+            Rule::Sec003,
+            Rule::Lazy001,
+            Rule::Lazy002,
+            Rule::Panic001,
+            Rule::Panic002,
+            Rule::Panic003,
+            Rule::Panic004,
+            Rule::Unsafe001,
+            Rule::Unsafe002,
+            Rule::Marker,
+        ] {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("NOPE"), None);
+    }
+
+    #[test]
+    fn scopes_are_computed_from_paths() {
+        let s = scope_for("crates/math/src/ntt.rs");
+        assert!(s.panic_audit && s.lazy && !s.crate_root);
+        let s = scope_for("crates/he/src/lib.rs");
+        assert!(s.panic_audit && !s.lazy && s.crate_root);
+        let s = scope_for("crates/lint/src/lib.rs");
+        assert!(!s.panic_audit && s.crate_root);
+        let s = scope_for("src/lib.rs");
+        assert!(!s.panic_audit && s.crate_root);
+        let s = scope_for("crates/bench/src/bin/ntt.rs");
+        assert!(!s.panic_audit && s.crate_root);
+    }
+}

@@ -1,0 +1,126 @@
+//! `choco-lint` CLI.
+//!
+//! ```text
+//! choco-lint --workspace [--root DIR] [--allowlist FILE] [--fix-allowlist]
+//! choco-lint [--root DIR] [--allowlist FILE] FILE...
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations or allowlist drift, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use choco_lint::{allowlist, run, workspace_files};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut fix = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--fix-allowlist" => fix = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => return usage("--allowlist needs a file"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "choco-lint: HE-aware static analysis for the CHOCO workspace\n\n\
+                     USAGE:\n  choco-lint --workspace [--root DIR] [--allowlist FILE] [--fix-allowlist]\n  \
+                     choco-lint [--root DIR] [--allowlist FILE] FILE...\n\n\
+                     Rules: SEC001-003 secret-independence, LAZY001-002 lazy-reduction,\n\
+                     PANIC001-004 panic audit, UNSAFE001-002 unsafe audit (see DESIGN.md §7)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => return usage(&format!("unknown flag '{a}'")),
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return usage("pass --workspace or explicit files");
+    }
+    if workspace && !files.is_empty() {
+        return usage("--workspace and explicit files are mutually exclusive");
+    }
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lint.toml"));
+    let targets = if workspace {
+        match workspace_files(&root) {
+            Ok(t) => t,
+            Err(e) => return io_err(&format!("walking workspace: {e}")),
+        }
+    } else {
+        files.iter().map(|f| root.join(f)).collect()
+    };
+    let allowlist_text = match std::fs::read_to_string(&allowlist_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return io_err(&format!("reading {}: {e}", allowlist_path.display())),
+    };
+    let result = match run(&root, &targets, &allowlist_text) {
+        Ok(r) => r,
+        Err(e) => return io_err(&format!("lint run failed: {e}")),
+    };
+
+    if fix {
+        // Regenerate the allowlist from pre-allowlist audit findings,
+        // preserving reasons for still-existing buckets. The author reviews
+        // the diff (and replaces any TODO reasons) before committing.
+        let old = allowlist::parse(&allowlist_text).unwrap_or_default();
+        let text = allowlist::generate(&result.pre_allowlist, &old);
+        if let Err(e) = std::fs::write(&allowlist_path, &text) {
+            return io_err(&format!("writing {}: {e}", allowlist_path.display()));
+        }
+        let todos = text.matches("TODO").count();
+        println!(
+            "choco-lint: wrote {} ({} entries, {todos} TODO reasons to fill in)",
+            allowlist_path.display(),
+            text.lines().filter(|l| l.starts_with("allow ")).count()
+        );
+        println!("review with: git diff {}", allowlist_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    for e in &result.errors {
+        eprintln!("error: {e}");
+    }
+    for d in &result.diags {
+        println!("{d}");
+    }
+    if result.diags.is_empty() && result.errors.is_empty() {
+        println!(
+            "choco-lint: {} files clean ({} audited sites allowlisted)",
+            result.files_checked,
+            result.pre_allowlist.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "choco-lint: {} violation(s), {} allowlist error(s) in {} files",
+            result.diags.len(),
+            result.errors.len(),
+            result.files_checked
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("choco-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+fn io_err(msg: &str) -> ExitCode {
+    eprintln!("choco-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,618 @@
+//! Item-level structure recovered from the token stream: functions with
+//! their parameters and marker comments, test-code ranges, lazy-domain
+//! regions, and inline `allow` suppressions.
+
+use crate::lexer::{lex, Tok, Token};
+use crate::Rule;
+
+/// Rust keywords that can never be an indexing base or a call target.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// Is `s` a Rust keyword?
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Marker attached to a function via a `// choco-lint: ...` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FnMarker {
+    /// `secret` — body must be secret-independent; payload = declared-public
+    /// parameter names.
+    Secret(Vec<String>),
+    /// `ct-safe` — reviewed constant-time helper, callable from secret fns.
+    CtSafe,
+    /// `modops` — blessed modular-arithmetic wrapper (licenses raw u64
+    /// arithmetic inside its body).
+    Modops,
+}
+
+/// One parsed parameter: pattern idents plus the flat type text.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub names: Vec<String>,
+    pub type_text: String,
+}
+
+/// A function found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    pub name: String,
+    pub line: u32,
+    pub params: Vec<Param>,
+    /// Token-index range of the body, `{` .. matching `}` inclusive.
+    pub body: Option<(usize, usize)>,
+    pub marker: Option<FnMarker>,
+}
+
+/// An inline `// choco-lint: allow(RULE) reason` suppression.
+#[derive(Debug, Clone)]
+pub struct InlineAllow {
+    pub rule: Rule,
+    /// The source line the suppression applies to.
+    pub target_line: u32,
+}
+
+/// A `lazy-domain` .. `end-lazy-domain` region (token-index range).
+#[derive(Debug, Clone)]
+pub struct LazyRegion {
+    pub start: usize,
+    pub end: usize,
+    pub end_line: u32,
+}
+
+/// Fully parsed file, ready for the rule passes.
+pub struct ParsedFile {
+    pub toks: Vec<Token>,
+    pub fns: Vec<FnInfo>,
+    /// Token ranges belonging to `#[cfg(test)]` / `#[test]` items.
+    pub excluded: Vec<(usize, usize)>,
+    pub allows: Vec<InlineAllow>,
+    pub lazy_regions: Vec<LazyRegion>,
+    /// Marker-syntax problems (malformed `choco-lint:` comments).
+    pub marker_errors: Vec<(u32, String)>,
+}
+
+impl ParsedFile {
+    /// True when token index `i` falls in test-only code.
+    pub fn is_excluded(&self, i: usize) -> bool {
+        self.excluded.iter().any(|&(a, b)| i >= a && i <= b)
+    }
+
+    /// True when token index `i` falls inside a lazy-domain region.
+    pub fn in_lazy_region(&self, i: usize) -> bool {
+        self.lazy_regions.iter().any(|r| i >= r.start && i <= r.end)
+    }
+
+    /// The innermost function whose body contains token index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| matches!(f.body, Some((a, b)) if i >= a && i <= b))
+            .min_by_key(|f| match f.body {
+                Some((a, b)) => b - a,
+                None => usize::MAX,
+            })
+    }
+
+    /// True when `rule` is suppressed at `line` by an inline allow.
+    pub fn is_allowed(&self, rule: Rule, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.target_line == line)
+    }
+}
+
+/// Parses source text into a [`ParsedFile`].
+pub fn parse(src: &str) -> ParsedFile {
+    let toks = lex(src);
+    let excluded = find_test_ranges(&toks);
+    let (allows, lazy_regions, mut marker_errors) = scan_markers(&toks);
+    let fns = find_fns(&toks, &mut marker_errors);
+    ParsedFile {
+        toks,
+        fns,
+        excluded,
+        allows,
+        lazy_regions,
+        marker_errors,
+    }
+}
+
+/// Finds the token index of the brace matching the `{` at `open`.
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match &t.tok {
+            Tok::Punct("{") => depth += 1,
+            Tok::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Token ranges covered by `#[cfg(test)]` / `#[test]` items.
+fn find_test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            // Collect the attribute tokens.
+            let mut j = i + 2;
+            let mut depth = 1i64;
+            let mut has_test = false;
+            let mut has_cfg = false;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].tok {
+                    Tok::Punct("[") => depth += 1,
+                    Tok::Punct("]") => depth -= 1,
+                    Tok::Ident(s) if s == "test" => has_test = true,
+                    Tok::Ident(s) if s == "cfg" => has_cfg = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // `#[test]` is exactly `test`; `#[cfg(test)]` is cfg+test.
+            let attr_len = j - (i + 2);
+            let is_test_attr = has_test && (has_cfg || attr_len <= 2);
+            if is_test_attr {
+                // Skip further attributes and find the item end.
+                let mut k = j;
+                while k + 1 < toks.len() && toks[k].is_punct("#") && toks[k + 1].is_punct("[") {
+                    let mut d = 0i64;
+                    k += 1;
+                    while k < toks.len() {
+                        match &toks[k].tok {
+                            Tok::Punct("[") => d += 1,
+                            Tok::Punct("]") => {
+                                d -= 1;
+                                if d == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                // Item body: first `{` (match it) or `;` at paren depth 0.
+                let mut pd = 0i64;
+                let mut end = toks.len() - 1;
+                let mut m = k;
+                while m < toks.len() {
+                    match &toks[m].tok {
+                        Tok::Punct("(") => pd += 1,
+                        Tok::Punct(")") => pd -= 1,
+                        Tok::Punct("{") if pd == 0 => {
+                            end = match_brace(toks, m);
+                            break;
+                        }
+                        Tok::Punct(";") if pd == 0 => {
+                            end = m;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                out.push((i, end));
+                i = end + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses every `choco-lint:` comment: inline allows, lazy regions, and
+/// syntax errors. Function markers are resolved separately in [`find_fns`].
+fn scan_markers(toks: &[Token]) -> (Vec<InlineAllow>, Vec<LazyRegion>, Vec<(u32, String)>) {
+    let mut allows = Vec::new();
+    let mut regions = Vec::new();
+    let mut errors = Vec::new();
+    let mut open_region: Option<(usize, u32)> = None;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Comment(text) = &t.tok else { continue };
+        let Some(rest) = marker_body(text) else {
+            continue;
+        };
+        if rest == "lazy-domain"
+            || rest.starts_with("lazy-domain(")
+            || rest.starts_with("lazy-domain ")
+        {
+            if open_region.is_some() {
+                errors.push((t.line, "nested lazy-domain region".into()));
+            } else {
+                open_region = Some((i, t.line));
+            }
+        } else if rest == "end-lazy-domain" {
+            match open_region.take() {
+                Some((start, _)) => regions.push(LazyRegion {
+                    start,
+                    end: i,
+                    end_line: t.line,
+                }),
+                None => errors.push((t.line, "end-lazy-domain without open region".into())),
+            }
+        } else if let Some(args) = rest.strip_prefix("allow(") {
+            match args.split_once(')') {
+                Some((rule_txt, reason)) => match Rule::from_id(rule_txt.trim()) {
+                    Some(rule) => {
+                        if reason.trim().is_empty() {
+                            errors.push((t.line, format!("allow({rule_txt}) needs a reason")));
+                        } else {
+                            allows.push(InlineAllow {
+                                rule,
+                                target_line: allow_target_line(toks, i),
+                            });
+                        }
+                    }
+                    None => errors.push((t.line, format!("unknown rule '{}'", rule_txt.trim()))),
+                },
+                None => errors.push((t.line, "malformed allow marker".into())),
+            }
+        } else if !(rest == "secret"
+            || rest.starts_with("secret(")
+            || rest.starts_with("secret (")
+            || rest == "ct-safe"
+            || rest == "modops")
+        {
+            errors.push((t.line, format!("unknown choco-lint marker '{rest}'")));
+        }
+    }
+    if let Some((_, line)) = open_region {
+        errors.push((line, "lazy-domain region never closed".into()));
+    }
+    (allows, regions, errors)
+}
+
+/// Extracts the text after `choco-lint:` if this comment is a marker.
+fn marker_body(text: &str) -> Option<&str> {
+    let t = text.trim_start_matches('!').trim_start_matches('/').trim();
+    t.strip_prefix("choco-lint:").map(str::trim)
+}
+
+/// The source line an allow-comment at token `i` suppresses: its own line if
+/// code precedes it there, otherwise the next code line.
+fn allow_target_line(toks: &[Token], i: usize) -> u32 {
+    let line = toks[i].line;
+    let code_before = toks[..i]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .any(|t| !matches!(t.tok, Tok::Comment(_)));
+    if code_before {
+        return line;
+    }
+    toks[i + 1..]
+        .iter()
+        .find(|t| !matches!(t.tok, Tok::Comment(_)))
+        .map(|t| t.line)
+        .unwrap_or(line)
+}
+
+/// Scans for `fn` items, resolving their marker comments and parameters.
+fn find_fns(toks: &[Token], marker_errors: &mut Vec<(u32, String)>) -> Vec<FnInfo> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && i + 1 < toks.len() {
+            if let Some(name) = toks[i + 1].ident() {
+                let name = name.to_string();
+                let line = toks[i].line;
+                let marker = fn_marker(toks, i, marker_errors);
+                // Skip generics to the parameter list.
+                let mut j = i + 2;
+                let mut angle = 0i64;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct("<") => angle += 1,
+                        Tok::Punct(">") => angle -= 1,
+                        Tok::Punct(">>") => angle -= 2,
+                        Tok::Punct("(") if angle <= 0 => break,
+                        Tok::Punct("{") | Tok::Punct(";") => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let (params, after_params) = if j < toks.len() && toks[j].is_punct("(") {
+                    parse_params(toks, j)
+                } else {
+                    (Vec::new(), j)
+                };
+                // Find the body `{` (or `;` for a bodyless declaration).
+                let mut k = after_params;
+                let mut body = None;
+                while k < toks.len() {
+                    match &toks[k].tok {
+                        Tok::Punct("{") => {
+                            body = Some((k, match_brace(toks, k)));
+                            break;
+                        }
+                        Tok::Punct(";") => break,
+                        _ => k += 1,
+                    }
+                }
+                fns.push(FnInfo {
+                    name,
+                    line,
+                    params,
+                    body,
+                    marker,
+                });
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Resolves the marker comment (if any) preceding the `fn` token at `at`.
+fn fn_marker(
+    toks: &[Token],
+    at: usize,
+    marker_errors: &mut Vec<(u32, String)>,
+) -> Option<FnMarker> {
+    // Walk back over visibility/attribute/doc tokens to the nearest comment
+    // block, stopping at anything that ends a previous item.
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        match &toks[i].tok {
+            Tok::Comment(text) => {
+                if let Some(rest) = marker_body(text) {
+                    if rest == "ct-safe" {
+                        return Some(FnMarker::CtSafe);
+                    }
+                    if rest == "modops" {
+                        return Some(FnMarker::Modops);
+                    }
+                    if rest == "secret" {
+                        return Some(FnMarker::Secret(Vec::new()));
+                    }
+                    if let Some(args) = rest
+                        .strip_prefix("secret")
+                        .map(str::trim_start)
+                        .and_then(|s| s.strip_prefix('('))
+                    {
+                        let Some((inner, _)) = args.split_once(')') else {
+                            marker_errors.push((toks[i].line, "malformed secret marker".into()));
+                            return None;
+                        };
+                        let publics = match inner.trim().strip_prefix("public:") {
+                            Some(list) => list
+                                .split(',')
+                                .map(|s| s.trim().to_string())
+                                .filter(|s| !s.is_empty())
+                                .collect(),
+                            None => {
+                                marker_errors.push((
+                                    toks[i].line,
+                                    "secret marker expects (public: ...)".into(),
+                                ));
+                                Vec::new()
+                            }
+                        };
+                        return Some(FnMarker::Secret(publics));
+                    }
+                    // Other markers (allow / lazy-domain) are positional, not
+                    // function markers; keep walking.
+                }
+                // Plain comment or doc: keep walking.
+            }
+            Tok::Ident(s)
+                if matches!(
+                    s.as_str(),
+                    "pub"
+                        | "const"
+                        | "unsafe"
+                        | "extern"
+                        | "crate"
+                        | "in"
+                        | "super"
+                        | "self"
+                        | "async"
+                ) => {}
+            Tok::Punct("(")
+            | Tok::Punct(")")
+            | Tok::Punct("#")
+            | Tok::Punct("[")
+            | Tok::Punct("]")
+            | Tok::Punct("::") => {}
+            Tok::Str => {}
+            Tok::Ident(_) => {
+                // Attribute content like `inline` / `derive` idents sit
+                // between `[` `]`; anything else ends the search.
+                let in_attr = toks[..i]
+                    .iter()
+                    .rev()
+                    .find(|t| {
+                        t.is_punct("[") || t.is_punct("]") || t.is_punct(";") || t.is_punct("}")
+                    })
+                    .is_some_and(|t| t.is_punct("["));
+                if !in_attr {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Parses a parameter list starting at the `(` token; returns the params and
+/// the index just past the matching `)`.
+fn parse_params(toks: &[Token], open: usize) -> (Vec<Param>, usize) {
+    let mut depth = 0i64;
+    let mut end = open;
+    for (idx, t) in toks.iter().enumerate().skip(open) {
+        match &t.tok {
+            Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("{") => depth += 1,
+            Tok::Punct(")") | Tok::Punct("]") | Tok::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    end = idx;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Split the interior at top-level commas.
+    let mut params = Vec::new();
+    let mut cur: Vec<&Token> = Vec::new();
+    let mut d = 0i64;
+    let mut angle = 0i64;
+    for t in &toks[open + 1..end] {
+        match &t.tok {
+            Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("{") => d += 1,
+            Tok::Punct(")") | Tok::Punct("]") | Tok::Punct("}") => d -= 1,
+            Tok::Punct("<") => angle += 1,
+            Tok::Punct(">") => angle -= 1,
+            Tok::Punct(">>") => angle -= 2,
+            Tok::Punct(",") if d == 0 && angle <= 0 => {
+                if let Some(p) = param_from_tokens(&cur) {
+                    params.push(p);
+                }
+                cur.clear();
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if let Some(p) = param_from_tokens(&cur) {
+        params.push(p);
+    }
+    (params, end + 1)
+}
+
+/// Builds a [`Param`] from the tokens of one comma-separated parameter.
+fn param_from_tokens(toks: &[&Token]) -> Option<Param> {
+    if toks.is_empty() {
+        return None;
+    }
+    // `self` forms: `self`, `&self`, `&mut self`, `mut self`.
+    if toks.iter().any(|t| t.is_ident("self")) && !toks.iter().any(|t| t.is_punct(":")) {
+        return Some(Param {
+            names: vec!["self".into()],
+            type_text: "Self".into(),
+        });
+    }
+    // Split at the first top-level `:` into pattern and type.
+    let mut d = 0i64;
+    let mut colon = None;
+    for (i, t) in toks.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("{") | Tok::Punct("<") => d += 1,
+            Tok::Punct(")") | Tok::Punct("]") | Tok::Punct("}") | Tok::Punct(">") => d -= 1,
+            Tok::Punct(":") if d == 0 => {
+                colon = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let colon = colon?;
+    let names: Vec<String> = toks[..colon]
+        .iter()
+        .filter_map(|t| t.ident())
+        .filter(|s| !is_keyword(s))
+        .map(str::to_string)
+        .collect();
+    let type_text = toks[colon + 1..]
+        .iter()
+        .map(|t| match &t.tok {
+            Tok::Ident(s) => s.as_str(),
+            Tok::Punct(p) => p,
+            _ => "_",
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    Some(Param { names, type_text })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_fns_with_params_and_bodies() {
+        let p = parse("pub fn add(a: u64, b: u64) -> u64 { a + b }\nfn empty();");
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "add");
+        assert_eq!(p.fns[0].params.len(), 2);
+        assert_eq!(p.fns[0].params[0].names, vec!["a"]);
+        assert!(p.fns[0].params[0].type_text.contains("u64"));
+        assert!(p.fns[0].body.is_some());
+        assert!(p.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn secret_marker_with_publics() {
+        let src =
+            "// choco-lint: secret (public: n, q)\npub fn sample(rng: &mut R, n: usize, q: u64) {}";
+        let p = parse(src);
+        assert_eq!(
+            p.fns[0].marker,
+            Some(FnMarker::Secret(vec!["n".into(), "q".into()]))
+        );
+    }
+
+    #[test]
+    fn marker_survives_attributes_and_docs() {
+        let src =
+            "// choco-lint: modops\n/// Doc line.\n#[inline(always)]\npub fn add_mod(a: u64) {}";
+        let p = parse(src);
+        assert_eq!(p.fns[0].marker, Some(FnMarker::Modops));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_excluded() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn helper() { x.unwrap(); }\n}";
+        let p = parse(src);
+        let unwrap_idx = p.toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(p.is_excluded(unwrap_idx));
+        let lib_idx = p.toks.iter().position(|t| t.is_ident("lib")).unwrap();
+        assert!(!p.is_excluded(lib_idx));
+    }
+
+    #[test]
+    fn lazy_regions_and_allows() {
+        let src = "// choco-lint: lazy-domain\nlet x = a + b;\n// choco-lint: end-lazy-domain\n// choco-lint: allow(PANIC001) checked above\nlet y = o.unwrap();";
+        let p = parse(src);
+        assert_eq!(p.lazy_regions.len(), 1);
+        assert_eq!(p.allows.len(), 1);
+        assert_eq!(p.allows[0].target_line, 5);
+        assert!(p.marker_errors.is_empty());
+    }
+
+    #[test]
+    fn malformed_markers_are_reported() {
+        let p = parse("// choco-lint: allow(NOPE123) reason\nfn f() {}");
+        assert_eq!(p.marker_errors.len(), 1);
+        let p2 = parse("// choco-lint: end-lazy-domain\nfn f() {}");
+        assert_eq!(p2.marker_errors.len(), 1);
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let src = "let y = o.unwrap(); // choco-lint: allow(PANIC001) startup only";
+        let p = parse(src);
+        assert_eq!(p.allows[0].target_line, 1);
+    }
+}

@@ -1,0 +1,811 @@
+//! The four rule families: secret-independence (SEC), lazy-reduction
+//! discipline (LAZY), panic-freedom (PANIC), and unsafe audit (UNSAFE).
+//!
+//! Everything here works on the token stream — there is no type inference.
+//! SEC taint and LAZY u64-typing are lexical approximations, tuned to be
+//! conservative on the crypto kernels this workspace actually contains; the
+//! escape hatch for reviewed false positives is an inline
+//! `// choco-lint: allow(RULE) reason` marker.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{Tok, Token};
+use crate::parse::{is_keyword, FnInfo, FnMarker, ParsedFile};
+use crate::{Diagnostic, Rule};
+
+/// How a file participates in each rule family.
+#[derive(Debug, Clone, Default)]
+pub struct FileScope {
+    /// PANIC001–004 apply (library code of an audited crate).
+    pub panic_audit: bool,
+    /// LAZY001/LAZY002 apply (modular-arithmetic kernel file).
+    pub lazy: bool,
+    /// UNSAFE001 applies (this file is a crate/bin root).
+    pub crate_root: bool,
+}
+
+/// Workspace-wide map from function name to "trusted from secret context"
+/// (marked `secret`, `ct-safe`, or `modops`). Functions absent from the map
+/// are unknown to the workspace (std / external) and are not checked.
+pub type FnRegistry = HashMap<String, bool>;
+
+/// Adds this file's function definitions to the SEC003 registry.
+pub fn register_fns(p: &ParsedFile, reg: &mut FnRegistry) {
+    for f in &p.fns {
+        let trusted = f.marker.is_some();
+        // Name collisions across impls: trust wins, to avoid false SEC003
+        // positives on same-named helpers (documented limitation).
+        let e = reg.entry(f.name.clone()).or_insert(trusted);
+        *e = *e || trusted;
+    }
+}
+
+/// Runs every applicable rule pass over one parsed file.
+pub fn check_file(
+    path: &str,
+    p: &ParsedFile,
+    scope: &FileScope,
+    reg: &FnRegistry,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (line, msg) in &p.marker_errors {
+        out.push(Diagnostic::new(Rule::Marker, path, *line, "-", msg.clone()));
+    }
+    check_unsafe(path, p, scope, &mut out);
+    if scope.panic_audit {
+        check_panics(path, p, &mut out);
+    }
+    if scope.lazy {
+        check_lazy(path, p, &mut out);
+    }
+    for f in &p.fns {
+        if let Some(FnMarker::Secret(publics)) = &f.marker {
+            check_secret_fn(path, p, f, publics, reg, &mut out);
+        }
+    }
+    // Inline allows suppress everything they name on their target line.
+    out.retain(|d| !p.is_allowed(d.rule, d.line));
+    out.sort_by_key(|d| (d.line, d.rule.id()));
+    out
+}
+
+/// True when the token at `i` looks like the *end of an operand*, i.e. a
+/// following `[`, `+`, `*`, `%` is a postfix/binary use rather than a prefix.
+fn ends_operand(t: &Token) -> bool {
+    match &t.tok {
+        Tok::Ident(s) => !is_keyword(s),
+        Tok::Int(_) | Tok::Float => true,
+        Tok::Punct(")") | Tok::Punct("]") => true,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UNSAFE
+// ---------------------------------------------------------------------------
+
+fn check_unsafe(path: &str, p: &ParsedFile, scope: &FileScope, out: &mut Vec<Diagnostic>) {
+    for (i, t) in p.toks.iter().enumerate() {
+        if t.is_ident("unsafe") && !p.is_excluded(i) {
+            let func = p
+                .enclosing_fn(i)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| "-".into());
+            out.push(Diagnostic::new(
+                Rule::Unsafe002,
+                path,
+                t.line,
+                &func,
+                "unsafe code in a forbid(unsafe_code) workspace",
+            ));
+        }
+    }
+    if scope.crate_root {
+        let has_forbid = p.toks.windows(7).any(|w| {
+            w[0].is_punct("#")
+                && w[1].is_punct("!")
+                && w[2].is_punct("[")
+                && w[3].is_ident("forbid")
+                && w[4].is_punct("(")
+                && w[5].is_ident("unsafe_code")
+        });
+        if !has_forbid {
+            out.push(Diagnostic::new(
+                Rule::Unsafe001,
+                path,
+                1,
+                "-",
+                "crate root is missing #![forbid(unsafe_code)]",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PANIC
+// ---------------------------------------------------------------------------
+
+fn check_panics(path: &str, p: &ParsedFile, out: &mut Vec<Diagnostic>) {
+    let toks = &p.toks;
+    for i in 0..toks.len() {
+        if p.is_excluded(i) {
+            continue;
+        }
+        let func = || {
+            p.enclosing_fn(i)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| "-".into())
+        };
+        match &toks[i].tok {
+            // `.unwrap(` / `.expect(`
+            Tok::Ident(s) if (s == "unwrap" || s == "expect") => {
+                let dotted = i > 0 && toks[i - 1].is_punct(".");
+                let called = toks.get(i + 1).is_some_and(|t| t.is_punct("("));
+                if dotted && called {
+                    out.push(Diagnostic::new(
+                        Rule::Panic001,
+                        path,
+                        toks[i].line,
+                        &func(),
+                        format!(".{s}() in library code — return a typed error instead"),
+                    ));
+                }
+            }
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+            Tok::Ident(s)
+                if matches!(
+                    s.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && toks.get(i + 1).is_some_and(|t| t.is_punct("!")) =>
+            {
+                out.push(Diagnostic::new(
+                    Rule::Panic002,
+                    path,
+                    toks[i].line,
+                    &func(),
+                    format!("{s}! in library code — return a typed error instead"),
+                ));
+            }
+            // `assert!` family (debug_assert* is exempt: compiled out in release)
+            Tok::Ident(s)
+                if matches!(s.as_str(), "assert" | "assert_eq" | "assert_ne")
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct("!")) =>
+            {
+                out.push(Diagnostic::new(
+                    Rule::Panic004,
+                    path,
+                    toks[i].line,
+                    &func(),
+                    format!("{s}! in library code — validate and return a typed error"),
+                ));
+            }
+            // slice/array indexing `expr[...]` (panics on out-of-bounds)
+            Tok::Punct("[") if i > 0 && ends_operand(&toks[i - 1]) => {
+                // `name![` is a macro invocation, not an index.
+                if i >= 2 && toks[i - 1].is_punct("]") {
+                    // could be chained index a[i][j]; still an index — fall through
+                }
+                out.push(Diagnostic::new(
+                    Rule::Panic003,
+                    path,
+                    toks[i].line,
+                    &func(),
+                    "slice index may panic — audited via allowlist or use .get()",
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LAZY
+// ---------------------------------------------------------------------------
+
+/// Calls that take a lazy value back to the canonical domain.
+const CANONICAL_CALLS: &[&str] = &[
+    "reduce",
+    "reduce_2q",
+    "reduce_4q",
+    "reduce_signed",
+    "mul_mod_shoup",
+    "mul_mod",
+    "center",
+];
+
+/// Calls after which a lazy value must not still be lazy.
+const ESCAPE_CALLS: &[&str] = &[
+    "serialize",
+    "to_bytes",
+    "write_u64",
+    "encode",
+    "decode",
+    "compose",
+    "push_u64",
+];
+
+fn check_lazy(path: &str, p: &ParsedFile, out: &mut Vec<Diagnostic>) {
+    let toks = &p.toks;
+    // LAZY001: raw +/*/% on u64-ish operands outside modops fns and outside
+    // lazy-domain regions.
+    for f in &p.fns {
+        let Some((body_start, body_end)) = f.body else {
+            continue;
+        };
+        if matches!(f.marker, Some(FnMarker::Modops)) {
+            continue;
+        }
+        let u64ish = collect_u64_idents(toks, f, body_start, body_end);
+        for i in body_start..=body_end {
+            if p.is_excluded(i) || p.in_lazy_region(i) {
+                continue;
+            }
+            let op = match &toks[i].tok {
+                Tok::Punct(op @ ("+" | "*" | "%")) => *op,
+                _ => continue,
+            };
+            if i == 0 || !ends_operand(&toks[i - 1]) {
+                continue; // unary or not a binary op
+            }
+            if operand_is_u64(toks, i, &u64ish) {
+                out.push(Diagnostic::new(
+                    Rule::Lazy001,
+                    path,
+                    toks[i].line,
+                    &f.name,
+                    format!(
+                        "raw `{op}` on u64 outside modops wrappers — use choco_math::modops or a lazy-domain region"
+                    ),
+                ));
+            }
+        }
+    }
+    // LAZY002: inside each lazy-domain region, comparisons or serialization
+    // before the first canonicalizing call; and regions that never
+    // canonicalize at all.
+    for r in &p.lazy_regions {
+        let mut canonical_seen = false;
+        for i in r.start..=r.end {
+            match &toks[i].tok {
+                Tok::Ident(s) if toks.get(i + 1).is_some_and(|t| t.is_punct("(")) => {
+                    if CANONICAL_CALLS.contains(&s.as_str()) {
+                        canonical_seen = true;
+                    } else if !canonical_seen && ESCAPE_CALLS.contains(&s.as_str()) {
+                        out.push(Diagnostic::new(
+                            Rule::Lazy002,
+                            path,
+                            toks[i].line,
+                            "-",
+                            format!(
+                                "`{s}` on a value still in the lazy domain — canonicalize first"
+                            ),
+                        ));
+                    }
+                }
+                Tok::Punct("%") | Tok::Punct("%=") => canonical_seen = true,
+                Tok::Punct(op @ ("==" | "!=")) if !canonical_seen => {
+                    out.push(Diagnostic::new(
+                        Rule::Lazy002,
+                        path,
+                        toks[i].line,
+                        "-",
+                        format!("`{op}` comparison in the lazy domain — representations are not unique, canonicalize first"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if !canonical_seen {
+            out.push(Diagnostic::new(
+                Rule::Lazy002,
+                path,
+                r.end_line,
+                "-",
+                "lazy-domain region ends without reaching canonical reduction",
+            ));
+        }
+    }
+}
+
+/// Idents we can lexically conclude are u64/u128-valued within `f`'s body.
+fn collect_u64_idents(
+    toks: &[Token],
+    f: &FnInfo,
+    body_start: usize,
+    body_end: usize,
+) -> HashSet<String> {
+    let mut set: HashSet<String> = HashSet::new();
+    for p in &f.params {
+        if p.type_text.contains("u64") || p.type_text.contains("u128") {
+            for n in &p.names {
+                set.insert(n.clone());
+            }
+        }
+    }
+    // Two propagation passes over `let` bindings: explicit annotations,
+    // suffixed literals, `as u64`/`as u128` casts, and RHS mentioning an
+    // already-u64 ident.
+    for _ in 0..2 {
+        let mut i = body_start;
+        while i <= body_end {
+            if toks[i].is_ident("let") {
+                // pattern idents until `=` or `;`
+                let mut names = Vec::new();
+                let mut j = i + 1;
+                let mut annotated = false;
+                while j <= body_end {
+                    match &toks[j].tok {
+                        Tok::Punct("=") | Tok::Punct(";") => break,
+                        Tok::Ident(s) if s == "u64" || s == "u128" => annotated = true,
+                        Tok::Ident(s) if !is_keyword(s) => names.push(s.clone()),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let mut rhs_u64 = false;
+                if j <= body_end && toks[j].is_punct("=") {
+                    // RHS until the terminating `;` at the same brace depth.
+                    let mut d = 0i64;
+                    let mut k = j + 1;
+                    while k <= body_end {
+                        match &toks[k].tok {
+                            Tok::Punct("{") | Tok::Punct("(") | Tok::Punct("[") => d += 1,
+                            Tok::Punct("}") | Tok::Punct(")") | Tok::Punct("]") => d -= 1,
+                            Tok::Punct(";") if d <= 0 => break,
+                            Tok::Ident(s) if s == "u64" || s == "u128" => rhs_u64 = true,
+                            Tok::Ident(s) if set.contains(s) => rhs_u64 = true,
+                            Tok::Int(Some(suf))
+                                if suf.starts_with("u64") || suf.starts_with("u128") =>
+                            {
+                                rhs_u64 = true
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                }
+                if annotated || rhs_u64 {
+                    for n in names {
+                        set.insert(n);
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    set
+}
+
+/// Does the binary op at token `i` have a u64-ish operand on either side?
+fn operand_is_u64(toks: &[Token], i: usize, u64ish: &HashSet<String>) -> bool {
+    // Left operand: direct ident, or `]` → resolve the indexed base ident.
+    let left = match &toks[i - 1].tok {
+        Tok::Ident(s) => u64ish.contains(s),
+        Tok::Int(Some(suf)) => suf.starts_with("u64") || suf.starts_with("u128"),
+        Tok::Punct("]") => indexed_base(toks, i - 1).is_some_and(|b| u64ish.contains(b)),
+        _ => false,
+    };
+    if left {
+        return true;
+    }
+    // Right operand: skip unary `&`/`*`-free cases; check ident or suffixed
+    // literal, or `base[` indexing.
+    if let Some(t) = toks.get(i + 1) {
+        match &t.tok {
+            Tok::Ident(s) if u64ish.contains(s) => {
+                return true;
+            }
+            Tok::Int(Some(suf)) if suf.starts_with("u64") || suf.starts_with("u128") => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// For a `]` at index `close`, finds the ident immediately before the
+/// matching `[` (the indexing base), if it is a simple `base[...]`.
+fn indexed_base(toks: &[Token], close: usize) -> Option<&str> {
+    let mut d = 0i64;
+    let mut i = close;
+    loop {
+        match &toks[i].tok {
+            Tok::Punct("]") => d += 1,
+            Tok::Punct("[") => {
+                d -= 1;
+                if d == 0 {
+                    return if i > 0 { toks[i - 1].ident() } else { None };
+                }
+            }
+            _ => {}
+        }
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SEC
+// ---------------------------------------------------------------------------
+
+fn check_secret_fn(
+    path: &str,
+    p: &ParsedFile,
+    f: &FnInfo,
+    publics: &[String],
+    reg: &FnRegistry,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some((body_start, body_end)) = f.body else {
+        return;
+    };
+    let toks = &p.toks;
+    // Seed taint: every parameter not declared public. `self` counts as
+    // secret (methods on secret-key holders).
+    let mut taint: HashSet<String> = HashSet::new();
+    for param in &f.params {
+        for n in &param.names {
+            if !publics.iter().any(|pn| pn == n) {
+                taint.insert(n.clone());
+            }
+        }
+    }
+    // Propagate through let-bindings and compound assignments. Two passes
+    // reach a fixpoint for the straight-line bodies in this workspace.
+    for _ in 0..2 {
+        let mut i = body_start;
+        while i <= body_end {
+            if toks[i].is_ident("let") {
+                let mut names = Vec::new();
+                let mut j = i + 1;
+                while j <= body_end {
+                    match &toks[j].tok {
+                        Tok::Punct("=") | Tok::Punct(";") => break,
+                        Tok::Ident(s) if !is_keyword(s) => names.push(s.clone()),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j <= body_end && toks[j].is_punct("=") {
+                    let mut d = 0i64;
+                    let mut k = j + 1;
+                    let mut tainted = false;
+                    while k <= body_end {
+                        match &toks[k].tok {
+                            Tok::Punct("{") | Tok::Punct("(") | Tok::Punct("[") => d += 1,
+                            Tok::Punct("}") | Tok::Punct(")") | Tok::Punct("]") => d -= 1,
+                            Tok::Punct(";") if d <= 0 => break,
+                            Tok::Ident(s) if taint.contains(s) => tainted = true,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if tainted {
+                        for n in names {
+                            taint.insert(n);
+                        }
+                    }
+                    i = k;
+                    continue;
+                }
+            } else if let Tok::Ident(s) = &toks[i].tok {
+                // `x += tainted_expr;` / `x = tainted_expr;` reassignment.
+                if !is_keyword(s) && !taint.contains(s) {
+                    if let Some(next) = toks.get(i + 1) {
+                        let assign = matches!(
+                            next.tok,
+                            Tok::Punct(
+                                "=" | "+="
+                                    | "-="
+                                    | "*="
+                                    | "/="
+                                    | "%="
+                                    | "&="
+                                    | "|="
+                                    | "^="
+                                    | "<<="
+                                    | ">>="
+                            )
+                        );
+                        if assign && (i == body_start || !toks[i - 1].is_ident("let")) {
+                            let mut d = 0i64;
+                            let mut k = i + 2;
+                            let mut tainted = false;
+                            while k <= body_end {
+                                match &toks[k].tok {
+                                    Tok::Punct("{") | Tok::Punct("(") | Tok::Punct("[") => d += 1,
+                                    Tok::Punct("}") | Tok::Punct(")") | Tok::Punct("]") => d -= 1,
+                                    Tok::Punct(";") if d <= 0 => break,
+                                    Tok::Ident(id) if taint.contains(id) => tainted = true,
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            if tainted {
+                                taint.insert(s.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    // SEC001: branches whose condition/scrutinee mentions tainted idents.
+    let mut i = body_start;
+    while i <= body_end {
+        match &toks[i].tok {
+            Tok::Ident(kw) if matches!(kw.as_str(), "if" | "while" | "match") => {
+                // Condition runs to the `{` at depth 0 (struct-literal-free
+                // conditions, which is what idiomatic Rust requires anyway).
+                let mut d = 0i64;
+                let mut j = i + 1;
+                let mut tainted_ident = None;
+                while j <= body_end {
+                    match &toks[j].tok {
+                        Tok::Punct("(") | Tok::Punct("[") => d += 1,
+                        Tok::Punct(")") | Tok::Punct("]") => d -= 1,
+                        Tok::Punct("{") if d <= 0 => break,
+                        Tok::Ident(s) if taint.contains(s) => {
+                            tainted_ident.get_or_insert_with(|| s.clone());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(ident) = tainted_ident {
+                    out.push(Diagnostic::new(
+                        Rule::Sec001,
+                        path,
+                        toks[i].line,
+                        &f.name,
+                        format!("`{kw}` on secret-derived `{ident}` — timing leaks the secret"),
+                    ));
+                }
+            }
+            // assert!/assert_eq!/assert_ne! on tainted values also branch.
+            Tok::Ident(kw)
+                if matches!(kw.as_str(), "assert" | "assert_eq" | "assert_ne")
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct("!")) =>
+            {
+                let mut d = 0i64;
+                let mut j = i + 2;
+                let mut tainted_ident = None;
+                while j <= body_end {
+                    match &toks[j].tok {
+                        Tok::Punct("(") => d += 1,
+                        Tok::Punct(")") => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(s) if taint.contains(s) => {
+                            tainted_ident.get_or_insert_with(|| s.clone());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(ident) = tainted_ident {
+                    out.push(Diagnostic::new(
+                        Rule::Sec001,
+                        path,
+                        toks[i].line,
+                        &f.name,
+                        format!("`{kw}!` on secret-derived `{ident}` — aborts reveal the secret"),
+                    ));
+                }
+            }
+            // SEC002: indexing with a tainted index expression.
+            Tok::Punct("[") if i > body_start && ends_operand(&toks[i - 1]) => {
+                let mut d = 0i64;
+                let mut j = i;
+                let mut tainted_ident = None;
+                while j <= body_end {
+                    match &toks[j].tok {
+                        Tok::Punct("[") => d += 1,
+                        Tok::Punct("]") => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(s) if taint.contains(s) => {
+                            tainted_ident.get_or_insert_with(|| s.clone());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(ident) = tainted_ident {
+                    out.push(Diagnostic::new(
+                        Rule::Sec002,
+                        path,
+                        toks[i].line,
+                        &f.name,
+                        format!(
+                            "index derived from secret `{ident}` — memory access pattern leaks"
+                        ),
+                    ));
+                }
+            }
+            // SEC003: direct call to a workspace fn that is not marked.
+            Tok::Ident(name)
+                if toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+                    && !is_keyword(name)
+                    && (i == 0 || !toks[i - 1].is_punct("."))
+                    && (i == 0 || !toks[i - 1].is_ident("fn"))
+                    && name != &f.name =>
+            {
+                if let Some(&trusted) = reg.get(name) {
+                    if !trusted {
+                        out.push(Diagnostic::new(
+                            Rule::Sec003,
+                            path,
+                            toks[i].line,
+                            &f.name,
+                            format!(
+                                "call to `{name}` which is not marked secret/ct-safe/modops — review and mark it"
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn run(src: &str, scope: FileScope) -> Vec<Diagnostic> {
+        let p = parse(src);
+        let mut reg = FnRegistry::new();
+        register_fns(&p, &mut reg);
+        check_file("test.rs", &p, &scope, &reg)
+    }
+
+    fn panic_scope() -> FileScope {
+        FileScope {
+            panic_audit: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sec001_branch_on_secret() {
+        let src = "// choco-lint: secret (public: n)\nfn f(s: u64, n: usize) { if s > 3 { } }";
+        let d = run(src, FileScope::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::Sec001);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn sec001_respects_public_params() {
+        let src = "// choco-lint: secret (public: n)\nfn f(s: u64, n: usize) { if n > 3 { } }";
+        assert!(run(src, FileScope::default()).is_empty());
+    }
+
+    #[test]
+    fn sec001_taint_propagates_through_let() {
+        let src =
+            "// choco-lint: secret\nfn f(s: u64) { let t = s + 1; let u = t * 2; while u > 0 { } }";
+        let d = run(src, FileScope::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::Sec001);
+    }
+
+    #[test]
+    fn sec002_secret_index() {
+        let src = "// choco-lint: secret (public: table)\nfn f(s: usize, table: &[u8]) -> u8 { table[s] }";
+        let d = run(src, FileScope::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::Sec002);
+    }
+
+    #[test]
+    fn sec003_unmarked_callee() {
+        let src =
+            "fn helper(x: u64) -> u64 { x }\n// choco-lint: secret\nfn f(s: u64) { helper(s); }";
+        let d = run(src, FileScope::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::Sec003);
+        let marked =
+            "// choco-lint: ct-safe\nfn helper(x: u64) -> u64 { x }\n// choco-lint: secret\nfn f(s: u64) { helper(s); }";
+        assert!(run(marked, FileScope::default()).is_empty());
+    }
+
+    #[test]
+    fn panic_rules_fire_and_tests_are_exempt() {
+        let src = "fn f(o: Option<u64>, v: &[u64]) -> u64 { o.unwrap() + v[0] }\n#[cfg(test)]\nmod tests { fn g(o: Option<u64>) { o.unwrap(); panic!(); } }";
+        let d = run(src, panic_scope());
+        let rules: Vec<_> = d.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&Rule::Panic001));
+        assert!(rules.contains(&Rule::Panic003));
+        assert_eq!(rules.iter().filter(|r| **r == Rule::Panic001).count(), 1);
+        assert!(!rules.contains(&Rule::Panic002));
+    }
+
+    #[test]
+    fn panic002_and_004() {
+        let src =
+            "fn f(x: u64) { if x > 0 { unreachable!() } assert_eq!(x, 0); debug_assert!(x == 0); }";
+        let d = run(src, panic_scope());
+        let rules: Vec<_> = d.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&Rule::Panic002));
+        assert!(rules.contains(&Rule::Panic004));
+        assert_eq!(rules.iter().filter(|r| **r == Rule::Panic004).count(), 1);
+    }
+
+    #[test]
+    fn inline_allow_suppresses() {
+        let src = "fn f(o: Option<u64>) -> u64 {\n    // choco-lint: allow(PANIC001) invariant: always Some after init\n    o.unwrap()\n}";
+        assert!(run(src, panic_scope()).is_empty());
+    }
+
+    #[test]
+    fn lazy001_raw_arith_flagged_only_outside_regions() {
+        let scope = FileScope {
+            lazy: true,
+            ..Default::default()
+        };
+        let src = "fn f(a: u64, b: u64) -> u64 { a + b }";
+        let d = run(src, scope.clone());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::Lazy001);
+        let src2 = "fn f(a: u64, b: u64) -> u64 {\n    // choco-lint: lazy-domain\n    let c = a + b;\n    let r = reduce_4q(c, 7);\n    // choco-lint: end-lazy-domain\n    r\n}";
+        assert!(run(src2, scope).is_empty());
+    }
+
+    #[test]
+    fn lazy001_modops_marker_licenses_raw_ops() {
+        let scope = FileScope {
+            lazy: true,
+            ..Default::default()
+        };
+        let src = "// choco-lint: modops\nfn add_mod(a: u64, b: u64, q: u64) -> u64 { a + b }";
+        assert!(run(src, scope).is_empty());
+    }
+
+    #[test]
+    fn lazy002_compare_before_canonical() {
+        let scope = FileScope {
+            lazy: true,
+            ..Default::default()
+        };
+        let src = "fn f(a: u64, q: u64) -> bool {\n    // choco-lint: lazy-domain\n    let c = a == q;\n    let r = reduce_4q(a, q);\n    // choco-lint: end-lazy-domain\n    c\n}";
+        let d = run(src, scope.clone());
+        assert!(d.iter().any(|d| d.rule == Rule::Lazy002 && d.line == 3));
+        let src2 = "fn f(a: u64) {\n    // choco-lint: lazy-domain\n    let c = a;\n    // choco-lint: end-lazy-domain\n}";
+        let d2 = run(src2, scope);
+        assert!(
+            d2.iter().any(|d| d.rule == Rule::Lazy002),
+            "never-canonical region flagged"
+        );
+    }
+
+    #[test]
+    fn unsafe_rules() {
+        let scope = FileScope {
+            crate_root: true,
+            ..Default::default()
+        };
+        let src = "fn f() { let x = unsafe { 1 }; }";
+        let d = run(src, scope.clone());
+        let rules: Vec<_> = d.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&Rule::Unsafe001));
+        assert!(rules.contains(&Rule::Unsafe002));
+        let clean = "#![forbid(unsafe_code)]\nfn f() {}";
+        assert!(run(clean, scope).is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end fixture tests: each rule family has a violation file with
+//! pinned (rule, file, line) expectations and a clean counterpart that must
+//! produce zero diagnostics.
+
+use std::path::{Path, PathBuf};
+
+use choco_lint::{run, Rule};
+
+fn fixture_root(which: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(which)
+}
+
+fn fixture_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn diag_tuples(root: &Path, allowlist: &str) -> (Vec<(Rule, String, u32)>, Vec<String>) {
+    let result = run(root, &fixture_files(root), allowlist).unwrap();
+    let tuples = result
+        .diags
+        .iter()
+        .map(|d| (d.rule, d.file.clone(), d.line))
+        .collect();
+    (tuples, result.errors)
+}
+
+#[test]
+fn violation_fixtures_produce_exact_diagnostics() {
+    let (got, errors) = diag_tuples(&fixture_root("violations"), "");
+    assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+    let expect: Vec<(Rule, String, u32)> = vec![
+        (Rule::Marker, "crates/foo/src/bad_marker.rs".into(), 3),
+        (Rule::Marker, "crates/foo/src/bad_marker.rs".into(), 6),
+        (Rule::Sec001, "crates/foo/src/secret_ops.rs".into(), 11),
+        (Rule::Sec002, "crates/foo/src/secret_ops.rs".into(), 15),
+        (Rule::Sec003, "crates/foo/src/secret_ops.rs".into(), 16),
+        (Rule::Unsafe001, "crates/he/src/lib.rs".into(), 1),
+        (Rule::Unsafe002, "crates/he/src/lib.rs".into(), 7),
+        (Rule::Panic003, "crates/he/src/panics.rs".into(), 5),
+        (Rule::Panic001, "crates/he/src/panics.rs".into(), 9),
+        (Rule::Panic001, "crates/he/src/panics.rs".into(), 13),
+        (Rule::Panic002, "crates/he/src/panics.rs".into(), 18),
+        (Rule::Panic004, "crates/he/src/panics.rs".into(), 24),
+        (Rule::Lazy001, "crates/math/src/ntt.rs".into(), 6),
+        (Rule::Lazy002, "crates/math/src/ntt.rs".into(), 11),
+        (Rule::Lazy002, "crates/math/src/ntt.rs".into(), 21),
+    ];
+    let mut got_sorted = got.clone();
+    let mut expect_sorted = expect.clone();
+    got_sorted.sort_by(|a, b| (a.1.as_str(), a.2, a.0.id()).cmp(&(b.1.as_str(), b.2, b.0.id())));
+    expect_sorted.sort_by(|a, b| (a.1.as_str(), a.2, a.0.id()).cmp(&(b.1.as_str(), b.2, b.0.id())));
+    assert_eq!(got_sorted, expect_sorted);
+}
+
+#[test]
+fn clean_fixtures_are_silent() {
+    let (got, errors) = diag_tuples(&fixture_root("clean"), "");
+    assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+    assert!(
+        got.is_empty(),
+        "clean fixtures must produce no diagnostics: {got:?}"
+    );
+}
+
+#[test]
+fn allowlist_suppresses_exact_counts() {
+    let allowlist = r#"
+allow PANIC001 crates/he/src/panics.rs fn=unwraps count=1 reason="fixture audit"
+allow PANIC001 crates/he/src/panics.rs fn=expects count=1 reason="fixture audit"
+allow PANIC002 crates/he/src/panics.rs fn=panics count=1 reason="fixture audit"
+allow PANIC003 crates/he/src/panics.rs count=1 reason="fixture audit"
+allow PANIC004 crates/he/src/panics.rs count=1 reason="fixture audit"
+allow UNSAFE002 crates/he/src/lib.rs count=1 reason="fixture audit"
+"#;
+    let (got, errors) = diag_tuples(&fixture_root("violations"), allowlist);
+    assert!(
+        errors.is_empty(),
+        "allowlist should apply cleanly: {errors:?}"
+    );
+    // Only the non-allowlistable families survive: SEC, LAZY, markers, and
+    // the missing-forbid attribute.
+    assert!(
+        got.iter().all(|(r, _, _)| matches!(
+            r,
+            Rule::Sec001
+                | Rule::Sec002
+                | Rule::Sec003
+                | Rule::Lazy001
+                | Rule::Lazy002
+                | Rule::Marker
+                | Rule::Unsafe001
+        )),
+        "audited families must be fully suppressed: {got:?}"
+    );
+    assert_eq!(got.len(), 9);
+}
+
+#[test]
+fn allowlist_count_drift_is_an_error() {
+    let allowlist =
+        "allow PANIC001 crates/he/src/panics.rs fn=unwraps count=2 reason=\"fixture audit\"\n";
+    let (_, errors) = diag_tuples(&fixture_root("violations"), allowlist);
+    assert!(
+        errors.iter().any(|e| e.contains("fix-allowlist")),
+        "count drift must point at --fix-allowlist: {errors:?}"
+    );
+}
+
+#[test]
+fn sec_rules_are_never_allowlistable() {
+    let allowlist = "allow SEC001 crates/foo/src/secret_ops.rs count=1 reason=\"not allowed\"\n";
+    let (_, errors) = diag_tuples(&fixture_root("violations"), allowlist);
+    assert!(
+        !errors.is_empty(),
+        "SEC rules must be rejected by the allowlist parser"
+    );
+}

@@ -1,0 +1,18 @@
+//! Clean SEC counterpart: the same shape of computation written
+//! constant-time — no secret-dependent branch, index, or unmarked call.
+
+// choco-lint: ct-safe
+fn mask_helper(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}
+
+// choco-lint: secret (public: n)
+pub fn constant_time_fold(sk: u64, n: u64) -> u64 {
+    let mut acc = 0u64;
+    let mut i = 0u64;
+    while i < n {
+        acc = acc.wrapping_add(mask_helper(sk));
+        i += 1;
+    }
+    acc
+}

@@ -1,0 +1,5 @@
+//! Clean UNSAFE counterpart: forbid attribute present, no unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub mod panics;

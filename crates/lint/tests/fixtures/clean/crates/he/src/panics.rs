@@ -1,0 +1,24 @@
+//! Clean PANIC counterpart: every fallible path returns a typed error and
+//! element access goes through `.get()`.
+
+pub fn takes_first(v: &[u64]) -> Result<u64, String> {
+    v.first().copied().ok_or_else(|| "empty slice".to_string())
+}
+
+pub fn unwraps(o: Option<u64>) -> Result<u64, String> {
+    o.ok_or_else(|| "missing value".to_string())
+}
+
+pub fn panics(x: u64) -> Result<u64, String> {
+    if x == 0 {
+        return Err("zero input".to_string());
+    }
+    Ok(x)
+}
+
+pub fn asserts(x: u64) -> Result<u64, String> {
+    if x == 0 {
+        return Err("positive input required".to_string());
+    }
+    Ok(x)
+}

@@ -1,0 +1,20 @@
+//! Clean LAZY counterpart: raw arithmetic only inside a modops-marked
+//! wrapper or a lazy-domain region that reaches canonical reduction.
+
+// choco-lint: modops
+pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
+    let s = a + b;
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+pub fn butterfly(a: u64, b: u64, q: u64) -> u64 {
+    // choco-lint: lazy-domain
+    let lazy = a + b;
+    let r = reduce_4q(lazy, q);
+    // choco-lint: end-lazy-domain
+    r
+}

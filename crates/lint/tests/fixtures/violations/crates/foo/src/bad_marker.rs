@@ -1,0 +1,7 @@
+//! Marker-grammar fixture: malformed markers are themselves diagnostics.
+
+// choco-lint: allow(PANIC001)
+pub fn missing_reason() {}
+
+// choco-lint: frobnicate
+pub fn unknown_marker() {}

@@ -1,0 +1,17 @@
+//! SEC fixture: a secret-marked function that branches on, indexes with,
+//! and forwards the secret to an unmarked helper. Lines are pinned by the
+//! integration test — keep edits in sync with `tests/fixtures.rs`.
+
+fn leak_helper(x: u64) -> u64 {
+    x
+}
+
+// choco-lint: secret (public: table)
+pub fn leaky(sk: u64, table: &[u64]) -> u64 {
+    if sk > 3 {
+        return 1;
+    }
+    let i = sk as usize;
+    let v = table[i];
+    leak_helper(v)
+}

@@ -1,0 +1,8 @@
+//! UNSAFE fixture: crate root without `#![forbid(unsafe_code)]` and an
+//! `unsafe` block in library code.
+
+pub mod panics;
+
+pub fn reads_raw(p: *const u64) -> u64 {
+    unsafe { *p }
+}

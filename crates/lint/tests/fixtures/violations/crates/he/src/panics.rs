@@ -1,0 +1,35 @@
+//! PANIC fixture: one violation per panic rule in audited library code,
+//! plus a test module that must be exempt.
+
+pub fn takes_first(v: &[u64]) -> u64 {
+    v[0]
+}
+
+pub fn unwraps(o: Option<u64>) -> u64 {
+    o.unwrap()
+}
+
+pub fn expects(o: Option<u64>) -> u64 {
+    o.expect("always present")
+}
+
+pub fn panics(x: u64) -> u64 {
+    if x == 0 {
+        panic!("zero input");
+    }
+    x
+}
+
+pub fn asserts(x: u64) -> u64 {
+    assert!(x > 0, "positive input required");
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        super::unwraps(Some(1));
+        assert_eq!(super::takes_first(&[1]), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! LAZY fixture: raw u64 arithmetic outside the blessed wrappers, a
+//! comparison inside a lazy-domain region, and a region that never reaches
+//! canonical form.
+
+pub fn raw_add(a: u64, b: u64) -> u64 {
+    a + b
+}
+
+pub fn compare_while_lazy(a: u64, q: u64) -> bool {
+    // choco-lint: lazy-domain
+    let c = a == q;
+    let r = reduce_4q(a, q);
+    // choco-lint: end-lazy-domain
+    let _ = r;
+    c
+}
+
+pub fn never_canonical(a: u64) -> u64 {
+    // choco-lint: lazy-domain
+    let c = a;
+    // choco-lint: end-lazy-domain
+    c
+}

@@ -32,6 +32,7 @@
 //! assert_eq!(a, orig);
 //! ```
 
+#![forbid(unsafe_code)]
 // Reference-style loops index multiple arrays in lockstep; the index
 // form is clearer than zipped iterators for these numeric kernels.
 #![allow(clippy::needless_range_loop)]

@@ -9,6 +9,7 @@
 ///
 /// Both inputs must already be reduced (`< q`); the result is reduced.
 #[inline(always)]
+// choco-lint: modops
 pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
     debug_assert!(a < q && b < q);
     let s = a + b;
@@ -21,6 +22,7 @@ pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
 
 /// Subtracts `b` from `a` modulo `q`.
 #[inline(always)]
+// choco-lint: modops
 pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
     debug_assert!(a < q && b < q);
     if a >= b {
@@ -32,6 +34,7 @@ pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
 
 /// Negates a residue modulo `q`.
 #[inline(always)]
+// choco-lint: modops
 pub fn neg_mod(a: u64, q: u64) -> u64 {
     debug_assert!(a < q);
     if a == 0 {
@@ -43,17 +46,20 @@ pub fn neg_mod(a: u64, q: u64) -> u64 {
 
 /// Multiplies two residues modulo `q` using a widening 128-bit product.
 #[inline(always)]
+// choco-lint: modops
 pub fn mul_mod(a: u64, b: u64, q: u64) -> u64 {
     ((a as u128 * b as u128) % q as u128) as u64
 }
 
 /// Fused multiply-add `(a*b + c) mod q`.
 #[inline(always)]
+// choco-lint: modops
 pub fn mul_add_mod(a: u64, b: u64, c: u64, q: u64) -> u64 {
     ((a as u128 * b as u128 + c as u128) % q as u128) as u64
 }
 
 /// Raises `base` to the power `exp` modulo `q` by square-and-multiply.
+// choco-lint: modops
 pub fn pow_mod(mut base: u64, mut exp: u64, q: u64) -> u64 {
     let mut acc: u64 = 1 % q;
     base %= q;
@@ -73,6 +79,7 @@ pub fn pow_mod(mut base: u64, mut exp: u64, q: u64) -> u64 {
 /// # Panics
 ///
 /// Panics if `a` is zero (zero has no inverse).
+// choco-lint: modops
 pub fn inv_mod(a: u64, q: u64) -> u64 {
     assert!(!a.is_multiple_of(q), "zero has no modular inverse");
     pow_mod(a, q - 2, q)
@@ -80,12 +87,14 @@ pub fn inv_mod(a: u64, q: u64) -> u64 {
 
 /// Reduces an arbitrary `u64` into `[0, q)`.
 #[inline(always)]
+// choco-lint: modops
 pub fn reduce(a: u64, q: u64) -> u64 {
     a % q
 }
 
 /// Reduces a signed value into `[0, q)`.
 #[inline(always)]
+// choco-lint: modops
 pub fn reduce_signed(a: i64, q: u64) -> u64 {
     let r = a.rem_euclid(q as i64);
     r as u64
@@ -96,6 +105,7 @@ pub fn reduce_signed(a: i64, q: u64) -> u64 {
 ///
 /// Only valid for `q < 2^63`.
 #[inline(always)]
+// choco-lint: modops
 pub fn center(a: u64, q: u64) -> i64 {
     debug_assert!(a < q && q < (1 << 63));
     if a > q / 2 {
@@ -108,6 +118,7 @@ pub fn center(a: u64, q: u64) -> i64 {
 /// Shoup precomputation for fast multiplication by a constant: returns
 /// `floor(b * 2^64 / q)`.
 #[inline]
+// choco-lint: modops
 pub fn shoup_precompute(b: u64, q: u64) -> u64 {
     (((b as u128) << 64) / q as u128) as u64
 }
@@ -115,6 +126,7 @@ pub fn shoup_precompute(b: u64, q: u64) -> u64 {
 /// Multiplies `a` by the constant `b` (with its Shoup precomputation
 /// `b_shoup`) modulo `q`. Result is in `[0, q)` when `q < 2^63`.
 #[inline(always)]
+// choco-lint: modops
 pub fn mul_mod_shoup(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
     let r = mul_mod_shoup_lazy(a, b, b_shoup, q);
     if r >= q {
@@ -132,6 +144,7 @@ pub fn mul_mod_shoup(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
 /// `b` must be reduced (`< q`); `a` may be any `u64` (in particular a lazy
 /// value in `[0, 4q)`). Requires `q < 2^63` so `2q` fits in a `u64`.
 #[inline(always)]
+// choco-lint: modops
 pub fn mul_mod_shoup_lazy(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
     debug_assert!(b < q && q < (1 << 63));
     let hi = ((a as u128 * b_shoup as u128) >> 64) as u64;
@@ -140,6 +153,7 @@ pub fn mul_mod_shoup_lazy(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
 
 /// Final correction for a lazy value in `[0, 4q)`: reduces into `[0, q)`.
 #[inline(always)]
+// choco-lint: modops
 pub fn reduce_4q(a: u64, q: u64) -> u64 {
     debug_assert!(a < 4 * q);
     let a = if a >= 2 * q { a - 2 * q } else { a };
@@ -152,6 +166,7 @@ pub fn reduce_4q(a: u64, q: u64) -> u64 {
 
 /// Final correction for a lazy value in `[0, 2q)`: reduces into `[0, q)`.
 #[inline(always)]
+// choco-lint: modops
 pub fn reduce_2q(a: u64, q: u64) -> u64 {
     debug_assert!(a < 2 * q);
     if a >= q {

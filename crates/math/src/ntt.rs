@@ -152,6 +152,7 @@ impl NttTable {
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "ntt input length mismatch");
         let q = self.q;
+        // choco-lint: lazy-domain
         let two_q = 2 * q;
         let n = self.n;
         let mut t = n;
@@ -180,6 +181,7 @@ impl NttTable {
         for x in a.iter_mut() {
             *x = reduce_4q(*x, q);
         }
+        // choco-lint: end-lazy-domain
     }
 
     /// In-place inverse negacyclic NTT (includes the `1/n` scaling).
@@ -194,6 +196,7 @@ impl NttTable {
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "intt input length mismatch");
         let q = self.q;
+        // choco-lint: lazy-domain
         let two_q = 2 * q;
         let n = self.n;
         let mut t = 1;
@@ -227,6 +230,7 @@ impl NttTable {
             // Full Shoup reduction folds the [0, 2q) slack away.
             *x = mul_mod_shoup(*x, self.n_inv, self.n_inv_shoup, q);
         }
+        // choco-lint: end-lazy-domain
     }
 
     /// Strict-reduction forward NTT: every butterfly fully reduces.
@@ -326,12 +330,13 @@ impl NttTable {
 /// Panics if `n` is not a power of two `>= 2` or `e` is even.
 pub fn galois_ntt_permutation(n: usize, e: u64) -> Vec<usize> {
     assert!(n.is_power_of_two() && n >= 2, "invalid ntt size {n}");
-    assert!(e % 2 == 1, "galois element must be odd");
+    assert!(e & 1 == 1, "galois element must be odd");
     let log_n = n.trailing_zeros();
     let m = 2 * n as u64;
     (0..n)
         .map(|j| {
-            let exp = ((2 * bit_reverse(j, log_n) as u64 + 1) * e) % m;
+            let odd_exp = 2 * bit_reverse(j, log_n) as u64 + 1;
+            let exp = mul_mod(odd_exp, e, m);
             bit_reverse(((exp - 1) / 2) as usize, log_n)
         })
         .collect()

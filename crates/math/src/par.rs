@@ -30,6 +30,9 @@ pub const MAX_THREADS: usize = 256;
 /// Programmatic override; 0 means "not set".
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Seed for deterministic schedule perturbation; 0 means "off".
+static PERTURB: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Environment/hardware default, resolved once.
 static DEFAULT: OnceLock<usize> = OnceLock::new();
 
@@ -74,6 +77,88 @@ pub fn set_num_threads(n: usize) {
     OVERRIDE.store(v, Ordering::Relaxed);
 }
 
+/// Perturbs the work schedule deterministically from `seed` (0 disables).
+///
+/// With a non-zero seed the chunk boundaries are jittered and the spawn
+/// order of workers is permuted — both derived purely from the seed, so a
+/// given seed always produces the same schedule. The *results* of every
+/// `par_*` primitive must remain bit-identical to the sequential loop no
+/// matter the seed; the race tests sweep seeds to prove that the disjoint
+/// index→slot ownership really is schedule-independent.
+pub fn set_schedule_perturbation(seed: u64) {
+    PERTURB.store(seed, Ordering::Relaxed);
+}
+
+fn xorshift64(mut s: u64) -> u64 {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    s
+}
+
+/// Splits `0..len` into up to `threads` non-empty contiguous ranges.
+///
+/// Without perturbation the split is the plain equal-chunk plan. With a
+/// non-zero perturbation seed, each interior boundary moves by a
+/// seed-derived offset of up to a quarter chunk (kept strictly increasing),
+/// and the returned order of ranges is a seed-derived permutation — which
+/// is also the spawn order, so workers start on different parts of the
+/// slice from run configuration to run configuration.
+fn chunk_plan(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let chunk = len.div_ceil(threads);
+    let mut bounds: Vec<usize> = (0..=threads).map(|c| (c * chunk).min(len)).collect();
+    let seed = PERTURB.load(Ordering::Relaxed);
+    if seed != 0 {
+        let mut s = seed;
+        let jitter = (chunk / 4).max(1);
+        // Only interior boundaries move; the 0 and `len` endpoints are fixed.
+        for b in &mut bounds[1..threads] {
+            s = xorshift64(s);
+            let delta = (s % (2 * jitter as u64 + 1)) as isize - jitter as isize;
+            *b = b
+                .saturating_add_signed(delta)
+                .clamp(1, len.saturating_sub(1).max(1));
+        }
+        bounds.sort_unstable();
+    }
+    bounds.dedup();
+    let mut ranges: Vec<(usize, usize)> = bounds
+        .windows(2)
+        .filter(|w| w[0] < w[1])
+        .map(|w| (w[0], w[1]))
+        .collect();
+    if seed != 0 {
+        // Fisher–Yates from the same stream: permute the spawn order.
+        let mut s = xorshift64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        for i in (1..ranges.len()).rev() {
+            s = xorshift64(s);
+            ranges.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+    }
+    ranges
+}
+
+/// Splits `items` into the planned ranges, preserving the plan's order.
+fn split_by_plan<'a, T>(
+    mut items: &'a mut [T],
+    plan: &[(usize, usize)],
+) -> Vec<(usize, &'a mut [T])> {
+    // Slices must be carved in ascending start order; reorder afterwards.
+    let mut order: Vec<usize> = (0..plan.len()).collect();
+    order.sort_unstable_by_key(|&i| plan[i].0);
+    let mut carved: Vec<Option<(usize, &mut [T])>> = (0..plan.len()).map(|_| None).collect();
+    let mut consumed = 0usize;
+    for &i in &order {
+        let (start, end) = plan[i];
+        let (piece, rest) = items.split_at_mut(end - consumed);
+        let (_, piece) = piece.split_at_mut(start - consumed);
+        carved[i] = Some((start, piece));
+        items = rest;
+        consumed = end;
+    }
+    carved.into_iter().flatten().collect()
+}
+
 /// Applies `f(index, item)` to every item, splitting the slice across the
 /// pool. Each worker owns a disjoint contiguous chunk, so the output is
 /// bit-identical to the sequential loop for any thread count.
@@ -89,14 +174,15 @@ where
         }
         return;
     }
-    let chunk = items.len().div_ceil(threads);
+    let plan = chunk_plan(items.len(), threads);
+    let pieces = split_by_plan(items, &plan);
     std::thread::scope(|s| {
-        for (c, slice) in items.chunks_mut(chunk).enumerate() {
+        for (start, slice) in pieces {
             let f = &f;
             s.spawn(move || {
                 IN_WORKER.with(|w| w.set(true));
                 for (i, item) in slice.iter_mut().enumerate() {
-                    f(c * chunk + i, item);
+                    f(start + i, item);
                 }
             });
         }
@@ -114,16 +200,16 @@ where
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
-    let chunk = items.len().div_ceil(threads);
+    let plan = chunk_plan(items.len(), threads);
     let mut out: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+    let pieces = split_by_plan(&mut out, &plan);
     std::thread::scope(|s| {
-        for (c, (in_chunk, out_chunk)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
-        {
+        for (start, out_chunk) in pieces {
             let f = &f;
             s.spawn(move || {
                 IN_WORKER.with(|w| w.set(true));
-                for (i, (x, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
-                    *slot = Some(f(c * chunk + i, x));
+                for (i, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(start + i, &items[start + i]));
                 }
             });
         }
@@ -144,15 +230,16 @@ where
     if threads <= 1 {
         return (0..count).map(f).collect();
     }
-    let chunk = count.div_ceil(threads);
+    let plan = chunk_plan(count, threads);
     let mut out: Vec<Option<O>> = (0..count).map(|_| None).collect();
+    let pieces = split_by_plan(&mut out, &plan);
     std::thread::scope(|s| {
-        for (c, out_chunk) in out.chunks_mut(chunk).enumerate() {
+        for (start, out_chunk) in pieces {
             let f = &f;
             s.spawn(move || {
                 IN_WORKER.with(|w| w.set(true));
                 for (i, slot) in out_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(c * chunk + i));
+                    *slot = Some(f(start + i));
                 }
             });
         }
@@ -226,5 +313,57 @@ mod tests {
         assert_eq!(num_threads(), MAX_THREADS);
         set_num_threads(0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_plan_covers_exactly_under_any_seed() {
+        for seed in [0u64, 1, 42, 0xdead_beef, u64::MAX] {
+            set_schedule_perturbation(seed);
+            for len in [1usize, 2, 7, 64, 1000, 1001] {
+                for threads in [2usize, 3, 4, 8, 17] {
+                    let mut plan = chunk_plan(len, threads);
+                    plan.sort_unstable();
+                    assert!(plan[0].0 == 0, "seed {seed}, len {len}, t {threads}");
+                    assert_eq!(plan.last().unwrap().1, len);
+                    for w in plan.windows(2) {
+                        assert_eq!(w[0].1, w[1].0, "gap/overlap at seed {seed}");
+                    }
+                    assert!(plan.iter().all(|&(a, b)| a < b), "empty range");
+                }
+            }
+        }
+        set_schedule_perturbation(0);
+    }
+
+    #[test]
+    fn perturbed_schedules_stay_bit_identical() {
+        let base: Vec<u64> = (0..4096).collect();
+        set_num_threads(1);
+        let expect: Vec<u64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64))
+            .collect();
+        for seed in [1u64, 7, 0x5eed, 0xfeed_face_cafe] {
+            set_schedule_perturbation(seed);
+            for threads in [2usize, 4, 8] {
+                set_num_threads(threads);
+                let mut a = base.clone();
+                par_for_each_mut(&mut a, |i, x| {
+                    *x = x.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64)
+                });
+                let mapped = par_map(&base, |i, &x| {
+                    x.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64)
+                });
+                let ranged = par_map_range(base.len(), |i| {
+                    base[i].wrapping_mul(0x9e37_79b9).wrapping_add(i as u64)
+                });
+                assert_eq!(a, expect, "for_each_mut seed {seed}, {threads} threads");
+                assert_eq!(mapped, expect, "map seed {seed}, {threads} threads");
+                assert_eq!(ranged, expect, "map_range seed {seed}, {threads} threads");
+            }
+        }
+        set_schedule_perturbation(0);
+        set_num_threads(0);
     }
 }

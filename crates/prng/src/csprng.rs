@@ -25,6 +25,7 @@ impl std::fmt::Debug for Blake3Rng {
 
 impl Blake3Rng {
     /// Creates a generator from arbitrary seed bytes.
+    // choco-lint: ct-safe
     pub fn from_seed(seed: &[u8]) -> Self {
         let mut h = Hasher::new();
         h.update(seed);
@@ -36,6 +37,7 @@ impl Blake3Rng {
 
     /// Creates a generator from a seed and a domain-separation label, so
     /// independent streams can be derived from one master seed.
+    // choco-lint: ct-safe
     pub fn from_seed_labeled(seed: &[u8], label: &str) -> Self {
         let mut h = Hasher::new();
         h.update(seed);

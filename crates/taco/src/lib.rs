@@ -36,6 +36,7 @@
 //! assert!(p.time_s < 1e-3, "one encryption should take well under 1 ms");
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod baseline;
 pub mod config;
 pub mod cost;

@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         v.resize(ctx.slot_count(), 0.0);
         v
     });
-    let expected = compiled.execute_plain(&plain_inputs);
+    let expected = compiled.execute_plain(&plain_inputs)?;
 
     let mut enc_inputs = HashMap::new();
     let pt = ctx.encode(&x_vals)?;

@@ -4,6 +4,7 @@
 //! the repository-level examples and integration tests have a single
 //! dependency root.
 
+#![forbid(unsafe_code)]
 pub use choco;
 pub use choco_apps as apps;
 pub use choco_he as he;
