@@ -21,7 +21,11 @@ echo "==> parallel/sequential equivalence suite (CHOCO_THREADS=4)"
 CHOCO_THREADS=4 cargo test -q -p choco-math --test prop_math
 CHOCO_THREADS=4 cargo test -q -p choco-he --test prop_he
 
-echo "==> kernel bench reporter (smoke mode)"
+echo "==> kernel bench reporter (smoke mode + generic-core overhead gate)"
+# Besides the kernel timings, bench_kernels asserts that the scheme-generic
+# HeScheme::dot_diagonals path stays within noise (< 1.25x) of a
+# hand-inlined twin for both BFV and CKKS — the generic protocol core is
+# monomorphized, so any measurable gap is a regression.
 cargo run --release -q -p choco-bench --bin bench_kernels -- --smoke --json /tmp/bench_kernels_smoke.json
 
 echo "==> choco-lint (secret-independence, lazy-reduction, panic/unsafe audit)"

@@ -11,10 +11,10 @@
 //! that exposes the crossover ([`batched_comm_per_input`] vs. the packed
 //! plan) are implemented here.
 
-use choco::protocol::{download, upload, BfvClient, BfvServer, CommLedger};
+use choco::transport::{Channel, Session, TransportError};
 use choco_he::bfv::Ciphertext;
 use choco_he::params::HeParams;
-use choco_he::HeError;
+use choco_he::{Bfv, HeError};
 
 /// Communication bytes *per input* for a batched boundary carrying
 /// `elements` values with `batch` inputs amortizing each ciphertext.
@@ -43,66 +43,71 @@ pub fn batched_breakeven(elements: usize, packed_cts: usize, params: &HeParams) 
 ///
 /// # Errors
 ///
-/// Propagates HE errors; an empty batch, ragged inputs/weights, or a batch
-/// exceeding the slot capacity are reported as [`HeError::Mismatch`].
-pub fn batched_matvec(
-    client: &mut BfvClient,
-    server: &BfvServer,
-    ledger: &mut CommLedger,
+/// Propagates transport and HE errors; an empty batch, ragged
+/// inputs/weights, or a batch exceeding the slot capacity are reported as
+/// [`HeError::Mismatch`] wrapped in [`TransportError::He`].
+pub fn batched_matvec<C: Channel>(
+    session: &mut Session<Bfv, C>,
     inputs: &[Vec<u64>],
     weights: &[Vec<u64>],
-) -> Result<Vec<Vec<u64>>, HeError> {
+) -> Result<Vec<Vec<u64>>, TransportError> {
     let batch = inputs.len();
     if batch == 0 {
-        return Err(HeError::Mismatch("need at least one input".into()));
+        return Err(HeError::Mismatch("need at least one input".into()).into());
     }
     let n = inputs[0].len();
     if inputs.iter().any(|x| x.len() != n) {
-        return Err(HeError::Mismatch("ragged inputs".into()));
+        return Err(HeError::Mismatch("ragged inputs".into()).into());
     }
     let m = weights.len();
     if weights.iter().any(|w| w.len() != n) {
-        return Err(HeError::Mismatch("ragged weights".into()));
+        return Err(HeError::Mismatch("ragged weights".into()).into());
     }
-    let row = client.context().degree() / 2;
+    let row = session.server().context().degree() / 2;
     if batch > row {
-        return Err(HeError::Mismatch("batch exceeds slot capacity".into()));
+        return Err(HeError::Mismatch("batch exceeds slot capacity".into()).into());
     }
 
     // Client: one ciphertext per feature, batch across slots.
     let mut feature_cts = Vec::with_capacity(n);
     for i in 0..n {
         let slots: Vec<u64> = inputs.iter().map(|x| x[i]).collect();
-        let ct = client.encrypt_slots(&slots)?;
-        feature_cts.push(upload(ledger, &ct));
+        let ct = session.client_mut().encrypt_slots(&slots)?;
+        feature_cts.push(session.upload(&ct)?);
     }
 
     // Server: y_o = Σ_i w[o][i] · x_i — plain multiplies + adds only.
-    let eval = server.evaluator();
-    let mut outputs = Vec::with_capacity(m);
-    for w in weights {
-        let mut acc: Option<Ciphertext> = None;
-        for (i, ct) in feature_cts.iter().enumerate() {
-            if w[i] == 0 {
-                continue;
+    let mut replies = Vec::with_capacity(m);
+    {
+        let server = session.server();
+        let eval = server.evaluator();
+        for w in weights {
+            let mut acc: Option<Ciphertext> = None;
+            for (i, ct) in feature_cts.iter().enumerate() {
+                if w[i] == 0 {
+                    continue;
+                }
+                let wvec = vec![w[i]; row];
+                let wpt = server.encode(&wvec)?;
+                let term = eval.multiply_plain(ct, &wpt);
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => eval.add(&a, &term)?,
+                });
             }
-            let wvec = vec![w[i]; row];
-            let wpt = server.encode(&wvec)?;
-            let term = eval.multiply_plain(ct, &wpt);
-            acc = Some(match acc {
-                None => term,
-                Some(a) => eval.add(&a, &term)?,
-            });
+            replies.push(acc.unwrap_or_else(|| feature_cts[0].clone()));
         }
-        let result = acc.unwrap_or_else(|| feature_cts[0].clone());
-        outputs.push(download(ledger, &result));
     }
-    ledger.end_round();
+    let mut outputs = Vec::with_capacity(m);
+    for reply in &replies {
+        outputs.push(session.download(reply)?);
+    }
+    session.ledger_mut().end_round();
 
     // Client: decrypt each output ciphertext; slot b holds input b's result.
     let mut out = vec![vec![0u64; m]; batch];
     for (o, ct) in outputs.iter().enumerate() {
-        let slots = client.decrypt_slots(ct)?;
+        let slots = session.client_mut().decrypt_slots(ct)?;
         for (b, row_out) in out.iter_mut().enumerate() {
             row_out[o] = slots[b];
         }
@@ -117,10 +122,8 @@ mod tests {
     #[test]
     fn batched_matvec_matches_plain_for_every_batch_entry() {
         let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 20).unwrap();
-        let mut client = BfvClient::new(&params, b"batched").unwrap();
-        let server = client.provision_server(&[1]).unwrap();
-        let mut ledger = CommLedger::new();
-        let t = client.context().plain_modulus();
+        let mut session = Session::<Bfv>::direct(&params, b"batched", &[1]).unwrap();
+        let t = session.server().context().plain_modulus();
 
         let batch = 8usize;
         let inputs: Vec<Vec<u64>> = (0..batch)
@@ -128,7 +131,7 @@ mod tests {
             .collect();
         let weights = vec![vec![1u64, 2, 3, 4], vec![5, 0, 1, 2], vec![0, 0, 0, 7]];
 
-        let got = batched_matvec(&mut client, &server, &mut ledger, &inputs, &weights).unwrap();
+        let got = batched_matvec(&mut session, &inputs, &weights).unwrap();
         for (b, x) in inputs.iter().enumerate() {
             for (o, w) in weights.iter().enumerate() {
                 let want: u64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<u64>() % t;
@@ -136,8 +139,8 @@ mod tests {
             }
         }
         // n=4 uploads, m=3 downloads — independent of batch size.
-        assert_eq!(ledger.uploads, 4);
-        assert_eq!(ledger.downloads, 3);
+        assert_eq!(session.ledger().uploads, 4);
+        assert_eq!(session.ledger().downloads, 3);
     }
 
     #[test]

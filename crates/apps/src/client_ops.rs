@@ -1,0 +1,73 @@
+//! Client-side plaintext operators shared across workloads.
+//!
+//! At every non-linear boundary of the client-aided protocol (§5.1) the
+//! client holds *plaintext* intermediate values, so the non-linear stages
+//! are ordinary integer code. These operators are used by the LeNet-style
+//! pipeline and the DNN layer runners alike — one implementation, exercised
+//! identically by the encrypted path and its plaintext twin.
+
+/// Requantizes accumulated values back to 4 bits, scaling by the observed
+/// maximum (dynamic activation quantization — the client sees plaintext
+/// values at every boundary, so it can pick the scale exactly).
+pub fn requantize(values: &[u64]) -> Vec<u64> {
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    let bits = 64 - max.leading_zeros();
+    let shift = bits.saturating_sub(4);
+    values.iter().map(|&v| (v >> shift).min(15)).collect()
+}
+
+/// 2×2 max pooling over a flattened `h×w` map.
+///
+/// # Panics
+///
+/// Panics if `map.len() != h * w`.
+pub fn max_pool2x2(map: &[u64], h: usize, w: usize) -> Vec<u64> {
+    assert_eq!(map.len(), h * w, "map shape mismatch");
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![0u64; oh * ow];
+    for y in 0..oh {
+        for x in 0..ow {
+            let mut m = 0u64;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    m = m.max(map[(2 * y + dy) * w + 2 * x + dx]);
+                }
+            }
+            out[y * ow + x] = m;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requantize_saturates_at_15() {
+        let out = requantize(&[0, 100, 5625]);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[2], 10); // 5625 >> 9
+        assert!(out.iter().all(|&v| v <= 15));
+        assert_eq!(requantize(&[3, 7, 15]), vec![3, 7, 15]); // already 4-bit
+    }
+
+    #[test]
+    fn requantize_handles_empty_and_all_zero_inputs() {
+        assert_eq!(requantize(&[]), Vec::<u64>::new());
+        assert_eq!(requantize(&[0, 0, 0]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn max_pool_picks_block_maxima() {
+        let map = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+        assert_eq!(max_pool2x2(&map, 4, 4), vec![6, 8, 14, 16]);
+    }
+
+    #[test]
+    fn max_pool_is_position_independent_of_block_layout() {
+        // Maximum can sit in any corner of the 2×2 block.
+        let map = vec![9, 0, 0, 7, 0, 1, 2, 0];
+        assert_eq!(max_pool2x2(&map, 2, 4), vec![9, 7]);
+    }
+}

@@ -19,10 +19,10 @@
 //! | stacked dimension-major| ⌈d/stack⌉      | 1 dense   | rotate tree   |
 //! | collapsed point-major  | 1              | 1 dense   | masks + rots  |
 
-use choco::protocol::{download_ckks, upload_ckks, CkksClient, CkksServer, CommLedger};
-use choco::transport::{CkksResilientSession, TransportError};
+use choco::protocol::{CommLedger, Server};
+use choco::transport::{Channel, Session, TransportError};
 use choco_he::ckks::CkksCiphertext;
-use choco_he::HeError;
+use choco_he::{Ckks, HeError};
 
 /// Packing variants of Figure 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,51 +101,24 @@ fn validate_point_set(query: &[f64], points: &[Vec<f64>]) -> Result<(), HeError>
     Ok(())
 }
 
-/// Computes squared distances with the requested packing variant.
+/// Computes squared distances with the requested packing variant over the
+/// session's link.
 ///
 /// `query` has `d` coordinates; `points` is `n` reference points of the same
-/// dimension, held in plaintext by the server.
-///
-/// # Errors
-///
-/// Propagates HE errors (capacity, missing keys); empty or ragged point sets
-/// and packings that exceed the ciphertext capacity are reported as
-/// [`HeError::Mismatch`].
-pub fn encrypted_distances(
-    variant: PackingVariant,
-    client: &mut CkksClient,
-    server: &CkksServer,
-    query: &[f64],
-    points: &[Vec<f64>],
-) -> Result<DistanceResult, HeError> {
-    validate_point_set(query, points)?;
-    match variant {
-        PackingVariant::PointMajor | PackingVariant::StackedPointMajor => {
-            point_major(client, server, query, points, false)
-        }
-        PackingVariant::CollapsedPointMajor => point_major(client, server, query, points, true),
-        PackingVariant::DimensionMajor | PackingVariant::StackedDimensionMajor => {
-            dimension_major(client, server, query, points)
-        }
-    }
-}
-
-/// [`encrypted_distances`] over a fault-tolerant transport: identical
-/// packing and server computation, but every ciphertext crosses the
-/// session's framed, retried channels. The reported ledger covers only this
-/// call (the session's cumulative ledger keeps growing).
+/// dimension, held in plaintext by the server. Every ciphertext crosses the
+/// session's framed, retried channels; over a
+/// [`DirectChannel`](choco::transport::DirectChannel) link this is the
+/// fault-free paper protocol. The reported ledger covers only this call
+/// (the session's cumulative ledger keeps growing).
 ///
 /// # Errors
 ///
 /// Typed [`TransportError`]s when the link defeats the retry budget;
-/// HE-layer failures wrapped in [`TransportError::He`].
-///
-/// # Errors
-///
-/// As [`encrypted_distances`], plus transport failures.
-pub fn encrypted_distances_resilient(
+/// HE-layer failures — capacity, missing keys, empty or ragged point sets
+/// ([`HeError::Mismatch`]) — wrapped in [`TransportError::He`].
+pub fn encrypted_distances<C: Channel>(
     variant: PackingVariant,
-    session: &mut CkksResilientSession,
+    session: &mut Session<Ckks, C>,
     query: &[f64],
     points: &[Vec<f64>],
 ) -> Result<DistanceResult, TransportError> {
@@ -153,11 +126,11 @@ pub fn encrypted_distances_resilient(
     let before = *session.ledger();
     let mut res = match variant {
         PackingVariant::PointMajor | PackingVariant::StackedPointMajor => {
-            point_major_resilient(session, query, points, false)
+            point_major(session, query, points, false)
         }
-        PackingVariant::CollapsedPointMajor => point_major_resilient(session, query, points, true),
+        PackingVariant::CollapsedPointMajor => point_major(session, query, points, true),
         PackingVariant::DimensionMajor | PackingVariant::StackedDimensionMajor => {
-            dimension_major_resilient(session, query, points)
+            dimension_major(session, query, points)
         }
     }?;
     res.ledger = ledger_delta(session.ledger(), &before);
@@ -192,7 +165,7 @@ fn point_major_qslots(query: &[f64], n: usize, stride: usize) -> Vec<f64> {
 /// square, rotate-add dims; optionally collapse block heads into dense low
 /// slots. Returns the reply ciphertext and the homomorphic op count.
 fn point_major_server(
-    server: &CkksServer,
+    server: &Server<Ckks>,
     at_server: &CkksCiphertext,
     points: &[Vec<f64>],
     stride: usize,
@@ -274,42 +247,8 @@ fn point_major_extract(slots_out: &[f64], n: usize, stride: usize, collapse: boo
 /// each block's result and packs all distances densely into the low slots
 /// before replying (extra server work, single dense output — the
 /// client-optimal variant of §5.4).
-fn point_major(
-    client: &mut CkksClient,
-    server: &CkksServer,
-    query: &[f64],
-    points: &[Vec<f64>],
-    collapse: bool,
-) -> Result<DistanceResult, HeError> {
-    let n = points.len();
-    let stride = block_stride(query.len());
-    let slots = client.context().slot_count();
-    if n * stride > slots {
-        return Err(HeError::Mismatch(
-            "point-major packing exceeds ciphertext capacity".into(),
-        ));
-    }
-
-    let mut ledger = CommLedger::new();
-    let ct = client.encrypt_values(&point_major_qslots(query, n, stride))?;
-    let at_server = upload_ckks(&mut ledger, &ct);
-    let (reply, server_ops) = point_major_server(server, &at_server, points, stride, collapse)?;
-    let back = download_ckks(&mut ledger, &reply);
-    ledger.end_round();
-    let slots_out = client.decrypt_values(&back);
-    Ok(DistanceResult {
-        distances: point_major_extract(&slots_out, n, stride, collapse),
-        ledger,
-        encryptions: client.encryption_count(),
-        decryptions: client.decryption_count(),
-        server_ops,
-    })
-}
-
-/// [`point_major`] over a resilient session: same packing, same server
-/// computation, framed/retried transfers.
-fn point_major_resilient(
-    session: &mut CkksResilientSession,
+fn point_major<C: Channel>(
+    session: &mut Session<Ckks, C>,
     query: &[f64],
     points: &[Vec<f64>],
     collapse: bool,
@@ -331,7 +270,7 @@ fn point_major_resilient(
         point_major_server(session.server(), &at_server, points, stride, collapse)?;
     let back = session.download(&reply)?;
     session.ledger_mut().end_round();
-    let slots_out = session.client_mut().decrypt_values(&back);
+    let slots_out = session.client_mut().decrypt_values(&back)?;
     Ok(DistanceResult {
         distances: point_major_extract(&slots_out, n, stride, collapse),
         ledger: CommLedger::new(), // overwritten by the caller with the delta
@@ -377,7 +316,7 @@ fn dimension_batch_slots(
 /// Server-side work for one dimension batch: diff, square, fold stacked
 /// bands onto band 0. Returns the partial-sum ciphertext and op count.
 fn dimension_batch_server(
-    server: &CkksServer,
+    server: &Server<Ckks>,
     at_server: &CkksCiphertext,
     pslots: &[f64],
     batch: usize,
@@ -406,61 +345,8 @@ fn dimension_batch_server(
 /// Dimension-major family: one ciphertext per dimension (the stacked form
 /// packs several dimensions into one ciphertext at `n`-slot strides and
 /// folds them with rotations). Output is a single dense distance vector.
-fn dimension_major(
-    client: &mut CkksClient,
-    server: &CkksServer,
-    query: &[f64],
-    points: &[Vec<f64>],
-) -> Result<DistanceResult, HeError> {
-    let d = query.len();
-    let n = points.len();
-    let slots = client.context().slot_count();
-    if n > slots {
-        return Err(HeError::Mismatch(
-            "too many points for one ciphertext".into(),
-        ));
-    }
-
-    let mut ledger = CommLedger::new();
-    let mut server_ops = 0u64;
-    let ctx = server.context();
-
-    let per_ct = dims_per_ciphertext(n, slots).min(d);
-    let mut total: Option<CkksCiphertext> = None;
-    let mut dim = 0usize;
-    while dim < d {
-        let batch = per_ct.min(d - dim);
-        let (qslots, pslots) = dimension_batch_slots(query, points, dim, batch);
-        let ct = client.encrypt_values(&qslots)?;
-        let at_server = upload_ckks(&mut ledger, &ct);
-        let (sq, ops) = dimension_batch_server(server, &at_server, &pslots, batch, n)?;
-        server_ops += ops;
-        total = Some(match total {
-            None => sq,
-            Some(tt) => {
-                server_ops += 1;
-                ctx.add(&tt, &sq)?
-            }
-        });
-        dim += batch;
-    }
-    let reply = total.ok_or_else(|| HeError::Mismatch("need at least one dimension".into()))?;
-    let back = download_ckks(&mut ledger, &reply);
-    ledger.end_round();
-    let out = client.decrypt_values(&back);
-    Ok(DistanceResult {
-        distances: out[..n].to_vec(),
-        ledger,
-        encryptions: client.encryption_count(),
-        decryptions: client.decryption_count(),
-        server_ops,
-    })
-}
-
-/// [`dimension_major`] over a resilient session: same packing and server
-/// computation, framed/retried transfers.
-fn dimension_major_resilient(
-    session: &mut CkksResilientSession,
+fn dimension_major<C: Channel>(
+    session: &mut Session<Ckks, C>,
     query: &[f64],
     points: &[Vec<f64>],
 ) -> Result<DistanceResult, TransportError> {
@@ -496,7 +382,7 @@ fn dimension_major_resilient(
     })?;
     let back = session.download(&reply)?;
     session.ledger_mut().end_round();
-    let out = session.client_mut().decrypt_values(&back);
+    let out = session.client_mut().decrypt_values(&back)?;
     Ok(DistanceResult {
         distances: out[..n].to_vec(),
         ledger: CommLedger::new(), // overwritten by the caller with the delta
@@ -591,21 +477,20 @@ pub struct KMeansRun {
 ///
 /// # Errors
 ///
-/// Propagates HE errors from the distance kernels; empty inputs are
-/// reported as [`HeError::Mismatch`].
-pub fn kmeans_encrypted(
+/// Propagates transport and HE errors from the distance kernels; empty
+/// inputs are reported as [`HeError::Mismatch`].
+pub fn kmeans_encrypted<C: Channel>(
     variant: PackingVariant,
-    client: &mut CkksClient,
-    server: &CkksServer,
+    session: &mut Session<Ckks, C>,
     points: &[Vec<f64>],
     initial_centroids: &[Vec<f64>],
     max_iterations: u32,
     tolerance: f64,
-) -> Result<KMeansRun, HeError> {
+) -> Result<KMeansRun, TransportError> {
     if points.is_empty() || initial_centroids.is_empty() {
-        return Err(HeError::Mismatch(
-            "k-means needs at least one point and one centroid".into(),
-        ));
+        return Err(
+            HeError::Mismatch("k-means needs at least one point and one centroid".into()).into(),
+        );
     }
     let mut centroids = initial_centroids.to_vec();
     let mut ledger = CommLedger::new();
@@ -615,7 +500,7 @@ pub fn kmeans_encrypted(
         iterations += 1;
         let mut dists = Vec::with_capacity(centroids.len());
         for c in &centroids {
-            let res = encrypted_distances(variant, client, server, c, points)?;
+            let res = encrypted_distances(variant, session, c, points)?;
             ledger.merge(&res.ledger);
             dists.push(res.distances);
         }
@@ -676,12 +561,60 @@ mod tests {
     use super::*;
     use choco_he::params::HeParams;
 
-    fn setup(dims: usize, n: usize) -> (CkksClient, CkksServer) {
+    #[test]
+    fn distance_rotation_steps_cover_every_kernel_rotation() {
+        // Mirror every rotation the distance kernels request (point-major
+        // rotate-add tree, collapsed block shifts, stacked-dimension folds)
+        // as a compiled program and assert the hand-maintained provisioning
+        // list is a superset — a missing Galois key would otherwise only
+        // surface as a runtime error.
+        use choco::compiler::{compile, CompilerOptions, Program};
+        let (dims, n, slots) = (4usize, 6usize, 512usize);
+        let stride = block_stride(dims);
+
+        let mut prog = Program::new();
+        let x = prog.input("x");
+        let mut acc = x;
+        let mut step = 1usize;
+        while step < stride {
+            let r = prog.rotate(acc, step as i64);
+            acc = prog.add(acc, r);
+            step <<= 1;
+        }
+        for b in 1..n {
+            let r = prog.rotate(acc, (b * stride - b) as i64);
+            acc = prog.add(acc, r);
+        }
+        let per_ct = dims_per_ciphertext(n, slots).min(dims);
+        let mut band = 1usize;
+        while band < per_ct {
+            let r = prog.rotate(acc, (band * n) as i64);
+            acc = prog.add(acc, r);
+            band <<= 1;
+        }
+        prog.output(acc);
+        let opts = CompilerOptions {
+            scale_bits: 30,
+            prime_bits: 45,
+            max_levels: 3,
+        };
+        let compiled = compile(&prog, &opts).unwrap();
+
+        let advertised = distance_rotation_steps(dims, n, slots);
+        let requested = compiled.rotation_steps();
+        assert!(!requested.is_empty());
+        for s in requested {
+            assert!(
+                advertised.contains(&s),
+                "kernel requests rotation {s} that distance_rotation_steps does not advertise"
+            );
+        }
+    }
+
+    fn setup(dims: usize, n: usize) -> Session<Ckks> {
         let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
-        let mut client = CkksClient::new(&params, b"distance").unwrap();
         let steps = distance_rotation_steps(dims, n, 512);
-        let server = client.provision_server(&steps);
-        (client, server)
+        Session::<Ckks>::direct(&params, b"distance", &steps).unwrap()
     }
 
     fn test_data(dims: usize, n: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
@@ -702,8 +635,8 @@ mod tests {
         let (query, points) = test_data(dims, n);
         let want = distances_plain(&query, &points);
         for variant in PackingVariant::all() {
-            let (mut client, server) = setup(dims, n);
-            let res = encrypted_distances(variant, &mut client, &server, &query, &points).unwrap();
+            let mut session = setup(dims, n);
+            let res = encrypted_distances(variant, &mut session, &query, &points).unwrap();
             assert_eq!(res.distances.len(), n);
             for (i, (g, w)) in res.distances.iter().zip(&want).enumerate() {
                 assert!(
@@ -719,14 +652,13 @@ mod tests {
     fn collapsed_costs_more_server_ops_same_comm_fewer_sparse_slots() {
         let (dims, n) = (4usize, 6usize);
         let (query, points) = test_data(dims, n);
-        let (mut c1, s1) = setup(dims, n);
+        let mut s1 = setup(dims, n);
         let plain =
-            encrypted_distances(PackingVariant::PointMajor, &mut c1, &s1, &query, &points).unwrap();
-        let (mut c2, s2) = setup(dims, n);
+            encrypted_distances(PackingVariant::PointMajor, &mut s1, &query, &points).unwrap();
+        let mut s2 = setup(dims, n);
         let collapsed = encrypted_distances(
             PackingVariant::CollapsedPointMajor,
-            &mut c2,
-            &s2,
+            &mut s2,
             &query,
             &points,
         )
@@ -740,11 +672,10 @@ mod tests {
     #[test]
     fn dimension_major_uploads_scale_with_dims() {
         let (query_small, points_small) = test_data(2, 100);
-        let (mut c, s) = setup(2, 100);
+        let mut s = setup(2, 100);
         let small = encrypted_distances(
             PackingVariant::DimensionMajor,
-            &mut c,
-            &s,
+            &mut s,
             &query_small,
             &points_small,
         )
@@ -752,11 +683,10 @@ mod tests {
         // 100-point bands: 512/100 → 5 dims per ct; 2 dims → one upload.
         assert_eq!(small.ledger.uploads, 1);
         let (query_big, points_big) = test_data(16, 100);
-        let (mut c, s) = setup(16, 100);
+        let mut s = setup(16, 100);
         let big = encrypted_distances(
             PackingVariant::DimensionMajor,
-            &mut c,
-            &s,
+            &mut s,
             &query_big,
             &points_big,
         )
@@ -806,11 +736,10 @@ mod tests {
             vec![1.9, 1.9, 2.1, 2.1],
         ];
         let init = vec![vec![0.5; 4], vec![1.5; 4]];
-        let (mut client, server) = setup(4, 6);
+        let mut session = setup(4, 6);
         let run = kmeans_encrypted(
             PackingVariant::DimensionMajor,
-            &mut client,
-            &server,
+            &mut session,
             &points,
             &init,
             10,
@@ -837,17 +766,11 @@ mod tests {
             vec![2.1, 2.0, 2.0, 1.9],
         ];
         let centroids = vec![vec![0.5; 4], vec![1.5; 4]];
-        let (mut client, server) = setup(4, 4);
+        let mut session = setup(4, 4);
         let mut enc_dists = Vec::new();
         for c in &centroids {
-            let r = encrypted_distances(
-                PackingVariant::DimensionMajor,
-                &mut client,
-                &server,
-                c,
-                &points,
-            )
-            .unwrap();
+            let r = encrypted_distances(PackingVariant::DimensionMajor, &mut session, c, &points)
+                .unwrap();
             enc_dists.push(r.distances);
         }
         let plain_dists: Vec<Vec<f64>> = centroids

@@ -18,13 +18,12 @@
 //! accumulation → decryption → unpacking) against a plaintext reference.
 
 use choco::linalg::{accumulate_channels, stacked_conv, ConvTap};
-use choco::protocol::{download, upload, BfvClient, BfvServer, CommLedger};
 use choco::rotation::RedundantLayout;
 use choco::stacking::StackedLayout;
-use choco::transport::{ResilientSession, TransportError};
+use choco::transport::{Channel, Session, TransportError};
 use choco_he::bfv::Ciphertext;
 use choco_he::params::HeParams;
-use choco_he::HeError;
+use choco_he::{Bfv, HeError};
 
 /// One layer of a network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -757,95 +756,25 @@ pub fn conv2d_plain_circular(
 }
 
 /// Runs one encrypted convolution layer end to end through the client-aided
-/// protocol and returns the per-output-channel feature maps plus the
-/// communication ledger.
+/// protocol session and returns the per-output-channel feature maps.
 ///
 /// Input: `in_ch` channel maps of `h·w` 4-bit values; weights
 /// `[out_ch][in_ch][f·f]` 4-bit values. The result matches
 /// [`conv2d_plain_circular`] exactly (the client would discard border
 /// pixels for `valid` semantics).
 ///
-/// # Errors
-///
-/// Propagates HE errors (key material, capacity).
-#[allow(clippy::too_many_arguments)]
-pub fn run_encrypted_conv_layer(
-    client: &mut BfvClient,
-    server: &BfvServer,
-    ledger: &mut CommLedger,
-    input: &[Vec<u64>],
-    weights: &[Vec<Vec<u64>>],
-    h: usize,
-    w: usize,
-    f: usize,
-) -> Result<Vec<Vec<u64>>, HeError> {
-    let in_ch = input.len();
-    let pad = f / 2;
-    let red = pad * (w + 1);
-    let layout = StackedLayout::new(in_ch, RedundantLayout::new(h * w, red));
-    if !layout.fits(client.context().degree() / 2) {
-        return Err(HeError::Mismatch(
-            "layer too large for one ciphertext; split across ciphertexts".into(),
-        ));
-    }
-
-    // Client: pack + encrypt + upload.
-    let slots = layout.pack(input);
-    let ct = client.encrypt_slots(&slots)?;
-    let at_server = upload(ledger, &ct);
-
-    // Server: one stacked conv + channel accumulation per output channel.
-    let mut results = Vec::new();
-    for out_weights in weights {
-        let taps = conv_taps(out_weights, in_ch, f, w);
-        let conv = stacked_conv(server, &at_server, &layout, &taps)?;
-        let acc = accumulate_channels(server, &conv, &layout)?;
-        results.push(download(ledger, &acc));
-    }
-    ledger.end_round();
-
-    // Client: decrypt + unpack channel block 0.
-    let mut maps = Vec::new();
-    for ct in &results {
-        let slots = client.decrypt_slots(ct)?;
-        maps.push(layout.extract(&slots)[0].clone());
-    }
-    Ok(maps)
-}
-
-/// Filter taps for one output channel: per-tap shift plus the per-input-
-/// channel weight vector.
-fn conv_taps(out_weights: &[Vec<u64>], in_ch: usize, f: usize, w: usize) -> Vec<ConvTap> {
-    let pad = f / 2;
-    let mut taps = Vec::with_capacity(f * f);
-    for dy in 0..f {
-        for dx in 0..f {
-            let shift = (dy as i64 - pad as i64) * w as i64 + (dx as i64 - pad as i64);
-            let channel_weights: Vec<u64> =
-                (0..in_ch).map(|c| out_weights[c][dy * f + dx]).collect();
-            taps.push(ConvTap {
-                shift,
-                channel_weights,
-            });
-        }
-    }
-    taps
-}
-
-/// [`run_encrypted_conv_layer`] over a [`ResilientSession`]: the same
-/// client-aided layer, but every ciphertext crosses a (possibly faulty)
-/// framed channel with retries, and the noise watchdog guards the input
-/// ciphertext before each output channel's server-side work.
-///
-/// Under a lossless link this produces bit-identical feature maps to the
-/// plain path, with identical primary ledger counters.
+/// Every ciphertext crosses the session's framed channels with retries, and
+/// the noise watchdog guards the input ciphertext before each output
+/// channel's server-side work. Over a
+/// [`DirectChannel`](choco::transport::DirectChannel) link this *is* the
+/// fault-free path, with identical primary ledger counters.
 ///
 /// # Errors
 ///
 /// Typed [`TransportError`]s when the link is worse than the retry budget;
 /// HE-layer failures are wrapped in [`TransportError::He`].
-pub fn run_encrypted_conv_layer_resilient(
-    session: &mut ResilientSession,
+pub fn run_encrypted_conv_layer<C: Channel>(
+    session: &mut Session<Bfv, C>,
     input: &[Vec<u64>],
     weights: &[Vec<Vec<u64>>],
     h: usize,
@@ -883,6 +812,25 @@ pub fn run_encrypted_conv_layer_resilient(
     Ok(maps)
 }
 
+/// Filter taps for one output channel: per-tap shift plus the per-input-
+/// channel weight vector.
+fn conv_taps(out_weights: &[Vec<u64>], in_ch: usize, f: usize, w: usize) -> Vec<ConvTap> {
+    let pad = f / 2;
+    let mut taps = Vec::with_capacity(f * f);
+    for dy in 0..f {
+        for dx in 0..f {
+            let shift = (dy as i64 - pad as i64) * w as i64 + (dx as i64 - pad as i64);
+            let channel_weights: Vec<u64> =
+                (0..in_ch).map(|c| out_weights[c][dy * f + dx]).collect();
+            taps.push(ConvTap {
+                shift,
+                channel_weights,
+            });
+        }
+    }
+    taps
+}
+
 /// Runs an encrypted convolution layer whose input channels may exceed one
 /// ciphertext: channels are partitioned into power-of-two groups that each
 /// fit a ciphertext row, each group is convolved and accumulated
@@ -893,37 +841,29 @@ pub fn run_encrypted_conv_layer_resilient(
 ///
 /// # Errors
 ///
-/// Propagates HE errors.
-///
-/// # Panics
-///
-/// Panics if even a single channel does not fit one ciphertext row.
-#[allow(clippy::too_many_arguments)]
-pub fn run_encrypted_conv_layer_multi(
-    client: &mut BfvClient,
-    server: &BfvServer,
-    ledger: &mut CommLedger,
+/// Typed [`TransportError`]s when the link is worse than the retry budget;
+/// HE-layer failures are wrapped in [`TransportError::He`].
+pub fn run_encrypted_conv_layer_multi<C: Channel>(
+    session: &mut Session<Bfv, C>,
     input: &[Vec<u64>],
     weights: &[Vec<Vec<u64>>],
     h: usize,
     w: usize,
     f: usize,
-) -> Result<Vec<Vec<u64>>, HeError> {
+) -> Result<Vec<Vec<u64>>, TransportError> {
     let in_ch = input.len();
     let pad = f / 2;
     let red = pad * (w + 1);
-    let row = client.context().degree() / 2;
+    let row = session.server().context().degree() / 2;
     let stride = (h * w + 2 * red).next_power_of_two();
     if stride > row {
-        return Err(HeError::Mismatch(
-            "one channel must fit a ciphertext row".into(),
-        ));
+        return Err(HeError::Mismatch("one channel must fit a ciphertext row".into()).into());
     }
     // Largest power-of-two channel-group size that fits the row.
     let per_ct = (1usize << (row / stride).ilog2()).min(in_ch.next_power_of_two());
 
     if in_ch <= per_ct {
-        return run_encrypted_conv_layer(client, server, ledger, input, weights, h, w, f);
+        return run_encrypted_conv_layer(session, input, weights, h, w, f);
     }
 
     // Partition channels into groups of `per_ct` (zero-padding the tail).
@@ -938,18 +878,20 @@ pub fn run_encrypted_conv_layer_multi(
         })
         .collect();
     let layout = StackedLayout::new(per_ct, RedundantLayout::new(h * w, red));
-    let eval = server.evaluator();
 
     // Client: one upload per group.
     let mut uploaded = Vec::with_capacity(groups.len());
     for g in &groups {
-        let ct = client.encrypt_slots(&layout.pack(g))?;
-        uploaded.push(upload(ledger, &ct));
+        let ct = {
+            let packed = layout.pack(g);
+            session.client_mut().encrypt_slots(&packed)?
+        };
+        uploaded.push(session.upload(&ct)?);
     }
 
     // Server: per output channel, conv + accumulate each group, then sum
     // the aligned group partials.
-    let mut results = Vec::with_capacity(weights.len());
+    let mut maps = Vec::with_capacity(weights.len());
     for out_weights in weights {
         let mut total: Option<Ciphertext> = None;
         for (gi, ct) in uploaded.iter().enumerate() {
@@ -972,25 +914,20 @@ pub fn run_encrypted_conv_layer_multi(
                     });
                 }
             }
-            let conv = stacked_conv(server, ct, &layout, &taps)?;
-            let acc = accumulate_channels(server, &conv, &layout)?;
+            let conv = stacked_conv(session.server(), ct, &layout, &taps)?;
+            let acc = accumulate_channels(session.server(), &conv, &layout)?;
             total = Some(match total {
                 None => acc,
-                Some(t) => eval.add(&t, &acc)?,
+                Some(t) => session.server().add(&t, &acc)?,
             });
         }
         let total =
             total.ok_or_else(|| HeError::Mismatch("conv layer has no channel groups".into()))?;
-        results.push(download(ledger, &total));
-    }
-    ledger.end_round();
-
-    // Client: decrypt; the full sum sits in channel block 0 of each reply.
-    let mut maps = Vec::new();
-    for ct in &results {
-        let slots = client.decrypt_slots(ct)?;
+        let back = session.download(&total)?;
+        let slots = session.client_mut().decrypt_slots(&back)?;
         maps.push(layout.extract(&slots)[0].clone());
     }
+    session.ledger_mut().end_round();
     Ok(maps)
 }
 
@@ -1040,6 +977,55 @@ pub fn conv_rotation_steps_multi(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn conv_rotation_steps_cover_every_kernel_rotation() {
+        // Mirror the conv kernel's rotation requests as a compiled program
+        // (one `Rotate` node per filter tap plus the channel-accumulation
+        // tree) and assert the hand-maintained provisioning list is a
+        // superset — a missing Galois key would otherwise only surface as a
+        // runtime error.
+        use choco::compiler::{compile, CompilerOptions, Program};
+        let (in_ch, h, w, f) = (4usize, 8usize, 8usize, 3usize);
+        let weights: Vec<Vec<u64>> = (0..in_ch)
+            .map(|c| (0..f * f).map(|i| ((i + c) % 16) as u64).collect())
+            .collect();
+        let pad = f / 2;
+        let layout = StackedLayout::new(in_ch, RedundantLayout::new(h * w, pad * (w + 1)));
+
+        let mut prog = Program::new();
+        let x = prog.input("x");
+        let mut acc = x;
+        for tap in conv_taps(&weights, in_ch, f, w) {
+            if tap.shift != 0 {
+                let r = prog.rotate(x, tap.shift);
+                acc = prog.add(acc, r);
+            }
+        }
+        let mut step = 1usize;
+        while step < in_ch {
+            let r = prog.rotate(acc, (step * layout.stride()) as i64);
+            acc = prog.add(acc, r);
+            step <<= 1;
+        }
+        prog.output(acc);
+        let opts = CompilerOptions {
+            scale_bits: 30,
+            prime_bits: 45,
+            max_levels: 3,
+        };
+        let compiled = compile(&prog, &opts).unwrap();
+
+        let advertised = conv_rotation_steps(in_ch, h, w, f);
+        let requested = compiled.rotation_steps();
+        assert!(!requested.is_empty());
+        for s in requested {
+            assert!(
+                advertised.contains(&s),
+                "kernel requests rotation {s} that conv_rotation_steps does not advertise"
+            );
+        }
+    }
 
     #[test]
     fn table5_mac_totals() {
@@ -1125,12 +1111,10 @@ mod tests {
         // 8 input channels of 8x8 at N=1024 (row 512): stride 128 → only 4
         // channels fit per ciphertext → 2 groups, summed server-side.
         let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 20).unwrap();
-        let mut client = BfvClient::new(&params, b"multi conv").unwrap();
         let (h, w, f, in_ch, out_ch) = (8usize, 8usize, 3usize, 8usize, 2usize);
-        let row = client.context().degree() / 2;
+        let row = params.degree() / 2;
         let steps = conv_rotation_steps_multi(in_ch, h, w, f, row);
-        let server = client.provision_server(&steps).unwrap();
-        let mut ledger = CommLedger::new();
+        let mut session = Session::<Bfv>::direct(&params, b"multi conv", &steps).unwrap();
 
         let input: Vec<Vec<u64>> = (0..in_ch)
             .map(|c| (0..h * w).map(|i| ((i * 3 + c * 7) % 8) as u64).collect())
@@ -1143,62 +1127,42 @@ mod tests {
             })
             .collect();
 
-        let got = run_encrypted_conv_layer_multi(
-            &mut client,
-            &server,
-            &mut ledger,
-            &input,
-            &weights,
-            h,
-            w,
-            f,
-        )
-        .unwrap();
-        let t = client.context().plain_modulus();
+        let got = run_encrypted_conv_layer_multi(&mut session, &input, &weights, h, w, f).unwrap();
+        let t = session.server().context().plain_modulus();
         let want = conv2d_plain_circular(&input, &weights, h, w, f, t);
         assert_eq!(got, want);
         // Two uploads (one per group), one download per output channel.
-        assert_eq!(ledger.uploads, 2);
-        assert_eq!(ledger.downloads, out_ch as u32);
+        assert_eq!(session.ledger().uploads, 2);
+        assert_eq!(session.ledger().downloads, out_ch as u32);
     }
 
     #[test]
     fn multi_path_falls_back_to_single_ciphertext() {
         let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).unwrap();
-        let mut client = BfvClient::new(&params, b"multi fallback").unwrap();
         let (h, w, f, in_ch) = (6usize, 6usize, 3usize, 2usize);
         let steps = conv_rotation_steps(in_ch, h, w, f);
-        let server = client.provision_server(&steps).unwrap();
-        let mut ledger = CommLedger::new();
+        let mut session = Session::<Bfv>::direct(&params, b"multi fallback", &steps).unwrap();
         let input: Vec<Vec<u64>> = (0..in_ch)
             .map(|c| (0..h * w).map(|i| ((i + c) % 16) as u64).collect())
             .collect();
         let weights: Vec<Vec<Vec<u64>>> =
             vec![(0..in_ch).map(|c| vec![(c + 1) as u64; f * f]).collect()];
-        let got = run_encrypted_conv_layer_multi(
-            &mut client,
-            &server,
-            &mut ledger,
-            &input,
-            &weights,
-            h,
-            w,
-            f,
-        )
-        .unwrap();
-        assert_eq!(ledger.uploads, 1, "small layer uses the single-ct path");
-        let t = client.context().plain_modulus();
+        let got = run_encrypted_conv_layer_multi(&mut session, &input, &weights, h, w, f).unwrap();
+        assert_eq!(
+            session.ledger().uploads,
+            1,
+            "small layer uses the single-ct path"
+        );
+        let t = session.server().context().plain_modulus();
         assert_eq!(got, conv2d_plain_circular(&input, &weights, h, w, f, t));
     }
 
     #[test]
     fn encrypted_conv_layer_matches_plain_reference() {
         let params = HeParams::bfv_insecure(2048, &[45, 45, 46], 18).unwrap();
-        let mut client = BfvClient::new(&params, b"dnn conv").unwrap();
         let (h, w, f, in_ch, out_ch) = (6usize, 6usize, 3usize, 2usize, 2usize);
         let steps = conv_rotation_steps(in_ch, h, w, f);
-        let server = client.provision_server(&steps).unwrap();
-        let mut ledger = CommLedger::new();
+        let mut session = Session::<Bfv>::direct(&params, b"dnn conv", &steps).unwrap();
 
         // Seeded 4-bit inputs and weights.
         let input: Vec<Vec<u64>> = (0..in_ch)
@@ -1212,14 +1176,13 @@ mod tests {
             })
             .collect();
 
-        let got =
-            run_encrypted_conv_layer(&mut client, &server, &mut ledger, &input, &weights, h, w, f)
-                .unwrap();
-        let t = client.context().plain_modulus();
+        let got = run_encrypted_conv_layer(&mut session, &input, &weights, h, w, f).unwrap();
+        let t = session.server().context().plain_modulus();
         let want = conv2d_plain_circular(&input, &weights, h, w, f, t);
         assert_eq!(got, want);
-        assert_eq!(ledger.uploads, 1);
-        assert_eq!(ledger.downloads, out_ch as u32);
+        assert_eq!(session.ledger().uploads, 1);
+        assert_eq!(session.ledger().downloads, out_ch as u32);
+        let (client, _server, _ledger) = session.into_parts();
         assert_eq!(client.encryption_count(), 1);
         assert_eq!(client.decryption_count(), out_ch as u64);
     }

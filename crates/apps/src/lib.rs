@@ -26,6 +26,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod batched;
+pub mod client_ops;
 pub mod distance;
 pub mod dnn;
 pub mod pagerank;

@@ -12,11 +12,10 @@
 //! Figure 13 live here.
 
 use choco::linalg::{matvec_diagonals, replicate_for_matvec};
-use choco::protocol::{download, upload, BfvClient, BfvServer, CommLedger};
-use choco::transport::{LinkConfig, ResilientSession, TransportError};
-use choco_he::bfv::Ciphertext;
+use choco::protocol::CommLedger;
+use choco::transport::{LinkConfig, Session, TransportError};
 use choco_he::params::{max_coeff_bits_128, HeParams, SchemeType, WORD_BYTES};
-use choco_he::HeError;
+use choco_he::{HeError, HeScheme};
 
 /// A row-stochastic link graph for PageRank.
 #[derive(Debug, Clone)]
@@ -85,14 +84,6 @@ pub struct EncryptedPageRank {
     pub decryptions: u64,
 }
 
-/// Quantizes a real vector to `scale` fixed point modulo `t`.
-fn quantize(values: &[f64], scale: u64, t: u64) -> Vec<u64> {
-    values
-        .iter()
-        .map(|&v| ((v * scale as f64).round() as u64) % t)
-        .collect()
-}
-
 /// Rotation steps the PageRank kernels need: diagonal shifts plus the
 /// replication shift for multi-iteration bursts.
 fn pagerank_rotation_steps(n: usize) -> Vec<i64> {
@@ -101,162 +92,32 @@ fn pagerank_rotation_steps(n: usize) -> Vec<i64> {
     steps
 }
 
-/// Server-side burst: `burst` encrypted PageRank iterations on `at_server`.
+/// Runs client-aided PageRank over the given link, generic over the HE
+/// scheme.
 ///
-/// Every term carries scale `scale^(it+2)` after iteration `it`, so teleport
-/// constants are injected at the matching scale and everything meets at
-/// `scale^(burst+1)` for the client to strip.
-fn bfv_burst_server(
-    server: &BfvServer,
-    mut at_server: Ciphertext,
-    qm: &[Vec<u64>],
-    burst: u32,
-    teleport: f64,
-    scale: u64,
-    n: usize,
-) -> Result<Ciphertext, HeError> {
-    let t = server.context().plain_modulus();
-    let row = server.context().degree() / 2;
-    for it in 0..burst {
-        at_server = matvec_diagonals(server, &at_server, qm)?;
-        let tq = ((teleport * (scale as f64).powi(it as i32 + 2)).round() as u64) % t;
-        let mut tvec = vec![0u64; row];
-        for s in tvec.iter_mut().take(n) {
-            *s = tq;
-        }
-        let tpt = server.encode(&tvec)?;
-        at_server = server.evaluator().add_plain(&at_server, &tpt);
-        if it + 1 < burst {
-            // Continuous encrypted operation must re-replicate the rank
-            // vector for the next diagonal product: one masking multiply
-            // plus one rotation — exactly the noise tax that makes long
-            // bursts lose to frequent refresh (§5.6).
-            let mut mask = vec![0u64; row];
-            for s in mask.iter_mut().take(n) {
-                *s = 1;
-            }
-            let mpt = server.encode(&mask)?;
-            let masked = server.evaluator().multiply_plain(&at_server, &mpt);
-            let copy =
-                server
-                    .evaluator()
-                    .rotate_rows(&masked, -(n as i64), server.galois_keys())?;
-            at_server = server.evaluator().add(&masked, &copy)?;
-        }
-    }
-    Ok(at_server)
-}
-
-/// Client-side post-processing of a decrypted burst: strips the accumulated
-/// scale and renormalizes to a probability vector.
-fn strip_and_renormalize(slots: &[u64], ranks: &mut [f64], scale: u64, burst: u32) {
-    let denom = (scale as f64).powi(burst as i32 + 1);
-    for (r, &s) in ranks.iter_mut().zip(slots) {
-        *r = s as f64 / denom;
-    }
-    let sum: f64 = ranks.iter().sum();
-    for r in ranks.iter_mut() {
-        *r /= sum;
-    }
-}
-
-/// Runs client-aided PageRank in BFV fixed point.
+/// Under BFV the matrix and ranks are quantized with `scale_bits`
+/// fractional bits via [`HeScheme::quantize`]: every encrypted iteration
+/// multiplies the rank scale by the matrix scale, so after a burst of
+/// `iters_per_refresh` iterations the values carry `scale^(burst+1)` which
+/// the client strips in plaintext (the noise refresh). Under CKKS the
+/// quantize hooks are the identity (`scale_bits` is ignored — ciphertexts
+/// carry the scale natively) and each iteration consumes rescale levels
+/// instead, so a refresh restores the level chain.
 ///
-/// Ranks and matrix entries are quantized with `scale_bits` fractional bits.
-/// Every iteration multiplies the rank scale by the matrix scale, so after
-/// `iters_per_refresh` iterations the client decrypts, rescales in plaintext
-/// (the noise refresh), and re-encrypts.
+/// A [`LinkConfig::direct`] link is the fault-free paper protocol; any
+/// other link adds framed retries (billed to `retransmit_bytes`) and arms
+/// the health watchdog before each burst without changing the ranks: under
+/// any fault schedule within the retry budget the result is bit-identical
+/// to the direct run.
 ///
 /// # Errors
 ///
-/// Propagates HE errors (capacity, keys). Oversized graphs and a zero
-/// refresh cadence are reported as [`HeError::Mismatch`].
-pub fn pagerank_encrypted_bfv(
-    graph: &Graph,
-    damping: f64,
-    total_iterations: u32,
-    iters_per_refresh: u32,
-    params: &HeParams,
-    scale_bits: u32,
-) -> Result<EncryptedPageRank, HeError> {
-    if iters_per_refresh < 1 {
-        return Err(HeError::Mismatch(
-            "need at least one iteration per refresh".into(),
-        ));
-    }
-    let n = graph.len();
-    let mut client = BfvClient::new(params, b"pagerank bfv")?;
-    let row = client.context().degree() / 2;
-    if 2 * n > row {
-        return Err(HeError::Mismatch(
-            "graph too large for one ciphertext row".into(),
-        ));
-    }
-    let server = client.provision_server(&pagerank_rotation_steps(n))?;
-    let mut ledger = CommLedger::new();
-
-    let scale = 1u64 << scale_bits;
-    let t = client.context().plain_modulus();
-    // Quantized damped transition matrix.
-    let qm: Vec<Vec<u64>> = graph
-        .transition
-        .iter()
-        .map(|row| {
-            quantize(
-                &row.iter().map(|&v| damping * v).collect::<Vec<_>>(),
-                scale,
-                t,
-            )
-        })
-        .collect();
-    let teleport = (1.0 - damping) / n as f64;
-
-    let mut ranks: Vec<f64> = vec![1.0 / n as f64; n];
-    let mut done = 0u32;
-    while done < total_iterations {
-        let burst = iters_per_refresh.min(total_iterations - done);
-        // Client quantizes and encrypts the current ranks.
-        let qr = quantize(&ranks, scale, t);
-        let ct = client.encrypt_slots(&replicate_for_matvec(&qr, row))?;
-        let at_server = upload(&mut ledger, &ct);
-
-        let out = bfv_burst_server(&server, at_server, &qm, burst, teleport, scale, n)?;
-        let back = download(&mut ledger, &out);
-        ledger.end_round();
-
-        // Client: decrypt, strip the accumulated scale, renormalize.
-        let slots = client.decrypt_slots(&back)?;
-        strip_and_renormalize(&slots[..n], &mut ranks, scale, burst);
-        done += burst;
-    }
-
-    Ok(EncryptedPageRank {
-        ranks,
-        encryptions: client.encryption_count(),
-        decryptions: client.decryption_count(),
-        ledger,
-    })
-}
-
-/// [`pagerank_encrypted_bfv`] over a [`ResilientSession`]: every upload and
-/// download travels as tagged frames across the supplied channels, with
-/// retries billed to the ledger's `retransmit_bytes`. Under any fault
-/// schedule within the retry budget the ranks are bit-identical to the
-/// direct run; beyond it the typed transport error surfaces instead of a
-/// wrong answer.
-///
-/// PageRank already refreshes every `iters_per_refresh` iterations by
-/// design, so the session's noise watchdog is additionally armed before
-/// each burst via [`ResilientSession::guard`] — if a fault forced a partial
-/// round, the re-encrypted ciphertext never enters a burst it cannot
-/// survive.
-///
-/// # Errors
-///
-/// Returns transport errors (retries exhausted, timeout) and propagates
-/// HE-layer failures. Oversized graphs and a zero refresh cadence are
-/// reported as [`HeError::Mismatch`].
-pub fn pagerank_encrypted_bfv_resilient(
+/// Transport errors when the link defeats the retry policy; HE-layer
+/// failures — including insufficient CKKS levels when `iters_per_refresh`
+/// exceeds what the prime chain supports, the Figure 13 tradeoff surfacing
+/// as an API error — wrapped in [`TransportError::He`]. Oversized graphs
+/// and a zero refresh cadence are reported as [`HeError::Mismatch`].
+pub fn pagerank_encrypted<S: HeScheme>(
     graph: &Graph,
     damping: f64,
     total_iterations: u32,
@@ -269,152 +130,82 @@ pub fn pagerank_encrypted_bfv_resilient(
         return Err(HeError::Mismatch("need at least one iteration per refresh".into()).into());
     }
     let n = graph.len();
-    let mut session = ResilientSession::new(
-        params,
-        b"pagerank bfv",
-        &pagerank_rotation_steps(n),
-        link.uplink,
-        link.downlink,
-        link.policy,
-    )?;
-    let row = session.server().context().degree() / 2;
-    if 2 * n > row {
+    let mut session =
+        Session::<S>::with_link(params, b"pagerank", &pagerank_rotation_steps(n), link)?;
+    let width = session.server().slot_width();
+    if 2 * n > width {
         return Err(HeError::Mismatch("graph too large for one ciphertext row".into()).into());
     }
+    let ctx = session.server().context().clone();
 
-    let scale = 1u64 << scale_bits;
-    let t = session.server().context().plain_modulus();
-    let qm: Vec<Vec<u64>> = graph
+    // Damped transition matrix at fixed-point depth 1 (identity under CKKS).
+    let qm: Vec<Vec<S::Value>> = graph
         .transition
         .iter()
         .map(|row| {
-            quantize(
-                &row.iter().map(|&v| damping * v).collect::<Vec<_>>(),
-                scale,
-                t,
-            )
+            let damped: Vec<f64> = row.iter().map(|&v| damping * v).collect();
+            S::quantize(&ctx, &damped, scale_bits, 1)
         })
         .collect();
     let teleport = (1.0 - damping) / n as f64;
+    let mask_plain: Vec<S::Value> = {
+        let mut mask = vec![0.0f64; width];
+        for s in mask.iter_mut().take(n) {
+            *s = 1.0;
+        }
+        S::quantize(&ctx, &mask, scale_bits, 0)
+    };
 
     let mut ranks: Vec<f64> = vec![1.0 / n as f64; n];
     let mut done = 0u32;
     while done < total_iterations {
         let burst = iters_per_refresh.min(total_iterations - done);
-        let qr = quantize(&ranks, scale, t);
-        let replicated = replicate_for_matvec(&qr, row);
-        let ct = session.client_mut().encrypt_slots(&replicated)?;
+        // Client: quantize at depth 1, replicate for the diagonal kernel,
+        // encrypt, upload.
+        let qr = S::quantize(&ctx, &ranks, scale_bits, 1);
+        let replicated = replicate_for_matvec(&qr, width);
+        let ct = session.client_mut().encrypt(&replicated)?;
         let uploaded = session.upload(&ct)?;
-        let at_server = session.guard(&uploaded)?;
+        let mut at_server = session.guard(&uploaded)?;
 
-        let out = bfv_burst_server(session.server(), at_server, &qm, burst, teleport, scale, n)?;
-        let back = session.download(&out)?;
-        session.ledger_mut().end_round();
-
-        let slots = session.client_mut().decrypt_slots(&back)?;
-        strip_and_renormalize(&slots[..n], &mut ranks, scale, burst);
-        done += burst;
-    }
-
-    let (client, _server, ledger) = session.into_parts();
-    Ok(EncryptedPageRank {
-        ranks,
-        encryptions: client.encryption_count(),
-        decryptions: client.decryption_count(),
-        ledger,
-    })
-}
-
-/// Runs client-aided PageRank in CKKS: per refresh round the client
-/// encrypts the real-valued rank vector, the server performs `burst`
-/// matrix-vector iterations (one rescale level each, plus one for the
-/// replication mask between iterations), and the client decrypts and
-/// renormalizes. Demonstrates the paper's claim that CKKS reaches the same
-/// schedules with smaller per-iteration cost (§5.6, Figure 13).
-///
-/// # Errors
-///
-/// Propagates HE errors — including insufficient levels when
-/// `iters_per_refresh` exceeds what the prime chain supports, which is the
-/// Figure 13 tradeoff surfacing as an API error. Oversized graphs and a
-/// zero refresh cadence are reported as [`HeError::Mismatch`].
-pub fn pagerank_encrypted_ckks(
-    graph: &Graph,
-    damping: f64,
-    total_iterations: u32,
-    iters_per_refresh: u32,
-    params: &HeParams,
-) -> Result<EncryptedPageRank, HeError> {
-    use choco::linalg::ckks_matvec_diagonals;
-    use choco::protocol::{download_ckks, upload_ckks, CkksClient};
-
-    if iters_per_refresh < 1 {
-        return Err(HeError::Mismatch(
-            "need at least one iteration per refresh".into(),
-        ));
-    }
-    let n = graph.len();
-    let mut client = CkksClient::new(params, b"pagerank ckks")?;
-    let slots = client.context().slot_count();
-    if 2 * n > slots {
-        return Err(HeError::Mismatch(
-            "graph too large for one ciphertext row".into(),
-        ));
-    }
-    let server = client.provision_server(&pagerank_rotation_steps(n));
-    let mut ledger = CommLedger::new();
-
-    let damped: Vec<Vec<f64>> = graph
-        .transition
-        .iter()
-        .map(|row| row.iter().map(|&v| damping * v).collect())
-        .collect();
-    let teleport = (1.0 - damping) / n as f64;
-
-    let mut ranks = vec![1.0 / n as f64; n];
-    let mut done = 0u32;
-    while done < total_iterations {
-        let burst = iters_per_refresh.min(total_iterations - done);
-        let mut slots_vec = vec![0.0f64; slots];
-        slots_vec[..n].copy_from_slice(&ranks);
-        slots_vec[n..2 * n].copy_from_slice(&ranks);
-        let ct = client.encrypt_values(&slots_vec)?;
-        let mut at_server = upload_ckks(&mut ledger, &ct);
-
-        let ctx = server.context();
+        // Server: `burst` encrypted iterations. After iteration `it` every
+        // term carries depth `it + 2`, so teleport constants are injected
+        // at the matching depth and everything meets at depth `burst + 1`
+        // for the client to strip.
         for it in 0..burst {
-            at_server = ckks_matvec_diagonals(&server, &at_server, &damped)?;
-            let mut tvec = vec![0.0f64; slots];
+            at_server = matvec_diagonals(session.server(), &at_server, &qm)?;
+            let mut tvec = vec![0.0f64; width];
             for s in tvec.iter_mut().take(n) {
                 *s = teleport;
             }
-            let tpt = server.encode_at(&tvec, at_server.level(), at_server.scale())?;
-            at_server = ctx.add_plain(&at_server, &tpt)?;
+            let tq = S::quantize(&ctx, &tvec, scale_bits, it + 2);
+            at_server = session.server().add_plain(&at_server, &tq)?;
             if it + 1 < burst {
-                // Re-replicate for the next diagonal product: mask + rotate
-                // (costs one more rescale level — CKKS's version of the
-                // continuous-operation tax).
-                let mut mask = vec![0.0f64; slots];
-                for s in mask.iter_mut().take(n) {
-                    *s = 1.0;
-                }
-                let mpt = server.encode_at(&mask, at_server.level(), ctx.default_scale())?;
-                let masked = ctx.rescale(&ctx.multiply_plain(&at_server, &mpt)?)?;
-                let copy = ctx.rotate(&masked, -(n as i64), server.galois_keys())?;
-                at_server = ctx.add(&masked, &copy)?;
+                // Continuous encrypted operation must re-replicate the rank
+                // vector for the next diagonal product: one masking multiply
+                // plus one rotation — exactly the noise/level tax that makes
+                // long bursts lose to frequent refresh (§5.6).
+                let masked = session.server().mul_plain(&at_server, &mask_plain)?;
+                let copy = session.server().rotate(&masked, -(n as i64))?;
+                at_server = session.server().add(&masked, &copy)?;
             }
         }
-        let back = download_ckks(&mut ledger, &at_server);
-        ledger.end_round();
+        let back = session.download(&at_server)?;
+        session.ledger_mut().end_round();
 
-        let slots_out = client.decrypt_values(&back);
-        ranks.copy_from_slice(&slots_out[..n]);
+        // Client: decrypt, strip the accumulated depth, renormalize to a
+        // probability vector.
+        let slots = session.client_mut().decrypt(&back)?;
+        let stripped = S::dequantize(&ctx, &slots[..n], scale_bits, burst + 1);
+        ranks.copy_from_slice(&stripped);
         let sum: f64 = ranks.iter().sum();
         for r in ranks.iter_mut() {
             *r /= sum;
         }
         done += burst;
     }
+
+    let (client, _server, ledger) = session.into_parts();
     Ok(EncryptedPageRank {
         ranks,
         encryptions: client.encryption_count(),
@@ -492,6 +283,7 @@ pub fn pagerank_comm_model(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use choco_he::{Bfv, Ckks};
 
     fn small_graph() -> Graph {
         // Classic 4-node example with a dangling node.
@@ -523,7 +315,8 @@ mod tests {
     fn encrypted_pagerank_tracks_plain_reference() {
         let g = small_graph();
         let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).unwrap();
-        let enc = pagerank_encrypted_bfv(&g, 0.85, 6, 1, &params, 10).unwrap();
+        let enc =
+            pagerank_encrypted::<Bfv>(&g, 0.85, 6, 1, &params, 10, LinkConfig::direct()).unwrap();
         let plain = pagerank_plain(&g, 0.85, 6);
         for (i, (e, p)) in enc.ranks.iter().zip(&plain).enumerate() {
             assert!((e - p).abs() < 0.02, "node {i}: encrypted {e} vs plain {p}");
@@ -537,7 +330,8 @@ mod tests {
     fn ckks_pagerank_tracks_plain_reference() {
         let g = small_graph();
         let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
-        let enc = pagerank_encrypted_ckks(&g, 0.85, 6, 1, &params).unwrap();
+        let enc =
+            pagerank_encrypted::<Ckks>(&g, 0.85, 6, 1, &params, 0, LinkConfig::direct()).unwrap();
         let plain = pagerank_plain(&g, 0.85, 6);
         for (i, (e, p)) in enc.ranks.iter().zip(&plain).enumerate() {
             assert!((e - p).abs() < 0.01, "node {i}: {e} vs {p}");
@@ -553,14 +347,17 @@ mod tests {
         // so a 4-data-prime chain fits and burst 3 must fail — the Figure 13
         // tradeoff surfacing as levels.
         let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 45, 46], 38).unwrap();
-        let enc = pagerank_encrypted_ckks(&g, 0.85, 4, 2, &params).unwrap();
+        let enc =
+            pagerank_encrypted::<Ckks>(&g, 0.85, 4, 2, &params, 0, LinkConfig::direct()).unwrap();
         let plain = pagerank_plain(&g, 0.85, 4);
         for (e, p) in enc.ranks.iter().zip(&plain) {
             assert!((e - p).abs() < 0.02, "{e} vs {p}");
         }
         assert_eq!(enc.ledger.rounds, 2);
         // A burst of 3 needs more levels than the chain has.
-        assert!(pagerank_encrypted_ckks(&g, 0.85, 3, 3, &params).is_err());
+        assert!(
+            pagerank_encrypted::<Ckks>(&g, 0.85, 3, 3, &params, 0, LinkConfig::direct()).is_err()
+        );
     }
 
     #[test]
@@ -572,7 +369,8 @@ mod tests {
         // continuous encrypted operation.
         let g = small_graph();
         let params = HeParams::bfv_insecure(1024, &[50, 50, 50, 51], 21).unwrap();
-        let enc = pagerank_encrypted_bfv(&g, 0.85, 4, 2, &params, 6).unwrap();
+        let enc =
+            pagerank_encrypted::<Bfv>(&g, 0.85, 4, 2, &params, 6, LinkConfig::direct()).unwrap();
         let plain = pagerank_plain(&g, 0.85, 4);
         for (i, (e, p)) in enc.ranks.iter().zip(&plain).enumerate() {
             assert!((e - p).abs() < 0.05, "node {i}: encrypted {e} vs plain {p}");
@@ -587,7 +385,8 @@ mod tests {
 
         let g = small_graph();
         let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).unwrap();
-        let baseline = pagerank_encrypted_bfv(&g, 0.85, 4, 1, &params, 10).unwrap();
+        let baseline =
+            pagerank_encrypted::<Bfv>(&g, 0.85, 4, 1, &params, 10, LinkConfig::direct()).unwrap();
 
         let plan = FaultPlan::lossless()
             .with_drop_rate(0.25)
@@ -601,7 +400,7 @@ mod tests {
                 ..RetryPolicy::default()
             },
         };
-        let enc = pagerank_encrypted_bfv_resilient(&g, 0.85, 4, 1, &params, 10, link).unwrap();
+        let enc = pagerank_encrypted::<Bfv>(&g, 0.85, 4, 1, &params, 10, link).unwrap();
         // Bit-identical ranks: faults only cost retries, never precision.
         assert_eq!(enc.ranks, baseline.ranks);
         assert_eq!(enc.ledger.rounds, baseline.ledger.rounds);
@@ -624,8 +423,53 @@ mod tests {
             uplink: Box::new(FaultyChannel::new(b"void", FaultPlan::blackhole())),
             ..LinkConfig::direct()
         };
-        let err = pagerank_encrypted_bfv_resilient(&g, 0.85, 2, 1, &params, 10, link).unwrap_err();
+        let err = pagerank_encrypted::<Bfv>(&g, 0.85, 2, 1, &params, 10, link).unwrap_err();
         assert!(matches!(err, TransportError::RetriesExhausted { .. }));
+    }
+
+    #[test]
+    fn cross_scheme_pagerank_agrees_under_direct_and_faulty_links() {
+        // The same generic runner under both schemes, over both a perfect
+        // link and a seeded lossy link: all four runs must agree with the
+        // plaintext reference (and hence with each other), faults costing
+        // only retransmissions.
+        use choco::transport::{FaultPlan, FaultyChannel, RetryPolicy};
+
+        let g = small_graph();
+        let plain = pagerank_plain(&g, 0.85, 4);
+        let bfv_params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).unwrap();
+        let ckks_params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+        let plan = FaultPlan::lossless()
+            .with_drop_rate(0.25)
+            .with_corrupt_rate(0.2);
+        let faulty = |label: &'static [u8]| LinkConfig {
+            uplink: Box::new(FaultyChannel::new(label, plan)),
+            downlink: Box::new(FaultyChannel::new(label, plan)),
+            policy: RetryPolicy {
+                max_attempts: 16,
+                ..RetryPolicy::default()
+            },
+        };
+
+        let runs = [
+            pagerank_encrypted::<Bfv>(&g, 0.85, 4, 1, &bfv_params, 10, LinkConfig::direct())
+                .unwrap(),
+            pagerank_encrypted::<Bfv>(&g, 0.85, 4, 1, &bfv_params, 10, faulty(b"xs bfv")).unwrap(),
+            pagerank_encrypted::<Ckks>(&g, 0.85, 4, 1, &ckks_params, 0, LinkConfig::direct())
+                .unwrap(),
+            pagerank_encrypted::<Ckks>(&g, 0.85, 4, 1, &ckks_params, 0, faulty(b"xs ckks"))
+                .unwrap(),
+        ];
+        for (which, run) in runs.iter().enumerate() {
+            for (i, (e, p)) in run.ranks.iter().zip(&plain).enumerate() {
+                assert!((e - p).abs() < 0.02, "run {which} node {i}: {e} vs {p}");
+            }
+        }
+        // Faults never change the answer, only the retransmit bill.
+        assert_eq!(runs[0].ranks, runs[1].ranks);
+        assert_eq!(runs[2].ranks, runs[3].ranks);
+        assert!(runs[1].ledger.retransmit_bytes > 0);
+        assert!(runs[3].ledger.retransmit_bytes > 0);
     }
 
     #[test]

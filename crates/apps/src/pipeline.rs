@@ -2,21 +2,24 @@
 //!
 //! Chains the encrypted convolution kernel, client-side non-linear stages
 //! (requantization + max-pooling, §5.1's "client computes all non-linear
-//! operations locally on plaintext data"), and the encrypted fully-connected
-//! matvec into a complete LeNet-style inference — every linear layer on the
-//! server, every boundary crossing counted. The plaintext twin
-//! ([`run_plain`]) applies bit-identical integer arithmetic, so the
-//! encrypted pipeline must match it *exactly*.
+//! operations locally on plaintext data" — see [`crate::client_ops`]), and
+//! the encrypted fully-connected matvec into a complete LeNet-style
+//! inference — every linear layer on the server, every boundary crossing
+//! counted. The plaintext twin ([`run_plain`]) applies bit-identical integer
+//! arithmetic, so the encrypted pipeline must match it *exactly*.
+//!
+//! There is one encrypted implementation, [`run_encrypted`], generic over
+//! the transport: a [`LinkConfig::direct`] link is the fault-free paper
+//! protocol, any other link adds framed retries and watchdog refreshes
+//! without changing the numbers.
 
-use crate::dnn::{
-    conv2d_plain_circular, conv_rotation_steps, run_encrypted_conv_layer,
-    run_encrypted_conv_layer_resilient,
-};
+pub use crate::client_ops::{max_pool2x2, requantize};
+use crate::dnn::{conv2d_plain_circular, conv_rotation_steps, run_encrypted_conv_layer};
 use choco::linalg::{matvec_diagonals, replicate_for_matvec};
-use choco::protocol::{download, upload, BfvClient, CommLedger};
-use choco::transport::{LinkConfig, ResilientSession, TransportError};
+use choco::protocol::CommLedger;
+use choco::transport::{LinkConfig, Session, TransportError};
 use choco_he::params::HeParams;
-use choco_he::HeError;
+use choco_he::{Bfv, HeError};
 use choco_prng::Blake3Rng;
 
 /// Geometry of a two-conv + FC quantized network (LeNet-style).
@@ -93,35 +96,6 @@ pub fn seeded_weights(spec: &LenetLikeSpec, seed: &[u8]) -> LenetLikeWeights {
     LenetLikeWeights { conv1, conv2, fc }
 }
 
-/// Requantizes accumulated values back to 4 bits, scaling by the observed
-/// maximum (dynamic activation quantization — the client sees plaintext
-/// values at every boundary, so it can pick the scale exactly).
-pub fn requantize(values: &[u64]) -> Vec<u64> {
-    let max = values.iter().copied().max().unwrap_or(0).max(1);
-    let bits = 64 - max.leading_zeros();
-    let shift = bits.saturating_sub(4);
-    values.iter().map(|&v| (v >> shift).min(15)).collect()
-}
-
-/// 2×2 max pooling over a flattened `h×w` map.
-pub fn max_pool2x2(map: &[u64], h: usize, w: usize) -> Vec<u64> {
-    assert_eq!(map.len(), h * w, "map shape mismatch");
-    let (oh, ow) = (h / 2, w / 2);
-    let mut out = vec![0u64; oh * ow];
-    for y in 0..oh {
-        for x in 0..ow {
-            let mut m = 0u64;
-            for dy in 0..2 {
-                for dx in 0..2 {
-                    m = m.max(map[(2 * y + dy) * w + 2 * x + dx]);
-                }
-            }
-            out[y * ow + x] = m;
-        }
-    }
-    out
-}
-
 /// Result of one whole-network inference.
 #[derive(Debug, Clone)]
 pub struct PipelineRun {
@@ -135,12 +109,6 @@ pub struct PipelineRun {
     pub crypto_ops: (u64, u64),
 }
 
-/// Runs the full encrypted pipeline. The plaintext modulus must hold
-/// `15·15·conv2_ch·f²` accumulations (e.g. 18 bits for the tiny spec).
-///
-/// # Errors
-///
-/// Propagates HE errors (capacity, keys).
 /// All rotation steps any pipeline stage needs, provisioned once (offline
 /// setup).
 fn all_rotation_steps(spec: &LenetLikeSpec, row: usize) -> Vec<i64> {
@@ -154,108 +122,20 @@ fn all_rotation_steps(spec: &LenetLikeSpec, row: usize) -> Vec<i64> {
     steps
 }
 
-pub fn run_encrypted(
-    spec: &LenetLikeSpec,
-    weights: &LenetLikeWeights,
-    image: &[u64],
-    params: &HeParams,
-    seed: &[u8],
-) -> Result<PipelineRun, HeError> {
-    if image.len() != spec.img * spec.img {
-        return Err(HeError::Mismatch(format!(
-            "image has {} pixels, spec wants {}x{}",
-            image.len(),
-            spec.img,
-            spec.img
-        )));
-    }
-    if spec.classes == 0 {
-        return Err(HeError::Mismatch("need at least one output class".into()));
-    }
-    let mut client = BfvClient::new(params, seed)?;
-    let row = client.context().degree() / 2;
-    let p1 = spec.img / 2;
-
-    let steps = all_rotation_steps(spec, row);
-    let server = client.provision_server(&steps)?;
-    let mut ledger = CommLedger::new();
-
-    // Stage 1: encrypted conv over the single input channel.
-    let maps1 = run_encrypted_conv_layer(
-        &mut client,
-        &server,
-        &mut ledger,
-        &[image.to_vec()],
-        &weights.conv1,
-        spec.img,
-        spec.img,
-        spec.filter,
-    )?;
-    // Client: requantize + pool per channel.
-    let pooled1: Vec<Vec<u64>> = maps1
-        .iter()
-        .map(|m| max_pool2x2(&requantize(m), spec.img, spec.img))
-        .collect();
-
-    // Stage 2: encrypted conv over conv1_ch channels.
-    let maps2 = run_encrypted_conv_layer(
-        &mut client,
-        &server,
-        &mut ledger,
-        &pooled1,
-        &weights.conv2,
-        p1,
-        p1,
-        spec.filter,
-    )?;
-    let p2 = p1 / 2;
-    let pooled2: Vec<Vec<u64>> = maps2
-        .iter()
-        .map(|m| max_pool2x2(&requantize(m), p1, p1))
-        .collect();
-
-    // Stage 3: encrypted fully-connected layer over the flattened features.
-    let mut features = Vec::with_capacity(spec.fc_inputs());
-    for m in &pooled2 {
-        features.extend_from_slice(m);
-    }
-    debug_assert_eq!(features.len(), spec.conv2_ch * p2 * p2);
-    let ct = client.encrypt_slots(&replicate_for_matvec(&features, row))?;
-    let at_server = upload(&mut ledger, &ct);
-    let logits_ct = matvec_diagonals(&server, &at_server, &weights.fc)?;
-    let reply = download(&mut ledger, &logits_ct);
-    ledger.end_round();
-    let slots = client.decrypt_slots(&reply)?;
-    let logits = slots[..spec.classes].to_vec();
-
-    let class = logits
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, v)| *v)
-        .map(|(i, _)| i)
-        .ok_or_else(|| HeError::Mismatch("need at least one output class".into()))?;
-    Ok(PipelineRun {
-        logits,
-        class,
-        crypto_ops: (client.encryption_count(), client.decryption_count()),
-        ledger,
-    })
-}
-
-/// [`run_encrypted`] over a fault-tolerant transport: the same three-stage
-/// pipeline, but every ciphertext crosses the given (possibly faulty)
-/// channels as a tagged, retried frame, and the noise watchdog can insert
-/// client-aided refresh rounds.
+/// Runs the full encrypted pipeline over the given link. The plaintext
+/// modulus must hold `15·15·conv2_ch·f²` accumulations (e.g. 18 bits for
+/// the tiny spec).
 ///
-/// Under any fault schedule within the retry budget this returns logits
-/// **bit-identical** to [`run_encrypted`] with the same `seed`; a link
-/// worse than the budget yields a typed [`TransportError`], never garbage.
+/// A [`LinkConfig::direct`] link is the fault-free paper protocol. Under
+/// any fault schedule within the retry budget this returns logits
+/// **bit-identical** to the direct run with the same `seed`; a link worse
+/// than the budget yields a typed [`TransportError`], never garbage.
 ///
 /// # Errors
 ///
 /// Transport errors when the link defeats the retry policy; HE-layer
 /// failures wrapped in [`TransportError::He`].
-pub fn run_encrypted_resilient(
+pub fn run_encrypted(
     spec: &LenetLikeSpec,
     weights: &LenetLikeWeights,
     image: &[u64],
@@ -279,17 +159,10 @@ pub fn run_encrypted_resilient(
     let p1 = spec.img / 2;
 
     let steps = all_rotation_steps(spec, row);
-    let mut session = ResilientSession::new(
-        params,
-        seed,
-        &steps,
-        link.uplink,
-        link.downlink,
-        link.policy,
-    )?;
+    let mut session = Session::<Bfv>::with_link(params, seed, &steps, link)?;
 
     // Stage 1: encrypted conv over the single input channel.
-    let maps1 = run_encrypted_conv_layer_resilient(
+    let maps1 = run_encrypted_conv_layer(
         &mut session,
         &[image.to_vec()],
         &weights.conv1,
@@ -297,27 +170,22 @@ pub fn run_encrypted_resilient(
         spec.img,
         spec.filter,
     )?;
+    // Client: requantize + pool per channel.
     let pooled1: Vec<Vec<u64>> = maps1
         .iter()
         .map(|m| max_pool2x2(&requantize(m), spec.img, spec.img))
         .collect();
 
     // Stage 2: encrypted conv over conv1_ch channels.
-    let maps2 = run_encrypted_conv_layer_resilient(
-        &mut session,
-        &pooled1,
-        &weights.conv2,
-        p1,
-        p1,
-        spec.filter,
-    )?;
+    let maps2 =
+        run_encrypted_conv_layer(&mut session, &pooled1, &weights.conv2, p1, p1, spec.filter)?;
     let p2 = p1 / 2;
     let pooled2: Vec<Vec<u64>> = maps2
         .iter()
         .map(|m| max_pool2x2(&requantize(m), p1, p1))
         .collect();
 
-    // Stage 3: encrypted fully-connected layer.
+    // Stage 3: encrypted fully-connected layer over the flattened features.
     let mut features = Vec::with_capacity(spec.fc_inputs());
     for m in &pooled2 {
         features.extend_from_slice(m);
@@ -404,21 +272,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn requantize_saturates_at_15() {
-        let out = requantize(&[0, 100, 5625]);
-        assert_eq!(out[0], 0);
-        assert_eq!(out[2], 10); // 5625 >> 9
-        assert!(out.iter().all(|&v| v <= 15));
-        assert_eq!(requantize(&[3, 7, 15]), vec![3, 7, 15]); // already 4-bit
-    }
-
-    #[test]
-    fn max_pool_picks_block_maxima() {
-        let map = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
-        assert_eq!(max_pool2x2(&map, 4, 4), vec![6, 8, 14, 16]);
-    }
-
-    #[test]
     fn seeded_weights_are_4bit_and_deterministic() {
         let spec = LenetLikeSpec::tiny();
         let a = seeded_weights(&spec, b"w");
@@ -437,9 +290,15 @@ mod tests {
             .map(|i| ((i * 7 + 3) % 16) as u64)
             .collect();
         let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).unwrap();
-        let enc = run_encrypted(&spec, &weights, &image, &params, b"pipe").unwrap();
-        let t = 1u64 << 63; // plain twin uses the same t as the context:
-        let _ = t;
+        let enc = run_encrypted(
+            &spec,
+            &weights,
+            &image,
+            &params,
+            b"pipe",
+            LinkConfig::direct(),
+        )
+        .unwrap();
         let ctx_t = {
             use choco_he::bfv::BfvContext;
             BfvContext::new(&params).unwrap().plain_modulus()

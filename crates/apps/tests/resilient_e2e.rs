@@ -12,14 +12,14 @@
 //!   depth with client-aided refresh rounds, visible in the ledger.
 
 use choco::transport::{
-    Channel, FaultPlan, FaultyChannel, LinkConfig, ResilientSession, RetryPolicy, TransportError,
+    Channel, FaultPlan, FaultyChannel, LinkConfig, RetryPolicy, Session, TransportError,
 };
 use choco_apps::distance::{
-    distance_rotation_steps, encrypted_distances, encrypted_distances_resilient, knn_classify,
-    PackingVariant,
+    distance_rotation_steps, encrypted_distances, knn_classify, PackingVariant,
 };
-use choco_apps::pipeline::{run_encrypted, run_encrypted_resilient, seeded_weights, LenetLikeSpec};
+use choco_apps::pipeline::{run_encrypted, seeded_weights, LenetLikeSpec};
 use choco_he::params::HeParams;
+use choco_he::{Bfv, Ckks};
 use choco_quickprop::{run_cases, Gen};
 
 fn test_image(spec: &LenetLikeSpec) -> Vec<u64> {
@@ -50,7 +50,15 @@ fn dnn_pipeline_is_bit_identical_under_survivable_faults() {
     let weights = seeded_weights(&spec, b"e2e weights");
     let image = test_image(&spec);
     let params = bfv_params();
-    let baseline = run_encrypted(&spec, &weights, &image, &params, b"e2e pipe").unwrap();
+    let baseline = run_encrypted(
+        &spec,
+        &weights,
+        &image,
+        &params,
+        b"e2e pipe",
+        LinkConfig::direct(),
+    )
+    .unwrap();
 
     run_cases("resilient dnn bit-identical", 5, |g| {
         let link = LinkConfig {
@@ -61,8 +69,7 @@ fn dnn_pipeline_is_bit_identical_under_survivable_faults() {
                 ..RetryPolicy::default()
             },
         };
-        let enc =
-            run_encrypted_resilient(&spec, &weights, &image, &params, b"e2e pipe", link).unwrap();
+        let enc = run_encrypted(&spec, &weights, &image, &params, b"e2e pipe", link).unwrap();
         assert_eq!(enc.logits, baseline.logits, "logits diverged under faults");
         assert_eq!(enc.class, baseline.class);
         // Figure-10-comparable counters are unchanged; only the
@@ -79,8 +86,16 @@ fn dnn_pipeline_over_perfect_channels_matches_and_bills_nothing_extra() {
     let weights = seeded_weights(&spec, b"e2e weights");
     let image = test_image(&spec);
     let params = bfv_params();
-    let baseline = run_encrypted(&spec, &weights, &image, &params, b"e2e pipe").unwrap();
-    let enc = run_encrypted_resilient(
+    let baseline = run_encrypted(
+        &spec,
+        &weights,
+        &image,
+        &params,
+        b"e2e pipe",
+        LinkConfig::direct(),
+    )
+    .unwrap();
+    let enc = run_encrypted(
         &spec,
         &weights,
         &image,
@@ -104,8 +119,7 @@ fn dnn_pipeline_beyond_budget_fails_typed_not_wrong() {
         uplink: Box::new(FaultyChannel::new(b"dead uplink", FaultPlan::blackhole())),
         ..LinkConfig::direct()
     };
-    let err =
-        run_encrypted_resilient(&spec, &weights, &image, &params, b"e2e pipe", link).unwrap_err();
+    let err = run_encrypted(&spec, &weights, &image, &params, b"e2e pipe", link).unwrap_err();
     assert!(
         matches!(err, TransportError::RetriesExhausted { .. }),
         "expected RetriesExhausted, got {err}"
@@ -119,7 +133,7 @@ fn watchdog_extends_multiply_depth_with_refresh_rounds() {
     // with it, each low-budget checkpoint becomes a client-aided refresh
     // round billed to the ledger.
     let params = bfv_params();
-    let mut session = ResilientSession::direct(&params, b"watchdog e2e", &[]).unwrap();
+    let mut session = Session::<Bfv>::direct(&params, b"watchdog e2e", &[]).unwrap();
     let values = vec![1u64; 16];
     let ct = session.client_mut().encrypt_slots(&values).unwrap();
     let mut at_server = session.upload(&ct).unwrap();
@@ -160,12 +174,10 @@ fn knn_over_faulty_channels_matches_direct_classification() {
     let steps = distance_rotation_steps(dims, n, 512);
 
     // Direct reference.
-    let mut client = choco::protocol::CkksClient::new(&params, b"knn e2e").unwrap();
-    let server = client.provision_server(&steps);
+    let mut direct_session = Session::<Ckks>::direct(&params, b"knn e2e", &steps).unwrap();
     let direct = encrypted_distances(
         PackingVariant::PointMajor,
-        &mut client,
-        &server,
+        &mut direct_session,
         &query,
         &points,
     )
@@ -177,21 +189,17 @@ fn knn_over_faulty_channels_matches_direct_classification() {
     let plan = FaultPlan::flaky()
         .with_drop_rate(0.6)
         .with_corrupt_rate(0.5);
-    let mut session = choco::transport::CkksResilientSession::new(
-        &params,
-        b"knn e2e",
-        &steps,
-        Box::new(FaultyChannel::new(b"knn up", plan)),
-        Box::new(FaultyChannel::new(b"knn down", plan)),
-        RetryPolicy {
+    let link = LinkConfig {
+        uplink: Box::new(FaultyChannel::new(b"knn up", plan)),
+        downlink: Box::new(FaultyChannel::new(b"knn down", plan)),
+        policy: RetryPolicy {
             max_attempts: 16,
             ..RetryPolicy::default()
         },
-    )
-    .unwrap();
+    };
+    let mut session = Session::<Ckks>::with_link(&params, b"knn e2e", &steps, link).unwrap();
     let res =
-        encrypted_distances_resilient(PackingVariant::PointMajor, &mut session, &query, &points)
-            .unwrap();
+        encrypted_distances(PackingVariant::PointMajor, &mut session, &query, &points).unwrap();
     assert_eq!(res.distances, direct.distances, "bit-identical distances");
     assert_eq!(knn_classify(&res.distances, &labels, 3), direct_class);
     assert!(

@@ -1,10 +1,11 @@
 //! Benches for the Figure 11 distance kernels (server-side cost per packing
 //! variant, small CKKS parameters for bench turnaround).
 
-use choco::protocol::CkksClient;
+use choco::transport::Session;
 use choco_apps::distance::{distance_rotation_steps, encrypted_distances, PackingVariant};
 use choco_bench::{bench, bench_group};
 use choco_he::params::HeParams;
+use choco_he::Ckks;
 
 fn main() {
     bench_group("distance_kernels");
@@ -16,10 +17,9 @@ fn main() {
         .collect();
     for variant in PackingVariant::all() {
         bench(variant.label(), || {
-            let mut client = CkksClient::new(&params, b"bench dist").unwrap();
             let steps = distance_rotation_steps(dims, n, 512);
-            let server = client.provision_server(&steps);
-            encrypted_distances(variant, &mut client, &server, &query, &points).unwrap()
+            let mut session = Session::<Ckks>::direct(&params, b"bench dist", &steps).unwrap();
+            encrypted_distances(variant, &mut session, &query, &points).unwrap()
         });
     }
 }

@@ -4,7 +4,11 @@
 //! BFV multiply, naive vs. hoisted rotation batches, and the
 //! diagonal-method matvec through both the per-rotation path and the
 //! fused double-hoisted `dot_rotations_plain` path — and reports the
-//! speedups. `--json <path>` additionally writes a machine-readable
+//! speedups. It also times the scheme-generic [`HeScheme::dot_diagonals`]
+//! entry point against a hand-inlined twin for both BFV and CKKS, and
+//! fails (exit 1) if the trait indirection costs more than measurement
+//! noise — the generic core is monomorphized, so there is no dyn dispatch
+//! to pay for. `--json <path>` additionally writes a machine-readable
 //! report (the committed baseline lives in `BENCH_kernels.json`);
 //! `--smoke` shrinks the measurement windows so CI can run the reporter
 //! as a gate without inflating wall-clock time.
@@ -14,7 +18,9 @@ use std::hint::black_box;
 
 use choco_bench::{header, measure, note, time_str};
 use choco_he::bfv::{BfvContext, Ciphertext, Plaintext};
+use choco_he::ckks::{CkksCiphertext, CkksContext, CkksGaloisKeys};
 use choco_he::params::HeParams;
+use choco_he::{Bfv, Ckks, HeScheme};
 use choco_math::ntt::NttTable;
 use choco_math::prime::generate_ntt_primes;
 use choco_prng::Blake3Rng;
@@ -117,6 +123,59 @@ fn matvec_hoisted(
         .unwrap()
 }
 
+/// Hand-inlined twin of `<Bfv as HeScheme>::dot_diagonals`: encode each
+/// diagonal, then the fused hoisted inner product. Any gap between this and
+/// the trait call is pure indirection cost.
+fn bfv_matvec_direct(
+    ctx: &BfvContext,
+    ct: &Ciphertext,
+    diagonals: &[(i64, Vec<u64>)],
+    gks: &choco_he::bfv::GaloisKeys,
+) -> Ciphertext {
+    let encoder = ctx.batch_encoder().unwrap();
+    let pairs: Vec<(i64, Plaintext)> = diagonals
+        .iter()
+        .map(|(s, d)| (*s, encoder.encode(d).unwrap()))
+        .collect();
+    ctx.evaluator()
+        .dot_rotations_plain(ct, &pairs, gks)
+        .unwrap()
+}
+
+/// Hand-inlined twin of `<Ckks as HeScheme>::dot_diagonals`: one hoisted
+/// decomposition across all shifts, then encode/multiply/accumulate.
+fn ckks_matvec_direct(
+    ctx: &CkksContext,
+    ct: &CkksCiphertext,
+    diagonals: &[(i64, Vec<f64>)],
+    gks: &CkksGaloisKeys,
+) -> CkksCiphertext {
+    let steps: Vec<i64> = diagonals
+        .iter()
+        .map(|(s, _)| *s)
+        .filter(|&s| s != 0)
+        .collect();
+    let rotated = ctx.rotate_many(ct, &steps, gks).unwrap();
+    let mut by_step = rotated.into_iter();
+    let mut acc: Option<CkksCiphertext> = None;
+    for (shift, diag) in diagonals {
+        let term_ct = if *shift == 0 {
+            ct.clone()
+        } else {
+            by_step.next().unwrap()
+        };
+        let pt = ctx
+            .encode_at(diag, term_ct.level(), ctx.default_scale())
+            .unwrap();
+        let term = ctx.multiply_plain(&term_ct, &pt).unwrap();
+        acc = Some(match acc {
+            None => term,
+            Some(a) => ctx.add(&a, &term).unwrap(),
+        });
+    }
+    acc.unwrap()
+}
+
 fn main() {
     let mut json_path: Option<String> = None;
     let mut smoke = false;
@@ -198,16 +257,102 @@ fn main() {
         black_box(matvec_hoisted(&ctx, black_box(&ct), &pts, &gks));
     });
 
+    header("kernel timings: generic scheme core vs hand-inlined (BFV set B)");
+    let diags_bfv: Vec<(i64, Vec<u64>)> = (0..cols as u64)
+        .map(|d| {
+            let diag: Vec<u64> = (0..params.degree() as u64).map(|i| (i + d) % 13).collect();
+            (d as i64, diag)
+        })
+        .collect();
+    record(&mut entries, window_ms, "bfv_matvec_direct", || {
+        black_box(bfv_matvec_direct(&ctx, black_box(&ct), &diags_bfv, &gks));
+    });
+    record(&mut entries, window_ms, "bfv_matvec_generic", || {
+        black_box(Bfv::dot_diagonals(&ctx, black_box(&ct), &diags_bfv, &gks).unwrap());
+    });
+
+    header("kernel timings: generic scheme core vs hand-inlined (CKKS set C)");
+    let cparams = HeParams::set_c();
+    let cctx = CkksContext::new(&cparams).unwrap();
+    let mut crng = Blake3Rng::from_seed(b"bench kernels ckks");
+    let ckeys = cctx.keygen(&mut crng);
+    let ccols = 8usize;
+    let csteps: Vec<i64> = (1..ccols as i64).collect();
+    let cgks = cctx.galois_keys(ckeys.secret_key(), &csteps, &mut crng);
+    let cvalues: Vec<f64> = (0..cctx.slot_count())
+        .map(|i| (i % 17) as f64 * 0.25)
+        .collect();
+    let cpt = cctx.encode(&cvalues).unwrap();
+    let cct = cctx.encrypt(&cpt, ckeys.public_key(), &mut crng).unwrap();
+    let diags_ckks: Vec<(i64, Vec<f64>)> = (0..ccols)
+        .map(|d| {
+            let diag: Vec<f64> = (0..cctx.slot_count())
+                .map(|i| ((i + d) % 13) as f64 * 0.125)
+                .collect();
+            (d as i64, diag)
+        })
+        .collect();
+    record(&mut entries, window_ms, "ckks_matvec_direct", || {
+        black_box(ckks_matvec_direct(
+            &cctx,
+            black_box(&cct),
+            &diags_ckks,
+            &cgks,
+        ));
+    });
+    record(&mut entries, window_ms, "ckks_matvec_generic", || {
+        black_box(Ckks::dot_diagonals(&cctx, black_box(&cct), &diags_ckks, &cgks).unwrap());
+    });
+
+    // Gate measurement: a second, interleaved window per path; the min of
+    // the two windows filters out scheduler/allocator noise that a single
+    // back-to-back measurement is exposed to.
+    let (bfv_direct2, _) = measure(window_ms, || {
+        black_box(bfv_matvec_direct(&ctx, black_box(&ct), &diags_bfv, &gks));
+    });
+    let (bfv_generic2, _) = measure(window_ms, || {
+        black_box(Bfv::dot_diagonals(&ctx, black_box(&ct), &diags_bfv, &gks).unwrap());
+    });
+    let (ckks_direct2, _) = measure(window_ms, || {
+        black_box(ckks_matvec_direct(
+            &cctx,
+            black_box(&cct),
+            &diags_ckks,
+            &cgks,
+        ));
+    });
+    let (ckks_generic2, _) = measure(window_ms, || {
+        black_box(Ckks::dot_diagonals(&cctx, black_box(&cct), &diags_ckks, &cgks).unwrap());
+    });
+
     let fwd = seconds_of(&entries, "ntt_forward_strict") / seconds_of(&entries, "ntt_forward_lazy");
     let inv = seconds_of(&entries, "ntt_inverse_strict") / seconds_of(&entries, "ntt_inverse_lazy");
     let rot = seconds_of(&entries, "rotations_naive") / seconds_of(&entries, "rotations_hoisted");
     let mv = seconds_of(&entries, "matvec_naive") / seconds_of(&entries, "matvec_hoisted");
+    let bfv_overhead = seconds_of(&entries, "bfv_matvec_generic").min(bfv_generic2)
+        / seconds_of(&entries, "bfv_matvec_direct").min(bfv_direct2);
+    let ckks_overhead = seconds_of(&entries, "ckks_matvec_generic").min(ckks_generic2)
+        / seconds_of(&entries, "ckks_matvec_direct").min(ckks_direct2);
     header("speedups (old / new)");
     println!("ntt_forward   {fwd:.2}x");
     println!("ntt_inverse   {inv:.2}x");
     println!("rotations     {rot:.2}x");
     println!("matvec        {mv:.2}x");
+    header("generic-core overhead (generic / hand-inlined; gate: < 1.25x)");
+    println!("bfv_matvec    {bfv_overhead:.3}x");
+    println!("ckks_matvec   {ckks_overhead:.3}x");
     note(&format!("worker threads: {threads}"));
+    // The gate: HeScheme::dot_diagonals is monomorphized, so anything past
+    // measurement noise means a real regression (accidental dyn dispatch,
+    // an extra clone on the hot path, ...).
+    assert!(
+        bfv_overhead < 1.25,
+        "generic BFV matvec is {bfv_overhead:.3}x the hand-inlined path (gate: < 1.25x)"
+    );
+    assert!(
+        ckks_overhead < 1.25,
+        "generic CKKS matvec is {ckks_overhead:.3}x the hand-inlined path (gate: < 1.25x)"
+    );
 
     if let Some(path) = json_path {
         write_json(
@@ -220,6 +365,8 @@ fn main() {
                 ("ntt_inverse_speedup", inv),
                 ("rotation_speedup", rot),
                 ("matvec_speedup", mv),
+                ("bfv_generic_overhead", bfv_overhead),
+                ("ckks_generic_overhead", ckks_overhead),
             ],
         );
     }

@@ -9,12 +9,13 @@
 //! binary; the *ordering* of variants is the result under test.
 
 #![forbid(unsafe_code)]
-use choco::protocol::CkksClient;
+use choco::transport::Session;
 use choco_apps::distance::{
     distance_rotation_steps, distances_plain, encrypted_distances, PackingVariant,
 };
 use choco_bench::{header, note, time_str, timed};
 use choco_he::params::HeParams;
+use choco_he::Ckks;
 use choco_taco::baseline::{sw_decryption_time, sw_encryption_time};
 use choco_taco::config::AcceleratorConfig;
 use choco_taco::model::{decryption_profile, encryption_profile};
@@ -49,11 +50,10 @@ fn main() {
         let want = distances_plain(&query, &points);
 
         for variant in PackingVariant::all() {
-            let mut client = CkksClient::new(&params, b"fig11").expect("client");
-            let steps = distance_rotation_steps(dims, points_n, client.context().slot_count());
-            let server = client.provision_server(&steps);
+            let steps = distance_rotation_steps(dims, points_n, params.slot_count());
+            let mut session = Session::<Ckks>::direct(&params, b"fig11", &steps).expect("session");
             let (res, server_time) = timed(|| {
-                encrypted_distances(variant, &mut client, &server, &query, &points).expect("kernel")
+                encrypted_distances(variant, &mut session, &query, &points).expect("kernel")
             });
             // Validate against the plaintext reference.
             for (g, w) in res.distances.iter().zip(&want) {

@@ -3,9 +3,11 @@
 //! in both BFV and CKKS, plus a real encrypted validation run.
 
 #![forbid(unsafe_code)]
-use choco_apps::pagerank::{pagerank_comm_model, pagerank_encrypted_bfv, pagerank_plain, Graph};
+use choco::transport::LinkConfig;
+use choco_apps::pagerank::{pagerank_comm_model, pagerank_encrypted, pagerank_plain, Graph};
 use choco_bench::{header, note};
 use choco_he::params::{HeParams, SchemeType};
+use choco_he::Bfv;
 
 fn main() {
     header("Figure 13: encrypted PageRank communication vs refresh schedule");
@@ -48,7 +50,8 @@ fn main() {
     println!("\nValidation: real encrypted BFV PageRank vs plaintext reference");
     let g = Graph::from_adjacency(&[vec![1, 2], vec![2], vec![0], vec![0, 2]]);
     let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).expect("params");
-    let enc = pagerank_encrypted_bfv(&g, 0.85, 8, 1, &params, 10).expect("run");
+    let enc =
+        pagerank_encrypted::<Bfv>(&g, 0.85, 8, 1, &params, 10, LinkConfig::direct()).expect("run");
     let plain = pagerank_plain(&g, 0.85, 8);
     let max_err = enc
         .ranks

@@ -19,9 +19,90 @@
 //! and on real [`CkksContext`] ciphertexts, so every pass is validated by
 //! an exactness test against the plain semantics.
 
-use choco_he::ckks::{CkksCiphertext, CkksContext, CkksGaloisKeys, CkksRelinKey};
-use choco_he::HeError;
+use choco_he::ckks::{CkksCiphertext, CkksContext};
+use choco_he::{Ckks, HeError, HeScheme};
 use std::collections::HashMap;
+
+/// The extra capability the compiled-program executor needs beyond
+/// [`HeScheme`]: explicit scale management. The compiler inserts `Rescale`
+/// and `ModSwitch` nodes itself, so the executor needs *raw* plaintext
+/// multiplication (no implicit rescale, unlike [`HeScheme::mul_plain`]),
+/// ciphertext multiplication with relinearization, and the two chain
+/// maintenance ops.
+///
+/// Implemented for [`Ckks`]; BFV has no rescaling chain, so adding it here
+/// would require a scale-tracking emulation layer — future work tracked in
+/// ROADMAP.md.
+pub trait CompilerScheme: HeScheme<Value = f64> {
+    /// Ciphertext × ciphertext with relinearization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand mismatches and exhausted chains.
+    fn mul_ct(
+        ctx: &Self::Context,
+        a: &Self::Ciphertext,
+        b: &Self::Ciphertext,
+        relin: &Self::RelinKey,
+    ) -> Result<Self::Ciphertext, HeError>;
+
+    /// Ciphertext × plaintext constant *without* the implicit rescale of
+    /// [`HeScheme::mul_plain`] — the compiler schedules rescales itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    fn mul_plain_raw(
+        ctx: &Self::Context,
+        ct: &Self::Ciphertext,
+        values: &[f64],
+    ) -> Result<Self::Ciphertext, HeError>;
+
+    /// Divides by the level's last prime (one chain level).
+    ///
+    /// # Errors
+    ///
+    /// Propagates exhausted chains.
+    fn rescale(ctx: &Self::Context, ct: &Self::Ciphertext) -> Result<Self::Ciphertext, HeError>;
+
+    /// Drops one level without rescaling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exhausted chains.
+    fn mod_switch_down(
+        ctx: &Self::Context,
+        ct: &Self::Ciphertext,
+    ) -> Result<Self::Ciphertext, HeError>;
+}
+
+impl CompilerScheme for Ckks {
+    fn mul_ct(
+        ctx: &CkksContext,
+        a: &CkksCiphertext,
+        b: &CkksCiphertext,
+        relin: &choco_he::ckks::CkksRelinKey,
+    ) -> Result<CkksCiphertext, HeError> {
+        ctx.multiply_relin(a, b, relin)
+    }
+
+    fn mul_plain_raw(
+        ctx: &CkksContext,
+        ct: &CkksCiphertext,
+        values: &[f64],
+    ) -> Result<CkksCiphertext, HeError> {
+        let pt = ctx.encode_at(values, ct.level(), ctx.default_scale())?;
+        ctx.multiply_plain(ct, &pt)
+    }
+
+    fn rescale(ctx: &CkksContext, ct: &CkksCiphertext) -> Result<CkksCiphertext, HeError> {
+        ctx.rescale(ct)
+    }
+
+    fn mod_switch_down(ctx: &CkksContext, ct: &CkksCiphertext) -> Result<CkksCiphertext, HeError> {
+        ctx.mod_switch_to(ct, ct.level() - 1)
+    }
+}
 
 /// A node handle inside a [`Program`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -436,6 +517,24 @@ impl CompiledProgram {
         self.ops.is_empty()
     }
 
+    /// Rotation steps the program requests, derived directly from the
+    /// compiled `Rotate` nodes (zero steps excluded, deduplicated, sorted).
+    /// This is ground truth for Galois-key provisioning: any hand-written
+    /// step list must be a superset of it, or execution hits a
+    /// missing-Galois-key error at runtime.
+    pub fn rotation_steps(&self) -> Vec<i64> {
+        let mut steps: Vec<i64> = Vec::new();
+        for op in &self.ops {
+            if let Op::Rotate(_, s) = op {
+                if *s != 0 && !steps.contains(s) {
+                    steps.push(*s);
+                }
+            }
+        }
+        steps.sort_unstable();
+        steps
+    }
+
     /// Executes on plaintext vectors (the reference semantics).
     ///
     /// # Errors
@@ -493,29 +592,30 @@ impl CompiledProgram {
         Ok(self.outputs.iter().map(|o| vals[o.0].clone()).collect())
     }
 
-    /// Executes on real ciphertexts.
+    /// Executes on real ciphertexts of any [`CompilerScheme`].
     ///
     /// Inputs must be encrypted at the top level with the compiler's
     /// waterline scale. Constants are encoded on demand at each use site's
-    /// level and scale.
+    /// level and scale. Associated types are not injective, so callers
+    /// usually name the scheme: `prog.execute_encrypted::<Ckks>(…)`.
     ///
     /// # Errors
     ///
     /// Propagates HE errors; a missing or mis-typed operand surfaces as
     /// [`HeError::Mismatch`] instead of aborting the evaluation.
-    pub fn execute_encrypted(
+    pub fn execute_encrypted<S: CompilerScheme>(
         &self,
-        ctx: &CkksContext,
-        inputs: &HashMap<String, CkksCiphertext>,
-        relin: &CkksRelinKey,
-        galois: &CkksGaloisKeys,
-    ) -> Result<Vec<CkksCiphertext>, HeError> {
-        enum Slot {
-            Ct(CkksCiphertext),
+        ctx: &S::Context,
+        inputs: &HashMap<String, S::Ciphertext>,
+        relin: &S::RelinKey,
+        galois: &S::GaloisKeys,
+    ) -> Result<Vec<S::Ciphertext>, HeError> {
+        enum Slot<Ct> {
+            Ct(Ct),
             Plain(Vec<f64>),
         }
-        let mut vals: Vec<Slot> = Vec::with_capacity(self.ops.len());
-        let ct = |s: &Slot| -> Result<CkksCiphertext, HeError> {
+        let mut vals: Vec<Slot<S::Ciphertext>> = Vec::with_capacity(self.ops.len());
+        let ct = |s: &Slot<S::Ciphertext>| -> Result<S::Ciphertext, HeError> {
             match s {
                 Slot::Ct(c) => Ok(c.clone()),
                 Slot::Plain(_) => Err(HeError::Mismatch(
@@ -523,7 +623,7 @@ impl CompiledProgram {
                 )),
             }
         };
-        let plain = |s: &Slot| -> Result<Vec<f64>, HeError> {
+        let plain = |s: &Slot<S::Ciphertext>| -> Result<Vec<f64>, HeError> {
             match s {
                 Slot::Plain(p) => Ok(p.clone()),
                 Slot::Ct(_) => Err(HeError::Mismatch(
@@ -540,36 +640,33 @@ impl CompiledProgram {
                         .clone(),
                 ),
                 Op::Constant(c) => Slot::Plain(c.clone()),
-                Op::Add(a, b) => Slot::Ct(ctx.add(&ct(&vals[a.0])?, &ct(&vals[b.0])?)?),
-                Op::Sub(a, b) => Slot::Ct(ctx.sub(&ct(&vals[a.0])?, &ct(&vals[b.0])?)?),
+                Op::Add(a, b) => Slot::Ct(S::add(ctx, &ct(&vals[a.0])?, &ct(&vals[b.0])?)?),
+                Op::Sub(a, b) => Slot::Ct(S::sub(ctx, &ct(&vals[a.0])?, &ct(&vals[b.0])?)?),
                 Op::Mul(a, b) => {
-                    Slot::Ct(ctx.multiply_relin(&ct(&vals[a.0])?, &ct(&vals[b.0])?, relin)?)
+                    Slot::Ct(S::mul_ct(ctx, &ct(&vals[a.0])?, &ct(&vals[b.0])?, relin)?)
                 }
                 Op::MulPlain(a, c) => {
                     let x = ct(&vals[a.0])?;
                     let p = plain(&vals[c.0])?;
-                    let pt = ctx.encode_at(&p, x.level(), ctx.default_scale())?;
-                    Slot::Ct(ctx.multiply_plain(&x, &pt)?)
+                    Slot::Ct(S::mul_plain_raw(ctx, &x, &p)?)
                 }
                 Op::AddPlain(a, c) => {
                     let x = ct(&vals[a.0])?;
                     let p = plain(&vals[c.0])?;
-                    let pt = ctx.encode_at(&p, x.level(), x.scale())?;
-                    Slot::Ct(ctx.add_plain(&x, &pt)?)
+                    Slot::Ct(S::add_plain(ctx, &x, &p)?)
                 }
                 Op::Rotate(a, s) => {
                     let x = ct(&vals[a.0])?;
                     if *s == 0 {
                         Slot::Ct(x)
                     } else {
-                        Slot::Ct(ctx.rotate(&x, *s, galois)?)
+                        Slot::Ct(S::rotate(ctx, &x, *s, galois)?)
                     }
                 }
-                Op::Rescale(a) => Slot::Ct(ctx.rescale(&ct(&vals[a.0])?)?),
+                Op::Rescale(a) => Slot::Ct(S::rescale(ctx, &ct(&vals[a.0])?)?),
                 Op::ModSwitch(a) => {
                     let x = ct(&vals[a.0])?;
-                    let target = x.level() - 1;
-                    Slot::Ct(ctx.mod_switch_to(&x, target)?)
+                    Slot::Ct(S::mod_switch_down(ctx, &x)?)
                 }
             };
             vals.push(v);
@@ -743,6 +840,8 @@ mod tests {
         let out = c.execute_plain(&inputs).unwrap();
         assert_eq!(out[0], vec![3.0, 5.0, 7.0, 5.0]);
         assert_eq!(c.rotation_steps, vec![1]);
+        // The derived view agrees with the field the compiler recorded.
+        assert_eq!(c.rotation_steps(), c.rotation_steps);
     }
 
     #[test]
@@ -786,7 +885,9 @@ mod tests {
             "x".to_string(),
             ctx.encrypt(&pt, keys.public_key(), &mut rng).unwrap(),
         );
-        let got_ct = c.execute_encrypted(&ctx, &enc_in, &relin, &galois).unwrap();
+        let got_ct = c
+            .execute_encrypted::<Ckks>(&ctx, &enc_in, &relin, &galois)
+            .unwrap();
         let got = ctx.decode(&ctx.decrypt(&got_ct[0], keys.secret_key()));
         for i in 0..8 {
             assert!(

@@ -52,6 +52,10 @@ pub mod rotation;
 pub mod stacking;
 pub mod transport;
 
-pub use protocol::{BfvClient, BfvServer, CommLedger};
+pub use protocol::{Client, CommLedger, Server};
 pub use rotation::RedundantLayout;
 pub use stacking::StackedLayout;
+pub use transport::Session;
+
+#[allow(deprecated)]
+pub use protocol::{BfvClient, BfvServer};

@@ -8,12 +8,13 @@
 //! * [`accumulate_channels`] — logarithmic rotate-add tree summing the
 //!   per-channel partial results into channel block 0;
 //! * [`matvec_diagonals`] — Halevi–Shoup diagonal matrix-vector product for
-//!   fully-connected layers and PageRank-style iterations.
+//!   fully-connected layers and PageRank-style iterations, generic over the
+//!   scheme (`u64` slots under BFV, `f64` under CKKS).
 
-use crate::protocol::BfvServer;
+use crate::protocol::Server;
 use crate::stacking::StackedLayout;
 use choco_he::bfv::{Ciphertext, Plaintext};
-use choco_he::HeError;
+use choco_he::{Bfv, HeError, HeScheme};
 
 /// One convolution tap: rotate the stacked input by `shift` slots, then
 /// multiply by per-channel weights broadcast over each channel block.
@@ -44,7 +45,7 @@ pub struct ConvTap {
 ///
 /// Panics if a tap's weight count mismatches the channel count.
 pub fn stacked_conv(
-    server: &BfvServer,
+    server: &Server<Bfv>,
     ct: &Ciphertext,
     layout: &StackedLayout,
     taps: &[ConvTap],
@@ -88,7 +89,7 @@ pub fn stacked_conv(
 /// Propagates rotation errors; a non-power-of-two channel count is
 /// reported as [`HeError::Mismatch`].
 pub fn accumulate_channels(
-    server: &BfvServer,
+    server: &Server<Bfv>,
     ct: &Ciphertext,
     layout: &StackedLayout,
 ) -> Result<Ciphertext, HeError> {
@@ -117,30 +118,34 @@ pub fn accumulate_channels(
 /// # Panics
 ///
 /// Panics if `2n` exceeds `row_size`.
-pub fn replicate_for_matvec(x: &[u64], row_size: usize) -> Vec<u64> {
+pub fn replicate_for_matvec<V: Copy + Default>(x: &[V], row_size: usize) -> Vec<V> {
     let n = x.len();
     assert!(2 * n <= row_size, "vector too long to replicate in one row");
-    let mut slots = vec![0u64; row_size];
+    let mut slots = vec![V::default(); row_size];
     slots[..n].copy_from_slice(x);
     slots[n..2 * n].copy_from_slice(x);
     slots
 }
 
 /// Halevi–Shoup diagonal matrix-vector product: `y = M·x` with
-/// `y_i = Σ_d M[i][(i+d) mod n] · x[(i+d) mod n]`.
+/// `y_i = Σ_d M[i][(i+d) mod n] · x[(i+d) mod n]`, generic over the scheme
+/// (`u64` entries under BFV, `f64` under CKKS, where the result comes back
+/// one level down after the kernel's single rescale).
 ///
 /// `ct_x` must hold `x` packed by [`replicate_for_matvec`]. The result holds
 /// `y` in slots `[0, rows)`. Needs Galois keys for every step `1..cols`.
+/// One hoisted decomposition serves every diagonal's rotation, so the whole
+/// matvec pays a single key-switch rounding.
 ///
 /// # Errors
 ///
 /// Propagates rotation and encoding errors; an empty or ragged matrix, or
 /// `rows > cols`, is reported as [`HeError::Mismatch`].
-pub fn matvec_diagonals(
-    server: &BfvServer,
-    ct_x: &Ciphertext,
-    matrix: &[Vec<u64>],
-) -> Result<Ciphertext, HeError> {
+pub fn matvec_diagonals<S: HeScheme>(
+    server: &Server<S>,
+    ct_x: &S::Ciphertext,
+    matrix: &[Vec<S::Value>],
+) -> Result<S::Ciphertext, HeError> {
     let rows = matrix.len();
     if rows == 0 {
         return Err(HeError::Mismatch("matrix must be nonempty".into()));
@@ -154,95 +159,30 @@ pub fn matvec_diagonals(
             "diagonal method requires rows <= cols".into(),
         ));
     }
-    let row_size = server.context().degree() / 2;
-    let eval = server.evaluator();
-    // One hoisted decomposition serves every diagonal's rotation, the
-    // per-diagonal products accumulate in the NTT domain, and the fused
-    // kernel's second hoisting pays a single key-switch rounding for the
-    // whole matvec.
-    let pairs: Vec<(i64, Plaintext)> = (0..cols)
+    let width = server.slot_width();
+    let diagonals: Vec<(i64, Vec<S::Value>)> = (0..cols)
         .map(|d| {
-            let mut diag = vec![0u64; row_size];
+            let mut diag = vec![S::Value::default(); width];
             for (i, s) in diag.iter_mut().enumerate().take(rows) {
                 *s = matrix[i][(i + d) % cols];
             }
-            Ok((d as i64, server.encode(&diag)?))
+            (d as i64, diag)
         })
-        .collect::<Result<_, HeError>>()?;
-    eval.dot_rotations_plain(ct_x, &pairs, server.galois_keys())
-}
-
-/// CKKS variant of the diagonal matrix-vector product: `y = M·x` over
-/// real-valued entries, with one rescale at the end. `ct_x` must hold `x`
-/// replicated twice (see [`replicate_for_matvec`]); the result carries `y`
-/// in slots `[0, rows)` one level down.
-///
-/// # Errors
-///
-/// Propagates rotation and encoding errors; an empty or ragged matrix, or
-/// `rows > cols`, is reported as [`HeError::Mismatch`].
-pub fn ckks_matvec_diagonals(
-    server: &crate::protocol::CkksServer,
-    ct_x: &choco_he::ckks::CkksCiphertext,
-    matrix: &[Vec<f64>],
-) -> Result<choco_he::ckks::CkksCiphertext, HeError> {
-    let rows = matrix.len();
-    if rows == 0 {
-        return Err(HeError::Mismatch("matrix must be nonempty".into()));
-    }
-    let cols = matrix[0].len();
-    if matrix.iter().any(|r| r.len() != cols) {
-        return Err(HeError::Mismatch("ragged matrix".into()));
-    }
-    if rows > cols {
-        return Err(HeError::Mismatch(
-            "diagonal method requires rows <= cols".into(),
-        ));
-    }
-    let ctx = server.context();
-    let slots = ctx.slot_count();
-    // Share one hoisted decomposition across all diagonal rotations.
-    let steps: Vec<i64> = (1..cols as i64).collect();
-    let mut rotations = if steps.is_empty() {
-        Vec::new()
-    } else {
-        ctx.rotate_many(ct_x, &steps, server.galois_keys())?
-    }
-    .into_iter();
-    let mut acc: Option<choco_he::ckks::CkksCiphertext> = None;
-    for d in 0..cols {
-        let rotated = if d == 0 {
-            ct_x.clone()
-        } else {
-            rotations
-                .next()
-                .ok_or_else(|| HeError::Mismatch("one rotation per diagonal".into()))?
-        };
-        let mut diag = vec![0.0f64; slots];
-        for (i, s) in diag.iter_mut().enumerate().take(rows) {
-            *s = matrix[i][(i + d) % cols];
-        }
-        let dpt = server.encode_at(&diag, rotated.level(), ctx.default_scale())?;
-        let term = ctx.multiply_plain(&rotated, &dpt)?;
-        acc = Some(match acc {
-            None => term,
-            Some(a) => ctx.add(&a, &term)?,
-        });
-    }
-    let acc = acc.ok_or_else(|| HeError::Mismatch("matrix needs at least one column".into()))?;
-    ctx.rescale(&acc)
+        .collect();
+    server.dot_diagonals(ct_x, &diagonals)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::BfvClient;
+    use crate::protocol::Client;
     use crate::rotation::RedundantLayout;
     use choco_he::params::HeParams;
+    use choco_he::Ckks;
 
-    fn setup(steps: &[i64]) -> (BfvClient, BfvServer) {
+    fn setup(steps: &[i64]) -> (Client<Bfv>, Server<Bfv>) {
         let params = HeParams::bfv_insecure(1024, &[40, 40, 41], 17).unwrap();
-        let mut client = BfvClient::new(&params, b"linalg").unwrap();
+        let mut client = Client::<Bfv>::new(&params, b"linalg").unwrap();
         let server = client.provision_server(steps).unwrap();
         (client, server)
     }
@@ -349,9 +289,9 @@ mod tests {
     #[test]
     fn ckks_matvec_matches_plain_product() {
         let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
-        let mut client = crate::protocol::CkksClient::new(&params, b"ckks mv").unwrap();
+        let mut client = Client::<Ckks>::new(&params, b"ckks mv").unwrap();
         let steps: Vec<i64> = (1..4).collect();
-        let server = client.provision_server(&steps);
+        let server = client.provision_server(&steps).unwrap();
         let matrix = vec![
             vec![0.5, -1.0, 2.0, 0.25],
             vec![1.0, 1.0, -0.5, 0.0],
@@ -362,8 +302,8 @@ mod tests {
         slots[..4].copy_from_slice(&x);
         slots[4..8].copy_from_slice(&x);
         let ct = client.encrypt_values(&slots).unwrap();
-        let y = ckks_matvec_diagonals(&server, &ct, &matrix).unwrap();
-        let out = client.decrypt_values(&y);
+        let y = matvec_diagonals(&server, &ct, &matrix).unwrap();
+        let out = client.decrypt_values(&y).unwrap();
         for (i, row) in matrix.iter().enumerate() {
             let want: f64 = row.iter().zip(&x).map(|(m, v)| m * v).sum();
             assert!(
@@ -380,7 +320,7 @@ mod tests {
         let matrix = vec![vec![1u64], vec![2], vec![3]];
         let ct_dummy = {
             let params = HeParams::bfv_insecure(1024, &[40, 40, 41], 17).unwrap();
-            let mut c = BfvClient::new(&params, b"x").unwrap();
+            let mut c = Client::<Bfv>::new(&params, b"x").unwrap();
             c.encrypt_slots(&[1]).unwrap()
         };
         let err = matvec_diagonals(&server, &ct_dummy, &matrix).unwrap_err();

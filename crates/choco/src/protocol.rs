@@ -1,5 +1,5 @@
 //! The client-aided protocol: roles, key distribution, and the
-//! communication ledger.
+//! communication ledger — generic over the homomorphic scheme.
 //!
 //! CHOCO's trust model (§3.1): a trusted, resource-constrained client holds
 //! the secret key; an untrusted but semi-honest server holds only public
@@ -7,17 +7,20 @@
 //! every encrypted linear operation. The client decrypts intermediate
 //! results, applies non-linear plaintext operations, repacks, re-encrypts.
 //!
+//! The roles are [`Client<S>`] and [`Server<S>`] for any
+//! [`HeScheme`](choco_he::HeScheme) — `Client<Bfv>` for the exact integer
+//! workloads, `Client<Ckks>` for the approximate ones. Workloads written
+//! against the generic surface run under either scheme; the old per-scheme
+//! names survive as deprecated aliases.
+//!
 //! Every byte that crosses the link is recorded in a [`CommLedger`] — the
 //! quantity Figures 10, 11, 13 and 14 report — and the client counts its
 //! encryption/decryption operations, which the CHOCO-TACO model multiplies
 //! by per-op hardware costs (§5.2 methodology).
 
-use choco_he::bfv::{BfvContext, Ciphertext, GaloisKeys, KeyBundle, Plaintext, RelinKey};
-use choco_he::ckks::{
-    CkksCiphertext, CkksContext, CkksGaloisKeys, CkksKeyBundle, CkksPlaintext, CkksRelinKey,
-};
+use choco_he::bfv::{Ciphertext, Plaintext};
 use choco_he::params::HeParams;
-use choco_he::HeError;
+use choco_he::{Bfv, Ckks, HeError, HeScheme};
 use choco_prng::Blake3Rng;
 
 /// Running totals of client↔server traffic.
@@ -100,28 +103,28 @@ impl CommLedger {
     }
 }
 
-/// The trusted client role (BFV): owns the secret key, encrypts, decrypts,
-/// and counts its cryptographic operations.
+/// The trusted client role: owns the secret key, encrypts, decrypts, and
+/// counts its cryptographic operations. Generic over the scheme `S`.
 #[derive(Debug)]
-pub struct BfvClient {
-    ctx: BfvContext,
-    keys: KeyBundle,
+pub struct Client<S: HeScheme> {
+    ctx: S::Context,
+    keys: S::KeyBundle,
     rng: Blake3Rng,
     enc_ops: u64,
     dec_ops: u64,
 }
 
-impl BfvClient {
+impl<S: HeScheme> Client<S> {
     /// Creates a client with fresh keys from `seed`.
     ///
     /// # Errors
     ///
     /// Propagates context construction errors.
     pub fn new(params: &HeParams, seed: &[u8]) -> Result<Self, HeError> {
-        let ctx = BfvContext::new(params)?;
+        let ctx = S::context(params)?;
         let mut rng = Blake3Rng::from_seed(seed);
-        let keys = ctx.keygen(&mut rng);
-        Ok(BfvClient {
+        let keys = S::keygen(&ctx, &mut rng);
+        Ok(Client {
             ctx,
             keys,
             rng,
@@ -131,7 +134,7 @@ impl BfvClient {
     }
 
     /// The HE context (shared with the server).
-    pub fn context(&self) -> &BfvContext {
+    pub fn context(&self) -> &S::Context {
         &self.ctx
     }
 
@@ -141,14 +144,12 @@ impl BfvClient {
     /// # Errors
     ///
     /// Propagates key-generation errors.
-    pub fn provision_server(&mut self, rotation_steps: &[i64]) -> Result<BfvServer, HeError> {
-        let relin = self.ctx.relin_key(self.keys.secret_key(), &mut self.rng)?;
-        let galois = self
-            .ctx
-            .galois_keys(self.keys.secret_key(), rotation_steps, &mut self.rng)?;
-        Ok(BfvServer {
+    pub fn provision_server(&mut self, rotation_steps: &[i64]) -> Result<Server<S>, HeError> {
+        let relin = S::relin_key(&self.ctx, &self.keys, &mut self.rng)?;
+        let galois = S::galois_keys(&self.ctx, &self.keys, rotation_steps, &mut self.rng)?;
+        Ok(Server {
             ctx: self.ctx.clone(),
-            public: self.keys.public_key().clone(),
+            public: S::public_key(&self.keys).clone(),
             relin,
             galois,
         })
@@ -159,13 +160,10 @@ impl BfvClient {
     /// # Errors
     ///
     /// Propagates encoding errors.
-    pub fn encrypt_slots(&mut self, values: &[u64]) -> Result<Ciphertext, HeError> {
-        let pt = self.ctx.batch_encoder()?.encode(values)?;
+    // choco-lint: secret (public: values)
+    pub fn encrypt(&mut self, values: &[S::Value]) -> Result<S::Ciphertext, HeError> {
         self.enc_ops += 1;
-        Ok(self
-            .ctx
-            .encryptor(self.keys.public_key())
-            .encrypt(&pt, &mut self.rng))
+        S::encrypt(&self.ctx, &self.keys, values, &mut self.rng)
     }
 
     /// Decrypts to a slot vector (counted as one decryption op).
@@ -173,35 +171,28 @@ impl BfvClient {
     /// # Errors
     ///
     /// Propagates decoding errors.
-    pub fn decrypt_slots(&mut self, ct: &Ciphertext) -> Result<Vec<u64>, HeError> {
+    // choco-lint: secret (public: ct)
+    pub fn decrypt(&mut self, ct: &S::Ciphertext) -> Result<Vec<S::Value>, HeError> {
         self.dec_ops += 1;
-        let pt = self.ctx.decryptor(self.keys.secret_key()).decrypt(ct);
-        self.ctx.batch_encoder()?.decode(&pt)
+        S::decrypt(&self.ctx, &self.keys, ct)
     }
 
-    /// Encrypts a slot vector with seed-compressed symmetric encryption:
-    /// the upload carries one polynomial plus a 32-byte seed — half the
-    /// bytes of [`BfvClient::encrypt_slots`] (counted as one encryption op).
-    ///
-    /// # Errors
-    ///
-    /// Propagates encoding errors.
-    pub fn encrypt_slots_seeded(
-        &mut self,
-        values: &[u64],
-    ) -> Result<choco_he::bfv::SeededCiphertext, HeError> {
-        let pt = self.ctx.batch_encoder()?.encode(values)?;
-        self.enc_ops += 1;
-        Ok(self
-            .ctx
-            .encrypt_symmetric_seeded(&pt, self.keys.secret_key(), &mut self.rng))
+    /// Remaining computation headroom of a ciphertext: noise-budget bits
+    /// (BFV) or remaining rescale levels (CKKS). The transport watchdog
+    /// refreshes when this drops below the session's floor.
+    pub fn health(&self, ct: &S::Ciphertext) -> f64 {
+        S::health(&self.ctx, &self.keys, ct)
     }
 
-    /// Remaining invariant noise budget of a ciphertext (diagnostics).
-    pub fn noise_budget(&self, ct: &Ciphertext) -> f64 {
-        self.ctx
-            .decryptor(self.keys.secret_key())
-            .invariant_noise_budget(ct)
+    /// Quantizes reals into the scheme's slot domain at fixed-point depth
+    /// `depth` (see [`HeScheme::quantize`]).
+    pub fn quantize(&self, values: &[f64], scale_bits: u32, depth: u32) -> Vec<S::Value> {
+        S::quantize(&self.ctx, values, scale_bits, depth)
+    }
+
+    /// Inverse of [`Client::quantize`].
+    pub fn dequantize(&self, values: &[S::Value], scale_bits: u32, depth: u32) -> Vec<f64> {
+        S::dequantize(&self.ctx, values, scale_bits, depth)
     }
 
     /// Number of encryptions performed so far.
@@ -215,33 +206,110 @@ impl BfvClient {
     }
 }
 
-/// The untrusted server role (BFV): holds public material only.
-#[derive(Debug)]
-pub struct BfvServer {
-    ctx: BfvContext,
-    public: choco_he::bfv::PublicKey,
-    relin: RelinKey,
-    galois: GaloisKeys,
+impl Client<Bfv> {
+    /// Encrypts a slot vector (BFV-named convenience for
+    /// [`Client::encrypt`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn encrypt_slots(&mut self, values: &[u64]) -> Result<Ciphertext, HeError> {
+        self.encrypt(values)
+    }
+
+    /// Decrypts to a slot vector (BFV-named convenience for
+    /// [`Client::decrypt`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors.
+    pub fn decrypt_slots(&mut self, ct: &Ciphertext) -> Result<Vec<u64>, HeError> {
+        self.decrypt(ct)
+    }
+
+    /// Encrypts a slot vector with seed-compressed symmetric encryption:
+    /// the upload carries one polynomial plus a 32-byte seed — half the
+    /// bytes of [`Client::encrypt_slots`] (counted as one encryption op).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    // choco-lint: secret (public: values)
+    pub fn encrypt_slots_seeded(
+        &mut self,
+        values: &[u64],
+    ) -> Result<choco_he::bfv::SeededCiphertext, HeError> {
+        let pt = self.ctx.batch_encoder()?.encode(values)?;
+        self.enc_ops += 1;
+        Ok(self
+            .ctx
+            .encrypt_symmetric_seeded(&pt, self.keys.secret_key(), &mut self.rng))
+    }
+
+    /// Remaining invariant noise budget of a ciphertext (diagnostics;
+    /// BFV-named convenience for [`Client::health`]).
+    pub fn noise_budget(&self, ct: &Ciphertext) -> f64 {
+        self.health(ct)
+    }
 }
 
-impl BfvServer {
+impl Client<Ckks> {
+    /// Encrypts a real-valued vector (CKKS-named convenience for
+    /// [`Client::encrypt`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn encrypt_values(
+        &mut self,
+        values: &[f64],
+    ) -> Result<choco_he::ckks::CkksCiphertext, HeError> {
+        self.encrypt(values)
+    }
+
+    /// Decrypts to real values (CKKS-named convenience for
+    /// [`Client::decrypt`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors.
+    pub fn decrypt_values(
+        &mut self,
+        ct: &choco_he::ckks::CkksCiphertext,
+    ) -> Result<Vec<f64>, HeError> {
+        self.decrypt(ct)
+    }
+}
+
+/// The untrusted server role: holds public material only. Generic over the
+/// scheme `S`; exposes the scheme-generic evaluation surface workloads are
+/// written against.
+#[derive(Debug)]
+pub struct Server<S: HeScheme> {
+    ctx: S::Context,
+    public: S::PublicKey,
+    relin: S::RelinKey,
+    galois: S::GaloisKeys,
+}
+
+impl<S: HeScheme> Server<S> {
     /// The HE context.
-    pub fn context(&self) -> &BfvContext {
+    pub fn context(&self) -> &S::Context {
         &self.ctx
     }
 
     /// The evaluation key for relinearization.
-    pub fn relin_key(&self) -> &RelinKey {
+    pub fn relin_key(&self) -> &S::RelinKey {
         &self.relin
     }
 
     /// The Galois key set.
-    pub fn galois_keys(&self) -> &GaloisKeys {
+    pub fn galois_keys(&self) -> &S::GaloisKeys {
         &self.galois
     }
 
     /// The public key (servers may encrypt fresh constants).
-    pub fn public_key(&self) -> &choco_he::bfv::PublicKey {
+    pub fn public_key(&self) -> &S::PublicKey {
         &self.public
     }
 
@@ -250,9 +318,86 @@ impl BfvServer {
     /// "offline preprocessing" Figure 10's totals include for the MPC
     /// baselines.
     pub fn provisioning_bytes(&self) -> usize {
-        self.public.byte_size() + self.relin.size_bytes() + self.galois.size_bytes()
+        S::public_key_bytes(&self.public)
+            + S::relin_key_bytes(&self.relin)
+            + S::galois_keys_bytes(&self.galois)
     }
 
+    /// Width of one rotation group (the packing unit for tiled kernels).
+    pub fn slot_width(&self) -> usize {
+        S::slot_width(&self.ctx)
+    }
+
+    /// Ciphertext + ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand mismatches.
+    pub fn add(&self, a: &S::Ciphertext, b: &S::Ciphertext) -> Result<S::Ciphertext, HeError> {
+        S::add(&self.ctx, a, b)
+    }
+
+    /// Ciphertext − ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand mismatches.
+    pub fn sub(&self, a: &S::Ciphertext, b: &S::Ciphertext) -> Result<S::Ciphertext, HeError> {
+        S::sub(&self.ctx, a, b)
+    }
+
+    /// Ciphertext + plaintext vector (model constants are public in CHOCO's
+    /// trust model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn add_plain(
+        &self,
+        ct: &S::Ciphertext,
+        values: &[S::Value],
+    ) -> Result<S::Ciphertext, HeError> {
+        S::add_plain(&self.ctx, ct, values)
+    }
+
+    /// Ciphertext × plaintext vector; CKKS rescales afterwards (one level).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors and exhausted level chains.
+    pub fn mul_plain(
+        &self,
+        ct: &S::Ciphertext,
+        values: &[S::Value],
+    ) -> Result<S::Ciphertext, HeError> {
+        S::mul_plain(&self.ctx, ct, values)
+    }
+
+    /// Rotates slots left by `step` within the rotation group.
+    ///
+    /// # Errors
+    ///
+    /// Returns a missing-Galois-key error for unprovisioned steps.
+    pub fn rotate(&self, ct: &S::Ciphertext, step: i64) -> Result<S::Ciphertext, HeError> {
+        S::rotate(&self.ctx, ct, step, &self.galois)
+    }
+
+    /// Fused diagonal dot kernel: `Σ_k rot(ct, shift_k) ⊙ diag_k`, routed
+    /// through the scheme's hoisted fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing Galois keys and encoding errors.
+    pub fn dot_diagonals(
+        &self,
+        ct: &S::Ciphertext,
+        diagonals: &[(i64, Vec<S::Value>)],
+    ) -> Result<S::Ciphertext, HeError> {
+        S::dot_diagonals(&self.ctx, ct, diagonals, &self.galois)
+    }
+}
+
+impl Server<Bfv> {
     /// Encodes a plaintext vector server-side (model weights are public in
     /// CHOCO's trust model).
     ///
@@ -269,142 +414,7 @@ impl BfvServer {
     }
 }
 
-/// Transfers a BFV ciphertext client → server, recording its bytes.
-pub fn upload(ledger: &mut CommLedger, ct: &Ciphertext) -> Ciphertext {
-    ledger.record_upload(ct.byte_size());
-    ct.clone()
-}
-
-/// Transfers a BFV ciphertext server → client, recording its bytes.
-pub fn download(ledger: &mut CommLedger, ct: &Ciphertext) -> Ciphertext {
-    ledger.record_download(ct.byte_size());
-    ct.clone()
-}
-
-/// Transfers a seed-compressed ciphertext client → server, recording its
-/// (halved) wire bytes, and expands it server-side.
-pub fn upload_seeded(
-    ledger: &mut CommLedger,
-    ct: &choco_he::bfv::SeededCiphertext,
-    server: &BfvServer,
-) -> Ciphertext {
-    ledger.record_upload(ct.byte_size());
-    server.ctx.expand_seeded(ct)
-}
-
-/// The trusted client role (CKKS) for the distance-based and PageRank
-/// workloads.
-#[derive(Debug)]
-pub struct CkksClient {
-    ctx: CkksContext,
-    keys: CkksKeyBundle,
-    rng: Blake3Rng,
-    enc_ops: u64,
-    dec_ops: u64,
-}
-
-impl CkksClient {
-    /// Creates a client with fresh keys from `seed`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates context construction errors.
-    pub fn new(params: &HeParams, seed: &[u8]) -> Result<Self, HeError> {
-        let ctx = CkksContext::new(params)?;
-        let mut rng = Blake3Rng::from_seed(seed);
-        let keys = ctx.keygen(&mut rng);
-        Ok(CkksClient {
-            ctx,
-            keys,
-            rng,
-            enc_ops: 0,
-            dec_ops: 0,
-        })
-    }
-
-    /// The HE context.
-    pub fn context(&self) -> &CkksContext {
-        &self.ctx
-    }
-
-    /// Provisions the server with public material.
-    pub fn provision_server(&mut self, rotation_steps: &[i64]) -> CkksServer {
-        let relin = self.ctx.relin_key(self.keys.secret_key(), &mut self.rng);
-        let galois = self
-            .ctx
-            .galois_keys(self.keys.secret_key(), rotation_steps, &mut self.rng);
-        CkksServer {
-            ctx: self.ctx.clone(),
-            public: self.keys.public_key().clone(),
-            relin,
-            galois,
-        }
-    }
-
-    /// Encrypts a real-valued vector (one encryption op).
-    ///
-    /// # Errors
-    ///
-    /// Propagates encoding errors.
-    pub fn encrypt_values(&mut self, values: &[f64]) -> Result<CkksCiphertext, HeError> {
-        let pt = self.ctx.encode(values)?;
-        self.enc_ops += 1;
-        self.ctx.encrypt(&pt, self.keys.public_key(), &mut self.rng)
-    }
-
-    /// Decrypts to real values (one decryption op).
-    pub fn decrypt_values(&mut self, ct: &CkksCiphertext) -> Vec<f64> {
-        self.dec_ops += 1;
-        let pt = self.ctx.decrypt(ct, self.keys.secret_key());
-        self.ctx.decode(&pt)
-    }
-
-    /// Number of encryptions performed so far.
-    pub fn encryption_count(&self) -> u64 {
-        self.enc_ops
-    }
-
-    /// Number of decryptions performed so far.
-    pub fn decryption_count(&self) -> u64 {
-        self.dec_ops
-    }
-}
-
-/// The untrusted server role (CKKS).
-#[derive(Debug)]
-pub struct CkksServer {
-    ctx: CkksContext,
-    public: choco_he::ckks::CkksPublicKey,
-    relin: CkksRelinKey,
-    galois: CkksGaloisKeys,
-}
-
-impl CkksServer {
-    /// The HE context.
-    pub fn context(&self) -> &CkksContext {
-        &self.ctx
-    }
-
-    /// The relinearization key.
-    pub fn relin_key(&self) -> &CkksRelinKey {
-        &self.relin
-    }
-
-    /// The Galois key set.
-    pub fn galois_keys(&self) -> &CkksGaloisKeys {
-        &self.galois
-    }
-
-    /// The public key.
-    pub fn public_key(&self) -> &choco_he::ckks::CkksPublicKey {
-        &self.public
-    }
-
-    /// One-time offline provisioning traffic (public + relin + Galois keys).
-    pub fn provisioning_bytes(&self) -> usize {
-        self.public.byte_size() + self.relin.size_bytes() + self.galois.size_bytes()
-    }
-
+impl Server<Ckks> {
     /// Encodes server-side plaintext data at a level/scale.
     ///
     /// # Errors
@@ -415,21 +425,48 @@ impl CkksServer {
         values: &[f64],
         level: usize,
         scale: f64,
-    ) -> Result<CkksPlaintext, HeError> {
+    ) -> Result<choco_he::ckks::CkksPlaintext, HeError> {
         self.ctx.encode_at(values, level, scale)
     }
 }
 
-/// Transfers a CKKS ciphertext client → server, recording its bytes.
-pub fn upload_ckks(ledger: &mut CommLedger, ct: &CkksCiphertext) -> CkksCiphertext {
-    ledger.record_upload(ct.byte_size());
+/// The BFV client role.
+#[deprecated(since = "0.4.0", note = "use the scheme-generic `Client<Bfv>`")]
+pub type BfvClient = Client<Bfv>;
+
+/// The BFV server role.
+#[deprecated(since = "0.4.0", note = "use the scheme-generic `Server<Bfv>`")]
+pub type BfvServer = Server<Bfv>;
+
+/// The CKKS client role.
+#[deprecated(since = "0.4.0", note = "use the scheme-generic `Client<Ckks>`")]
+pub type CkksClient = Client<Ckks>;
+
+/// The CKKS server role.
+#[deprecated(since = "0.4.0", note = "use the scheme-generic `Server<Ckks>`")]
+pub type CkksServer = Server<Ckks>;
+
+/// Transfers a ciphertext client → server, recording its bytes.
+pub fn upload<S: HeScheme>(ledger: &mut CommLedger, ct: &S::Ciphertext) -> S::Ciphertext {
+    ledger.record_upload(S::ct_bytes(ct));
     ct.clone()
 }
 
-/// Transfers a CKKS ciphertext server → client, recording its bytes.
-pub fn download_ckks(ledger: &mut CommLedger, ct: &CkksCiphertext) -> CkksCiphertext {
-    ledger.record_download(ct.byte_size());
+/// Transfers a ciphertext server → client, recording its bytes.
+pub fn download<S: HeScheme>(ledger: &mut CommLedger, ct: &S::Ciphertext) -> S::Ciphertext {
+    ledger.record_download(S::ct_bytes(ct));
     ct.clone()
+}
+
+/// Transfers a seed-compressed BFV ciphertext client → server, recording
+/// its (halved) wire bytes, and expands it server-side.
+pub fn upload_seeded(
+    ledger: &mut CommLedger,
+    ct: &choco_he::bfv::SeededCiphertext,
+    server: &Server<Bfv>,
+) -> Ciphertext {
+    ledger.record_upload(ct.byte_size());
+    server.ctx.expand_seeded(ct)
 }
 
 #[cfg(test)]
@@ -460,18 +497,17 @@ mod tests {
     #[test]
     fn client_server_roundtrip_with_accounting() {
         let params = bfv_params();
-        let mut client = BfvClient::new(&params, b"proto test").unwrap();
+        let mut client = Client::<Bfv>::new(&params, b"proto test").unwrap();
         let server = client.provision_server(&[1, -1]).unwrap();
         let mut ledger = CommLedger::new();
 
         let values: Vec<u64> = (0..16).collect();
         let ct = client.encrypt_slots(&values).unwrap();
-        let at_server = upload(&mut ledger, &ct);
+        let at_server = upload::<Bfv>(&mut ledger, &ct);
 
         // Server doubles the values homomorphically.
-        let two = server.encode(&vec![2u64; 512]).unwrap();
-        let doubled = server.evaluator().multiply_plain(&at_server, &two);
-        let back = download(&mut ledger, &doubled);
+        let doubled = server.mul_plain(&at_server, &vec![2u64; 512]).unwrap();
+        let back = download::<Bfv>(&mut ledger, &doubled);
         ledger.end_round();
 
         let out = client.decrypt_slots(&back).unwrap();
@@ -490,7 +526,7 @@ mod tests {
     #[test]
     fn seeded_uploads_halve_client_traffic() {
         let params = bfv_params();
-        let mut client = BfvClient::new(&params, b"seeded proto").unwrap();
+        let mut client = Client::<Bfv>::new(&params, b"seeded proto").unwrap();
         let server = client.provision_server(&[1]).unwrap();
         let mut ledger = CommLedger::new();
         let values: Vec<u64> = (0..32).collect();
@@ -503,10 +539,7 @@ mod tests {
         assert_eq!(ledger.upload_bytes, (full_bytes / 2 + 32) as u64);
 
         // Expanded ciphertext is fully functional server-side.
-        let rotated = server
-            .evaluator()
-            .rotate_rows(&at_server, 1, server.galois_keys())
-            .unwrap();
+        let rotated = server.rotate(&at_server, 1).unwrap();
         let out = client.decrypt_slots(&rotated).unwrap();
         assert_eq!(out[0], 1);
         assert_eq!(client.encryption_count(), 2);
@@ -515,14 +548,11 @@ mod tests {
     #[test]
     fn server_rotations_work_through_protocol() {
         let params = bfv_params();
-        let mut client = BfvClient::new(&params, b"proto rot").unwrap();
+        let mut client = Client::<Bfv>::new(&params, b"proto rot").unwrap();
         let server = client.provision_server(&[2]).unwrap();
         let values: Vec<u64> = (0..512).collect();
         let ct = client.encrypt_slots(&values).unwrap();
-        let rotated = server
-            .evaluator()
-            .rotate_rows(&ct, 2, server.galois_keys())
-            .unwrap();
+        let rotated = server.rotate(&ct, 2).unwrap();
         let out = client.decrypt_slots(&rotated).unwrap();
         assert_eq!(out[0], 2);
         assert_eq!(out[509], 511);
@@ -532,19 +562,50 @@ mod tests {
     #[test]
     fn ckks_protocol_roundtrip() {
         let params = HeParams::ckks_insecure(1024, &[45, 45, 46], 38).unwrap();
-        let mut client = CkksClient::new(&params, b"ckks proto").unwrap();
-        let server = client.provision_server(&[1]);
+        let mut client = Client::<Ckks>::new(&params, b"ckks proto").unwrap();
+        let server = client.provision_server(&[1]).unwrap();
         let mut ledger = CommLedger::new();
         let ct = client.encrypt_values(&[1.0, 2.0, 3.0]).unwrap();
-        let up = upload_ckks(&mut ledger, &ct);
-        let rot = server
-            .context()
-            .rotate(&up, 1, server.galois_keys())
-            .unwrap();
-        let down = download_ckks(&mut ledger, &rot);
-        let out = client.decrypt_values(&down);
+        let up = upload::<Ckks>(&mut ledger, &ct);
+        let rot = server.rotate(&up, 1).unwrap();
+        let down = download::<Ckks>(&mut ledger, &rot);
+        let out = client.decrypt_values(&down).unwrap();
         assert!((out[0] - 2.0).abs() < 1e-2);
         assert!((out[1] - 3.0).abs() < 1e-2);
         assert!(ledger.total_bytes() > 0);
+    }
+
+    #[test]
+    fn generic_workload_runs_under_both_schemes() {
+        // The same generic function body serves both schemes — the rule
+        // DESIGN.md §9 states: new workloads are written once, generically.
+        fn double_first_slots<S: HeScheme>(
+            params: &HeParams,
+            inputs: &[f64],
+        ) -> Result<Vec<f64>, HeError> {
+            let mut client = Client::<S>::new(params, b"generic demo")?;
+            let server = client.provision_server(&[1])?;
+            let width = S::slot_width(client.context());
+            let mut padded = inputs.to_vec();
+            padded.resize(width, 0.0);
+            let q = client.quantize(&padded, 6, 1);
+            let ct = client.encrypt(&q)?;
+            let two = client.quantize(&vec![2.0; width], 6, 0);
+            let doubled = server.mul_plain(&ct, &two)?;
+            let slots = client.decrypt(&doubled)?;
+            Ok(client.dequantize(&slots, 6, 1)[..inputs.len()].to_vec())
+        }
+
+        let inputs = [0.5f64, 1.25, 3.0];
+        let bfv = HeParams::bfv_insecure(1024, &[45, 45, 46], 20).unwrap();
+        let ckks = HeParams::ckks_insecure(1024, &[45, 45, 46], 38).unwrap();
+        for out in [
+            double_first_slots::<Bfv>(&bfv, &inputs).unwrap(),
+            double_first_slots::<Ckks>(&ckks, &inputs).unwrap(),
+        ] {
+            for (o, i) in out.iter().zip(&inputs) {
+                assert!((o - 2.0 * i).abs() < 1e-2, "{o} vs {}", 2.0 * i);
+            }
+        }
     }
 }

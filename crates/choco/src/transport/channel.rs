@@ -34,6 +34,27 @@ pub trait Channel {
     }
 }
 
+/// Boxed channels delegate, so heterogeneous links (`Box<dyn Channel>`) fit
+/// anywhere a concrete channel type does — the erased default of
+/// [`Session`](super::Session).
+impl Channel for Box<dyn Channel> {
+    fn send(&mut self, wire: Vec<u8>) {
+        (**self).send(wire);
+    }
+
+    fn recv(&mut self) -> Option<Delivery> {
+        (**self).recv()
+    }
+
+    fn pending(&self) -> usize {
+        (**self).pending()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        (**self).fault_stats()
+    }
+}
+
 /// A perfect in-memory channel: every frame arrives intact, in order, with
 /// zero latency.
 #[derive(Debug, Default)]

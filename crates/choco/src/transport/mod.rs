@@ -16,12 +16,13 @@
 //! * [`fault`] provides [`fault::FaultyChannel`], a deterministic,
 //!   seed-driven adversary that drops, corrupts, truncates, duplicates and
 //!   delays frames per a configurable [`fault::FaultPlan`].
-//! * [`session`] wraps a [`crate::protocol::BfvClient`]/
-//!   [`crate::protocol::BfvServer`] pair in a [`session::ResilientSession`]:
-//!   retries with bounded attempts and deterministic exponential backoff,
-//!   a per-round timeout budget, and a noise-budget watchdog that converts
-//!   would-be [`choco_he::HeError::NoiseBudgetExhausted`] failures into
-//!   client-aided refresh rounds billed to the [`crate::CommLedger`].
+//! * [`session`] wraps a [`crate::protocol::Client`]/
+//!   [`crate::protocol::Server`] pair in a scheme-generic
+//!   [`session::Session`]: retries with bounded attempts and deterministic
+//!   exponential backoff, a per-round timeout budget, and a health watchdog
+//!   (noise budget under BFV, levels under CKKS) that converts would-be
+//!   [`choco_he::HeError::NoiseBudgetExhausted`] failures into client-aided
+//!   refresh rounds billed to the [`crate::CommLedger`].
 //!
 //! Everything is deterministic: channels and retry jitter are seeded, and
 //! time is a simulated millisecond clock, so a given `(seed, FaultPlan)`
@@ -35,7 +36,10 @@ pub mod session;
 pub use channel::{Channel, Delivery, DirectChannel};
 pub use fault::{FaultPlan, FaultStats, FaultyChannel};
 pub use frame::{Frame, FrameKind, TagKey};
-pub use session::{CkksResilientSession, LinkConfig, ResilientSession, RetryPolicy};
+pub use session::{LinkConfig, RetryPolicy, Session};
+
+#[allow(deprecated)]
+pub use session::{CkksResilientSession, ResilientSession};
 
 use choco_he::HeError;
 

@@ -1,8 +1,12 @@
-//! Resilient protocol sessions: retries, backoff, and the noise watchdog.
+//! Resilient protocol sessions: retries, backoff, and the health watchdog —
+//! one implementation, generic over scheme and channel.
 //!
-//! A [`ResilientSession`] owns both protocol roles plus the two directed
+//! A [`Session<S, C>`] owns both protocol roles plus the two directed
 //! channels between them, and replaces the bare `upload`/`download` helpers
-//! of [`crate::protocol`] with fault-tolerant exchanges:
+//! of [`crate::protocol`] with fault-tolerant exchanges. "Direct" and
+//! "resilient" are not separate code paths: a session over
+//! [`DirectChannel`](super::channel::DirectChannel) *is* the zero-fault
+//! instance, and bills identically to the fault-free protocol.
 //!
 //! * every ciphertext crosses the link as a tagged frame
 //!   ([`super::frame`]); the receiver discards corrupt, truncated and stale
@@ -15,24 +19,20 @@
 //!   protocol, keeping Figure-10-style reports comparable — while every
 //!   retransmission bills its full wire bytes to
 //!   [`CommLedger::retransmit_bytes`];
-//! * a noise-budget watchdog ([`ResilientSession::ensure_budget`]) checks
-//!   the invariant noise budget before server-side work and, when it runs
-//!   low, performs a client-aided refresh round (download → decrypt →
-//!   re-encrypt → upload, one extra round in the ledger) instead of letting
-//!   the computation die with `NoiseBudgetExhausted`.
+//! * a scheme-generic health watchdog ([`Session::ensure_health`]) probes
+//!   each ciphertext's remaining headroom — invariant noise budget in bits
+//!   under BFV, remaining rescale levels under CKKS, via
+//!   [`HeScheme::health`] — and, when it drops below the floor, performs a
+//!   client-aided refresh round (download → decrypt → re-encrypt → upload,
+//!   one extra round in the ledger) instead of letting the computation die.
 
 use super::channel::Channel;
 use super::fault::FaultStats;
 use super::frame::{self, FrameKind, TagKey};
 use super::TransportError;
-use crate::protocol::{BfvClient, BfvServer, CkksClient, CkksServer, CommLedger};
-use choco_he::bfv::Ciphertext;
-use choco_he::ckks::CkksCiphertext;
-use choco_he::params::HeParams;
-use choco_he::serialize::{
-    ciphertext_from_bytes, ciphertext_to_bytes, ckks_ciphertext_from_bytes,
-    ckks_ciphertext_to_bytes,
-};
+use crate::protocol::{Client, CommLedger, Server};
+use choco_he::params::{HeParams, SchemeType};
+use choco_he::{Bfv, Ckks, HeScheme};
 use choco_prng::Blake3Rng;
 
 /// Bounded-retry policy for one frame exchange.
@@ -99,11 +99,20 @@ enum Direction {
     Download,
 }
 
+/// The wire frame kind carrying ciphertexts of scheme `S`.
+fn ciphertext_kind<S: HeScheme>() -> FrameKind {
+    match S::SCHEME {
+        SchemeType::Bfv => FrameKind::BfvCiphertext,
+        SchemeType::Ckks => FrameKind::CkksCiphertext,
+    }
+}
+
 /// The shared retry engine: everything except the scheme-specific
-/// serialization and refresh logic.
-struct Link {
-    uplink: Box<dyn Channel>,
-    downlink: Box<dyn Channel>,
+/// serialization and refresh logic. Generic over the channel type so the
+/// common case — concrete channels known at compile time — monomorphizes.
+struct Link<C: Channel> {
+    uplink: C,
+    downlink: C,
     tag_key: TagKey,
     policy: RetryPolicy,
     jitter: Blake3Rng,
@@ -111,13 +120,8 @@ struct Link {
     next_seq: u64,
 }
 
-impl Link {
-    fn new(
-        seed: &[u8],
-        uplink: Box<dyn Channel>,
-        downlink: Box<dyn Channel>,
-        policy: RetryPolicy,
-    ) -> Self {
+impl<C: Channel> Link<C> {
+    fn new(seed: &[u8], uplink: C, downlink: C, policy: RetryPolicy) -> Self {
         Link {
             uplink,
             downlink,
@@ -206,73 +210,59 @@ impl Link {
     }
 }
 
-/// A fault-tolerant BFV offload session.
-pub struct ResilientSession {
-    client: BfvClient,
-    server: BfvServer,
-    link: Link,
+/// A fault-tolerant offload session, generic over scheme `S` and channel
+/// `C`. The channel defaults to `Box<dyn Channel>` for heterogeneous links
+/// built from a [`LinkConfig`]; hot paths that want full monomorphization
+/// name a concrete channel via [`Session::over`].
+pub struct Session<S: HeScheme, C: Channel = Box<dyn Channel>> {
+    client: Client<S>,
+    server: Server<S>,
+    link: Link<C>,
     ledger: CommLedger,
-    refresh_threshold_bits: f64,
+    refresh_floor: f64,
 }
 
-impl ResilientSession {
-    /// Default noise-budget floor (bits) below which the watchdog refreshes.
-    pub const DEFAULT_REFRESH_THRESHOLD_BITS: f64 = 8.0;
-
-    /// Builds a session: keygen from `seed`, server provisioned with
-    /// `rotation_steps`, frames exchanged over the given channels.
+impl<S: HeScheme, C: Channel> Session<S, C> {
+    /// Builds a session over concrete channels: keygen from `seed`, server
+    /// provisioned with `rotation_steps`, frames exchanged over the given
+    /// channels.
     ///
     /// # Errors
     ///
     /// Propagates HE-layer setup failures.
-    pub fn new(
+    pub fn over(
         params: &HeParams,
         seed: &[u8],
         rotation_steps: &[i64],
-        uplink: Box<dyn Channel>,
-        downlink: Box<dyn Channel>,
+        uplink: C,
+        downlink: C,
         policy: RetryPolicy,
     ) -> Result<Self, TransportError> {
-        let mut client = BfvClient::new(params, seed)?;
+        let mut client = Client::<S>::new(params, seed)?;
         let server = client.provision_server(rotation_steps)?;
-        Ok(ResilientSession {
+        Ok(Session {
             client,
             server,
             link: Link::new(seed, uplink, downlink, policy),
             ledger: CommLedger::new(),
-            refresh_threshold_bits: Self::DEFAULT_REFRESH_THRESHOLD_BITS,
+            refresh_floor: S::HEALTH_FLOOR,
         })
     }
 
-    /// Convenience constructor over perfect in-memory channels.
-    pub fn direct(
-        params: &HeParams,
-        seed: &[u8],
-        rotation_steps: &[i64],
-    ) -> Result<Self, TransportError> {
-        Self::new(
-            params,
-            seed,
-            rotation_steps,
-            Box::new(super::channel::DirectChannel::new()),
-            Box::new(super::channel::DirectChannel::new()),
-            RetryPolicy::default(),
-        )
-    }
-
-    /// Overrides the watchdog's refresh threshold.
-    pub fn with_refresh_threshold(mut self, bits: f64) -> Self {
-        self.refresh_threshold_bits = bits;
+    /// Overrides the watchdog's refresh floor (noise-budget bits under
+    /// BFV, remaining levels under CKKS).
+    pub fn with_refresh_floor(mut self, floor: f64) -> Self {
+        self.refresh_floor = floor;
         self
     }
 
     /// The client role.
-    pub fn client_mut(&mut self) -> &mut BfvClient {
+    pub fn client_mut(&mut self) -> &mut Client<S> {
         &mut self.client
     }
 
     /// The server role.
-    pub fn server(&self) -> &BfvServer {
+    pub fn server(&self) -> &Server<S> {
         &self.server
     }
 
@@ -307,17 +297,17 @@ impl ResilientSession {
     /// # Errors
     ///
     /// Typed transport errors if the link is worse than the retry budget.
-    pub fn upload(&mut self, ct: &Ciphertext) -> Result<Ciphertext, TransportError> {
-        let payload = ciphertext_to_bytes(ct);
-        let billed = ct.byte_size();
+    pub fn upload(&mut self, ct: &S::Ciphertext) -> Result<S::Ciphertext, TransportError> {
+        let payload = S::ct_to_wire(ct);
+        let billed = S::ct_bytes(ct);
         let bytes = self.link.transfer(
             Direction::Upload,
-            FrameKind::BfvCiphertext,
+            ciphertext_kind::<S>(),
             &payload,
             billed,
             &mut self.ledger,
         )?;
-        Ok(ciphertext_from_bytes(&bytes)?)
+        Ok(S::ct_from_wire(&bytes)?)
     }
 
     /// Sends a ciphertext server → client, retrying until it arrives
@@ -326,61 +316,64 @@ impl ResilientSession {
     /// # Errors
     ///
     /// Typed transport errors if the link is worse than the retry budget.
-    pub fn download(&mut self, ct: &Ciphertext) -> Result<Ciphertext, TransportError> {
-        let payload = ciphertext_to_bytes(ct);
-        let billed = ct.byte_size();
+    pub fn download(&mut self, ct: &S::Ciphertext) -> Result<S::Ciphertext, TransportError> {
+        let payload = S::ct_to_wire(ct);
+        let billed = S::ct_bytes(ct);
         let bytes = self.link.transfer(
             Direction::Download,
-            FrameKind::BfvCiphertext,
+            ciphertext_kind::<S>(),
             &payload,
             billed,
             &mut self.ledger,
         )?;
-        Ok(ciphertext_from_bytes(&bytes)?)
+        Ok(S::ct_from_wire(&bytes)?)
     }
 
-    /// The noise watchdog: returns `ct` unchanged while its invariant
-    /// noise budget stays at or above `min_bits`, otherwise runs a
+    /// The health watchdog: returns `ct` unchanged while its remaining
+    /// headroom ([`HeScheme::health`] — noise-budget bits under BFV,
+    /// levels under CKKS) stays at or above `floor`, otherwise runs a
     /// client-aided refresh round and returns the re-encrypted ciphertext.
     ///
-    /// The client can evaluate the budget because it holds the secret key;
-    /// in the deployed protocol it tracks the same quantity analytically
-    /// from the public operation sequence (§4.4 parameter model).
+    /// The client can evaluate the headroom because it holds the secret
+    /// key; in the deployed protocol it tracks the same quantity
+    /// analytically from the public operation sequence (§4.4 parameter
+    /// model).
     ///
     /// # Errors
     ///
     /// Transport errors from the refresh round trip.
-    pub fn ensure_budget(
+    pub fn ensure_health(
         &mut self,
-        ct: &Ciphertext,
-        min_bits: f64,
-    ) -> Result<Ciphertext, TransportError> {
-        if self.client.noise_budget(ct) >= min_bits {
+        ct: &S::Ciphertext,
+        floor: f64,
+    ) -> Result<S::Ciphertext, TransportError> {
+        if self.client.health(ct) >= floor {
             return Ok(ct.clone());
         }
         self.refresh(ct)
     }
 
-    /// [`Self::ensure_budget`] with the session's configured threshold.
+    /// [`Self::ensure_health`] with the session's configured floor.
     ///
     /// # Errors
     ///
     /// Transport errors from the refresh round trip.
-    pub fn guard(&mut self, ct: &Ciphertext) -> Result<Ciphertext, TransportError> {
-        self.ensure_budget(ct, self.refresh_threshold_bits)
+    pub fn guard(&mut self, ct: &S::Ciphertext) -> Result<S::Ciphertext, TransportError> {
+        self.ensure_health(ct, self.refresh_floor)
     }
 
-    /// Client-aided noise refresh: download → decrypt → re-encrypt →
-    /// upload. Costs one extra protocol round, visible in the ledger as
-    /// `refresh_rounds += 1` plus the refresh traffic.
+    /// Client-aided refresh: download → decrypt → re-encrypt → upload.
+    /// Costs one extra protocol round, visible in the ledger as
+    /// `refresh_rounds += 1` plus the refresh traffic. Under CKKS the
+    /// re-encryption lands back at the top of the level chain.
     ///
     /// # Errors
     ///
     /// Transport errors from either leg of the round trip.
-    pub fn refresh(&mut self, ct: &Ciphertext) -> Result<Ciphertext, TransportError> {
+    pub fn refresh(&mut self, ct: &S::Ciphertext) -> Result<S::Ciphertext, TransportError> {
         let at_client = self.download(ct)?;
-        let slots = self.client.decrypt_slots(&at_client)?;
-        let fresh = self.client.encrypt_slots(&slots)?;
+        let values = self.client.decrypt(&at_client)?;
+        let fresh = self.client.encrypt(&values)?;
         let back = self.upload(&fresh)?;
         self.ledger.record_refresh();
         self.ledger.end_round();
@@ -388,25 +381,14 @@ impl ResilientSession {
     }
 
     /// Consumes the session, returning the roles and the final ledger.
-    pub fn into_parts(self) -> (BfvClient, BfvServer, CommLedger) {
+    pub fn into_parts(self) -> (Client<S>, Server<S>, CommLedger) {
         (self.client, self.server, self.ledger)
     }
 }
 
-/// A fault-tolerant CKKS offload session.
-///
-/// CKKS tracks computation depth through *levels* rather than a noise
-/// budget; the watchdog here refreshes when the remaining level count drops
-/// below a floor ([`CkksResilientSession::ensure_level`]).
-pub struct CkksResilientSession {
-    client: CkksClient,
-    server: CkksServer,
-    link: Link,
-    ledger: CommLedger,
-}
-
-impl CkksResilientSession {
-    /// Builds a session over the given channels.
+impl<S: HeScheme> Session<S, Box<dyn Channel>> {
+    /// Builds a session over boxed channels (the pre-generic constructor
+    /// signature).
     ///
     /// # Errors
     ///
@@ -419,104 +401,85 @@ impl CkksResilientSession {
         downlink: Box<dyn Channel>,
         policy: RetryPolicy,
     ) -> Result<Self, TransportError> {
-        let mut client = CkksClient::new(params, seed)?;
-        let server = client.provision_server(rotation_steps);
-        Ok(CkksResilientSession {
-            client,
-            server,
-            link: Link::new(seed, uplink, downlink, policy),
-            ledger: CommLedger::new(),
-        })
+        Self::over(params, seed, rotation_steps, uplink, downlink, policy)
     }
 
-    /// The client role.
-    pub fn client_mut(&mut self) -> &mut CkksClient {
-        &mut self.client
+    /// Convenience constructor over perfect in-memory channels — the
+    /// zero-fault instance that replaces the old "direct" code path.
+    pub fn direct(
+        params: &HeParams,
+        seed: &[u8],
+        rotation_steps: &[i64],
+    ) -> Result<Self, TransportError> {
+        Self::with_link(params, seed, rotation_steps, LinkConfig::direct())
     }
 
-    /// The server role.
-    pub fn server(&self) -> &CkksServer {
-        &self.server
-    }
-
-    /// The communication ledger.
-    pub fn ledger(&self) -> &CommLedger {
-        &self.ledger
-    }
-
-    /// Mutable ledger access.
-    pub fn ledger_mut(&mut self) -> &mut CommLedger {
-        &mut self.ledger
-    }
-
-    /// Sends a ciphertext client → server, retrying until intact.
+    /// Builds a session from a bundled [`LinkConfig`].
     ///
     /// # Errors
     ///
-    /// Typed transport errors if the link is worse than the retry budget.
-    pub fn upload(&mut self, ct: &CkksCiphertext) -> Result<CkksCiphertext, TransportError> {
-        let payload = ckks_ciphertext_to_bytes(ct);
-        let billed = ct.byte_size();
-        let bytes = self.link.transfer(
-            Direction::Upload,
-            FrameKind::CkksCiphertext,
-            &payload,
-            billed,
-            &mut self.ledger,
-        )?;
-        Ok(ckks_ciphertext_from_bytes(&bytes)?)
+    /// Propagates HE-layer setup failures.
+    pub fn with_link(
+        params: &HeParams,
+        seed: &[u8],
+        rotation_steps: &[i64],
+        link: LinkConfig,
+    ) -> Result<Self, TransportError> {
+        Self::over(
+            params,
+            seed,
+            rotation_steps,
+            link.uplink,
+            link.downlink,
+            link.policy,
+        )
     }
+}
 
-    /// Sends a ciphertext server → client, retrying until intact.
+impl<C: Channel> Session<Bfv, C> {
+    /// BFV-named convenience for [`Session::ensure_health`]: refresh when
+    /// fewer than `min_bits` of invariant noise budget remain.
     ///
     /// # Errors
     ///
-    /// Typed transport errors if the link is worse than the retry budget.
-    pub fn download(&mut self, ct: &CkksCiphertext) -> Result<CkksCiphertext, TransportError> {
-        let payload = ckks_ciphertext_to_bytes(ct);
-        let billed = ct.byte_size();
-        let bytes = self.link.transfer(
-            Direction::Download,
-            FrameKind::CkksCiphertext,
-            &payload,
-            billed,
-            &mut self.ledger,
-        )?;
-        Ok(ckks_ciphertext_from_bytes(&bytes)?)
+    /// Transport errors from the refresh round trip.
+    pub fn ensure_budget(
+        &mut self,
+        ct: &choco_he::bfv::Ciphertext,
+        min_bits: f64,
+    ) -> Result<choco_he::bfv::Ciphertext, TransportError> {
+        self.ensure_health(ct, min_bits)
     }
+}
 
-    /// The level watchdog: refreshes (download → decrypt → re-encrypt at
-    /// top level → upload) when fewer than `min_levels` remain.
+impl<C: Channel> Session<Ckks, C> {
+    /// CKKS-named convenience for [`Session::ensure_health`]: refresh when
+    /// fewer than `min_levels` rescale levels remain.
     ///
     /// # Errors
     ///
     /// Transport errors from the refresh round trip.
     pub fn ensure_level(
         &mut self,
-        ct: &CkksCiphertext,
+        ct: &choco_he::ckks::CkksCiphertext,
         min_levels: usize,
-    ) -> Result<CkksCiphertext, TransportError> {
-        if ct.level() >= min_levels {
-            return Ok(ct.clone());
-        }
-        let at_client = self.download(ct)?;
-        let values = self.client.decrypt_values(&at_client);
-        let fresh = self.client.encrypt_values(&values)?;
-        let back = self.upload(&fresh)?;
-        self.ledger.record_refresh();
-        self.ledger.end_round();
-        Ok(back)
-    }
-
-    /// Consumes the session, returning the roles and the final ledger.
-    pub fn into_parts(self) -> (CkksClient, CkksServer, CommLedger) {
-        (self.client, self.server, self.ledger)
+    ) -> Result<choco_he::ckks::CkksCiphertext, TransportError> {
+        self.ensure_health(ct, min_levels as f64)
     }
 }
+
+/// A fault-tolerant BFV offload session.
+#[deprecated(since = "0.4.0", note = "use the scheme-generic `Session<Bfv>`")]
+pub type ResilientSession = Session<Bfv>;
+
+/// A fault-tolerant CKKS offload session.
+#[deprecated(since = "0.4.0", note = "use the scheme-generic `Session<Ckks>`")]
+pub type CkksResilientSession = Session<Ckks>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::channel::DirectChannel;
     use crate::transport::fault::{FaultPlan, FaultyChannel};
 
     fn params() -> HeParams {
@@ -529,7 +492,7 @@ mod tests {
 
     #[test]
     fn direct_session_matches_plain_protocol_billing() {
-        let mut s = ResilientSession::direct(&params(), b"session direct", &[]).unwrap();
+        let mut s = Session::<Bfv>::direct(&params(), b"session direct", &[]).unwrap();
         let values: Vec<u64> = (0..256).collect();
         let ct = s.client_mut().encrypt_slots(&values).unwrap();
         let at_server = s.upload(&ct).unwrap();
@@ -544,9 +507,30 @@ mod tests {
     }
 
     #[test]
+    fn monomorphic_session_over_concrete_channels() {
+        // `Session::over` with a concrete channel type: no boxing, no dyn
+        // dispatch anywhere on the exchange path.
+        let mut s = Session::<Bfv, DirectChannel>::over(
+            &params(),
+            b"session mono",
+            &[],
+            DirectChannel::new(),
+            DirectChannel::new(),
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        let values: Vec<u64> = (0..256).map(|i| i * 3 % 97).collect();
+        let ct = s.client_mut().encrypt_slots(&values).unwrap();
+        let at_server = s.upload(&ct).unwrap();
+        let back = s.download(&at_server).unwrap();
+        assert_eq!(s.client_mut().decrypt_slots(&back).unwrap(), values);
+        assert_eq!(s.ledger().retransmit_bytes, 0);
+    }
+
+    #[test]
     fn flaky_link_recovers_and_bills_retransmits() {
         let plan = FaultPlan::flaky();
-        let mut s = ResilientSession::new(
+        let mut s = Session::<Bfv>::new(
             &params(),
             b"session flaky",
             &[],
@@ -576,7 +560,7 @@ mod tests {
 
     #[test]
     fn blackhole_link_yields_typed_error() {
-        let mut s = ResilientSession::new(
+        let mut s = Session::<Bfv>::new(
             &params(),
             b"session dead",
             &[],
@@ -596,7 +580,7 @@ mod tests {
 
     #[test]
     fn timeout_budget_is_enforced() {
-        let mut s = ResilientSession::new(
+        let mut s = Session::<Bfv>::new(
             &params(),
             b"session slow",
             &[],
@@ -625,20 +609,20 @@ mod tests {
 
     #[test]
     fn watchdog_refreshes_exhausted_ciphertext() {
-        let mut s = ResilientSession::direct(&params(), b"session watchdog", &[]).unwrap();
+        let mut s = Session::<Bfv>::direct(&params(), b"session watchdog", &[]).unwrap();
         let values: Vec<u64> = (0..256).map(|i| i % 13).collect();
         let ct = s.client_mut().encrypt_slots(&values).unwrap();
         let mut at_server = s.upload(&ct).unwrap();
         // Burn noise budget with repeated plain multiplications until the
         // watchdog would trip.
-        let weights = s.server().encode(&vec![3u64; 256]).unwrap();
+        let weights = vec![3u64; 256];
         let mut refreshed = 0;
         for _ in 0..64 {
             let guarded = s.ensure_budget(&at_server, 15.0).unwrap();
             if s.ledger().refresh_rounds > refreshed {
                 refreshed = s.ledger().refresh_rounds;
             }
-            at_server = s.server().evaluator().multiply_plain(&guarded, &weights);
+            at_server = s.server().mul_plain(&guarded, &weights).unwrap();
         }
         assert!(refreshed > 0, "watchdog never refreshed");
         // The final ciphertext still decrypts to *something* well-formed —
@@ -650,11 +634,10 @@ mod tests {
 
     #[test]
     fn refresh_resets_noise_budget() {
-        let mut s = ResilientSession::direct(&params(), b"session refresh", &[]).unwrap();
+        let mut s = Session::<Bfv>::direct(&params(), b"session refresh", &[]).unwrap();
         let ct = s.client_mut().encrypt_slots(&[5; 256]).unwrap();
         let at_server = s.upload(&ct).unwrap();
-        let weights = s.server().encode(&[7; 256]).unwrap();
-        let worn = s.server().evaluator().multiply_plain(&at_server, &weights);
+        let worn = s.server().mul_plain(&at_server, &vec![7u64; 256]).unwrap();
         let before = {
             let c = s.client_mut();
             c.noise_budget(&worn)
@@ -674,7 +657,7 @@ mod tests {
         let plan = FaultPlan::lossless()
             .with_drop_rate(0.3)
             .with_corrupt_rate(0.2);
-        let mut s = CkksResilientSession::new(
+        let mut s = Session::<Ckks>::new(
             &params,
             b"ckks session",
             &[],
@@ -690,7 +673,7 @@ mod tests {
         let ct = s.client_mut().encrypt_values(&values).unwrap();
         let at_server = s.upload(&ct).unwrap();
         let back = s.download(&at_server).unwrap();
-        let out = s.client_mut().decrypt_values(&back);
+        let out = s.client_mut().decrypt_values(&back).unwrap();
         for i in 0..values.len() {
             assert!((out[i] - values[i]).abs() < 1e-2);
         }
@@ -699,15 +682,7 @@ mod tests {
     #[test]
     fn ckks_level_watchdog_refreshes() {
         let params = HeParams::ckks_insecure(256, &[45, 45, 45, 46], 38).unwrap();
-        let mut s = CkksResilientSession::new(
-            &params,
-            b"ckks levels",
-            &[],
-            Box::new(crate::transport::channel::DirectChannel::new()),
-            Box::new(crate::transport::channel::DirectChannel::new()),
-            RetryPolicy::default(),
-        )
-        .unwrap();
+        let mut s = Session::<Ckks>::direct(&params, b"ckks levels", &[]).unwrap();
         let values: Vec<f64> = (0..128).map(|i| (i % 7) as f64 / 8.0).collect();
         let ct = s.client_mut().encrypt_values(&values).unwrap();
         let mut at_server = s.upload(&ct).unwrap();

@@ -53,7 +53,9 @@ pub mod error;
 pub mod keyswitch;
 pub mod params;
 pub mod rnspoly;
+pub mod scheme;
 pub mod serialize;
 
 pub use error::HeError;
 pub use params::{HeParams, SchemeType};
+pub use scheme::{Bfv, Ckks, HeScheme};

@@ -1,0 +1,742 @@
+//! The scheme abstraction: one trait, two homomorphic schemes.
+//!
+//! CHOCO's client-aided offload model is scheme-agnostic — the paper runs
+//! the same rotational-redundancy algorithms over BFV (exact workloads)
+//! and CKKS (PageRank, K-Means), and CHET/EVA-style runtimes retarget
+//! kernels without per-scheme rewrites. [`HeScheme`] captures the slice of
+//! both schemes the offload protocol needs:
+//!
+//! * role setup (context, key generation, evaluation keys),
+//! * the client boundary (encrypt / decrypt / health probe),
+//! * the server-side linear algebra (`add`, `add_plain`, `mul_plain`,
+//!   rotations, and the fused diagonal dot kernel),
+//! * wire serialization hooks for the transport layer, and
+//! * fixed-point **quantization hooks** that unify the two numeric models:
+//!   BFV carries an explicit scale `2^(scale_bits·depth)` modulo `t`, while
+//!   CKKS tracks its scale inside the ciphertext, so [`HeScheme::quantize`]
+//!   is modular fixed-point for [`Bfv`] and the identity for [`Ckks`].
+//!
+//! Every method is an associated function on a zero-sized scheme marker
+//! ([`Bfv`], [`Ckks`]), so generic code monomorphizes — there is no dynamic
+//! dispatch anywhere on the hot path.
+//!
+//! The *health* probe generalizes the transport watchdog: for BFV it is the
+//! invariant noise budget in bits (refresh when it runs low), for CKKS the
+//! remaining rescaling levels (refresh before the chain runs out). A
+//! session refreshes when health drops below [`HeScheme::HEALTH_FLOOR`].
+
+use crate::bfv::{self, BfvContext};
+use crate::ckks::{self, CkksContext};
+use crate::params::{HeParams, SchemeType};
+use crate::serialize;
+use crate::HeError;
+use choco_prng::Blake3Rng;
+
+/// The homomorphic-scheme capability the offload protocol is generic over.
+///
+/// Implementations are zero-sized markers; all state lives in the
+/// associated `Context`/key types. See the [module docs](self) for the
+/// design rationale.
+pub trait HeScheme: Sized + std::fmt::Debug + 'static {
+    /// The slot value type: `u64` (exact, mod `t`) or `f64` (approximate).
+    type Value: Copy + Default + PartialEq + std::fmt::Debug + Send + Sync;
+    /// The scheme context (parameters, tables, encoders).
+    type Context: Clone + std::fmt::Debug;
+    /// A ciphertext.
+    type Ciphertext: Clone + std::fmt::Debug;
+    /// Client key material (secret + public key).
+    type KeyBundle: std::fmt::Debug;
+    /// The public encryption key (provisioned to the server).
+    type PublicKey: Clone + std::fmt::Debug;
+    /// The relinearization key.
+    type RelinKey: std::fmt::Debug;
+    /// The Galois rotation key set.
+    type GaloisKeys: std::fmt::Debug;
+
+    /// Which scheme this is (drives transport frame kinds and reports).
+    const SCHEME: SchemeType;
+    /// Default watchdog floor for [`HeScheme::health`]: noise-budget bits
+    /// for BFV, remaining levels for CKKS.
+    const HEALTH_FLOOR: f64;
+
+    /// Builds a context from parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation failures.
+    fn context(params: &HeParams) -> Result<Self::Context, HeError>;
+
+    /// Generates a fresh secret/public key pair.
+    fn keygen(ctx: &Self::Context, rng: &mut Blake3Rng) -> Self::KeyBundle;
+
+    /// The public key inside a bundle.
+    fn public_key(keys: &Self::KeyBundle) -> &Self::PublicKey;
+
+    /// Generates the relinearization key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures.
+    fn relin_key(
+        ctx: &Self::Context,
+        keys: &Self::KeyBundle,
+        rng: &mut Blake3Rng,
+    ) -> Result<Self::RelinKey, HeError>;
+
+    /// Generates Galois keys for the given rotation steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures.
+    fn galois_keys(
+        ctx: &Self::Context,
+        keys: &Self::KeyBundle,
+        steps: &[i64],
+        rng: &mut Blake3Rng,
+    ) -> Result<Self::GaloisKeys, HeError>;
+
+    /// Encodes and encrypts a slot vector (the client boundary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding/encryption failures.
+    fn encrypt(
+        ctx: &Self::Context,
+        keys: &Self::KeyBundle,
+        values: &[Self::Value],
+        rng: &mut Blake3Rng,
+    ) -> Result<Self::Ciphertext, HeError>;
+
+    /// Decrypts and decodes to a slot vector (the client boundary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures.
+    fn decrypt(
+        ctx: &Self::Context,
+        keys: &Self::KeyBundle,
+        ct: &Self::Ciphertext,
+    ) -> Result<Vec<Self::Value>, HeError>;
+
+    /// Remaining computation headroom of a ciphertext: invariant noise
+    /// budget in bits (BFV, requires the secret key) or remaining rescale
+    /// levels (CKKS, public).
+    fn health(ctx: &Self::Context, keys: &Self::KeyBundle, ct: &Self::Ciphertext) -> f64;
+
+    /// Width of one rotation group: the unit all packed kernels tile into
+    /// (`degree/2` for BFV row rotations, the slot count for CKKS).
+    fn slot_width(ctx: &Self::Context) -> usize;
+
+    /// Serializes a ciphertext for the wire.
+    fn ct_to_wire(ct: &Self::Ciphertext) -> Vec<u8>;
+
+    /// Deserializes a ciphertext from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError`] on malformed bytes.
+    fn ct_from_wire(bytes: &[u8]) -> Result<Self::Ciphertext, HeError>;
+
+    /// Payload size of a ciphertext (the quantity the ledger bills).
+    fn ct_bytes(ct: &Self::Ciphertext) -> usize;
+
+    /// Wire size of the public key (provisioning accounting).
+    fn public_key_bytes(pk: &Self::PublicKey) -> usize;
+
+    /// Wire size of the relinearization key.
+    fn relin_key_bytes(rk: &Self::RelinKey) -> usize;
+
+    /// Wire size of the Galois key set.
+    fn galois_keys_bytes(gk: &Self::GaloisKeys) -> usize;
+
+    /// Ciphertext + ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand mismatches.
+    fn add(
+        ctx: &Self::Context,
+        a: &Self::Ciphertext,
+        b: &Self::Ciphertext,
+    ) -> Result<Self::Ciphertext, HeError>;
+
+    /// Ciphertext − ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand mismatches.
+    fn sub(
+        ctx: &Self::Context,
+        a: &Self::Ciphertext,
+        b: &Self::Ciphertext,
+    ) -> Result<Self::Ciphertext, HeError>;
+
+    /// Ciphertext + plaintext vector. CKKS encodes the operand at the
+    /// ciphertext's current level and scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    fn add_plain(
+        ctx: &Self::Context,
+        ct: &Self::Ciphertext,
+        values: &[Self::Value],
+    ) -> Result<Self::Ciphertext, HeError>;
+
+    /// Ciphertext × plaintext vector. CKKS encodes at the default scale and
+    /// rescales afterwards (one level); BFV multiplies in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures and exhausted level chains.
+    fn mul_plain(
+        ctx: &Self::Context,
+        ct: &Self::Ciphertext,
+        values: &[Self::Value],
+    ) -> Result<Self::Ciphertext, HeError>;
+
+    /// Rotates slots left by `step` within the rotation group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::MissingGaloisKey`] for unprovisioned steps.
+    fn rotate(
+        ctx: &Self::Context,
+        ct: &Self::Ciphertext,
+        step: i64,
+        gk: &Self::GaloisKeys,
+    ) -> Result<Self::Ciphertext, HeError>;
+
+    /// Fused diagonal dot kernel: `Σ_k rot(ct, shift_k) ⊙ diag_k`, routed
+    /// through each scheme's hoisted fast path (BFV `dot_rotations_plain`,
+    /// CKKS `rotate_many`). The workhorse of the diagonal-method matvec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing Galois keys and encoding failures.
+    fn dot_diagonals(
+        ctx: &Self::Context,
+        ct: &Self::Ciphertext,
+        diagonals: &[(i64, Vec<Self::Value>)],
+        gk: &Self::GaloisKeys,
+    ) -> Result<Self::Ciphertext, HeError>;
+
+    /// Quantizes reals into the scheme's slot domain at fixed-point depth
+    /// `depth`: BFV maps `v ↦ round(v · 2^(scale_bits·depth)) mod t`, CKKS
+    /// passes values through (its ciphertexts carry the scale).
+    fn quantize(
+        ctx: &Self::Context,
+        values: &[f64],
+        scale_bits: u32,
+        depth: u32,
+    ) -> Vec<Self::Value>;
+
+    /// Inverse of [`HeScheme::quantize`]: strips `depth` accumulated scale
+    /// factors (BFV) or passes through (CKKS).
+    fn dequantize(
+        ctx: &Self::Context,
+        values: &[Self::Value],
+        scale_bits: u32,
+        depth: u32,
+    ) -> Vec<f64>;
+}
+
+/// Marker for the exact integer scheme (BFV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bfv;
+
+/// Marker for the approximate fixed-point scheme (CKKS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ckks;
+
+impl HeScheme for Bfv {
+    type Value = u64;
+    type Context = BfvContext;
+    type Ciphertext = bfv::Ciphertext;
+    type KeyBundle = bfv::KeyBundle;
+    type PublicKey = bfv::PublicKey;
+    type RelinKey = bfv::RelinKey;
+    type GaloisKeys = bfv::GaloisKeys;
+
+    const SCHEME: SchemeType = SchemeType::Bfv;
+    /// Noise-budget bits below which a session refreshes.
+    const HEALTH_FLOOR: f64 = 8.0;
+
+    fn context(params: &HeParams) -> Result<BfvContext, HeError> {
+        BfvContext::new(params)
+    }
+
+    // choco-lint: secret
+    fn keygen(ctx: &BfvContext, rng: &mut Blake3Rng) -> bfv::KeyBundle {
+        ctx.keygen(rng)
+    }
+
+    fn public_key(keys: &bfv::KeyBundle) -> &bfv::PublicKey {
+        keys.public_key()
+    }
+
+    // choco-lint: secret (public: ctx)
+    fn relin_key(
+        ctx: &BfvContext,
+        keys: &bfv::KeyBundle,
+        rng: &mut Blake3Rng,
+    ) -> Result<bfv::RelinKey, HeError> {
+        ctx.relin_key(keys.secret_key(), rng)
+    }
+
+    // choco-lint: secret (public: ctx, steps)
+    fn galois_keys(
+        ctx: &BfvContext,
+        keys: &bfv::KeyBundle,
+        steps: &[i64],
+        rng: &mut Blake3Rng,
+    ) -> Result<bfv::GaloisKeys, HeError> {
+        ctx.galois_keys(keys.secret_key(), steps, rng)
+    }
+
+    // choco-lint: secret (public: ctx, values)
+    fn encrypt(
+        ctx: &BfvContext,
+        keys: &bfv::KeyBundle,
+        values: &[u64],
+        rng: &mut Blake3Rng,
+    ) -> Result<bfv::Ciphertext, HeError> {
+        let pt = ctx.batch_encoder()?.encode(values)?;
+        Ok(ctx.encryptor(keys.public_key()).encrypt(&pt, rng))
+    }
+
+    // choco-lint: secret (public: ctx, ct)
+    fn decrypt(
+        ctx: &BfvContext,
+        keys: &bfv::KeyBundle,
+        ct: &bfv::Ciphertext,
+    ) -> Result<Vec<u64>, HeError> {
+        let pt = ctx.decryptor(keys.secret_key()).decrypt(ct);
+        ctx.batch_encoder()?.decode(&pt)
+    }
+
+    // choco-lint: secret (public: ctx, ct)
+    fn health(ctx: &BfvContext, keys: &bfv::KeyBundle, ct: &bfv::Ciphertext) -> f64 {
+        ctx.decryptor(keys.secret_key()).invariant_noise_budget(ct)
+    }
+
+    fn slot_width(ctx: &BfvContext) -> usize {
+        ctx.degree() / 2
+    }
+
+    fn ct_to_wire(ct: &bfv::Ciphertext) -> Vec<u8> {
+        serialize::ciphertext_to_bytes(ct)
+    }
+
+    fn ct_from_wire(bytes: &[u8]) -> Result<bfv::Ciphertext, HeError> {
+        serialize::ciphertext_from_bytes(bytes)
+    }
+
+    fn ct_bytes(ct: &bfv::Ciphertext) -> usize {
+        ct.byte_size()
+    }
+
+    fn public_key_bytes(pk: &bfv::PublicKey) -> usize {
+        pk.byte_size()
+    }
+
+    fn relin_key_bytes(rk: &bfv::RelinKey) -> usize {
+        rk.size_bytes()
+    }
+
+    fn galois_keys_bytes(gk: &bfv::GaloisKeys) -> usize {
+        gk.size_bytes()
+    }
+
+    fn add(
+        ctx: &BfvContext,
+        a: &bfv::Ciphertext,
+        b: &bfv::Ciphertext,
+    ) -> Result<bfv::Ciphertext, HeError> {
+        ctx.evaluator().add(a, b)
+    }
+
+    fn sub(
+        ctx: &BfvContext,
+        a: &bfv::Ciphertext,
+        b: &bfv::Ciphertext,
+    ) -> Result<bfv::Ciphertext, HeError> {
+        ctx.evaluator().sub(a, b)
+    }
+
+    fn add_plain(
+        ctx: &BfvContext,
+        ct: &bfv::Ciphertext,
+        values: &[u64],
+    ) -> Result<bfv::Ciphertext, HeError> {
+        let pt = ctx.batch_encoder()?.encode(values)?;
+        Ok(ctx.evaluator().add_plain(ct, &pt))
+    }
+
+    fn mul_plain(
+        ctx: &BfvContext,
+        ct: &bfv::Ciphertext,
+        values: &[u64],
+    ) -> Result<bfv::Ciphertext, HeError> {
+        let pt = ctx.batch_encoder()?.encode(values)?;
+        Ok(ctx.evaluator().multiply_plain(ct, &pt))
+    }
+
+    fn rotate(
+        ctx: &BfvContext,
+        ct: &bfv::Ciphertext,
+        step: i64,
+        gk: &bfv::GaloisKeys,
+    ) -> Result<bfv::Ciphertext, HeError> {
+        ctx.evaluator().rotate_rows(ct, step, gk)
+    }
+
+    fn dot_diagonals(
+        ctx: &BfvContext,
+        ct: &bfv::Ciphertext,
+        diagonals: &[(i64, Vec<u64>)],
+        gk: &bfv::GaloisKeys,
+    ) -> Result<bfv::Ciphertext, HeError> {
+        let encoder = ctx.batch_encoder()?;
+        let pairs: Vec<(i64, bfv::Plaintext)> = diagonals
+            .iter()
+            .map(|(shift, diag)| Ok((*shift, encoder.encode(diag)?)))
+            .collect::<Result<_, HeError>>()?;
+        ctx.evaluator().dot_rotations_plain(ct, &pairs, gk)
+    }
+
+    fn quantize(ctx: &BfvContext, values: &[f64], scale_bits: u32, depth: u32) -> Vec<u64> {
+        let t = ctx.plain_modulus();
+        let factor = ((1u64 << scale_bits) as f64).powi(depth as i32);
+        values
+            .iter()
+            .map(|&v| ((v * factor).round() as u64) % t)
+            .collect()
+    }
+
+    fn dequantize(_ctx: &BfvContext, values: &[u64], scale_bits: u32, depth: u32) -> Vec<f64> {
+        let factor = ((1u64 << scale_bits) as f64).powi(depth as i32);
+        values.iter().map(|&v| v as f64 / factor).collect()
+    }
+}
+
+impl HeScheme for Ckks {
+    type Value = f64;
+    type Context = CkksContext;
+    type Ciphertext = ckks::CkksCiphertext;
+    type KeyBundle = ckks::CkksKeyBundle;
+    type PublicKey = ckks::CkksPublicKey;
+    type RelinKey = ckks::CkksRelinKey;
+    type GaloisKeys = ckks::CkksGaloisKeys;
+
+    const SCHEME: SchemeType = SchemeType::Ckks;
+    /// Remaining levels below which a session refreshes.
+    const HEALTH_FLOOR: f64 = 2.0;
+
+    fn context(params: &HeParams) -> Result<CkksContext, HeError> {
+        CkksContext::new(params)
+    }
+
+    // choco-lint: secret
+    fn keygen(ctx: &CkksContext, rng: &mut Blake3Rng) -> ckks::CkksKeyBundle {
+        ctx.keygen(rng)
+    }
+
+    fn public_key(keys: &ckks::CkksKeyBundle) -> &ckks::CkksPublicKey {
+        keys.public_key()
+    }
+
+    // choco-lint: secret (public: ctx)
+    fn relin_key(
+        ctx: &CkksContext,
+        keys: &ckks::CkksKeyBundle,
+        rng: &mut Blake3Rng,
+    ) -> Result<ckks::CkksRelinKey, HeError> {
+        Ok(ctx.relin_key(keys.secret_key(), rng))
+    }
+
+    // choco-lint: secret (public: ctx, steps)
+    fn galois_keys(
+        ctx: &CkksContext,
+        keys: &ckks::CkksKeyBundle,
+        steps: &[i64],
+        rng: &mut Blake3Rng,
+    ) -> Result<ckks::CkksGaloisKeys, HeError> {
+        Ok(ctx.galois_keys(keys.secret_key(), steps, rng))
+    }
+
+    // choco-lint: secret (public: ctx, values)
+    fn encrypt(
+        ctx: &CkksContext,
+        keys: &ckks::CkksKeyBundle,
+        values: &[f64],
+        rng: &mut Blake3Rng,
+    ) -> Result<ckks::CkksCiphertext, HeError> {
+        let pt = ctx.encode(values)?;
+        ctx.encrypt(&pt, keys.public_key(), rng)
+    }
+
+    // choco-lint: secret (public: ctx, ct)
+    fn decrypt(
+        ctx: &CkksContext,
+        keys: &ckks::CkksKeyBundle,
+        ct: &ckks::CkksCiphertext,
+    ) -> Result<Vec<f64>, HeError> {
+        let pt = ctx.decrypt(ct, keys.secret_key());
+        Ok(ctx.decode(&pt))
+    }
+
+    fn health(_ctx: &CkksContext, _keys: &ckks::CkksKeyBundle, ct: &ckks::CkksCiphertext) -> f64 {
+        ct.level() as f64
+    }
+
+    fn slot_width(ctx: &CkksContext) -> usize {
+        ctx.slot_count()
+    }
+
+    fn ct_to_wire(ct: &ckks::CkksCiphertext) -> Vec<u8> {
+        serialize::ckks_ciphertext_to_bytes(ct)
+    }
+
+    fn ct_from_wire(bytes: &[u8]) -> Result<ckks::CkksCiphertext, HeError> {
+        serialize::ckks_ciphertext_from_bytes(bytes)
+    }
+
+    fn ct_bytes(ct: &ckks::CkksCiphertext) -> usize {
+        ct.byte_size()
+    }
+
+    fn public_key_bytes(pk: &ckks::CkksPublicKey) -> usize {
+        pk.byte_size()
+    }
+
+    fn relin_key_bytes(rk: &ckks::CkksRelinKey) -> usize {
+        rk.size_bytes()
+    }
+
+    fn galois_keys_bytes(gk: &ckks::CkksGaloisKeys) -> usize {
+        gk.size_bytes()
+    }
+
+    fn add(
+        ctx: &CkksContext,
+        a: &ckks::CkksCiphertext,
+        b: &ckks::CkksCiphertext,
+    ) -> Result<ckks::CkksCiphertext, HeError> {
+        ctx.add(a, b)
+    }
+
+    fn sub(
+        ctx: &CkksContext,
+        a: &ckks::CkksCiphertext,
+        b: &ckks::CkksCiphertext,
+    ) -> Result<ckks::CkksCiphertext, HeError> {
+        ctx.sub(a, b)
+    }
+
+    fn add_plain(
+        ctx: &CkksContext,
+        ct: &ckks::CkksCiphertext,
+        values: &[f64],
+    ) -> Result<ckks::CkksCiphertext, HeError> {
+        let pt = ctx.encode_at(values, ct.level(), ct.scale())?;
+        ctx.add_plain(ct, &pt)
+    }
+
+    fn mul_plain(
+        ctx: &CkksContext,
+        ct: &ckks::CkksCiphertext,
+        values: &[f64],
+    ) -> Result<ckks::CkksCiphertext, HeError> {
+        let pt = ctx.encode_at(values, ct.level(), ctx.default_scale())?;
+        ctx.rescale(&ctx.multiply_plain(ct, &pt)?)
+    }
+
+    fn rotate(
+        ctx: &CkksContext,
+        ct: &ckks::CkksCiphertext,
+        step: i64,
+        gk: &ckks::CkksGaloisKeys,
+    ) -> Result<ckks::CkksCiphertext, HeError> {
+        ctx.rotate(ct, step, gk)
+    }
+
+    fn dot_diagonals(
+        ctx: &CkksContext,
+        ct: &ckks::CkksCiphertext,
+        diagonals: &[(i64, Vec<f64>)],
+        gk: &ckks::CkksGaloisKeys,
+    ) -> Result<ckks::CkksCiphertext, HeError> {
+        if diagonals.is_empty() {
+            return Err(HeError::Mismatch("dot_diagonals needs terms".into()));
+        }
+        // One hoisted decomposition covers every nonzero shift.
+        let steps: Vec<i64> = diagonals
+            .iter()
+            .map(|(s, _)| *s)
+            .filter(|&s| s != 0)
+            .collect();
+        let rotated = ctx.rotate_many(ct, &steps, gk)?;
+        let mut by_step = rotated.into_iter();
+        let mut acc: Option<ckks::CkksCiphertext> = None;
+        for (shift, diag) in diagonals {
+            let term_ct = if *shift == 0 {
+                ct.clone()
+            } else {
+                by_step
+                    .next()
+                    .ok_or_else(|| HeError::Mismatch("rotation count mismatch".into()))?
+            };
+            let pt = ctx.encode_at(diag, term_ct.level(), ctx.default_scale())?;
+            let term = ctx.multiply_plain(&term_ct, &pt)?;
+            acc = Some(match acc {
+                None => term,
+                Some(a) => ctx.add(&a, &term)?,
+            });
+        }
+        // Checked non-empty above; one rescale for the whole dot.
+        let acc = acc.ok_or_else(|| HeError::Mismatch("dot_diagonals needs terms".into()))?;
+        ctx.rescale(&acc)
+    }
+
+    fn quantize(_ctx: &CkksContext, values: &[f64], _scale_bits: u32, _depth: u32) -> Vec<f64> {
+        values.to_vec()
+    }
+
+    fn dequantize(_ctx: &CkksContext, values: &[f64], _scale_bits: u32, _depth: u32) -> Vec<f64> {
+        values.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Blake3Rng {
+        Blake3Rng::from_seed(b"scheme tests")
+    }
+
+    /// The generic boundary round-trips for any scheme; exactness is
+    /// asserted by each monomorphization below.
+    fn roundtrip<S: HeScheme>(params: &HeParams, values: &[S::Value]) -> Vec<S::Value> {
+        let ctx = S::context(params).unwrap();
+        let mut rng = rng();
+        let keys = S::keygen(&ctx, &mut rng);
+        let ct = S::encrypt(&ctx, &keys, values, &mut rng).unwrap();
+        assert!(S::ct_bytes(&ct) > 0);
+        let wire = S::ct_to_wire(&ct);
+        let back = S::ct_from_wire(&wire).unwrap();
+        S::decrypt(&ctx, &keys, &back).unwrap()
+    }
+
+    #[test]
+    fn bfv_generic_roundtrip_is_exact() {
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 17).unwrap();
+        let values: Vec<u64> = (0..64).collect();
+        let out = roundtrip::<Bfv>(&params, &values);
+        assert_eq!(&out[..64], &values[..]);
+    }
+
+    #[test]
+    fn ckks_generic_roundtrip_is_close() {
+        let params = HeParams::ckks_insecure(1024, &[45, 45, 46], 38).unwrap();
+        let values: Vec<f64> = (0..64).map(|i| i as f64 / 8.0).collect();
+        let out = roundtrip::<Ckks>(&params, &values);
+        for (g, w) in out.iter().zip(&values) {
+            assert!((g - w).abs() < 1e-2, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn generic_dot_diagonals_matches_per_scheme_reference() {
+        // BFV: exact agreement with the rotate/multiply/add chain.
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 20).unwrap();
+        let ctx = Bfv::context(&params).unwrap();
+        let mut r = rng();
+        let keys = Bfv::keygen(&ctx, &mut r);
+        let gks = Bfv::galois_keys(&ctx, &keys, &[1, 2], &mut r).unwrap();
+        let width = Bfv::slot_width(&ctx);
+        let x: Vec<u64> = (0..width as u64).map(|i| i % 31).collect();
+        let ct = Bfv::encrypt(&ctx, &keys, &x, &mut r).unwrap();
+        let diags: Vec<(i64, Vec<u64>)> = vec![
+            (0, vec![2u64; width]),
+            (1, vec![3u64; width]),
+            (2, vec![5u64; width]),
+        ];
+        let got = Bfv::dot_diagonals(&ctx, &ct, &diags, &gks).unwrap();
+        let slots = Bfv::decrypt(&ctx, &keys, &got).unwrap();
+        let t = ctx.plain_modulus();
+        for i in 0..8 {
+            let want = (2 * x[i] + 3 * x[(i + 1) % width] + 5 * x[(i + 2) % width]) % t;
+            assert_eq!(slots[i], want, "slot {i}");
+        }
+
+        // CKKS: close agreement with the plain dot.
+        let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+        let ctx = Ckks::context(&params).unwrap();
+        let mut r = rng();
+        let keys = Ckks::keygen(&ctx, &mut r);
+        let gks = Ckks::galois_keys(&ctx, &keys, &[1, 2], &mut r).unwrap();
+        let width = Ckks::slot_width(&ctx);
+        let x: Vec<f64> = (0..width).map(|i| ((i % 13) as f64) / 13.0).collect();
+        let ct = Ckks::encrypt(&ctx, &keys, &x, &mut r).unwrap();
+        let diags: Vec<(i64, Vec<f64>)> = vec![
+            (0, vec![0.5; width]),
+            (1, vec![-1.0; width]),
+            (2, vec![2.0; width]),
+        ];
+        let got = Ckks::dot_diagonals(&ctx, &ct, &diags, &gks).unwrap();
+        let out = Ckks::decrypt(&ctx, &keys, &got).unwrap();
+        for i in 0..8 {
+            let want = 0.5 * x[i] - x[(i + 1) % width] + 2.0 * x[(i + 2) % width];
+            assert!(
+                (out[i] - want).abs() < 1e-2,
+                "slot {i}: {} vs {want}",
+                out[i]
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_hooks_invert_each_other() {
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 20).unwrap();
+        let ctx = Bfv::context(&params).unwrap();
+        let values = [0.25f64, 0.5, 0.125];
+        let q = Bfv::quantize(&ctx, &values, 8, 1);
+        assert_eq!(q, vec![64, 128, 32]);
+        let back = Bfv::dequantize(&ctx, &q, 8, 1);
+        for (b, v) in back.iter().zip(&values) {
+            assert!((b - v).abs() < 1e-9);
+        }
+        // Depth compounds the scale.
+        let q2 = Bfv::quantize(&ctx, &[0.5], 4, 2);
+        assert_eq!(q2, vec![128]); // 0.5 · 2^(4·2)
+
+        let cparams = HeParams::ckks_insecure(1024, &[45, 45, 46], 38).unwrap();
+        let cctx = Ckks::context(&cparams).unwrap();
+        assert_eq!(Ckks::quantize(&cctx, &values, 8, 3), values.to_vec());
+        assert_eq!(Ckks::dequantize(&cctx, &values, 8, 3), values.to_vec());
+    }
+
+    #[test]
+    fn health_probe_reports_scheme_native_headroom() {
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 20).unwrap();
+        let ctx = Bfv::context(&params).unwrap();
+        let mut r = rng();
+        let keys = Bfv::keygen(&ctx, &mut r);
+        let ct = Bfv::encrypt(&ctx, &keys, &[1; 64], &mut r).unwrap();
+        assert!(Bfv::health(&ctx, &keys, &ct) > Bfv::HEALTH_FLOOR);
+
+        let cparams = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+        let cctx = Ckks::context(&cparams).unwrap();
+        let mut r = rng();
+        let ckeys = Ckks::keygen(&cctx, &mut r);
+        let cct = Ckks::encrypt(&cctx, &ckeys, &[1.0; 64], &mut r).unwrap();
+        assert_eq!(Ckks::health(&cctx, &ckeys, &cct), cctx.top_level() as f64);
+        let dropped = Ckks::mul_plain(&cctx, &cct, &vec![1.0; 64]).unwrap();
+        assert_eq!(
+            Ckks::health(&cctx, &ckeys, &dropped),
+            (cctx.top_level() - 1) as f64
+        );
+    }
+}

@@ -6,12 +6,13 @@
 //! cargo run --release --example dnn_inference
 //! ```
 
-use choco::protocol::{BfvClient, CommLedger};
+use choco::transport::Session;
 use choco_apps::dnn::{
     client_aided_plan, conv2d_plain_circular, conv_rotation_steps, run_encrypted_conv_layer,
     Network,
 };
 use choco_he::params::HeParams;
+use choco_he::Bfv;
 use choco_taco::config::AcceleratorConfig;
 use choco_taco::model::{decryption_profile, encryption_profile};
 
@@ -20,10 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (h, w, f, in_ch, out_ch) = (8usize, 8usize, 3usize, 4usize, 2usize);
     println!("encrypted conv: {in_ch}→{out_ch} channels, {h}x{w} maps, {f}x{f} filter");
     let params = HeParams::set_b();
-    let mut client = BfvClient::new(&params, b"dnn example")?;
     let steps = conv_rotation_steps(in_ch, h, w, f);
-    let server = client.provision_server(&steps)?;
-    let mut ledger = CommLedger::new();
+    let mut session = Session::<Bfv>::direct(&params, b"dnn example", &steps)?;
 
     // Seeded 4-bit image and weights.
     let image: Vec<Vec<u64>> = (0..in_ch)
@@ -37,11 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    let maps =
-        run_encrypted_conv_layer(&mut client, &server, &mut ledger, &image, &weights, h, w, f)?;
-    let reference =
-        conv2d_plain_circular(&image, &weights, h, w, f, client.context().plain_modulus());
+    let maps = run_encrypted_conv_layer(&mut session, &image, &weights, h, w, f)?;
+    let plain_t = session.server().context().plain_modulus();
+    let reference = conv2d_plain_circular(&image, &weights, h, w, f, plain_t);
     assert_eq!(maps, reference, "encrypted conv must match the reference");
+    let (client, _server, ledger) = session.into_parts();
     println!(
         "  ✓ matches plaintext reference; {:.2} MB communicated, {} enc / {} dec ops",
         ledger.total_mib(),

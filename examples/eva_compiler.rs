@@ -10,6 +10,7 @@
 use choco::compiler::{compile, optimize, CompilerOptions, Program};
 use choco_he::ckks::CkksContext;
 use choco_he::params::HeParams;
+use choco_he::Ckks;
 use choco_prng::Blake3Rng;
 use std::collections::HashMap;
 
@@ -79,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "x".to_string(),
         ctx.encrypt(&pt, keys.public_key(), &mut rng)?,
     );
-    let out_ct = compiled.execute_encrypted(&ctx, &enc_inputs, &relin, &galois)?;
+    let out_ct = compiled.execute_encrypted::<Ckks>(&ctx, &enc_inputs, &relin, &galois)?;
     let got = ctx.decode(&ctx.decrypt(&out_ct[0], keys.secret_key()));
 
     println!("\nslot | encrypted | plaintext reference");

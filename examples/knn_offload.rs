@@ -6,11 +6,12 @@
 //! cargo run --release --example knn_offload
 //! ```
 
-use choco::protocol::CkksClient;
+use choco::transport::Session;
 use choco_apps::distance::{
     distance_rotation_steps, distances_plain, encrypted_distances, knn_classify, PackingVariant,
 };
 use choco_he::params::HeParams;
+use choco_he::Ckks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two Gaussian-ish clusters with labels 0 / 1; the query sits in
@@ -33,10 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let expected = distances_plain(&query, &points);
 
     for variant in PackingVariant::all() {
-        let mut client = CkksClient::new(&params, b"knn example")?;
-        let steps = distance_rotation_steps(dims, points.len(), client.context().slot_count());
-        let server = client.provision_server(&steps);
-        let res = encrypted_distances(variant, &mut client, &server, &query, &points)?;
+        let steps = distance_rotation_steps(dims, points.len(), params.slot_count());
+        let mut session = Session::<Ckks>::direct(&params, b"knn example", &steps)?;
+        let res = encrypted_distances(variant, &mut session, &query, &points)?;
         let label = knn_classify(&res.distances, &labels, 3);
         let max_err = res
             .distances

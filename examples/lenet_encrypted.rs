@@ -7,6 +7,7 @@
 //! cargo run --release --example lenet_encrypted
 //! ```
 
+use choco::transport::LinkConfig;
 use choco_apps::pipeline::{run_encrypted, run_plain, seeded_weights, LenetLikeSpec};
 use choco_he::bfv::BfvContext;
 use choco_he::params::HeParams;
@@ -33,7 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let params = HeParams::set_b(); // Table 3 set B, 128-bit security
     let start = Instant::now();
-    let run = run_encrypted(&spec, &weights, &image, &params, b"lenet demo")?;
+    let run = run_encrypted(
+        &spec,
+        &weights,
+        &image,
+        &params,
+        b"lenet demo",
+        LinkConfig::direct(),
+    )?;
     let elapsed = start.elapsed();
 
     let t = BfvContext::new(&params)?.plain_modulus();

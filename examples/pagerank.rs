@@ -6,8 +6,10 @@
 //! cargo run --release --example pagerank
 //! ```
 
-use choco_apps::pagerank::{pagerank_comm_model, pagerank_encrypted_bfv, pagerank_plain, Graph};
+use choco::transport::LinkConfig;
+use choco_apps::pagerank::{pagerank_comm_model, pagerank_encrypted, pagerank_plain, Graph};
 use choco_he::params::{HeParams, SchemeType};
+use choco_he::Bfv;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small web graph: 0 and 2 form a hub pair; 3 is a dangling page.
@@ -26,7 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("plaintext ranks: {reference:?}");
 
     let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24)?;
-    let enc = pagerank_encrypted_bfv(&graph, damping, iterations, 1, &params, 10)?;
+    let enc = pagerank_encrypted::<Bfv>(
+        &graph,
+        damping,
+        iterations,
+        1,
+        &params,
+        10,
+        LinkConfig::direct(),
+    )?;
     println!("encrypted ranks: {:?}", enc.ranks);
     let max_err = enc
         .ranks

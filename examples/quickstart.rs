@@ -8,9 +8,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use choco::protocol::{download, upload, BfvClient, CommLedger};
+use choco::protocol::{download, upload, Client, CommLedger};
 use choco::rotation::{windowed_rotate_redundant, RedundantLayout};
 use choco_he::params::HeParams;
+use choco_he::Bfv;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Paper parameter set B: N = 4096, {36,36,37}, 18-bit t — 128 KiB
@@ -23,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The trusted client owns the keys; the server gets public material.
-    let mut client = BfvClient::new(&params, b"quickstart seed")?;
+    let mut client = Client::<Bfv>::new(&params, b"quickstart seed")?;
     let server = client.provision_server(&[1, 2, -1, -2])?;
     let mut ledger = CommLedger::new();
 
@@ -35,12 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fresh noise budget: {:.0} bits", client.noise_budget(&ct));
 
     // Offload: the server shifts the window by +2 and doubles it.
-    let at_server = upload(&mut ledger, &ct);
+    let at_server = upload::<Bfv>(&mut ledger, &ct);
     let ctx = server.context();
     let rotated = windowed_rotate_redundant(ctx, &at_server, &layout, 2, server.galois_keys())?;
     let two = server.encode(&vec![2u64; ctx.degree() / 2])?;
     let doubled = ctx.evaluator().multiply_plain(&rotated, &two);
-    let reply = download(&mut ledger, &doubled);
+    let reply = download::<Bfv>(&mut ledger, &doubled);
     ledger.end_round();
 
     // Client decrypts and unpacks the window of interest.

@@ -11,7 +11,7 @@
 //! ```
 
 use choco::transport::{FaultPlan, FaultyChannel, LinkConfig, RetryPolicy};
-use choco_apps::pipeline::{run_encrypted, run_encrypted_resilient, seeded_weights, LenetLikeSpec};
+use choco_apps::pipeline::{run_encrypted, seeded_weights, LenetLikeSpec};
 use choco_he::params::HeParams;
 
 fn main() {
@@ -23,7 +23,15 @@ fn main() {
     let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).unwrap();
 
     println!("== fault-free baseline ==");
-    let base = run_encrypted(&spec, &weights, &image, &params, b"demo").unwrap();
+    let base = run_encrypted(
+        &spec,
+        &weights,
+        &image,
+        &params,
+        b"demo",
+        LinkConfig::direct(),
+    )
+    .unwrap();
     println!("logits: {:?}  -> class {}", base.logits, base.class);
     println!(
         "upload {} B, download {} B, rounds {}",
@@ -41,7 +49,7 @@ fn main() {
             ..RetryPolicy::default()
         },
     };
-    let faulty = run_encrypted_resilient(&spec, &weights, &image, &params, b"demo", link).unwrap();
+    let faulty = run_encrypted(&spec, &weights, &image, &params, b"demo", link).unwrap();
     println!("logits: {:?}  -> class {}", faulty.logits, faulty.class);
     println!(
         "upload {} B, download {} B, rounds {} (unchanged: Figure-10 comparable)",

@@ -4,7 +4,8 @@
 //! consistency.
 
 use choco::params::{select_bfv_params, WorkloadProfile};
-use choco::protocol::{BfvClient, CkksClient, CommLedger};
+use choco::protocol::Client;
+use choco::transport::{LinkConfig, Session};
 use choco_apps::distance::{
     distance_rotation_steps, distances_plain, encrypted_distances, knn_classify, PackingVariant,
 };
@@ -12,8 +13,9 @@ use choco_apps::dnn::{
     client_aided_plan, conv2d_plain_circular, conv_rotation_steps, run_encrypted_conv_layer,
     Network,
 };
-use choco_apps::pagerank::{pagerank_encrypted_bfv, pagerank_plain, Graph};
+use choco_apps::pagerank::{pagerank_encrypted, pagerank_plain, Graph};
 use choco_he::params::HeParams;
+use choco_he::{Bfv, Ckks};
 use choco_taco::baseline::sw_encryption_time;
 use choco_taco::config::AcceleratorConfig;
 use choco_taco::dse::{explore, select_operating_point};
@@ -23,11 +25,9 @@ use choco_taco::model::{decryption_profile, encryption_profile};
 #[test]
 fn client_aided_conv_layer_through_the_whole_stack() {
     let params = HeParams::bfv_insecure(2048, &[45, 45, 46], 18).unwrap();
-    let mut client = BfvClient::new(&params, b"integration conv").unwrap();
     let (h, w, f, in_ch, out_ch) = (5usize, 5usize, 3usize, 4usize, 3usize);
     let steps = conv_rotation_steps(in_ch, h, w, f);
-    let server = client.provision_server(&steps).unwrap();
-    let mut ledger = CommLedger::new();
+    let mut session = Session::<Bfv>::direct(&params, b"integration conv", &steps).unwrap();
 
     let image: Vec<Vec<u64>> = (0..in_ch)
         .map(|c| (0..h * w).map(|i| ((i * 3 + c * 5) % 16) as u64).collect())
@@ -40,12 +40,12 @@ fn client_aided_conv_layer_through_the_whole_stack() {
         })
         .collect();
 
-    let got =
-        run_encrypted_conv_layer(&mut client, &server, &mut ledger, &image, &weights, h, w, f)
-            .unwrap();
-    let want = conv2d_plain_circular(&image, &weights, h, w, f, client.context().plain_modulus());
+    let got = run_encrypted_conv_layer(&mut session, &image, &weights, h, w, f).unwrap();
+    let plain_t = session.server().context().plain_modulus();
+    let want = conv2d_plain_circular(&image, &weights, h, w, f, plain_t);
     assert_eq!(got, want);
     // Accounting: one upload, one download per output channel.
+    let ledger = session.ledger();
     assert_eq!(ledger.uploads, 1);
     assert_eq!(ledger.downloads, out_ch as u32);
     assert_eq!(
@@ -66,10 +66,9 @@ fn knn_classification_over_encrypted_distances() {
     let labels = vec![7usize, 7, 9, 9];
     let query = vec![2.9, 3.0, 3.1, 3.0];
     for variant in PackingVariant::all() {
-        let mut client = CkksClient::new(&params, b"integration knn").unwrap();
-        let steps = distance_rotation_steps(4, points.len(), client.context().slot_count());
-        let server = client.provision_server(&steps);
-        let res = encrypted_distances(variant, &mut client, &server, &query, &points).unwrap();
+        let steps = distance_rotation_steps(4, points.len(), params.slot_count());
+        let mut session = Session::<Ckks>::direct(&params, b"integration knn", &steps).unwrap();
+        let res = encrypted_distances(variant, &mut session, &query, &points).unwrap();
         assert_eq!(
             knn_classify(&res.distances, &labels, 3),
             9,
@@ -87,7 +86,8 @@ fn knn_classification_over_encrypted_distances() {
 fn encrypted_pagerank_matches_reference_with_refresh() {
     let graph = Graph::from_adjacency(&[vec![1], vec![2, 3], vec![0], vec![0, 2], vec![1, 2]]);
     let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).unwrap();
-    let enc = pagerank_encrypted_bfv(&graph, 0.85, 10, 1, &params, 10).unwrap();
+    let enc =
+        pagerank_encrypted::<Bfv>(&graph, 0.85, 10, 1, &params, 10, LinkConfig::direct()).unwrap();
     let plain = pagerank_plain(&graph, 0.85, 10);
     for (e, p) in enc.ranks.iter().zip(&plain) {
         assert!((e - p).abs() < 0.02, "{e} vs {p}");
@@ -178,7 +178,7 @@ fn communication_shrinks_with_choco_parameters() {
 #[test]
 fn provisioning_traffic_is_accounted_and_amortizable() {
     let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).unwrap();
-    let mut client = BfvClient::new(&params, b"provision").unwrap();
+    let mut client = Client::<Bfv>::new(&params, b"provision").unwrap();
     let server = client.provision_server(&[1, 2, 4]).unwrap();
     let bytes = server.provisioning_bytes();
     // pk (2 polys) + relin (2 digits × 2 polys × 3 residues) + 4 galois keys
