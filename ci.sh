@@ -21,6 +21,15 @@ echo "==> parallel/sequential equivalence suite (CHOCO_THREADS=4)"
 CHOCO_THREADS=4 cargo test -q -p choco-math --test prop_math
 CHOCO_THREADS=4 cargo test -q -p choco-he --test prop_he
 
+echo "==> chaos soak: crash-point sweep under both thread counts"
+# The seeded kill/checkpoint-resume matrix (crates/apps/tests/chaos_sweep.rs):
+# every crash point must replay to a bit-identical final ciphertext with
+# primary ledger lines matching the uninterrupted run. Runs under both
+# worker-pool configurations to catch scheduling-dependent state leaking
+# into checkpoints.
+CHOCO_THREADS=1 cargo test -q -p choco-apps --test chaos_sweep
+CHOCO_THREADS=4 cargo test -q -p choco-apps --test chaos_sweep
+
 echo "==> kernel bench reporter (smoke mode + generic-core overhead gate)"
 # Besides the kernel timings, bench_kernels asserts that the scheme-generic
 # HeScheme::dot_diagonals path stays within noise (< 1.25x) of a

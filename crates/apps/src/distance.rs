@@ -22,7 +22,7 @@
 use choco::protocol::{CommLedger, Server};
 use choco::transport::{Channel, Session, TransportError};
 use choco_he::ckks::CkksCiphertext;
-use choco_he::{Ckks, HeError};
+use choco_he::{Ckks, HeError, HeScheme};
 
 /// Packing variants of Figure 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +76,9 @@ pub struct DistanceResult {
     pub decryptions: u64,
     /// Homomorphic operation count on the server (rough server-cost proxy).
     pub server_ops: u64,
+    /// Serialized reply ciphertext as delivered — the bit-identity witness
+    /// resumable drivers store in their checkpoint progress.
+    pub reply_wire: Vec<u8>,
 }
 
 fn block_stride(dims: usize) -> usize {
@@ -147,6 +150,7 @@ fn ledger_delta(after: &CommLedger, before: &CommLedger) -> CommLedger {
         rounds: after.rounds - before.rounds,
         retransmit_bytes: after.retransmit_bytes - before.retransmit_bytes,
         refresh_rounds: after.refresh_rounds - before.refresh_rounds,
+        recovery_bytes: after.recovery_bytes - before.recovery_bytes,
     }
 }
 
@@ -277,6 +281,7 @@ fn point_major<C: Channel>(
         encryptions: session.client_mut().encryption_count(),
         decryptions: session.client_mut().decryption_count(),
         server_ops,
+        reply_wire: Ckks::ct_to_wire(&back),
     })
 }
 
@@ -389,6 +394,7 @@ fn dimension_major<C: Channel>(
         encryptions: session.client_mut().encryption_count(),
         decryptions: session.client_mut().decryption_count(),
         server_ops,
+        reply_wire: Ckks::ct_to_wire(&back),
     })
 }
 

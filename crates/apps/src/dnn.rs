@@ -814,7 +814,12 @@ pub fn run_encrypted_conv_layer<C: Channel>(
 
 /// Filter taps for one output channel: per-tap shift plus the per-input-
 /// channel weight vector.
-fn conv_taps(out_weights: &[Vec<u64>], in_ch: usize, f: usize, w: usize) -> Vec<ConvTap> {
+pub(crate) fn conv_taps(
+    out_weights: &[Vec<u64>],
+    in_ch: usize,
+    f: usize,
+    w: usize,
+) -> Vec<ConvTap> {
     let pad = f / 2;
     let mut taps = Vec::with_capacity(f * f);
     for dy in 0..f {

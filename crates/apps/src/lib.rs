@@ -32,3 +32,4 @@ pub mod dnn;
 pub mod pagerank;
 pub mod pipeline;
 pub mod protocols;
+pub mod resumable;

@@ -86,7 +86,7 @@ pub struct EncryptedPageRank {
 
 /// Rotation steps the PageRank kernels need: diagonal shifts plus the
 /// replication shift for multi-iteration bursts.
-fn pagerank_rotation_steps(n: usize) -> Vec<i64> {
+pub fn pagerank_rotation_steps(n: usize) -> Vec<i64> {
     let mut steps: Vec<i64> = (1..n as i64).collect();
     steps.push(-(n as i64));
     steps

@@ -110,8 +110,9 @@ pub struct PipelineRun {
 }
 
 /// All rotation steps any pipeline stage needs, provisioned once (offline
-/// setup).
-fn all_rotation_steps(spec: &LenetLikeSpec, row: usize) -> Vec<i64> {
+/// setup). Public so resumable drivers and chaos harnesses can provision a
+/// session before stepping the pipeline through it.
+pub fn all_rotation_steps(spec: &LenetLikeSpec, row: usize) -> Vec<i64> {
     let p1 = spec.img / 2;
     let mut steps = conv_rotation_steps(1, spec.img, spec.img, spec.filter);
     steps.extend(conv_rotation_steps(spec.conv1_ch, p1, p1, spec.filter));

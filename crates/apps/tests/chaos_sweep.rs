@@ -1,0 +1,308 @@
+//! Crash-point chaos sweep: kill → checkpoint-resume → bit-identical.
+//!
+//! For every resumable workload, this harness first runs the workload
+//! uninterrupted and records (a) the serialized final result ciphertext
+//! and (b) the communication ledger. It then replays the workload once per
+//! crash point — the first and last occurrence of every session operation
+//! the baseline performed (upload, download, refresh, compute) — arming a
+//! deterministic [`CrashPlan`] each time. When the simulated crash fires,
+//! the harness rebuilds the session from the last durable checkpoint with
+//! [`Session::resume`], restores the workload driver from the progress
+//! blob the checkpoint carried, runs its recovery hook, and continues.
+//!
+//! The acceptance bar, per crash point:
+//!
+//! * the final result ciphertext is **bit-identical** to the uninterrupted
+//!   run's (the client RNG and all payloads replay exactly);
+//! * every *primary* ledger line (upload/download bytes and counts,
+//!   rounds, refresh rounds) matches the uninterrupted run — recovery
+//!   traffic appears only in `recovery_bytes` (and, on faulty links,
+//!   `retransmit_bytes`);
+//! * the uninterrupted run bills zero recovery bytes, every crashed run
+//!   bills more than zero.
+
+use choco::protocol::CommLedger;
+use choco::transport::{
+    Channel, CrashOp, CrashPlan, DirectChannel, FaultPlan, FaultyChannel, RetryPolicy, Session,
+    TransportError,
+};
+use choco_apps::distance::{distance_rotation_steps, PackingVariant};
+use choco_apps::pagerank::{pagerank_rotation_steps, Graph};
+use choco_apps::pipeline::{all_rotation_steps, seeded_weights, LenetLikeSpec};
+use choco_apps::resumable::{
+    ResumableConvLayer, ResumableKmeans, ResumablePagerank, ResumablePipeline, ResumableWorkload,
+};
+use choco_he::params::HeParams;
+use choco_he::{Bfv, Ckks, HeScheme};
+
+const OPS: [CrashOp; 4] = [
+    CrashOp::Upload,
+    CrashOp::Download,
+    CrashOp::Refresh,
+    CrashOp::Compute,
+];
+
+fn assert_primary_lines_match(label: &str, base: &CommLedger, got: &CommLedger) {
+    assert_eq!(got.upload_bytes, base.upload_bytes, "{label}: upload_bytes");
+    assert_eq!(
+        got.download_bytes, base.download_bytes,
+        "{label}: download_bytes"
+    );
+    assert_eq!(got.uploads, base.uploads, "{label}: uploads");
+    assert_eq!(got.downloads, base.downloads, "{label}: downloads");
+    assert_eq!(got.rounds, base.rounds, "{label}: rounds");
+    assert_eq!(
+        got.refresh_rounds, base.refresh_rounds,
+        "{label}: refresh_rounds"
+    );
+}
+
+/// Runs one workload through the full kill → resume → compare sweep.
+///
+/// `make_session` builds the session a fresh run starts from (the same
+/// construction for baseline and crashed runs); `resume_channel` builds
+/// one fresh post-crash channel per direction; `restore` rebuilds the
+/// workload driver from a checkpointed progress blob; `recover` is the
+/// workload's post-resume hook (re-upload of server-resident state).
+#[allow(clippy::too_many_arguments)]
+fn sweep<S, C, W>(
+    label: &str,
+    make_session: impl Fn() -> Session<S, C>,
+    resume_channel: impl Fn(&'static str) -> C,
+    make_workload: impl Fn() -> W,
+    restore: impl Fn(&[u8]) -> Result<W, TransportError>,
+    mut step: impl FnMut(&mut W, &mut Session<S, C>) -> Result<(), TransportError>,
+    mut recover: impl FnMut(&mut W, &mut Session<S, C>) -> Result<(), TransportError>,
+) where
+    S: HeScheme,
+    C: Channel,
+    W: ResumableWorkload,
+{
+    // Uninterrupted baseline.
+    let mut session = make_session();
+    let mut w = make_workload();
+    while !w.is_done() {
+        step(&mut w, &mut session).unwrap_or_else(|e| panic!("{label}: baseline step: {e}"));
+    }
+    let base_wire = w.final_ct_wire().to_vec();
+    assert!(
+        !base_wire.is_empty(),
+        "{label}: baseline produced no result ciphertext"
+    );
+    let base_ledger = *session.ledger();
+    assert_eq!(
+        base_ledger.recovery_bytes, 0,
+        "{label}: uninterrupted run billed recovery bytes"
+    );
+    let counts: Vec<(CrashOp, u32)> = OPS
+        .iter()
+        .map(|&op| (op, session.op_count(op)))
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    assert!(
+        !counts.is_empty(),
+        "{label}: baseline performed no session ops"
+    );
+
+    let mut exercised = 0u32;
+    for &(op, count) in &counts {
+        let mut nths = vec![1];
+        if count > 1 {
+            nths.push(count);
+        }
+        for nth in nths {
+            let point = format!("{label} {op:?} #{nth}/{count}");
+            let mut session = make_session();
+            session.arm_crash(CrashPlan { op, nth });
+            let mut w = make_workload();
+            let mut ckpt = session.checkpoint(&w.progress());
+            let mut crashes = 0u32;
+            loop {
+                match step(&mut w, &mut session) {
+                    Ok(()) => {
+                        if w.is_done() {
+                            break;
+                        }
+                        ckpt = session.checkpoint(&w.progress());
+                    }
+                    Err(TransportError::Crashed { .. }) => {
+                        crashes += 1;
+                        assert_eq!(crashes, 1, "{point}: crash fired more than once");
+                        let (resumed, progress) =
+                            Session::resume(&ckpt, resume_channel("up"), resume_channel("down"))
+                                .unwrap_or_else(|e| panic!("{point}: resume: {e}"));
+                        session = resumed;
+                        w = restore(&progress).unwrap_or_else(|e| panic!("{point}: restore: {e}"));
+                        recover(&mut w, &mut session)
+                            .unwrap_or_else(|e| panic!("{point}: recover: {e}"));
+                    }
+                    Err(e) => panic!("{point}: unexpected error: {e}"),
+                }
+            }
+            assert_eq!(crashes, 1, "{point}: armed crash never fired");
+            assert_eq!(
+                w.final_ct_wire(),
+                &base_wire[..],
+                "{point}: final ciphertext differs from the uninterrupted run"
+            );
+            assert_primary_lines_match(&point, &base_ledger, session.ledger());
+            assert!(
+                session.ledger().recovery_bytes > 0,
+                "{point}: crashed run billed no recovery bytes"
+            );
+            exercised += 1;
+        }
+    }
+    assert!(exercised > 0, "{label}: no crash point exercised");
+}
+
+fn chaos_graph() -> Graph {
+    Graph::from_adjacency(&[vec![1, 2], vec![2], vec![0], vec![0, 2]])
+}
+
+fn pagerank_sweep_over<S: HeScheme>(label: &str, params: &HeParams, burst: u32, scale_bits: u32) {
+    let g = chaos_graph();
+    let steps = pagerank_rotation_steps(g.len());
+    sweep(
+        label,
+        || Session::<S>::direct(params, b"chaos-pagerank", &steps).unwrap(),
+        |_| Box::new(DirectChannel::new()) as Box<dyn Channel>,
+        || ResumablePagerank::<S>::new(&g, 0.85, 4, burst, scale_bits).unwrap(),
+        |progress| ResumablePagerank::<S>::restore(&g, 0.85, 4, burst, scale_bits, progress),
+        |w, s| w.step(s),
+        |_, _| Ok(()),
+    );
+}
+
+#[test]
+fn chaos_pagerank_bfv() {
+    let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).unwrap();
+    pagerank_sweep_over::<Bfv>("pagerank/bfv", &params, 2, 10);
+}
+
+#[test]
+fn chaos_pagerank_ckks() {
+    let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+    pagerank_sweep_over::<Ckks>("pagerank/ckks", &params, 1, 0);
+}
+
+/// PageRank over lossy links: drops, duplicates, and latency on both
+/// directions, for the baseline, the crashed runs, *and* the fresh
+/// channels each resume reconnects over. Primary ledger lines must still
+/// match exactly; only `retransmit_bytes` (fault-RNG draws shift across a
+/// reconnect) and `recovery_bytes` may differ.
+#[test]
+fn chaos_pagerank_bfv_over_faulty_links() {
+    let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).unwrap();
+    let g = chaos_graph();
+    let steps = pagerank_rotation_steps(g.len());
+    let plan = FaultPlan::default()
+        .with_drop_rate(0.15)
+        .with_duplicate_rate(0.2)
+        .with_max_latency_ms(5);
+    let policy = RetryPolicy {
+        max_attempts: 16,
+        base_backoff_ms: 1,
+        max_backoff_ms: 64,
+        round_timeout_ms: 1_000_000,
+    };
+    sweep(
+        "pagerank/bfv/faulty",
+        || {
+            Session::<Bfv, FaultyChannel>::over(
+                &params,
+                b"chaos-pagerank",
+                &steps,
+                FaultyChannel::new(b"chaos-up", plan),
+                FaultyChannel::new(b"chaos-down", plan),
+                policy,
+            )
+            .unwrap()
+        },
+        |dir| FaultyChannel::new(dir.as_bytes(), plan),
+        || ResumablePagerank::<Bfv>::new(&g, 0.85, 4, 2, 10).unwrap(),
+        |progress| ResumablePagerank::<Bfv>::restore(&g, 0.85, 4, 2, 10, progress),
+        |w, s| w.step(s),
+        |_, _| Ok(()),
+    );
+}
+
+/// The conv layer keeps its input ciphertext resident on the server across
+/// steps, so this sweep is the one that exercises the recovery re-upload
+/// path. The refresh floor is forced sky-high so every guard triggers a
+/// refresh round, putting `CrashOp::Refresh` points on the map too.
+#[test]
+fn chaos_conv_layer_bfv_with_forced_refreshes() {
+    let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).unwrap();
+    let input: Vec<Vec<u64>> = vec![(0..64).map(|i| (i * 5 + 1) % 16).collect()];
+    let weights: Vec<Vec<Vec<u64>>> = (0..2)
+        .map(|c| vec![(0..9).map(|i| ((i + c * 3) % 16) as u64).collect()])
+        .collect();
+    let steps = choco_apps::dnn::conv_rotation_steps(1, 8, 8, 3);
+    sweep(
+        "conv/bfv",
+        || {
+            Session::<Bfv>::direct(&params, b"chaos-conv", &steps)
+                .unwrap()
+                .with_refresh_floor(10_000.0)
+        },
+        |_| Box::new(DirectChannel::new()) as Box<dyn Channel>,
+        || ResumableConvLayer::new(&input, &weights, 8, 8, 3).unwrap(),
+        |progress| ResumableConvLayer::restore(&input, &weights, 8, 8, 3, progress),
+        |w, s| w.step(s),
+        |w, s| w.recover(s),
+    );
+}
+
+#[test]
+fn chaos_pipeline_bfv() {
+    let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).unwrap();
+    let spec = LenetLikeSpec::tiny();
+    let weights = seeded_weights(&spec, b"chaos-pipe");
+    let image: Vec<u64> = (0..spec.img * spec.img)
+        .map(|i| ((i * 7 + 3) % 16) as u64)
+        .collect();
+    let steps = all_rotation_steps(&spec, params.degree() / 2);
+    sweep(
+        "pipeline/bfv",
+        || Session::<Bfv>::direct(&params, b"chaos-pipe", &steps).unwrap(),
+        |_| Box::new(DirectChannel::new()) as Box<dyn Channel>,
+        || ResumablePipeline::new(&spec, &weights, &image).unwrap(),
+        |progress| ResumablePipeline::restore(&spec, &weights, &image, progress),
+        |w, s| w.step(s),
+        |_, _| Ok(()),
+    );
+}
+
+#[test]
+fn chaos_kmeans_ckks() {
+    let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).unwrap();
+    let points = vec![
+        vec![0.0, 0.1, 0.0, 0.0],
+        vec![0.1, 0.0, 0.1, 0.1],
+        vec![0.05, 0.05, 0.0, 0.1],
+        vec![2.0, 2.1, 2.0, 1.9],
+        vec![2.1, 2.0, 1.9, 2.0],
+        vec![1.9, 1.9, 2.1, 2.1],
+    ];
+    let init = vec![vec![0.5; 4], vec![1.5; 4]];
+    let steps = distance_rotation_steps(4, points.len(), 512);
+    sweep(
+        "kmeans/ckks",
+        || Session::<Ckks>::direct(&params, b"chaos-kmeans", &steps).unwrap(),
+        |_| Box::new(DirectChannel::new()) as Box<dyn Channel>,
+        || ResumableKmeans::new(PackingVariant::DimensionMajor, &points, &init, 2, 1e-6).unwrap(),
+        |progress| {
+            ResumableKmeans::restore(
+                PackingVariant::DimensionMajor,
+                &points,
+                &init,
+                2,
+                1e-6,
+                progress,
+            )
+        },
+        |w, s| w.step(s),
+        |_, _| Ok(()),
+    );
+}

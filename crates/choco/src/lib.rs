@@ -56,6 +56,3 @@ pub use protocol::{Client, CommLedger, Server};
 pub use rotation::RedundantLayout;
 pub use stacking::StackedLayout;
 pub use transport::Session;
-
-#[allow(deprecated)]
-pub use protocol::{BfvClient, BfvServer};

@@ -10,8 +10,7 @@
 //! The roles are [`Client<S>`] and [`Server<S>`] for any
 //! [`HeScheme`](choco_he::HeScheme) — `Client<Bfv>` for the exact integer
 //! workloads, `Client<Ckks>` for the approximate ones. Workloads written
-//! against the generic surface run under either scheme; the old per-scheme
-//! names survive as deprecated aliases.
+//! against the generic surface run under either scheme.
 //!
 //! Every byte that crosses the link is recorded in a [`CommLedger`] — the
 //! quantity Figures 10, 11, 13 and 14 report — and the client counts its
@@ -45,6 +44,11 @@ pub struct CommLedger {
     /// watchdog (download → decrypt → re-encrypt → upload). The refresh
     /// traffic itself is billed to the regular byte counters.
     pub refresh_rounds: u32,
+    /// Extra wire bytes spent recovering from a crash: the reconnect
+    /// handshake plus any state re-uploaded after a resume. Kept separate
+    /// from `upload_bytes` so a crash-interrupted run stays point-comparable
+    /// to its uninterrupted twin.
+    pub recovery_bytes: u64,
 }
 
 impl CommLedger {
@@ -81,6 +85,12 @@ impl CommLedger {
         self.refresh_rounds += 1;
     }
 
+    /// Records `bytes` of crash-recovery traffic (reconnect handshake and
+    /// state re-uploads after a resume).
+    pub fn record_recovery(&mut self, bytes: usize) {
+        self.recovery_bytes += bytes as u64;
+    }
+
     /// Total bytes both ways.
     pub fn total_bytes(&self) -> u64 {
         self.upload_bytes + self.download_bytes
@@ -100,6 +110,7 @@ impl CommLedger {
         self.rounds += other.rounds;
         self.retransmit_bytes += other.retransmit_bytes;
         self.refresh_rounds += other.refresh_rounds;
+        self.recovery_bytes += other.recovery_bytes;
     }
 }
 
@@ -203,6 +214,37 @@ impl<S: HeScheme> Client<S> {
     /// Number of decryptions performed so far.
     pub fn decryption_count(&self) -> u64 {
         self.dec_ops
+    }
+
+    /// Rebuilds a client from checkpointed parts. The caller is responsible
+    /// for fast-forwarding `rng` to the checkpointed draw offset.
+    // choco-lint: secret (public: ctx)
+    pub(crate) fn from_parts(
+        ctx: S::Context,
+        keys: S::KeyBundle,
+        rng: Blake3Rng,
+        enc_ops: u64,
+        dec_ops: u64,
+    ) -> Self {
+        Client {
+            ctx,
+            keys,
+            rng,
+            enc_ops,
+            dec_ops,
+        }
+    }
+
+    /// The client's key bundle (checkpoint serialization only).
+    // choco-lint: secret
+    pub(crate) fn keys(&self) -> &S::KeyBundle {
+        &self.keys
+    }
+
+    /// Bytes drawn from the client RNG so far — together with the session
+    /// seed this pins the RNG state for exact resume.
+    pub(crate) fn rng_bytes_drawn(&self) -> u64 {
+        self.rng.bytes_drawn()
     }
 }
 
@@ -395,6 +437,21 @@ impl<S: HeScheme> Server<S> {
     ) -> Result<S::Ciphertext, HeError> {
         S::dot_diagonals(&self.ctx, ct, diagonals, &self.galois)
     }
+
+    /// Rebuilds a server from checkpointed evaluation-key material.
+    pub(crate) fn from_parts(
+        ctx: S::Context,
+        public: S::PublicKey,
+        relin: S::RelinKey,
+        galois: S::GaloisKeys,
+    ) -> Self {
+        Server {
+            ctx,
+            public,
+            relin,
+            galois,
+        }
+    }
 }
 
 impl Server<Bfv> {
@@ -429,22 +486,6 @@ impl Server<Ckks> {
         self.ctx.encode_at(values, level, scale)
     }
 }
-
-/// The BFV client role.
-#[deprecated(since = "0.4.0", note = "use the scheme-generic `Client<Bfv>`")]
-pub type BfvClient = Client<Bfv>;
-
-/// The BFV server role.
-#[deprecated(since = "0.4.0", note = "use the scheme-generic `Server<Bfv>`")]
-pub type BfvServer = Server<Bfv>;
-
-/// The CKKS client role.
-#[deprecated(since = "0.4.0", note = "use the scheme-generic `Client<Ckks>`")]
-pub type CkksClient = Client<Ckks>;
-
-/// The CKKS server role.
-#[deprecated(since = "0.4.0", note = "use the scheme-generic `Server<Ckks>`")]
-pub type CkksServer = Server<Ckks>;
 
 /// Transfers a ciphertext client → server, recording its bytes.
 pub fn upload<S: HeScheme>(ledger: &mut CommLedger, ct: &S::Ciphertext) -> S::Ciphertext {

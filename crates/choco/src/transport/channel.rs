@@ -1,6 +1,7 @@
 //! The byte-pipe abstraction frames travel over.
 
 use super::fault::FaultStats;
+use super::TransportError;
 use std::collections::VecDeque;
 
 /// One delivered wire blob plus the simulated link latency it accrued.
@@ -32,6 +33,31 @@ pub trait Channel {
     fn fault_stats(&self) -> FaultStats {
         FaultStats::default()
     }
+
+    /// Serializes the channel's internal state (in-flight queue, RNG
+    /// position, counters) for a durable session checkpoint. Stateless
+    /// channels return an empty blob.
+    fn export_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Channel::export_state`] into a freshly
+    /// constructed channel of the same kind and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::BadCheckpoint`] if the blob does not match
+    /// this channel kind. The default (stateless) impl accepts only an
+    /// empty blob.
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(TransportError::BadCheckpoint(
+                "stateless channel given non-empty state".into(),
+            ))
+        }
+    }
 }
 
 /// Boxed channels delegate, so heterogeneous links (`Box<dyn Channel>`) fit
@@ -52,6 +78,14 @@ impl Channel for Box<dyn Channel> {
 
     fn fault_stats(&self) -> FaultStats {
         (**self).fault_stats()
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        (**self).export_state()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        (**self).import_state(bytes)
     }
 }
 
@@ -84,6 +118,65 @@ impl Channel for DirectChannel {
     fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    fn export_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.queue.len() as u32).to_le_bytes());
+        for wire in &self.queue {
+            out.extend_from_slice(&(wire.len() as u32).to_le_bytes());
+            out.extend_from_slice(wire);
+        }
+        out
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        let mut rest = bytes;
+        let count = state_u32(&mut rest, "direct channel")? as usize;
+        let mut queue = VecDeque::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let len = state_u32(&mut rest, "direct channel")? as usize;
+            queue.push_back(state_take(&mut rest, len, "direct channel")?.to_vec());
+        }
+        if !rest.is_empty() {
+            return Err(TransportError::BadCheckpoint(
+                "direct channel: trailing bytes in state".into(),
+            ));
+        }
+        self.queue = queue;
+        Ok(())
+    }
+}
+
+/// Consumes `n` bytes from the front of a channel-state blob.
+pub(crate) fn state_take<'a>(
+    rest: &mut &'a [u8],
+    n: usize,
+    who: &str,
+) -> Result<&'a [u8], TransportError> {
+    if rest.len() < n {
+        return Err(TransportError::BadCheckpoint(format!(
+            "{who}: truncated state"
+        )));
+    }
+    let (head, tail) = rest.split_at(n);
+    *rest = tail;
+    Ok(head)
+}
+
+/// Reads a little-endian `u32` from the front of a channel-state blob.
+pub(crate) fn state_u32(rest: &mut &[u8], who: &str) -> Result<u32, TransportError> {
+    let b = state_take(rest, 4, who)?;
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(b);
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Reads a little-endian `u64` from the front of a channel-state blob.
+pub(crate) fn state_u64(rest: &mut &[u8], who: &str) -> Result<u64, TransportError> {
+    let b = state_take(rest, 8, who)?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(b);
+    Ok(u64::from_le_bytes(buf))
 }
 
 #[cfg(test)]

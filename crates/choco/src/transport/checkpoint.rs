@@ -1,0 +1,466 @@
+//! Durable session checkpoints: a versioned, hash-sealed wire format.
+//!
+//! A [`SessionCheckpoint`] captures everything a
+//! [`Session`](super::session::Session) needs to resume after a crash with
+//! bit-identical results:
+//!
+//! * the parameter **recipe** (scheme, degree, prime bit-lengths, plain
+//!   modulus / scale bits, security flag) — parameters are rebuilt
+//!   deterministically on resume and cross-checked against the recorded
+//!   values;
+//! * the client's key bundle and the server's evaluation keys, via the
+//!   [`HeScheme`](choco_he::HeScheme) key wire hooks;
+//! * every RNG position (client encryption randomness, retry jitter) as a
+//!   byte offset into its deterministic stream — the streams are pure
+//!   functions of `(seed, offset)`, so a fast-forward replays them exactly;
+//! * the frame sequence cursor, simulated clock, retry policy, refresh
+//!   floor and the full [`CommLedger`];
+//! * opaque channel state (in-flight queue + fault-RNG offset) from
+//!   [`Channel::export_state`](super::channel::Channel::export_state); and
+//! * an opaque per-workload progress blob owned by the resumable driver.
+//!
+//! The body is sealed by a trailing unkeyed BLAKE3 hash (a *keyed* tag is
+//! impossible — the session seed itself travels inside the blob), so any
+//! truncation or bit-flip is rejected with a typed
+//! [`TransportError::BadCheckpoint`] before any field is trusted. The blob
+//! holds the **secret key**: it is client-side state, never sent to the
+//! server.
+
+use super::session::RetryPolicy;
+use super::TransportError;
+use crate::protocol::CommLedger;
+use choco_he::params::{HeParams, SchemeType};
+use choco_prng::blake3;
+
+/// Wire magic for checkpoint blobs.
+const MAGIC: [u8; 4] = *b"CKP1";
+/// Current checkpoint format version.
+const VERSION: u16 = 1;
+/// BLAKE3 seal length.
+const HASH_BYTES: usize = 32;
+/// Upper bound on any embedded variable-length field, to reject absurd
+/// length prefixes before allocating.
+const MAX_FIELD_BYTES: usize = 1 << 28;
+
+/// Everything a [`Session`](super::session::Session) needs to resume,
+/// in plain decoded form. Produced by [`SessionCheckpoint::from_bytes`] and
+/// consumed by `Session::resume`; built by `Session::checkpoint`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    /// Scheme the session runs (must match the resuming `Session<S>`).
+    pub(crate) scheme: SchemeType,
+    /// Ring degree of the parameter set.
+    pub(crate) degree: u32,
+    /// Whether the parameter set passed the 128-bit security check.
+    pub(crate) security_checked: bool,
+    /// BFV plain modulus (0 under CKKS).
+    pub(crate) plain_modulus: u64,
+    /// CKKS scale exponent (0 under BFV).
+    pub(crate) scale_bits: u32,
+    /// Bit length of each RNS prime, in order.
+    pub(crate) prime_bits: Vec<u32>,
+    /// The session seed (drives keygen, tags, jitter and fault schedules).
+    pub(crate) seed: Vec<u8>,
+    /// Client RNG position in bytes.
+    pub(crate) client_rng_drawn: u64,
+    /// Encryptions performed so far.
+    pub(crate) enc_ops: u64,
+    /// Decryptions performed so far.
+    pub(crate) dec_ops: u64,
+    /// Retry/backoff/timeout policy.
+    pub(crate) policy: RetryPolicy,
+    /// Simulated link clock in milliseconds.
+    pub(crate) clock_ms: u64,
+    /// Next frame sequence number.
+    pub(crate) next_seq: u64,
+    /// Retry-jitter RNG position in bytes.
+    pub(crate) jitter_drawn: u64,
+    /// Watchdog refresh floor.
+    pub(crate) refresh_floor: f64,
+    /// Full communication ledger.
+    pub(crate) ledger: CommLedger,
+    /// Serialized client key bundle (contains the secret key).
+    pub(crate) keys_wire: Vec<u8>,
+    /// Serialized relinearization key.
+    pub(crate) relin_wire: Vec<u8>,
+    /// Serialized Galois key set.
+    pub(crate) galois_wire: Vec<u8>,
+    /// Opaque uplink channel state.
+    pub(crate) uplink_state: Vec<u8>,
+    /// Opaque downlink channel state.
+    pub(crate) downlink_state: Vec<u8>,
+    /// Opaque workload progress blob.
+    pub(crate) progress: Vec<u8>,
+}
+
+fn bad(msg: impl Into<String>) -> TransportError {
+    TransportError::BadCheckpoint(msg.into())
+}
+
+fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// A bounds-checked reader over the checkpoint body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TransportError> {
+        let end = self
+            .off
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| bad("truncated body"))?;
+        let out = &self.bytes[self.off..end];
+        self.off = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, TransportError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, TransportError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, TransportError> {
+        let b = self.take(4)?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(b);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, TransportError> {
+        let b = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn f64(&mut self) -> Result<f64, TransportError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bytes_field(&mut self) -> Result<Vec<u8>, TransportError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FIELD_BYTES {
+            return Err(bad("implausible field length"));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+impl SessionCheckpoint {
+    /// Serializes the checkpoint: `CKP1` header, body, 32-byte BLAKE3 seal.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(match self.scheme {
+            SchemeType::Bfv => 1,
+            SchemeType::Ckks => 2,
+        });
+        out.extend_from_slice(&self.degree.to_le_bytes());
+        out.push(u8::from(self.security_checked));
+        out.extend_from_slice(&self.plain_modulus.to_le_bytes());
+        out.extend_from_slice(&self.scale_bits.to_le_bytes());
+        out.extend_from_slice(&(self.prime_bits.len() as u32).to_le_bytes());
+        for &b in &self.prime_bits {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        push_bytes(&mut out, &self.seed);
+        out.extend_from_slice(&self.client_rng_drawn.to_le_bytes());
+        out.extend_from_slice(&self.enc_ops.to_le_bytes());
+        out.extend_from_slice(&self.dec_ops.to_le_bytes());
+        out.extend_from_slice(&self.policy.max_attempts.to_le_bytes());
+        out.extend_from_slice(&self.policy.base_backoff_ms.to_le_bytes());
+        out.extend_from_slice(&self.policy.max_backoff_ms.to_le_bytes());
+        out.extend_from_slice(&self.policy.round_timeout_ms.to_le_bytes());
+        out.extend_from_slice(&self.clock_ms.to_le_bytes());
+        out.extend_from_slice(&self.next_seq.to_le_bytes());
+        out.extend_from_slice(&self.jitter_drawn.to_le_bytes());
+        out.extend_from_slice(&self.refresh_floor.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.ledger.upload_bytes.to_le_bytes());
+        out.extend_from_slice(&self.ledger.download_bytes.to_le_bytes());
+        out.extend_from_slice(&self.ledger.uploads.to_le_bytes());
+        out.extend_from_slice(&self.ledger.downloads.to_le_bytes());
+        out.extend_from_slice(&self.ledger.rounds.to_le_bytes());
+        out.extend_from_slice(&self.ledger.retransmit_bytes.to_le_bytes());
+        out.extend_from_slice(&self.ledger.refresh_rounds.to_le_bytes());
+        out.extend_from_slice(&self.ledger.recovery_bytes.to_le_bytes());
+        push_bytes(&mut out, &self.keys_wire);
+        push_bytes(&mut out, &self.relin_wire);
+        push_bytes(&mut out, &self.galois_wire);
+        push_bytes(&mut out, &self.uplink_state);
+        push_bytes(&mut out, &self.downlink_state);
+        push_bytes(&mut out, &self.progress);
+        let seal = blake3::hash(&out);
+        out.extend_from_slice(&seal);
+        out
+    }
+
+    /// Parses and validates a checkpoint blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::BadCheckpoint`] on a bad magic, unknown
+    /// version, broken BLAKE3 seal (any truncation or bit-flip), or a
+    /// structurally implausible body. Never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TransportError> {
+        if bytes.len() < MAGIC.len() + HASH_BYTES {
+            return Err(bad("shorter than header + seal"));
+        }
+        let (body, seal) = bytes.split_at(bytes.len() - HASH_BYTES);
+        // Verify the seal before trusting a single field: a sealed blob is
+        // bit-for-bit what `to_bytes` produced, so parsing cannot be
+        // confused by tampering — only by version skew, checked next.
+        if blake3::hash(body) != seal {
+            return Err(bad("BLAKE3 seal mismatch (truncated or tampered)"));
+        }
+        let mut r = Reader {
+            bytes: body,
+            off: 0,
+        };
+        if r.take(4)? != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(bad(format!("unsupported version {version}")));
+        }
+        let scheme = match r.u8()? {
+            1 => SchemeType::Bfv,
+            2 => SchemeType::Ckks,
+            other => return Err(bad(format!("unknown scheme marker {other}"))),
+        };
+        let degree = r.u32()?;
+        let security_checked = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(bad(format!("bad security flag {other}"))),
+        };
+        let plain_modulus = r.u64()?;
+        let scale_bits = r.u32()?;
+        let prime_count = r.u32()? as usize;
+        if prime_count == 0 || prime_count > 64 {
+            return Err(bad("implausible prime count"));
+        }
+        let mut prime_bits = Vec::with_capacity(prime_count);
+        for _ in 0..prime_count {
+            prime_bits.push(r.u32()?);
+        }
+        let seed = r.bytes_field()?;
+        let client_rng_drawn = r.u64()?;
+        let enc_ops = r.u64()?;
+        let dec_ops = r.u64()?;
+        let policy = RetryPolicy {
+            max_attempts: r.u32()?,
+            base_backoff_ms: r.u64()?,
+            max_backoff_ms: r.u64()?,
+            round_timeout_ms: r.u64()?,
+        };
+        let clock_ms = r.u64()?;
+        let next_seq = r.u64()?;
+        let jitter_drawn = r.u64()?;
+        let refresh_floor = r.f64()?;
+        if !refresh_floor.is_finite() {
+            return Err(bad("non-finite refresh floor"));
+        }
+        let ledger = CommLedger {
+            upload_bytes: r.u64()?,
+            download_bytes: r.u64()?,
+            uploads: r.u32()?,
+            downloads: r.u32()?,
+            rounds: r.u32()?,
+            retransmit_bytes: r.u64()?,
+            refresh_rounds: r.u32()?,
+            recovery_bytes: r.u64()?,
+        };
+        let keys_wire = r.bytes_field()?;
+        let relin_wire = r.bytes_field()?;
+        let galois_wire = r.bytes_field()?;
+        let uplink_state = r.bytes_field()?;
+        let downlink_state = r.bytes_field()?;
+        let progress = r.bytes_field()?;
+        if r.off != body.len() {
+            return Err(bad("trailing bytes in body"));
+        }
+        Ok(SessionCheckpoint {
+            scheme,
+            degree,
+            security_checked,
+            plain_modulus,
+            scale_bits,
+            prime_bits,
+            seed,
+            client_rng_drawn,
+            enc_ops,
+            dec_ops,
+            policy,
+            clock_ms,
+            next_seq,
+            jitter_drawn,
+            refresh_floor,
+            ledger,
+            keys_wire,
+            relin_wire,
+            galois_wire,
+            uplink_state,
+            downlink_state,
+            progress,
+        })
+    }
+
+    /// The scheme this checkpoint was taken under.
+    pub fn scheme(&self) -> SchemeType {
+        self.scheme
+    }
+
+    /// The workload progress blob stored at checkpoint time.
+    pub fn progress(&self) -> &[u8] {
+        &self.progress
+    }
+
+    /// The ledger as of the checkpoint.
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// Rebuilds the HE parameter set from the recorded recipe and verifies
+    /// it reproduces the recorded plain modulus / scale exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::BadCheckpoint`] if the recipe is invalid or
+    /// the deterministic rebuild disagrees with the recorded values.
+    pub(crate) fn rebuild_params(&self) -> Result<HeParams, TransportError> {
+        let n = self.degree as usize;
+        let params = match self.scheme {
+            SchemeType::Bfv => {
+                let plain_bits = 64 - self.plain_modulus.leading_zeros();
+                if self.security_checked {
+                    HeParams::bfv(n, &self.prime_bits, plain_bits)
+                } else {
+                    HeParams::bfv_insecure(n, &self.prime_bits, plain_bits)
+                }
+            }
+            SchemeType::Ckks => {
+                if self.security_checked {
+                    HeParams::ckks(n, &self.prime_bits, self.scale_bits)
+                } else {
+                    HeParams::ckks_insecure(n, &self.prime_bits, self.scale_bits)
+                }
+            }
+        }
+        .map_err(|e| bad(format!("parameter recipe rejected: {e}")))?;
+        // Parameter construction is deterministic, so the rebuilt set must
+        // reproduce the recorded derived values bit-for-bit.
+        let consistent = match self.scheme {
+            SchemeType::Bfv => params.plain_modulus() == self.plain_modulus,
+            SchemeType::Ckks => params.scale_bits() == self.scale_bits,
+        };
+        if !consistent || params.degree() != n {
+            return Err(bad("rebuilt parameters disagree with recorded recipe"));
+        }
+        Ok(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionCheckpoint {
+        let params = HeParams::bfv_insecure(256, &[40, 40, 41], 14).unwrap();
+        SessionCheckpoint {
+            scheme: SchemeType::Bfv,
+            degree: 256,
+            security_checked: false,
+            plain_modulus: params.plain_modulus(),
+            scale_bits: 0,
+            prime_bits: vec![40, 40, 41],
+            seed: b"ckpt test seed".to_vec(),
+            client_rng_drawn: 12345,
+            enc_ops: 7,
+            dec_ops: 6,
+            policy: RetryPolicy::default(),
+            clock_ms: 9001,
+            next_seq: 42,
+            jitter_drawn: 88,
+            refresh_floor: 8.0,
+            ledger: CommLedger {
+                upload_bytes: 100,
+                download_bytes: 200,
+                uploads: 3,
+                downloads: 4,
+                rounds: 2,
+                retransmit_bytes: 50,
+                refresh_rounds: 1,
+                recovery_bytes: 10,
+            },
+            keys_wire: vec![1, 2, 3],
+            relin_wire: vec![4, 5],
+            galois_wire: vec![6],
+            uplink_state: vec![],
+            downlink_state: vec![7, 8, 9, 10],
+            progress: b"progress blob".to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        let back = SessionCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ck);
+        // Re-serialization is bit-identical.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_with_typed_error() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            match SessionCheckpoint::from_bytes(&bytes[..cut]) {
+                Err(TransportError::BadCheckpoint(_)) => {}
+                other => panic!("cut at {cut}: expected BadCheckpoint, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = sample().to_bytes();
+        // Flip one bit in each byte (body and seal alike): the BLAKE3 seal
+        // must catch all of them.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            match SessionCheckpoint::from_bytes(&bad) {
+                Err(TransportError::BadCheckpoint(_)) => {}
+                other => panic!("flip at {i}: expected BadCheckpoint, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn params_recipe_rebuilds_and_cross_checks() {
+        let ck = sample();
+        let params = ck.rebuild_params().unwrap();
+        assert_eq!(params.degree(), 256);
+        assert_eq!(params.plain_modulus(), ck.plain_modulus);
+
+        let mut wrong = ck.clone();
+        wrong.plain_modulus = ck.plain_modulus + 2; // not what the recipe regenerates
+        assert!(matches!(
+            wrong.rebuild_params(),
+            Err(TransportError::BadCheckpoint(_))
+        ));
+    }
+}

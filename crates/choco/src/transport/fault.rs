@@ -5,7 +5,8 @@
 //! `(seed, plan)` pair replays the exact same fault schedule — failing runs
 //! are reproducible by construction.
 
-use super::channel::{Channel, Delivery};
+use super::channel::{state_take, state_u64, Channel, Delivery};
+use super::TransportError;
 use choco_prng::Blake3Rng;
 use std::collections::VecDeque;
 
@@ -124,6 +125,7 @@ impl FaultStats {
 pub struct FaultyChannel {
     queue: VecDeque<Delivery>,
     rng: Blake3Rng,
+    seed: Vec<u8>,
     plan: FaultPlan,
     stats: FaultStats,
 }
@@ -135,6 +137,7 @@ impl FaultyChannel {
         FaultyChannel {
             queue: VecDeque::new(),
             rng: Blake3Rng::from_seed_labeled(seed, "faulty-channel"),
+            seed: seed.to_vec(),
             plan,
             stats: FaultStats::default(),
         }
@@ -209,6 +212,64 @@ impl Channel for FaultyChannel {
 
     fn fault_stats(&self) -> FaultStats {
         self.stats
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.rng.bytes_drawn().to_le_bytes());
+        for c in [
+            self.stats.delivered,
+            self.stats.dropped,
+            self.stats.corrupted,
+            self.stats.truncated,
+            self.stats.duplicated,
+        ] {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.queue.len() as u32).to_le_bytes());
+        for d in &self.queue {
+            out.extend_from_slice(&d.latency_ms.to_le_bytes());
+            out.extend_from_slice(&(d.wire.len() as u32).to_le_bytes());
+            out.extend_from_slice(&d.wire);
+        }
+        out
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        let mut rest = bytes;
+        let drawn = state_u64(&mut rest, "faulty channel")?;
+        let mut stats = FaultStats::default();
+        for c in [
+            &mut stats.delivered,
+            &mut stats.dropped,
+            &mut stats.corrupted,
+            &mut stats.truncated,
+            &mut stats.duplicated,
+        ] {
+            *c = state_u64(&mut rest, "faulty channel")?;
+        }
+        let count = super::channel::state_u32(&mut rest, "faulty channel")? as usize;
+        let mut queue = VecDeque::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let latency_ms = state_u64(&mut rest, "faulty channel")?;
+            let len = super::channel::state_u32(&mut rest, "faulty channel")? as usize;
+            let wire = state_take(&mut rest, len, "faulty channel")?.to_vec();
+            queue.push_back(Delivery { wire, latency_ms });
+        }
+        if !rest.is_empty() {
+            return Err(TransportError::BadCheckpoint(
+                "faulty channel: trailing bytes in state".into(),
+            ));
+        }
+        // Rebuild the fault RNG at the exact draw position: the stream is a
+        // pure function of (seed, bytes drawn), so skipping `drawn` bytes
+        // replays the remainder of the fault schedule bit-for-bit.
+        let mut rng = Blake3Rng::from_seed_labeled(&self.seed, "faulty-channel");
+        rng.skip(drawn);
+        self.rng = rng;
+        self.stats = stats;
+        self.queue = queue;
+        Ok(())
     }
 }
 

@@ -27,19 +27,26 @@
 //! Everything is deterministic: channels and retry jitter are seeded, and
 //! time is a simulated millisecond clock, so a given `(seed, FaultPlan)`
 //! pair replays bit-identically.
+//!
+//! On top of the lossy-link machinery, [`checkpoint`] and the session's
+//! [`session::Session::checkpoint`]/[`session::Session::resume`] pair make
+//! whole offload runs *crash-tolerant*: a versioned, hash-sealed
+//! [`checkpoint::SessionCheckpoint`] blob captures keys, counters, RNG
+//! positions and in-flight channel state, and a seeded
+//! [`session::CrashPlan`] kills the run at a chosen operation so the
+//! kill→checkpoint→resume path is testable deterministically.
 
 pub mod channel;
+pub mod checkpoint;
 pub mod fault;
 pub mod frame;
 pub mod session;
 
 pub use channel::{Channel, Delivery, DirectChannel};
+pub use checkpoint::SessionCheckpoint;
 pub use fault::{FaultPlan, FaultStats, FaultyChannel};
 pub use frame::{Frame, FrameKind, TagKey};
-pub use session::{LinkConfig, RetryPolicy, Session};
-
-#[allow(deprecated)]
-pub use session::{CkksResilientSession, ResilientSession};
+pub use session::{CrashOp, CrashPlan, LinkConfig, RetryPolicy, Session};
 
 use choco_he::HeError;
 
@@ -86,6 +93,23 @@ pub enum TransportError {
     },
     /// An HE-layer error inside a session exchange (encode/encrypt/etc.).
     He(HeError),
+    /// A decrypted sentinel slot did not carry its expected value: the
+    /// server's result is inconsistent with the client's reserved probe.
+    SentinelMismatch {
+        /// Slot index of the failed sentinel.
+        slot: usize,
+    },
+    /// The session's armed [`CrashPlan`] fired: the simulated process died
+    /// at this operation. Resume from the last checkpoint.
+    Crashed {
+        /// The operation that was executing when the crash fired.
+        op: CrashOp,
+        /// 1-based count of that operation at the crash point.
+        nth: u32,
+    },
+    /// A checkpoint blob failed validation: bad magic/version, truncated or
+    /// tampered body (hash mismatch), or a scheme/parameter mismatch.
+    BadCheckpoint(String),
 }
 
 impl std::fmt::Display for TransportError {
@@ -115,6 +139,13 @@ impl std::fmt::Display for TransportError {
                 )
             }
             TransportError::He(e) => write!(f, "HE error during exchange: {e}"),
+            TransportError::SentinelMismatch { slot } => {
+                write!(f, "sentinel slot {slot} decrypted to an unexpected value")
+            }
+            TransportError::Crashed { op, nth } => {
+                write!(f, "simulated crash at {op:?} #{nth}")
+            }
+            TransportError::BadCheckpoint(msg) => write!(f, "bad checkpoint: {msg}"),
         }
     }
 }

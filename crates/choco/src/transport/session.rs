@@ -27,6 +27,7 @@
 //!   one extra round in the ledger) instead of letting the computation die.
 
 use super::channel::Channel;
+use super::checkpoint::SessionCheckpoint;
 use super::fault::FaultStats;
 use super::frame::{self, FrameKind, TagKey};
 use super::TransportError;
@@ -68,7 +69,9 @@ impl RetryPolicy {
             .base_backoff_ms
             .saturating_mul(1u64 << attempt.min(20))
             .min(self.max_backoff_ms);
-        exp + jitter.next_below(exp / 2 + 1)
+        // Saturating: a near-`u64::MAX` ceiling plus jitter must clamp, not
+        // wrap (overflow checks are on in test builds).
+        exp.saturating_add(jitter.next_below(exp / 2 + 1))
     }
 }
 
@@ -97,6 +100,42 @@ impl LinkConfig {
 enum Direction {
     Upload,
     Download,
+}
+
+/// Which ledger line a transfer's first attempt bills: `Primary` is the
+/// regular upload/download accounting, `Recovery` is post-crash traffic
+/// (reconnect handshake, state re-uploads) kept on its own line so
+/// crash-interrupted runs stay point-comparable to uninterrupted ones.
+#[derive(Clone, Copy)]
+enum Billing {
+    Primary,
+    Recovery,
+}
+
+/// The session operation kinds a [`CrashPlan`] can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashOp {
+    /// A client → server ciphertext transfer.
+    Upload,
+    /// A server → client ciphertext transfer.
+    Download,
+    /// A watchdog-triggered noise-refresh round trip.
+    Refresh,
+    /// A server-side compute step (driven by [`Session::compute_tick`]).
+    Compute,
+}
+
+/// A deterministic crash point: kill the session at the `nth` occurrence
+/// (1-based) of `op`. Armed via [`Session::arm_crash`]; fires exactly once
+/// as a typed [`TransportError::Crashed`], *before* the operation bills or
+/// draws randomness, so a resume from the last checkpoint replays the run
+/// bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Operation kind to kill.
+    pub op: CrashOp,
+    /// 1-based occurrence count at which the crash fires.
+    pub nth: u32,
 }
 
 /// The wire frame kind carrying ciphertexts of scheme `S`.
@@ -141,6 +180,7 @@ impl<C: Channel> Link<C> {
         kind: FrameKind,
         payload: &[u8],
         billed_payload: usize,
+        billing: Billing,
         ledger: &mut CommLedger,
     ) -> Result<Vec<u8>, TransportError> {
         let seq = self.next_seq;
@@ -156,10 +196,14 @@ impl<C: Channel> Link<C> {
             channel.send(wire.clone());
             if attempt == 0 {
                 // Bill exactly what the fault-free protocol would: the
-                // ciphertext payload, not the framing overhead.
-                match dir {
-                    Direction::Upload => ledger.record_upload(billed_payload),
-                    Direction::Download => ledger.record_download(billed_payload),
+                // ciphertext payload, not the framing overhead. Recovery
+                // traffic goes to its own ledger line.
+                match billing {
+                    Billing::Primary => match dir {
+                        Direction::Upload => ledger.record_upload(billed_payload),
+                        Direction::Download => ledger.record_download(billed_payload),
+                    },
+                    Billing::Recovery => ledger.record_recovery(billed_payload),
                 }
             } else {
                 ledger.record_retransmit(wire.len());
@@ -220,6 +264,10 @@ pub struct Session<S: HeScheme, C: Channel = Box<dyn Channel>> {
     link: Link<C>,
     ledger: CommLedger,
     refresh_floor: f64,
+    params: HeParams,
+    seed: Vec<u8>,
+    crash: Option<CrashPlan>,
+    ops: [u32; 4],
 }
 
 impl<S: HeScheme, C: Channel> Session<S, C> {
@@ -246,6 +294,10 @@ impl<S: HeScheme, C: Channel> Session<S, C> {
             link: Link::new(seed, uplink, downlink, policy),
             ledger: CommLedger::new(),
             refresh_floor: S::HEALTH_FLOOR,
+            params: params.clone(),
+            seed: seed.to_vec(),
+            crash: None,
+            ops: [0; 4],
         })
     }
 
@@ -298,6 +350,7 @@ impl<S: HeScheme, C: Channel> Session<S, C> {
     ///
     /// Typed transport errors if the link is worse than the retry budget.
     pub fn upload(&mut self, ct: &S::Ciphertext) -> Result<S::Ciphertext, TransportError> {
+        self.crash_check(CrashOp::Upload)?;
         let payload = S::ct_to_wire(ct);
         let billed = S::ct_bytes(ct);
         let bytes = self.link.transfer(
@@ -305,6 +358,7 @@ impl<S: HeScheme, C: Channel> Session<S, C> {
             ciphertext_kind::<S>(),
             &payload,
             billed,
+            Billing::Primary,
             &mut self.ledger,
         )?;
         Ok(S::ct_from_wire(&bytes)?)
@@ -317,6 +371,7 @@ impl<S: HeScheme, C: Channel> Session<S, C> {
     ///
     /// Typed transport errors if the link is worse than the retry budget.
     pub fn download(&mut self, ct: &S::Ciphertext) -> Result<S::Ciphertext, TransportError> {
+        self.crash_check(CrashOp::Download)?;
         let payload = S::ct_to_wire(ct);
         let billed = S::ct_bytes(ct);
         let bytes = self.link.transfer(
@@ -324,9 +379,40 @@ impl<S: HeScheme, C: Channel> Session<S, C> {
             ciphertext_kind::<S>(),
             &payload,
             billed,
+            Billing::Primary,
             &mut self.ledger,
         )?;
         Ok(S::ct_from_wire(&bytes)?)
+    }
+
+    /// [`Session::download`] plus sentinel verification: downloads the
+    /// ciphertext, decrypts it once, and checks that each `(slot, value)`
+    /// pair in `expected` holds (exactly under BFV, within `tol` under
+    /// CKKS). Returns the delivered ciphertext and the decrypted slots so
+    /// callers don't decrypt twice.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::SentinelMismatch`] names the first failing slot;
+    /// transport errors propagate from the download itself.
+    pub fn download_checked(
+        &mut self,
+        ct: &S::Ciphertext,
+        expected: &[(usize, S::Value)],
+        tol: f64,
+    ) -> Result<(S::Ciphertext, Vec<S::Value>), TransportError> {
+        let back = self.download(ct)?;
+        let values = self.client.decrypt(&back)?;
+        for &(slot, want) in expected {
+            let got = values
+                .get(slot)
+                .copied()
+                .ok_or(TransportError::SentinelMismatch { slot })?;
+            if !S::value_matches(got, want, tol) {
+                return Err(TransportError::SentinelMismatch { slot });
+            }
+        }
+        Ok((back, values))
     }
 
     /// The health watchdog: returns `ct` unchanged while its remaining
@@ -371,6 +457,7 @@ impl<S: HeScheme, C: Channel> Session<S, C> {
     ///
     /// Transport errors from either leg of the round trip.
     pub fn refresh(&mut self, ct: &S::Ciphertext) -> Result<S::Ciphertext, TransportError> {
+        self.crash_check(CrashOp::Refresh)?;
         let at_client = self.download(ct)?;
         let values = self.client.decrypt(&at_client)?;
         let fresh = self.client.encrypt(&values)?;
@@ -383,6 +470,194 @@ impl<S: HeScheme, C: Channel> Session<S, C> {
     /// Consumes the session, returning the roles and the final ledger.
     pub fn into_parts(self) -> (Client<S>, Server<S>, CommLedger) {
         (self.client, self.server, self.ledger)
+    }
+
+    /// Arms a deterministic crash point. At the `nth` occurrence of the
+    /// planned operation the session returns
+    /// [`TransportError::Crashed`] *before* billing or drawing randomness.
+    /// One plan per run; [`Session::resume`] does not re-arm.
+    pub fn arm_crash(&mut self, plan: CrashPlan) {
+        self.crash = Some(plan);
+    }
+
+    /// How many times `op` has started in this session instance (crash
+    /// checks included). Resets to zero on resume.
+    pub fn op_count(&self, op: CrashOp) -> u32 {
+        self.ops[op as usize]
+    }
+
+    /// Marks one server-side compute step so a [`CrashPlan`] can target
+    /// `CrashOp::Compute`. Resumable drivers call this before each major
+    /// server kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Crashed`] when the armed plan fires here.
+    pub fn compute_tick(&mut self) -> Result<(), TransportError> {
+        self.crash_check(CrashOp::Compute)
+    }
+
+    fn crash_check(&mut self, op: CrashOp) -> Result<(), TransportError> {
+        let idx = op as usize;
+        self.ops[idx] += 1;
+        if let Some(plan) = self.crash {
+            if plan.op == op && self.ops[idx] == plan.nth {
+                return Err(TransportError::Crashed { op, nth: plan.nth });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the full session state — keys, RNG positions, sequence
+    /// cursor, clock, policy, ledger, in-flight channel state — plus the
+    /// caller's opaque `progress` blob into a durable, hash-sealed
+    /// checkpoint. Call at a step boundary; the blob contains the secret
+    /// key and stays on the trusted client.
+    pub fn checkpoint(&self, progress: &[u8]) -> Vec<u8> {
+        SessionCheckpoint {
+            scheme: S::SCHEME,
+            degree: self.params.degree() as u32,
+            security_checked: self.params.is_security_checked(),
+            plain_modulus: self.params.plain_modulus(),
+            scale_bits: self.params.scale_bits(),
+            prime_bits: self.params.prime_bits().to_vec(),
+            seed: self.seed.clone(),
+            client_rng_drawn: self.client.rng_bytes_drawn(),
+            enc_ops: self.client.encryption_count(),
+            dec_ops: self.client.decryption_count(),
+            policy: self.link.policy,
+            clock_ms: self.link.clock_ms,
+            next_seq: self.link.next_seq,
+            jitter_drawn: self.link.jitter.bytes_drawn(),
+            refresh_floor: self.refresh_floor,
+            ledger: self.ledger,
+            keys_wire: S::keys_to_wire(self.client.keys()),
+            relin_wire: S::relin_to_wire(self.server.relin_key()),
+            galois_wire: S::galois_to_wire(self.server.galois_keys()),
+            uplink_state: self.link.uplink.export_state(),
+            downlink_state: self.link.downlink.export_state(),
+            progress: progress.to_vec(),
+        }
+        .to_bytes()
+    }
+
+    /// Rebuilds a session from a checkpoint blob over freshly constructed
+    /// channels (configured like the originals — e.g. same fault seed and
+    /// plan), then runs the reconnect handshake. Returns the session and
+    /// the workload progress blob stored at checkpoint time.
+    ///
+    /// Determinism guarantee: the client RNG and retry jitter resume at
+    /// their exact byte offsets, so every ciphertext produced after a
+    /// resume is bit-identical to the uninterrupted run. Only
+    /// `retransmit_bytes`, `recovery_bytes` and the simulated clock may
+    /// differ — the handshake consumes link randomness.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::BadCheckpoint`] on a malformed/tampered blob or a
+    /// scheme/parameter mismatch; transport errors from the handshake.
+    pub fn resume(blob: &[u8], uplink: C, downlink: C) -> Result<(Self, Vec<u8>), TransportError> {
+        let ck = SessionCheckpoint::from_bytes(blob)?;
+        if ck.scheme != S::SCHEME {
+            return Err(TransportError::BadCheckpoint(format!(
+                "checkpoint is for {:?}, session is {:?}",
+                ck.scheme,
+                S::SCHEME
+            )));
+        }
+        let params = ck.rebuild_params()?;
+        let ctx = S::context(&params)?;
+        let keys = S::keys_from_wire(&ck.keys_wire)?;
+        let relin = S::relin_from_wire(&ck.relin_wire)?;
+        let galois = S::galois_from_wire(&ck.galois_wire)?;
+        let public = S::public_key(&keys).clone();
+        // The client RNG stream is a pure function of (seed, offset):
+        // fast-forwarding past keygen, provisioning and every encryption so
+        // far makes the next draw identical to the uninterrupted run's.
+        let mut rng = Blake3Rng::from_seed(&ck.seed);
+        rng.skip(ck.client_rng_drawn);
+        let client = Client::<S>::from_parts(ctx.clone(), keys, rng, ck.enc_ops, ck.dec_ops);
+        let server = Server::<S>::from_parts(ctx, public, relin, galois);
+        let mut uplink = uplink;
+        let mut downlink = downlink;
+        uplink.import_state(&ck.uplink_state)?;
+        downlink.import_state(&ck.downlink_state)?;
+        let mut link = Link::new(&ck.seed, uplink, downlink, ck.policy);
+        link.jitter.skip(ck.jitter_drawn);
+        link.clock_ms = ck.clock_ms;
+        link.next_seq = ck.next_seq;
+        let mut session = Session {
+            client,
+            server,
+            link,
+            ledger: ck.ledger,
+            refresh_floor: ck.refresh_floor,
+            params,
+            seed: ck.seed.clone(),
+            crash: None,
+            ops: [0; 4],
+        };
+        session.reconnect()?;
+        Ok((session, ck.progress))
+    }
+
+    /// The reconnect handshake after a resume: drains both pipes, treating
+    /// every in-flight delivery as a stale replay — verified frames only
+    /// advance the sequence cursor past the highest seq seen, so a
+    /// duplicated frame from before the crash can never be mistaken for a
+    /// fresh exchange — then confirms the agreed cursor with one `Control`
+    /// frame billed as recovery traffic.
+    fn reconnect(&mut self) -> Result<(), TransportError> {
+        for dir in [Direction::Upload, Direction::Download] {
+            loop {
+                let channel = match dir {
+                    Direction::Upload => &mut self.link.uplink,
+                    Direction::Download => &mut self.link.downlink,
+                };
+                let Some(delivery) = channel.recv() else {
+                    break;
+                };
+                self.link.clock_ms += delivery.latency_ms;
+                if let Ok(f) = frame::decode_frame(&delivery.wire, &self.link.tag_key) {
+                    if f.seq >= self.link.next_seq {
+                        self.link.next_seq = f.seq + 1;
+                    }
+                }
+            }
+        }
+        let cursor = self.link.next_seq.to_le_bytes();
+        self.link.transfer(
+            Direction::Upload,
+            FrameKind::Control,
+            &cursor,
+            cursor.len(),
+            Billing::Recovery,
+            &mut self.ledger,
+        )?;
+        Ok(())
+    }
+
+    /// Re-uploads an already-encrypted ciphertext from its wire bytes after
+    /// a resume — *without* touching the client RNG, so recovery never
+    /// perturbs the deterministic encryption stream. Billed to
+    /// [`CommLedger::recovery_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Typed transport errors; [`TransportError::He`] if `wire` is not a
+    /// valid ciphertext.
+    pub fn recover_upload(&mut self, wire: &[u8]) -> Result<S::Ciphertext, TransportError> {
+        let ct = S::ct_from_wire(wire)?;
+        let billed = S::ct_bytes(&ct);
+        let bytes = self.link.transfer(
+            Direction::Upload,
+            ciphertext_kind::<S>(),
+            wire,
+            billed,
+            Billing::Recovery,
+            &mut self.ledger,
+        )?;
+        Ok(S::ct_from_wire(&bytes)?)
     }
 }
 
@@ -467,14 +742,6 @@ impl<C: Channel> Session<Ckks, C> {
         self.ensure_health(ct, min_levels as f64)
     }
 }
-
-/// A fault-tolerant BFV offload session.
-#[deprecated(since = "0.4.0", note = "use the scheme-generic `Session<Bfv>`")]
-pub type ResilientSession = Session<Bfv>;
-
-/// A fault-tolerant CKKS offload session.
-#[deprecated(since = "0.4.0", note = "use the scheme-generic `Session<Ckks>`")]
-pub type CkksResilientSession = Session<Ckks>;
 
 #[cfg(test)]
 mod tests {
@@ -676,6 +943,176 @@ mod tests {
         let out = s.client_mut().decrypt_values(&back).unwrap();
         for i in 0..values.len() {
             assert!((out[i] - values[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let mut jitter = Blake3Rng::from_seed_labeled(b"backoff test", "retry-jitter");
+        // Deep retry counts: the shift is clamped at 2^20, the product at
+        // the ceiling — no panic under overflow checks.
+        let policy = RetryPolicy::default();
+        for attempt in [0, 1, 19, 20, 21, 63, 64, 1000, u32::MAX] {
+            let b = policy.backoff_ms(attempt, &mut jitter);
+            assert!(b <= policy.max_backoff_ms + policy.max_backoff_ms / 2 + 1);
+        }
+        // Near-u64::MAX base and ceiling: `exp + jitter` would wrap without
+        // the saturating add.
+        let extreme = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: u64::MAX - 1,
+            max_backoff_ms: u64::MAX,
+            round_timeout_ms: u64::MAX,
+        };
+        for attempt in [0, 1, 20, u32::MAX] {
+            let b = extreme.backoff_ms(attempt, &mut jitter);
+            assert!(b >= u64::MAX - 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_delayed_deliveries_bill_once() {
+        // Every frame is duplicated and delayed; the session must count one
+        // upload/download per transfer, bill zero retransmits (the first
+        // attempt always lands), advance the simulated clock by observed
+        // latency, and record the duplicates in the fault stats.
+        let plan = FaultPlan::lossless()
+            .with_duplicate_rate(1.0)
+            .with_max_latency_ms(9);
+        let mut s = Session::<Bfv>::new(
+            &params(),
+            b"session dup",
+            &[],
+            faulty(b"dup-up", plan),
+            faulty(b"dup-down", plan),
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        let values: Vec<u64> = (0..256).map(|i| i * 11 % 103).collect();
+        let mut ct_bytes = 0u64;
+        for _ in 0..5 {
+            let ct = s.client_mut().encrypt_slots(&values).unwrap();
+            ct_bytes = ct.byte_size() as u64;
+            let at_server = s.upload(&ct).unwrap();
+            let back = s.download(&at_server).unwrap();
+            assert_eq!(s.client_mut().decrypt_slots(&back).unwrap(), values);
+        }
+        assert_eq!(s.ledger().uploads, 5);
+        assert_eq!(s.ledger().downloads, 5);
+        assert_eq!(s.ledger().upload_bytes, 5 * ct_bytes);
+        assert_eq!(s.ledger().download_bytes, 5 * ct_bytes);
+        assert_eq!(s.ledger().retransmit_bytes, 0);
+        assert_eq!(s.uplink_stats().duplicated, 5);
+        assert_eq!(s.downlink_stats().duplicated, 5);
+        // 10 primary + 10 duplicate deliveries drew latency; the clock saw
+        // the ones the drain loop consumed.
+        assert!(s.clock_ms() > 0, "latency never advanced the clock");
+    }
+
+    #[test]
+    fn armed_crash_fires_once_with_typed_error() {
+        let mut s = Session::<Bfv>::direct(&params(), b"session crash", &[]).unwrap();
+        s.arm_crash(CrashPlan {
+            op: CrashOp::Upload,
+            nth: 2,
+        });
+        let ct = s.client_mut().encrypt_slots(&[3; 256]).unwrap();
+        let at_server = s.upload(&ct).unwrap(); // #1 passes
+        match s.upload(&at_server) {
+            Err(TransportError::Crashed {
+                op: CrashOp::Upload,
+                nth: 2,
+            }) => {}
+            other => panic!("expected Crashed at upload #2, got {other:?}"),
+        }
+        assert_eq!(s.op_count(CrashOp::Upload), 2);
+        // The crash fired before billing: only upload #1 is in the ledger.
+        assert_eq!(s.ledger().uploads, 1);
+        // One crash per plan: the next occurrence passes.
+        assert!(s.upload(&at_server).is_ok());
+    }
+
+    #[test]
+    fn sentinel_mismatch_is_detected() {
+        let mut s = Session::<Bfv>::direct(&params(), b"session sentinel", &[]).unwrap();
+        let mut values = vec![0u64; 256];
+        values[250] = 77; // sentinel slot
+        let ct = s.client_mut().encrypt_slots(&values).unwrap();
+        let at_server = s.upload(&ct).unwrap();
+        // Identity compute: the sentinel survives.
+        let (_, slots) = s.download_checked(&at_server, &[(250, 77)], 0.0).unwrap();
+        assert_eq!(slots[250], 77);
+        // A computation that disturbs the sentinel is caught.
+        let doubled = s.server().mul_plain(&at_server, &vec![2u64; 256]).unwrap();
+        match s.download_checked(&doubled, &[(250, 77)], 0.0) {
+            Err(TransportError::SentinelMismatch { slot: 250 }) => {}
+            other => panic!("expected SentinelMismatch, got {other:?}"),
+        }
+        // Out-of-range sentinel slots are a mismatch, not a panic.
+        match s.download_checked(&at_server, &[(1 << 20, 0)], 0.0) {
+            Err(TransportError::SentinelMismatch { .. }) => {}
+            other => panic!("expected SentinelMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_roundtrips_session_state() {
+        let plan = FaultPlan::lossless()
+            .with_duplicate_rate(0.3)
+            .with_max_latency_ms(4);
+        let mk = || {
+            (
+                Box::new(FaultyChannel::new(b"ck-up", plan)) as Box<dyn Channel>,
+                Box::new(FaultyChannel::new(b"ck-down", plan)) as Box<dyn Channel>,
+            )
+        };
+        let (up, down) = mk();
+        let mut s = Session::<Bfv>::new(
+            &params(),
+            b"session ckpt",
+            &[],
+            up,
+            down,
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        let values: Vec<u64> = (0..256).map(|i| i % 59).collect();
+        let ct = s.client_mut().encrypt_slots(&values).unwrap();
+        let at_server = s.upload(&ct).unwrap();
+        let blob = s.checkpoint(b"my progress");
+
+        let (up2, down2) = mk();
+        let (mut r, progress) = Session::<Bfv>::resume(&blob, up2, down2).unwrap();
+        assert_eq!(progress, b"my progress");
+        // Ledger carried over; handshake billed only to recovery.
+        assert_eq!(r.ledger().uploads, s.ledger().uploads);
+        assert_eq!(r.ledger().upload_bytes, s.ledger().upload_bytes);
+        assert!(r.ledger().recovery_bytes > 0);
+        // The restored client still decrypts, and its RNG continues the
+        // same stream: the next encryption matches the original session's.
+        let next_orig = s.client_mut().encrypt_slots(&values).unwrap();
+        let next_res = r.client_mut().encrypt_slots(&values).unwrap();
+        assert_eq!(
+            choco_he::serialize::ciphertext_to_bytes(&next_orig),
+            choco_he::serialize::ciphertext_to_bytes(&next_res)
+        );
+        let out = r.client_mut().decrypt_slots(&at_server).unwrap();
+        assert_eq!(out, values);
+
+        // Tampered blobs are rejected with a typed error.
+        let mut bad = blob.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        let (up3, down3) = mk();
+        match Session::<Bfv>::resume(&bad, up3, down3) {
+            Err(TransportError::BadCheckpoint(_)) => {}
+            other => panic!("expected BadCheckpoint, got {:?}", other.map(|_| ())),
+        }
+        // A BFV checkpoint cannot resume a CKKS session.
+        let (up4, down4) = mk();
+        match Session::<Ckks>::resume(&blob, up4, down4) {
+            Err(TransportError::BadCheckpoint(_)) => {}
+            other => panic!("expected BadCheckpoint, got {:?}", other.map(|_| ())),
         }
     }
 

@@ -107,3 +107,84 @@ fn payload_swaps_between_valid_frames_are_rejected() {
         ));
     });
 }
+
+// ---------------------------------------------------------------------------
+// Session checkpoint blobs
+// ---------------------------------------------------------------------------
+//
+// The durable-checkpoint contract mirrors the frame contract one level up:
+// resuming from a pristine blob reproduces the session exactly, and *any*
+// damaged blob — truncated, bit-flipped, or pure noise — fails with a typed
+// [`TransportError::BadCheckpoint`], never a panic and never a session
+// silently built from garbage.
+
+use choco::transport::{Channel, DirectChannel, Session};
+use choco_he::params::HeParams;
+use choco_he::Bfv;
+
+fn direct() -> Box<dyn Channel> {
+    Box::new(DirectChannel::new())
+}
+
+fn sealed_checkpoint() -> Vec<u8> {
+    let params = HeParams::bfv_insecure(256, &[40, 40, 41], 14).unwrap();
+    let mut session = Session::<Bfv>::direct(&params, b"ckpt fuzz", &[1, -1]).unwrap();
+    // Exchange one ciphertext so the checkpoint carries a non-trivial
+    // ledger, sequence counter, and RNG position.
+    let ct = session.client_mut().encrypt_slots(&[1, 2, 3]).unwrap();
+    let at_server = session.upload(&ct).unwrap();
+    let _ = session.download(&at_server).unwrap();
+    session.ledger_mut().end_round();
+    session.checkpoint(b"fuzz progress")
+}
+
+#[test]
+fn checkpoint_roundtrip_is_exact_and_mutations_are_typed_errors() {
+    let blob = sealed_checkpoint();
+
+    // Pristine blob resumes, returning the exact progress bytes.
+    let (mut resumed, progress) = Session::<Bfv>::resume(&blob, direct(), direct()).unwrap();
+    assert_eq!(progress, b"fuzz progress");
+    // The resumed session is live: a fresh exchange succeeds.
+    let ct = resumed.client_mut().encrypt_slots(&[4, 5, 6]).unwrap();
+    assert!(resumed.upload(&ct).is_ok());
+
+    run_cases("checkpoint mutation", 96, |g| {
+        let mut mangled = blob.clone();
+        match g.u64_below(3) {
+            0 => {
+                // Single bit flip anywhere: the seal catches it.
+                let i = g.usize_in(0, mangled.len());
+                mangled[i] ^= 1u8 << g.u64_below(8);
+            }
+            1 => {
+                // Truncation at a random point.
+                let len = g.usize_in(0, mangled.len());
+                mangled.truncate(len);
+            }
+            _ => {
+                // Pure noise of random length.
+                mangled = g.bytes(256);
+            }
+        }
+        if mangled == blob {
+            return; // noise arm can land on the original by construction
+        }
+        match Session::<Bfv>::resume(&mangled, direct(), direct()) {
+            Err(TransportError::BadCheckpoint(_)) => {}
+            Err(e) => panic!("damaged checkpoint produced {e} instead of BadCheckpoint"),
+            Ok(_) => panic!("damaged checkpoint resumed successfully"),
+        }
+    });
+}
+
+#[test]
+fn checkpoint_rejects_cross_scheme_resume() {
+    use choco_he::Ckks;
+    let blob = sealed_checkpoint();
+    match Session::<Ckks>::resume(&blob, direct(), direct()) {
+        Err(TransportError::BadCheckpoint(_)) => {}
+        Err(e) => panic!("cross-scheme resume produced {e} instead of BadCheckpoint"),
+        Ok(_) => panic!("BFV checkpoint resumed as a CKKS session"),
+    }
+}

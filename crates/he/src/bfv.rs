@@ -102,6 +102,13 @@ impl SecretKey {
     pub fn key_poly(&self) -> &RnsPoly {
         &self.full
     }
+
+    /// Reassembles a secret key from its full-basis polynomial (checkpoint
+    /// deserialization).
+    // choco-lint: secret
+    pub fn from_poly(full: RnsPoly) -> Self {
+        SecretKey { full }
+    }
 }
 
 /// The public encryption key `(P0, P1) = (−(a·s + e), a)` over the data basis.
@@ -115,6 +122,16 @@ impl PublicKey {
     /// Serialized size in bytes (two data-basis polynomials).
     pub fn byte_size(&self) -> usize {
         2 * self.p0.row_count() * self.p0.degree() * 8
+    }
+
+    /// The `(P0, P1)` component polynomials (wire serialization).
+    pub fn parts(&self) -> (&RnsPoly, &RnsPoly) {
+        (&self.p0, &self.p1)
+    }
+
+    /// Reassembles a public key from raw components (deserialization).
+    pub fn from_parts(p0: RnsPoly, p1: RnsPoly) -> Self {
+        PublicKey { p0, p1 }
     }
 }
 
@@ -135,6 +152,12 @@ impl KeyBundle {
     pub fn public_key(&self) -> &PublicKey {
         &self.public
     }
+
+    /// Reassembles a bundle from its keys (checkpoint deserialization).
+    // choco-lint: secret
+    pub fn from_keys(secret: SecretKey, public: PublicKey) -> Self {
+        KeyBundle { secret, public }
+    }
 }
 
 /// Relinearization key (switches `s²`-keyed components back to `s`).
@@ -147,6 +170,16 @@ impl RelinKey {
     /// Serialized size in bytes.
     pub fn size_bytes(&self) -> usize {
         self.ksk.size_bytes()
+    }
+
+    /// The underlying key-switching key (wire serialization).
+    pub fn ksk(&self) -> &KswitchKey {
+        &self.ksk
+    }
+
+    /// Reassembles a relinearization key (deserialization).
+    pub fn from_ksk(ksk: KswitchKey) -> Self {
+        RelinKey { ksk }
     }
 }
 
@@ -167,6 +200,16 @@ impl GaloisKeys {
     /// Serialized size in bytes of all keys.
     pub fn size_bytes(&self) -> usize {
         self.keys.values().map(|k| k.size_bytes()).sum()
+    }
+
+    /// The key for one Galois element, if provisioned.
+    pub fn key_for(&self, element: u64) -> Option<&KswitchKey> {
+        self.keys.get(&element)
+    }
+
+    /// Reassembles a key set from per-element keys (deserialization).
+    pub fn from_map(keys: HashMap<u64, KswitchKey>) -> Self {
+        GaloisKeys { keys }
     }
 }
 

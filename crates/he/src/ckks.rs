@@ -105,12 +105,31 @@ impl CkksKeyBundle {
     pub fn public_key(&self) -> &CkksPublicKey {
         &self.public
     }
+
+    /// Reassembles a bundle from its keys (checkpoint deserialization).
+    // choco-lint: secret
+    pub fn from_keys(secret: CkksSecretKey, public: CkksPublicKey) -> Self {
+        CkksKeyBundle { secret, public }
+    }
 }
 
 /// CKKS secret key over the full basis.
 #[derive(Debug, Clone)]
 pub struct CkksSecretKey {
     full: RnsPoly,
+}
+
+impl CkksSecretKey {
+    /// The key polynomial over the full basis (wire serialization).
+    pub fn key_poly(&self) -> &RnsPoly {
+        &self.full
+    }
+
+    /// Reassembles a secret key from its full-basis polynomial.
+    // choco-lint: secret
+    pub fn from_poly(full: RnsPoly) -> Self {
+        CkksSecretKey { full }
+    }
 }
 
 /// CKKS public key over the data basis.
@@ -125,6 +144,16 @@ impl CkksPublicKey {
     pub fn byte_size(&self) -> usize {
         2 * self.p0.row_count() * self.p0.degree() * 8
     }
+
+    /// The `(P0, P1)` component polynomials (wire serialization).
+    pub fn parts(&self) -> (&RnsPoly, &RnsPoly) {
+        (&self.p0, &self.p1)
+    }
+
+    /// Reassembles a public key from raw components (deserialization).
+    pub fn from_parts(p0: RnsPoly, p1: RnsPoly) -> Self {
+        CkksPublicKey { p0, p1 }
+    }
 }
 
 /// CKKS relinearization key.
@@ -138,6 +167,16 @@ impl CkksRelinKey {
     pub fn size_bytes(&self) -> usize {
         self.ksk.size_bytes()
     }
+
+    /// The underlying key-switching key (wire serialization).
+    pub fn ksk(&self) -> &KswitchKey {
+        &self.ksk
+    }
+
+    /// Reassembles a relinearization key (deserialization).
+    pub fn from_ksk(ksk: KswitchKey) -> Self {
+        CkksRelinKey { ksk }
+    }
 }
 
 /// CKKS Galois (rotation) keys.
@@ -150,6 +189,23 @@ impl CkksGaloisKeys {
     /// Serialized size in bytes of all keys.
     pub fn size_bytes(&self) -> usize {
         self.keys.values().map(|k| k.size_bytes()).sum()
+    }
+
+    /// The Galois elements covered by this key set, in sorted order.
+    pub fn elements(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.keys.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The key for one Galois element, if provisioned.
+    pub fn key_for(&self, element: u64) -> Option<&KswitchKey> {
+        self.keys.get(&element)
+    }
+
+    /// Reassembles a key set from per-element keys (deserialization).
+    pub fn from_map(keys: HashMap<u64, KswitchKey>) -> Self {
+        CkksGaloisKeys { keys }
     }
 }
 

@@ -37,6 +37,9 @@ pub enum HeError {
     NoiseBudgetExhausted,
     /// A ciphertext had an unexpected size (e.g. degree-3 without relin).
     InvalidCiphertext(String),
+    /// Serialized key material (key bundle, relin key, Galois keys) was
+    /// malformed: bad magic, truncated payload, or implausible shape.
+    InvalidKeyMaterial(String),
 }
 
 impl std::fmt::Display for HeError {
@@ -68,6 +71,7 @@ impl std::fmt::Display for HeError {
             HeError::MissingGaloisKey(e) => write!(f, "no galois key for element {e}"),
             HeError::NoiseBudgetExhausted => write!(f, "ciphertext noise budget exhausted"),
             HeError::InvalidCiphertext(m) => write!(f, "invalid ciphertext: {m}"),
+            HeError::InvalidKeyMaterial(m) => write!(f, "invalid key material: {m}"),
         }
     }
 }

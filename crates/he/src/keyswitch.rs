@@ -46,6 +46,34 @@ impl KswitchKey {
         let n = self.pairs[0].0.degree();
         self.pairs.len() * 2 * self.full_prime_count * n * 8
     }
+
+    /// The `(b_j, a_j)` digit pairs in NTT form (wire serialization).
+    pub fn pairs(&self) -> &[(RnsPoly, RnsPoly)] {
+        &self.pairs
+    }
+
+    /// Number of primes in the full basis the pairs are stored over.
+    pub fn full_prime_count(&self) -> usize {
+        self.full_prime_count
+    }
+
+    /// Reassembles a key from raw digit pairs (wire deserialization).
+    ///
+    /// Returns `None` when the shape is inconsistent: no digits, or a pair
+    /// whose polynomials do not span `full_prime_count` residue rows.
+    pub fn from_parts(pairs: Vec<(RnsPoly, RnsPoly)>, full_prime_count: usize) -> Option<Self> {
+        if pairs.is_empty()
+            || pairs.iter().any(|(b, a)| {
+                b.row_count() != full_prime_count || a.row_count() != full_prime_count
+            })
+        {
+            return None;
+        }
+        Some(KswitchKey {
+            pairs,
+            full_prime_count,
+        })
+    }
 }
 
 /// Generates a key-switching key taking `s'`-keyed components to `s`.

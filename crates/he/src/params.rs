@@ -229,6 +229,13 @@ impl HeParams {
         (2f64).powi(self.scale_bits as i32)
     }
 
+    /// CKKS scale exponent in bits (0 for BFV parameter sets). Together with
+    /// [`HeParams::prime_bits`] and the plain modulus this is enough to
+    /// rebuild the parameter set from a checkpoint.
+    pub fn scale_bits(&self) -> u32 {
+        self.scale_bits
+    }
+
     /// Total bits of the full coefficient modulus (including the special
     /// prime) — the quantity the security standard bounds.
     pub fn total_coeff_bits(&self) -> u32 {

@@ -239,6 +239,42 @@ pub trait HeScheme: Sized + std::fmt::Debug + 'static {
         scale_bits: u32,
         depth: u32,
     ) -> Vec<f64>;
+
+    /// Serializes the client's secret/public key bundle for durable session
+    /// checkpoints. The blob contains the **secret key** — checkpoint
+    /// storage is trusted client territory only.
+    fn keys_to_wire(keys: &Self::KeyBundle) -> Vec<u8>;
+
+    /// Deserializes a key bundle from a checkpoint blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::InvalidKeyMaterial`] on malformed bytes.
+    fn keys_from_wire(bytes: &[u8]) -> Result<Self::KeyBundle, HeError>;
+
+    /// Serializes the relinearization key.
+    fn relin_to_wire(rk: &Self::RelinKey) -> Vec<u8>;
+
+    /// Deserializes a relinearization key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::InvalidKeyMaterial`] on malformed bytes.
+    fn relin_from_wire(bytes: &[u8]) -> Result<Self::RelinKey, HeError>;
+
+    /// Serializes the Galois key set, deterministically (sorted elements).
+    fn galois_to_wire(gk: &Self::GaloisKeys) -> Vec<u8>;
+
+    /// Deserializes a Galois key set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeError::InvalidKeyMaterial`] on malformed bytes.
+    fn galois_from_wire(bytes: &[u8]) -> Result<Self::GaloisKeys, HeError>;
+
+    /// Whether a decrypted slot matches an expected sentinel value: exact
+    /// equality for BFV, `|got − want| ≤ tol` for CKKS (approximate).
+    fn value_matches(got: Self::Value, want: Self::Value, tol: f64) -> bool;
 }
 
 /// Marker for the exact integer scheme (BFV).
@@ -417,6 +453,36 @@ impl HeScheme for Bfv {
     fn dequantize(_ctx: &BfvContext, values: &[u64], scale_bits: u32, depth: u32) -> Vec<f64> {
         let factor = ((1u64 << scale_bits) as f64).powi(depth as i32);
         values.iter().map(|&v| v as f64 / factor).collect()
+    }
+
+    // choco-lint: secret
+    fn keys_to_wire(keys: &bfv::KeyBundle) -> Vec<u8> {
+        serialize::bfv_keys_to_bytes(keys)
+    }
+
+    // choco-lint: secret
+    fn keys_from_wire(bytes: &[u8]) -> Result<bfv::KeyBundle, HeError> {
+        serialize::bfv_keys_from_bytes(bytes)
+    }
+
+    fn relin_to_wire(rk: &bfv::RelinKey) -> Vec<u8> {
+        serialize::bfv_relin_to_bytes(rk)
+    }
+
+    fn relin_from_wire(bytes: &[u8]) -> Result<bfv::RelinKey, HeError> {
+        serialize::bfv_relin_from_bytes(bytes)
+    }
+
+    fn galois_to_wire(gk: &bfv::GaloisKeys) -> Vec<u8> {
+        serialize::bfv_galois_to_bytes(gk)
+    }
+
+    fn galois_from_wire(bytes: &[u8]) -> Result<bfv::GaloisKeys, HeError> {
+        serialize::bfv_galois_from_bytes(bytes)
+    }
+
+    fn value_matches(got: u64, want: u64, _tol: f64) -> bool {
+        got == want
     }
 }
 
@@ -605,6 +671,36 @@ impl HeScheme for Ckks {
 
     fn dequantize(_ctx: &CkksContext, values: &[f64], _scale_bits: u32, _depth: u32) -> Vec<f64> {
         values.to_vec()
+    }
+
+    // choco-lint: secret
+    fn keys_to_wire(keys: &ckks::CkksKeyBundle) -> Vec<u8> {
+        serialize::ckks_keys_to_bytes(keys)
+    }
+
+    // choco-lint: secret
+    fn keys_from_wire(bytes: &[u8]) -> Result<ckks::CkksKeyBundle, HeError> {
+        serialize::ckks_keys_from_bytes(bytes)
+    }
+
+    fn relin_to_wire(rk: &ckks::CkksRelinKey) -> Vec<u8> {
+        serialize::ckks_relin_to_bytes(rk)
+    }
+
+    fn relin_from_wire(bytes: &[u8]) -> Result<ckks::CkksRelinKey, HeError> {
+        serialize::ckks_relin_from_bytes(bytes)
+    }
+
+    fn galois_to_wire(gk: &ckks::CkksGaloisKeys) -> Vec<u8> {
+        serialize::ckks_galois_to_bytes(gk)
+    }
+
+    fn galois_from_wire(bytes: &[u8]) -> Result<ckks::CkksGaloisKeys, HeError> {
+        serialize::ckks_galois_from_bytes(bytes)
+    }
+
+    fn value_matches(got: f64, want: f64, tol: f64) -> bool {
+        (got - want).abs() <= tol
     }
 }
 

@@ -15,16 +15,36 @@
 //! frames) is layered above via the transport's keyed BLAKE3 tags;
 //! [`ciphertext_from_bytes`] alone accepts any well-formed frame.
 
-use crate::bfv::Ciphertext;
-use crate::ckks::CkksCiphertext;
+use crate::bfv::{self, Ciphertext};
+use crate::ckks::{self, CkksCiphertext};
 use crate::error::HeError;
+use crate::keyswitch::KswitchKey;
 use crate::rnspoly::RnsPoly;
+use std::collections::HashMap;
 
 /// Magic tag for BFV ciphertext frames.
 const MAGIC: [u8; 4] = *b"CHO1";
 
 /// Magic tag for CKKS ciphertext frames.
 const CKKS_MAGIC: [u8; 4] = *b"CHO2";
+
+/// Magic tag for BFV key-bundle blobs.
+const BFV_KEYS_MAGIC: [u8; 4] = *b"CHB1";
+
+/// Magic tag for CKKS key-bundle blobs.
+const CKKS_KEYS_MAGIC: [u8; 4] = *b"CHB2";
+
+/// Magic tag for BFV relinearization-key blobs.
+const BFV_RELIN_MAGIC: [u8; 4] = *b"CHR1";
+
+/// Magic tag for CKKS relinearization-key blobs.
+const CKKS_RELIN_MAGIC: [u8; 4] = *b"CHR2";
+
+/// Magic tag for BFV Galois-key-set blobs.
+const BFV_GALOIS_MAGIC: [u8; 4] = *b"CHG1";
+
+/// Magic tag for CKKS Galois-key-set blobs.
+const CKKS_GALOIS_MAGIC: [u8; 4] = *b"CHG2";
 
 /// BFV header size in bytes (magic, parts, rows, degree).
 pub const HEADER_BYTES: usize = 16;
@@ -39,6 +59,7 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    // choco-lint: ct-safe
     fn new(bytes: &'a [u8]) -> Self {
         Reader { bytes, off: 0 }
     }
@@ -79,6 +100,7 @@ impl<'a> Reader<'a> {
 }
 
 /// Reads `parts` polynomials of `rows × n` little-endian residues.
+// choco-lint: ct-safe
 fn read_polys(
     r: &mut Reader<'_>,
     parts: usize,
@@ -207,6 +229,363 @@ pub fn ckks_ciphertext_from_bytes(bytes: &[u8]) -> Result<CkksCiphertext, HeErro
     }
     let polys = read_polys(&mut r, parts, level, n)?;
     Ok(CkksCiphertext::from_parts(polys, level, scale))
+}
+
+// choco-lint: ct-safe
+fn write_poly(out: &mut Vec<u8>, poly: &RnsPoly) {
+    for r in 0..poly.row_count() {
+        for &c in poly.row(r) {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+}
+
+// choco-lint: ct-safe
+fn bad_keys(msg: &str) -> HeError {
+    HeError::InvalidKeyMaterial(msg.into())
+}
+
+/// Shared key-bundle wire core: magic, secret-key rows (full basis), public
+/// rows (data basis), degree, then secret ‖ P0 ‖ P1 residues.
+// choco-lint: ct-safe
+fn keys_to_bytes_impl(magic: [u8; 4], secret: &RnsPoly, p0: &RnsPoly, p1: &RnsPoly) -> Vec<u8> {
+    let full_rows = secret.row_count();
+    let data_rows = p0.row_count();
+    let n = secret.degree();
+    let mut out = Vec::with_capacity(16 + (full_rows + 2 * data_rows) * n * 8);
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&(full_rows as u32).to_le_bytes());
+    out.extend_from_slice(&(data_rows as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    write_poly(&mut out, secret);
+    write_poly(&mut out, p0);
+    write_poly(&mut out, p1);
+    out
+}
+
+// choco-lint: ct-safe
+fn keys_from_bytes_impl(
+    magic: [u8; 4],
+    bytes: &[u8],
+) -> Result<(RnsPoly, RnsPoly, RnsPoly), HeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)
+        .map_err(|_| bad_keys("truncated key-bundle header"))?
+        != magic
+    {
+        return Err(bad_keys("bad key-bundle magic"));
+    }
+    let full_rows = r
+        .u32()
+        .map_err(|_| bad_keys("truncated key-bundle header"))? as usize;
+    let data_rows = r
+        .u32()
+        .map_err(|_| bad_keys("truncated key-bundle header"))? as usize;
+    let n = r
+        .u32()
+        .map_err(|_| bad_keys("truncated key-bundle header"))? as usize;
+    if full_rows == 0
+        || full_rows > 33
+        || data_rows == 0
+        || data_rows > 32
+        || data_rows > full_rows
+        || !n.is_power_of_two()
+    {
+        return Err(bad_keys("implausible key-bundle shape"));
+    }
+    let expect = 16 + (full_rows + 2 * data_rows) * n * 8;
+    if bytes.len() != expect {
+        return Err(bad_keys("key-bundle length mismatch"));
+    }
+    let read = |r: &mut Reader<'_>, rows: usize| -> Result<RnsPoly, HeError> {
+        read_polys(r, 1, rows, n)?
+            .pop()
+            .ok_or_else(|| bad_keys("missing key polynomial"))
+    };
+    let secret = read(&mut r, full_rows).map_err(|_| bad_keys("truncated secret key"))?;
+    let p0 = read(&mut r, data_rows).map_err(|_| bad_keys("truncated public key"))?;
+    let p1 = read(&mut r, data_rows).map_err(|_| bad_keys("truncated public key"))?;
+    Ok((secret, p0, p1))
+}
+
+/// Serializes a BFV secret/public key bundle (`CHB1` blob).
+// choco-lint: secret (public: none)
+pub fn bfv_keys_to_bytes(keys: &bfv::KeyBundle) -> Vec<u8> {
+    let (p0, p1) = keys.public_key().parts();
+    keys_to_bytes_impl(BFV_KEYS_MAGIC, keys.secret_key().key_poly(), p0, p1)
+}
+
+/// Deserializes a BFV key bundle.
+///
+/// # Errors
+///
+/// Returns [`HeError::InvalidKeyMaterial`] on malformed blobs. Never panics.
+// choco-lint: ct-safe
+pub fn bfv_keys_from_bytes(bytes: &[u8]) -> Result<bfv::KeyBundle, HeError> {
+    let (secret, p0, p1) = keys_from_bytes_impl(BFV_KEYS_MAGIC, bytes)?;
+    Ok(bfv::KeyBundle::from_keys(
+        bfv::SecretKey::from_poly(secret),
+        bfv::PublicKey::from_parts(p0, p1),
+    ))
+}
+
+/// Serializes a CKKS secret/public key bundle (`CHB2` blob).
+// choco-lint: secret (public: none)
+pub fn ckks_keys_to_bytes(keys: &ckks::CkksKeyBundle) -> Vec<u8> {
+    let (p0, p1) = keys.public_key().parts();
+    keys_to_bytes_impl(CKKS_KEYS_MAGIC, keys.secret_key().key_poly(), p0, p1)
+}
+
+/// Deserializes a CKKS key bundle.
+///
+/// # Errors
+///
+/// Returns [`HeError::InvalidKeyMaterial`] on malformed blobs. Never panics.
+// choco-lint: ct-safe
+pub fn ckks_keys_from_bytes(bytes: &[u8]) -> Result<ckks::CkksKeyBundle, HeError> {
+    let (secret, p0, p1) = keys_from_bytes_impl(CKKS_KEYS_MAGIC, bytes)?;
+    Ok(ckks::CkksKeyBundle::from_keys(
+        ckks::CkksSecretKey::from_poly(secret),
+        ckks::CkksPublicKey::from_parts(p0, p1),
+    ))
+}
+
+/// Writes one key-switching key's digit pairs (`b_j` then `a_j`, per digit).
+fn write_ksk_pairs(out: &mut Vec<u8>, ksk: &KswitchKey) {
+    for (b, a) in ksk.pairs() {
+        write_poly(out, b);
+        write_poly(out, a);
+    }
+}
+
+/// Reads one key-switching key of known shape.
+fn read_ksk(
+    r: &mut Reader<'_>,
+    digits: usize,
+    fpc: usize,
+    n: usize,
+) -> Result<KswitchKey, HeError> {
+    let mut pairs = Vec::with_capacity(digits);
+    for _ in 0..digits {
+        let mut pair = read_polys(r, 2, fpc, n)?;
+        let a = pair.pop().ok_or_else(|| bad_keys("missing ksk digit"))?;
+        let b = pair.pop().ok_or_else(|| bad_keys("missing ksk digit"))?;
+        pairs.push((b, a));
+    }
+    KswitchKey::from_parts(pairs, fpc).ok_or_else(|| bad_keys("inconsistent ksk shape"))
+}
+
+/// Validates a serialized key-switch shape: `digits` data primes plus one
+/// special prime.
+fn check_ksk_shape(digits: usize, fpc: usize, n: usize) -> Result<(), HeError> {
+    if digits == 0 || digits > 32 || fpc != digits + 1 || !n.is_power_of_two() {
+        return Err(bad_keys("implausible key-switch shape"));
+    }
+    Ok(())
+}
+
+fn relin_to_bytes_impl(magic: [u8; 4], ksk: &KswitchKey) -> Vec<u8> {
+    let digits = ksk.digit_count();
+    let fpc = ksk.full_prime_count();
+    let n = ksk.pairs()[0].0.degree();
+    let mut out = Vec::with_capacity(16 + digits * 2 * fpc * n * 8);
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&(digits as u32).to_le_bytes());
+    out.extend_from_slice(&(fpc as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    write_ksk_pairs(&mut out, ksk);
+    out
+}
+
+fn relin_from_bytes_impl(magic: [u8; 4], bytes: &[u8]) -> Result<KswitchKey, HeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)
+        .map_err(|_| bad_keys("truncated relin-key header"))?
+        != magic
+    {
+        return Err(bad_keys("bad relin-key magic"));
+    }
+    let digits = r
+        .u32()
+        .map_err(|_| bad_keys("truncated relin-key header"))? as usize;
+    let fpc = r
+        .u32()
+        .map_err(|_| bad_keys("truncated relin-key header"))? as usize;
+    let n = r
+        .u32()
+        .map_err(|_| bad_keys("truncated relin-key header"))? as usize;
+    check_ksk_shape(digits, fpc, n)?;
+    let expect = 16 + digits * 2 * fpc * n * 8;
+    if bytes.len() != expect {
+        return Err(bad_keys("relin-key length mismatch"));
+    }
+    read_ksk(&mut r, digits, fpc, n).map_err(|_| bad_keys("truncated relin-key payload"))
+}
+
+/// Serializes a BFV relinearization key (`CHR1` blob).
+pub fn bfv_relin_to_bytes(rk: &bfv::RelinKey) -> Vec<u8> {
+    relin_to_bytes_impl(BFV_RELIN_MAGIC, rk.ksk())
+}
+
+/// Deserializes a BFV relinearization key.
+///
+/// # Errors
+///
+/// Returns [`HeError::InvalidKeyMaterial`] on malformed blobs. Never panics.
+pub fn bfv_relin_from_bytes(bytes: &[u8]) -> Result<bfv::RelinKey, HeError> {
+    Ok(bfv::RelinKey::from_ksk(relin_from_bytes_impl(
+        BFV_RELIN_MAGIC,
+        bytes,
+    )?))
+}
+
+/// Serializes a CKKS relinearization key (`CHR2` blob).
+pub fn ckks_relin_to_bytes(rk: &ckks::CkksRelinKey) -> Vec<u8> {
+    relin_to_bytes_impl(CKKS_RELIN_MAGIC, rk.ksk())
+}
+
+/// Deserializes a CKKS relinearization key.
+///
+/// # Errors
+///
+/// Returns [`HeError::InvalidKeyMaterial`] on malformed blobs. Never panics.
+pub fn ckks_relin_from_bytes(bytes: &[u8]) -> Result<ckks::CkksRelinKey, HeError> {
+    Ok(ckks::CkksRelinKey::from_ksk(relin_from_bytes_impl(
+        CKKS_RELIN_MAGIC,
+        bytes,
+    )?))
+}
+
+/// Galois-key sets are written in **sorted element order**, so serialization
+/// is deterministic regardless of map iteration order — a requirement for
+/// bit-identical checkpoints.
+fn galois_header(magic: [u8; 4], count: usize, digits: usize, fpc: usize, n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + count * (8 + digits * 2 * fpc * n * 8));
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&(count as u32).to_le_bytes());
+    out.extend_from_slice(&(digits as u32).to_le_bytes());
+    out.extend_from_slice(&(fpc as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out
+}
+
+fn galois_from_bytes_impl(
+    magic: [u8; 4],
+    bytes: &[u8],
+) -> Result<HashMap<u64, KswitchKey>, HeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)
+        .map_err(|_| bad_keys("truncated galois-set header"))?
+        != magic
+    {
+        return Err(bad_keys("bad galois-set magic"));
+    }
+    let count = r
+        .u32()
+        .map_err(|_| bad_keys("truncated galois-set header"))? as usize;
+    let digits = r
+        .u32()
+        .map_err(|_| bad_keys("truncated galois-set header"))? as usize;
+    let fpc = r
+        .u32()
+        .map_err(|_| bad_keys("truncated galois-set header"))? as usize;
+    let n = r
+        .u32()
+        .map_err(|_| bad_keys("truncated galois-set header"))? as usize;
+    if count > 4096 {
+        return Err(bad_keys("implausible galois-set size"));
+    }
+    if count == 0 {
+        if bytes.len() != 20 || digits != 0 || fpc != 0 {
+            return Err(bad_keys("malformed empty galois set"));
+        }
+        return Ok(HashMap::new());
+    }
+    check_ksk_shape(digits, fpc, n)?;
+    let expect = 20 + count * (8 + digits * 2 * fpc * n * 8);
+    if bytes.len() != expect {
+        return Err(bad_keys("galois-set length mismatch"));
+    }
+    let mut map = HashMap::with_capacity(count);
+    let mut prev: Option<u64> = None;
+    for _ in 0..count {
+        let elem = r.u64().map_err(|_| bad_keys("truncated galois element"))?;
+        if prev.is_some_and(|p| p >= elem) {
+            return Err(bad_keys("galois elements not strictly increasing"));
+        }
+        prev = Some(elem);
+        let ksk = read_ksk(&mut r, digits, fpc, n).map_err(|_| bad_keys("truncated galois key"))?;
+        map.insert(elem, ksk);
+    }
+    Ok(map)
+}
+
+/// Serializes a BFV Galois key set (`CHG1` blob), elements sorted.
+pub fn bfv_galois_to_bytes(gk: &bfv::GaloisKeys) -> Vec<u8> {
+    let elements = gk.elements();
+    let shape = elements.first().and_then(|&e| gk.key_for(e));
+    let (digits, fpc, n) = match shape {
+        Some(k) => (
+            k.digit_count(),
+            k.full_prime_count(),
+            k.pairs()[0].0.degree(),
+        ),
+        None => (0, 0, 0),
+    };
+    let mut out = galois_header(BFV_GALOIS_MAGIC, elements.len(), digits, fpc, n);
+    for &e in &elements {
+        if let Some(k) = gk.key_for(e) {
+            out.extend_from_slice(&e.to_le_bytes());
+            write_ksk_pairs(&mut out, k);
+        }
+    }
+    out
+}
+
+/// Deserializes a BFV Galois key set.
+///
+/// # Errors
+///
+/// Returns [`HeError::InvalidKeyMaterial`] on malformed blobs. Never panics.
+pub fn bfv_galois_from_bytes(bytes: &[u8]) -> Result<bfv::GaloisKeys, HeError> {
+    Ok(bfv::GaloisKeys::from_map(galois_from_bytes_impl(
+        BFV_GALOIS_MAGIC,
+        bytes,
+    )?))
+}
+
+/// Serializes a CKKS Galois key set (`CHG2` blob), elements sorted.
+pub fn ckks_galois_to_bytes(gk: &ckks::CkksGaloisKeys) -> Vec<u8> {
+    let elements = gk.elements();
+    let shape = elements.first().and_then(|&e| gk.key_for(e));
+    let (digits, fpc, n) = match shape {
+        Some(k) => (
+            k.digit_count(),
+            k.full_prime_count(),
+            k.pairs()[0].0.degree(),
+        ),
+        None => (0, 0, 0),
+    };
+    let mut out = galois_header(CKKS_GALOIS_MAGIC, elements.len(), digits, fpc, n);
+    for &e in &elements {
+        if let Some(k) = gk.key_for(e) {
+            out.extend_from_slice(&e.to_le_bytes());
+            write_ksk_pairs(&mut out, k);
+        }
+    }
+    out
+}
+
+/// Deserializes a CKKS Galois key set.
+///
+/// # Errors
+///
+/// Returns [`HeError::InvalidKeyMaterial`] on malformed blobs. Never panics.
+pub fn ckks_galois_from_bytes(bytes: &[u8]) -> Result<ckks::CkksGaloisKeys, HeError> {
+    Ok(ckks::CkksGaloisKeys::from_map(galois_from_bytes_impl(
+        CKKS_GALOIS_MAGIC,
+        bytes,
+    )?))
 }
 
 #[cfg(test)]
@@ -349,5 +728,130 @@ mod tests {
         let mut nan = bytes.clone();
         nan[12..20].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
         assert!(ckks_ciphertext_from_bytes(&nan).is_err());
+    }
+
+    #[test]
+    fn bfv_key_bundle_roundtrips_exactly() {
+        let (ctx, keys, ct) = sample_ct();
+        let bytes = bfv_keys_to_bytes(&keys);
+        let back = bfv_keys_from_bytes(&bytes).unwrap();
+        // Bit-exact re-serialization proves the round trip lost nothing.
+        assert_eq!(bfv_keys_to_bytes(&back), bytes);
+        // The restored secret key must decrypt ciphertexts made under the
+        // original bundle.
+        let out = ctx.decryptor(back.secret_key()).decrypt(&ct);
+        assert_eq!(out.coeffs()[5], 5);
+    }
+
+    #[test]
+    fn ckks_key_bundle_roundtrips_exactly() {
+        let (ctx, keys, ct) = sample_ckks();
+        let bytes = ckks_keys_to_bytes(&keys);
+        let back = ckks_keys_from_bytes(&bytes).unwrap();
+        assert_eq!(ckks_keys_to_bytes(&back), bytes);
+        let out = ctx.decode(&ctx.decrypt(&ct, back.secret_key()));
+        assert!((out[8] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn relin_keys_roundtrip_and_still_relinearize() {
+        let (ctx, keys, ct) = sample_ct();
+        let mut rng = Blake3Rng::from_seed(b"serialize rk");
+        let rk = ctx.relin_key(keys.secret_key(), &mut rng).unwrap();
+        let bytes = bfv_relin_to_bytes(&rk);
+        let back = bfv_relin_from_bytes(&bytes).unwrap();
+        assert_eq!(bfv_relin_to_bytes(&back), bytes);
+        let sq = ctx.evaluator().multiply_relin(&ct, &ct, &back).unwrap();
+        assert_eq!(sq.size(), 2);
+
+        let (ckks_ctx, ckks_keys, _) = sample_ckks();
+        let mut rng = Blake3Rng::from_seed(b"ckks serialize rk");
+        let crk = ckks_ctx.relin_key(ckks_keys.secret_key(), &mut rng);
+        let cbytes = ckks_relin_to_bytes(&crk);
+        let cback = ckks_relin_from_bytes(&cbytes).unwrap();
+        assert_eq!(ckks_relin_to_bytes(&cback), cbytes);
+    }
+
+    #[test]
+    fn galois_keys_roundtrip_sorted_and_deterministic() {
+        let (ctx, keys, ct) = sample_ct();
+        let mut rng = Blake3Rng::from_seed(b"serialize gk");
+        let gk = ctx
+            .galois_keys(keys.secret_key(), &[1, 3, -2], &mut rng)
+            .unwrap();
+        let bytes = bfv_galois_to_bytes(&gk);
+        let back = bfv_galois_from_bytes(&bytes).unwrap();
+        assert_eq!(back.elements(), gk.elements());
+        // Serialization is sorted-by-element, so it is deterministic even
+        // though the underlying storage is a HashMap.
+        assert_eq!(bfv_galois_to_bytes(&back), bytes);
+        let rotated = ctx.evaluator().rotate_rows(&ct, 1, &back).unwrap();
+        assert_eq!(rotated.size(), 2);
+    }
+
+    #[test]
+    fn empty_galois_set_roundtrips() {
+        // CKKS sessions constructed with no rotation steps carry a genuinely
+        // empty Galois set; the wire format must survive that shape.
+        let (ckks_ctx, ckks_keys, _) = sample_ckks();
+        let mut rng = Blake3Rng::from_seed(b"ckks serialize gk");
+        let cgk = ckks_ctx.galois_keys(ckks_keys.secret_key(), &[], &mut rng);
+        let cbytes = ckks_galois_to_bytes(&cgk);
+        assert_eq!(cbytes.len(), 20);
+        let cback = ckks_galois_from_bytes(&cbytes).unwrap();
+        assert!(cback.elements().is_empty());
+        assert_eq!(ckks_galois_to_bytes(&cback), cbytes);
+        // Non-empty CKKS sets round-trip too.
+        let full = ckks_ctx.galois_keys(ckks_keys.secret_key(), &[1, 4], &mut rng);
+        let fbytes = ckks_galois_to_bytes(&full);
+        let fback = ckks_galois_from_bytes(&fbytes).unwrap();
+        assert_eq!(fback.elements(), full.elements());
+        assert_eq!(ckks_galois_to_bytes(&fback), fbytes);
+    }
+
+    #[test]
+    fn rejects_malformed_key_material() {
+        let (ctx, keys, _) = sample_ct();
+        let mut rng = Blake3Rng::from_seed(b"serialize reject");
+        let rk = ctx.relin_key(keys.secret_key(), &mut rng).unwrap();
+        let gk = ctx
+            .galois_keys(keys.secret_key(), &[1, 2], &mut rng)
+            .unwrap();
+        let blobs: Vec<Vec<u8>> = vec![
+            bfv_keys_to_bytes(&keys),
+            bfv_relin_to_bytes(&rk),
+            bfv_galois_to_bytes(&gk),
+        ];
+        let parsers: Vec<fn(&[u8]) -> bool> = vec![
+            |b| bfv_keys_from_bytes(b).is_err(),
+            |b| bfv_relin_from_bytes(b).is_err(),
+            |b| bfv_galois_from_bytes(b).is_err(),
+        ];
+        for (blob, rejects) in blobs.iter().zip(&parsers) {
+            // Bad magic.
+            let mut bad = blob.clone();
+            bad[0] = b'X';
+            assert!(rejects(&bad));
+            // Truncations at several cut points — typed error, never a panic.
+            for cut in [0, 3, blob.len() / 2, blob.len() - 1] {
+                assert!(rejects(&blob[..cut]));
+            }
+            // Trailing garbage fails the exact-length check.
+            let mut long = blob.clone();
+            long.push(0);
+            assert!(rejects(&long));
+            // Implausible header shape.
+            let mut weird = blob.clone();
+            weird[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(rejects(&weird));
+        }
+        // Wrong-scheme magic: a BFV bundle must not parse as CKKS.
+        assert!(ckks_keys_from_bytes(&bfv_keys_to_bytes(&keys)).is_err());
+        // Galois elements must be strictly increasing (sorted + deduped).
+        let gbytes = bfv_galois_to_bytes(&gk);
+        let mut unsorted = gbytes.clone();
+        // Swap the first element id for u64::MAX so ordering breaks later.
+        unsorted[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(bfv_galois_from_bytes(&unsorted).is_err());
     }
 }

@@ -98,6 +98,22 @@ impl Blake3Rng {
     pub fn bytes_drawn(&self) -> u64 {
         self.bytes_drawn
     }
+
+    /// Fast-forwards the stream by `n` bytes (draw and discard).
+    ///
+    /// A generator's state is fully determined by its seed and
+    /// [`Blake3Rng::bytes_drawn`], so `from_seed(s)` + `skip(n)` restores a
+    /// checkpointed stream exactly — the primitive session resume is built
+    /// on.
+    pub fn skip(&mut self, n: u64) {
+        let mut buf = [0u8; 256];
+        let mut left = n;
+        while left > 0 {
+            let chunk = left.min(buf.len() as u64) as usize;
+            self.fill_bytes(&mut buf[..chunk]);
+            left -= chunk as u64;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +177,31 @@ mod tests {
             sum += x;
         }
         assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn skip_fast_forwards_exactly() {
+        let mut reference = Blake3Rng::from_seed(b"skip");
+        let drawn: Vec<u64> = (0..100).map(|_| reference.next_u64()).collect();
+        for cut in [0usize, 1, 7, 50, 99] {
+            let mut restored = Blake3Rng::from_seed(b"skip");
+            restored.skip(cut as u64 * 8);
+            assert_eq!(restored.bytes_drawn(), cut as u64 * 8);
+            for (i, &want) in drawn[cut..].iter().enumerate() {
+                assert_eq!(restored.next_u64(), want, "cut {cut} draw {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_handles_odd_and_large_offsets() {
+        let mut a = Blake3Rng::from_seed(b"skip odd");
+        let mut junk = vec![0u8; 1000];
+        a.fill_bytes(&mut junk);
+        let want = a.next_u64();
+        let mut b = Blake3Rng::from_seed(b"skip odd");
+        b.skip(1000);
+        assert_eq!(b.next_u64(), want);
     }
 
     #[test]
