@@ -30,6 +30,21 @@ echo "==> chaos soak: crash-point sweep under both thread counts"
 CHOCO_THREADS=1 cargo test -q -p choco-apps --test chaos_sweep
 CHOCO_THREADS=4 cargo test -q -p choco-apps --test chaos_sweep
 
+echo "==> socket chaos: TCP crash/restart sweep + serve e2e"
+# Real-socket counterpart of the chaos sweep (crates/apps/tests/chaos_tcp.rs):
+# mid-run connection teardowns and full server restarts must redial and
+# resume to bit-identical ciphertexts. serve_e2e covers concurrent
+# admission, typed Overloaded, drain/restart record continuity, and a
+# mid-frame proxy cut.
+cargo test -q -p choco-apps --test chaos_tcp
+cargo test -q -p choco-serve
+
+echo "==> loopback serve smoke: real server process + load generator"
+# Boots the choco-serve binary on an ephemeral port, runs the bench client
+# against it over loopback, then drains it via stdin. The hard timeout
+# guards CI against a hung accept loop or a drain that never converges.
+timeout 120 ./scripts/serve_smoke.sh
+
 echo "==> kernel bench reporter (smoke mode + generic-core overhead gate)"
 # Besides the kernel timings, bench_kernels asserts that the scheme-generic
 # HeScheme::dot_diagonals path stays within noise (< 1.25x) of a

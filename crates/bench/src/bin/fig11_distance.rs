@@ -20,11 +20,18 @@ use choco_taco::baseline::{sw_decryption_time, sw_encryption_time};
 use choco_taco::config::AcceleratorConfig;
 use choco_taco::model::{decryption_profile, encryption_profile};
 
+fn or_die<T, E: std::fmt::Display>(what: &str, result: Result<T, E>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("fig11_distance: {what}: {e}");
+        std::process::exit(1)
+    })
+}
+
 fn main() {
     header("Figure 11: encrypted distance kernels — packing-variant tradeoffs");
     // Deeper CKKS chain than set C so the collapsed variant has a rescale
     // level to spend on its masking multiplies (documented substitution).
-    let params = HeParams::ckks(8192, &[50, 50, 40, 59], 40).expect("params");
+    let params = or_die("params", HeParams::ckks(8192, &[50, 50, 40, 59], 40));
     let n_ring = params.degree();
     let k = params.prime_count();
     let cfg = AcceleratorConfig::paper_operating_point();
@@ -51,9 +58,15 @@ fn main() {
 
         for variant in PackingVariant::all() {
             let steps = distance_rotation_steps(dims, points_n, params.slot_count());
-            let mut session = Session::<Ckks>::direct(&params, b"fig11", &steps).expect("session");
+            let mut session = or_die(
+                "session",
+                Session::<Ckks>::direct(&params, b"fig11", &steps),
+            );
             let (res, server_time) = timed(|| {
-                encrypted_distances(variant, &mut session, &query, &points).expect("kernel")
+                or_die(
+                    "kernel",
+                    encrypted_distances(variant, &mut session, &query, &points),
+                )
             });
             // Validate against the plaintext reference.
             for (g, w) in res.distances.iter().zip(&want) {

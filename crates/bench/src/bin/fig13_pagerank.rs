@@ -9,6 +9,13 @@ use choco_bench::{header, note};
 use choco_he::params::{HeParams, SchemeType};
 use choco_he::Bfv;
 
+fn or_die<T, E: std::fmt::Display>(what: &str, result: Result<T, E>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("fig13_pagerank: {what}: {e}");
+        std::process::exit(1)
+    })
+}
+
 fn main() {
     header("Figure 13: encrypted PageRank communication vs refresh schedule");
     let nodes = 64usize;
@@ -49,9 +56,11 @@ fn main() {
     // Real encrypted validation at small scale.
     println!("\nValidation: real encrypted BFV PageRank vs plaintext reference");
     let g = Graph::from_adjacency(&[vec![1, 2], vec![2], vec![0], vec![0, 2]]);
-    let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).expect("params");
-    let enc =
-        pagerank_encrypted::<Bfv>(&g, 0.85, 8, 1, &params, 10, LinkConfig::direct()).expect("run");
+    let params = or_die("params", HeParams::bfv_insecure(1024, &[45, 45, 46], 24));
+    let enc = or_die(
+        "encrypted run",
+        pagerank_encrypted::<Bfv>(&g, 0.85, 8, 1, &params, 10, LinkConfig::direct()),
+    );
     let plain = pagerank_plain(&g, 0.85, 8);
     let max_err = enc
         .ranks

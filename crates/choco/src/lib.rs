@@ -52,7 +52,7 @@ pub mod rotation;
 pub mod stacking;
 pub mod transport;
 
-pub use protocol::{Client, CommLedger, Server};
+pub use protocol::{Client, CommLedger, LedgerBook, Server};
 pub use rotation::RedundantLayout;
 pub use stacking::StackedLayout;
 pub use transport::Session;

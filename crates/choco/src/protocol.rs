@@ -114,6 +114,62 @@ impl CommLedger {
     }
 }
 
+/// Per-tenant communication accounting: a keyed map of [`CommLedger`]s, one
+/// per tenant id, so a multi-tenant server bills each tenant exactly. Kept
+/// as a separate type (rather than a tenant field on [`CommLedger`]) so the
+/// single-session ledger — and the checkpoint format that serializes it
+/// field by field — is unchanged.
+///
+/// Iteration order is the tenant-id order (`BTreeMap`), so reports are
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LedgerBook {
+    ledgers: std::collections::BTreeMap<u64, CommLedger>,
+}
+
+impl LedgerBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The mutable ledger for `tenant`, created empty on first touch.
+    pub fn bill(&mut self, tenant: u64) -> &mut CommLedger {
+        self.ledgers.entry(tenant).or_default()
+    }
+
+    /// The ledger for `tenant`, if it has ever been billed.
+    pub fn get(&self, tenant: u64) -> Option<&CommLedger> {
+        self.ledgers.get(&tenant)
+    }
+
+    /// Number of tenants with an entry.
+    pub fn tenants(&self) -> usize {
+        self.ledgers.len()
+    }
+
+    /// Iterates `(tenant, ledger)` in tenant-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &CommLedger)> {
+        self.ledgers.iter().map(|(t, l)| (*t, l))
+    }
+
+    /// Folds another book into this one, tenant by tenant.
+    pub fn merge(&mut self, other: &LedgerBook) {
+        for (tenant, ledger) in other.iter() {
+            self.bill(tenant).merge(ledger);
+        }
+    }
+
+    /// The sum of every tenant's ledger.
+    pub fn combined(&self) -> CommLedger {
+        let mut total = CommLedger::new();
+        for (_, ledger) in self.iter() {
+            total.merge(ledger);
+        }
+        total
+    }
+}
+
 /// The trusted client role: owns the secret key, encrypts, decrypts, and
 /// counts its cryptographic operations. Generic over the scheme `S`.
 #[derive(Debug)]
@@ -516,6 +572,34 @@ mod tests {
 
     fn bfv_params() -> HeParams {
         HeParams::bfv_insecure(1024, &[40, 40, 41], 17).unwrap()
+    }
+
+    #[test]
+    fn ledger_book_bills_per_tenant() {
+        let mut book = LedgerBook::new();
+        book.bill(7).record_upload(100);
+        book.bill(7).record_download(40);
+        book.bill(3).record_upload(9);
+        book.bill(3).record_retransmit(5);
+        assert_eq!(book.tenants(), 2);
+        assert_eq!(book.get(7).map(|l| l.upload_bytes), Some(100));
+        assert_eq!(book.get(7).map(|l| l.download_bytes), Some(40));
+        assert_eq!(book.get(3).map(|l| l.retransmit_bytes), Some(5));
+        assert_eq!(book.get(99), None);
+        // Deterministic (tenant-id) iteration order.
+        let ids: Vec<u64> = book.iter().map(|(t, _)| t).collect();
+        assert_eq!(ids, vec![3, 7]);
+        // Merge folds tenant-wise; combined sums everything.
+        let mut other = LedgerBook::new();
+        other.bill(7).record_upload(1);
+        other.bill(11).record_download(2);
+        book.merge(&other);
+        assert_eq!(book.get(7).map(|l| l.upload_bytes), Some(101));
+        assert_eq!(book.tenants(), 3);
+        let total = book.combined();
+        assert_eq!(total.upload_bytes, 101 + 9);
+        assert_eq!(total.download_bytes, 40 + 2);
+        assert_eq!(total.retransmit_bytes, 5);
     }
 
     #[test]

@@ -89,6 +89,19 @@ impl TagKey {
         TagKey(key)
     }
 
+    /// Keyed tag over arbitrary bytes under a caller-chosen domain label.
+    /// Used outside the frame format proper — e.g. the TCP hello handshake
+    /// proves possession of the session key with a labeled tag, so a client
+    /// that knows only a tenant id (but not its seed) is rejected before
+    /// any frame is exchanged.
+    pub fn labeled_tag(&self, label: &str, data: &[u8]) -> [u8; 32] {
+        let mut h = Hasher::new_keyed(&self.0);
+        h.update(&(label.len() as u64).to_le_bytes());
+        h.update(label.as_bytes());
+        h.update(data);
+        h.finalize()
+    }
+
     fn tag(&self, kind: FrameKind, seq: u64, payload: &[u8]) -> [u8; 32] {
         let mut h = Hasher::new_keyed(&self.0);
         h.update(&[kind.as_u8()]);

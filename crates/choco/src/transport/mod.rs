@@ -41,12 +41,14 @@ pub mod checkpoint;
 pub mod fault;
 pub mod frame;
 pub mod session;
+pub mod tcp;
 
 pub use channel::{Channel, Delivery, DirectChannel};
 pub use checkpoint::SessionCheckpoint;
 pub use fault::{FaultPlan, FaultStats, FaultyChannel};
 pub use frame::{Frame, FrameKind, TagKey};
 pub use session::{CrashOp, CrashPlan, LinkConfig, RetryPolicy, Session};
+pub use tcp::{dial, HelloStatus, Redialer, TcpChannel, MAX_FRAME_BYTES};
 
 use choco_he::HeError;
 
@@ -110,6 +112,35 @@ pub enum TransportError {
     /// A checkpoint blob failed validation: bad magic/version, truncated or
     /// tampered body (hash mismatch), or a scheme/parameter mismatch.
     BadCheckpoint(String),
+    /// A real socket closed underneath the session: EOF, connection reset,
+    /// or an I/O error that ends the connection. The carried string is the
+    /// OS-level cause. Redial and [`Session::resume`](session::Session) to
+    /// continue.
+    Disconnected(String),
+    /// A length prefix on the wire declared a frame larger than the
+    /// configured bound. Rejected *before* allocating, so a hostile or
+    /// corrupt peer cannot force a huge allocation.
+    Oversized {
+        /// Bytes the prefix declared.
+        declared: u64,
+        /// Configured maximum frame size.
+        max: u64,
+    },
+    /// The server refused admission: it is already serving its configured
+    /// maximum number of sessions. A typed rejection, never a silent queue.
+    Overloaded {
+        /// Sessions active at the server when it refused.
+        active: u32,
+        /// The server's admission limit.
+        limit: u32,
+    },
+    /// The server rejected the connection handshake for a reason other than
+    /// load (unknown tenant, bad hello authentication, draining).
+    Rejected(String),
+    /// The per-session sequence space is exhausted. Practically unreachable
+    /// (2^64 frames), but checked so the cursor can never silently wrap and
+    /// alias old frames.
+    SeqExhausted,
 }
 
 impl std::fmt::Display for TransportError {
@@ -146,6 +177,21 @@ impl std::fmt::Display for TransportError {
                 write!(f, "simulated crash at {op:?} #{nth}")
             }
             TransportError::BadCheckpoint(msg) => write!(f, "bad checkpoint: {msg}"),
+            TransportError::Disconnected(msg) => write!(f, "connection lost: {msg}"),
+            TransportError::Oversized { declared, max } => {
+                write!(
+                    f,
+                    "oversized frame: prefix declares {declared} bytes, max {max}"
+                )
+            }
+            TransportError::Overloaded { active, limit } => {
+                write!(
+                    f,
+                    "server overloaded: {active} active sessions, limit {limit}"
+                )
+            }
+            TransportError::Rejected(msg) => write!(f, "connection rejected: {msg}"),
+            TransportError::SeqExhausted => write!(f, "frame sequence space exhausted"),
         }
     }
 }

@@ -184,6 +184,11 @@ impl<C: Channel> Link<C> {
         ledger: &mut CommLedger,
     ) -> Result<Vec<u8>, TransportError> {
         let seq = self.next_seq;
+        // The cursor must never wrap: a wrapped seq would alias a frame from
+        // the beginning of the session and defeat stale-duplicate rejection.
+        if seq == u64::MAX {
+            return Err(TransportError::SeqExhausted);
+        }
         self.next_seq += 1;
         let wire = frame::encode_frame(kind, seq, payload, &self.tag_key);
         let start = self.clock_ms;
@@ -1114,6 +1119,20 @@ mod tests {
             Err(TransportError::BadCheckpoint(_)) => {}
             other => panic!("expected BadCheckpoint, got {:?}", other.map(|_| ())),
         }
+    }
+
+    #[test]
+    fn seq_space_exhaustion_is_typed() {
+        let mut s = Session::<Bfv>::direct(&params(), b"session seq end", &[]).unwrap();
+        s.link.next_seq = u64::MAX;
+        let ct = s.client_mut().encrypt_slots(&[1; 256]).unwrap();
+        match s.upload(&ct) {
+            Err(TransportError::SeqExhausted) => {}
+            other => panic!("expected SeqExhausted, got {other:?}"),
+        }
+        // Nothing was billed and the cursor did not wrap.
+        assert_eq!(s.ledger().uploads, 0);
+        assert_eq!(s.link.next_seq, u64::MAX);
     }
 
     #[test]

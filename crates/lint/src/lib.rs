@@ -29,7 +29,7 @@ pub use rules::{FileScope, FnRegistry};
 /// Crates whose library code is subject to the panic audit. The tooling
 /// crates (`lint` itself, `bench`, `quickprop`) are exempt: they are not
 /// shipped library surface. All crates get the unsafe audit.
-pub const PANIC_AUDIT_CRATES: &[&str] = &["math", "prng", "he", "choco", "apps", "taco"];
+pub const PANIC_AUDIT_CRATES: &[&str] = &["math", "prng", "he", "choco", "apps", "taco", "serve"];
 
 /// Files subject to the lazy-reduction discipline (modular kernels).
 pub const LAZY_FILES: &[&str] = &[

@@ -1,0 +1,400 @@
+//! `choco-serve-bench` — loopback load generator for `choco-serve`.
+//!
+//! Spawns N concurrent clients against one server (in-process by default,
+//! or an external one via `--addr`). Each client runs the paper's four
+//! workload kinds round-robin over real TCP sessions — PageRank (BFV),
+//! a conv layer (BFV), the LeNet-like pipeline (BFV) and K-Means (CKKS) —
+//! and reports wall-clock percentiles per kind plus server-side totals as
+//! JSON (`--json PATH`, e.g. the committed `BENCH_serve.json`).
+
+#![forbid(unsafe_code)]
+
+use choco::transport::{Redialer, RetryPolicy, Session, TcpChannel};
+use choco_apps::distance::{distance_rotation_steps, PackingVariant};
+use choco_apps::pagerank::{pagerank_rotation_steps, Graph};
+use choco_apps::pipeline::{all_rotation_steps, seeded_weights, LenetLikeSpec};
+use choco_apps::resumable::{
+    drive_over_tcp, ResumableConvLayer, ResumableKmeans, ResumablePagerank, ResumablePipeline,
+};
+use choco_he::params::HeParams;
+use choco_he::{Bfv, Ckks};
+use choco_serve::{OffloadServer, ServeConfig, ServeStats, TenantRegistry};
+use std::time::Instant;
+
+const USAGE: &str = "\
+choco-serve-bench: loopback load generator for choco-serve
+
+USAGE:
+  choco-serve-bench [--clients N] [--reps N] [--addr HOST:PORT] [--json PATH]
+                    [--smoke]
+
+OPTIONS:
+  --clients N   concurrent client threads (default 8)
+  --reps N      workload runs per client (default 3)
+  --addr A      benchmark an external choco-serve (tenants must be
+                registered as ID=serve-bench tenant ID); default is an
+                in-process server
+  --json PATH   write the report as JSON to PATH (default: stdout only)
+  --smoke       tiny run (2 clients x 1 rep) for CI";
+
+const KINDS: [&str; 4] = ["pagerank_bfv", "conv_bfv", "pipeline_bfv", "kmeans_ckks"];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("choco-serve-bench: {msg}\n\n{USAGE}");
+    std::process::exit(2)
+}
+
+fn tenant_seed(tenant: u64) -> String {
+    format!("serve-bench-tenant-{tenant}")
+}
+
+fn err_str(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+/// One workload run over its own TCP session. Returns an error string on
+/// failure (the bench reports failures, it does not panic).
+fn run_workload(kind: usize, addr: &str, tenant: u64, session_id: u64) -> Result<(), String> {
+    let seed = tenant_seed(tenant);
+    let redialer = Redialer::new(addr, seed.as_bytes(), tenant, session_id);
+    let dial = |r: &Redialer| r.dial_fresh().map_err(err_str);
+    match kind {
+        0 => {
+            let g = Graph::from_adjacency(&[vec![1, 2], vec![2], vec![0], vec![0, 2]]);
+            let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 24).map_err(err_str)?;
+            let steps = pagerank_rotation_steps(g.len());
+            let (up, down) = dial(&redialer)?;
+            let session = Session::<Bfv, TcpChannel>::over(
+                &params,
+                seed.as_bytes(),
+                &steps,
+                up,
+                down,
+                RetryPolicy::default(),
+            )
+            .map_err(err_str)?;
+            let w = ResumablePagerank::<Bfv>::new(&g, 0.85, 4, 2, 10).map_err(err_str)?;
+            drive_over_tcp(
+                &redialer,
+                session,
+                w,
+                |p| ResumablePagerank::<Bfv>::restore(&g, 0.85, 4, 2, 10, p),
+                |w, s| w.step(s),
+                |_, _| Ok(()),
+                2,
+            )
+            .map_err(err_str)?;
+        }
+        1 => {
+            let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).map_err(err_str)?;
+            let input: Vec<Vec<u64>> = vec![(0..64).map(|i| (i * 5 + 1) % 16).collect()];
+            let weights: Vec<Vec<Vec<u64>>> = (0..2)
+                .map(|c| vec![(0..9).map(|i| ((i + c * 3) % 16) as u64).collect()])
+                .collect();
+            let steps = choco_apps::dnn::conv_rotation_steps(1, 8, 8, 3);
+            let (up, down) = dial(&redialer)?;
+            let session = Session::<Bfv, TcpChannel>::over(
+                &params,
+                seed.as_bytes(),
+                &steps,
+                up,
+                down,
+                RetryPolicy::default(),
+            )
+            .map_err(err_str)?;
+            let w = ResumableConvLayer::new(&input, &weights, 8, 8, 3).map_err(err_str)?;
+            drive_over_tcp(
+                &redialer,
+                session,
+                w,
+                |p| ResumableConvLayer::restore(&input, &weights, 8, 8, 3, p),
+                |w, s| w.step(s),
+                |w, s| w.recover(s),
+                2,
+            )
+            .map_err(err_str)?;
+        }
+        2 => {
+            let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).map_err(err_str)?;
+            let spec = LenetLikeSpec::tiny();
+            let weights = seeded_weights(&spec, b"serve-bench pipe");
+            let image: Vec<u64> = (0..spec.img * spec.img)
+                .map(|i| ((i * 7 + 3) % 16) as u64)
+                .collect();
+            let steps = all_rotation_steps(&spec, params.degree() / 2);
+            let (up, down) = dial(&redialer)?;
+            let session = Session::<Bfv, TcpChannel>::over(
+                &params,
+                seed.as_bytes(),
+                &steps,
+                up,
+                down,
+                RetryPolicy::default(),
+            )
+            .map_err(err_str)?;
+            let w = ResumablePipeline::new(&spec, &weights, &image).map_err(err_str)?;
+            drive_over_tcp(
+                &redialer,
+                session,
+                w,
+                |p| ResumablePipeline::restore(&spec, &weights, &image, p),
+                |w, s| w.step(s),
+                |_, _| Ok(()),
+                2,
+            )
+            .map_err(err_str)?;
+        }
+        _ => {
+            let params = HeParams::ckks_insecure(1024, &[45, 45, 45, 46], 38).map_err(err_str)?;
+            let points = vec![
+                vec![0.0, 0.1, 0.0, 0.0],
+                vec![0.1, 0.0, 0.1, 0.1],
+                vec![0.05, 0.05, 0.0, 0.1],
+                vec![2.0, 2.1, 2.0, 1.9],
+                vec![2.1, 2.0, 1.9, 2.0],
+                vec![1.9, 1.9, 2.1, 2.1],
+            ];
+            let init = vec![vec![0.5; 4], vec![1.5; 4]];
+            let steps = distance_rotation_steps(4, points.len(), 512);
+            let (up, down) = dial(&redialer)?;
+            let session = Session::<Ckks, TcpChannel>::over(
+                &params,
+                seed.as_bytes(),
+                &steps,
+                up,
+                down,
+                RetryPolicy::default(),
+            )
+            .map_err(err_str)?;
+            let w = ResumableKmeans::new(PackingVariant::DimensionMajor, &points, &init, 2, 1e-6)
+                .map_err(err_str)?;
+            drive_over_tcp(
+                &redialer,
+                session,
+                w,
+                |p| {
+                    ResumableKmeans::restore(
+                        PackingVariant::DimensionMajor,
+                        &points,
+                        &init,
+                        2,
+                        1e-6,
+                        p,
+                    )
+                },
+                |w, s| w.step(s),
+                |_, _| Ok(()),
+                2,
+            )
+            .map_err(err_str)?;
+        }
+    }
+    Ok(())
+}
+
+fn percentile(sorted_ms: &[u64], pct: u64) -> u64 {
+    if sorted_ms.is_empty() {
+        return 0;
+    }
+    let rank = (pct * (sorted_ms.len() as u64 - 1) + 50) / 100;
+    sorted_ms
+        .get(rank as usize)
+        .or_else(|| sorted_ms.last())
+        .copied()
+        .unwrap_or(0)
+}
+
+fn kind_json(label: &str, ms: &mut [u64], failed: u64) -> String {
+    ms.sort_unstable();
+    let mean = if ms.is_empty() {
+        0
+    } else {
+        ms.iter().sum::<u64>() / ms.len() as u64
+    };
+    format!(
+        "    \"{label}\": {{ \"runs\": {}, \"failed\": {failed}, \"p50_ms\": {}, \
+         \"p90_ms\": {}, \"p99_ms\": {}, \"mean_ms\": {mean}, \"min_ms\": {}, \"max_ms\": {} }}",
+        ms.len(),
+        percentile(ms, 50),
+        percentile(ms, 90),
+        percentile(ms, 99),
+        ms.first().copied().unwrap_or(0),
+        ms.last().copied().unwrap_or(0),
+    )
+}
+
+fn server_json(stats: &ServeStats) -> String {
+    let total = stats.book.combined();
+    format!(
+        "  \"server\": {{ \"accepted\": {}, \"resumed\": {}, \"rejected_overload\": {}, \
+         \"tenants\": {}, \"fresh_frames\": {}, \"fresh_payload_bytes\": {}, \
+         \"retransmit_bytes\": {}, \"sessions\": {} }}",
+        stats.accepted,
+        stats.resumed,
+        stats.rejected_overload,
+        stats.book.tenants(),
+        total.uploads,
+        total.upload_bytes,
+        total.retransmit_bytes,
+        stats.sessions.len(),
+    )
+}
+
+fn main() {
+    let mut clients: usize = 8;
+    let mut reps: u64 = 3;
+    let mut addr: Option<String> = None;
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut need = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--clients" => {
+                clients = need("--clients")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--clients: not a number"));
+            }
+            "--reps" => {
+                reps = need("--reps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reps: not a number"));
+            }
+            "--addr" => addr = Some(need("--addr")),
+            "--json" => json_path = Some(need("--json")),
+            "--smoke" => {
+                clients = 2;
+                reps = 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if clients == 0 || reps == 0 {
+        fail("--clients and --reps must be positive");
+    }
+
+    // In-process server unless an external address was given.
+    let mut registry = TenantRegistry::new();
+    for i in 0..clients {
+        let tenant = i as u64 + 1;
+        registry.register(tenant, tenant_seed(tenant).as_bytes());
+    }
+    let server = match addr {
+        Some(_) => None,
+        None => {
+            let config = ServeConfig {
+                max_sessions: clients as u32 + 4,
+                ..ServeConfig::default()
+            };
+            Some(
+                OffloadServer::bind("127.0.0.1:0", config, registry)
+                    .unwrap_or_else(|e| fail(&format!("bind in-process server: {e}"))),
+            )
+        }
+    };
+    let addr = addr.unwrap_or_else(|| {
+        server
+            .as_ref()
+            .map(|s| s.addr().to_string())
+            .unwrap_or_else(|| fail("no server"))
+    });
+
+    eprintln!(
+        "choco-serve-bench: {clients} clients x {reps} reps against {addr} \
+         ({} threads in the par pool)",
+        choco_math::par::num_threads()
+    );
+
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for i in 0..clients {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let tenant = i as u64 + 1;
+            let kind = i % KINDS.len();
+            let mut runs: Vec<(usize, u64, Result<(), String>)> = Vec::new();
+            for rep in 0..reps {
+                let t0 = Instant::now();
+                let outcome = run_workload(kind, &addr, tenant, rep);
+                let ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+                runs.push((kind, ms, outcome));
+            }
+            runs
+        }));
+    }
+    let mut runs: Vec<(usize, u64, Result<(), String>)> = Vec::new();
+    for handle in handles {
+        match handle.join() {
+            Ok(mut r) => runs.append(&mut r),
+            Err(_) => fail("a client thread panicked"),
+        }
+    }
+    let wall_ms = u64::try_from(wall.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+    let mut failed_total = 0u64;
+    for (kind, _, outcome) in &runs {
+        if let Err(e) = outcome {
+            failed_total += 1;
+            eprintln!(
+                "choco-serve-bench: {} run failed: {e}",
+                KINDS.get(*kind).copied().unwrap_or("?")
+            );
+        }
+    }
+
+    let mut kind_lines = Vec::new();
+    for (kind, label) in KINDS.iter().enumerate() {
+        let mut ms: Vec<u64> = runs
+            .iter()
+            .filter(|(k, _, outcome)| *k == kind && outcome.is_ok())
+            .map(|(_, ms, _)| *ms)
+            .collect();
+        let failed = runs
+            .iter()
+            .filter(|(k, _, outcome)| *k == kind && outcome.is_err())
+            .count() as u64;
+        if !ms.is_empty() || failed > 0 {
+            kind_lines.push(kind_json(label, &mut ms, failed));
+        }
+    }
+
+    let stats = server.map(OffloadServer::shutdown);
+    let total_runs = runs.len() as u64;
+    let throughput_per_s = if wall_ms == 0 {
+        0.0
+    } else {
+        (total_runs - failed_total) as f64 * 1_000.0 / wall_ms as f64
+    };
+    let mut sections = vec![
+        format!(
+            "  \"config\": {{ \"clients\": {clients}, \"reps\": {reps}, \"addr\": \"{addr}\" }}"
+        ),
+        format!(
+            "  \"total\": {{ \"runs\": {total_runs}, \"failed\": {failed_total}, \
+             \"wall_ms\": {wall_ms}, \"throughput_per_s\": {throughput_per_s:.3} }}"
+        ),
+        format!("  \"workloads\": {{\n{}\n  }}", kind_lines.join(",\n")),
+    ];
+    if let Some(stats) = &stats {
+        sections.push(server_json(stats));
+    }
+    let report = format!("{{\n{}\n}}\n", sections.join(",\n"));
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, &report) {
+            fail(&format!("write {path}: {e}"));
+        }
+        eprintln!("choco-serve-bench: wrote {path}");
+    }
+    print!("{report}");
+    if failed_total > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Socket-level fault injection for the chaos tests.
+//!
+//! [`ChaosProxy`] sits between a client and an [`crate::OffloadServer`] on
+//! loopback and forwards bytes in both directions — until its
+//! [`ChaosPlan`] says otherwise. Unlike the in-memory
+//! `choco::transport::fault::FaultyChannel` (which perturbs whole frames),
+//! the proxy works on raw socket bytes, so it can cut a connection *in the
+//! middle of a frame* or delay individual TCP segments: exactly the
+//! failures a real network produces and the frame layer must absorb.
+//!
+//! The kill fires once, on the client→server direction of the first
+//! connection that crosses the byte threshold; connections dialed after
+//! the kill pass through clean, so a client redial/resume succeeds.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// What the proxy does to the traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Cut both directions after this many client→server bytes have been
+    /// forwarded (counted across connections; fires once). Choose a value
+    /// inside a frame to simulate a mid-frame connection loss.
+    pub kill_after_bytes: Option<u64>,
+    /// Sleep this long before forwarding each chunk, both directions —
+    /// a crude high-latency link (delayed ACK/echo delivery).
+    pub delay_ms: u64,
+}
+
+struct ProxyState {
+    plan: ChaosPlan,
+    stop: AtomicBool,
+    forwarded_c2s: AtomicU64,
+    killed: AtomicBool,
+}
+
+/// A running loopback proxy. Stops (and closes its listener) on drop.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    state: Arc<ProxyState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral loopback port, forwarding to
+    /// `upstream` per `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn spawn(upstream: SocketAddr, plan: ChaosPlan) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ProxyState {
+            plan,
+            stop: AtomicBool::new(false),
+            forwarded_c2s: AtomicU64::new(0),
+            killed: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = thread::spawn(move || accept_loop(&listener, upstream, &accept_state));
+        Ok(ChaosProxy {
+            addr,
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients should dial instead of the upstream.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the planned kill has fired.
+    pub fn killed(&self) -> bool {
+        self.state.killed.load(Ordering::SeqCst)
+    }
+
+    /// Stops the proxy (idempotent; also runs on drop).
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, upstream: SocketAddr, state: &Arc<ProxyState>) {
+    while !state.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                spawn_pump(client, server, state);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn spawn_pump(client: TcpStream, server: TcpStream, state: &Arc<ProxyState>) {
+    let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = server.shutdown(Shutdown::Both);
+        return;
+    };
+    let c2s_state = Arc::clone(state);
+    thread::spawn(move || pump(client, server, &c2s_state, true));
+    let s2c_state = Arc::clone(state);
+    thread::spawn(move || pump(server2, client2, &s2c_state, false));
+}
+
+/// Copies bytes `from` → `to`, applying the plan. `count_for_kill` marks
+/// the client→server direction, the only one the byte-kill counts.
+fn pump(mut from: TcpStream, mut to: TcpStream, state: &Arc<ProxyState>, count_for_kill: bool) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = to.set_nodelay(true);
+    let mut buf = [0u8; 4096];
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let got = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        if state.plan.delay_ms > 0 {
+            thread::sleep(Duration::from_millis(state.plan.delay_ms));
+        }
+        let mut chunk = buf.get(..got).unwrap_or(&[]);
+        if count_for_kill && !state.killed.load(Ordering::SeqCst) {
+            if let Some(threshold) = state.plan.kill_after_bytes {
+                let before = state.forwarded_c2s.fetch_add(got as u64, Ordering::SeqCst);
+                if before + got as u64 >= threshold && !state.killed.swap(true, Ordering::SeqCst) {
+                    // Forward only up to the threshold, then cut both
+                    // directions mid-frame.
+                    let keep = (threshold.saturating_sub(before)) as usize;
+                    chunk = chunk.get(..keep.min(chunk.len())).unwrap_or(&[]);
+                    if !chunk.is_empty() {
+                        let _ = to.write_all(chunk).and_then(|_| to.flush());
+                    }
+                    break;
+                }
+            }
+        }
+        if to.write_all(chunk).and_then(|_| to.flush()).is_err() {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial upstream echo: whatever arrives is written back.
+    fn echo_upstream() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo upstream");
+        let addr = listener.local_addr().expect("echo upstream addr");
+        thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                thread::spawn(move || {
+                    let mut stream = stream;
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = stream.read(&mut buf) {
+                        if n == 0 || stream.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn clean_plan_forwards_both_directions() {
+        let proxy = ChaosProxy::spawn(echo_upstream(), ChaosPlan::default()).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"over the proxy").unwrap();
+        let mut got = [0u8; 14];
+        conn.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"over the proxy");
+        assert!(!proxy.killed());
+    }
+
+    #[test]
+    fn kill_fires_once_and_later_connections_pass() {
+        let plan = ChaosPlan {
+            kill_after_bytes: Some(4),
+            delay_ms: 0,
+        };
+        let proxy = ChaosProxy::spawn(echo_upstream(), plan).unwrap();
+        let mut first = TcpStream::connect(proxy.addr()).unwrap();
+        first.write_all(b"0123456789").unwrap();
+        // The cut drops the connection: reads end in EOF or reset.
+        let mut sink = Vec::new();
+        let _ = first.read_to_end(&mut sink);
+        assert!(sink.len() <= 4, "at most 4 bytes may cross, got {sink:?}");
+        assert!(proxy.killed());
+
+        let mut second = TcpStream::connect(proxy.addr()).unwrap();
+        second.write_all(b"after the kill").unwrap();
+        let mut got = [0u8; 14];
+        second.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"after the kill");
+    }
+}

@@ -1,0 +1,34 @@
+//! `choco-serve`: the offload protocol's remote peer over real TCP.
+//!
+//! The [`crate::server::OffloadServer`] is a **verified relay**: it holds
+//! each tenant's frame-tag key, verifies every keyed-BLAKE3 frame a client
+//! sends, bills it to a per-tenant [`choco::LedgerBook`], and acknowledges
+//! by echoing the verified frame bytes back. The HE state machine itself
+//! stays inside the client process's [`choco::Session`] (the paper's
+//! client-aided model keeps the secret key there anyway); what the server
+//! adds is everything a real deployment needs around that loop:
+//!
+//! * a per-tenant key [`registry::TenantRegistry`] and an authenticated
+//!   hello handshake (a client that does not know the tenant seed is
+//!   rejected before any frame is exchanged),
+//! * admission control with a typed `Overloaded` refusal instead of
+//!   silent queueing,
+//! * per-connection worker threads that verify frame batches on the
+//!   `choco-math::par` pool,
+//! * graceful drain: live per-session state is checkpointed to disk as
+//!   sealed [`record::SessionRecord`]s so a restarted server keeps exact
+//!   duplicate/retransmit accounting across the restart, and
+//! * [`chaos::ChaosProxy`], a socket-level fault injector for the chaos
+//!   tests (mid-frame connection kills, per-chunk delays).
+
+#![forbid(unsafe_code)]
+
+pub mod chaos;
+pub mod record;
+pub mod registry;
+pub mod server;
+
+pub use chaos::{ChaosPlan, ChaosProxy};
+pub use record::SessionRecord;
+pub use registry::TenantRegistry;
+pub use server::{OffloadServer, ServeConfig, ServeStats};

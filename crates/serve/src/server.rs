@@ -1,0 +1,541 @@
+//! The verified-relay offload server.
+//!
+//! [`OffloadServer`] listens on a real TCP socket. Each connection starts
+//! with the authenticated hello handshake from
+//! [`choco::transport::tcp`]: the server looks the tenant up in its
+//! [`TenantRegistry`], checks the keyed auth tag, applies admission
+//! control, and answers with a typed ack. Admitted connections get a
+//! dedicated worker thread that reads length-prefixed frames, verifies
+//! their keyed-BLAKE3 tags (batches are verified on the `choco-math::par`
+//! pool), bills them to a per-tenant [`LedgerBook`], and echoes every
+//! verified frame back — the acknowledgement the client's session layer
+//! treats as delivery.
+//!
+//! **Ledger semantics.** The server cannot see inside the relay protocol —
+//! a frame is a frame, whether the client's session counts it as an
+//! upload, a download, a refresh leg or recovery traffic. The server book
+//! therefore bills every *fresh* frame's payload as `upload_bytes` (all
+//! physical traffic is client → server) and every duplicate's wire bytes
+//! as `retransmit_bytes`. On a clean loopback run the invariant that ties
+//! the two views together is exact frame counts: server fresh frames ==
+//! client `uploads + downloads` (+ recovery transfers after a resume), and
+//! server `retransmit` is zero.
+//!
+//! **Drain.** [`OffloadServer::drain`] stops admitting, lets every worker
+//! finish its current read, persists all session records (in parallel) to
+//! the checkpoint directory, and returns once the server is idle. A server
+//! bound later over the same directory resumes the records, so duplicate
+//! accounting is exact even across a full server restart.
+
+use crate::record::SessionRecord;
+use crate::registry::TenantRegistry;
+use choco::transport::frame::decode_frame;
+use choco::transport::tcp::{decode_hello, encode_ack, BlobIo, HelloStatus, HELLO_BYTES};
+use choco::transport::{TagKey, MAX_FRAME_BYTES};
+use choco::LedgerBook;
+use choco_math::par;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How many already-buffered frames a worker verifies as one parallel
+/// batch before echoing.
+const VERIFY_BATCH: usize = 32;
+
+/// Server tuning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Admission limit: concurrent sessions beyond this are refused with a
+    /// typed `Overloaded` ack, never silently queued.
+    pub max_sessions: u32,
+    /// Handshake read/write timeout, in milliseconds.
+    pub io_timeout_ms: u64,
+    /// Worker read poll, in milliseconds: the granularity at which idle
+    /// workers notice a drain request.
+    pub worker_poll_ms: u64,
+    /// Per-frame size bound (prefixes beyond it are rejected before any
+    /// allocation).
+    pub max_frame_bytes: u64,
+    /// Where to persist session records on drain (and load them at bind).
+    /// `None` disables persistence.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_sessions: 64,
+            io_timeout_ms: 5_000,
+            worker_poll_ms: 50,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// Hello/admission counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Counters {
+    accepted: u64,
+    resumed: u64,
+    rejected_overload: u64,
+    rejected_unknown_tenant: u64,
+    rejected_bad_auth: u64,
+    rejected_draining: u64,
+    rejected_malformed: u64,
+}
+
+/// A point-in-time (or final) view of the server's accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections admitted (hello verified, under the session limit).
+    pub accepted: u64,
+    /// Subset of `accepted` that carried the resume flag.
+    pub resumed: u64,
+    /// Hellos refused with `Overloaded`.
+    pub rejected_overload: u64,
+    /// Hellos refused with `UnknownTenant`.
+    pub rejected_unknown_tenant: u64,
+    /// Hellos refused with `BadAuth`.
+    pub rejected_bad_auth: u64,
+    /// Hellos refused because the server was draining.
+    pub rejected_draining: u64,
+    /// Connections dropped before a well-formed hello arrived.
+    pub rejected_malformed: u64,
+    /// Per-tenant traffic ledgers (see the module docs for semantics).
+    pub book: LedgerBook,
+    /// Per-session records, `(tenant, session)` order.
+    pub sessions: Vec<SessionRecord>,
+}
+
+struct Shared {
+    config: ServeConfig,
+    registry: TenantRegistry,
+    stop: AtomicBool,
+    draining: AtomicBool,
+    active: Mutex<u32>,
+    counters: Mutex<Counters>,
+    sessions: Mutex<BTreeMap<(u64, u64), SessionRecord>>,
+    book: Mutex<LedgerBook>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Shared {
+    /// Bills one verified frame: fresh payload as upload, duplicate wire
+    /// bytes as retransmit. Returns whether the frame was fresh.
+    fn bill_frame(&self, tenant: u64, session: u64, seq: u64, payload_len: usize, wire_len: usize) {
+        let mut sessions = lock(&self.sessions);
+        let rec = sessions
+            .entry((tenant, session))
+            .or_insert_with(|| SessionRecord::new(tenant, session));
+        let fresh = seq >= rec.seen_below;
+        rec.wire_bytes += wire_len as u64;
+        if fresh {
+            rec.seen_below = seq + 1;
+            rec.frames += 1;
+            rec.payload_bytes += payload_len as u64;
+        } else {
+            rec.dup_frames += 1;
+        }
+        drop(sessions);
+        let mut book = lock(&self.book);
+        if fresh {
+            book.bill(tenant).record_upload(payload_len);
+        } else {
+            book.bill(tenant).record_retransmit(wire_len);
+        }
+    }
+
+    fn bill_bad_frame(&self, tenant: u64, session: u64, wire_len: usize) {
+        let mut sessions = lock(&self.sessions);
+        let rec = sessions
+            .entry((tenant, session))
+            .or_insert_with(|| SessionRecord::new(tenant, session));
+        rec.bad_frames += 1;
+        rec.wire_bytes += wire_len as u64;
+    }
+
+    fn persist_session(&self, tenant: u64, session: u64) {
+        let Some(dir) = self.config.checkpoint_dir.as_deref() else {
+            return;
+        };
+        let rec = lock(&self.sessions).get(&(tenant, session)).copied();
+        if let Some(rec) = rec {
+            let _ = rec.save(dir);
+        }
+    }
+}
+
+/// A running server instance. Dropping it stops the accept loop; call
+/// [`OffloadServer::shutdown`] for a graceful drain with final stats.
+pub struct OffloadServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl OffloadServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), loads any
+    /// persisted session records from the checkpoint directory, and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration errors.
+    pub fn bind(addr: &str, config: ServeConfig, registry: TenantRegistry) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let mut sessions = BTreeMap::new();
+        if let Some(dir) = config.checkpoint_dir.as_deref() {
+            for rec in SessionRecord::load_dir(dir) {
+                sessions.insert((rec.tenant, rec.session), rec);
+            }
+        }
+        let shared = Arc::new(Shared {
+            config,
+            registry,
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            active: Mutex::new(0),
+            counters: Mutex::new(Counters::default()),
+            sessions: Mutex::new(sessions),
+            book: Mutex::new(LedgerBook::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(OffloadServer {
+            addr: local,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently admitted sessions.
+    pub fn active_sessions(&self) -> u32 {
+        *lock(&self.shared.active)
+    }
+
+    /// Snapshot of the accounting state.
+    pub fn stats(&self) -> ServeStats {
+        let c = *lock(&self.shared.counters);
+        ServeStats {
+            accepted: c.accepted,
+            resumed: c.resumed,
+            rejected_overload: c.rejected_overload,
+            rejected_unknown_tenant: c.rejected_unknown_tenant,
+            rejected_bad_auth: c.rejected_bad_auth,
+            rejected_draining: c.rejected_draining,
+            rejected_malformed: c.rejected_malformed,
+            book: lock(&self.shared.book).clone(),
+            sessions: lock(&self.shared.sessions).values().copied().collect(),
+        }
+    }
+
+    /// Stops admitting, waits for every worker to notice and exit (bounded
+    /// by the worker poll plus the handshake timeout), then persists all
+    /// session records in parallel on the `choco-math::par` pool.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let budget = Duration::from_millis(
+            self.shared.config.io_timeout_ms + 4 * self.shared.config.worker_poll_ms + 1_000,
+        );
+        let start = Instant::now();
+        while *lock(&self.shared.active) > 0 && start.elapsed() < budget {
+            thread::sleep(Duration::from_millis(2));
+        }
+        if let Some(dir) = self.shared.config.checkpoint_dir.as_deref() {
+            let records: Vec<SessionRecord> =
+                lock(&self.shared.sessions).values().copied().collect();
+            let saved: Vec<bool> = par::par_map(&records, |_, rec| rec.save(dir).is_ok());
+            let _ = saved;
+        }
+    }
+
+    /// Graceful shutdown: [`OffloadServer::drain`], stop the accept loop,
+    /// and return the final stats.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.drain();
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for OffloadServer {
+    fn drop(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(shared);
+                thread::spawn(move || serve_connection(stream, &conn_shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Runs the hello handshake; on admission, runs the echo worker loop on
+/// this same thread until the connection dies or the server drains.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut io = BlobIo::new(stream, shared.config.max_frame_bytes);
+    let _ = io.stream().set_write_timeout(Some(Duration::from_millis(
+        shared.config.io_timeout_ms.max(1),
+    )));
+
+    let hello = match io.read_msg(HELLO_BYTES, shared.config.io_timeout_ms) {
+        Ok(Some(bytes)) => match decode_hello(&bytes) {
+            Ok(h) => h,
+            Err(_) => {
+                lock(&shared.counters).rejected_malformed += 1;
+                return;
+            }
+        },
+        _ => {
+            lock(&shared.counters).rejected_malformed += 1;
+            return;
+        }
+    };
+
+    if shared.draining.load(Ordering::SeqCst) {
+        lock(&shared.counters).rejected_draining += 1;
+        let _ = io.write_all(&encode_ack(HelloStatus::Draining));
+        return;
+    }
+    let Some(key) = shared.registry.key_for(hello.tenant) else {
+        lock(&shared.counters).rejected_unknown_tenant += 1;
+        let _ = io.write_all(&encode_ack(HelloStatus::UnknownTenant));
+        return;
+    };
+    if !hello.verify(&key) {
+        lock(&shared.counters).rejected_bad_auth += 1;
+        let _ = io.write_all(&encode_ack(HelloStatus::BadAuth));
+        return;
+    }
+    {
+        // Admission control: typed refusal, never a silent queue.
+        let mut active = lock(&shared.active);
+        if *active >= shared.config.max_sessions {
+            let status = HelloStatus::Overloaded {
+                active: *active,
+                limit: shared.config.max_sessions,
+            };
+            drop(active);
+            lock(&shared.counters).rejected_overload += 1;
+            let _ = io.write_all(&encode_ack(status));
+            return;
+        }
+        *active += 1;
+    }
+    if io.write_all(&encode_ack(HelloStatus::Ok)).is_err() {
+        *lock(&shared.active) -= 1;
+        return;
+    }
+    {
+        let mut c = lock(&shared.counters);
+        c.accepted += 1;
+        if hello.resume {
+            c.resumed += 1;
+        }
+    }
+
+    echo_worker(&mut io, shared, hello.tenant, hello.session, &key);
+
+    shared.persist_session(hello.tenant, hello.session);
+    *lock(&shared.active) -= 1;
+}
+
+/// The per-connection relay loop: read frames, verify batches in parallel,
+/// bill, echo. Exits on disconnect, I/O error, or drain.
+fn echo_worker(io: &mut BlobIo, shared: &Arc<Shared>, tenant: u64, session: u64, key: &TagKey) {
+    let poll = shared.config.worker_poll_ms.max(1);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let first = match io.read_blob(poll) {
+            Ok(Some(wire)) => wire,
+            Ok(None) => continue,
+            Err(_) => return,
+        };
+        // Opportunistically batch frames that are already buffered so the
+        // tag checks run data-parallel on the par pool.
+        let mut batch = vec![first];
+        while batch.len() < VERIFY_BATCH {
+            match io.read_blob(0) {
+                Ok(Some(wire)) => batch.push(wire),
+                _ => break,
+            }
+        }
+        let verified = par::par_map(&batch, |_, wire| decode_frame(wire, key));
+        for (wire, decoded) in batch.iter().zip(verified) {
+            match decoded {
+                Ok(frame) => {
+                    shared.bill_frame(tenant, session, frame.seq, frame.payload.len(), wire.len());
+                    // Echo duplicates too: a client resuming from a
+                    // checkpoint legitimately resends frames it already
+                    // sent, and its session blocks on the echo.
+                    if io.write_all(wire).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => shared.bill_bad_frame(tenant, session, wire.len()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco::transport::frame::{encode_frame, FrameKind};
+    use choco::transport::tcp::{dial, Redialer, TcpOptions};
+    use choco::transport::{Channel, TransportError};
+
+    fn registry() -> TenantRegistry {
+        let mut reg = TenantRegistry::new();
+        reg.register(1, b"serve unit tenant 1");
+        reg
+    }
+
+    #[test]
+    fn echoes_verified_frames_and_bills_per_tenant() {
+        let server =
+            OffloadServer::bind("127.0.0.1:0", ServeConfig::default(), registry()).unwrap();
+        let key = TagKey::from_session_seed(b"serve unit tenant 1");
+        let opts = TcpOptions::default();
+        let (mut up, _down) = dial(&server.addr().to_string(), &key, 1, 1, false, &opts).unwrap();
+        let wire = encode_frame(FrameKind::Control, 0, b"payload bytes", &key);
+        up.send(wire.clone());
+        let echo = loop {
+            if let Some(d) = up.recv() {
+                break d;
+            }
+        };
+        assert_eq!(echo.wire, wire);
+        // Duplicate (same seq) echoes again but bills retransmit.
+        up.send(wire.clone());
+        loop {
+            if up.recv().is_some() {
+                break;
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, 1);
+        let ledger = stats.book.get(1).copied().unwrap();
+        assert_eq!(ledger.uploads, 1);
+        assert_eq!(ledger.upload_bytes, b"payload bytes".len() as u64);
+        assert_eq!(ledger.retransmit_bytes, wire.len() as u64);
+        assert_eq!(stats.sessions.len(), 1);
+        assert_eq!(stats.sessions[0].frames, 1);
+        assert_eq!(stats.sessions[0].dup_frames, 1);
+    }
+
+    #[test]
+    fn unknown_tenant_and_bad_auth_are_refused() {
+        let server =
+            OffloadServer::bind("127.0.0.1:0", ServeConfig::default(), registry()).unwrap();
+        let addr = server.addr().to_string();
+        let opts = TcpOptions::default();
+        let good = TagKey::from_session_seed(b"serve unit tenant 1");
+        let wrong = TagKey::from_session_seed(b"not the tenant seed");
+        assert!(matches!(
+            dial(&addr, &good, 99, 1, false, &opts),
+            Err(TransportError::Rejected(msg)) if msg.contains("unknown tenant")
+        ));
+        assert!(matches!(
+            dial(&addr, &wrong, 1, 1, false, &opts),
+            Err(TransportError::Rejected(msg)) if msg.contains("authentication")
+        ));
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected_unknown_tenant, 1);
+        assert_eq!(stats.rejected_bad_auth, 1);
+        assert_eq!(stats.accepted, 0);
+    }
+
+    #[test]
+    fn over_admission_is_typed_overloaded() {
+        let config = ServeConfig {
+            max_sessions: 1,
+            ..ServeConfig::default()
+        };
+        let server = OffloadServer::bind("127.0.0.1:0", config, registry()).unwrap();
+        let addr = server.addr().to_string();
+        let key = TagKey::from_session_seed(b"serve unit tenant 1");
+        let opts = TcpOptions::default();
+        let _held = dial(&addr, &key, 1, 1, false, &opts).unwrap();
+        // Give the worker a beat to be counted active, then over-admit.
+        let start = Instant::now();
+        loop {
+            match dial(&addr, &key, 1, 2, false, &opts) {
+                Err(TransportError::Overloaded { active, limit }) => {
+                    assert_eq!(active, 1);
+                    assert_eq!(limit, 1);
+                    break;
+                }
+                Ok(_) | Err(_) if start.elapsed() < Duration::from_secs(5) => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                other => {
+                    let _ = other;
+                    unreachable!("expected Overloaded within 5s");
+                }
+            }
+        }
+        let stats = server.shutdown();
+        assert!(stats.rejected_overload >= 1);
+    }
+
+    #[test]
+    fn draining_server_refuses_and_redialer_backs_off() {
+        let server =
+            OffloadServer::bind("127.0.0.1:0", ServeConfig::default(), registry()).unwrap();
+        server.drain();
+        let addr = server.addr().to_string();
+        let key = TagKey::from_session_seed(b"serve unit tenant 1");
+        assert!(matches!(
+            dial(&addr, &key, 1, 1, false, &TcpOptions::default()),
+            Err(TransportError::Rejected(msg)) if msg.contains("draining")
+        ));
+        // The redialer treats draining as transient and exhausts retries.
+        let mut redialer = Redialer::new(addr, b"serve unit tenant 1", 1, 1);
+        redialer.policy.max_attempts = 2;
+        redialer.policy.base_backoff_ms = 1;
+        assert!(matches!(
+            redialer.dial_fresh(),
+            Err(TransportError::RetriesExhausted { attempts: 2, .. })
+        ));
+        let stats = server.shutdown();
+        assert!(stats.rejected_draining >= 3);
+    }
+}

@@ -14,24 +14,33 @@ use choco::transport::{FaultPlan, FaultyChannel, LinkConfig, RetryPolicy};
 use choco_apps::pipeline::{run_encrypted, seeded_weights, LenetLikeSpec};
 use choco_he::params::HeParams;
 
+fn or_die<T, E: std::fmt::Display>(what: &str, result: Result<T, E>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("resilient_offload: {what}: {e}");
+        std::process::exit(1)
+    })
+}
+
 fn main() {
     let spec = LenetLikeSpec::tiny();
     let weights = seeded_weights(&spec, b"resilient demo");
     let image: Vec<u64> = (0..spec.img * spec.img)
         .map(|i| ((i * 5 + 1) % 16) as u64)
         .collect();
-    let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 18).unwrap();
+    let params = or_die("params", HeParams::bfv_insecure(1024, &[45, 45, 46], 18));
 
     println!("== fault-free baseline ==");
-    let base = run_encrypted(
-        &spec,
-        &weights,
-        &image,
-        &params,
-        b"demo",
-        LinkConfig::direct(),
-    )
-    .unwrap();
+    let base = or_die(
+        "baseline run",
+        run_encrypted(
+            &spec,
+            &weights,
+            &image,
+            &params,
+            b"demo",
+            LinkConfig::direct(),
+        ),
+    );
     println!("logits: {:?}  -> class {}", base.logits, base.class);
     println!(
         "upload {} B, download {} B, rounds {}",
@@ -49,7 +58,10 @@ fn main() {
             ..RetryPolicy::default()
         },
     };
-    let faulty = run_encrypted(&spec, &weights, &image, &params, b"demo", link).unwrap();
+    let faulty = or_die(
+        "faulty-link run",
+        run_encrypted(&spec, &weights, &image, &params, b"demo", link),
+    );
     println!("logits: {:?}  -> class {}", faulty.logits, faulty.class);
     println!(
         "upload {} B, download {} B, rounds {} (unchanged: Figure-10 comparable)",

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the choco-serve binary, two phases:
+#   1. boot the real server process on an ephemeral port, run the load
+#      generator against it over TCP, take a stats snapshot, drain
+#      gracefully via stdin, and check session records were persisted;
+#   2. restart the server over the same checkpoint directory and re-run
+#      the same (tenant, session) workloads — the reloaded dedup cursors
+#      must bill the replayed frames as retransmissions while the
+#      clients still complete, proving record continuity across restart.
+# ci.sh wraps this in a hard `timeout` so a hung accept loop or a
+# non-converging drain fails CI instead of wedging it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE=target/release/choco-serve
+BENCH=target/release/choco-serve-bench
+[[ -x $SERVE && -x $BENCH ]] || cargo build --release -q -p choco-serve
+
+workdir=$(mktemp -d)
+serve_pid=""
+
+cleanup() {
+    exec 3>&- 2>/dev/null || true
+    [[ -n $serve_pid ]] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Boots choco-serve reading stdin from a fifo held open on fd 3; sets
+# $serve_pid and $addr. $1 names the phase (log + fifo suffix).
+boot_server() {
+    local phase=$1
+    log="$workdir/serve-$phase.log"
+    local fifo="$workdir/stdin-$phase.fifo"
+    mkfifo "$fifo"
+    # Port 0 = kernel-assigned ephemeral port; the server prints the real one.
+    "$SERVE" --addr 127.0.0.1:0 --max-sessions 8 \
+        --checkpoint-dir "$workdir/ckpt" \
+        --tenant 1=serve-bench-tenant-1 --tenant 2=serve-bench-tenant-2 \
+        <"$fifo" >"$log" 2>&1 &
+    serve_pid=$!
+    exec 3>"$fifo" # hold the write end open so the server doesn't see EOF
+
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^choco-serve listening on \([0-9.:]*\).*/\1/p' "$log")
+        [[ -n $addr ]] && break
+        kill -0 "$serve_pid" 2>/dev/null || { cat "$log"; echo "serve_smoke: server died at startup ($phase)"; exit 1; }
+        sleep 0.1
+    done
+    [[ -n $addr ]] || { cat "$log"; echo "serve_smoke: server never reported its address ($phase)"; exit 1; }
+    echo "serve_smoke: server up on $addr (pid $serve_pid, phase $phase)"
+}
+
+drain_server() {
+    echo stats >&3
+    echo drain >&3
+    exec 3>&-
+    wait "$serve_pid"
+    serve_pid=""
+    grep -q "choco-serve: drained" "$log" || { cat "$log"; echo "serve_smoke: no clean drain marker"; exit 1; }
+}
+
+# Phase 1: fresh server, clean run, drain persists records.
+boot_server first
+"$BENCH" --addr "$addr" --smoke --json "$workdir/bench1.json"
+drain_server
+grep -q '"failed": 0' "$workdir/bench1.json" || { cat "$workdir/bench1.json"; echo "serve_smoke: phase-1 bench reported failures"; exit 1; }
+ls "$workdir/ckpt"/*.csr >/dev/null 2>&1 || { cat "$log"; echo "serve_smoke: no session records persisted on drain"; exit 1; }
+
+# Phase 2: restart over the same checkpoint dir; identical (tenant,
+# session) ids replay sequence numbers the reloaded cursors have already
+# seen, so the server must bill retransmissions yet still echo them.
+boot_server second
+"$BENCH" --addr "$addr" --smoke --json "$workdir/bench2.json"
+drain_server
+grep -q '"failed": 0' "$workdir/bench2.json" || { cat "$workdir/bench2.json"; echo "serve_smoke: phase-2 bench reported failures"; exit 1; }
+grep -q 'retransmit_bytes=[1-9]' "$log" || { cat "$log"; echo "serve_smoke: restarted server shows no retransmit billing — records not resumed"; exit 1; }
+
+echo "serve_smoke: OK (clean run + drain + persisted records + restart resume)"
