@@ -24,6 +24,7 @@ use crate::rnspoly::RnsPoly;
 use choco_math::modops::add_mod;
 use choco_math::ntt::galois_ntt_permutation;
 use choco_math::par;
+use choco_math::pool::PolyPool;
 use choco_math::prime::generate_ntt_primes;
 use choco_math::rns::RnsBasis;
 use choco_math::UBig;
@@ -899,10 +900,10 @@ impl Evaluator<'_> {
             // Raw u128 accumulation: products stay below 2^122, so 32 terms
             // fit before a lazy reduction. The modular sum is unique, so the
             // result is bit-identical to a multiply_plain/add chain.
-            let mut acc0 = vec![0u128; n];
-            let mut acc1 = vec![0u128; n];
-            let mut ct_ntt = vec![0u64; n];
-            let mut pt_ntt = vec![0u64; n];
+            let mut acc0 = PolyPool::take_zeroed_u128(n);
+            let mut acc1 = PolyPool::take_zeroed_u128(n);
+            let mut ct_ntt = PolyPool::take_scratch(n);
+            let mut pt_ntt = PolyPool::take_scratch(n);
             for (term, (ct, pt)) in cts.iter().zip(pts).enumerate() {
                 if term > 0 && term % 32 == 0 {
                     for v in acc0.iter_mut().chain(acc1.iter_mut()) {
@@ -922,12 +923,19 @@ impl Evaluator<'_> {
                 }
             }
             let reduce = |acc: Vec<u128>| -> Vec<u64> {
-                acc.into_iter().map(|v| (v % q as u128) as u64).collect()
+                let mut out = PolyPool::take_scratch(acc.len());
+                for (x, &v) in out.iter_mut().zip(&acc) {
+                    *x = (v % q as u128) as u64;
+                }
+                PolyPool::recycle_u128(acc);
+                out
             };
             let mut acc0 = reduce(acc0);
             let mut acc1 = reduce(acc1);
             table.inverse(&mut acc0);
             table.inverse(&mut acc1);
+            PolyPool::recycle(ct_ntt);
+            PolyPool::recycle(pt_ntt);
             (acc0, acc1)
         });
         let (rows0, rows1): (Vec<_>, Vec<_>) = acc.into_iter().unzip();
@@ -997,10 +1005,10 @@ impl Evaluator<'_> {
             .map(|i| {
                 let data_row = if i < rows { n } else { 0 };
                 RowAcc {
-                    sw0: vec![0u128; n],
-                    sw1: vec![0u128; n],
-                    plain0: vec![0u128; data_row],
-                    plain1: vec![0u128; data_row],
+                    sw0: PolyPool::take_zeroed_u128(n),
+                    sw1: PolyPool::take_zeroed_u128(n),
+                    plain0: PolyPool::take_zeroed_u128(data_row),
+                    plain1: PolyPool::take_zeroed_u128(data_row),
                 }
             })
             .collect();
@@ -1031,7 +1039,10 @@ impl Evaluator<'_> {
                         *v %= q as u128;
                     }
                 }
-                let mut pt_ntt: Vec<u64> = pt.coeffs().iter().map(|&c| c % q).collect();
+                let mut pt_ntt = PolyPool::take_scratch(n);
+                for (x, &c) in pt_ntt.iter_mut().zip(pt.coeffs()) {
+                    *x = c % q;
+                }
                 ks_basis.ntt_tables()[i].forward(&mut pt_ntt);
                 match &switched {
                     None => {
@@ -1057,11 +1068,16 @@ impl Evaluator<'_> {
                         }
                     }
                 }
+                PolyPool::recycle(pt_ntt);
             });
         }
         // Second hoisting: one rounded mod_down for the whole switched sum.
         let reduce = |acc: &[u128], q: u64| -> Vec<u64> {
-            acc.iter().map(|&v| (v % q as u128) as u64).collect()
+            let mut out = PolyPool::take_scratch(acc.len());
+            for (x, &v) in out.iter_mut().zip(acc) {
+                *x = (v % q as u128) as u64;
+            }
+            out
         };
         let sw0 = RnsPoly::from_rows(
             (0..k)
@@ -1090,6 +1106,12 @@ impl Evaluator<'_> {
             table.inverse(&mut r1);
             (r0, r1)
         });
+        for row_acc in acc {
+            PolyPool::recycle_u128(row_acc.sw0);
+            PolyPool::recycle_u128(row_acc.sw1);
+            PolyPool::recycle_u128(row_acc.plain0);
+            PolyPool::recycle_u128(row_acc.plain1);
+        }
         let (rows0, rows1): (Vec<_>, Vec<_>) = out.into_iter().unzip();
         Ok(Ciphertext {
             parts: vec![RnsPoly::from_rows(rows0), RnsPoly::from_rows(rows1)],

@@ -19,12 +19,13 @@
 
 use crate::rnspoly::RnsPoly;
 use choco_math::modops::{
-    add_mod, center, inv_mod, mul_mod, mul_mod_shoup, pow_mod, reduce_signed, shoup_precompute,
-    sub_mod,
+    add_mod, center, inv_mod, mul_mod, pow_mod, reduce_signed, shoup_precompute,
 };
 use choco_math::ntt::apply_galois_ntt;
 use choco_math::par;
+use choco_math::pool::PolyPool;
 use choco_math::rns::RnsBasis;
+use choco_math::simd;
 use choco_prng::Blake3Rng;
 
 /// A key-switching key: one `(b_j, a_j)` pair per data prime, stored in NTT
@@ -198,7 +199,10 @@ pub fn hoist_decompose(
         let rows = (0..=level)
             .map(|i| {
                 let qi = ks_basis.primes()[i];
-                let mut dmod: Vec<u64> = digit.iter().map(|&x| x % qi).collect();
+                let mut dmod = PolyPool::take_scratch(digit.len());
+                for (x, &v) in dmod.iter_mut().zip(digit) {
+                    *x = v % qi;
+                }
                 ks_basis.ntt_tables()[i].forward(&mut dmod);
                 dmod
             })
@@ -287,9 +291,9 @@ pub(crate) fn hoisted_accumulate(
         // modular sum is unique, so this is bit-identical to eager
         // reduction.
         // choco-lint: lazy-domain
-        let mut acc0 = vec![0u128; n];
-        let mut acc1 = vec![0u128; n];
-        let mut scratch = vec![0u64; n];
+        let mut acc0 = PolyPool::take_zeroed_u128(n);
+        let mut acc1 = PolyPool::take_zeroed_u128(n);
+        let mut scratch = PolyPool::take_scratch(n);
         for (j, digit) in hoisted.digits.iter().enumerate() {
             if j > 0 && j % 32 == 0 {
                 for v in acc0.iter_mut().chain(acc1.iter_mut()) {
@@ -313,9 +317,15 @@ pub(crate) fn hoisted_accumulate(
             }
         }
         let reduce = |acc: Vec<u128>| -> Vec<u64> {
-            acc.into_iter().map(|v| (v % qi as u128) as u64).collect()
+            let mut out = PolyPool::take_scratch(acc.len());
+            for (x, &v) in out.iter_mut().zip(&acc) {
+                *x = (v % qi as u128) as u64;
+            }
+            PolyPool::recycle_u128(acc);
+            out
         };
         let out = (reduce(acc0), reduce(acc1));
+        PolyPool::recycle(scratch);
         // choco-lint: end-lazy-domain
         out
     });
@@ -335,15 +345,18 @@ pub fn mod_down(x: &RnsPoly, ks_basis: &RnsBasis, level_basis: &RnsBasis) -> Rns
         let qi = level_basis.primes()[i];
         let inv_p = inv_mod(p % qi, qi);
         let inv_p_shoup = shoup_precompute(inv_p, qi);
-        let xi = x.row(i);
-        (0..n)
-            .map(|c| {
-                let centered = center(xp[c], p);
-                let sub = reduce_signed(centered, qi);
-                let diff = sub_mod(xi[c], sub, qi);
-                mul_mod_shoup(diff, inv_p, inv_p_shoup, qi)
-            })
-            .collect()
+        // Materialize the rounding correction as one delta row, then finish
+        // with the vectorized subtract and Shoup-scale passes — the same
+        // sub_mod/mul_mod_shoup per element as the fused scalar loop.
+        let mut delta = PolyPool::take_scratch(n);
+        for (d, &v) in delta.iter_mut().zip(xp) {
+            *d = reduce_signed(center(v, p), qi);
+        }
+        let mut row = PolyPool::take_copy(x.row(i));
+        simd::sub_mod_slices(&mut row, &delta, qi);
+        simd::scalar_mul_shoup_slices(&mut row, inv_p, inv_p_shoup, qi);
+        PolyPool::recycle(delta);
+        row
     });
     RnsPoly::from_rows(rows)
 }
@@ -357,23 +370,24 @@ pub fn mod_down(x: &RnsPoly, ks_basis: &RnsBasis, level_basis: &RnsBasis) -> Rns
 pub fn mod_down_ntt(x: &RnsPoly, ks_basis: &RnsBasis, level_basis: &RnsBasis) -> RnsPoly {
     let k = ks_basis.len();
     let p = ks_basis.primes()[k - 1];
-    let mut xp = x.row(k - 1).to_vec();
+    let mut xp = PolyPool::take_copy(x.row(k - 1));
     ks_basis.ntt_tables()[k - 1].inverse(&mut xp);
     let rows = par::par_map_range(level_basis.len(), |i| {
         let qi = level_basis.primes()[i];
         let inv_p = inv_mod(p % qi, qi);
         let inv_p_shoup = shoup_precompute(inv_p, qi);
-        let mut delta: Vec<u64> = xp
-            .iter()
-            .map(|&v| reduce_signed(center(v, p), qi))
-            .collect();
+        let mut delta = PolyPool::take_scratch(xp.len());
+        for (d, &v) in delta.iter_mut().zip(&xp) {
+            *d = reduce_signed(center(v, p), qi);
+        }
         level_basis.ntt_tables()[i].forward(&mut delta);
-        let xi = x.row(i);
-        xi.iter()
-            .zip(&delta)
-            .map(|(&xv, &dv)| mul_mod_shoup(sub_mod(xv, dv, qi), inv_p, inv_p_shoup, qi))
-            .collect()
+        let mut row = PolyPool::take_copy(x.row(i));
+        simd::sub_mod_slices(&mut row, &delta, qi);
+        simd::scalar_mul_shoup_slices(&mut row, inv_p, inv_p_shoup, qi);
+        PolyPool::recycle(delta);
+        row
     });
+    PolyPool::recycle(xp);
     RnsPoly::from_rows(rows)
 }
 

@@ -6,26 +6,48 @@
 //! the data modulus is simply a prefix of the rows of one modulo the full
 //! modulus, because the key-switching prime is last.
 
-use choco_math::modops::{add_mod, mul_mod, reduce_signed, sub_mod};
+use choco_math::modops::{add_mod, mul_mod, reduce_signed};
 use choco_math::par;
 use choco_math::poly::{
     add_assign, apply_galois, dyadic_acc_assign, neg_assign, scalar_mul_assign, sub_assign,
 };
+use choco_math::pool::PolyPool;
 use choco_math::rns::RnsBasis;
 use choco_prng::sampler::{sample_error_signed, sample_ternary_signed};
 use choco_prng::Blake3Rng;
 
 /// A polynomial with `k` RNS residue rows of `n` coefficients each.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Residue rows are leased from [`PolyPool`]: every constructor draws its
+/// rows from the pool and [`Drop`] returns them, so steady-state evaluation
+/// recycles row buffers instead of hitting the allocator (the zero-alloc
+/// test in `crates/he/tests/zero_alloc.rs` pins this property).
+#[derive(Debug, PartialEq, Eq)]
 pub struct RnsPoly {
     rows: Vec<Vec<u64>>,
+}
+
+impl Clone for RnsPoly {
+    fn clone(&self) -> Self {
+        RnsPoly {
+            rows: self.rows.iter().map(|r| PolyPool::take_copy(r)).collect(),
+        }
+    }
+}
+
+impl Drop for RnsPoly {
+    fn drop(&mut self) {
+        for row in self.rows.drain(..) {
+            PolyPool::recycle(row);
+        }
+    }
 }
 
 impl RnsPoly {
     /// The zero polynomial with `k` rows of `n` coefficients.
     pub fn zero(k: usize, n: usize) -> Self {
         RnsPoly {
-            rows: vec![vec![0u64; n]; k],
+            rows: (0..k).map(|_| PolyPool::take_zeroed(n)).collect(),
         }
     }
 
@@ -48,7 +70,13 @@ impl RnsPoly {
         let rows = basis
             .primes()
             .iter()
-            .map(|&q| values.iter().map(|&v| reduce_signed(v.into(), q)).collect())
+            .map(|&q| {
+                let mut row = PolyPool::take_scratch(values.len());
+                for (x, &v) in row.iter_mut().zip(values) {
+                    *x = reduce_signed(v.into(), q);
+                }
+                row
+            })
             .collect();
         RnsPoly { rows }
     }
@@ -60,7 +88,13 @@ impl RnsPoly {
         let rows = basis
             .primes()
             .iter()
-            .map(|&q| values.iter().map(|&v| v % q).collect())
+            .map(|&q| {
+                let mut row = PolyPool::take_scratch(values.len());
+                for (x, &v) in row.iter_mut().zip(values) {
+                    *x = v % q;
+                }
+                row
+            })
             .collect();
         RnsPoly { rows }
     }
@@ -87,7 +121,13 @@ impl RnsPoly {
         let rows = basis
             .primes()
             .iter()
-            .map(|&q| (0..n).map(|_| rng.next_below(q)).collect())
+            .map(|&q| {
+                let mut row = PolyPool::take_scratch(n);
+                for x in row.iter_mut() {
+                    *x = rng.next_below(q);
+                }
+                row
+            })
             .collect();
         RnsPoly { rows }
     }
@@ -120,7 +160,10 @@ impl RnsPoly {
     pub fn prefix(&self, k: usize) -> RnsPoly {
         assert!(k >= 1 && k <= self.rows.len(), "invalid prefix length");
         RnsPoly {
-            rows: self.rows[..k].to_vec(),
+            rows: self.rows[..k]
+                .iter()
+                .map(|r| PolyPool::take_copy(r))
+                .collect(),
         }
     }
 
@@ -173,8 +216,13 @@ impl RnsPoly {
         let primes = basis.primes();
         let rows = par::par_map_range(self.rows.len(), |i| {
             let q = primes[i];
-            let reduced: Vec<u64> = plain.iter().map(|&v| v % q).collect();
-            tables[i].negacyclic_mul(&self.rows[i], &reduced)
+            let mut reduced = PolyPool::take_scratch(plain.len());
+            for (x, &v) in reduced.iter_mut().zip(plain) {
+                *x = v % q;
+            }
+            let out = tables[i].negacyclic_mul(&self.rows[i], &reduced);
+            PolyPool::recycle(reduced);
+            out
         });
         RnsPoly { rows }
     }
@@ -194,7 +242,8 @@ impl RnsPoly {
         let n = self.degree();
         let primes = basis.primes();
         let rows = par::par_map_range(self.rows.len(), |i| {
-            let mut out = vec![0u64; n];
+            // apply_galois zero-fills before scattering, so scratch is fine.
+            let mut out = PolyPool::take_scratch(n);
             apply_galois(&self.rows[i], e, primes[i], &mut out);
             out
         });
@@ -256,12 +305,9 @@ pub fn add(a: &RnsPoly, b: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
     a.check_match(b);
     let primes = basis.primes();
     let rows = par::par_map_range(a.rows.len(), |i| {
-        let q = primes[i];
-        a.rows[i]
-            .iter()
-            .zip(&b.rows[i])
-            .map(|(&x, &y)| add_mod(x, y, q))
-            .collect()
+        let mut row = PolyPool::take_copy(&a.rows[i]);
+        add_assign(&mut row, &b.rows[i], primes[i]);
+        row
     });
     RnsPoly { rows }
 }
@@ -271,12 +317,9 @@ pub fn sub(a: &RnsPoly, b: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
     a.check_match(b);
     let primes = basis.primes();
     let rows = par::par_map_range(a.rows.len(), |i| {
-        let q = primes[i];
-        a.rows[i]
-            .iter()
-            .zip(&b.rows[i])
-            .map(|(&x, &y)| sub_mod(x, y, q))
-            .collect()
+        let mut row = PolyPool::take_copy(&a.rows[i]);
+        sub_assign(&mut row, &b.rows[i], primes[i]);
+        row
     });
     RnsPoly { rows }
 }

@@ -1,0 +1,121 @@
+//! Proof of the `PolyPool` steady-state property: once the evaluator is
+//! warm, the kernel hot path (key switching, hoisted rotation, fused
+//! rotation dot products) performs **zero fresh polynomial-buffer
+//! allocations** — every row and scratch buffer is served from the pool's
+//! free lists. The pool's global counters make this directly observable:
+//! over a warm evaluation loop, `fresh` must not move while `reused` must.
+//!
+//! Scope note: "zero-alloc" is a statement about polynomial buffers (the
+//! `Vec<u64>` rows and `Vec<u128>` accumulators that dominate steady-state
+//! traffic), not about every allocation in the process. Small bookkeeping
+//! allocations — ciphertext part vectors, galois permutation tables, the
+//! big-integer temporaries of BFV's exact tensor scaling — are outside the
+//! pool by design (see DESIGN.md §12).
+
+use choco_he::bfv::BfvContext;
+use choco_he::ckks::CkksContext;
+use choco_he::params::HeParams;
+use choco_math::pool::PolyPool;
+use choco_prng::Blake3Rng;
+
+#[test]
+fn warm_evaluation_loop_allocates_no_polynomial_buffers() {
+    // ---- BFV: keyswitch → hoisted rotation → matvec-style fused dot ----
+    let params = HeParams::bfv_insecure(256, &[40, 40, 41], 14).unwrap();
+    let ctx = BfvContext::new(&params).unwrap();
+    let mut rng = Blake3Rng::from_seed(b"zero-alloc-bfv");
+    let keys = ctx.keygen(&mut rng);
+    let rk = ctx.relin_key(keys.secret_key(), &mut rng).unwrap();
+    let steps = [1i64, 2, 3];
+    let gks = ctx
+        .galois_keys(keys.secret_key(), &steps, &mut rng)
+        .unwrap();
+    let encoder = ctx.batch_encoder().unwrap();
+    let t = ctx.plain_modulus();
+    let values: Vec<u64> = (0..ctx.degree() as u64).map(|i| i % t).collect();
+    let pt = encoder.encode(&values).unwrap();
+    let ct = ctx.encryptor(keys.public_key()).encrypt(&pt, &mut rng);
+    let eval = ctx.evaluator();
+    let pairs: Vec<_> = [0i64, 1, 2]
+        .iter()
+        .map(|&s| {
+            let w: Vec<u64> = (0..ctx.degree() as u64)
+                .map(|i| (i + s as u64) % 8)
+                .collect();
+            (s, encoder.encode(&w).unwrap())
+        })
+        .collect();
+
+    let bfv_round = |out: &mut u64| {
+        // Keyswitch: ct·ct multiply + relinearization.
+        let prod = eval.multiply(&ct, &ct).unwrap();
+        let relin = eval.relinearize(&prod, &rk).unwrap();
+        // Hoisted rotation: one shared decomposition, several rotations.
+        let rots = eval.rotate_rows_many(&relin, &steps, &gks).unwrap();
+        // Matvec kernel: double-hoisted rotation dot product + NTT dot.
+        let fused = eval.dot_rotations_plain(&ct, &pairs, &gks).unwrap();
+        let dot = eval
+            .dot_plain(&[ct.clone(), fused], &[pt.clone(), pt.clone()])
+            .unwrap();
+        // Keep results observable so nothing is optimised away.
+        *out ^= rots[0].part(0).row(0)[0] ^ dot.part(0).row(0)[0];
+    };
+
+    // ---- CKKS: multiply+relin (keyswitch) → rescale → rotations ----
+    let cparams = HeParams::ckks_insecure(256, &[45, 45, 46], 38).unwrap();
+    let cctx = CkksContext::new(&cparams).unwrap();
+    let mut crng = Blake3Rng::from_seed(b"zero-alloc-ckks");
+    let ckeys = cctx.keygen(&mut crng);
+    let crk = cctx.relin_key(ckeys.secret_key(), &mut crng);
+    let cgks = cctx.galois_keys(ckeys.secret_key(), &[1, 2], &mut crng);
+    let vals: Vec<f64> = (0..cctx.slot_count())
+        .map(|i| (i % 7) as f64 / 8.0)
+        .collect();
+    let cpt = cctx.encode(&vals).unwrap();
+    let cct = cctx.encrypt(&cpt, ckeys.public_key(), &mut crng).unwrap();
+
+    let ckks_round = |out: &mut u64| {
+        let prod = cctx.multiply_relin(&cct, &cct, &crk).unwrap();
+        let scaled = cctx.rescale(&prod).unwrap();
+        let r1 = cctx.rotate(&scaled, 1, &cgks).unwrap();
+        let r2 = cctx.rotate(&r1, 2, &cgks).unwrap();
+        *out ^= r2.part(0).row(0)[0];
+    };
+
+    // Warm the pool: the first passes populate every size class the loop
+    // touches (including per-thread shard spill patterns).
+    let mut sink = 0u64;
+    for _ in 0..2 {
+        bfv_round(&mut sink);
+        ckks_round(&mut sink);
+    }
+
+    let before = PolyPool::stats();
+    for _ in 0..4 {
+        bfv_round(&mut sink);
+        ckks_round(&mut sink);
+    }
+    let after = PolyPool::stats();
+    assert!(sink != u64::MAX, "keep the results alive");
+
+    assert_eq!(
+        after.fresh - before.fresh,
+        0,
+        "warm evaluation loop hit the allocator for polynomial buffers \
+         (fresh {} -> {}, reused {} -> {})",
+        before.fresh,
+        after.fresh,
+        before.reused,
+        after.reused
+    );
+    assert!(
+        after.reused > before.reused,
+        "warm loop should be served from the pool (reused {} -> {})",
+        before.reused,
+        after.reused
+    );
+    assert!(
+        after.recycled > before.recycled,
+        "warm loop should return buffers to the pool"
+    );
+}

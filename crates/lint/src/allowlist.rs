@@ -12,10 +12,13 @@
 //! Blanket patterns are rejected by construction (no wildcards, a concrete
 //! rule id per entry, non-placeholder reasons).
 //!
-//! Only the audit rules are allowlistable here: PANIC001–004 and UNSAFE002.
-//! Secret-independence and lazy-domain findings must be fixed or suppressed
-//! at the offending line with an inline `allow` marker, where the reviewer
-//! can see the code.
+//! Only the audit rules are allowlistable here: PANIC001–004 and
+//! UNSAFE001–002. A pinned UNSAFE001 entry is how a crate root opts down
+//! from `#![forbid(unsafe_code)]` to `#![deny(unsafe_code)]` (required for
+//! the audited `core::arch` kernels in `choco-math::simd`); the count pin
+//! means any further crate can't silently follow. Secret-independence and
+//! lazy-domain findings must be fixed or suppressed at the offending line
+//! with an inline `allow` marker, where the reviewer can see the code.
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -28,6 +31,7 @@ pub const ALLOWLISTABLE: &[Rule] = &[
     Rule::Panic002,
     Rule::Panic003,
     Rule::Panic004,
+    Rule::Unsafe001,
     Rule::Unsafe002,
 ];
 

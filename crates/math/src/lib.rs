@@ -14,6 +14,8 @@
 //! * polynomial helpers over a single modulus ([`poly`])
 //! * a dependency-free scoped-thread worker pool for slice-parallel kernels
 //!   ([`par`])
+//! * runtime-dispatched SIMD butterflies and dyadic ops ([`simd`])
+//! * a size-classed buffer pool for zero-allocation steady state ([`pool`])
 //!
 //! Everything is implemented from scratch; no external arithmetic crates are
 //! used so that the whole cryptographic stack is auditable in-repo.
@@ -32,7 +34,12 @@
 //! assert_eq!(a, orig);
 //! ```
 
-#![forbid(unsafe_code)]
+// Deny (not forbid) so that exactly one audited module — `simd`, which
+// confines `core::arch` intrinsics behind runtime feature detection — can
+// opt back in with a module-local allow. Every unsafe token is pinned by
+// count in lint.toml (UNSAFE001/UNSAFE002); all other modules remain
+// unsafe-free.
+#![deny(unsafe_code)]
 // Reference-style loops index multiple arrays in lockstep; the index
 // form is clearer than zipped iterators for these numeric kernels.
 #![allow(clippy::needless_range_loop)]
@@ -43,8 +50,10 @@ pub mod modops;
 pub mod ntt;
 pub mod par;
 pub mod poly;
+pub mod pool;
 pub mod prime;
 pub mod rns;
+pub mod simd;
 
 pub use bigint::UBig;
 pub use ntt::NttTable;

@@ -143,21 +143,42 @@ impl NttTable {
     /// In-place forward negacyclic NTT.
     ///
     /// Uses lazy (Harvey) reduction: butterflies keep values in `[0, 4q)`
-    /// and a single correction pass reduces to `[0, q)` at the end, so the
-    /// output is bit-identical to [`Self::forward_strict`].
+    /// and the final `[0, q)` correction is folded into the last butterfly
+    /// stage, so the output is bit-identical to [`Self::forward_strict`].
+    /// Dispatches to the vectorized [`crate::simd`] kernel when a backend
+    /// is active; the scalar and vector paths are bit-identical.
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.size()`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "ntt input length mismatch");
+        if crate::simd::ntt_forward_lazy(a, &self.psi_rev, &self.psi_rev_shoup, self.q) {
+            return;
+        }
+        self.forward_scalar_body(a);
+    }
+
+    /// The scalar lazy forward transform, bypassing SIMD dispatch. Public
+    /// so benches and equivalence tests can time/compare the two paths
+    /// explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.size()`.
+    pub fn forward_scalar(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "ntt input length mismatch");
+        self.forward_scalar_body(a);
+    }
+
+    fn forward_scalar_body(&self, a: &mut [u64]) {
         let q = self.q;
         // choco-lint: lazy-domain
         let two_q = 2 * q;
         let n = self.n;
         let mut t = n;
         let mut m = 1;
-        while m < n {
+        while 2 * m < n {
             t >>= 1;
             for i in 0..m {
                 let j1 = 2 * i * t;
@@ -178,8 +199,19 @@ impl NttTable {
             }
             m <<= 1;
         }
-        for x in a.iter_mut() {
-            *x = reduce_4q(*x, q);
+        // Last stage (span 1) with the [0,4q) -> [0,q) correction fused in,
+        // saving a full extra sweep over the coefficient array.
+        for i in 0..m {
+            let j = 2 * i;
+            let s = self.psi_rev[m + i];
+            let s_sh = self.psi_rev_shoup[m + i];
+            let mut u = a[j];
+            if u >= two_q {
+                u -= two_q;
+            }
+            let v = mul_mod_shoup_lazy(a[j + 1], s, s_sh, q);
+            a[j] = reduce_4q(u + v, q);
+            a[j + 1] = reduce_4q(u + two_q - v, q);
         }
         // choco-lint: end-lazy-domain
     }
@@ -188,13 +220,39 @@ impl NttTable {
     ///
     /// Uses lazy (Harvey) reduction: values stay in `[0, 2q)` between
     /// stages and the final `1/n` scaling multiply fully reduces, so the
-    /// output is bit-identical to [`Self::inverse_strict`].
+    /// output is bit-identical to [`Self::inverse_strict`]. Dispatches to
+    /// the vectorized [`crate::simd`] kernel when a backend is active.
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.size()`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "intt input length mismatch");
+        if crate::simd::ntt_inverse_lazy(
+            a,
+            &self.inv_psi_rev,
+            &self.inv_psi_rev_shoup,
+            self.n_inv,
+            self.n_inv_shoup,
+            self.q,
+        ) {
+            return;
+        }
+        self.inverse_scalar_body(a);
+    }
+
+    /// The scalar lazy inverse transform, bypassing SIMD dispatch (see
+    /// [`Self::forward_scalar`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.size()`.
+    pub fn inverse_scalar(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "intt input length mismatch");
+        self.inverse_scalar_body(a);
+    }
+
+    fn inverse_scalar_body(&self, a: &mut [u64]) {
         let q = self.q;
         // choco-lint: lazy-domain
         let two_q = 2 * q;
@@ -300,14 +358,18 @@ impl NttTable {
     }
 
     /// Negacyclic polynomial product `a * b mod (x^N + 1, q)` out of place.
+    ///
+    /// Scratch comes from [`crate::pool::PolyPool`]; the returned buffer is
+    /// an ordinary `Vec` the caller owns.
     pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
-        let mut fa = a.to_vec();
-        let mut fb = b.to_vec();
+        let mut fa = crate::pool::PolyPool::take_copy(a);
+        let mut fb = crate::pool::PolyPool::take_copy(b);
         self.forward(&mut fa);
         self.forward(&mut fb);
         for (x, y) in fa.iter_mut().zip(&fb) {
             *x = mul_mod(*x, *y, self.q);
         }
+        crate::pool::PolyPool::recycle(fb);
         self.inverse(&mut fa);
         fa
     }

@@ -13,9 +13,7 @@ use crate::modops::{add_mod, mul_add_mod, mul_mod, neg_mod, sub_mod};
 /// Panics if the slices have different lengths.
 pub fn add_assign(a: &mut [u64], b: &[u64], q: u64) {
     assert_eq!(a.len(), b.len(), "polynomial length mismatch");
-    for (x, &y) in a.iter_mut().zip(b) {
-        *x = add_mod(*x, y, q);
-    }
+    crate::simd::add_mod_slices(a, b, q);
 }
 
 /// `a -= b (mod q)` element-wise.
@@ -25,9 +23,7 @@ pub fn add_assign(a: &mut [u64], b: &[u64], q: u64) {
 /// Panics if the slices have different lengths.
 pub fn sub_assign(a: &mut [u64], b: &[u64], q: u64) {
     assert_eq!(a.len(), b.len(), "polynomial length mismatch");
-    for (x, &y) in a.iter_mut().zip(b) {
-        *x = sub_mod(*x, y, q);
-    }
+    crate::simd::sub_mod_slices(a, b, q);
 }
 
 /// `a = -a (mod q)` element-wise.
@@ -65,9 +61,9 @@ pub fn dyadic_acc_assign(acc: &mut [u64], a: &[u64], b: &[u64], q: u64) {
 
 /// `a *= s (mod q)` for a scalar `s`.
 pub fn scalar_mul_assign(a: &mut [u64], s: u64, q: u64) {
-    for x in a.iter_mut() {
-        *x = mul_mod(*x, s, q);
-    }
+    let s = s % q;
+    let s_shoup = crate::modops::shoup_precompute(s, q);
+    crate::simd::scalar_mul_shoup_slices(a, s, s_shoup, q);
 }
 
 /// Applies the Galois automorphism `x → x^e` to a polynomial in coefficient

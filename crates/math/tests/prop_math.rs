@@ -260,3 +260,92 @@ fn rns_compose_is_additive() {
         assert_eq!(composed, expect);
     });
 }
+
+/// Moduli sizes matched to the bench suite's parameter sets, plus the
+/// 61-bit ceiling (`q` just below `2^61`, the lazy-reduction limit).
+const SIMD_MOD_BITS: [u32; 6] = [30, 45, 55, 58, 60, 61];
+
+#[test]
+fn dispatched_ntt_bit_identical_to_scalar_and_strict() {
+    // The dispatched transforms (`forward`/`inverse`) must agree bit-for-bit
+    // with both the scalar lazy path and the fully-reduced strict reference,
+    // whatever backend `CHOCO_SIMD`/detection selected for this process
+    // (ci.sh runs this suite under CHOCO_SIMD=0 and =1 × CHOCO_THREADS=1/4).
+    let mut tables = Vec::new();
+    for log_n in 10..=14 {
+        let n = 1usize << log_n;
+        for &bits in &SIMD_MOD_BITS {
+            let q = generate_ntt_primes(bits, n, 1)[0];
+            tables.push(NttTable::new(n, q).unwrap());
+        }
+    }
+    run_cases("dispatched ntt bit identity", 2, |g| {
+        for t in &tables {
+            let (n, q) = (t.size(), t.modulus());
+            let a: Vec<u64> = (0..n).map(|_| g.u64_below(q)).collect();
+            let ctx = format!("n={n}, q={q} ({} bits)", 64 - q.leading_zeros());
+
+            let mut fwd = a.clone();
+            t.forward(&mut fwd);
+            let mut fwd_scalar = a.clone();
+            t.forward_scalar(&mut fwd_scalar);
+            assert_eq!(fwd, fwd_scalar, "forward simd != scalar: {ctx}");
+            let mut fwd_strict = a.clone();
+            t.forward_strict(&mut fwd_strict);
+            assert_eq!(fwd, fwd_strict, "forward lazy != strict: {ctx}");
+
+            let mut inv = fwd.clone();
+            t.inverse(&mut inv);
+            let mut inv_scalar = fwd.clone();
+            t.inverse_scalar(&mut inv_scalar);
+            assert_eq!(inv, inv_scalar, "inverse simd != scalar: {ctx}");
+            let mut inv_strict = fwd.clone();
+            t.inverse_strict(&mut inv_strict);
+            assert_eq!(inv, inv_strict, "inverse lazy != strict: {ctx}");
+            assert_eq!(inv, a, "roundtrip != identity: {ctx}");
+        }
+    });
+}
+
+#[test]
+fn simd_slice_ops_match_scalar_reference() {
+    use choco_math::modops::{mul_mod_shoup, shoup_precompute};
+    use choco_math::simd;
+    // Odd lengths exercise the vector tails; length < lane width exercises
+    // the all-tail case.
+    run_cases("simd slice ops match scalar", 48, |g| {
+        let bits = SIMD_MOD_BITS[g.usize_in(0, SIMD_MOD_BITS.len() - 1)];
+        let q = generate_ntt_primes(bits, 64, 1)[0];
+        let len = g.usize_in(1, 131);
+        let a: Vec<u64> = (0..len).map(|_| g.u64_below(q)).collect();
+        let b: Vec<u64> = (0..len).map(|_| g.u64_below(q)).collect();
+
+        let mut got = a.clone();
+        simd::add_mod_slices(&mut got, &b, q);
+        let want: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add_mod(x, y, q)).collect();
+        assert_eq!(got, want, "add_mod_slices (len {len}, q {q})");
+
+        let mut got = a.clone();
+        simd::sub_mod_slices(&mut got, &b, q);
+        let want: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| sub_mod(x, y, q)).collect();
+        assert_eq!(got, want, "sub_mod_slices (len {len}, q {q})");
+
+        let s = g.u64_below(q);
+        let s_sh = shoup_precompute(s, q);
+        let mut got = a.clone();
+        simd::scalar_mul_shoup_slices(&mut got, s, s_sh, q);
+        let want: Vec<u64> = a.iter().map(|&x| mul_mod_shoup(x, s, s_sh, q)).collect();
+        assert_eq!(got, want, "scalar_mul_shoup_slices (len {len}, q {q})");
+
+        let b_sh: Vec<u64> = b.iter().map(|&y| shoup_precompute(y, q)).collect();
+        let mut got = a.clone();
+        simd::dyadic_mul_shoup_slices(&mut got, &b, &b_sh, q);
+        let want: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .zip(&b_sh)
+            .map(|((&x, &y), &ysh)| mul_mod_shoup(x, y, ysh, q))
+            .collect();
+        assert_eq!(got, want, "dyadic_mul_shoup_slices (len {len}, q {q})");
+    });
+}
