@@ -10,6 +10,16 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> choco-verify (static circuit verification, both schemes)"
+# The abstract interpreter (crates/verify) must accept all four paper
+# workloads under both the BFV set-A and CKKS set-C parameter sets before
+# the tests run; any diagnostic is a hard failure (exit 1). The committed
+# per-node dump must match what the verifier computes now — regenerate
+# with: cargo run --release -q --bin choco-verify -- --json > VERIFY_workloads.json
+cargo run --release -q --bin choco-verify -- --scheme both > /dev/null
+cargo run --release -q --bin choco-verify -- --json > /tmp/VERIFY_workloads.json
+diff -u VERIFY_workloads.json /tmp/VERIFY_workloads.json
+
 echo "==> cargo test (all workspace members)"
 cargo test -q --workspace
 

@@ -569,42 +569,20 @@ mod tests {
 
     #[test]
     fn distance_rotation_steps_cover_every_kernel_rotation() {
-        // Mirror every rotation the distance kernels request (point-major
-        // rotate-add tree, collapsed block shifts, stacked-dimension folds)
-        // as a compiled program and assert the hand-maintained provisioning
-        // list is a superset — a missing Galois key would otherwise only
+        // The distance kernel's compiler-IR twin requests every rotation
+        // group (point-major rotate-add tree, collapsed block shifts,
+        // stacked-dimension folds); the hand-maintained provisioning list
+        // must be a superset — a missing Galois key would otherwise only
         // surface as a runtime error.
-        use choco::compiler::{compile, CompilerOptions, Program};
+        use crate::circuits::distance_program;
+        use choco::compiler::{compile, CompilerOptions};
         let (dims, n, slots) = (4usize, 6usize, 512usize);
-        let stride = block_stride(dims);
-
-        let mut prog = Program::new();
-        let x = prog.input("x");
-        let mut acc = x;
-        let mut step = 1usize;
-        while step < stride {
-            let r = prog.rotate(acc, step as i64);
-            acc = prog.add(acc, r);
-            step <<= 1;
-        }
-        for b in 1..n {
-            let r = prog.rotate(acc, (b * stride - b) as i64);
-            acc = prog.add(acc, r);
-        }
-        let per_ct = dims_per_ciphertext(n, slots).min(dims);
-        let mut band = 1usize;
-        while band < per_ct {
-            let r = prog.rotate(acc, (band * n) as i64);
-            acc = prog.add(acc, r);
-            band <<= 1;
-        }
-        prog.output(acc);
         let opts = CompilerOptions {
             scale_bits: 30,
             prime_bits: 45,
             max_levels: 3,
         };
-        let compiled = compile(&prog, &opts).unwrap();
+        let compiled = compile(&distance_program(dims, n, slots), &opts).unwrap();
 
         let advertised = distance_rotation_steps(dims, n, slots);
         let requested = compiled.rotation_steps();

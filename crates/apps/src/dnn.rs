@@ -985,41 +985,19 @@ mod tests {
 
     #[test]
     fn conv_rotation_steps_cover_every_kernel_rotation() {
-        // Mirror the conv kernel's rotation requests as a compiled program
-        // (one `Rotate` node per filter tap plus the channel-accumulation
-        // tree) and assert the hand-maintained provisioning list is a
-        // superset — a missing Galois key would otherwise only surface as a
-        // runtime error.
-        use choco::compiler::{compile, CompilerOptions, Program};
+        // The conv kernel's compiler-IR twin requests one rotation per
+        // filter tap plus the channel-accumulation tree; the
+        // hand-maintained provisioning list must be a superset — a missing
+        // Galois key would otherwise only surface as a runtime error.
+        use crate::circuits::dnn_conv_program;
+        use choco::compiler::{compile, CompilerOptions};
         let (in_ch, h, w, f) = (4usize, 8usize, 8usize, 3usize);
-        let weights: Vec<Vec<u64>> = (0..in_ch)
-            .map(|c| (0..f * f).map(|i| ((i + c) % 16) as u64).collect())
-            .collect();
-        let pad = f / 2;
-        let layout = StackedLayout::new(in_ch, RedundantLayout::new(h * w, pad * (w + 1)));
-
-        let mut prog = Program::new();
-        let x = prog.input("x");
-        let mut acc = x;
-        for tap in conv_taps(&weights, in_ch, f, w) {
-            if tap.shift != 0 {
-                let r = prog.rotate(x, tap.shift);
-                acc = prog.add(acc, r);
-            }
-        }
-        let mut step = 1usize;
-        while step < in_ch {
-            let r = prog.rotate(acc, (step * layout.stride()) as i64);
-            acc = prog.add(acc, r);
-            step <<= 1;
-        }
-        prog.output(acc);
         let opts = CompilerOptions {
             scale_bits: 30,
             prime_bits: 45,
             max_levels: 3,
         };
-        let compiled = compile(&prog, &opts).unwrap();
+        let compiled = compile(&dnn_conv_program(in_ch, h, w, f), &opts).unwrap();
 
         let advertised = conv_rotation_steps(in_ch, h, w, f);
         let requested = compiled.rotation_steps();

@@ -13,6 +13,8 @@
 //! * [`distance`] — KNN / K-Means distance kernels in CKKS with the five
 //!   packing variants of Figure 9 (point-major, dimension-major, their
 //!   stacked forms, and collapsed point-major);
+//! * [`circuits`] — compiler-IR twins of the four workload kernels, the
+//!   programs `choco-verify` statically certifies before upload;
 //! * [`protocols`] — analytic communication models of the seven prior
 //!   privacy-preserving protocols Figure 10 compares against.
 
@@ -26,6 +28,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod batched;
+pub mod circuits;
 pub mod client_ops;
 pub mod distance;
 pub mod dnn;

@@ -285,6 +285,30 @@ mod tests {
     use super::*;
     use choco_he::{Bfv, Ckks};
 
+    #[test]
+    fn pagerank_rotation_steps_cover_every_kernel_rotation() {
+        // The PageRank iteration's compiler-IR twin requests one rotation
+        // per matrix diagonal; the provisioning list must be a superset.
+        use crate::circuits::pagerank_program;
+        use choco::compiler::{compile, CompilerOptions};
+        let n = 8usize;
+        let opts = CompilerOptions {
+            scale_bits: 30,
+            prime_bits: 45,
+            max_levels: 3,
+        };
+        let compiled = compile(&pagerank_program(n), &opts).unwrap();
+        let advertised = pagerank_rotation_steps(n);
+        let requested = compiled.rotation_steps();
+        assert!(!requested.is_empty());
+        for s in requested {
+            assert!(
+                advertised.contains(&s),
+                "kernel requests rotation {s} that pagerank_rotation_steps does not advertise"
+            );
+        }
+    }
+
     fn small_graph() -> Graph {
         // Classic 4-node example with a dangling node.
         Graph::from_adjacency(&[vec![1, 2], vec![2], vec![0], vec![0, 2]])

@@ -273,6 +273,31 @@ mod tests {
     use super::*;
 
     #[test]
+    fn pipeline_rotation_steps_cover_fc_matvec_rotations() {
+        // The pipeline's FC-stage compiler-IR twin requests one rotation
+        // per matvec diagonal; the all-stage provisioning list must be a
+        // superset.
+        use crate::circuits::pipeline_program;
+        use choco::compiler::{compile, CompilerOptions};
+        let spec = LenetLikeSpec::tiny();
+        let opts = CompilerOptions {
+            scale_bits: 30,
+            prime_bits: 45,
+            max_levels: 3,
+        };
+        let compiled = compile(&pipeline_program(&spec), &opts).unwrap();
+        let advertised = all_rotation_steps(&spec, 512);
+        let requested = compiled.rotation_steps();
+        assert!(!requested.is_empty());
+        for s in requested {
+            assert!(
+                advertised.contains(&s),
+                "FC matvec requests rotation {s} that all_rotation_steps does not advertise"
+            );
+        }
+    }
+
+    #[test]
     fn seeded_weights_are_4bit_and_deterministic() {
         let spec = LenetLikeSpec::tiny();
         let a = seeded_weights(&spec, b"w");

@@ -21,6 +21,7 @@
 
 use choco_he::ckks::{CkksCiphertext, CkksContext};
 use choco_he::{Ckks, HeError, HeScheme};
+use choco_verify::{Circuit, CircuitOp, NodeClaim, VerifyError, VerifyOptions, VerifyReport};
 use std::collections::HashMap;
 
 /// The extra capability the compiled-program executor needs beyond
@@ -107,6 +108,21 @@ impl CompilerScheme for Ckks {
 /// A node handle inside a [`Program`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
+
+impl NodeId {
+    /// Builds a handle from a raw index. Intended for verifier tooling and
+    /// mutation tests; an out-of-range or forward-referencing id is rejected
+    /// by [`compile`] ([`CompileError::MalformedProgram`]) and by the static
+    /// verifier (`STRUCT001`), never executed.
+    pub fn new(index: usize) -> NodeId {
+        NodeId(index)
+    }
+
+    /// The raw node index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Operation kinds of the IR.
 #[derive(Debug, Clone, PartialEq)]
@@ -205,6 +221,17 @@ impl Program {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// Lowers the *source* program into the verifier's circuit form
+    /// (no claims: the schedule does not exist yet, so the verifier replays
+    /// the compiler's waterline scheduling abstractly).
+    pub fn to_circuit(&self) -> Circuit {
+        Circuit {
+            ops: lower_ops(&self.ops),
+            outputs: self.outputs.iter().map(|o| o.0).collect(),
+            claims: None,
+        }
+    }
 }
 
 /// Per-node metadata the compiler assigns.
@@ -234,6 +261,11 @@ pub struct OpCounts {
 }
 
 /// A program after scale/level assignment.
+///
+/// Every value [`compile`] returns has already passed the static verifier
+/// (`choco-verify`), so holding a `CompiledProgram` built through the normal
+/// API is proof the circuit satisfies the level/scale/structure invariants.
+/// The only unverified constructor is [`CompiledProgram::from_raw_parts`].
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
     ops: Vec<Op>,
@@ -245,6 +277,31 @@ pub struct CompiledProgram {
     pub required_levels: usize,
     /// Operation counts.
     pub counts: OpCounts,
+    /// The compiler configuration this program was scheduled against.
+    pub options: CompilerOptions,
+}
+
+/// The raw fields of a [`CompiledProgram`], exposed so verifier tooling and
+/// mutation tests can corrupt a program in controlled ways and pin the
+/// verifier's rejection. [`CompiledProgram::from_raw_parts`] performs no
+/// validation — anything rebuilt this way must go back through
+/// [`CompiledProgram::verify`] before it is trusted.
+#[derive(Debug, Clone)]
+pub struct RawProgramParts {
+    /// Compiled op list (including inserted `Rescale`/`ModSwitch` nodes).
+    pub ops: Vec<Op>,
+    /// Output nodes.
+    pub outputs: Vec<NodeId>,
+    /// Per-node scale/level metadata.
+    pub meta: Vec<NodeMeta>,
+    /// Rotation steps the program needs Galois keys for.
+    pub rotation_steps: Vec<i64>,
+    /// Minimum data-prime chain length the program requires.
+    pub required_levels: usize,
+    /// Operation counts.
+    pub counts: OpCounts,
+    /// The compiler configuration the program was scheduled against.
+    pub options: CompilerOptions,
 }
 
 /// Compiler configuration.
@@ -280,6 +337,12 @@ pub enum CompileError {
     NoOutputs,
     /// Execution was given no value for a named input.
     MissingInput(String),
+    /// A node references a later or missing node (possible only through
+    /// hand-built [`NodeId`]s; the builder API cannot produce this).
+    MalformedProgram(usize),
+    /// The compiled output failed static verification — a compiler bug
+    /// surfaced as a typed error instead of a wrong decrypt.
+    Verify(VerifyError),
 }
 
 impl std::fmt::Display for CompileError {
@@ -292,6 +355,10 @@ impl std::fmt::Display for CompileError {
             CompileError::KindMismatch(n) => write!(f, "node {n}: ciphertext/plaintext mismatch"),
             CompileError::NoOutputs => write!(f, "program has no outputs"),
             CompileError::MissingInput(name) => write!(f, "missing input {name}"),
+            CompileError::MalformedProgram(n) => {
+                write!(f, "node {n}: operand references a later or missing node")
+            }
+            CompileError::Verify(e) => write!(f, "compiled program failed verification: {e}"),
         }
     }
 }
@@ -299,12 +366,35 @@ impl std::fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 fn is_plain(ops: &[Op], id: NodeId) -> bool {
-    matches!(ops[id.0], Op::Constant(_))
+    matches!(ops.get(id.0), Some(Op::Constant(_)))
+}
+
+/// Lowers an op list into the verifier's scheme-agnostic mirror.
+fn lower_ops(ops: &[Op]) -> Vec<CircuitOp> {
+    ops.iter()
+        .map(|op| match op {
+            Op::Input(name) => CircuitOp::Input(name.clone()),
+            Op::Constant(v) => CircuitOp::Constant { len: v.len() },
+            Op::Add(a, b) => CircuitOp::Add(a.0, b.0),
+            Op::Sub(a, b) => CircuitOp::Sub(a.0, b.0),
+            Op::Mul(a, b) => CircuitOp::Mul(a.0, b.0),
+            Op::MulPlain(a, c) => CircuitOp::MulPlain(a.0, c.0),
+            Op::AddPlain(a, c) => CircuitOp::AddPlain(a.0, c.0),
+            Op::Rotate(a, s) => CircuitOp::Rotate(a.0, *s),
+            Op::Rescale(a) => CircuitOp::Rescale(a.0),
+            Op::ModSwitch(a) => CircuitOp::ModSwitch(a.0),
+        })
+        .collect()
 }
 
 /// Compiles a program: assigns scales and levels, inserting `Rescale` after
 /// any multiply whose result scale crosses the waterline and `ModSwitch`
 /// where binary operands' levels differ.
+///
+/// The compiled output is **verified by construction**: before returning,
+/// the schedule is lowered into `choco-verify`'s circuit form and checked
+/// against the full static rule set, so any scheduling bug surfaces here as
+/// [`CompileError::Verify`] instead of a wrong decrypt on the server.
 ///
 /// # Errors
 ///
@@ -373,6 +463,15 @@ pub fn compile(program: &Program, opts: &CompilerOptions) -> Result<CompiledProg
     };
 
     for (i, op) in program.ops.iter().enumerate() {
+        // Operands must reference earlier nodes; `remap` holds exactly the
+        // nodes already processed, so a failed lookup is a forward or
+        // out-of-range reference (hand-built `NodeId`s only).
+        let mapped_of = |remap: &[NodeId], id: NodeId| -> Result<NodeId, CompileError> {
+            remap
+                .get(id.0)
+                .copied()
+                .ok_or(CompileError::MalformedProgram(i))
+        };
         let mapped = match op {
             Op::Input(name) => push(
                 &mut ops,
@@ -396,7 +495,7 @@ pub fn compile(program: &Program, opts: &CompilerOptions) -> Result<CompiledProg
                 if is_plain(&program.ops, *a) || is_plain(&program.ops, *b) {
                     return Err(CompileError::KindMismatch(i));
                 }
-                let (mut ra, mut rb) = (remap[a.0], remap[b.0]);
+                let (mut ra, mut rb) = (mapped_of(&remap, *a)?, mapped_of(&remap, *b)?);
                 // Align levels first, then scales must match: rescale the
                 // larger-scale operand.
                 ra = rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, ra);
@@ -420,7 +519,7 @@ pub fn compile(program: &Program, opts: &CompilerOptions) -> Result<CompiledProg
                 if is_plain(&program.ops, *a) || is_plain(&program.ops, *b) {
                     return Err(CompileError::KindMismatch(i));
                 }
-                let (mut ra, mut rb) = (remap[a.0], remap[b.0]);
+                let (mut ra, mut rb) = (mapped_of(&remap, *a)?, mapped_of(&remap, *b)?);
                 ra = rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, ra);
                 rb = rescale_to_waterline(&mut ops, &mut meta, &mut counts, &mut min_level, rb);
                 let lvl = meta[ra.0].level.min(meta[rb.0].level);
@@ -443,9 +542,9 @@ pub fn compile(program: &Program, opts: &CompilerOptions) -> Result<CompiledProg
                     &mut meta,
                     &mut counts,
                     &mut min_level,
-                    remap[a.0],
+                    mapped_of(&remap, *a)?,
                 );
-                let rc = remap[c.0];
+                let rc = mapped_of(&remap, *c)?;
                 if matches!(op, Op::MulPlain(..)) {
                     counts.pt_mults += 1;
                     let m = NodeMeta {
@@ -468,7 +567,7 @@ pub fn compile(program: &Program, opts: &CompilerOptions) -> Result<CompiledProg
                 if *s != 0 && !rotation_steps.contains(s) {
                     rotation_steps.push(*s);
                 }
-                let ra = remap[a.0];
+                let ra = mapped_of(&remap, *a)?;
                 let m = meta[ra.0];
                 push(&mut ops, &mut meta, Op::Rotate(ra, *s), m)
             }
@@ -490,21 +589,106 @@ pub fn compile(program: &Program, opts: &CompilerOptions) -> Result<CompiledProg
         });
     }
     rotation_steps.sort_unstable();
-    let outputs = program.outputs.iter().map(|o| remap[o.0]).collect();
-    Ok(CompiledProgram {
+    let outputs = program
+        .outputs
+        .iter()
+        .map(|o| {
+            remap
+                .get(o.0)
+                .copied()
+                .ok_or(CompileError::MalformedProgram(o.0))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let compiled = CompiledProgram {
         ops,
         outputs,
         meta,
         rotation_steps,
         required_levels,
         counts,
-    })
+        options: *opts,
+    };
+    // Verified by construction: a scheduling bug becomes a typed error here
+    // instead of a wrong decrypt on the server.
+    compiled.verify().map_err(CompileError::Verify)?;
+    Ok(compiled)
 }
 
 impl CompiledProgram {
-    /// Metadata of a node.
+    /// Metadata of a node, if it exists.
     pub fn meta(&self, n: NodeId) -> NodeMeta {
-        self.meta[n.0]
+        self.meta.get(n.0).copied().unwrap_or(NodeMeta {
+            scale_bits: 0.0,
+            level: 0,
+        })
+    }
+
+    /// Lowers the compiled program into the verifier's circuit form,
+    /// carrying the compiler's per-node scale/level claims so the verifier
+    /// can cross-check them against its own recomputation.
+    pub fn to_circuit(&self) -> Circuit {
+        Circuit {
+            ops: lower_ops(&self.ops),
+            outputs: self.outputs.iter().map(|o| o.0).collect(),
+            claims: Some(
+                self.meta
+                    .iter()
+                    .map(|m| NodeClaim {
+                        scale_bits: m.scale_bits,
+                        level: m.level,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The CKKS verification options matching this program's
+    /// [`CompilerOptions`]. Galois-step and slot-count constraints are
+    /// unknown at compile time; callers with a parameter set and key list
+    /// should extend these via `with_galois_steps`/`with_slot_count`.
+    pub fn verify_options(&self) -> VerifyOptions {
+        VerifyOptions::ckks(
+            self.options.scale_bits,
+            self.options.prime_bits,
+            self.options.max_levels,
+        )
+    }
+
+    /// Statically verifies this program against its own compiler options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when any verification rule fires.
+    pub fn verify(&self) -> Result<VerifyReport, VerifyError> {
+        choco_verify::verify(&self.to_circuit(), &self.verify_options())
+    }
+
+    /// Decomposes the program into its raw fields (mutation-test API).
+    pub fn into_raw_parts(self) -> RawProgramParts {
+        RawProgramParts {
+            ops: self.ops,
+            outputs: self.outputs,
+            meta: self.meta,
+            rotation_steps: self.rotation_steps,
+            required_levels: self.required_levels,
+            counts: self.counts,
+            options: self.options,
+        }
+    }
+
+    /// Rebuilds a program from raw fields **without any validation** — the
+    /// escape hatch the mutation suite uses to construct corrupted twins.
+    /// Run [`CompiledProgram::verify`] before trusting the result.
+    pub fn from_raw_parts(parts: RawProgramParts) -> CompiledProgram {
+        CompiledProgram {
+            ops: parts.ops,
+            outputs: parts.outputs,
+            meta: parts.meta,
+            rotation_steps: parts.rotation_steps,
+            required_levels: parts.required_levels,
+            counts: parts.counts,
+            options: parts.options,
+        }
     }
 
     /// The compiled op list length (including inserted ops).
@@ -545,51 +729,64 @@ impl CompiledProgram {
         &self,
         inputs: &HashMap<String, Vec<f64>>,
     ) -> Result<Vec<Vec<f64>>, CompileError> {
+        // Operand lookups are in-bounds for any program built through
+        // `compile` (verified by construction); a miss can only come from
+        // `from_raw_parts` corruption and surfaces as a typed error.
+        fn node(vals: &[Vec<f64>], id: NodeId, at: usize) -> Result<&Vec<f64>, CompileError> {
+            vals.get(id.0).ok_or(CompileError::MalformedProgram(at))
+        }
         let mut vals: Vec<Vec<f64>> = Vec::with_capacity(self.ops.len());
-        for op in &self.ops {
+        for (i, op) in self.ops.iter().enumerate() {
             let v = match op {
                 Op::Input(name) => inputs
                     .get(name)
                     .ok_or_else(|| CompileError::MissingInput(name.clone()))?
                     .clone(),
                 Op::Constant(c) => c.clone(),
-                Op::Add(a, b) => vals[a.0]
+                Op::Add(a, b) => node(&vals, *a, i)?
                     .iter()
-                    .zip(&vals[b.0])
+                    .zip(node(&vals, *b, i)?)
                     .map(|(x, y)| x + y)
                     .collect(),
-                Op::Sub(a, b) => vals[a.0]
+                Op::Sub(a, b) => node(&vals, *a, i)?
                     .iter()
-                    .zip(&vals[b.0])
+                    .zip(node(&vals, *b, i)?)
                     .map(|(x, y)| x - y)
                     .collect(),
-                Op::Mul(a, b) => vals[a.0]
+                Op::Mul(a, b) => node(&vals, *a, i)?
                     .iter()
-                    .zip(&vals[b.0])
+                    .zip(node(&vals, *b, i)?)
                     .map(|(x, y)| x * y)
                     .collect(),
-                Op::MulPlain(a, c) => vals[a.0]
+                Op::MulPlain(a, c) => node(&vals, *a, i)?
                     .iter()
-                    .zip(&vals[c.0])
+                    .zip(node(&vals, *c, i)?)
                     .map(|(x, y)| x * y)
                     .collect(),
-                Op::AddPlain(a, c) => vals[a.0]
+                Op::AddPlain(a, c) => node(&vals, *a, i)?
                     .iter()
-                    .zip(&vals[c.0])
+                    .zip(node(&vals, *c, i)?)
                     .map(|(x, y)| x + y)
                     .collect(),
                 Op::Rotate(a, s) => {
-                    let v = &vals[a.0];
+                    let v = node(&vals, *a, i)?;
                     let n = v.len() as i64;
                     (0..n)
-                        .map(|i| v[((i + s).rem_euclid(n)) as usize])
+                        .map(|j| {
+                            v.get(((j + s).rem_euclid(n.max(1))) as usize)
+                                .copied()
+                                .unwrap_or(0.0)
+                        })
                         .collect()
                 }
-                Op::Rescale(a) | Op::ModSwitch(a) => vals[a.0].clone(),
+                Op::Rescale(a) | Op::ModSwitch(a) => node(&vals, *a, i)?.clone(),
             };
             vals.push(v);
         }
-        Ok(self.outputs.iter().map(|o| vals[o.0].clone()).collect())
+        self.outputs
+            .iter()
+            .map(|o| node(&vals, *o, o.0).cloned())
+            .collect()
     }
 
     /// Executes on real ciphertexts of any [`CompilerScheme`].
@@ -610,24 +807,38 @@ impl CompiledProgram {
         relin: &S::RelinKey,
         galois: &S::GaloisKeys,
     ) -> Result<Vec<S::Ciphertext>, HeError> {
+        // Programs built through `compile` are verified by construction;
+        // re-check in debug builds to catch `from_raw_parts` corruption at
+        // the door instead of as a wrong decrypt.
+        debug_assert!(
+            self.verify().is_ok(),
+            "execute_encrypted on a program that fails static verification: {:?}",
+            self.verify().err()
+        );
         enum Slot<Ct> {
             Ct(Ct),
             Plain(Vec<f64>),
         }
         let mut vals: Vec<Slot<S::Ciphertext>> = Vec::with_capacity(self.ops.len());
-        let ct = |s: &Slot<S::Ciphertext>| -> Result<S::Ciphertext, HeError> {
+        let ct = |s: Option<&Slot<S::Ciphertext>>| -> Result<S::Ciphertext, HeError> {
             match s {
-                Slot::Ct(c) => Ok(c.clone()),
-                Slot::Plain(_) => Err(HeError::Mismatch(
+                Some(Slot::Ct(c)) => Ok(c.clone()),
+                Some(Slot::Plain(_)) => Err(HeError::Mismatch(
                     "compiler invariant violated: ciphertext operand expected".into(),
+                )),
+                None => Err(HeError::Mismatch(
+                    "compiler invariant violated: operand references a missing node".into(),
                 )),
             }
         };
-        let plain = |s: &Slot<S::Ciphertext>| -> Result<Vec<f64>, HeError> {
+        let plain = |s: Option<&Slot<S::Ciphertext>>| -> Result<Vec<f64>, HeError> {
             match s {
-                Slot::Plain(p) => Ok(p.clone()),
-                Slot::Ct(_) => Err(HeError::Mismatch(
+                Some(Slot::Plain(p)) => Ok(p.clone()),
+                Some(Slot::Ct(_)) => Err(HeError::Mismatch(
                     "compiler invariant violated: constant operand expected".into(),
+                )),
+                None => Err(HeError::Mismatch(
+                    "compiler invariant violated: operand references a missing node".into(),
                 )),
             }
         };
@@ -640,38 +851,41 @@ impl CompiledProgram {
                         .clone(),
                 ),
                 Op::Constant(c) => Slot::Plain(c.clone()),
-                Op::Add(a, b) => Slot::Ct(S::add(ctx, &ct(&vals[a.0])?, &ct(&vals[b.0])?)?),
-                Op::Sub(a, b) => Slot::Ct(S::sub(ctx, &ct(&vals[a.0])?, &ct(&vals[b.0])?)?),
-                Op::Mul(a, b) => {
-                    Slot::Ct(S::mul_ct(ctx, &ct(&vals[a.0])?, &ct(&vals[b.0])?, relin)?)
-                }
+                Op::Add(a, b) => Slot::Ct(S::add(ctx, &ct(vals.get(a.0))?, &ct(vals.get(b.0))?)?),
+                Op::Sub(a, b) => Slot::Ct(S::sub(ctx, &ct(vals.get(a.0))?, &ct(vals.get(b.0))?)?),
+                Op::Mul(a, b) => Slot::Ct(S::mul_ct(
+                    ctx,
+                    &ct(vals.get(a.0))?,
+                    &ct(vals.get(b.0))?,
+                    relin,
+                )?),
                 Op::MulPlain(a, c) => {
-                    let x = ct(&vals[a.0])?;
-                    let p = plain(&vals[c.0])?;
+                    let x = ct(vals.get(a.0))?;
+                    let p = plain(vals.get(c.0))?;
                     Slot::Ct(S::mul_plain_raw(ctx, &x, &p)?)
                 }
                 Op::AddPlain(a, c) => {
-                    let x = ct(&vals[a.0])?;
-                    let p = plain(&vals[c.0])?;
+                    let x = ct(vals.get(a.0))?;
+                    let p = plain(vals.get(c.0))?;
                     Slot::Ct(S::add_plain(ctx, &x, &p)?)
                 }
                 Op::Rotate(a, s) => {
-                    let x = ct(&vals[a.0])?;
+                    let x = ct(vals.get(a.0))?;
                     if *s == 0 {
                         Slot::Ct(x)
                     } else {
                         Slot::Ct(S::rotate(ctx, &x, *s, galois)?)
                     }
                 }
-                Op::Rescale(a) => Slot::Ct(S::rescale(ctx, &ct(&vals[a.0])?)?),
+                Op::Rescale(a) => Slot::Ct(S::rescale(ctx, &ct(vals.get(a.0))?)?),
                 Op::ModSwitch(a) => {
-                    let x = ct(&vals[a.0])?;
+                    let x = ct(vals.get(a.0))?;
                     Slot::Ct(S::mod_switch_down(ctx, &x)?)
                 }
             };
             vals.push(v);
         }
-        self.outputs.iter().map(|o| ct(&vals[o.0])).collect()
+        self.outputs.iter().map(|o| ct(vals.get(o.0))).collect()
     }
 }
 

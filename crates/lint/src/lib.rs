@@ -11,6 +11,7 @@
 //! | lazy-reduction | LAZY001–002 | raw u64 arithmetic stays inside `modops` wrappers or `lazy-domain` regions, which must canonicalize |
 //! | panic audit | PANIC001–004 | unwrap/expect, panic-family macros, slice indexing, assert-family in library code |
 //! | unsafe audit | UNSAFE001–002 | every crate root carries `#![forbid(unsafe_code)]`; no `unsafe` tokens |
+//! | verify gate | VERIFY001 | `execute_encrypted` call sites need `compile()`/`verify()` provenance in the same function |
 //!
 //! See DESIGN.md §7 for the marker grammar and the allowlist workflow.
 
@@ -29,7 +30,9 @@ pub use rules::{FileScope, FnRegistry};
 /// Crates whose library code is subject to the panic audit. The tooling
 /// crates (`lint` itself, `bench`, `quickprop`) are exempt: they are not
 /// shipped library surface. All crates get the unsafe audit.
-pub const PANIC_AUDIT_CRATES: &[&str] = &["math", "prng", "he", "choco", "apps", "taco", "serve"];
+pub const PANIC_AUDIT_CRATES: &[&str] = &[
+    "math", "prng", "he", "choco", "apps", "taco", "serve", "verify",
+];
 
 /// Files subject to the lazy-reduction discipline (modular kernels).
 pub const LAZY_FILES: &[&str] = &[
@@ -63,6 +66,8 @@ pub enum Rule {
     Unsafe001,
     /// An `unsafe` token anywhere.
     Unsafe002,
+    /// `execute_encrypted` with no `compile()`/`verify()` provenance.
+    Verify001,
     /// Malformed `choco-lint:` marker comment.
     Marker,
 }
@@ -82,6 +87,7 @@ impl Rule {
             Rule::Panic004 => "PANIC004",
             Rule::Unsafe001 => "UNSAFE001",
             Rule::Unsafe002 => "UNSAFE002",
+            Rule::Verify001 => "VERIFY001",
             Rule::Marker => "MARKER",
         }
     }
@@ -100,6 +106,7 @@ impl Rule {
             "PANIC004" => Rule::Panic004,
             "UNSAFE001" => Rule::Unsafe001,
             "UNSAFE002" => Rule::Unsafe002,
+            "VERIFY001" => Rule::Verify001,
             "MARKER" => Rule::Marker,
             _ => return None,
         })
@@ -288,6 +295,7 @@ mod tests {
             Rule::Panic004,
             Rule::Unsafe001,
             Rule::Unsafe002,
+            Rule::Verify001,
             Rule::Marker,
         ] {
             assert_eq!(Rule::from_id(r.id()), Some(r));

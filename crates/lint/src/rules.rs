@@ -1,5 +1,6 @@
-//! The four rule families: secret-independence (SEC), lazy-reduction
-//! discipline (LAZY), panic-freedom (PANIC), and unsafe audit (UNSAFE).
+//! The rule families: secret-independence (SEC), lazy-reduction
+//! discipline (LAZY), panic-freedom (PANIC), unsafe audit (UNSAFE), and
+//! the encrypted-execution verify gate (VERIFY).
 //!
 //! Everything here works on the token stream — there is no type inference.
 //! SEC taint and LAZY u64-typing are lexical approximations, tuned to be
@@ -52,6 +53,7 @@ pub fn check_file(
         out.push(Diagnostic::new(Rule::Marker, path, *line, "-", msg.clone()));
     }
     check_unsafe(path, p, scope, &mut out);
+    check_verify(path, p, &mut out);
     if scope.panic_audit {
         check_panics(path, p, &mut out);
     }
@@ -116,6 +118,60 @@ fn check_unsafe(path: &str, p: &ParsedFile, scope: &FileScope, out: &mut Vec<Dia
                 1,
                 "-",
                 "crate root is missing #![forbid(unsafe_code)]",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VERIFY
+// ---------------------------------------------------------------------------
+
+/// Calls that establish verified provenance for VERIFY001: `compile()`
+/// output is verified by construction, `verify()` re-checks an existing
+/// program.
+const VERIFY_GATES: &[&str] = &["compile", "verify"];
+
+/// VERIFY001: `execute_encrypted` may only run on a program obtained from
+/// `compile()` or re-checked with `verify()`. The lexical approximation is
+/// per-function: a call site whose enclosing body has no *earlier* gate
+/// call is flagged. Provenance the token scan cannot see (a verified
+/// program handed across a function boundary) is suppressed at the call
+/// site with an inline `// choco-lint: allow(VERIFY001) reason` marker —
+/// the rule is deliberately not count-allowlistable.
+fn check_verify(path: &str, p: &ParsedFile, out: &mut Vec<Diagnostic>) {
+    let toks = &p.toks;
+    // A call shape is `name(` or turbofish `name::<S>(`.
+    let is_call = |j: usize| {
+        toks.get(j + 1)
+            .is_some_and(|t| t.is_punct("(") || t.is_punct("::"))
+    };
+    for i in 0..toks.len() {
+        if p.is_excluded(i) || !toks[i].is_ident("execute_encrypted") {
+            continue;
+        }
+        // Skip the definition itself; only call sites carry the obligation.
+        if !is_call(i) || (i > 0 && toks[i - 1].is_ident("fn")) {
+            continue;
+        }
+        let enclosing = p.enclosing_fn(i);
+        let gated = enclosing.is_some_and(|f| {
+            let start = f.body.map_or(i, |(a, _)| a);
+            (start..i).any(|j| {
+                matches!(&toks[j].tok, Tok::Ident(s) if VERIFY_GATES.contains(&s.as_str()))
+                    && is_call(j)
+            })
+        });
+        if !gated {
+            let func = enclosing
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| "-".into());
+            out.push(Diagnostic::new(
+                Rule::Verify001,
+                path,
+                toks[i].line,
+                &func,
+                "execute_encrypted on a program with no compile()/verify() provenance in this function — verify before executing",
             ));
         }
     }
@@ -792,6 +848,40 @@ mod tests {
             d2.iter().any(|d| d.rule == Rule::Lazy002),
             "never-canonical region flagged"
         );
+    }
+
+    #[test]
+    fn verify001_ungated_execution_is_flagged() {
+        let src = "fn f(prog: &Compiled, ctx: &Ctx) { prog.execute_encrypted::<Ckks>(ctx); }";
+        let d = run(src, FileScope::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::Verify001);
+    }
+
+    #[test]
+    fn verify001_compile_or_verify_provenance_gates() {
+        let compiled =
+            "fn f(p: &Program, ctx: &Ctx) { let c = compile(p); c.execute_encrypted::<Ckks>(ctx); }";
+        assert!(run(compiled, FileScope::default()).is_empty());
+        let verified =
+            "fn f(c: &Compiled, ctx: &Ctx) { c.verify().ok(); c.execute_encrypted::<Ckks>(ctx); }";
+        assert!(run(verified, FileScope::default()).is_empty());
+        // The gate must come *before* the execution.
+        let late =
+            "fn f(c: &Compiled, ctx: &Ctx) { c.execute_encrypted::<Ckks>(ctx); c.verify().ok(); }";
+        assert_eq!(run(late, FileScope::default()).len(), 1);
+    }
+
+    #[test]
+    fn verify001_definition_and_tests_are_exempt() {
+        let src = "fn execute_encrypted(x: u64) -> u64 { x }\n#[cfg(test)]\nmod tests { fn g(c: &Compiled, ctx: &Ctx) { c.execute_encrypted::<Ckks>(ctx); } }";
+        assert!(run(src, FileScope::default()).is_empty());
+    }
+
+    #[test]
+    fn verify001_inline_allow_suppresses() {
+        let src = "fn f(c: &Compiled, ctx: &Ctx) {\n    // choco-lint: allow(VERIFY001) caller verified the program at the trust boundary\n    c.execute_encrypted::<Ckks>(ctx);\n}";
+        assert!(run(src, FileScope::default()).is_empty());
     }
 
     #[test]

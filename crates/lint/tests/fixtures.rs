@@ -46,6 +46,7 @@ fn violation_fixtures_produce_exact_diagnostics() {
     let expect: Vec<(Rule, String, u32)> = vec![
         (Rule::Marker, "crates/foo/src/bad_marker.rs".into(), 3),
         (Rule::Marker, "crates/foo/src/bad_marker.rs".into(), 6),
+        (Rule::Verify001, "crates/foo/src/exec.rs".into(), 5),
         (Rule::Sec001, "crates/foo/src/secret_ops.rs".into(), 11),
         (Rule::Sec002, "crates/foo/src/secret_ops.rs".into(), 15),
         (Rule::Sec003, "crates/foo/src/secret_ops.rs".into(), 16),
@@ -104,10 +105,11 @@ allow UNSAFE002 crates/he/src/lib.rs count=1 reason="fixture audit"
                 | Rule::Lazy002
                 | Rule::Marker
                 | Rule::Unsafe001
+                | Rule::Verify001
         )),
         "audited families must be fully suppressed: {got:?}"
     );
-    assert_eq!(got.len(), 9);
+    assert_eq!(got.len(), 10);
 }
 
 #[test]
@@ -128,5 +130,15 @@ fn sec_rules_are_never_allowlistable() {
     assert!(
         !errors.is_empty(),
         "SEC rules must be rejected by the allowlist parser"
+    );
+}
+
+#[test]
+fn verify001_is_never_allowlistable() {
+    let allowlist = "allow VERIFY001 crates/foo/src/exec.rs count=1 reason=\"not allowed\"\n";
+    let (_, errors) = diag_tuples(&fixture_root("violations"), allowlist);
+    assert!(
+        !errors.is_empty(),
+        "VERIFY001 must be rejected by the allowlist parser"
     );
 }

@@ -1,0 +1,18 @@
+//! Clean twin of the VERIFY001 fixture: every encrypted execution is gated
+//! on a compile() or verify() call in the same function, or carries a
+//! reviewed inline allow at the call site.
+
+fn run_compiled(src: &Program, ctx: &Ctx) -> Out {
+    let prog = compile(src);
+    prog.execute_encrypted::<Ckks>(ctx)
+}
+
+fn run_reverified(prog: &Compiled, ctx: &Ctx) -> Out {
+    prog.verify().ok();
+    prog.execute_encrypted::<Ckks>(ctx)
+}
+
+fn run_reviewed(prog: &Compiled, ctx: &Ctx) -> Out {
+    // choco-lint: allow(VERIFY001) caller passes a program straight out of compile()
+    prog.execute_encrypted::<Ckks>(ctx)
+}

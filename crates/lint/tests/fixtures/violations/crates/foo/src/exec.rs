@@ -1,0 +1,13 @@
+//! VERIFY001 fixture: encrypted execution with no compile()/verify()
+//! provenance in the enclosing function.
+
+fn run_unchecked(prog: &Compiled, ctx: &Ctx) -> Out {
+    prog.execute_encrypted::<Ckks>(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt(prog: &Compiled, ctx: &Ctx) -> Out {
+        prog.execute_encrypted::<Ckks>(ctx)
+    }
+}

@@ -1,0 +1,133 @@
+//! The scheme-agnostic circuit form the verifier analyzes.
+//!
+//! `choco-verify` sits *below* the compiler in the dependency graph, so it
+//! cannot see `choco::compiler::{Program, CompiledProgram}` directly.
+//! Instead the compiler lowers its IR into this mirror: plain `usize` node
+//! indices, constants reduced to their slot width (the verifier never needs
+//! the values), and — for compiled programs — the compiler's per-node
+//! scale/level claims, which the abstract interpreter cross-checks against
+//! its own recomputation (`LEVEL004`/`SCALE003`).
+
+/// One circuit operation. Operands are indices of earlier nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitOp {
+    /// An encrypted input, by name (kept for diagnostics).
+    Input(String),
+    /// A plaintext constant, reduced to its packed slot width.
+    Constant {
+        /// Number of packed slots the constant occupies.
+        len: usize,
+    },
+    /// Ciphertext + ciphertext.
+    Add(usize, usize),
+    /// Ciphertext − ciphertext.
+    Sub(usize, usize),
+    /// Ciphertext × ciphertext.
+    Mul(usize, usize),
+    /// Ciphertext × plaintext constant.
+    MulPlain(usize, usize),
+    /// Ciphertext + plaintext constant.
+    AddPlain(usize, usize),
+    /// Slot rotation left by the given step.
+    Rotate(usize, i64),
+    /// Divide by the level's last prime (compiler-inserted).
+    Rescale(usize),
+    /// Drop one level without rescaling (compiler-inserted).
+    ModSwitch(usize),
+}
+
+impl CircuitOp {
+    /// Short op-kind name used in diagnostics (`"Mul"`, `"Rescale"`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CircuitOp::Input(_) => "Input",
+            CircuitOp::Constant { .. } => "Constant",
+            CircuitOp::Add(..) => "Add",
+            CircuitOp::Sub(..) => "Sub",
+            CircuitOp::Mul(..) => "Mul",
+            CircuitOp::MulPlain(..) => "MulPlain",
+            CircuitOp::AddPlain(..) => "AddPlain",
+            CircuitOp::Rotate(..) => "Rotate",
+            CircuitOp::Rescale(_) => "Rescale",
+            CircuitOp::ModSwitch(_) => "ModSwitch",
+        }
+    }
+
+    /// Full rendering with operand indices (`"Mul(3, 5)"`), for the
+    /// per-node state dump.
+    pub fn describe(&self) -> String {
+        match self {
+            CircuitOp::Input(name) => format!("Input({name})"),
+            CircuitOp::Constant { len } => format!("Constant[{len}]"),
+            CircuitOp::Add(a, b) => format!("Add({a}, {b})"),
+            CircuitOp::Sub(a, b) => format!("Sub({a}, {b})"),
+            CircuitOp::Mul(a, b) => format!("Mul({a}, {b})"),
+            CircuitOp::MulPlain(a, c) => format!("MulPlain({a}, {c})"),
+            CircuitOp::AddPlain(a, c) => format!("AddPlain({a}, {c})"),
+            CircuitOp::Rotate(a, s) => format!("Rotate({a}, {s})"),
+            CircuitOp::Rescale(a) => format!("Rescale({a})"),
+            CircuitOp::ModSwitch(a) => format!("ModSwitch({a})"),
+        }
+    }
+
+    /// Operand indices, in order.
+    pub fn operands(&self) -> Vec<usize> {
+        match self {
+            CircuitOp::Input(_) | CircuitOp::Constant { .. } => Vec::new(),
+            CircuitOp::Add(a, b)
+            | CircuitOp::Sub(a, b)
+            | CircuitOp::Mul(a, b)
+            | CircuitOp::MulPlain(a, b)
+            | CircuitOp::AddPlain(a, b) => vec![*a, *b],
+            CircuitOp::Rotate(a, _) | CircuitOp::Rescale(a) | CircuitOp::ModSwitch(a) => {
+                vec![*a]
+            }
+        }
+    }
+}
+
+/// The compiler's claimed metadata for one node of a compiled program —
+/// cross-checked against the verifier's own recomputation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeClaim {
+    /// Claimed log2 fixed-point scale.
+    pub scale_bits: f64,
+    /// Claimed level (active data primes).
+    pub level: usize,
+}
+
+/// A circuit to verify: op list, output nodes, and (for compiled programs)
+/// the compiler's per-node claims. `claims == None` marks an *unscheduled*
+/// source program: the analyzer then replays the compiler's scheduling
+/// abstractly (virtual rescales/mod-switches) to bound depth, but skips the
+/// discipline rules that only make sense once a schedule exists.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    /// Operations in topological order.
+    pub ops: Vec<CircuitOp>,
+    /// Output node indices (must be ciphertexts).
+    pub outputs: Vec<usize>,
+    /// Compiler claims, one per op, when lowered from a `CompiledProgram`.
+    pub claims: Option<Vec<NodeClaim>>,
+}
+
+impl Circuit {
+    /// True when per-node compiler claims are present (compiled program).
+    pub fn is_scheduled(&self) -> bool {
+        self.claims.is_some()
+    }
+
+    /// Distinct nonzero rotation steps the circuit requests, sorted.
+    pub fn rotation_steps(&self) -> Vec<i64> {
+        let mut steps: Vec<i64> = Vec::new();
+        for op in &self.ops {
+            if let CircuitOp::Rotate(_, s) = op {
+                if *s != 0 && !steps.contains(s) {
+                    steps.push(*s);
+                }
+            }
+        }
+        steps.sort_unstable();
+        steps
+    }
+}

@@ -1,0 +1,186 @@
+//! Soundness properties, via `choco-quickprop`:
+//!
+//! 1. every random well-formed source program that `compile()` accepts
+//!    verifies clean — both the compiled circuit (claims cross-checked)
+//!    and the source circuit (virtual scheduling), with key coverage
+//!    against the program's own rotation list;
+//! 2. verified programs agree with `execute_plain` on the reference
+//!    semantics the generator computes alongside the IR.
+//!
+//! The generator uses *uniform* primes (`scale_bits == prime_bits`): under
+//! the waterline rule every post-rescale scale then sits exactly on the
+//! waterline, so a diagnostic can only mean a verifier or compiler bug,
+//! never an over-tight tolerance.
+
+use std::collections::HashMap;
+
+use choco::compiler::{compile, CompilerOptions, NodeId, Program};
+use choco_quickprop::{run_cases, Gen};
+use choco_verify::{verify, VerifyOptions};
+
+const LEN: usize = 8;
+const MAX_LEVELS: usize = 6;
+/// Multiplies consumed along any path — keeps `compile()` inside the tower.
+const MAX_DEPTH: usize = MAX_LEVELS - 2;
+
+/// One generated ciphertext node with its reference value and mul depth.
+struct CtNode {
+    id: NodeId,
+    value: Vec<f64>,
+    depth: usize,
+}
+
+fn rotate_ref(v: &[f64], s: i64) -> Vec<f64> {
+    let n = v.len() as i64;
+    (0..n)
+        .map(|j| v[((j + s).rem_euclid(n)) as usize])
+        .collect()
+}
+
+/// Builds a random well-formed program plus its reference output values.
+fn gen_program(g: &mut Gen) -> (Program, HashMap<String, Vec<f64>>, Vec<Vec<f64>>) {
+    let mut prog = Program::new();
+    let mut inputs = HashMap::new();
+    let mut cts: Vec<CtNode> = Vec::new();
+
+    for name in ["x", "y"] {
+        let value: Vec<f64> = (0..LEN).map(|_| g.f64() * 2.0 - 1.0).collect();
+        let id = prog.input(name);
+        inputs.insert(name.to_string(), value.clone());
+        cts.push(CtNode {
+            id,
+            value,
+            depth: 0,
+        });
+    }
+
+    let op_count = g.usize_in(3, 14);
+    for _ in 0..op_count {
+        let a = g.usize_in(0, cts.len());
+        let b = g.usize_in(0, cts.len());
+        let (id, value, depth) = match g.usize_in(0, 6) {
+            0 => (
+                prog.add(cts[a].id, cts[b].id),
+                cts[a]
+                    .value
+                    .iter()
+                    .zip(&cts[b].value)
+                    .map(|(x, y)| x + y)
+                    .collect(),
+                cts[a].depth.max(cts[b].depth),
+            ),
+            1 => (
+                prog.sub(cts[a].id, cts[b].id),
+                cts[a]
+                    .value
+                    .iter()
+                    .zip(&cts[b].value)
+                    .map(|(x, y)| x - y)
+                    .collect(),
+                cts[a].depth.max(cts[b].depth),
+            ),
+            2 => {
+                let depth = cts[a].depth.max(cts[b].depth) + 1;
+                if depth > MAX_DEPTH {
+                    continue;
+                }
+                (
+                    prog.mul(cts[a].id, cts[b].id),
+                    cts[a]
+                        .value
+                        .iter()
+                        .zip(&cts[b].value)
+                        .map(|(x, y)| x * y)
+                        .collect(),
+                    depth,
+                )
+            }
+            3 => {
+                let depth = cts[a].depth + 1;
+                if depth > MAX_DEPTH {
+                    continue;
+                }
+                let c: Vec<f64> = (0..LEN).map(|_| g.f64() * 2.0 - 1.0).collect();
+                let cid = prog.constant(&c);
+                (
+                    prog.mul_plain(cts[a].id, cid),
+                    cts[a].value.iter().zip(&c).map(|(x, y)| x * y).collect(),
+                    depth,
+                )
+            }
+            4 => {
+                let c: Vec<f64> = (0..LEN).map(|_| g.f64() * 2.0 - 1.0).collect();
+                let cid = prog.constant(&c);
+                (
+                    prog.add_plain(cts[a].id, cid),
+                    cts[a].value.iter().zip(&c).map(|(x, y)| x + y).collect(),
+                    cts[a].depth,
+                )
+            }
+            _ => {
+                let s = g.i64_in(-4, 5);
+                (
+                    prog.rotate(cts[a].id, s),
+                    rotate_ref(&cts[a].value, s),
+                    cts[a].depth,
+                )
+            }
+        };
+        cts.push(CtNode { id, value, depth });
+    }
+
+    // 1–2 outputs, always including the most recently built node.
+    let mut expected = Vec::new();
+    let last = cts.len() - 1;
+    let mut outs = vec![last];
+    if g.bool_with(0.5) {
+        outs.push(g.usize_in(0, cts.len()));
+    }
+    for o in outs {
+        prog.output(cts[o].id);
+        expected.push(cts[o].value.clone());
+    }
+    (prog, inputs, expected)
+}
+
+#[test]
+fn compiled_programs_always_verify_clean() {
+    run_cases("compile implies verified", 96, |g| {
+        let (prog, _, _) = gen_program(g);
+        let opts = CompilerOptions {
+            scale_bits: 40,
+            prime_bits: 40,
+            max_levels: MAX_LEVELS,
+        };
+        // compile() gates on the verifier, so Ok *is* the property; the
+        // explicit re-checks pin the source-circuit path and key coverage.
+        let compiled = compile(&prog, &opts).expect("generated program compiles");
+        let verify_opts = compiled
+            .verify_options()
+            .with_galois_steps(&compiled.rotation_steps());
+        assert!(verify(&compiled.to_circuit(), &verify_opts).is_ok());
+        assert!(verify(&prog.to_circuit(), &VerifyOptions::ckks(40, 40, MAX_LEVELS)).is_ok());
+    });
+}
+
+#[test]
+fn verified_programs_agree_with_execute_plain() {
+    run_cases("verified implies plain-exact", 96, |g| {
+        let (prog, inputs, expected) = gen_program(g);
+        let opts = CompilerOptions {
+            scale_bits: 40,
+            prime_bits: 40,
+            max_levels: MAX_LEVELS,
+        };
+        let compiled = compile(&prog, &opts).expect("generated program compiles");
+        assert!(compiled.verify().is_ok());
+        let got = compiled.execute_plain(&inputs).expect("plain execution");
+        assert_eq!(got.len(), expected.len());
+        for (g_out, e_out) in got.iter().zip(&expected) {
+            assert_eq!(g_out.len(), e_out.len());
+            for (a, b) in g_out.iter().zip(e_out) {
+                assert!((a - b).abs() < 1e-9, "plain execution diverged: {a} vs {b}");
+            }
+        }
+    });
+}
