@@ -71,6 +71,29 @@ echo "==> loopback serve smoke: real server process + load generator"
 # guards CI against a hung accept loop or a drain that never converges.
 timeout 120 ./scripts/serve_smoke.sh
 
+echo "==> remote-eval batching gate: pipelined batches vs sequential round trips"
+# The batching scheduler must coalesce a pipelined batch of 4 evaluate
+# requests into shared kernel dispatches and beat 4 sequential round trips
+# on throughput. The report (same shape as the committed BENCH_serve.json)
+# must show a clean run — zero failed clients, zero server-side eval
+# errors — and, when the host has the cores to fan a batch out (>= 4), a
+# >= 2.0x throughput speedup. On starved runners the ratio is reported
+# but not asserted (the parallel dispatch has nothing to run on).
+CHOCO_THREADS=1 timeout 180 ./target/release/choco-serve-bench \
+    --smoke --batch 4 --json /tmp/bench_serve_batch.json
+grep -q '"failed_clients": 0' /tmp/bench_serve_batch.json \
+    || { cat /tmp/bench_serve_batch.json; echo "ci: batch bench had failed clients"; exit 1; }
+grep -q '"errors": 0' /tmp/bench_serve_batch.json \
+    || { cat /tmp/bench_serve_batch.json; echo "ci: server reported eval errors"; exit 1; }
+speedup=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' /tmp/bench_serve_batch.json)
+if [ "$(nproc)" -ge 4 ]; then
+    awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }' \
+        || { cat /tmp/bench_serve_batch.json; echo "ci: batch-4 speedup ${speedup}x < 2.0x"; exit 1; }
+    echo "ci: batch-4 throughput speedup ${speedup}x (gate: >= 2.0x)"
+else
+    echo "ci: nproc $(nproc) < 4 — speedup ratio measured at ${speedup}x, not asserted"
+fi
+
 echo "==> kernel bench reporter (smoke mode + generic-core and simd gates)"
 # Besides the kernel timings, bench_kernels asserts that the scheme-generic
 # HeScheme::dot_diagonals path stays within noise (< 1.25x) of a

@@ -35,4 +35,5 @@ pub mod dnn;
 pub mod pagerank;
 pub mod pipeline;
 pub mod protocols;
+pub mod remote;
 pub mod resumable;

@@ -16,25 +16,39 @@
 //!    consumes.
 //!
 //! A reference executor runs compiled programs both on plaintext vectors
-//! and on real [`CkksContext`] ciphertexts, so every pass is validated by
-//! an exactness test against the plain semantics.
+//! and on real ciphertexts of any [`CompilerScheme`] (CKKS with the full
+//! rescaling chain; BFV with identity chain maintenance and fixed-point
+//! constants), so every pass is validated by an exactness test against the
+//! plain semantics. The encrypted executor's constant encodings are
+//! cacheable across calls via [`ExecCache`] — the hook the remote
+//! evaluation server uses to do zero re-encoding on warm traffic.
 
+use choco_he::cache::{CacheCounters, OperandCache};
 use choco_he::ckks::{CkksCiphertext, CkksContext};
-use choco_he::{Ckks, HeError, HeScheme};
+use choco_he::{Bfv, Ckks, HeError, HeScheme};
 use choco_verify::{Circuit, CircuitOp, NodeClaim, VerifyError, VerifyOptions, VerifyReport};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// The extra capability the compiled-program executor needs beyond
-/// [`HeScheme`]: explicit scale management. The compiler inserts `Rescale`
-/// and `ModSwitch` nodes itself, so the executor needs *raw* plaintext
-/// multiplication (no implicit rescale, unlike [`HeScheme::mul_plain`]),
-/// ciphertext multiplication with relinearization, and the two chain
-/// maintenance ops.
+/// [`HeScheme`]: explicit scale management and cacheable encoded operands.
+/// The compiler inserts `Rescale` and `ModSwitch` nodes itself, so the
+/// executor needs *raw* plaintext multiplication (no implicit rescale,
+/// unlike [`HeScheme::mul_plain`]), ciphertext multiplication with
+/// relinearization, and the two chain maintenance ops. Constant encoding is
+/// split into an explicit [`CompilerScheme::Operand`] step so a server can
+/// cache the encoded form across requests (see [`ExecCache`]).
 ///
-/// Implemented for [`Ckks`]; BFV has no rescaling chain, so adding it here
-/// would require a scale-tracking emulation layer — future work tracked in
-/// ROADMAP.md.
-pub trait CompilerScheme: HeScheme<Value = f64> {
+/// Implemented for [`Ckks`] (the full rescaling chain) and for [`Bfv`],
+/// where the chain maintenance ops are identities: BFV has no rescaling
+/// chain, so a compiled schedule's `Rescale`/`ModSwitch` nodes are no-ops
+/// and constants are fixed-point quantized once at the compiler waterline
+/// via [`HeScheme::quantize`].
+pub trait CompilerScheme: HeScheme {
+    /// A constant vector encoded into the scheme's evaluation domain at a
+    /// specific use site — the unit the server-side operand cache stores.
+    type Operand: Clone + Send + Sync + std::fmt::Debug;
+
     /// Ciphertext × ciphertext with relinearization.
     ///
     /// # Errors
@@ -47,26 +61,73 @@ pub trait CompilerScheme: HeScheme<Value = f64> {
         relin: &Self::RelinKey,
     ) -> Result<Self::Ciphertext, HeError>;
 
-    /// Ciphertext × plaintext constant *without* the implicit rescale of
-    /// [`HeScheme::mul_plain`] — the compiler schedules rescales itself.
+    /// Quantizes an `f64` constant vector into scheme plaintext values at
+    /// the compiler's waterline scale (identity for CKKS, fixed-point
+    /// `round(v · 2^scale_bits) mod t` for BFV).
+    fn quantize_const(ctx: &Self::Context, values: &[f64], scale_bits: u32) -> Vec<Self::Value>;
+
+    /// Encodes a quantized constant for *multiplication* against `ct`
+    /// (raw — no implicit rescale; the compiler schedules rescales).
     ///
     /// # Errors
     ///
     /// Propagates encoding failures.
-    fn mul_plain_raw(
+    fn encode_for_mul(
+        ctx: &Self::Context,
+        values: &[Self::Value],
+        ct: &Self::Ciphertext,
+    ) -> Result<Self::Operand, HeError>;
+
+    /// Encodes a quantized constant for *addition* against `ct` (the
+    /// operand must match the ciphertext's exact scale).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    fn encode_for_add(
+        ctx: &Self::Context,
+        values: &[Self::Value],
+        ct: &Self::Ciphertext,
+    ) -> Result<Self::Operand, HeError>;
+
+    /// Ciphertext × encoded operand, without rescaling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand mismatches.
+    fn mul_operand(
         ctx: &Self::Context,
         ct: &Self::Ciphertext,
-        values: &[f64],
+        op: &Self::Operand,
     ) -> Result<Self::Ciphertext, HeError>;
 
-    /// Divides by the level's last prime (one chain level).
+    /// Ciphertext + encoded operand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand mismatches.
+    fn add_operand(
+        ctx: &Self::Context,
+        ct: &Self::Ciphertext,
+        op: &Self::Operand,
+    ) -> Result<Self::Ciphertext, HeError>;
+
+    /// Cache discriminator of an encode site against `ct`: everything the
+    /// encoded operand depends on besides the constant itself. CKKS
+    /// operands depend on the ciphertext's level (and, for additions, its
+    /// exact scale); BFV encoding is site-independent, so the key is
+    /// constant.
+    fn operand_site(ct: &Self::Ciphertext, for_mul: bool) -> (u32, u64);
+
+    /// Divides by the level's last prime (one chain level). Identity for
+    /// BFV.
     ///
     /// # Errors
     ///
     /// Propagates exhausted chains.
     fn rescale(ctx: &Self::Context, ct: &Self::Ciphertext) -> Result<Self::Ciphertext, HeError>;
 
-    /// Drops one level without rescaling.
+    /// Drops one level without rescaling. Identity for BFV.
     ///
     /// # Errors
     ///
@@ -78,6 +139,8 @@ pub trait CompilerScheme: HeScheme<Value = f64> {
 }
 
 impl CompilerScheme for Ckks {
+    type Operand = choco_he::ckks::CkksPlaintext;
+
     fn mul_ct(
         ctx: &CkksContext,
         a: &CkksCiphertext,
@@ -87,13 +150,48 @@ impl CompilerScheme for Ckks {
         ctx.multiply_relin(a, b, relin)
     }
 
-    fn mul_plain_raw(
+    fn quantize_const(_ctx: &CkksContext, values: &[f64], _scale_bits: u32) -> Vec<f64> {
+        values.to_vec()
+    }
+
+    fn encode_for_mul(
+        ctx: &CkksContext,
+        values: &[f64],
+        ct: &CkksCiphertext,
+    ) -> Result<Self::Operand, HeError> {
+        ctx.encode_at(values, ct.level(), ctx.default_scale())
+    }
+
+    fn encode_for_add(
+        ctx: &CkksContext,
+        values: &[f64],
+        ct: &CkksCiphertext,
+    ) -> Result<Self::Operand, HeError> {
+        ctx.encode_at(values, ct.level(), ct.scale())
+    }
+
+    fn mul_operand(
         ctx: &CkksContext,
         ct: &CkksCiphertext,
-        values: &[f64],
+        op: &Self::Operand,
     ) -> Result<CkksCiphertext, HeError> {
-        let pt = ctx.encode_at(values, ct.level(), ctx.default_scale())?;
-        ctx.multiply_plain(ct, &pt)
+        ctx.multiply_plain(ct, op)
+    }
+
+    fn add_operand(
+        ctx: &CkksContext,
+        ct: &CkksCiphertext,
+        op: &Self::Operand,
+    ) -> Result<CkksCiphertext, HeError> {
+        ctx.add_plain(ct, op)
+    }
+
+    fn operand_site(ct: &CkksCiphertext, for_mul: bool) -> (u32, u64) {
+        // Multiplication operands are encoded at the context's default
+        // scale, so only the level discriminates; addition operands must
+        // match the ciphertext's exact scale bit pattern.
+        let scale = if for_mul { 0 } else { ct.scale().to_bits() };
+        (ct.level() as u32, scale)
     }
 
     fn rescale(ctx: &CkksContext, ct: &CkksCiphertext) -> Result<CkksCiphertext, HeError> {
@@ -102,6 +200,81 @@ impl CompilerScheme for Ckks {
 
     fn mod_switch_down(ctx: &CkksContext, ct: &CkksCiphertext) -> Result<CkksCiphertext, HeError> {
         ctx.mod_switch_to(ct, ct.level() - 1)
+    }
+}
+
+impl CompilerScheme for Bfv {
+    type Operand = choco_he::bfv::Plaintext;
+
+    fn mul_ct(
+        ctx: &choco_he::bfv::BfvContext,
+        a: &choco_he::bfv::Ciphertext,
+        b: &choco_he::bfv::Ciphertext,
+        relin: &choco_he::bfv::RelinKey,
+    ) -> Result<choco_he::bfv::Ciphertext, HeError> {
+        ctx.evaluator().multiply_relin(a, b, relin)
+    }
+
+    fn quantize_const(
+        ctx: &choco_he::bfv::BfvContext,
+        values: &[f64],
+        scale_bits: u32,
+    ) -> Vec<u64> {
+        <Bfv as HeScheme>::quantize(ctx, values, scale_bits, 1)
+    }
+
+    fn encode_for_mul(
+        ctx: &choco_he::bfv::BfvContext,
+        values: &[u64],
+        _ct: &choco_he::bfv::Ciphertext,
+    ) -> Result<Self::Operand, HeError> {
+        ctx.batch_encoder()?.encode(values)
+    }
+
+    fn encode_for_add(
+        ctx: &choco_he::bfv::BfvContext,
+        values: &[u64],
+        _ct: &choco_he::bfv::Ciphertext,
+    ) -> Result<Self::Operand, HeError> {
+        ctx.batch_encoder()?.encode(values)
+    }
+
+    fn mul_operand(
+        ctx: &choco_he::bfv::BfvContext,
+        ct: &choco_he::bfv::Ciphertext,
+        op: &Self::Operand,
+    ) -> Result<choco_he::bfv::Ciphertext, HeError> {
+        Ok(ctx.evaluator().multiply_plain(ct, op))
+    }
+
+    fn add_operand(
+        ctx: &choco_he::bfv::BfvContext,
+        ct: &choco_he::bfv::Ciphertext,
+        op: &Self::Operand,
+    ) -> Result<choco_he::bfv::Ciphertext, HeError> {
+        Ok(ctx.evaluator().add_plain(ct, op))
+    }
+
+    fn operand_site(_ct: &choco_he::bfv::Ciphertext, _for_mul: bool) -> (u32, u64) {
+        // BFV batch encoding depends only on the parameter set, never on
+        // the ciphertext's position in a (nonexistent) chain.
+        (0, 0)
+    }
+
+    fn rescale(
+        _ctx: &choco_he::bfv::BfvContext,
+        ct: &choco_he::bfv::Ciphertext,
+    ) -> Result<choco_he::bfv::Ciphertext, HeError> {
+        // BFV carries no rescaling chain: the schedule's `Rescale` nodes
+        // are scale bookkeeping only and the ciphertext passes through.
+        Ok(ct.clone())
+    }
+
+    fn mod_switch_down(
+        _ctx: &choco_he::bfv::BfvContext,
+        ct: &choco_he::bfv::Ciphertext,
+    ) -> Result<choco_he::bfv::Ciphertext, HeError> {
+        Ok(ct.clone())
     }
 }
 
@@ -222,6 +395,17 @@ impl Program {
         self.ops.is_empty()
     }
 
+    /// The op list, in construction order (node `i` is `ops()[i]`). Read
+    /// access for serializers; rebuild a program through the builder API.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The declared output nodes, in declaration order.
+    pub fn output_ids(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
     /// Lowers the *source* program into the verifier's circuit form
     /// (no claims: the schedule does not exist yet, so the verifier replays
     /// the compiler's waterline scheduling abstractly).
@@ -311,7 +495,7 @@ pub struct RawProgramParts {
 /// returns scales to the waterline and branches of different multiplicative
 /// depth remain addable after level alignment. (The plaintext executor is
 /// exact regardless.)
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompilerOptions {
     /// Input/encoding scale in bits (EVA's "waterline").
     pub scale_bits: u32,
@@ -429,6 +613,14 @@ pub fn compile(program: &Program, opts: &CompilerOptions) -> Result<CompiledProg
      -> NodeId {
         while meta[id.0].scale_bits > waterline + opts.prime_bits as f64 / 2.0 {
             let m = meta[id.0];
+            if m.level == 0 {
+                // The chain is already exhausted; stop inserting rescales
+                // and pin the floor so the final depth check returns a
+                // typed `DepthExceeded` (instead of underflowing here on
+                // adversarially deep programs).
+                *min_level = 0;
+                break;
+            }
             let nm = NodeMeta {
                 scale_bits: m.scale_bits - opts.prime_bits as f64,
                 level: m.level - 1,
@@ -807,6 +999,33 @@ impl CompiledProgram {
         relin: &S::RelinKey,
         galois: &S::GaloisKeys,
     ) -> Result<Vec<S::Ciphertext>, HeError> {
+        // A fresh per-call cache: within one execution the working set is
+        // bounded by the program's constant count, so unbounded is safe.
+        let cache = ExecCache::<S>::unbounded();
+        self.execute_encrypted_cached::<S>(ctx, inputs, relin, galois, &cache)
+    }
+
+    /// [`CompiledProgram::execute_encrypted`] with a caller-owned operand
+    /// cache, so encoded constants survive across calls (and across
+    /// threads: the cache is internally locked, letting a batch of
+    /// requests against the same program share one set of encodings).
+    ///
+    /// Caching is bit-transparent: a cached operand is byte-identical to
+    /// the one a fresh encode would produce, so results are identical to
+    /// [`CompiledProgram::execute_encrypted`] whatever the cache state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE errors; a missing or mis-typed operand surfaces as
+    /// [`HeError::Mismatch`] instead of aborting the evaluation.
+    pub fn execute_encrypted_cached<S: CompilerScheme>(
+        &self,
+        ctx: &S::Context,
+        inputs: &HashMap<String, S::Ciphertext>,
+        relin: &S::RelinKey,
+        galois: &S::GaloisKeys,
+        cache: &ExecCache<S>,
+    ) -> Result<Vec<S::Ciphertext>, HeError> {
         // Programs built through `compile` are verified by construction;
         // re-check in debug builds to catch `from_raw_parts` corruption at
         // the door instead of as a wrong decrypt.
@@ -815,12 +1034,12 @@ impl CompiledProgram {
             "execute_encrypted on a program that fails static verification: {:?}",
             self.verify().err()
         );
-        enum Slot<Ct> {
+        enum Slot<Ct, V> {
             Ct(Ct),
-            Plain(Vec<f64>),
+            Plain(Vec<V>),
         }
-        let mut vals: Vec<Slot<S::Ciphertext>> = Vec::with_capacity(self.ops.len());
-        let ct = |s: Option<&Slot<S::Ciphertext>>| -> Result<S::Ciphertext, HeError> {
+        let mut vals: Vec<Slot<S::Ciphertext, S::Value>> = Vec::with_capacity(self.ops.len());
+        let ct = |s: Option<&Slot<S::Ciphertext, S::Value>>| -> Result<S::Ciphertext, HeError> {
             match s {
                 Some(Slot::Ct(c)) => Ok(c.clone()),
                 Some(Slot::Plain(_)) => Err(HeError::Mismatch(
@@ -831,7 +1050,7 @@ impl CompiledProgram {
                 )),
             }
         };
-        let plain = |s: Option<&Slot<S::Ciphertext>>| -> Result<Vec<f64>, HeError> {
+        let plain = |s: Option<&Slot<S::Ciphertext, S::Value>>| -> Result<Vec<S::Value>, HeError> {
             match s {
                 Some(Slot::Plain(p)) => Ok(p.clone()),
                 Some(Slot::Ct(_)) => Err(HeError::Mismatch(
@@ -850,7 +1069,7 @@ impl CompiledProgram {
                         .ok_or_else(|| HeError::Mismatch(format!("missing input {name}")))?
                         .clone(),
                 ),
-                Op::Constant(c) => Slot::Plain(c.clone()),
+                Op::Constant(c) => Slot::Plain(S::quantize_const(ctx, c, self.options.scale_bits)),
                 Op::Add(a, b) => Slot::Ct(S::add(ctx, &ct(vals.get(a.0))?, &ct(vals.get(b.0))?)?),
                 Op::Sub(a, b) => Slot::Ct(S::sub(ctx, &ct(vals.get(a.0))?, &ct(vals.get(b.0))?)?),
                 Op::Mul(a, b) => Slot::Ct(S::mul_ct(
@@ -862,12 +1081,16 @@ impl CompiledProgram {
                 Op::MulPlain(a, c) => {
                     let x = ct(vals.get(a.0))?;
                     let p = plain(vals.get(c.0))?;
-                    Slot::Ct(S::mul_plain_raw(ctx, &x, &p)?)
+                    let operand =
+                        cache.get_or_encode(c.0, true, &x, || S::encode_for_mul(ctx, &p, &x))?;
+                    Slot::Ct(S::mul_operand(ctx, &x, &operand)?)
                 }
                 Op::AddPlain(a, c) => {
                     let x = ct(vals.get(a.0))?;
                     let p = plain(vals.get(c.0))?;
-                    Slot::Ct(S::add_plain(ctx, &x, &p)?)
+                    let operand =
+                        cache.get_or_encode(c.0, false, &x, || S::encode_for_add(ctx, &p, &x))?;
+                    Slot::Ct(S::add_operand(ctx, &x, &operand)?)
                 }
                 Op::Rotate(a, s) => {
                     let x = ct(vals.get(a.0))?;
@@ -886,6 +1109,82 @@ impl CompiledProgram {
             vals.push(v);
         }
         self.outputs.iter().map(|o| ct(vals.get(o.0))).collect()
+    }
+}
+
+/// Key of one encoded-operand cache entry: the constant's node index, the
+/// use kind (multiply vs. add site), and the scheme's site discriminator
+/// ([`CompilerScheme::operand_site`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct OperandSlot {
+    node: u32,
+    for_mul: bool,
+    site: (u32, u64),
+}
+
+/// A thread-safe cache of encoded plaintext operands for *one* compiled
+/// program (keys are program node indices, so never share an `ExecCache`
+/// between different programs).
+///
+/// The server keeps one of these per cached [`CompiledProgram`]; a batch
+/// of requests executing the same program concurrently shares the
+/// encodings, and [`ExecCache::counters`] proves that warm traffic does
+/// zero re-encoding.
+#[derive(Debug)]
+pub struct ExecCache<S: CompilerScheme> {
+    inner: Mutex<OperandCache<OperandSlot, S::Operand>>,
+}
+
+impl<S: CompilerScheme> ExecCache<S> {
+    /// A cache bounded to `capacity` operands (0 = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        ExecCache {
+            inner: Mutex::new(OperandCache::new(capacity)),
+        }
+    }
+
+    /// An unbounded cache (per-call scratch; the working set is bounded by
+    /// the program's constant count).
+    pub fn unbounded() -> Self {
+        Self::new(0)
+    }
+
+    /// Cached operand count.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Snapshot of the hit/encode/eviction counters. `misses` counts real
+    /// encodes.
+    pub fn counters(&self) -> CacheCounters {
+        self.lock().counters()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, OperandCache<OperandSlot, S::Operand>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn get_or_encode(
+        &self,
+        node: usize,
+        for_mul: bool,
+        ct: &S::Ciphertext,
+        encode: impl FnOnce() -> Result<S::Operand, HeError>,
+    ) -> Result<S::Operand, HeError> {
+        let key = OperandSlot {
+            node: node as u32,
+            for_mul,
+            site: S::operand_site(ct, for_mul),
+        };
+        self.lock().get_or_insert_with(&key, encode)
     }
 }
 
@@ -1111,6 +1410,147 @@ mod tests {
                 want[0][i]
             );
         }
+    }
+
+    #[test]
+    fn bfv_execution_matches_integer_reference() {
+        // out = x + rot(x, 1): no constants, so BFV semantics are exact
+        // integer adds — checkable against the batch-decoded reference.
+        let mut p = Program::new();
+        let x = p.input("x");
+        let r = p.rotate(x, 1);
+        let s = p.add(x, r);
+        p.output(s);
+        let copts = CompilerOptions {
+            scale_bits: 30,
+            prime_bits: 45,
+            max_levels: 3,
+        };
+        let c = compile(&p, &copts).unwrap();
+
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 17).unwrap();
+        let ctx = <Bfv as HeScheme>::context(&params).unwrap();
+        let mut rng = Blake3Rng::from_seed(b"bfv compiler test");
+        let keys = <Bfv as HeScheme>::keygen(&ctx, &mut rng);
+        let relin = <Bfv as HeScheme>::relin_key(&ctx, &keys, &mut rng).unwrap();
+        let galois =
+            <Bfv as HeScheme>::galois_keys(&ctx, &keys, &c.rotation_steps, &mut rng).unwrap();
+
+        let width = <Bfv as HeScheme>::slot_width(&ctx);
+        let values: Vec<u64> = (0..width as u64).collect();
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "x".to_string(),
+            <Bfv as HeScheme>::encrypt(&ctx, &keys, &values, &mut rng).unwrap(),
+        );
+        let out = c
+            .execute_encrypted::<Bfv>(&ctx, &inputs, &relin, &galois)
+            .unwrap();
+        let got = <Bfv as HeScheme>::decrypt(&ctx, &keys, &out[0]).unwrap();
+        // BFV rotations act on the two batching rows independently.
+        let half = width;
+        for j in 0..half {
+            let want = values[j] + values[(j + 1) % half];
+            assert_eq!(got[j], want, "slot {j}");
+        }
+    }
+
+    #[test]
+    fn bfv_execution_with_constants_is_deterministic_through_rescale_nodes() {
+        // The pipeline-style shape: rotations + plaintext multiplies +
+        // a plaintext add. BFV has no chain, so the schedule's inserted
+        // Rescale/ModSwitch nodes must pass ciphertexts through untouched
+        // and two executions must agree bit-for-bit.
+        let mut p = Program::new();
+        let x = p.input("x");
+        let w = p.constant(&[0.5, 1.0, 1.5, 2.0]);
+        let m = p.mul_plain(x, w);
+        let b = p.constant(&[1.0, 1.0, 2.0, 2.0]);
+        let y = p.add_plain(m, b);
+        let sq = p.mul(y, y);
+        p.output(sq);
+        let copts = CompilerOptions {
+            scale_bits: 6,
+            prime_bits: 45,
+            max_levels: 4,
+        };
+        let c = compile(&p, &copts).unwrap();
+
+        let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 17).unwrap();
+        let ctx = <Bfv as HeScheme>::context(&params).unwrap();
+        let mut rng = Blake3Rng::from_seed(b"bfv const test");
+        let keys = <Bfv as HeScheme>::keygen(&ctx, &mut rng);
+        let relin = <Bfv as HeScheme>::relin_key(&ctx, &keys, &mut rng).unwrap();
+        let galois =
+            <Bfv as HeScheme>::galois_keys(&ctx, &keys, &c.rotation_steps, &mut rng).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "x".to_string(),
+            <Bfv as HeScheme>::encrypt(&ctx, &keys, &[1, 2, 3, 4], &mut rng).unwrap(),
+        );
+        let a = c
+            .execute_encrypted::<Bfv>(&ctx, &inputs, &relin, &galois)
+            .unwrap();
+        let b = c
+            .execute_encrypted::<Bfv>(&ctx, &inputs, &relin, &galois)
+            .unwrap();
+        assert_eq!(
+            <Bfv as HeScheme>::ct_to_wire(&a[0]),
+            <Bfv as HeScheme>::ct_to_wire(&b[0]),
+            "BFV compiled execution must be deterministic"
+        );
+    }
+
+    #[test]
+    fn shared_exec_cache_skips_reencodes_and_stays_bit_identical() {
+        let mut p = Program::new();
+        let x = p.input("x");
+        let w = p.constant(&[0.25; 8]);
+        let y = p.mul_plain(x, w);
+        let b = p.constant(&[1.0; 8]);
+        let z = p.add_plain(y, b);
+        p.output(z);
+        let params = HeParams::ckks_insecure(1024, &[45, 45, 46], 38).unwrap();
+        let ctx = CkksContext::new(&params).unwrap();
+        let copts = CompilerOptions {
+            scale_bits: 38,
+            prime_bits: 45,
+            max_levels: ctx.top_level(),
+        };
+        let c = compile(&p, &copts).unwrap();
+        let mut rng = Blake3Rng::from_seed(b"cache test");
+        let keys = ctx.keygen(&mut rng);
+        let relin = ctx.relin_key(keys.secret_key(), &mut rng);
+        let galois = ctx.galois_keys(keys.secret_key(), &c.rotation_steps, &mut rng);
+        let mut inputs = HashMap::new();
+        let pt = ctx.encode(&[1.0; 8]).unwrap();
+        inputs.insert(
+            "x".to_string(),
+            ctx.encrypt(&pt, keys.public_key(), &mut rng).unwrap(),
+        );
+
+        let cache = ExecCache::<Ckks>::new(16);
+        let cold = c
+            .execute_encrypted_cached::<Ckks>(&ctx, &inputs, &relin, &galois, &cache)
+            .unwrap();
+        let after_cold = cache.counters();
+        assert_eq!(after_cold.misses, 2, "two constants → two encodes");
+        assert_eq!(after_cold.hits, 0);
+
+        let warm = c
+            .execute_encrypted_cached::<Ckks>(&ctx, &inputs, &relin, &galois, &cache)
+            .unwrap();
+        let after_warm = cache.counters();
+        assert_eq!(after_warm.misses, 2, "warm run must not re-encode");
+        assert_eq!(after_warm.hits, 2);
+
+        // And the uncached twin agrees bit-for-bit.
+        let plainpath = c
+            .execute_encrypted::<Ckks>(&ctx, &inputs, &relin, &galois)
+            .unwrap();
+        let wire = |ct: &CkksCiphertext| choco_he::serialize::ckks_ciphertext_to_bytes(ct);
+        assert_eq!(wire(&cold[0]), wire(&warm[0]));
+        assert_eq!(wire(&cold[0]), wire(&plainpath[0]));
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod compiler;
 pub mod linalg;
 pub mod params;
 pub mod protocol;
+pub mod remote;
 pub mod rotation;
 pub mod stacking;
 pub mod transport;

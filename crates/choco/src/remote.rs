@@ -1,0 +1,1051 @@
+//! Remote evaluation: the client-side half of the offload-server protocol.
+//!
+//! The paper's deployment model (§2) puts the HE kernels on the *server*:
+//! the client keygens, encrypts, uploads its evaluation keys once, and then
+//! streams small evaluate requests; the server hosts the compiled circuits
+//! and the plaintext models. This module defines the wire protocol both
+//! halves share and the [`RemoteEvaluator`] client:
+//!
+//! * **Session setup** ([`SessionSetup`], magic `CRS1`): the parameter
+//!   recipe plus the tenant's relinearization and Galois keys in their
+//!   existing `CHR*`/`CHG*` wire formats, sent once right after the
+//!   authenticated TCP hello. Only *evaluation* keys ever cross the wire —
+//!   never the secret key, never the full `CHB*` bundle.
+//! * **Evaluate** ([`EvalRequest`], magic `CRQ1`): a [`CompiledProgram`]
+//!   reference (BLAKE3 over the canonical source-program wire form and the
+//!   compiler options) plus named input ciphertexts. The source program
+//!   itself rides along only when the server has not seen the hash
+//!   (`NeedProgram` round trip otherwise), so steady-state requests carry
+//!   nothing but ciphertexts.
+//! * **Responses** ([`EvalResponse`], magic `CRA1`): output ciphertexts,
+//!   or a typed error.
+//!
+//! Every message is carried inside the session's keyed-BLAKE3 frame format
+//! ([`FrameKind::EvalRequest`] / [`FrameKind::EvalResponse`]), so
+//! integrity, authentication, and duplicate accounting are inherited from
+//! the relay transport unchanged. All decoders are total: truncated,
+//! bit-flipped, oversized, or cross-scheme inputs surface as typed
+//! [`TransportError`]s, never panics.
+
+use crate::compiler::{CompilerOptions, CompilerScheme, NodeId, Op, Program};
+use crate::protocol::CommLedger;
+use crate::transport::frame::{decode_frame, encode_frame, FrameKind};
+use crate::transport::tcp::{dial_io, BlobIo, TcpOptions};
+use crate::transport::{TagKey, TransportError};
+use choco_he::params::{HeParams, SchemeType};
+use choco_prng::blake3;
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+/// Magic prefix of a serialized session setup.
+pub const SETUP_MAGIC: &[u8; 4] = b"CRS1";
+/// Magic prefix of a serialized evaluate request.
+pub const REQUEST_MAGIC: &[u8; 4] = b"CRQ1";
+/// Magic prefix of a serialized response.
+pub const RESPONSE_MAGIC: &[u8; 4] = b"CRA1";
+
+/// Upper bound on IR nodes in an uploaded program — a parse-time guard so
+/// a hostile length field cannot drive allocation beyond what the frame
+/// size bound already admitted.
+pub const MAX_PROGRAM_NODES: usize = 1 << 20;
+
+fn bad(msg: impl Into<String>) -> TransportError {
+    TransportError::Malformed(msg.into())
+}
+
+fn take<'a>(rest: &mut &'a [u8], n: usize) -> Result<&'a [u8], TransportError> {
+    if rest.len() < n {
+        return Err(TransportError::Truncated {
+            need: n,
+            have: rest.len(),
+        });
+    }
+    let (head, tail) = rest.split_at(n);
+    *rest = tail;
+    Ok(head)
+}
+
+fn take_u8(rest: &mut &[u8]) -> Result<u8, TransportError> {
+    Ok(take(rest, 1)?[0])
+}
+
+fn take_u16(rest: &mut &[u8]) -> Result<u16, TransportError> {
+    let b = take(rest, 2)?;
+    let mut buf = [0u8; 2];
+    buf.copy_from_slice(b);
+    Ok(u16::from_le_bytes(buf))
+}
+
+fn take_u32(rest: &mut &[u8]) -> Result<u32, TransportError> {
+    let b = take(rest, 4)?;
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(b);
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn take_u64(rest: &mut &[u8]) -> Result<u64, TransportError> {
+    let b = take(rest, 8)?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(b);
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Reads a `u32`-length-prefixed byte field, bounds-checked against the
+/// remaining input so a hostile length cannot over-allocate.
+fn take_blob<'a>(rest: &mut &'a [u8]) -> Result<&'a [u8], TransportError> {
+    let len = take_u32(rest)? as usize;
+    take(rest, len)
+}
+
+fn push_blob(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Parameter recipe
+// ---------------------------------------------------------------------------
+
+/// Serializes a parameter set as a deterministic rebuild recipe (the same
+/// approach as the session checkpoint format): scheme, security mode,
+/// degree, plain modulus, scale bits, and the prime-bit list.
+pub fn params_to_wire(params: &HeParams) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + 4 * params.prime_bits().len());
+    out.push(match params.scheme() {
+        SchemeType::Bfv => 1u8,
+        SchemeType::Ckks => 2u8,
+    });
+    out.push(params.is_security_checked() as u8);
+    out.extend_from_slice(&(params.degree() as u32).to_le_bytes());
+    out.extend_from_slice(&params.plain_modulus().to_le_bytes());
+    out.extend_from_slice(&params.scale_bits().to_le_bytes());
+    out.extend_from_slice(&(params.prime_bits().len() as u16).to_le_bytes());
+    for bits in params.prime_bits() {
+        out.extend_from_slice(&bits.to_le_bytes());
+    }
+    out
+}
+
+/// Rebuilds a parameter set from its recipe and cross-checks the derived
+/// values against the recorded ones.
+///
+/// # Errors
+///
+/// [`TransportError::Truncated`]/[`TransportError::Malformed`] on bad
+/// bytes, or when the deterministic rebuild disagrees with the recipe.
+pub fn params_from_wire(rest: &mut &[u8]) -> Result<HeParams, TransportError> {
+    let scheme = match take_u8(rest)? {
+        1 => SchemeType::Bfv,
+        2 => SchemeType::Ckks,
+        other => return Err(bad(format!("unknown scheme byte {other}"))),
+    };
+    let checked = match take_u8(rest)? {
+        0 => false,
+        1 => true,
+        other => return Err(bad(format!("bad security flag {other}"))),
+    };
+    let n = take_u32(rest)? as usize;
+    let plain_modulus = take_u64(rest)?;
+    let scale_bits = take_u32(rest)?;
+    let prime_count = take_u16(rest)? as usize;
+    if prime_count > 64 {
+        return Err(bad(format!("implausible prime count {prime_count}")));
+    }
+    let mut prime_bits = Vec::with_capacity(prime_count);
+    for _ in 0..prime_count {
+        prime_bits.push(take_u32(rest)?);
+    }
+    let params = match scheme {
+        SchemeType::Bfv => {
+            let plain_bits = 64 - plain_modulus.leading_zeros();
+            if checked {
+                HeParams::bfv(n, &prime_bits, plain_bits)
+            } else {
+                HeParams::bfv_insecure(n, &prime_bits, plain_bits)
+            }
+        }
+        SchemeType::Ckks => {
+            if checked {
+                HeParams::ckks(n, &prime_bits, scale_bits)
+            } else {
+                HeParams::ckks_insecure(n, &prime_bits, scale_bits)
+            }
+        }
+    }
+    .map_err(|e| bad(format!("parameter recipe rejected: {e}")))?;
+    let consistent = match scheme {
+        SchemeType::Bfv => params.plain_modulus() == plain_modulus,
+        SchemeType::Ckks => params.scale_bits() == scale_bits,
+    };
+    if !consistent || params.degree() != n {
+        return Err(bad("rebuilt parameters disagree with recipe"));
+    }
+    Ok(params)
+}
+
+/// The cache key component identifying a parameter set: BLAKE3 over its
+/// recipe. Tenants sharing a parameter set share server-side caches;
+/// different sets can never collide.
+pub fn params_hash(params: &HeParams) -> [u8; 32] {
+    blake3::hash(&params_to_wire(params))
+}
+
+// ---------------------------------------------------------------------------
+// Program wire form
+// ---------------------------------------------------------------------------
+
+/// Serializes a *source* program (no `Rescale`/`ModSwitch` nodes) into its
+/// canonical wire form — the bytes [`program_ref`] hashes.
+///
+/// # Errors
+///
+/// [`TransportError::Malformed`] if the program contains compiler-inserted
+/// nodes (only source programs travel; the server compiles).
+pub fn program_to_wire(program: &Program) -> Result<Vec<u8>, TransportError> {
+    let mut out = Vec::with_capacity(16 + program.len() * 12);
+    out.extend_from_slice(&(program.len() as u32).to_le_bytes());
+    for (i, op) in program.ops().iter().enumerate() {
+        match op {
+            Op::Input(name) => {
+                out.push(0);
+                if name.len() > u16::MAX as usize {
+                    return Err(bad(format!("node {i}: input name too long")));
+                }
+                out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+            }
+            Op::Constant(values) => {
+                out.push(1);
+                out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                for v in values {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Op::Add(a, b) => {
+                out.push(2);
+                out.extend_from_slice(&(a.index() as u32).to_le_bytes());
+                out.extend_from_slice(&(b.index() as u32).to_le_bytes());
+            }
+            Op::Sub(a, b) => {
+                out.push(3);
+                out.extend_from_slice(&(a.index() as u32).to_le_bytes());
+                out.extend_from_slice(&(b.index() as u32).to_le_bytes());
+            }
+            Op::Mul(a, b) => {
+                out.push(4);
+                out.extend_from_slice(&(a.index() as u32).to_le_bytes());
+                out.extend_from_slice(&(b.index() as u32).to_le_bytes());
+            }
+            Op::MulPlain(a, c) => {
+                out.push(5);
+                out.extend_from_slice(&(a.index() as u32).to_le_bytes());
+                out.extend_from_slice(&(c.index() as u32).to_le_bytes());
+            }
+            Op::AddPlain(a, c) => {
+                out.push(6);
+                out.extend_from_slice(&(a.index() as u32).to_le_bytes());
+                out.extend_from_slice(&(c.index() as u32).to_le_bytes());
+            }
+            Op::Rotate(a, s) => {
+                out.push(7);
+                out.extend_from_slice(&(a.index() as u32).to_le_bytes());
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+            Op::Rescale(_) | Op::ModSwitch(_) => {
+                return Err(bad(format!(
+                    "node {i}: compiled nodes cannot travel; upload source programs"
+                )));
+            }
+        }
+    }
+    out.extend_from_slice(&(program.output_ids().len() as u32).to_le_bytes());
+    for o in program.output_ids() {
+        out.extend_from_slice(&(o.index() as u32).to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Rebuilds a source program from its wire form through the builder API,
+/// revalidating every operand reference.
+///
+/// # Errors
+///
+/// Typed [`TransportError`]s on truncation, bad op tags, forward or
+/// out-of-range operand references, or implausible node counts. Never
+/// panics.
+pub fn program_from_wire(bytes: &[u8]) -> Result<Program, TransportError> {
+    let mut rest = bytes;
+    let node_count = take_u32(&mut rest)? as usize;
+    if node_count > MAX_PROGRAM_NODES {
+        return Err(bad(format!("implausible node count {node_count}")));
+    }
+    let mut prog = Program::new();
+    let operand = |rest: &mut &[u8], built: usize| -> Result<NodeId, TransportError> {
+        let idx = take_u32(rest)? as usize;
+        if idx >= built {
+            return Err(bad(format!(
+                "operand {idx} references node {built} or later"
+            )));
+        }
+        Ok(NodeId::new(idx))
+    };
+    for i in 0..node_count {
+        match take_u8(&mut rest)? {
+            0 => {
+                let len = take_u16(&mut rest)? as usize;
+                let name = std::str::from_utf8(take(&mut rest, len)?)
+                    .map_err(|_| bad(format!("node {i}: input name is not UTF-8")))?;
+                prog.input(name);
+            }
+            1 => {
+                let len = take_u32(&mut rest)? as usize;
+                if len > rest.len() / 8 + 1 {
+                    return Err(bad(format!("node {i}: constant length overruns input")));
+                }
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    values.push(f64::from_bits(take_u64(&mut rest)?));
+                }
+                prog.constant(&values);
+            }
+            2 => {
+                let (a, b) = (operand(&mut rest, i)?, operand(&mut rest, i)?);
+                prog.add(a, b);
+            }
+            3 => {
+                let (a, b) = (operand(&mut rest, i)?, operand(&mut rest, i)?);
+                prog.sub(a, b);
+            }
+            4 => {
+                let (a, b) = (operand(&mut rest, i)?, operand(&mut rest, i)?);
+                prog.mul(a, b);
+            }
+            5 => {
+                let (a, c) = (operand(&mut rest, i)?, operand(&mut rest, i)?);
+                prog.mul_plain(a, c);
+            }
+            6 => {
+                let (a, c) = (operand(&mut rest, i)?, operand(&mut rest, i)?);
+                prog.add_plain(a, c);
+            }
+            7 => {
+                let a = operand(&mut rest, i)?;
+                let s = take_u64(&mut rest)? as i64;
+                prog.rotate(a, s);
+            }
+            other => return Err(bad(format!("node {i}: unknown op tag {other}"))),
+        }
+    }
+    let output_count = take_u32(&mut rest)? as usize;
+    if output_count > node_count {
+        return Err(bad("more outputs than nodes"));
+    }
+    for _ in 0..output_count {
+        let idx = take_u32(&mut rest)? as usize;
+        if idx >= node_count {
+            return Err(bad(format!("output references missing node {idx}")));
+        }
+        prog.output(NodeId::new(idx));
+    }
+    if !rest.is_empty() {
+        return Err(bad("trailing bytes after program"));
+    }
+    Ok(prog)
+}
+
+fn options_to_wire(options: &CompilerOptions) -> [u8; 12] {
+    let mut out = [0u8; 12];
+    let words = options
+        .scale_bits
+        .to_le_bytes()
+        .into_iter()
+        .chain(options.prime_bits.to_le_bytes())
+        .chain((options.max_levels as u32).to_le_bytes());
+    for (dst, src) in out.iter_mut().zip(words) {
+        *dst = src;
+    }
+    out
+}
+
+fn options_from_wire(rest: &mut &[u8]) -> Result<CompilerOptions, TransportError> {
+    let scale_bits = take_u32(rest)?;
+    let prime_bits = take_u32(rest)?;
+    let max_levels = take_u32(rest)? as usize;
+    if max_levels == 0 || max_levels > 64 {
+        return Err(bad(format!("implausible level count {max_levels}")));
+    }
+    Ok(CompilerOptions {
+        scale_bits,
+        prime_bits,
+        max_levels,
+    })
+}
+
+/// The identity of a compiled program on the wire: BLAKE3 over the
+/// canonical program bytes and the compiler options. Together with
+/// [`params_hash`] this is the server's cache key — same hash, same
+/// `CompiledProgram`, same encoded operands.
+pub fn program_ref_of(program_wire: &[u8], options: &CompilerOptions) -> [u8; 32] {
+    let mut h = blake3::Hasher::new();
+    h.update(&(program_wire.len() as u64).to_le_bytes());
+    h.update(program_wire);
+    h.update(&options_to_wire(options));
+    h.finalize()
+}
+
+/// A program serialized once on the client, ready to reference in any
+/// number of [`EvalRequest`]s.
+#[derive(Debug, Clone)]
+pub struct PreparedProgram {
+    /// Canonical source-program bytes.
+    pub wire: Vec<u8>,
+    /// The compiler configuration the server must compile under.
+    pub options: CompilerOptions,
+    /// BLAKE3 identity of (wire, options).
+    pub program_ref: [u8; 32],
+}
+
+impl PreparedProgram {
+    /// Serializes and hashes a source program.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Malformed`] if the program contains
+    /// compiler-inserted nodes.
+    pub fn new(program: &Program, options: &CompilerOptions) -> Result<Self, TransportError> {
+        let wire = program_to_wire(program)?;
+        let program_ref = program_ref_of(&wire, options);
+        Ok(PreparedProgram {
+            wire,
+            options: *options,
+            program_ref,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// The one-time key upload that turns an admitted relay connection into an
+/// evaluation session.
+#[derive(Debug, Clone)]
+pub struct SessionSetup {
+    /// The tenant's parameter set (recipe form).
+    pub params: HeParams,
+    /// Relinearization key, `CHR1`/`CHR2` wire form.
+    pub relin_wire: Vec<u8>,
+    /// Galois keys, `CHG1`/`CHG2` wire form.
+    pub galois_wire: Vec<u8>,
+}
+
+impl SessionSetup {
+    /// Serializes the setup message.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let params = params_to_wire(&self.params);
+        let mut out = Vec::with_capacity(
+            4 + params.len() + self.relin_wire.len() + self.galois_wire.len() + 8,
+        );
+        out.extend_from_slice(SETUP_MAGIC);
+        out.extend_from_slice(&params);
+        push_blob(&mut out, &self.relin_wire);
+        push_blob(&mut out, &self.galois_wire);
+        out
+    }
+
+    /// Decodes and validates a setup message, including the cross-scheme
+    /// check: the key blobs' magics must match the parameter scheme (a BFV
+    /// session cannot smuggle CKKS keys, and vice versa).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`TransportError`]s; never panics.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, TransportError> {
+        let mut rest = bytes;
+        if take(&mut rest, 4)? != SETUP_MAGIC {
+            return Err(bad("bad setup magic"));
+        }
+        let params = params_from_wire(&mut rest)?;
+        let relin_wire = take_blob(&mut rest)?.to_vec();
+        let galois_wire = take_blob(&mut rest)?.to_vec();
+        if !rest.is_empty() {
+            return Err(bad("trailing bytes after setup"));
+        }
+        let (relin_magic, galois_magic): (&[u8], &[u8]) = match params.scheme() {
+            SchemeType::Bfv => (b"CHR1", b"CHG1"),
+            SchemeType::Ckks => (b"CHR2", b"CHG2"),
+        };
+        if relin_wire.get(..4) != Some(relin_magic) {
+            return Err(bad(format!(
+                "relin key wire does not match the {:?} parameter scheme",
+                params.scheme()
+            )));
+        }
+        if galois_wire.get(..4) != Some(galois_magic) {
+            return Err(bad(format!(
+                "galois key wire does not match the {:?} parameter scheme",
+                params.scheme()
+            )));
+        }
+        Ok(SessionSetup {
+            params,
+            relin_wire,
+            galois_wire,
+        })
+    }
+}
+
+/// One evaluate call: a program reference, optionally the program body
+/// (first use), and the named input ciphertexts.
+#[derive(Debug, Clone)]
+pub struct EvalRequest {
+    /// Client-chosen id echoed in the response, so pipelined requests can
+    /// be matched up.
+    pub request_id: u64,
+    /// [`program_ref_of`] the referenced program.
+    pub program_ref: [u8; 32],
+    /// The program body + options, included when the server may not hold
+    /// the reference yet.
+    pub program: Option<(Vec<u8>, CompilerOptions)>,
+    /// `(input name, ciphertext wire)` pairs.
+    pub inputs: Vec<(String, Vec<u8>)>,
+}
+
+impl EvalRequest {
+    /// Serializes the request.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            64 + self
+                .inputs
+                .iter()
+                .map(|(n, c)| n.len() + c.len() + 8)
+                .sum::<usize>(),
+        );
+        out.extend_from_slice(REQUEST_MAGIC);
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&self.program_ref);
+        match &self.program {
+            Some((wire, options)) => {
+                out.push(1);
+                push_blob(&mut out, wire);
+                out.extend_from_slice(&options_to_wire(options));
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(self.inputs.len() as u16).to_le_bytes());
+        for (name, ct) in &self.inputs {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            push_blob(&mut out, ct);
+        }
+        out
+    }
+
+    /// Decodes a request.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`TransportError`]s; never panics. An inline program body
+    /// whose hash disagrees with `program_ref` is rejected here, so cache
+    /// poisoning by reference/body mismatch is impossible.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, TransportError> {
+        let mut rest = bytes;
+        if take(&mut rest, 4)? != REQUEST_MAGIC {
+            return Err(bad("bad request magic"));
+        }
+        let request_id = take_u64(&mut rest)?;
+        let mut program_ref = [0u8; 32];
+        program_ref.copy_from_slice(take(&mut rest, 32)?);
+        let program = match take_u8(&mut rest)? {
+            0 => None,
+            1 => {
+                let wire = take_blob(&mut rest)?.to_vec();
+                let options = options_from_wire(&mut rest)?;
+                if program_ref_of(&wire, &options) != program_ref {
+                    return Err(bad("program body does not hash to its reference"));
+                }
+                Some((wire, options))
+            }
+            other => return Err(bad(format!("bad program flag {other}"))),
+        };
+        let input_count = take_u16(&mut rest)? as usize;
+        let mut inputs = Vec::with_capacity(input_count.min(64));
+        for _ in 0..input_count {
+            let name_len = take_u16(&mut rest)? as usize;
+            let name = std::str::from_utf8(take(&mut rest, name_len)?)
+                .map_err(|_| bad("input name is not UTF-8"))?
+                .to_string();
+            let ct = take_blob(&mut rest)?.to_vec();
+            inputs.push((name, ct));
+        }
+        if !rest.is_empty() {
+            return Err(bad("trailing bytes after request"));
+        }
+        Ok(EvalRequest {
+            request_id,
+            program_ref,
+            program,
+            inputs,
+        })
+    }
+}
+
+/// The server's answer to one [`SessionSetup`] or [`EvalRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalResponse {
+    /// Session setup accepted; evaluate requests may follow.
+    SetupOk,
+    /// Output ciphertexts, in program-output order.
+    Outputs {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Serialized output ciphertexts.
+        outputs: Vec<Vec<u8>>,
+    },
+    /// The referenced program is unknown here — resend with the body.
+    NeedProgram {
+        /// Echo of the request id.
+        request_id: u64,
+    },
+    /// The request failed; the message is the typed server-side error,
+    /// rendered.
+    Error {
+        /// Echo of the request id (0 for setup failures).
+        request_id: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl EvalResponse {
+    /// Serializes the response.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(RESPONSE_MAGIC);
+        match self {
+            EvalResponse::SetupOk => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+            EvalResponse::Outputs {
+                request_id,
+                outputs,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out.extend_from_slice(&(outputs.len() as u16).to_le_bytes());
+                for ct in outputs {
+                    push_blob(&mut out, ct);
+                }
+            }
+            EvalResponse::NeedProgram { request_id } => {
+                out.push(2);
+                out.extend_from_slice(&request_id.to_le_bytes());
+            }
+            EvalResponse::Error {
+                request_id,
+                message,
+            } => {
+                out.push(3);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                push_blob(&mut out, message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a response.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`TransportError`]s; never panics.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, TransportError> {
+        let mut rest = bytes;
+        if take(&mut rest, 4)? != RESPONSE_MAGIC {
+            return Err(bad("bad response magic"));
+        }
+        let code = take_u8(&mut rest)?;
+        let request_id = take_u64(&mut rest)?;
+        let resp = match code {
+            0 => EvalResponse::SetupOk,
+            1 => {
+                let count = take_u16(&mut rest)? as usize;
+                let mut outputs = Vec::with_capacity(count.min(64));
+                for _ in 0..count {
+                    outputs.push(take_blob(&mut rest)?.to_vec());
+                }
+                EvalResponse::Outputs {
+                    request_id,
+                    outputs,
+                }
+            }
+            2 => EvalResponse::NeedProgram { request_id },
+            3 => {
+                let msg = String::from_utf8_lossy(take_blob(&mut rest)?).into_owned();
+                EvalResponse::Error {
+                    request_id,
+                    message: msg,
+                }
+            }
+            other => return Err(bad(format!("unknown response code {other}"))),
+        };
+        if !rest.is_empty() {
+            return Err(bad("trailing bytes after response"));
+        }
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// The thin client of the remote evaluator: dials `choco-serve`, uploads
+/// the evaluation keys once, and then issues evaluate calls — single or
+/// pipelined — against programs it references by hash. Keeps a
+/// [`CommLedger`] with the same upload/download semantics the local
+/// protocol uses, so Figure-10-style accounting carries over to the remote
+/// deployment unchanged.
+pub struct RemoteEvaluator<S: CompilerScheme> {
+    io: BlobIo,
+    key: TagKey,
+    seq: u64,
+    ledger: CommLedger,
+    sent_programs: BTreeSet<[u8; 32]>,
+    opts: TcpOptions,
+    _scheme: PhantomData<S>,
+}
+
+impl<S: CompilerScheme> RemoteEvaluator<S> {
+    /// Dials the server, authenticates as `(tenant, session)` with the
+    /// tenant seed, and uploads the session's evaluation keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dial/handshake errors ([`TransportError::Rejected`],
+    /// [`TransportError::Overloaded`], …) and any typed setup refusal.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect(
+        addr: &str,
+        seed: &[u8],
+        tenant: u64,
+        session: u64,
+        params: &HeParams,
+        relin: &S::RelinKey,
+        galois: &S::GaloisKeys,
+        opts: &TcpOptions,
+    ) -> Result<Self, TransportError> {
+        let key = TagKey::from_session_seed(seed);
+        let io = dial_io(addr, &key, tenant, session, false, opts)?;
+        let setup = SessionSetup {
+            params: params.clone(),
+            relin_wire: S::relin_to_wire(relin),
+            galois_wire: S::galois_to_wire(galois),
+        };
+        let mut client = RemoteEvaluator {
+            io,
+            key,
+            seq: 0,
+            ledger: CommLedger::new(),
+            sent_programs: BTreeSet::new(),
+            opts: *opts,
+            _scheme: PhantomData,
+        };
+        client.send_request(&setup.to_wire())?;
+        match client.read_response()? {
+            EvalResponse::SetupOk => Ok(client),
+            EvalResponse::Error { message, .. } => Err(TransportError::Rejected(format!(
+                "session setup refused: {message}"
+            ))),
+            other => Err(bad(format!("unexpected setup response {other:?}"))),
+        }
+    }
+
+    /// The client-side traffic ledger (requests → uploads, responses →
+    /// downloads; payload bytes, frame overhead excluded).
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// Evaluates `prog` on `inputs`, blocking for the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and typed server-side refusals
+    /// ([`TransportError::Rejected`] carrying the server's message).
+    pub fn evaluate(
+        &mut self,
+        prog: &PreparedProgram,
+        inputs: &[(&str, &S::Ciphertext)],
+    ) -> Result<Vec<S::Ciphertext>, TransportError> {
+        let mut out = self.evaluate_batch(prog, &[inputs])?;
+        out.pop()
+            .ok_or_else(|| bad("batch of one returned no result"))
+    }
+
+    /// Pipelines one evaluate request per element of `batch` — all
+    /// requests are written before the first response is read, which is
+    /// what lets the server coalesce them into one kernel invocation —
+    /// and returns the results in request order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; any per-request server refusal fails
+    /// the whole batch with its typed message.
+    pub fn evaluate_batch(
+        &mut self,
+        prog: &PreparedProgram,
+        batch: &[&[(&str, &S::Ciphertext)]],
+    ) -> Result<Vec<Vec<S::Ciphertext>>, TransportError> {
+        let first_use = self.sent_programs.insert(prog.program_ref);
+        let base_id = self.seq;
+        let mut ids = Vec::with_capacity(batch.len());
+        for (i, inputs) in batch.iter().enumerate() {
+            let request_id = base_id + i as u64;
+            let req = EvalRequest {
+                request_id,
+                program_ref: prog.program_ref,
+                program: (first_use && i == 0).then(|| (prog.wire.clone(), prog.options)),
+                inputs: inputs
+                    .iter()
+                    .map(|(name, ct)| (name.to_string(), S::ct_to_wire(ct)))
+                    .collect(),
+            };
+            self.send_request(&req.to_wire())?;
+            ids.push(request_id);
+        }
+        let mut results: Vec<Option<Vec<S::Ciphertext>>> = vec![None; batch.len()];
+        let mut pending = batch.len();
+        while pending > 0 {
+            match self.read_response()? {
+                EvalResponse::Outputs {
+                    request_id,
+                    outputs,
+                } => {
+                    let slot = ids
+                        .iter()
+                        .position(|id| *id == request_id)
+                        .ok_or_else(|| bad(format!("unexpected response id {request_id}")))?;
+                    let cts = outputs
+                        .iter()
+                        .map(|wire| S::ct_from_wire(wire))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(TransportError::He)?;
+                    let entry = results
+                        .get_mut(slot)
+                        .ok_or_else(|| bad(format!("unexpected response id {request_id}")))?;
+                    if entry.replace(cts).is_some() {
+                        return Err(bad(format!("duplicate response for id {request_id}")));
+                    }
+                    pending -= 1;
+                }
+                EvalResponse::NeedProgram { request_id } => {
+                    // The server lost the program (e.g. cache eviction):
+                    // resend that request with the body attached.
+                    let slot = ids
+                        .iter()
+                        .position(|id| *id == request_id)
+                        .ok_or_else(|| bad(format!("unexpected response id {request_id}")))?;
+                    let inputs = batch
+                        .get(slot)
+                        .ok_or_else(|| bad(format!("unexpected response id {request_id}")))?;
+                    let resend_id = self.seq;
+                    let req = EvalRequest {
+                        request_id: resend_id,
+                        program_ref: prog.program_ref,
+                        program: Some((prog.wire.clone(), prog.options)),
+                        inputs: inputs
+                            .iter()
+                            .map(|(name, ct)| (name.to_string(), S::ct_to_wire(ct)))
+                            .collect(),
+                    };
+                    self.send_request(&req.to_wire())?;
+                    if let Some(id) = ids.get_mut(slot) {
+                        *id = resend_id;
+                    }
+                }
+                EvalResponse::Error {
+                    request_id,
+                    message,
+                } => {
+                    return Err(TransportError::Rejected(format!(
+                        "evaluate {request_id} refused: {message}"
+                    )));
+                }
+                EvalResponse::SetupOk => {
+                    return Err(bad("unexpected setup ack mid-batch"));
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.ok_or_else(|| bad("missing batch result")))
+            .collect()
+    }
+
+    fn send_request(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        let wire = encode_frame(FrameKind::EvalRequest, self.seq, payload, &self.key);
+        self.seq += 1;
+        self.ledger.record_upload(payload.len());
+        self.io.write_all(&wire)
+    }
+
+    fn read_response(&mut self) -> Result<EvalResponse, TransportError> {
+        let wire = self.io.read_blob(self.opts.recv_deadline_ms)?.ok_or(
+            TransportError::TimeoutExceeded {
+                budget_ms: self.opts.recv_deadline_ms,
+                elapsed_ms: self.opts.recv_deadline_ms,
+            },
+        )?;
+        let frame = decode_frame(&wire, &self.key)?;
+        if frame.kind != FrameKind::EvalResponse {
+            return Err(bad(format!(
+                "expected an EvalResponse frame, got {:?}",
+                frame.kind
+            )));
+        }
+        self.ledger.record_download(frame.payload.len());
+        EvalResponse::from_wire(&frame.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        let mut p = Program::new();
+        let x = p.input("x");
+        let r = p.rotate(x, 1);
+        let s = p.add(x, r);
+        let w = p.constant(&[0.5, 1.5]);
+        let y = p.mul_plain(s, w);
+        p.output(y);
+        p
+    }
+
+    fn opts() -> CompilerOptions {
+        CompilerOptions {
+            scale_bits: 30,
+            prime_bits: 45,
+            max_levels: 3,
+        }
+    }
+
+    #[test]
+    fn program_wire_roundtrips_and_hash_is_stable() {
+        let p = sample_program();
+        let wire = program_to_wire(&p).unwrap();
+        let back = program_from_wire(&wire).unwrap();
+        assert_eq!(program_to_wire(&back).unwrap(), wire);
+        assert_eq!(
+            program_ref_of(&wire, &opts()),
+            program_ref_of(&wire, &opts())
+        );
+        // Different options → different identity.
+        let other = CompilerOptions {
+            scale_bits: 31,
+            ..opts()
+        };
+        assert_ne!(
+            program_ref_of(&wire, &opts()),
+            program_ref_of(&wire, &other)
+        );
+    }
+
+    #[test]
+    fn params_recipe_roundtrips_both_schemes() {
+        for params in [
+            HeParams::bfv_insecure(1024, &[45, 45, 46], 17).unwrap(),
+            HeParams::ckks_insecure(1024, &[45, 45, 46], 38).unwrap(),
+        ] {
+            let wire = params_to_wire(&params);
+            let mut rest = wire.as_slice();
+            let back = params_from_wire(&mut rest).unwrap();
+            assert!(rest.is_empty());
+            assert_eq!(params_hash(&params), params_hash(&back));
+            assert_eq!(back.degree(), params.degree());
+            assert_eq!(back.scheme(), params.scheme());
+        }
+        let a = HeParams::bfv_insecure(1024, &[45, 45, 46], 17).unwrap();
+        let b = HeParams::ckks_insecure(1024, &[45, 45, 46], 38).unwrap();
+        assert_ne!(params_hash(&a), params_hash(&b));
+    }
+
+    #[test]
+    fn request_and_response_roundtrip() {
+        let p = sample_program();
+        let prep = PreparedProgram::new(&p, &opts()).unwrap();
+        let req = EvalRequest {
+            request_id: 42,
+            program_ref: prep.program_ref,
+            program: Some((prep.wire.clone(), prep.options)),
+            inputs: vec![("x".into(), vec![1, 2, 3])],
+        };
+        let back = EvalRequest::from_wire(&req.to_wire()).unwrap();
+        assert_eq!(back.request_id, 42);
+        assert_eq!(back.program_ref, prep.program_ref);
+        assert_eq!(back.inputs, req.inputs);
+
+        for resp in [
+            EvalResponse::SetupOk,
+            EvalResponse::Outputs {
+                request_id: 7,
+                outputs: vec![vec![9, 9], vec![]],
+            },
+            EvalResponse::NeedProgram { request_id: 3 },
+            EvalResponse::Error {
+                request_id: 1,
+                message: "nope".into(),
+            },
+        ] {
+            assert_eq!(EvalResponse::from_wire(&resp.to_wire()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn mismatched_program_body_is_rejected() {
+        let p = sample_program();
+        let prep = PreparedProgram::new(&p, &opts()).unwrap();
+        let mut tampered_ref = prep.program_ref;
+        tampered_ref[0] ^= 1;
+        let req = EvalRequest {
+            request_id: 1,
+            program_ref: tampered_ref,
+            program: Some((prep.wire.clone(), prep.options)),
+            inputs: vec![],
+        };
+        assert!(matches!(
+            EvalRequest::from_wire(&req.to_wire()),
+            Err(TransportError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_op_tags_are_rejected() {
+        // Rescale/ModSwitch have no wire tag at all (only source programs
+        // travel; the server compiles), so any unassigned tag must come
+        // back as a typed error, not a panic.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.push(9);
+        assert!(matches!(
+            program_from_wire(&wire),
+            Err(TransportError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        // Node 0 referencing node 1 (not yet built) must be refused.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.push(2); // Add
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            program_from_wire(&wire),
+            Err(TransportError::Malformed(_))
+        ));
+    }
+}

@@ -38,6 +38,13 @@ pub enum FrameKind {
     KeyMaterial,
     /// Protocol control messages.
     Control,
+    /// A remote-evaluation request (session setup, program upload, or an
+    /// evaluate call — `choco::remote` payload magics discriminate). The
+    /// server answers these with [`FrameKind::EvalResponse`] frames
+    /// instead of echoing.
+    EvalRequest,
+    /// A remote-evaluation response (server → client).
+    EvalResponse,
 }
 
 impl FrameKind {
@@ -48,6 +55,8 @@ impl FrameKind {
             FrameKind::Plaintext => 3,
             FrameKind::KeyMaterial => 4,
             FrameKind::Control => 5,
+            FrameKind::EvalRequest => 6,
+            FrameKind::EvalResponse => 7,
         }
     }
 
@@ -58,6 +67,8 @@ impl FrameKind {
             3 => Some(FrameKind::Plaintext),
             4 => Some(FrameKind::KeyMaterial),
             5 => Some(FrameKind::Control),
+            6 => Some(FrameKind::EvalRequest),
+            7 => Some(FrameKind::EvalResponse),
             _ => None,
         }
     }

@@ -578,6 +578,26 @@ pub fn dial(
     resume: bool,
     opts: &TcpOptions,
 ) -> Result<(TcpChannel, TcpChannel), TransportError> {
+    let io = dial_io(addr, key, tenant, session, resume, opts)?;
+    Ok(TcpChannel::pair_from_io(io, opts))
+}
+
+/// [`dial`], but returning the raw handshaked [`BlobIo`] instead of the
+/// echo-relay channel pair. This is the entry point for protocols that are
+/// *not* echo-acknowledged — the remote evaluator (`choco::remote`)
+/// exchanges request/response frames over the same admitted connection.
+///
+/// # Errors
+///
+/// Same as [`dial`].
+pub fn dial_io(
+    addr: &str,
+    key: &TagKey,
+    tenant: u64,
+    session: u64,
+    resume: bool,
+    opts: &TcpOptions,
+) -> Result<BlobIo, TransportError> {
     let stream = TcpStream::connect(addr)
         .map_err(|e| TransportError::Disconnected(format!("connect {addr}: {e}")))?;
     let _ = stream.set_write_timeout(Some(Duration::from_millis(opts.io_timeout_ms.max(1))));
@@ -587,7 +607,7 @@ pub fn dial(
         .read_msg(ACK_BYTES, opts.io_timeout_ms)?
         .ok_or_else(|| TransportError::Rejected("hello ack timed out".into()))?;
     match decode_ack(&ack)? {
-        HelloStatus::Ok => Ok(TcpChannel::pair_from_io(io, opts)),
+        HelloStatus::Ok => Ok(io),
         HelloStatus::Overloaded { active, limit } => {
             Err(TransportError::Overloaded { active, limit })
         }

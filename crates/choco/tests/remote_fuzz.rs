@@ -1,0 +1,306 @@
+//! Mutation fuzzing of the remote-evaluation wire formats (deterministic
+//! quickprop harness).
+//!
+//! The remote protocol is the first place hostile bytes can reach real key
+//! material and compiled-program caches, so its decoders carry the same
+//! contract as the frame layer below them: **typed errors, never panics**,
+//! for truncation at every offset, arbitrary bit flips, hostile length
+//! fields, and semantically wrong-but-well-formed inputs (cross-scheme key
+//! uploads, reference/body hash mismatches).
+
+use choco::compiler::{CompilerOptions, Program};
+use choco::remote::{
+    params_from_wire, params_hash, params_to_wire, program_from_wire, program_ref_of,
+    program_to_wire, EvalRequest, EvalResponse, PreparedProgram, SessionSetup,
+};
+use choco::transport::TransportError;
+use choco_he::params::HeParams;
+use choco_he::{Bfv, Ckks, HeScheme};
+use choco_prng::Blake3Rng;
+use choco_quickprop::{run_cases, Gen};
+
+fn sample_program(g: &mut Gen) -> Program {
+    let mut p = Program::new();
+    let x = p.input("x");
+    let r = p.rotate(x, 1 + g.u64_below(4) as i64);
+    let s = p.add(x, r);
+    let w = p.constant(&[0.25, 0.5, 0.75]);
+    let m = p.mul_plain(s, w);
+    let y = p.add_plain(m, w);
+    p.output(y);
+    p
+}
+
+fn options() -> CompilerOptions {
+    CompilerOptions {
+        scale_bits: 30,
+        prime_bits: 45,
+        max_levels: 3,
+    }
+}
+
+/// A structurally valid setup message with real (tiny, insecure-parameter)
+/// BFV evaluation keys — generated once, reused across fuzz cases.
+fn bfv_setup() -> SessionSetup {
+    let params = HeParams::bfv_insecure(256, &[40, 40, 41], 14).unwrap();
+    let ctx = Bfv::context(&params).unwrap();
+    let mut rng = Blake3Rng::from_seed(b"remote fuzz bfv");
+    let keys = Bfv::keygen(&ctx, &mut rng);
+    let relin = Bfv::relin_key(&ctx, &keys, &mut rng).unwrap();
+    let galois = Bfv::galois_keys(&ctx, &keys, &[1], &mut rng).unwrap();
+    SessionSetup {
+        params,
+        relin_wire: Bfv::relin_to_wire(&relin),
+        galois_wire: Bfv::galois_to_wire(&galois),
+    }
+}
+
+fn ckks_setup() -> SessionSetup {
+    let params = HeParams::ckks_insecure(256, &[40, 40, 41], 30).unwrap();
+    let ctx = Ckks::context(&params).unwrap();
+    let mut rng = Blake3Rng::from_seed(b"remote fuzz ckks");
+    let keys = Ckks::keygen(&ctx, &mut rng);
+    let relin = Ckks::relin_key(&ctx, &keys, &mut rng).unwrap();
+    let galois = Ckks::galois_keys(&ctx, &keys, &[1], &mut rng).unwrap();
+    SessionSetup {
+        params,
+        relin_wire: Ckks::relin_to_wire(&relin),
+        galois_wire: Ckks::galois_to_wire(&galois),
+    }
+}
+
+#[test]
+fn setup_roundtrips_and_every_truncation_is_typed() {
+    for setup in [bfv_setup(), ckks_setup()] {
+        let wire = setup.to_wire();
+        let back = SessionSetup::from_wire(&wire).unwrap();
+        assert_eq!(params_hash(&back.params), params_hash(&setup.params));
+        assert_eq!(back.relin_wire, setup.relin_wire);
+        assert_eq!(back.galois_wire, setup.galois_wire);
+        // Every strict prefix fails with a typed error, never a panic.
+        for cut in 0..wire.len() {
+            match SessionSetup::from_wire(&wire[..cut]) {
+                Err(TransportError::Truncated { .. } | TransportError::Malformed(_)) => {}
+                Err(e) => panic!("truncation at {cut} produced unexpected error {e}"),
+                Ok(_) => panic!("truncation at {cut} decoded successfully"),
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_scheme_key_upload_is_a_typed_error() {
+    let bfv = bfv_setup();
+    let ckks = ckks_setup();
+
+    // BFV parameter recipe + CKKS key blobs (and vice versa): the magic
+    // check must refuse before any key deserialization happens.
+    let franken_a = SessionSetup {
+        params: bfv.params.clone(),
+        relin_wire: ckks.relin_wire.clone(),
+        galois_wire: ckks.galois_wire.clone(),
+    };
+    let franken_b = SessionSetup {
+        params: ckks.params.clone(),
+        relin_wire: bfv.relin_wire.clone(),
+        galois_wire: bfv.galois_wire.clone(),
+    };
+    for franken in [franken_a, franken_b] {
+        match SessionSetup::from_wire(&franken.to_wire()) {
+            Err(TransportError::Malformed(msg)) => {
+                assert!(
+                    msg.contains("scheme"),
+                    "error should name the scheme mismatch, got: {msg}"
+                );
+            }
+            Err(e) => panic!("cross-scheme upload produced {e} instead of Malformed"),
+            Ok(_) => panic!("cross-scheme key upload decoded successfully"),
+        }
+    }
+
+    // Mixed blobs within one setup (relin from the right scheme, galois
+    // from the wrong one) are refused too.
+    let mixed = SessionSetup {
+        params: bfv.params.clone(),
+        relin_wire: bfv.relin_wire.clone(),
+        galois_wire: ckks.galois_wire.clone(),
+    };
+    assert!(matches!(
+        SessionSetup::from_wire(&mixed.to_wire()),
+        Err(TransportError::Malformed(_))
+    ));
+}
+
+#[test]
+fn setup_bit_flips_never_panic() {
+    let pristine = bfv_setup().to_wire();
+    run_cases("remote setup bit flip", 96, |g| {
+        let mut mangled = pristine.clone();
+        let i = g.usize_in(0, mangled.len());
+        mangled[i] ^= 1u8 << g.u64_below(8);
+        // A flip may land in the opaque key-blob bytes (which this layer
+        // does not interpret beyond the magic) — decoding may succeed.
+        // What it must never do is panic or misattribute lengths.
+        let _ = SessionSetup::from_wire(&mangled);
+    });
+}
+
+#[test]
+fn program_wire_truncations_bitflips_and_noise_never_panic() {
+    run_cases("remote program mutation", 128, |g| {
+        let wire = program_to_wire(&sample_program(g)).unwrap();
+        match g.u64_below(3) {
+            0 => {
+                let cut = g.usize_in(0, wire.len());
+                if cut < wire.len() {
+                    assert!(program_from_wire(&wire[..cut]).is_err());
+                }
+            }
+            1 => {
+                let mut mangled = wire.clone();
+                let i = g.usize_in(0, mangled.len());
+                mangled[i] ^= 1u8 << g.u64_below(8);
+                // Flips inside constant f64 payloads still parse (the
+                // values are opaque); structural flips must error, and
+                // nothing may panic.
+                let _ = program_from_wire(&mangled);
+            }
+            _ => {
+                let noise = g.bytes(128);
+                let _ = program_from_wire(&noise);
+            }
+        }
+    });
+}
+
+#[test]
+fn hostile_length_fields_do_not_overallocate() {
+    // A program claiming 2^32-1 nodes, a constant claiming u32::MAX
+    // values, oversized input counts: all refused before allocation.
+    let mut giant_nodes = Vec::new();
+    giant_nodes.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        program_from_wire(&giant_nodes),
+        Err(TransportError::Malformed(_))
+    ));
+
+    let mut giant_constant = Vec::new();
+    giant_constant.extend_from_slice(&1u32.to_le_bytes());
+    giant_constant.push(1); // Constant tag
+    giant_constant.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(program_from_wire(&giant_constant).is_err());
+
+    // An EvalRequest whose input blob length overruns the buffer.
+    let prep = PreparedProgram::new(
+        &{
+            let mut p = Program::new();
+            let x = p.input("x");
+            p.output(x);
+            p
+        },
+        &options(),
+    )
+    .unwrap();
+    let req = EvalRequest {
+        request_id: 1,
+        program_ref: prep.program_ref,
+        program: None,
+        inputs: vec![("x".into(), vec![0u8; 64])],
+    };
+    let mut wire = req.to_wire();
+    // The input ciphertext length prefix sits 4+2+"x" from the end of the
+    // fixed head; easier: find the last u32 length (64) and inflate it.
+    let pos = wire.len() - 64 - 4;
+    wire[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        EvalRequest::from_wire(&wire),
+        Err(TransportError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn request_and_response_mutations_never_panic() {
+    run_cases("remote request/response mutation", 128, |g| {
+        let prog = sample_program(g);
+        let prep = PreparedProgram::new(&prog, &options()).unwrap();
+        let req = EvalRequest {
+            request_id: g.u64(),
+            program_ref: prep.program_ref,
+            program: Some((prep.wire.clone(), prep.options)),
+            inputs: vec![("x".into(), g.bytes(48))],
+        };
+        let req_wire = req.to_wire();
+        let resp = EvalResponse::Outputs {
+            request_id: g.u64(),
+            outputs: vec![g.bytes(32), g.bytes(17)],
+        };
+        let resp_wire = resp.to_wire();
+
+        for wire in [&req_wire, &resp_wire] {
+            let mut mangled = wire.clone();
+            match g.u64_below(3) {
+                0 => {
+                    let cut = g.usize_in(0, mangled.len());
+                    mangled.truncate(cut);
+                }
+                1 => {
+                    let i = g.usize_in(0, mangled.len());
+                    mangled[i] ^= 1u8 << g.u64_below(8);
+                }
+                _ => mangled = g.bytes(96),
+            }
+            // Typed error or (for benign flips in opaque payload bytes) a
+            // clean decode; never a panic.
+            let _ = EvalRequest::from_wire(&mangled);
+            let _ = EvalResponse::from_wire(&mangled);
+        }
+    });
+}
+
+#[test]
+fn program_body_must_hash_to_its_reference() {
+    run_cases("remote program ref binding", 32, |g| {
+        let prog = sample_program(g);
+        let prep = PreparedProgram::new(&prog, &options()).unwrap();
+
+        // Same program, different compiler options → different reference;
+        // a request pairing the body with the stale reference is refused.
+        let other_options = CompilerOptions {
+            scale_bits: 31,
+            ..options()
+        };
+        assert_ne!(
+            program_ref_of(&prep.wire, &options()),
+            program_ref_of(&prep.wire, &other_options)
+        );
+        let req = EvalRequest {
+            request_id: 9,
+            program_ref: program_ref_of(&prep.wire, &other_options),
+            program: Some((prep.wire.clone(), prep.options)),
+            inputs: vec![],
+        };
+        assert!(matches!(
+            EvalRequest::from_wire(&req.to_wire()),
+            Err(TransportError::Malformed(_))
+        ));
+    });
+}
+
+#[test]
+fn params_recipe_rejects_mutations_that_change_the_recipe() {
+    let params = HeParams::bfv_insecure(1024, &[45, 45, 46], 17).unwrap();
+    let wire = params_to_wire(&params);
+    // Scheme byte 0 or 3+ is refused.
+    for bad in [0u8, 3, 200] {
+        let mut mangled = wire.clone();
+        mangled[0] = bad;
+        let mut rest = mangled.as_slice();
+        assert!(params_from_wire(&mut rest).is_err());
+    }
+    // Hostile prime count.
+    let mut mangled = wire.clone();
+    let count_off = 1 + 1 + 4 + 8 + 4;
+    mangled[count_off..count_off + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+    let mut rest = mangled.as_slice();
+    assert!(params_from_wire(&mut rest).is_err());
+}

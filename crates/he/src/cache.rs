@@ -1,0 +1,212 @@
+//! Capacity-bounded caches for server-side HE artifacts.
+//!
+//! Steady-state offload traffic re-evaluates the same compiled programs
+//! against the same plaintext models over and over; the expensive setup
+//! work — compiling a program, encoding a constant vector into the
+//! NTT/evaluation domain at a specific (level, scale) site — is identical
+//! across requests and across tenants that share a parameter set. This
+//! module provides the reusable building block: [`OperandCache`], a small
+//! LRU map with explicit [`CacheCounters`] so callers can *prove* (in
+//! tests and in live stats) that warm traffic does zero recompilation and
+//! zero re-encoding.
+//!
+//! The cache is deliberately generic: `crates/serve` instantiates it once
+//! per compiled program for encoded plaintext operands (keyed by constant
+//! node and use site) and once globally for compiled programs (keyed by
+//! params-hash ‖ program-hash). Values are handed out as clones; every
+//! cached type here is cheap-to-clone or wrapped in `Arc` by the caller.
+
+use std::collections::BTreeMap;
+
+/// Hit/miss/eviction accounting for one cache instance.
+///
+/// `misses` counts exactly the builder invocations — for an operand cache
+/// that is the number of real plaintext encodes, for a program cache the
+/// number of real compiles — which is what the steady-state proofs assert
+/// against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran the builder (cold entries).
+    pub misses: u64,
+    /// Entries inserted (equals `misses` for fallible builders that
+    /// succeeded).
+    pub insertions: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Merges another counter set into this one (for aggregated stats).
+    pub fn absorb(&mut self, other: &CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
+}
+
+/// A least-recently-used cache with explicit counters.
+///
+/// `capacity` of zero means unbounded (used for per-call scratch caches
+/// where the working set is bounded by the program itself).
+#[derive(Debug, Clone)]
+pub struct OperandCache<K: Ord + Clone, V: Clone> {
+    capacity: usize,
+    map: BTreeMap<K, (u64, V)>,
+    tick: u64,
+    counters: CacheCounters,
+}
+
+impl<K: Ord + Clone, V: Clone> OperandCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (0 = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        OperandCache {
+            capacity,
+            map: BTreeMap::new(),
+            tick: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Looks `key` up; on a miss, runs `build`, caches a success, and
+    /// evicts the least-recently-used entry if over capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error; failed builds are counted as misses
+    /// but never cached.
+    pub fn get_or_insert_with<E>(
+        &mut self,
+        key: &K,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        self.tick += 1;
+        if let Some((stamp, v)) = self.map.get_mut(key) {
+            *stamp = self.tick;
+            self.counters.hits += 1;
+            return Ok(v.clone());
+        }
+        self.counters.misses += 1;
+        let v = build()?;
+        self.counters.insertions += 1;
+        self.map.insert(key.clone(), (self.tick, v.clone()));
+        if self.capacity > 0 && self.map.len() > self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.counters.evictions += 1;
+            }
+        }
+        Ok(v)
+    }
+
+    /// Looks `key` up without inserting (no counter effect on miss paths
+    /// that the caller handles itself).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(_, v)| v)
+    }
+
+    /// Iterates over the live values (stats aggregation over resident
+    /// entries; evicted entries are gone).
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.map.values().map(|(_, v)| v)
+    }
+
+    /// Drops every entry; counters are preserved.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn get(c: &mut OperandCache<u32, String>, k: u32) -> String {
+        let r: Result<String, Infallible> = c.get_or_insert_with(&k, || Ok(format!("v{k}")));
+        match r {
+            Ok(v) => v,
+        }
+    }
+
+    #[test]
+    fn cold_then_warm_counters() {
+        let mut c = OperandCache::new(8);
+        assert_eq!(get(&mut c, 1), "v1");
+        assert_eq!(get(&mut c, 1), "v1");
+        assert_eq!(get(&mut c, 2), "v2");
+        let n = c.counters();
+        assert_eq!(n.misses, 2);
+        assert_eq!(n.hits, 1);
+        assert_eq!(n.insertions, 2);
+        assert_eq!(n.evictions, 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let mut c = OperandCache::new(2);
+        get(&mut c, 1);
+        get(&mut c, 2);
+        get(&mut c, 1); // refresh 1 → 2 is now LRU
+        get(&mut c, 3); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(&1).is_some());
+        assert!(c.peek(&2).is_none());
+        assert!(c.peek(&3).is_some());
+        assert_eq!(c.counters().evictions, 1);
+        // Re-fetching the evicted key is a fresh miss.
+        get(&mut c, 2);
+        assert_eq!(c.counters().misses, 4);
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let mut c: OperandCache<u32, String> = OperandCache::new(4);
+        let r: Result<String, &str> = c.get_or_insert_with(&7, || Err("boom"));
+        assert!(r.is_err());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.counters().misses, 1);
+        assert_eq!(c.counters().insertions, 0);
+        // A later success caches normally.
+        let r: Result<String, &str> = c.get_or_insert_with(&7, || Ok("ok".into()));
+        assert_eq!(r.unwrap(), "ok");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let mut c = OperandCache::new(0);
+        for k in 0..100 {
+            get(&mut c, k);
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.counters().evictions, 0);
+    }
+}

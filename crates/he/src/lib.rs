@@ -48,6 +48,7 @@
 
 pub mod batch;
 pub mod bfv;
+pub mod cache;
 pub mod ckks;
 pub mod error;
 pub mod keyswitch;
@@ -56,6 +57,7 @@ pub mod rnspoly;
 pub mod scheme;
 pub mod serialize;
 
+pub use cache::{CacheCounters, OperandCache};
 pub use error::HeError;
 pub use params::{HeParams, SchemeType};
 pub use scheme::{Bfv, Ckks, HeScheme};

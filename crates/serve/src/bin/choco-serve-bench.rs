@@ -6,17 +6,30 @@
 //! a conv layer (BFV), the LeNet-like pipeline (BFV) and K-Means (CKKS) —
 //! and reports wall-clock percentiles per kind plus server-side totals as
 //! JSON (`--json PATH`, e.g. the committed `BENCH_serve.json`).
+//!
+//! With `--batch N` the bench switches to the remote-evaluation protocol:
+//! each client uploads its evaluation keys once, warms the server's
+//! program/operand caches, then alternates measured **sequential** rounds
+//! (N evaluate requests, one blocking round trip each) against measured
+//! **batched** rounds (one pipelined `evaluate_batch` of N that the server
+//! coalesces into a single kernel dispatch). The report records per-round
+//! latency percentiles, request throughput for both modes, and their
+//! ratio (`speedup`), plus the server's cache counters — steady-state
+//! rounds show zero compiles and zero operand encodes.
 
 #![forbid(unsafe_code)]
 
+use choco::remote::RemoteEvaluator;
+use choco::transport::tcp::TcpOptions;
 use choco::transport::{Redialer, RetryPolicy, Session, TcpChannel};
 use choco_apps::distance::{distance_rotation_steps, PackingVariant};
 use choco_apps::pagerank::{pagerank_rotation_steps, Graph};
 use choco_apps::pipeline::{all_rotation_steps, seeded_weights, LenetLikeSpec};
+use choco_apps::remote::{workload_params, RemoteWorkload};
 use choco_apps::resumable::{
     drive_over_tcp, ResumableConvLayer, ResumableKmeans, ResumablePagerank, ResumablePipeline,
 };
-use choco_he::params::HeParams;
+use choco_he::params::{HeParams, SchemeType};
 use choco_he::{Bfv, Ckks};
 use choco_serve::{OffloadServer, ServeConfig, ServeStats, TenantRegistry};
 use std::time::Instant;
@@ -26,7 +39,7 @@ choco-serve-bench: loopback load generator for choco-serve
 
 USAGE:
   choco-serve-bench [--clients N] [--reps N] [--addr HOST:PORT] [--json PATH]
-                    [--smoke]
+                    [--batch N] [--smoke]
 
 OPTIONS:
   --clients N   concurrent client threads (default 8)
@@ -35,6 +48,10 @@ OPTIONS:
                 registered as ID=serve-bench tenant ID); default is an
                 in-process server
   --json PATH   write the report as JSON to PATH (default: stdout only)
+  --batch N     remote-evaluation mode: compare N sequential evaluate
+                round trips per round against one pipelined batch of N
+                (the PageRank circuit under BFV), report both latency
+                distributions and the throughput speedup
   --smoke       tiny run (2 clients x 1 rep) for CI";
 
 const KINDS: [&str; 4] = ["pagerank_bfv", "conv_bfv", "pipeline_bfv", "kmeans_ckks"];
@@ -223,6 +240,149 @@ fn kind_json(label: &str, ms: &mut [u64], failed: u64) -> String {
     )
 }
 
+/// One client's measured remote-eval rounds: per-round wall times for the
+/// sequential and the batched shape, in that order.
+fn run_batch_client(
+    addr: &str,
+    tenant: u64,
+    reps: u64,
+    batch: usize,
+) -> Result<(Vec<u64>, Vec<u64>), String> {
+    let circuits = choco_apps::circuits::all_workloads();
+    let circuit = circuits
+        .iter()
+        .find(|w| w.name == "pagerank")
+        .ok_or("pagerank circuit missing")?;
+    let params = workload_params(SchemeType::Bfv).map_err(err_str)?;
+    let seed = tenant_seed(tenant);
+    let w = RemoteWorkload::<Bfv>::prepare(circuit, &params, seed.as_bytes()).map_err(err_str)?;
+    // Session ids above the relay phase's rep counter, so a combined run
+    // gives the eval connection its own dedup cursor.
+    let mut client = RemoteEvaluator::<Bfv>::connect(
+        addr,
+        seed.as_bytes(),
+        tenant,
+        10_000,
+        &w.params,
+        &w.relin,
+        &w.galois,
+        &TcpOptions::default(),
+    )
+    .map_err(err_str)?;
+    let inputs = w.input_refs();
+
+    // Warm-up: uploads the program body and fills the operand cache, so
+    // both measured shapes see identical steady-state server work.
+    client.evaluate(&w.prepared, &inputs).map_err(err_str)?;
+
+    let mut sequential = Vec::with_capacity(reps as usize);
+    let mut batched = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            client.evaluate(&w.prepared, &inputs).map_err(err_str)?;
+        }
+        sequential.push(u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX));
+
+        let round: Vec<_> = (0..batch).map(|_| inputs.as_slice()).collect();
+        let t0 = Instant::now();
+        client
+            .evaluate_batch(&w.prepared, &round)
+            .map_err(err_str)?;
+        batched.push(u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX));
+    }
+    Ok((sequential, batched))
+}
+
+fn mode_json(label: &str, ms: &mut [u64], requests_per_round: u64) -> (String, f64) {
+    ms.sort_unstable();
+    let total_ms: u64 = ms.iter().sum();
+    let total_requests = requests_per_round * ms.len() as u64;
+    let throughput = if total_ms == 0 {
+        0.0
+    } else {
+        total_requests as f64 * 1_000.0 / total_ms as f64
+    };
+    let mean = if ms.is_empty() {
+        0
+    } else {
+        total_ms / ms.len() as u64
+    };
+    let json = format!(
+        "    \"{label}\": {{ \"rounds\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \
+         \"p99_ms\": {}, \"mean_ms\": {mean}, \"throughput_per_s\": {throughput:.3} }}",
+        ms.len(),
+        percentile(ms, 50),
+        percentile(ms, 90),
+        percentile(ms, 99),
+    );
+    (json, throughput)
+}
+
+/// The `--batch N` phase: remote evaluation, sequential vs pipelined,
+/// against the already-running server. Returns the `remote_eval` JSON
+/// section and the number of failed clients.
+fn run_batch_phase(clients: usize, reps: u64, batch: usize, addr: &str) -> (String, u64) {
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || run_batch_client(&addr, i as u64 + 1, reps, batch))
+        })
+        .collect();
+    let mut sequential = Vec::new();
+    let mut batched = Vec::new();
+    let mut failed = 0u64;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((mut s, mut b))) => {
+                sequential.append(&mut s);
+                batched.append(&mut b);
+            }
+            Ok(Err(e)) => {
+                failed += 1;
+                eprintln!("choco-serve-bench: batch client failed: {e}");
+            }
+            Err(_) => fail("a batch client thread panicked"),
+        }
+    }
+    let wall_ms = u64::try_from(wall.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+    let (seq_json, seq_tp) = mode_json("sequential", &mut sequential, batch as u64);
+    let (bat_json, bat_tp) = mode_json("batched", &mut batched, batch as u64);
+    let speedup = if seq_tp > 0.0 { bat_tp / seq_tp } else { 0.0 };
+    let section = format!(
+        "  \"remote_eval\": {{\n    \"batch\": {batch}, \"rounds_per_mode\": {},\n\
+         {seq_json},\n{bat_json},\n    \
+         \"speedup\": {speedup:.3}, \"failed_clients\": {failed}, \
+         \"wall_ms\": {wall_ms}\n  }}",
+        reps * clients as u64,
+    );
+    (section, failed)
+}
+
+/// Server-side evaluator counters: cache effectiveness and coalescing.
+fn eval_json(stats: &ServeStats) -> String {
+    let e = &stats.eval;
+    format!(
+        "  \"eval\": {{ \"requests\": {}, \"errors\": {}, \"compiles\": {}, \
+         \"program_hits\": {}, \"program_misses\": {}, \"program_evictions\": {}, \
+         \"operand_hits\": {}, \"operand_misses\": {}, \"batches\": {}, \
+         \"coalesced\": {}, \"max_batch\": {} }}",
+        e.counters.requests,
+        e.counters.errors,
+        e.cache.compiles,
+        e.cache.programs.hits,
+        e.cache.programs.misses,
+        e.cache.programs.evictions,
+        e.cache.operands.hits,
+        e.cache.operands.misses,
+        e.sched.batches,
+        e.sched.coalesced,
+        e.sched.max_batch,
+    )
+}
+
 fn server_json(stats: &ServeStats) -> String {
     let total = stats.book.combined();
     format!(
@@ -245,6 +405,7 @@ fn main() {
     let mut reps: u64 = 3;
     let mut addr: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut batch: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -265,6 +426,13 @@ fn main() {
             }
             "--addr" => addr = Some(need("--addr")),
             "--json" => json_path = Some(need("--json")),
+            "--batch" => {
+                batch = Some(
+                    need("--batch")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--batch: not a number")),
+                );
+            }
             "--smoke" => {
                 clients = 2;
                 reps = 1;
@@ -278,6 +446,9 @@ fn main() {
     }
     if clients == 0 || reps == 0 {
         fail("--clients and --reps must be positive");
+    }
+    if batch == Some(0) {
+        fail("--batch must be positive");
     }
 
     // In-process server unless an external address was given.
@@ -365,6 +536,16 @@ fn main() {
         }
     }
 
+    // The remote-eval phase reuses the same server (and its registry) so
+    // its counters land in the same report.
+    let batch_phase = batch.map(|n| {
+        eprintln!(
+            "choco-serve-bench: remote-eval phase — {clients} clients, \
+             {reps} rounds of {n} sequential vs one batch of {n}"
+        );
+        run_batch_phase(clients, reps, n, &addr)
+    });
+
     let stats = server.map(OffloadServer::shutdown);
     let total_runs = runs.len() as u64;
     let throughput_per_s = if wall_ms == 0 {
@@ -382,8 +563,16 @@ fn main() {
         ),
         format!("  \"workloads\": {{\n{}\n  }}", kind_lines.join(",\n")),
     ];
+    let mut failed_batch_clients = 0u64;
+    if let Some((section, failed)) = batch_phase {
+        sections.push(section);
+        failed_batch_clients = failed;
+    }
     if let Some(stats) = &stats {
         sections.push(server_json(stats));
+        if batch.is_some() {
+            sections.push(eval_json(stats));
+        }
     }
     let report = format!("{{\n{}\n}}\n", sections.join(",\n"));
 
@@ -394,7 +583,7 @@ fn main() {
         eprintln!("choco-serve-bench: wrote {path}");
     }
     print!("{report}");
-    if failed_total > 0 {
+    if failed_total > 0 || failed_batch_clients > 0 {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,257 @@
+//! Per-connection remote-evaluation state and request handling.
+//!
+//! A connection is promoted from relay to evaluator by its first
+//! [`SessionSetup`] payload: the server rebuilds the tenant's parameter
+//! set from the recipe, deserializes the uploaded relinearization and
+//! Galois keys, and pins an [`EvalSession`] to the connection. Subsequent
+//! [`EvalRequest`] payloads resolve their program through the global
+//! [`ServeCache`] and are submitted to the [`BatchScheduler`]; the
+//! executed response comes back to the connection worker over its reply
+//! channel, which writes it to the socket and bills the download.
+//!
+//! Everything here is typed-error territory: malformed setups, unknown
+//! programs, cross-scheme key blobs, and failed kernels all become
+//! [`EvalResponse`] messages (or `NeedProgram` round trips) — a hostile
+//! or buggy client can never panic a worker.
+
+use crate::cache::{EvalScheme, ProgramLookup, ServeCache};
+use crate::sched::BatchScheduler;
+use choco::remote::{EvalRequest, EvalResponse, SessionSetup, REQUEST_MAGIC, SETUP_MAGIC};
+use choco_he::params::SchemeType;
+use choco_he::{Bfv, Ckks};
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::cache::CachedProgram;
+
+/// Counts of eval-protocol events (beyond what the caches track).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCounters {
+    /// Session setups accepted.
+    pub setups: u64,
+    /// Evaluate requests admitted to the scheduler.
+    pub requests: u64,
+    /// `NeedProgram` round trips answered.
+    pub need_program: u64,
+    /// Typed error responses produced (setup or evaluate).
+    pub errors: u64,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Scheme-typed evaluation state for one connection: context + uploaded
+/// evaluation keys. Only *evaluation* keys live here — the server never
+/// sees a secret key.
+pub struct SchemeSession<S: EvalScheme> {
+    /// The rebuilt context.
+    pub ctx: S::Context,
+    /// The tenant's relinearization key.
+    pub relin: S::RelinKey,
+    /// The tenant's Galois keys (the rotation steps its programs use).
+    pub galois: S::GaloisKeys,
+    /// BLAKE3 of the parameter recipe — half of every cache key.
+    pub params_hash: [u8; 32],
+}
+
+/// A connection's evaluation state, once a setup has been accepted.
+pub enum EvalSession {
+    /// BFV session.
+    Bfv(Arc<SchemeSession<Bfv>>),
+    /// CKKS session.
+    Ckks(Arc<SchemeSession<Ckks>>),
+}
+
+/// What the connection worker should do with one handled payload.
+pub enum EvalOutcome {
+    /// Write this response payload now (setup acks, `NeedProgram`, typed
+    /// errors).
+    Immediate(Vec<u8>),
+    /// A job was queued; the response will arrive on the reply channel.
+    Submitted,
+}
+
+/// Handles one `EvalRequest`-frame payload (already tag-verified by the
+/// frame layer). Never panics; every failure is a typed response.
+pub fn handle_eval_payload(
+    payload: &[u8],
+    session: &mut Option<EvalSession>,
+    cache: &Arc<ServeCache>,
+    sched: &BatchScheduler,
+    counters: &Mutex<EvalCounters>,
+    reply: &Sender<Vec<u8>>,
+) -> EvalOutcome {
+    if payload.get(..4) == Some(SETUP_MAGIC.as_slice()) {
+        return handle_setup(payload, session, counters);
+    }
+    if payload.get(..4) == Some(REQUEST_MAGIC.as_slice()) {
+        return handle_request(payload, session, cache, sched, counters, reply);
+    }
+    lock(counters).errors += 1;
+    EvalOutcome::Immediate(
+        EvalResponse::Error {
+            request_id: 0,
+            message: "unrecognized eval payload magic".into(),
+        }
+        .to_wire(),
+    )
+}
+
+fn error_response(counters: &Mutex<EvalCounters>, request_id: u64, message: String) -> EvalOutcome {
+    lock(counters).errors += 1;
+    EvalOutcome::Immediate(
+        EvalResponse::Error {
+            request_id,
+            message,
+        }
+        .to_wire(),
+    )
+}
+
+fn handle_setup(
+    payload: &[u8],
+    session: &mut Option<EvalSession>,
+    counters: &Mutex<EvalCounters>,
+) -> EvalOutcome {
+    let setup = match SessionSetup::from_wire(payload) {
+        Ok(s) => s,
+        Err(e) => return error_response(counters, 0, format!("bad session setup: {e}")),
+    };
+    let built = match setup.params.scheme() {
+        SchemeType::Bfv => build_session::<Bfv>(&setup).map(EvalSession::Bfv),
+        SchemeType::Ckks => build_session::<Ckks>(&setup).map(EvalSession::Ckks),
+    };
+    match built {
+        Ok(s) => {
+            *session = Some(s);
+            lock(counters).setups += 1;
+            EvalOutcome::Immediate(EvalResponse::SetupOk.to_wire())
+        }
+        Err(e) => error_response(counters, 0, format!("session setup refused: {e}")),
+    }
+}
+
+fn build_session<S: EvalScheme>(
+    setup: &SessionSetup,
+) -> Result<Arc<SchemeSession<S>>, choco_he::HeError> {
+    let ctx = S::context(&setup.params)?;
+    let relin = S::relin_from_wire(&setup.relin_wire)?;
+    let galois = S::galois_from_wire(&setup.galois_wire)?;
+    Ok(Arc::new(SchemeSession {
+        ctx,
+        relin,
+        galois,
+        params_hash: choco::remote::params_hash(&setup.params),
+    }))
+}
+
+fn handle_request(
+    payload: &[u8],
+    session: &Option<EvalSession>,
+    cache: &Arc<ServeCache>,
+    sched: &BatchScheduler,
+    counters: &Mutex<EvalCounters>,
+    reply: &Sender<Vec<u8>>,
+) -> EvalOutcome {
+    let req = match EvalRequest::from_wire(payload) {
+        Ok(r) => r,
+        Err(e) => return error_response(counters, 0, format!("bad eval request: {e}")),
+    };
+    let request_id = req.request_id;
+    match session {
+        None => error_response(
+            counters,
+            request_id,
+            "evaluate before session setup (upload keys first)".into(),
+        ),
+        Some(EvalSession::Bfv(s)) => {
+            submit_eval::<Bfv>(Arc::clone(s), req, cache, sched, counters, reply)
+        }
+        Some(EvalSession::Ckks(s)) => {
+            submit_eval::<Ckks>(Arc::clone(s), req, cache, sched, counters, reply)
+        }
+    }
+}
+
+fn submit_eval<S: EvalScheme>(
+    sess: Arc<SchemeSession<S>>,
+    req: EvalRequest,
+    cache: &Arc<ServeCache>,
+    sched: &BatchScheduler,
+    counters: &Mutex<EvalCounters>,
+    reply: &Sender<Vec<u8>>,
+) -> EvalOutcome {
+    let request_id = req.request_id;
+    let lookup =
+        cache.lookup_or_compile::<S>(sess.params_hash, req.program_ref, req.program.as_ref());
+    let prog = match lookup {
+        Ok(ProgramLookup::Ready(p)) => p,
+        Ok(ProgramLookup::NeedProgram) => {
+            lock(counters).need_program += 1;
+            return EvalOutcome::Immediate(EvalResponse::NeedProgram { request_id }.to_wire());
+        }
+        Err(msg) => {
+            return error_response(counters, request_id, format!("program rejected: {msg}"))
+        }
+    };
+    let group = (sess.params_hash, req.program_ref);
+    let inputs = req.inputs;
+    let reply = reply.clone();
+    sched.submit(
+        group,
+        Box::new(move || {
+            let resp = run_request::<S>(&sess, &prog, request_id, &inputs);
+            // A dead receiver means the connection is gone; nothing to do.
+            let _ = reply.send(resp.to_wire());
+        }),
+    );
+    lock(counters).requests += 1;
+    EvalOutcome::Submitted
+}
+
+/// Executes one request against the shared cached program. Runs on a
+/// scheduler thread; the shared operand cache makes warm evaluations skip
+/// every plaintext encode while staying bit-identical (the cache stores
+/// exactly what the uncached path would compute).
+fn run_request<S: EvalScheme>(
+    sess: &SchemeSession<S>,
+    prog: &CachedProgram<S>,
+    request_id: u64,
+    inputs: &[(String, Vec<u8>)],
+) -> EvalResponse {
+    let mut named: HashMap<String, S::Ciphertext> = HashMap::new();
+    for (name, wire) in inputs {
+        match S::ct_from_wire(wire) {
+            Ok(ct) => {
+                named.insert(name.clone(), ct);
+            }
+            Err(e) => {
+                return EvalResponse::Error {
+                    request_id,
+                    message: format!("input {name:?} rejected: {e}"),
+                }
+            }
+        }
+    }
+    match prog.compiled.execute_encrypted_cached::<S>(
+        &sess.ctx,
+        &named,
+        &sess.relin,
+        &sess.galois,
+        &prog.operands,
+    ) {
+        Ok(outs) => EvalResponse::Outputs {
+            request_id,
+            outputs: outs.iter().map(|ct| S::ct_to_wire(ct)).collect(),
+        },
+        Err(e) => EvalResponse::Error {
+            request_id,
+            message: format!("execution failed: {e}"),
+        },
+    }
+}

@@ -1,12 +1,19 @@
 //! `choco-serve`: the offload protocol's remote peer over real TCP.
 //!
-//! The [`crate::server::OffloadServer`] is a **verified relay**: it holds
-//! each tenant's frame-tag key, verifies every keyed-BLAKE3 frame a client
-//! sends, bills it to a per-tenant [`choco::LedgerBook`], and acknowledges
-//! by echoing the verified frame bytes back. The HE state machine itself
-//! stays inside the client process's [`choco::Session`] (the paper's
-//! client-aided model keeps the secret key there anyway); what the server
-//! adds is everything a real deployment needs around that loop:
+//! The [`crate::server::OffloadServer`] plays two roles. For the relay
+//! protocol it is a **verified relay**: it holds each tenant's frame-tag
+//! key, verifies every keyed-BLAKE3 frame a client sends, bills it to a
+//! per-tenant [`choco::LedgerBook`], and acknowledges by echoing the
+//! verified frame bytes back (the HE state machine stays inside the
+//! client process's [`choco::Session`]; the paper's client-aided model
+//! keeps the secret key there anyway). For the remote-evaluation protocol
+//! (`choco::remote`) it is a **batching, caching HE evaluator**: clients
+//! upload their evaluation keys once, then stream evaluate requests that
+//! reference compiled programs by hash; the server coalesces compatible
+//! requests across connections and tenants into batched kernel
+//! invocations and caches compiled programs plus NTT-domain plaintext
+//! operands so steady-state traffic does zero recompilation and zero
+//! re-encoding. What the server adds around both loops:
 //!
 //! * a per-tenant key [`registry::TenantRegistry`] and an authenticated
 //!   hello handshake (a client that does not know the tenant seed is
@@ -15,20 +22,34 @@
 //!   silent queueing,
 //! * per-connection worker threads that verify frame batches on the
 //!   `choco-math::par` pool,
-//! * graceful drain: live per-session state is checkpointed to disk as
-//!   sealed [`record::SessionRecord`]s so a restarted server keeps exact
+//! * the global [`cache::ServeCache`] (LRU over `(params_hash,
+//!   program_ref)` with hit/miss/eviction counters) and the
+//!   [`sched::BatchScheduler`] (windowed cross-connection coalescing),
+//! * graceful drain: scheduled batches are flushed and pending results
+//!   delivered *before* live per-session state is checkpointed to disk as
+//!   sealed [`record::SessionRecord`]s, so a restarted server keeps exact
 //!   duplicate/retransmit accounting across the restart, and
 //! * [`chaos::ChaosProxy`], a socket-level fault injector for the chaos
 //!   tests (mid-frame connection kills, per-chunk delays).
 
 #![forbid(unsafe_code)]
+// Panics hide protocol bugs: outside tests, prefer typed errors (PR 1's
+// robustness audit). New `unwrap`/`expect` calls in library code must either
+// be converted to `Result` or carry a `# Panics` contract at the public API.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod cache;
 pub mod chaos;
+pub mod eval;
 pub mod record;
 pub mod registry;
+pub mod sched;
 pub mod server;
 
+pub use cache::{CachedProgram, EvalCacheStats, ProgramLookup, ServeCache};
 pub use chaos::{ChaosPlan, ChaosProxy};
+pub use eval::{EvalCounters, EvalSession};
 pub use record::SessionRecord;
 pub use registry::TenantRegistry;
-pub use server::{OffloadServer, ServeConfig, ServeStats};
+pub use sched::{BatchScheduler, SchedStats};
+pub use server::{EvalStats, OffloadServer, ServeConfig, ServeStats};

@@ -1,4 +1,4 @@
-//! The verified-relay offload server.
+//! The offload server: verified relay + remote HE evaluator.
 //!
 //! [`OffloadServer`] listens on a real TCP socket. Each connection starts
 //! with the authenticated hello handshake from
@@ -7,9 +7,20 @@
 //! control, and answers with a typed ack. Admitted connections get a
 //! dedicated worker thread that reads length-prefixed frames, verifies
 //! their keyed-BLAKE3 tags (batches are verified on the `choco-math::par`
-//! pool), bills them to a per-tenant [`LedgerBook`], and echoes every
-//! verified frame back — the acknowledgement the client's session layer
-//! treats as delivery.
+//! pool), bills them to a per-tenant [`LedgerBook`], and then dispatches
+//! by frame kind:
+//!
+//! * Relay kinds (ciphertext/plaintext/key/control) are echoed back — the
+//!   acknowledgement the client's session layer treats as delivery.
+//! * `EvalRequest` frames carry the remote-evaluation protocol
+//!   (`choco::remote`): a session-key upload promotes the connection to
+//!   an evaluator ([`crate::eval::EvalSession`]), and evaluate calls are
+//!   resolved through the global program/operand cache
+//!   ([`crate::cache::ServeCache`]) and coalesced across connections by
+//!   the [`crate::sched::BatchScheduler`] before real kernel work runs.
+//!   Responses come back to the worker over a reply channel and are
+//!   written as `EvalResponse` frames under a server-side sequence
+//!   counter.
 //!
 //! **Ledger semantics.** The server cannot see inside the relay protocol —
 //! a frame is a frame, whether the client's session counts it as an
@@ -21,15 +32,31 @@
 //! client `uploads + downloads` (+ recovery transfers after a resume), and
 //! server `retransmit` is zero.
 //!
-//! **Drain.** [`OffloadServer::drain`] stops admitting, lets every worker
-//! finish its current read, persists all session records (in parallel) to
-//! the checkpoint directory, and returns once the server is idle. A server
-//! bound later over the same directory resumes the records, so duplicate
+//! **Eval billing under batching.** Remote evaluation adds server → client
+//! traffic: every `EvalResponse` payload is billed to its tenant as
+//! `download_bytes`. The attribution rule is per-request, not per-batch:
+//! each tenant is billed exactly its own request payloads (upload, via the
+//! fresh-frame rule above) and its own response payloads (download),
+//! regardless of how the scheduler coalesced the compute. Batching shares
+//! kernels and caches — never bytes — so the per-tenant book is identical
+//! whether requests ran batched or sequentially.
+//!
+//! **Drain.** [`OffloadServer::drain`] stops admitting, flushes every
+//! scheduled batch through the [`crate::sched::BatchScheduler`], lets
+//! every worker deliver its pending eval responses and finish its current
+//! read, and only then persists all session records (in parallel) to the
+//! checkpoint directory, returning once the server is idle. Records are
+//! written strictly after results are delivered, so a drained server never
+//! persists accounting for work a client did not receive. A server bound
+//! later over the same directory resumes the records, so duplicate
 //! accounting is exact even across a full server restart.
 
+use crate::cache::{EvalCacheStats, ServeCache};
+use crate::eval::{handle_eval_payload, EvalCounters, EvalOutcome, EvalSession};
 use crate::record::SessionRecord;
 use crate::registry::TenantRegistry;
-use choco::transport::frame::decode_frame;
+use crate::sched::{BatchScheduler, SchedStats};
+use choco::transport::frame::{decode_frame, encode_frame, FrameKind};
 use choco::transport::tcp::{decode_hello, encode_ack, BlobIo, HelloStatus, HELLO_BYTES};
 use choco::transport::{TagKey, MAX_FRAME_BYTES};
 use choco::LedgerBook;
@@ -39,6 +66,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -64,6 +92,12 @@ pub struct ServeConfig {
     /// Where to persist session records on drain (and load them at bind).
     /// `None` disables persistence.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Compiled programs cached per scheme before LRU eviction kicks in
+    /// (0 = unbounded).
+    pub program_cache_capacity: usize,
+    /// Batch coalescing window: how long the scheduler lets compatible
+    /// evaluate requests accumulate before executing them as one batch.
+    pub batch_window_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +108,8 @@ impl Default for ServeConfig {
             worker_poll_ms: 50,
             max_frame_bytes: MAX_FRAME_BYTES,
             checkpoint_dir: None,
+            program_cache_capacity: 32,
+            batch_window_ms: 4,
         }
     }
 }
@@ -111,6 +147,22 @@ pub struct ServeStats {
     pub book: LedgerBook,
     /// Per-session records, `(tenant, session)` order.
     pub sessions: Vec<SessionRecord>,
+    /// Remote-evaluation accounting.
+    pub eval: EvalStats,
+}
+
+/// Remote-evaluation accounting: protocol events, cache effectiveness,
+/// and batching behavior. The steady-state proof is
+/// `cache.compiles` and `cache.operands.misses` staying flat while
+/// `counters.requests` grows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Setup/request/error event counts.
+    pub counters: EvalCounters,
+    /// Program + operand cache counters.
+    pub cache: EvalCacheStats,
+    /// Batch scheduler counters.
+    pub sched: SchedStats,
 }
 
 struct Shared {
@@ -122,6 +174,9 @@ struct Shared {
     counters: Mutex<Counters>,
     sessions: Mutex<BTreeMap<(u64, u64), SessionRecord>>,
     book: Mutex<LedgerBook>,
+    eval_cache: Arc<ServeCache>,
+    eval_counters: Mutex<EvalCounters>,
+    sched: BatchScheduler,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -155,6 +210,13 @@ impl Shared {
         } else {
             book.bill(tenant).record_retransmit(wire_len);
         }
+    }
+
+    /// Bills one delivered eval-response payload as tenant download
+    /// traffic. Responses are server-originated, so they never touch the
+    /// (client → server) session record — only the ledger book.
+    fn bill_download(&self, tenant: u64, payload_len: usize) {
+        lock(&self.book).bill(tenant).record_download(payload_len);
     }
 
     fn bill_bad_frame(&self, tenant: u64, session: u64, wire_len: usize) {
@@ -204,6 +266,9 @@ impl OffloadServer {
             }
         }
         let shared = Arc::new(Shared {
+            eval_cache: Arc::new(ServeCache::new(config.program_cache_capacity)),
+            eval_counters: Mutex::new(EvalCounters::default()),
+            sched: BatchScheduler::new(config.batch_window_ms),
             config,
             registry,
             stop: AtomicBool::new(false),
@@ -245,17 +310,28 @@ impl OffloadServer {
             rejected_malformed: c.rejected_malformed,
             book: lock(&self.shared.book).clone(),
             sessions: lock(&self.shared.sessions).values().copied().collect(),
+            eval: EvalStats {
+                counters: *lock(&self.shared.eval_counters),
+                cache: self.shared.eval_cache.stats(),
+                sched: self.shared.sched.stats(),
+            },
         }
     }
 
-    /// Stops admitting, waits for every worker to notice and exit (bounded
-    /// by the worker poll plus the handshake timeout), then persists all
-    /// session records in parallel on the `choco-math::par` pool.
+    /// Stops admitting, flushes every scheduled batch, waits for every
+    /// worker to deliver pending responses and exit (bounded by the worker
+    /// poll plus the handshake timeout), then persists all session records
+    /// in parallel on the `choco-math::par` pool — strictly after results
+    /// were delivered.
     pub fn drain(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
         let budget = Duration::from_millis(
             self.shared.config.io_timeout_ms + 4 * self.shared.config.worker_poll_ms + 1_000,
         );
+        // Scheduled batches first: workers exiting on the drain flag block
+        // on their in-flight responses, which only arrive once the
+        // scheduler has executed them.
+        let _ = self.shared.sched.flush(budget);
         let start = Instant::now();
         while *lock(&self.shared.active) > 0 && start.elapsed() < budget {
             thread::sleep(Duration::from_millis(2));
@@ -369,27 +445,72 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
         }
     }
 
-    echo_worker(&mut io, shared, hello.tenant, hello.session, &key);
+    conn_worker(&mut io, shared, hello.tenant, hello.session, &key);
 
+    // Records are persisted only after the worker has delivered (or given
+    // up on) every pending result — never for undelivered work.
     shared.persist_session(hello.tenant, hello.session);
     *lock(&shared.active) -= 1;
 }
 
-/// The per-connection relay loop: read frames, verify batches in parallel,
-/// bill, echo. Exits on disconnect, I/O error, or drain.
-fn echo_worker(io: &mut BlobIo, shared: &Arc<Shared>, tenant: u64, session: u64, key: &TagKey) {
-    let poll = shared.config.worker_poll_ms.max(1);
-    loop {
-        if shared.stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
-            return;
+/// Per-connection state the worker threads through its loop: the eval
+/// session (set by key upload), the reply channel eval jobs answer on,
+/// and the server-side response sequence counter.
+struct ConnState {
+    eval_session: Option<EvalSession>,
+    reply_tx: mpsc::Sender<Vec<u8>>,
+    reply_rx: mpsc::Receiver<Vec<u8>>,
+    /// Jobs submitted to the scheduler whose responses are not yet
+    /// written back.
+    pending: u64,
+    /// Sequence counter for server-originated `EvalResponse` frames.
+    resp_seq: u64,
+}
+
+impl ConnState {
+    fn new() -> Self {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        ConnState {
+            eval_session: None,
+            reply_tx,
+            reply_rx,
+            pending: 0,
+            resp_seq: 0,
         }
-        let first = match io.read_blob(poll) {
+    }
+}
+
+/// The per-connection loop: read frames, verify batches in parallel, bill,
+/// then echo (relay kinds) or evaluate (`EvalRequest` kinds). Exits on
+/// disconnect, I/O error, or drain — after flushing pending eval
+/// responses, so draining mid-batch never abandons delivered-but-unwritten
+/// results.
+fn conn_worker(io: &mut BlobIo, shared: &Arc<Shared>, tenant: u64, session: u64, key: &TagKey) {
+    let poll = shared.config.worker_poll_ms.max(1);
+    let mut conn = ConnState::new();
+    loop {
+        // Deliver any eval responses that finished since the last read.
+        if flush_ready_responses(io, shared, tenant, key, &mut conn).is_err() {
+            break;
+        }
+        if shared.stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        // While evaluations are in flight their results land on the reply
+        // channel, not the socket — poll short so a finished response is
+        // written within milliseconds instead of waiting out the full
+        // read deadline (which would bound every evaluate round trip from
+        // below by `worker_poll_ms`).
+        let deadline = if conn.pending > 0 { poll.min(2) } else { poll };
+        let first = match io.read_blob(deadline) {
             Ok(Some(wire)) => wire,
             Ok(None) => continue,
-            Err(_) => return,
+            Err(_) => break,
         };
         // Opportunistically batch frames that are already buffered so the
-        // tag checks run data-parallel on the par pool.
+        // tag checks run data-parallel on the par pool — and so a client
+        // pipelining evaluate requests gets them submitted to the batch
+        // scheduler in one round.
         let mut batch = vec![first];
         while batch.len() < VERIFY_BATCH {
             match io.read_blob(0) {
@@ -398,19 +519,105 @@ fn echo_worker(io: &mut BlobIo, shared: &Arc<Shared>, tenant: u64, session: u64,
             }
         }
         let verified = par::par_map(&batch, |_, wire| decode_frame(wire, key));
+        let mut dead = false;
         for (wire, decoded) in batch.iter().zip(verified) {
             match decoded {
                 Ok(frame) => {
                     shared.bill_frame(tenant, session, frame.seq, frame.payload.len(), wire.len());
-                    // Echo duplicates too: a client resuming from a
-                    // checkpoint legitimately resends frames it already
-                    // sent, and its session blocks on the echo.
-                    if io.write_all(wire).is_err() {
-                        return;
+                    if frame.kind == FrameKind::EvalRequest {
+                        match handle_eval_payload(
+                            &frame.payload,
+                            &mut conn.eval_session,
+                            &shared.eval_cache,
+                            &shared.sched,
+                            &shared.eval_counters,
+                            &conn.reply_tx,
+                        ) {
+                            EvalOutcome::Immediate(payload) => {
+                                if write_response(io, shared, tenant, key, &mut conn, &payload)
+                                    .is_err()
+                                {
+                                    dead = true;
+                                    break;
+                                }
+                            }
+                            EvalOutcome::Submitted => conn.pending += 1,
+                        }
+                    } else {
+                        // Echo duplicates too: a client resuming from a
+                        // checkpoint legitimately resends frames it
+                        // already sent, and its session blocks on the
+                        // echo.
+                        if io.write_all(wire).is_err() {
+                            dead = true;
+                            break;
+                        }
                     }
                 }
                 Err(_) => shared.bill_bad_frame(tenant, session, wire.len()),
             }
+        }
+        if dead {
+            break;
+        }
+    }
+    drain_pending_responses(io, shared, tenant, key, &mut conn);
+}
+
+/// Writes one `EvalResponse` frame under the server's own sequence counter
+/// and bills the payload as tenant download traffic.
+fn write_response(
+    io: &mut BlobIo,
+    shared: &Arc<Shared>,
+    tenant: u64,
+    key: &TagKey,
+    conn: &mut ConnState,
+    payload: &[u8],
+) -> Result<(), ()> {
+    let wire = encode_frame(FrameKind::EvalResponse, conn.resp_seq, payload, key);
+    conn.resp_seq += 1;
+    shared.bill_download(tenant, payload.len());
+    io.write_all(&wire).map_err(|_| ())
+}
+
+/// Delivers already-completed eval responses without blocking.
+fn flush_ready_responses(
+    io: &mut BlobIo,
+    shared: &Arc<Shared>,
+    tenant: u64,
+    key: &TagKey,
+    conn: &mut ConnState,
+) -> Result<(), ()> {
+    while let Ok(payload) = conn.reply_rx.try_recv() {
+        conn.pending -= 1;
+        write_response(io, shared, tenant, key, conn, &payload)?;
+    }
+    Ok(())
+}
+
+/// Blocks until every submitted job has answered (bounded by the I/O
+/// timeout per response) and writes the results out. Runs on every worker
+/// exit path — including drain — so scheduled batches are never abandoned
+/// with a client still waiting. Write failures keep draining the channel
+/// (the jobs still finish; there is just no one to tell).
+fn drain_pending_responses(
+    io: &mut BlobIo,
+    shared: &Arc<Shared>,
+    tenant: u64,
+    key: &TagKey,
+    conn: &mut ConnState,
+) {
+    let budget = Duration::from_millis(shared.config.io_timeout_ms.max(1));
+    let mut sink_only = false;
+    while conn.pending > 0 {
+        match conn.reply_rx.recv_timeout(budget) {
+            Ok(payload) => {
+                conn.pending -= 1;
+                if !sink_only && write_response(io, shared, tenant, key, conn, &payload).is_err() {
+                    sink_only = true;
+                }
+            }
+            Err(_) => break,
         }
     }
 }
