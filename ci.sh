@@ -65,6 +65,16 @@ echo "==> socket chaos: TCP crash/restart sweep + serve e2e"
 cargo test -q -p choco-apps --test chaos_tcp
 cargo test -q -p choco-serve
 
+echo "==> eval chaos: fault-isolated remote evaluation sweep"
+# Kill-point sweep over every evaluation stage x both schemes
+# (crates/apps/tests/chaos_eval.rs): hard server kills mid-evaluation must
+# drive to completion through reconnects with bit-identical outputs and
+# exact primary-ledger billing; poison jobs bisect out of batches, breakers
+# trip and recover, and restarted servers report dead requests from the
+# journal. The hard timeout guards against a retry loop that never
+# converges.
+timeout 300 cargo test -q -p choco-apps --test chaos_eval
+
 echo "==> loopback serve smoke: real server process + load generator"
 # Boots the choco-serve binary on an ephemeral port, runs the bench client
 # against it over loopback, then drains it via stdin. The hard timeout
@@ -79,12 +89,19 @@ echo "==> remote-eval batching gate: pipelined batches vs sequential round trips
 # errors — and, when the host has the cores to fan a batch out (>= 4), a
 # >= 2.0x throughput speedup. On starved runners the ratio is reported
 # but not asserted (the parallel dispatch has nothing to run on).
-CHOCO_THREADS=1 timeout 180 ./target/release/choco-serve-bench \
-    --smoke --batch 4 --json /tmp/bench_serve_batch.json
+# --faults additionally sweeps the fault-injection kinds (clean baseline,
+# bisected poison, shed deadline) against dedicated chaos servers; a
+# result that differs from the local reference fails the run.
+CHOCO_THREADS=1 timeout 300 ./target/release/choco-serve-bench \
+    --smoke --batch 4 --faults --json /tmp/bench_serve_batch.json
 grep -q '"failed_clients": 0' /tmp/bench_serve_batch.json \
     || { cat /tmp/bench_serve_batch.json; echo "ci: batch bench had failed clients"; exit 1; }
 grep -q '"errors": 0' /tmp/bench_serve_batch.json \
     || { cat /tmp/bench_serve_batch.json; echo "ci: server reported eval errors"; exit 1; }
+grep -q '"wrong_results": 0' /tmp/bench_serve_batch.json \
+    || { cat /tmp/bench_serve_batch.json; echo "ci: injected faults produced wrong results"; exit 1; }
+grep -q '"failed_rounds": 0' /tmp/bench_serve_batch.json \
+    || { cat /tmp/bench_serve_batch.json; echo "ci: fault-injection rounds failed"; exit 1; }
 speedup=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' /tmp/bench_serve_batch.json)
 if [ "$(nproc)" -ge 4 ]; then
     awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }' \

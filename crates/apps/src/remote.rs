@@ -22,12 +22,14 @@ use crate::circuits::WorkloadCircuit;
 use choco::compiler::{
     compile, CompileError, CompiledProgram, CompilerOptions, CompilerScheme, Op,
 };
-use choco::remote::PreparedProgram;
-use choco::transport::TransportError;
+use choco::remote::{PreparedProgram, RemoteEvaluator};
+use choco::transport::tcp::TcpOptions;
+use choco::transport::{RetryPolicy, TransportError};
 use choco_he::params::{HeParams, SchemeType};
 use choco_he::HeError;
 use choco_prng::Blake3Rng;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The compiler options the remote drivers pin — the same waterline the
 /// circuit verification tests use (`scale 2^30`, 45-bit rescale primes,
@@ -205,6 +207,60 @@ impl<S: CompilerScheme> RemoteWorkload<S> {
             .local_outputs()?
             .iter()
             .map(|ct| S::ct_to_wire(ct))
+            .collect())
+    }
+
+    /// Opens a fault-tolerant evaluator session for this workload:
+    /// [`RemoteEvaluator::connect_reliable`] with this session's
+    /// parameters and evaluation keys. The shared `addr` handle lets a
+    /// supervisor repoint the client at a restarted server mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dial/handshake errors once the retry budget is spent.
+    pub fn connect_reliable(
+        &self,
+        addr: Arc<Mutex<String>>,
+        seed: &[u8],
+        tenant: u64,
+        session: u64,
+        opts: &TcpOptions,
+        policy: RetryPolicy,
+    ) -> Result<RemoteEvaluator<S>, TransportError> {
+        RemoteEvaluator::connect_reliable(
+            addr,
+            seed,
+            tenant,
+            session,
+            &self.params,
+            &self.relin,
+            &self.galois,
+            opts,
+            policy,
+        )
+    }
+
+    /// Drives `copies` pipelined evaluations of this workload through
+    /// `evaluator` to completion — across server loss, shed deadlines, and
+    /// journal-guided resends when the session was opened with
+    /// [`RemoteWorkload::connect_reliable`] — and returns each copy's
+    /// output ciphertext wire bytes, ready for bit-identity comparison
+    /// against [`RemoteWorkload::local_output_wires`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and terminal typed refusals.
+    pub fn drive_to_completion(
+        &self,
+        evaluator: &mut RemoteEvaluator<S>,
+        copies: usize,
+    ) -> Result<Vec<Vec<Vec<u8>>>, TransportError> {
+        let refs = self.input_refs();
+        let batch: Vec<&[(&str, &S::Ciphertext)]> = (0..copies).map(|_| refs.as_slice()).collect();
+        let results = evaluator.evaluate_batch(&self.prepared, &batch)?;
+        Ok(results
+            .iter()
+            .map(|cts| cts.iter().map(|ct| S::ct_to_wire(ct)).collect())
             .collect())
     }
 }

@@ -21,15 +21,20 @@
 //! * server-side: no frame ever fails tag verification.
 
 use choco::protocol::CommLedger;
-use choco::transport::{CrashOp, CrashPlan, Redialer, Session, TcpChannel, TransportError};
+use choco::remote::{RemoteEvaluator, SessionSetup};
+use choco::transport::frame::{encode_frame, FrameKind};
+use choco::transport::tcp::{TcpOptions, HELLO_BYTES};
+use choco::transport::{CrashOp, CrashPlan, Redialer, Session, TagKey, TcpChannel, TransportError};
+use choco_apps::circuits::all_workloads;
 use choco_apps::distance::{distance_rotation_steps, PackingVariant};
 use choco_apps::pagerank::{pagerank_rotation_steps, Graph};
+use choco_apps::remote::{workload_params, RemoteWorkload};
 use choco_apps::resumable::{
     ResumableConvLayer, ResumableKmeans, ResumablePagerank, ResumableWorkload,
 };
-use choco_he::params::HeParams;
+use choco_he::params::{HeParams, SchemeType};
 use choco_he::{Bfv, Ckks, HeScheme};
-use choco_serve::{OffloadServer, ServeConfig, TenantRegistry};
+use choco_serve::{ChaosPlan, ChaosProxy, OffloadServer, ServeConfig, TenantRegistry};
 use std::path::{Path, PathBuf};
 
 const OPS: [CrashOp; 4] = [
@@ -236,6 +241,107 @@ fn sweep_tcp<S, W>(
         "{label}: accepted {accepted_total} connections, expected at least {}",
         1 + 2 * u64::from(crash_idx)
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A bit flipped in-flight inside an eval request frame must surface as a
+/// typed error, never a panic and never a wrong result: the keyed-BLAKE3
+/// tag rejects the frame server-side (billed to the session's
+/// `bad_frames`, connection left up), the client's receive deadline turns
+/// the missing answer into a typed `TimeoutExceeded`, and a clean
+/// follow-up connection still computes the bit-exact local reference.
+#[test]
+fn corrupted_eval_frame_is_typed_never_wrong() {
+    let seed: &[u8] = b"chaos-tcp-corrupt";
+    let dir = scratch_dir("tcp/corrupt/eval");
+    let server = bind_server(seed, &dir);
+
+    let circuits = all_workloads();
+    let circuit = circuits.iter().find(|w| w.name == "pagerank").unwrap();
+    let params = workload_params(SchemeType::Bfv).unwrap();
+    let w = RemoteWorkload::<Bfv>::prepare(circuit, &params, b"corrupt-frame keys").unwrap();
+    let local = w.local_output_wires().unwrap();
+
+    // Locate the first eval-request frame on the client→server stream:
+    // hello, then the session-setup frame (seq 0), then the request. The
+    // flip lands 200 bytes into the request frame, so session setup passes
+    // untouched and only the request is mangled.
+    let key = TagKey::from_session_seed(seed);
+    let setup = SessionSetup {
+        params: w.params.clone(),
+        relin_wire: Bfv::relin_to_wire(&w.relin),
+        galois_wire: Bfv::galois_to_wire(&w.galois),
+    };
+    let setup_frame = encode_frame(FrameKind::EvalRequest, 0, &setup.to_wire(), &key);
+    let plan = ChaosPlan {
+        corrupt_at_byte: Some((HELLO_BYTES + setup_frame.len() + 200) as u64),
+        corrupt_seed: 5,
+        ..ChaosPlan::default()
+    };
+    let proxy = ChaosProxy::spawn(server.addr(), plan).expect("spawn chaos proxy");
+
+    let opts = TcpOptions {
+        recv_deadline_ms: 500,
+        ..TcpOptions::default()
+    };
+    let mut through_proxy = RemoteEvaluator::<Bfv>::connect(
+        &proxy.addr().to_string(),
+        seed,
+        TENANT,
+        1,
+        &w.params,
+        &w.relin,
+        &w.galois,
+        &opts,
+    )
+    .expect("session setup must cross the proxy untouched");
+    let err = through_proxy
+        .evaluate(&w.prepared, &w.input_refs())
+        .expect_err("a corrupted request frame must not yield a result");
+    assert!(
+        matches!(err, TransportError::TimeoutExceeded { .. }),
+        "expected a typed timeout for the dropped frame, got {err}"
+    );
+    assert!(proxy.corrupted(), "the planned bit flip never fired");
+    drop(through_proxy);
+    proxy.stop();
+
+    // A clean, direct connection still computes the right answer — the
+    // corruption cost a round trip, never correctness.
+    let mut direct = RemoteEvaluator::<Bfv>::connect(
+        &server.addr().to_string(),
+        seed,
+        TENANT,
+        2,
+        &w.params,
+        &w.relin,
+        &w.galois,
+        &TcpOptions::default(),
+    )
+    .expect("clean connect after corruption");
+    let out = direct
+        .evaluate(&w.prepared, &w.input_refs())
+        .expect("clean evaluate after corruption");
+    let wires: Vec<Vec<u8>> = out.iter().map(Bfv::ct_to_wire).collect();
+    assert_eq!(wires, local, "clean retry must match the local reference");
+    drop(direct);
+
+    let stats = server.shutdown();
+    let mangled = stats
+        .sessions
+        .iter()
+        .find(|r| r.tenant == TENANT && r.session == 1)
+        .expect("proxied session record");
+    assert!(
+        mangled.bad_frames >= 1,
+        "server never rejected the mangled frame: {mangled:?}"
+    );
+    let clean = stats
+        .sessions
+        .iter()
+        .find(|r| r.tenant == TENANT && r.session == 2)
+        .expect("clean session record");
+    assert_eq!(clean.bad_frames, 0, "clean session saw bad frames");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

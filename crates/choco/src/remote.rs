@@ -30,12 +30,14 @@
 use crate::compiler::{CompilerOptions, CompilerScheme, NodeId, Op, Program};
 use crate::protocol::CommLedger;
 use crate::transport::frame::{decode_frame, encode_frame, FrameKind};
-use crate::transport::tcp::{dial_io, BlobIo, TcpOptions};
-use crate::transport::{TagKey, TransportError};
+use crate::transport::tcp::{dial_io, BlobIo, Redialer, TcpOptions};
+use crate::transport::{RetryPolicy, TagKey, TransportError};
 use choco_he::params::{HeParams, SchemeType};
 use choco_prng::blake3;
 use std::collections::BTreeSet;
 use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Magic prefix of a serialized session setup.
 pub const SETUP_MAGIC: &[u8; 4] = b"CRS1";
@@ -43,6 +45,13 @@ pub const SETUP_MAGIC: &[u8; 4] = b"CRS1";
 pub const REQUEST_MAGIC: &[u8; 4] = b"CRQ1";
 /// Magic prefix of a serialized response.
 pub const RESPONSE_MAGIC: &[u8; 4] = b"CRA1";
+/// Magic of a journal query: a resuming client asks the server which of
+/// its accepted-but-unanswered requests died with the previous process.
+pub const JOURNAL_MAGIC: &[u8; 4] = b"CRJ1";
+
+/// Upper bound on ids in a `DeadRequests` response — a parse-time guard
+/// mirroring [`MAX_PROGRAM_NODES`].
+pub const MAX_DEAD_IDS: usize = 1 << 16;
 
 /// Upper bound on IR nodes in an uploaded program — a parse-time guard so
 /// a hostile length field cannot drive allocation beyond what the frame
@@ -507,6 +516,11 @@ pub struct EvalRequest {
     /// The program body + options, included when the server may not hold
     /// the reference yet.
     pub program: Option<(Vec<u8>, CompilerOptions)>,
+    /// Optional dispatch deadline, milliseconds from server-side arrival.
+    /// A job still queued when its budget elapses is shed with a typed
+    /// `DeadlineExceeded` instead of burning evaluator time on a result
+    /// nobody is waiting for.
+    pub deadline_ms: Option<u64>,
     /// `(input name, ciphertext wire)` pairs.
     pub inputs: Vec<(String, Vec<u8>)>,
 }
@@ -524,6 +538,13 @@ impl EvalRequest {
         out.extend_from_slice(REQUEST_MAGIC);
         out.extend_from_slice(&self.request_id.to_le_bytes());
         out.extend_from_slice(&self.program_ref);
+        match self.deadline_ms {
+            Some(ms) => {
+                out.push(1);
+                out.extend_from_slice(&ms.to_le_bytes());
+            }
+            None => out.push(0),
+        }
         match &self.program {
             Some((wire, options)) => {
                 out.push(1);
@@ -556,6 +577,11 @@ impl EvalRequest {
         let request_id = take_u64(&mut rest)?;
         let mut program_ref = [0u8; 32];
         program_ref.copy_from_slice(take(&mut rest, 32)?);
+        let deadline_ms = match take_u8(&mut rest)? {
+            0 => None,
+            1 => Some(take_u64(&mut rest)?),
+            other => return Err(bad(format!("bad deadline flag {other}"))),
+        };
         let program = match take_u8(&mut rest)? {
             0 => None,
             1 => {
@@ -585,6 +611,7 @@ impl EvalRequest {
             request_id,
             program_ref,
             program,
+            deadline_ms,
             inputs,
         })
     }
@@ -614,6 +641,33 @@ pub enum EvalResponse {
         request_id: u64,
         /// Human-readable cause.
         message: String,
+    },
+    /// The job was shed: its deadline passed before the scheduler
+    /// dispatched it. The client may resend (with a fresh budget).
+    DeadlineExceeded {
+        /// Echo of the request id.
+        request_id: u64,
+    },
+    /// The tenant's circuit breaker is open; retry after the hint.
+    Unavailable {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Milliseconds until the breaker half-opens.
+        retry_after_ms: u64,
+    },
+    /// The referenced `(params_hash, program_ref)` is quarantined after a
+    /// prior isolated failure. Terminal for this program on this server.
+    Quarantined {
+        /// Echo of the request id.
+        request_id: u64,
+        /// The recorded failure that caused the quarantine.
+        reason: String,
+    },
+    /// Answer to a journal query: the request ids this session had
+    /// accepted but not answered when the previous server process died.
+    DeadRequests {
+        /// Ids that must be resent to ever complete.
+        request_ids: Vec<u64>,
     },
 }
 
@@ -650,8 +704,47 @@ impl EvalResponse {
                 out.extend_from_slice(&request_id.to_le_bytes());
                 push_blob(&mut out, message.as_bytes());
             }
+            EvalResponse::DeadlineExceeded { request_id } => {
+                out.push(4);
+                out.extend_from_slice(&request_id.to_le_bytes());
+            }
+            EvalResponse::Unavailable {
+                request_id,
+                retry_after_ms,
+            } => {
+                out.push(5);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            EvalResponse::Quarantined { request_id, reason } => {
+                out.push(6);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                push_blob(&mut out, reason.as_bytes());
+            }
+            EvalResponse::DeadRequests { request_ids } => {
+                out.push(7);
+                out.extend_from_slice(&0u64.to_le_bytes());
+                out.extend_from_slice(&(request_ids.len() as u32).to_le_bytes());
+                for id in request_ids {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
         }
         out
+    }
+
+    /// Reads just the echoed request id out of a serialized response —
+    /// what the server's journal needs to mark a delivery without a full
+    /// decode. `None` for ill-formed payloads and id-less responses
+    /// (`SetupOk`, `DeadRequests`).
+    pub fn peek_request_id(payload: &[u8]) -> Option<u64> {
+        let mut rest = payload;
+        if take(&mut rest, 4).ok()? != RESPONSE_MAGIC {
+            return None;
+        }
+        let code = take_u8(&mut rest).ok()?;
+        let id = take_u64(&mut rest).ok()?;
+        matches!(code, 1..=6).then_some(id)
     }
 
     /// Decodes a response.
@@ -687,12 +780,188 @@ impl EvalResponse {
                     message: msg,
                 }
             }
+            4 => EvalResponse::DeadlineExceeded { request_id },
+            5 => EvalResponse::Unavailable {
+                request_id,
+                retry_after_ms: take_u64(&mut rest)?,
+            },
+            6 => {
+                let reason = String::from_utf8_lossy(take_blob(&mut rest)?).into_owned();
+                EvalResponse::Quarantined { request_id, reason }
+            }
+            7 => {
+                let count = take_u32(&mut rest)? as usize;
+                if count > MAX_DEAD_IDS {
+                    return Err(bad(format!("implausible dead-id count {count}")));
+                }
+                let mut request_ids = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    request_ids.push(take_u64(&mut rest)?);
+                }
+                EvalResponse::DeadRequests { request_ids }
+            }
             other => return Err(bad(format!("unknown response code {other}"))),
         };
         if !rest.is_empty() {
             return Err(bad("trailing bytes after response"));
         }
         Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch response matching
+// ---------------------------------------------------------------------------
+
+/// What one absorbed response means for the batch. Raw ciphertext wires —
+/// the collector is scheme-agnostic so the matching logic is fuzzable
+/// without an HE context.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Absorbed {
+    /// The slot completed with these output wires.
+    Done {
+        /// Batch slot (request order).
+        slot: usize,
+        /// Serialized output ciphertexts.
+        outputs: Vec<Vec<u8>>,
+    },
+    /// `NeedProgram`: resend the slot's request with the program body.
+    ResendWithProgram {
+        /// Batch slot to resend.
+        slot: usize,
+    },
+    /// The server shed the slot's job past its deadline; resend or fail.
+    Shed {
+        /// Batch slot that was shed.
+        slot: usize,
+    },
+    /// The tenant breaker is open; back off before resending the slot.
+    RetryAfter {
+        /// Batch slot refused.
+        slot: usize,
+        /// Server backoff hint in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+/// Tracks a pipelined batch's outstanding request ids and enforces the
+/// response discipline: every id matches exactly one live slot, duplicate
+/// and unknown ids are typed errors, and terminal refusals surface as
+/// typed [`TransportError`]s. Extracted from the evaluator so hostile
+/// response streams (truncation, bit-flips, id games) can be fuzzed
+/// without a socket.
+#[derive(Debug)]
+pub struct BatchCollector {
+    ids: Vec<u64>,
+    done: Vec<bool>,
+    pending: usize,
+}
+
+impl BatchCollector {
+    /// A collector over one in-flight request id per batch slot.
+    pub fn new(ids: Vec<u64>) -> Self {
+        let pending = ids.len();
+        BatchCollector {
+            done: vec![false; ids.len()],
+            ids,
+            pending,
+        }
+    }
+
+    /// Slots still awaiting a terminal response.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The live request id of `slot`, if the slot exists and is unanswered.
+    pub fn live_id(&self, slot: usize) -> Option<u64> {
+        if *self.done.get(slot)? {
+            return None;
+        }
+        self.ids.get(slot).copied()
+    }
+
+    /// `(slot, request_id)` for every unanswered slot, in batch order.
+    pub fn unanswered(&self) -> Vec<(usize, u64)> {
+        self.ids
+            .iter()
+            .zip(&self.done)
+            .enumerate()
+            .filter(|(_, (_, done))| !**done)
+            .map(|(slot, (id, _))| (slot, *id))
+            .collect()
+    }
+
+    /// Repoints `slot` at a fresh request id (resend under a new id).
+    pub fn rebind(&mut self, slot: usize, new_id: u64) {
+        if let Some(id) = self.ids.get_mut(slot) {
+            *id = new_id;
+        }
+    }
+
+    fn slot_of(&self, request_id: u64) -> Result<usize, TransportError> {
+        let slot = self
+            .ids
+            .iter()
+            .position(|id| *id == request_id)
+            .ok_or_else(|| bad(format!("unexpected response id {request_id}")))?;
+        if self.done.get(slot).copied().unwrap_or(true) {
+            return Err(bad(format!("duplicate response for id {request_id}")));
+        }
+        Ok(slot)
+    }
+
+    /// Folds one decoded response into the batch state.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`TransportError`]s for unknown ids, duplicate ids, mid-batch
+    /// setup acks or journal answers, and terminal server refusals
+    /// ([`TransportError::Quarantined`], [`TransportError::Rejected`]).
+    pub fn absorb(&mut self, resp: EvalResponse) -> Result<Absorbed, TransportError> {
+        match resp {
+            EvalResponse::Outputs {
+                request_id,
+                outputs,
+            } => {
+                let slot = self.slot_of(request_id)?;
+                if let Some(done) = self.done.get_mut(slot) {
+                    *done = true;
+                    self.pending -= 1;
+                }
+                Ok(Absorbed::Done { slot, outputs })
+            }
+            EvalResponse::NeedProgram { request_id } => {
+                let slot = self.slot_of(request_id)?;
+                Ok(Absorbed::ResendWithProgram { slot })
+            }
+            EvalResponse::DeadlineExceeded { request_id } => {
+                let slot = self.slot_of(request_id)?;
+                Ok(Absorbed::Shed { slot })
+            }
+            EvalResponse::Unavailable {
+                request_id,
+                retry_after_ms,
+            } => {
+                let slot = self.slot_of(request_id)?;
+                Ok(Absorbed::RetryAfter {
+                    slot,
+                    retry_after_ms,
+                })
+            }
+            EvalResponse::Quarantined { request_id, reason } => {
+                self.slot_of(request_id)?;
+                Err(TransportError::Quarantined(reason))
+            }
+            EvalResponse::Error {
+                request_id,
+                message,
+            } => Err(TransportError::Rejected(format!(
+                "evaluate {request_id} refused: {message}"
+            ))),
+            EvalResponse::SetupOk => Err(bad("unexpected setup ack mid-batch")),
+            EvalResponse::DeadRequests { .. } => Err(bad("unexpected journal answer mid-batch")),
+        }
     }
 }
 
@@ -706,14 +975,70 @@ impl EvalResponse {
 /// [`CommLedger`] with the same upload/download semantics the local
 /// protocol uses, so Figure-10-style accounting carries over to the remote
 /// deployment unchanged.
+///
+/// Connected via [`RemoteEvaluator::connect_reliable`], the client also
+/// survives server loss mid-batch: transient failures (connection loss,
+/// read timeout, `Unavailable`) trigger bounded retries with exponential
+/// backoff — redial with the resume flag, re-upload the session keys,
+/// query the server's eval journal for requests that died with the old
+/// process, and resend every unanswered request. Resends are billed to
+/// `recovery_bytes` (journal-confirmed deaths) or `retransmit_bytes`
+/// (everything else), never to the primary upload/download lines, so a
+/// crash-interrupted run stays point-comparable to its uninterrupted
+/// twin. Terminal refusals ([`TransportError::Quarantined`], cross-scheme
+/// setup rejection) are never retried.
 pub struct RemoteEvaluator<S: CompilerScheme> {
     io: BlobIo,
     key: TagKey,
     seq: u64,
+    next_id: u64,
     ledger: CommLedger,
     sent_programs: BTreeSet<[u8; 32]>,
     opts: TcpOptions,
+    deadline_ms: Option<u64>,
+    retry: RetryPolicy,
+    reconnect: Option<Reconnect>,
     _scheme: PhantomData<S>,
+}
+
+/// Everything needed to re-establish a session after the server vanishes.
+struct Reconnect {
+    /// Shared handle so a supervisor can repoint the client at a restarted
+    /// server's new address mid-run.
+    addr: Arc<Mutex<String>>,
+    seed: Vec<u8>,
+    tenant: u64,
+    session: u64,
+    /// The serialized [`SessionSetup`] re-uploaded on every redial.
+    setup_wire: Arc<Vec<u8>>,
+}
+
+/// Which ledger line a payload is billed to.
+#[derive(Clone, Copy, PartialEq)]
+enum Bill {
+    Upload,
+    Download,
+    Retransmit,
+    Recovery,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Transient failures the reconnect loop may absorb; everything else is
+/// terminal for the batch.
+fn is_transient(e: &TransportError) -> bool {
+    matches!(
+        e,
+        TransportError::Disconnected(_)
+            | TransportError::Dropped
+            | TransportError::TimeoutExceeded { .. }
+            | TransportError::Overloaded { .. }
+    )
 }
 
 impl<S: CompilerScheme> RemoteEvaluator<S> {
@@ -746,12 +1071,78 @@ impl<S: CompilerScheme> RemoteEvaluator<S> {
             io,
             key,
             seq: 0,
+            next_id: 0,
             ledger: CommLedger::new(),
             sent_programs: BTreeSet::new(),
             opts: *opts,
+            deadline_ms: None,
+            retry: RetryPolicy::default(),
+            reconnect: None,
             _scheme: PhantomData,
         };
         client.send_request(&setup.to_wire())?;
+        match client.read_response()? {
+            EvalResponse::SetupOk => Ok(client),
+            EvalResponse::Error { message, .. } => Err(TransportError::Rejected(format!(
+                "session setup refused: {message}"
+            ))),
+            other => Err(bad(format!("unexpected setup response {other:?}"))),
+        }
+    }
+
+    /// [`RemoteEvaluator::connect`], but fault-tolerant: the address is a
+    /// shared handle (a supervisor may repoint it at a restarted server),
+    /// the initial dial retries per `policy`, and every later batch
+    /// recovers from connection loss by redialing, re-uploading the setup,
+    /// querying the eval journal, and resending unanswered requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dial/handshake errors once the retry budget is spent and
+    /// any typed setup refusal.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_reliable(
+        addr: Arc<Mutex<String>>,
+        seed: &[u8],
+        tenant: u64,
+        session: u64,
+        params: &HeParams,
+        relin: &S::RelinKey,
+        galois: &S::GaloisKeys,
+        opts: &TcpOptions,
+        policy: RetryPolicy,
+    ) -> Result<Self, TransportError> {
+        let key = TagKey::from_session_seed(seed);
+        let setup = SessionSetup {
+            params: params.clone(),
+            relin_wire: S::relin_to_wire(relin),
+            galois_wire: S::galois_to_wire(galois),
+        };
+        let setup_wire = Arc::new(setup.to_wire());
+        let io = Redialer::new(lock(&addr).clone(), seed, tenant, session)
+            .with_policy(policy)
+            .with_opts(*opts)
+            .dial_fresh_io()?;
+        let mut client = RemoteEvaluator {
+            io,
+            key,
+            seq: 0,
+            next_id: 0,
+            ledger: CommLedger::new(),
+            sent_programs: BTreeSet::new(),
+            opts: *opts,
+            deadline_ms: None,
+            retry: policy,
+            reconnect: Some(Reconnect {
+                addr,
+                seed: seed.to_vec(),
+                tenant,
+                session,
+                setup_wire: Arc::clone(&setup_wire),
+            }),
+            _scheme: PhantomData,
+        };
+        client.send_request(&setup_wire)?;
         match client.read_response()? {
             EvalResponse::SetupOk => Ok(client),
             EvalResponse::Error { message, .. } => Err(TransportError::Rejected(format!(
@@ -765,6 +1156,12 @@ impl<S: CompilerScheme> RemoteEvaluator<S> {
     /// downloads; payload bytes, frame overhead excluded).
     pub fn ledger(&self) -> &CommLedger {
         &self.ledger
+    }
+
+    /// Sets the dispatch deadline attached to every subsequent request
+    /// (`None` disables). See [`EvalRequest::deadline_ms`].
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
     }
 
     /// Evaluates `prog` on `inputs`, blocking for the result.
@@ -798,83 +1195,128 @@ impl<S: CompilerScheme> RemoteEvaluator<S> {
         batch: &[&[(&str, &S::Ciphertext)]],
     ) -> Result<Vec<Vec<S::Ciphertext>>, TransportError> {
         let first_use = self.sent_programs.insert(prog.program_ref);
-        let base_id = self.seq;
-        let mut ids = Vec::with_capacity(batch.len());
-        for (i, inputs) in batch.iter().enumerate() {
-            let request_id = base_id + i as u64;
-            let req = EvalRequest {
-                request_id,
-                program_ref: prog.program_ref,
-                program: (first_use && i == 0).then(|| (prog.wire.clone(), prog.options)),
-                inputs: inputs
-                    .iter()
-                    .map(|(name, ct)| (name.to_string(), S::ct_to_wire(ct)))
-                    .collect(),
-            };
-            self.send_request(&req.to_wire())?;
-            ids.push(request_id);
-        }
+        let ids: Vec<u64> = (0..batch.len() as u64).map(|i| self.next_id + i).collect();
+        self.next_id += batch.len() as u64;
+        let mut coll = BatchCollector::new(ids);
         let mut results: Vec<Option<Vec<S::Ciphertext>>> = vec![None; batch.len()];
-        let mut pending = batch.len();
-        while pending > 0 {
-            match self.read_response()? {
-                EvalResponse::Outputs {
-                    request_id,
-                    outputs,
-                } => {
-                    let slot = ids
-                        .iter()
-                        .position(|id| *id == request_id)
-                        .ok_or_else(|| bad(format!("unexpected response id {request_id}")))?;
-                    let cts = outputs
-                        .iter()
-                        .map(|wire| S::ct_from_wire(wire))
-                        .collect::<Result<Vec<_>, _>>()
-                        .map_err(TransportError::He)?;
-                    let entry = results
-                        .get_mut(slot)
-                        .ok_or_else(|| bad(format!("unexpected response id {request_id}")))?;
-                    if entry.replace(cts).is_some() {
-                        return Err(bad(format!("duplicate response for id {request_id}")));
+        // Work list of slots to (re)send: (slot, attach program body, bill).
+        let mut to_send: Vec<(usize, bool, Bill)> = (0..batch.len())
+            .rev()
+            .map(|i| (i, first_use && i == 0, Bill::Upload))
+            .collect();
+        let mut attempts = vec![0u32; batch.len()];
+        let mut recoveries = 0u32;
+        let per_request = self.retry.max_attempts.max(1);
+        // Saturates on an out-of-range slot so the retry cap trips instead
+        // of panicking (slots always come from the collector, so in
+        // practice the range check never fails).
+        fn bump(attempts: &mut [u32], slot: usize) -> u32 {
+            attempts.get_mut(slot).map_or(u32::MAX, |a| {
+                *a += 1;
+                *a
+            })
+        }
+
+        // One request per live slot stays in flight; the loop alternates a
+        // send-flush phase with reading one response, recovering across
+        // redial whenever the connection (or the server) goes away.
+        while coll.pending() > 0 {
+            if let Some(&(slot, with_body, bill)) = to_send.last() {
+                let inputs = batch
+                    .get(slot)
+                    .ok_or_else(|| bad("send plan slot out of range"))?;
+                let req = self.build_request(prog, inputs, coll.live_id(slot), with_body);
+                match self.send_payload(&req.to_wire(), bill) {
+                    Ok(()) => {
+                        to_send.pop();
+                        continue;
                     }
-                    pending -= 1;
+                    Err(e) if is_transient(&e) && self.reconnect.is_some() => {
+                        recoveries += 1;
+                        if recoveries > per_request {
+                            return Err(TransportError::RetriesExhausted {
+                                attempts: recoveries,
+                                last: e.to_string(),
+                            });
+                        }
+                        let dead = self.recover()?;
+                        // Slots still queued here were never successfully
+                        // transmitted: they keep their original bill (the
+                        // primary upload line must match a fault-free run
+                        // exactly) and body flag. Only already-sent,
+                        // unanswered slots become recovery resends — and
+                        // they go out first, so their attached program
+                        // body reaches the successor before any body-less
+                        // queued frame can draw a NeedProgram.
+                        let mut merged = std::mem::take(&mut to_send);
+                        let queued: BTreeSet<usize> = merged.iter().map(|&(s, _, _)| s).collect();
+                        merged.extend(
+                            resend_plan(&coll, &dead)
+                                .into_iter()
+                                .filter(|(s, _, _)| !queued.contains(s)),
+                        );
+                        to_send = merged;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
                 }
-                EvalResponse::NeedProgram { request_id } => {
-                    // The server lost the program (e.g. cache eviction):
-                    // resend that request with the body attached.
-                    let slot = ids
-                        .iter()
-                        .position(|id| *id == request_id)
-                        .ok_or_else(|| bad(format!("unexpected response id {request_id}")))?;
-                    let inputs = batch
-                        .get(slot)
-                        .ok_or_else(|| bad(format!("unexpected response id {request_id}")))?;
-                    let resend_id = self.seq;
-                    let req = EvalRequest {
-                        request_id: resend_id,
-                        program_ref: prog.program_ref,
-                        program: Some((prog.wire.clone(), prog.options)),
-                        inputs: inputs
+            }
+            match self.read_response() {
+                Ok(resp) => match coll.absorb(resp)? {
+                    Absorbed::Done { slot, outputs } => {
+                        let cts = outputs
                             .iter()
-                            .map(|(name, ct)| (name.to_string(), S::ct_to_wire(ct)))
-                            .collect(),
-                    };
-                    self.send_request(&req.to_wire())?;
-                    if let Some(id) = ids.get_mut(slot) {
-                        *id = resend_id;
+                            .map(|wire| S::ct_from_wire(wire))
+                            .collect::<Result<Vec<_>, _>>()
+                            .map_err(TransportError::He)?;
+                        if let Some(r) = results.get_mut(slot) {
+                            *r = Some(cts);
+                        }
                     }
+                    Absorbed::ResendWithProgram { slot } => {
+                        // The server lost the program (cache eviction or
+                        // restart): resend with the body attached, billed
+                        // as a retransmission — the request already paid
+                        // its primary upload, and re-supplying the body is
+                        // recovery traffic, not fresh work.
+                        coll.rebind(slot, self.alloc_id());
+                        to_send.push((slot, true, Bill::Retransmit));
+                    }
+                    Absorbed::Shed { slot } => {
+                        if bump(&mut attempts, slot) >= per_request {
+                            return Err(TransportError::DeadlineExceeded {
+                                request_id: coll.live_id(slot).unwrap_or(0),
+                            });
+                        }
+                        coll.rebind(slot, self.alloc_id());
+                        to_send.push((slot, false, Bill::Retransmit));
+                    }
+                    Absorbed::RetryAfter {
+                        slot,
+                        retry_after_ms,
+                    } => {
+                        if bump(&mut attempts, slot) >= per_request {
+                            return Err(TransportError::Unavailable { retry_after_ms });
+                        }
+                        std::thread::sleep(Duration::from_millis(
+                            retry_after_ms.min(self.retry.max_backoff_ms),
+                        ));
+                        coll.rebind(slot, self.alloc_id());
+                        to_send.push((slot, false, Bill::Retransmit));
+                    }
+                },
+                Err(e) if is_transient(&e) && self.reconnect.is_some() => {
+                    recoveries += 1;
+                    if recoveries > per_request {
+                        return Err(TransportError::RetriesExhausted {
+                            attempts: recoveries,
+                            last: e.to_string(),
+                        });
+                    }
+                    let dead = self.recover()?;
+                    to_send = resend_plan(&coll, &dead);
                 }
-                EvalResponse::Error {
-                    request_id,
-                    message,
-                } => {
-                    return Err(TransportError::Rejected(format!(
-                        "evaluate {request_id} refused: {message}"
-                    )));
-                }
-                EvalResponse::SetupOk => {
-                    return Err(bad("unexpected setup ack mid-batch"));
-                }
+                Err(e) => return Err(e),
             }
         }
         results
@@ -883,14 +1325,136 @@ impl<S: CompilerScheme> RemoteEvaluator<S> {
             .collect()
     }
 
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn build_request(
+        &self,
+        prog: &PreparedProgram,
+        inputs: &[(&str, &S::Ciphertext)],
+        request_id: Option<u64>,
+        with_body: bool,
+    ) -> EvalRequest {
+        EvalRequest {
+            request_id: request_id.unwrap_or(0),
+            program_ref: prog.program_ref,
+            program: with_body.then(|| (prog.wire.clone(), prog.options)),
+            deadline_ms: self.deadline_ms,
+            inputs: inputs
+                .iter()
+                .map(|(name, ct)| (name.to_string(), S::ct_to_wire(ct)))
+                .collect(),
+        }
+    }
+
+    /// Redial-with-resume, re-upload the session setup, and ask the eval
+    /// journal which accepted requests died with the old server process.
+    /// All recovery traffic is billed to `recovery_bytes`.
+    fn recover(&mut self) -> Result<BTreeSet<u64>, TransportError> {
+        let (addr, seed, tenant, session, setup_wire) = {
+            let rc = self
+                .reconnect
+                .as_ref()
+                .ok_or_else(|| TransportError::Disconnected("no reconnect configured".into()))?;
+            (
+                Arc::clone(&rc.addr),
+                rc.seed.clone(),
+                rc.tenant,
+                rc.session,
+                Arc::clone(&rc.setup_wire),
+            )
+        };
+        let policy = self.retry;
+        let rounds = policy.max_attempts.max(1);
+        let mut last = TransportError::Dropped;
+        for round in 0..rounds {
+            if round > 0 {
+                let backoff = policy
+                    .base_backoff_ms
+                    .saturating_mul(1u64 << (round - 1).min(16))
+                    .min(policy.max_backoff_ms);
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            // Re-read the address every round: a hard-killed server may
+            // have been restarted on a different port.
+            let one = RetryPolicy {
+                max_attempts: 1,
+                ..policy
+            };
+            let redialer = Redialer::new(lock(&addr).clone(), &seed, tenant, session)
+                .with_policy(one)
+                .with_opts(self.opts);
+            self.io = match redialer.redial_io() {
+                Ok(io) => io,
+                Err(TransportError::RetriesExhausted { last: l, .. }) => {
+                    last = TransportError::Disconnected(l);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let exchange = |client: &mut Self, payload: &[u8]| {
+                client.send_payload(payload, Bill::Recovery)?;
+                client.read_response_billed(Bill::Recovery)
+            };
+            match exchange(self, &setup_wire) {
+                Ok(EvalResponse::SetupOk) => {}
+                Ok(EvalResponse::Error { message, .. }) => {
+                    return Err(TransportError::Rejected(format!(
+                        "session re-setup refused: {message}"
+                    )))
+                }
+                Ok(other) => return Err(bad(format!("unexpected re-setup response {other:?}"))),
+                Err(e) if is_transient(&e) => {
+                    last = e;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            match exchange(self, JOURNAL_MAGIC) {
+                Ok(EvalResponse::DeadRequests { request_ids }) => {
+                    return Ok(request_ids.into_iter().collect());
+                }
+                Ok(other) => return Err(bad(format!("unexpected journal answer {other:?}"))),
+                Err(e) if is_transient(&e) => {
+                    last = e;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(TransportError::RetriesExhausted {
+            attempts: rounds,
+            last: last.to_string(),
+        })
+    }
+
     fn send_request(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.send_payload(payload, Bill::Upload)
+    }
+
+    fn send_payload(&mut self, payload: &[u8], bill: Bill) -> Result<(), TransportError> {
         let wire = encode_frame(FrameKind::EvalRequest, self.seq, payload, &self.key);
         self.seq += 1;
-        self.ledger.record_upload(payload.len());
-        self.io.write_all(&wire)
+        self.io.write_all(&wire)?;
+        // Billed only after the socket accepted the bytes, so a send into
+        // a dead connection is retried, not double-billed.
+        match bill {
+            Bill::Upload => self.ledger.record_upload(payload.len()),
+            Bill::Retransmit => self.ledger.record_retransmit(payload.len()),
+            Bill::Recovery => self.ledger.record_recovery(payload.len()),
+            Bill::Download => {}
+        }
+        Ok(())
     }
 
     fn read_response(&mut self) -> Result<EvalResponse, TransportError> {
+        self.read_response_billed(Bill::Download)
+    }
+
+    fn read_response_billed(&mut self, bill: Bill) -> Result<EvalResponse, TransportError> {
         let wire = self.io.read_blob(self.opts.recv_deadline_ms)?.ok_or(
             TransportError::TimeoutExceeded {
                 budget_ms: self.opts.recv_deadline_ms,
@@ -904,9 +1468,32 @@ impl<S: CompilerScheme> RemoteEvaluator<S> {
                 frame.kind
             )));
         }
-        self.ledger.record_download(frame.payload.len());
+        match bill {
+            Bill::Download => self.ledger.record_download(frame.payload.len()),
+            Bill::Recovery => self.ledger.record_recovery(frame.payload.len()),
+            Bill::Upload | Bill::Retransmit => {}
+        }
         EvalResponse::from_wire(&frame.payload)
     }
+}
+
+/// After a recovery, every unanswered slot is resent with the program
+/// body attached (the restarted server's cache is cold) — billed to
+/// `recovery_bytes` when the journal confirmed the request died with the
+/// old process, `retransmit_bytes` otherwise.
+fn resend_plan(coll: &BatchCollector, dead: &BTreeSet<u64>) -> Vec<(usize, bool, Bill)> {
+    coll.unanswered()
+        .into_iter()
+        .rev()
+        .map(|(slot, id)| {
+            let bill = if dead.contains(&id) {
+                Bill::Recovery
+            } else {
+                Bill::Retransmit
+            };
+            (slot, true, bill)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -980,6 +1567,7 @@ mod tests {
             request_id: 42,
             program_ref: prep.program_ref,
             program: Some((prep.wire.clone(), prep.options)),
+            deadline_ms: Some(250),
             inputs: vec![("x".into(), vec![1, 2, 3])],
         };
         let back = EvalRequest::from_wire(&req.to_wire()).unwrap();
@@ -1013,6 +1601,7 @@ mod tests {
             request_id: 1,
             program_ref: tampered_ref,
             program: Some((prep.wire.clone(), prep.options)),
+            deadline_ms: None,
             inputs: vec![],
         };
         assert!(matches!(

@@ -141,6 +141,23 @@ pub enum TransportError {
     /// (2^64 frames), but checked so the cursor can never silently wrap and
     /// alias old frames.
     SeqExhausted,
+    /// The evaluator shed the request: its deadline passed before the
+    /// scheduler dispatched it. Retryable with a fresh (or no) deadline.
+    DeadlineExceeded {
+        /// Request id the server shed.
+        request_id: u64,
+    },
+    /// The evaluator's per-tenant circuit breaker is open: the tenant's
+    /// recent-error rate tripped it. Retry after the hinted delay — the
+    /// breaker half-opens and probes once the window elapses.
+    Unavailable {
+        /// Server hint: milliseconds to wait before retrying.
+        retry_after_ms: u64,
+    },
+    /// The submitted `(params_hash, program_ref)` is quarantined: a prior
+    /// evaluation of it failed in isolation. Terminal — resubmitting the
+    /// same program yields the same refusal until the server restarts.
+    Quarantined(String),
 }
 
 impl std::fmt::Display for TransportError {
@@ -192,6 +209,19 @@ impl std::fmt::Display for TransportError {
             }
             TransportError::Rejected(msg) => write!(f, "connection rejected: {msg}"),
             TransportError::SeqExhausted => write!(f, "frame sequence space exhausted"),
+            TransportError::DeadlineExceeded { request_id } => {
+                write!(
+                    f,
+                    "request {request_id} shed: deadline passed before dispatch"
+                )
+            }
+            TransportError::Unavailable { retry_after_ms } => {
+                write!(
+                    f,
+                    "tenant circuit breaker open: retry after {retry_after_ms} ms"
+                )
+            }
+            TransportError::Quarantined(msg) => write!(f, "program quarantined: {msg}"),
         }
     }
 }

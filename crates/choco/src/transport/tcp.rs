@@ -665,6 +665,13 @@ impl Redialer {
         &self.addr
     }
 
+    /// Repoints the redialer at a new address. A server that hard-crashed
+    /// and restarted may come back on a different port; the reconnect loop
+    /// re-reads the address on every attempt.
+    pub fn set_addr(&mut self, addr: impl Into<String>) {
+        self.addr = addr.into();
+    }
+
     /// Dials the initial (non-resume) connection, with retries.
     ///
     /// # Errors
@@ -672,7 +679,8 @@ impl Redialer {
     /// [`TransportError::RetriesExhausted`] once the attempt budget is
     /// spent; permanent refusals propagate immediately.
     pub fn dial_fresh(&self) -> Result<(TcpChannel, TcpChannel), TransportError> {
-        self.attempt(false)
+        let io = self.attempt(false)?;
+        Ok(TcpChannel::pair_from_io(io, &self.opts))
     }
 
     /// Redials with the resume flag set (after a disconnect), with retries.
@@ -682,14 +690,35 @@ impl Redialer {
     /// [`TransportError::RetriesExhausted`] once the attempt budget is
     /// spent; permanent refusals propagate immediately.
     pub fn redial(&self) -> Result<(TcpChannel, TcpChannel), TransportError> {
+        let io = self.attempt(true)?;
+        Ok(TcpChannel::pair_from_io(io, &self.opts))
+    }
+
+    /// [`Redialer::dial_fresh`], but returning the raw handshaked
+    /// [`BlobIo`] for non-echo protocols (the remote evaluator).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Redialer::dial_fresh`].
+    pub fn dial_fresh_io(&self) -> Result<BlobIo, TransportError> {
+        self.attempt(false)
+    }
+
+    /// [`Redialer::redial`], but returning the raw handshaked [`BlobIo`]
+    /// for non-echo protocols (the remote evaluator).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Redialer::redial`].
+    pub fn redial_io(&self) -> Result<BlobIo, TransportError> {
         self.attempt(true)
     }
 
-    fn attempt(&self, resume: bool) -> Result<(TcpChannel, TcpChannel), TransportError> {
+    fn attempt(&self, resume: bool) -> Result<BlobIo, TransportError> {
         let attempts = self.policy.max_attempts.max(1);
         let mut last = TransportError::Dropped;
         for attempt in 0..attempts {
-            match dial(
+            match dial_io(
                 &self.addr,
                 &self.key,
                 self.tenant,
@@ -697,7 +726,7 @@ impl Redialer {
                 resume,
                 &self.opts,
             ) {
-                Ok(pair) => return Ok(pair),
+                Ok(io) => return Ok(io),
                 // Transient: the server may be restarting, at capacity, or
                 // mid-drain. Back off and retry.
                 Err(e @ (TransportError::Disconnected(_) | TransportError::Overloaded { .. })) => {

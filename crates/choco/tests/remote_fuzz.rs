@@ -11,7 +11,8 @@
 use choco::compiler::{CompilerOptions, Program};
 use choco::remote::{
     params_from_wire, params_hash, params_to_wire, program_from_wire, program_ref_of,
-    program_to_wire, EvalRequest, EvalResponse, PreparedProgram, SessionSetup,
+    program_to_wire, Absorbed, BatchCollector, EvalRequest, EvalResponse, PreparedProgram,
+    SessionSetup,
 };
 use choco::transport::TransportError;
 use choco_he::params::HeParams;
@@ -205,6 +206,7 @@ fn hostile_length_fields_do_not_overallocate() {
         request_id: 1,
         program_ref: prep.program_ref,
         program: None,
+        deadline_ms: None,
         inputs: vec![("x".into(), vec![0u8; 64])],
     };
     let mut wire = req.to_wire();
@@ -227,6 +229,7 @@ fn request_and_response_mutations_never_panic() {
             request_id: g.u64(),
             program_ref: prep.program_ref,
             program: Some((prep.wire.clone(), prep.options)),
+            deadline_ms: (g.u64() % 2 == 0).then(|| g.u64() % 10_000),
             inputs: vec![("x".into(), g.bytes(48))],
         };
         let req_wire = req.to_wire();
@@ -277,12 +280,186 @@ fn program_body_must_hash_to_its_reference() {
             request_id: 9,
             program_ref: program_ref_of(&prep.wire, &other_options),
             program: Some((prep.wire.clone(), prep.options)),
+            deadline_ms: None,
             inputs: vec![],
         };
         assert!(matches!(
             EvalRequest::from_wire(&req.to_wire()),
             Err(TransportError::Malformed(_))
         ));
+    });
+}
+
+#[test]
+fn batch_collector_accepts_out_of_order_and_types_id_games() {
+    // Pipelined responses may land in any order; what the collector must
+    // refuse — with typed errors, never a panic or silent acceptance — is
+    // every id game a hostile or confused server can play.
+    let mut coll = BatchCollector::new(vec![10, 11, 12]);
+    let out = |id: u64| EvalResponse::Outputs {
+        request_id: id,
+        outputs: vec![vec![id as u8]],
+    };
+    assert_eq!(
+        coll.absorb(out(12)).unwrap(),
+        Absorbed::Done {
+            slot: 2,
+            outputs: vec![vec![12]]
+        }
+    );
+    // Duplicate id for an answered slot: typed error.
+    assert!(matches!(
+        coll.absorb(out(12)),
+        Err(TransportError::Malformed(msg)) if msg.contains("duplicate")
+    ));
+    // Unknown id: typed error.
+    assert!(matches!(
+        coll.absorb(out(99)),
+        Err(TransportError::Malformed(msg)) if msg.contains("unexpected")
+    ));
+    // Mid-batch setup acks and journal answers are protocol violations.
+    assert!(matches!(
+        coll.absorb(EvalResponse::SetupOk),
+        Err(TransportError::Malformed(_))
+    ));
+    assert!(matches!(
+        coll.absorb(EvalResponse::DeadRequests {
+            request_ids: vec![10]
+        }),
+        Err(TransportError::Malformed(_))
+    ));
+    // Retryable refusals surface as typed outcomes bound to their slot.
+    assert_eq!(
+        coll.absorb(EvalResponse::DeadlineExceeded { request_id: 10 })
+            .unwrap(),
+        Absorbed::Shed { slot: 0 }
+    );
+    assert_eq!(
+        coll.absorb(EvalResponse::Unavailable {
+            request_id: 11,
+            retry_after_ms: 40
+        })
+        .unwrap(),
+        Absorbed::RetryAfter {
+            slot: 1,
+            retry_after_ms: 40
+        }
+    );
+    // Terminal refusals are typed errors, and a rebound slot answers under
+    // its fresh id only.
+    assert!(matches!(
+        coll.absorb(EvalResponse::Quarantined {
+            request_id: 10,
+            reason: "poison".into()
+        }),
+        Err(TransportError::Quarantined(_))
+    ));
+    coll.rebind(0, 20);
+    assert!(coll.absorb(out(10)).is_err(), "stale id after rebind");
+    assert!(coll.absorb(out(20)).is_ok());
+    assert_eq!(
+        coll.absorb(out(11)).unwrap(),
+        Absorbed::Done {
+            slot: 1,
+            outputs: vec![vec![11]]
+        }
+    );
+    assert_eq!(coll.pending(), 0);
+}
+
+#[test]
+fn mutated_pipelined_response_streams_never_panic_the_collector() {
+    run_cases("remote batch response mutation", 96, |g| {
+        let ids: Vec<u64> = (0..3).map(|i| 100 + i).collect();
+        let mut coll = BatchCollector::new(ids.clone());
+        for _ in 0..6 {
+            let id = ids[g.usize_in(0, ids.len())];
+            let resp = match g.u64_below(6) {
+                0 => EvalResponse::Outputs {
+                    request_id: id,
+                    outputs: vec![g.bytes(24)],
+                },
+                1 => EvalResponse::NeedProgram { request_id: id },
+                2 => EvalResponse::DeadlineExceeded { request_id: id },
+                3 => EvalResponse::Unavailable {
+                    request_id: id,
+                    retry_after_ms: g.u64() % 5_000,
+                },
+                4 => EvalResponse::Quarantined {
+                    request_id: id,
+                    reason: "fuzzed".into(),
+                },
+                _ => EvalResponse::DeadRequests {
+                    request_ids: ids.clone(),
+                },
+            };
+            let mut wire = resp.to_wire();
+            match g.u64_below(3) {
+                0 => {
+                    let cut = g.usize_in(0, wire.len());
+                    wire.truncate(cut);
+                }
+                1 => {
+                    let i = g.usize_in(0, wire.len());
+                    wire[i] ^= 1u8 << g.u64_below(8);
+                }
+                _ => {} // deliver intact
+            }
+            // Decode then absorb: each step either succeeds or fails with
+            // a typed error; the collector state stays coherent throughout.
+            if let Ok(decoded) = EvalResponse::from_wire(&wire) {
+                let _ = coll.absorb(decoded);
+            }
+        }
+        assert!(coll.pending() <= 3);
+    });
+}
+
+#[test]
+fn fault_response_codes_roundtrip_and_truncations_are_typed() {
+    // The robustness-era response codes (4..=7): exact roundtrip, id
+    // peeking for the journal, typed errors at every truncation offset,
+    // and no panic under bit flips.
+    let responses = [
+        EvalResponse::DeadlineExceeded { request_id: 7 },
+        EvalResponse::Unavailable {
+            request_id: 8,
+            retry_after_ms: 250,
+        },
+        EvalResponse::Quarantined {
+            request_id: 9,
+            reason: "rotation key missing".into(),
+        },
+        EvalResponse::DeadRequests {
+            request_ids: vec![3, 5, 8],
+        },
+    ];
+    for resp in &responses {
+        let wire = resp.to_wire();
+        assert_eq!(&EvalResponse::from_wire(&wire).unwrap(), resp);
+        let peeked = EvalResponse::peek_request_id(&wire);
+        match resp {
+            EvalResponse::DeadlineExceeded { request_id }
+            | EvalResponse::Unavailable { request_id, .. }
+            | EvalResponse::Quarantined { request_id, .. } => {
+                assert_eq!(peeked, Some(*request_id));
+            }
+            _ => assert_eq!(peeked, None, "DeadRequests carries no single id"),
+        }
+        for cut in 0..wire.len() {
+            match EvalResponse::from_wire(&wire[..cut]) {
+                Err(TransportError::Truncated { .. } | TransportError::Malformed(_)) => {}
+                Err(e) => panic!("truncation at {cut} produced unexpected error {e}"),
+                Ok(got) => panic!("truncation at {cut} decoded as {got:?}"),
+            }
+        }
+    }
+    run_cases("remote fault response bit flip", 64, |g| {
+        let resp = &responses[g.usize_in(0, responses.len())];
+        let mut wire = resp.to_wire();
+        let i = g.usize_in(0, wire.len());
+        wire[i] ^= 1u8 << g.u64_below(8);
+        let _ = EvalResponse::from_wire(&wire);
     });
 }
 

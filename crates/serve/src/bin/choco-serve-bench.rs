@@ -16,6 +16,16 @@
 //! latency percentiles, request throughput for both modes, and their
 //! ratio (`speedup`), plus the server's cache counters — steady-state
 //! rounds show zero compiles and zero operand encodes.
+//!
+//! With `--faults` the bench additionally measures the fault-isolation
+//! machinery under injected evaluation faults: per round it boots a fresh
+//! in-process server with a deterministic `EvalChaos` plan and drives a
+//! pipelined batch through it — a clean baseline, a poison fault bisected
+//! out of the batch (the other jobs re-run and succeed), and a stalled
+//! dispatch round that sheds every job past its deadline (the client
+//! retries through the typed `DeadlineExceeded`). Every round's outputs
+//! are compared bit-for-bit against the local reference; any mismatch is
+//! a hard failure (`wrong_results` in the report, nonzero exit).
 
 #![forbid(unsafe_code)]
 
@@ -30,8 +40,8 @@ use choco_apps::resumable::{
     drive_over_tcp, ResumableConvLayer, ResumableKmeans, ResumablePagerank, ResumablePipeline,
 };
 use choco_he::params::{HeParams, SchemeType};
-use choco_he::{Bfv, Ckks};
-use choco_serve::{OffloadServer, ServeConfig, ServeStats, TenantRegistry};
+use choco_he::{Bfv, Ckks, HeScheme};
+use choco_serve::{EvalChaos, OffloadServer, ServeConfig, ServeStats, TenantRegistry};
 use std::time::Instant;
 
 const USAGE: &str = "\
@@ -39,7 +49,7 @@ choco-serve-bench: loopback load generator for choco-serve
 
 USAGE:
   choco-serve-bench [--clients N] [--reps N] [--addr HOST:PORT] [--json PATH]
-                    [--batch N] [--smoke]
+                    [--batch N] [--faults] [--smoke]
 
 OPTIONS:
   --clients N   concurrent client threads (default 8)
@@ -52,6 +62,10 @@ OPTIONS:
                 round trips per round against one pipelined batch of N
                 (the PageRank circuit under BFV), report both latency
                 distributions and the throughput speedup
+  --faults      fault-injection phase against dedicated in-process chaos
+                servers: per-kind latency percentiles for a clean round,
+                a bisected poison fault, and a shed-and-retried deadline,
+                asserting zero wrong results
   --smoke       tiny run (2 clients x 1 rep) for CI";
 
 const KINDS: [&str; 4] = ["pagerank_bfv", "conv_bfv", "pipeline_bfv", "kmeans_ckks"];
@@ -361,6 +375,207 @@ fn run_batch_phase(clients: usize, reps: u64, batch: usize, addr: &str) -> (Stri
     (section, failed)
 }
 
+/// One fault-injection configuration: the chaos plan a dedicated
+/// in-process server boots with, and how the measuring client behaves.
+struct FaultKind {
+    label: &'static str,
+    chaos: EvalChaos,
+    /// Coalescing window for this kind's servers — generous for the
+    /// bisection kind so the pipelined batch lands in one dispatch.
+    batch_window_ms: u64,
+    /// Client-side dispatch deadline, for the shedding kind.
+    deadline_ms: Option<u64>,
+}
+
+/// Pipelined requests per fault round; the bisection kind injects exactly
+/// one poison fault into the batch, so the injected fault rate is
+/// `1 / FAULT_BATCH` of that kind's requests.
+const FAULT_BATCH: usize = 3;
+
+fn fault_kinds() -> [FaultKind; 3] {
+    [
+        FaultKind {
+            label: "clean",
+            chaos: EvalChaos::default(),
+            batch_window_ms: 80,
+            deadline_ms: None,
+        },
+        FaultKind {
+            // One job of the coalesced batch faults (poison); the
+            // scheduler bisects, the healthy jobs re-run bit-identically,
+            // and the once-firing fault recovers on its own re-run — every
+            // result still correct, the fault paid for in latency only.
+            label: "bisected_fault",
+            chaos: EvalChaos {
+                fail_job: Some(1),
+                ..EvalChaos::default()
+            },
+            batch_window_ms: 80,
+            deadline_ms: None,
+        },
+        FaultKind {
+            // The first dispatch round stalls past every job's deadline;
+            // the jobs are shed with typed `DeadlineExceeded` responses
+            // and the client resends them with a fresh budget.
+            label: "shed_deadline",
+            chaos: EvalChaos {
+                stall: Some((1, 400)),
+                ..EvalChaos::default()
+            },
+            batch_window_ms: 10,
+            deadline_ms: Some(80),
+        },
+    ]
+}
+
+/// Phase-wide server-counter totals, accumulated across fault rounds.
+#[derive(Default)]
+struct FaultTotals {
+    requests: u64,
+    bisections: u64,
+    shed: u64,
+    quarantined: u64,
+}
+
+/// One measured fault round against a fresh chaos server. Returns the
+/// round latency and the number of result vectors that differed from the
+/// local reference (always 0 unless the isolation machinery is broken).
+fn run_fault_round(
+    kind: &FaultKind,
+    w: &RemoteWorkload<Bfv>,
+    local: &[Vec<u8>],
+    session_id: u64,
+    totals: &mut FaultTotals,
+) -> Result<(u64, u64), String> {
+    let seed = tenant_seed(1);
+    let mut registry = TenantRegistry::new();
+    registry.register(1, seed.as_bytes());
+    let config = ServeConfig {
+        max_sessions: 4,
+        batch_window_ms: kind.batch_window_ms,
+        eval_chaos: kind.chaos,
+        ..ServeConfig::default()
+    };
+    let server = OffloadServer::bind("127.0.0.1:0", config, registry).map_err(err_str)?;
+    let mut client = RemoteEvaluator::<Bfv>::connect(
+        &server.addr().to_string(),
+        seed.as_bytes(),
+        1,
+        session_id,
+        &w.params,
+        &w.relin,
+        &w.galois,
+        &TcpOptions::default(),
+    )
+    .map_err(err_str)?;
+    client.set_deadline_ms(kind.deadline_ms);
+    let inputs = w.input_refs();
+    let round: Vec<_> = (0..FAULT_BATCH).map(|_| inputs.as_slice()).collect();
+
+    let t0 = Instant::now();
+    let results = client
+        .evaluate_batch(&w.prepared, &round)
+        .map_err(err_str)?;
+    let ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let wrong = results
+        .iter()
+        .filter(|outs| {
+            let wires: Vec<Vec<u8>> = outs.iter().map(Bfv::ct_to_wire).collect();
+            wires != local
+        })
+        .count() as u64;
+    drop(client);
+    let stats = server.shutdown();
+    let iso = stats.eval.isolation;
+    totals.requests += stats.eval.counters.requests;
+    totals.bisections += iso.bisections;
+    totals.shed += iso.shed_deadline;
+    totals.quarantined += iso.quarantined;
+    Ok((ms, wrong))
+}
+
+/// The `--faults` phase: three server configurations, `rounds` measured
+/// rounds each, every output compared against the local reference.
+/// Returns the `faults` JSON section plus (failed_rounds, wrong_results).
+fn run_faults_phase(reps: u64) -> (String, u64, u64) {
+    let rounds = 2 * reps;
+    eprintln!(
+        "choco-serve-bench: fault-injection phase — {rounds} rounds x 3 kinds, \
+         batch {FAULT_BATCH}, one poison fault or stalled dispatch per chaos round"
+    );
+    let setup = || -> Result<(RemoteWorkload<Bfv>, Vec<Vec<u8>>), String> {
+        let circuits = choco_apps::circuits::all_workloads();
+        let circuit = circuits
+            .iter()
+            .find(|w| w.name == "pagerank")
+            .ok_or("pagerank circuit missing")?;
+        let params = workload_params(SchemeType::Bfv).map_err(err_str)?;
+        let w = RemoteWorkload::<Bfv>::prepare(circuit, &params, tenant_seed(1).as_bytes())
+            .map_err(err_str)?;
+        let local = w.local_output_wires().map_err(err_str)?;
+        Ok((w, local))
+    };
+    let (w, local) = match setup() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("choco-serve-bench: faults phase setup failed: {e}");
+            return (String::from("  \"faults\": { \"setup_failed\": 1 }"), 1, 0);
+        }
+    };
+
+    let wall = Instant::now();
+    let mut kind_lines = Vec::new();
+    let mut failed = 0u64;
+    let mut wrong_total = 0u64;
+    let mut injected = 0u64;
+    let mut totals = FaultTotals::default();
+    for (k, kind) in fault_kinds().iter().enumerate() {
+        let mut ms = Vec::with_capacity(rounds as usize);
+        let mut kind_failed = 0u64;
+        for round in 0..rounds {
+            let session_id = 20_000 + (k as u64) * 1_000 + round;
+            match run_fault_round(kind, &w, &local, session_id, &mut totals) {
+                Ok((elapsed, wrong)) => {
+                    ms.push(elapsed);
+                    wrong_total += wrong;
+                }
+                Err(e) => {
+                    kind_failed += 1;
+                    eprintln!(
+                        "choco-serve-bench: faults round {round} ({}) failed: {e}",
+                        kind.label
+                    );
+                }
+            }
+            if kind.label != "clean" {
+                injected += 1;
+            }
+        }
+        failed += kind_failed;
+        kind_lines.push(kind_json(kind.label, &mut ms, kind_failed));
+    }
+    let wall_ms = u64::try_from(wall.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+    let rate = if totals.requests == 0 {
+        0.0
+    } else {
+        injected as f64 / totals.requests as f64
+    };
+    let section = format!(
+        "  \"faults\": {{\n    \"batch\": {FAULT_BATCH}, \"rounds_per_kind\": {rounds},\n\
+         {},\n    \"injected_faults\": {injected}, \"injected_fault_rate\": {rate:.3},\n    \
+         \"requests\": {}, \"bisections\": {}, \"shed\": {}, \"quarantined\": {},\n    \
+         \"wrong_results\": {wrong_total}, \"failed_rounds\": {failed}, \
+         \"wall_ms\": {wall_ms}\n  }}",
+        kind_lines.join(",\n"),
+        totals.requests,
+        totals.bisections,
+        totals.shed,
+        totals.quarantined,
+    );
+    (section, failed, wrong_total)
+}
+
 /// Server-side evaluator counters: cache effectiveness and coalescing.
 fn eval_json(stats: &ServeStats) -> String {
     let e = &stats.eval;
@@ -406,6 +621,7 @@ fn main() {
     let mut addr: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut batch: Option<usize> = None;
+    let mut faults = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -433,6 +649,7 @@ fn main() {
                         .unwrap_or_else(|_| fail("--batch: not a number")),
                 );
             }
+            "--faults" => faults = true,
             "--smoke" => {
                 clients = 2;
                 reps = 1;
@@ -546,6 +763,10 @@ fn main() {
         run_batch_phase(clients, reps, n, &addr)
     });
 
+    // The faults phase boots its own chaos servers, so it runs regardless
+    // of --addr, after the shared-server phases are done measuring.
+    let faults_phase = faults.then(|| run_faults_phase(reps));
+
     let stats = server.map(OffloadServer::shutdown);
     let total_runs = runs.len() as u64;
     let throughput_per_s = if wall_ms == 0 {
@@ -568,6 +789,13 @@ fn main() {
         sections.push(section);
         failed_batch_clients = failed;
     }
+    let mut failed_fault_rounds = 0u64;
+    let mut wrong_results = 0u64;
+    if let Some((section, failed, wrong)) = faults_phase {
+        sections.push(section);
+        failed_fault_rounds = failed;
+        wrong_results = wrong;
+    }
     if let Some(stats) = &stats {
         sections.push(server_json(stats));
         if batch.is_some() {
@@ -583,7 +811,14 @@ fn main() {
         eprintln!("choco-serve-bench: wrote {path}");
     }
     print!("{report}");
-    if failed_total > 0 || failed_batch_clients > 0 {
+    if wrong_results > 0 {
+        eprintln!(
+            "choco-serve-bench: FAULT ISOLATION BROKEN — {wrong_results} result(s) \
+             differed from the local reference under injected faults"
+        );
+    }
+    if failed_total > 0 || failed_batch_clients > 0 || failed_fault_rounds > 0 || wrong_results > 0
+    {
         std::process::exit(1);
     }
 }

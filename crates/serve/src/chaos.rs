@@ -10,7 +10,14 @@
 //!
 //! The kill fires once, on the client→server direction of the first
 //! connection that crosses the byte threshold; connections dialed after
-//! the kill pass through clean, so a client redial/resume succeeds.
+//! the kill pass through clean, so a client redial/resume succeeds. The
+//! bit-flip corruption mode likewise fires once, at a byte offset, but
+//! leaves the connection up — the frame tag, not EOF, must reject it.
+//!
+//! [`EvalChaos`]/[`EvalChaosState`] are the *in-process* counterpart:
+//! deterministic nth-occurrence triggers inside the evaluation pipeline
+//! (hard-kill at a stage, fault the nth job, stall the nth dispatch
+//! round), mirroring the `CrashPlan` idiom used for session records.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -29,6 +36,13 @@ pub struct ChaosPlan {
     /// Sleep this long before forwarding each chunk, both directions —
     /// a crude high-latency link (delayed ACK/echo delivery).
     pub delay_ms: u64,
+    /// Flip one bit of the client→server byte at this offset (counted
+    /// across connections; fires once), leaving the connection up — a
+    /// corrupted-in-flight frame the keyed-BLAKE3 tag must catch.
+    pub corrupt_at_byte: Option<u64>,
+    /// Seed choosing *which* bit flips (deterministic: `seed % 8`), so a
+    /// corruption sweep can walk all eight without new plumbing.
+    pub corrupt_seed: u64,
 }
 
 struct ProxyState {
@@ -36,6 +50,7 @@ struct ProxyState {
     stop: AtomicBool,
     forwarded_c2s: AtomicU64,
     killed: AtomicBool,
+    corrupted: AtomicBool,
 }
 
 /// A running loopback proxy. Stops (and closes its listener) on drop.
@@ -61,6 +76,7 @@ impl ChaosProxy {
             stop: AtomicBool::new(false),
             forwarded_c2s: AtomicU64::new(0),
             killed: AtomicBool::new(false),
+            corrupted: AtomicBool::new(false),
         });
         let accept_state = Arc::clone(&state);
         let accept = thread::spawn(move || accept_loop(&listener, upstream, &accept_state));
@@ -79,6 +95,11 @@ impl ChaosProxy {
     /// Whether the planned kill has fired.
     pub fn killed(&self) -> bool {
         self.state.killed.load(Ordering::SeqCst)
+    }
+
+    /// Whether the planned bit-flip has fired.
+    pub fn corrupted(&self) -> bool {
+        self.state.corrupted.load(Ordering::SeqCst)
     }
 
     /// Stops the proxy (idempotent; also runs on drop).
@@ -156,10 +177,27 @@ fn pump(mut from: TcpStream, mut to: TcpStream, state: &Arc<ProxyState>, count_f
         if state.plan.delay_ms > 0 {
             thread::sleep(Duration::from_millis(state.plan.delay_ms));
         }
+        let mut owned: Vec<u8>;
         let mut chunk = buf.get(..got).unwrap_or(&[]);
-        if count_for_kill && !state.killed.load(Ordering::SeqCst) {
+        let counted = state.plan.kill_after_bytes.is_some() || state.plan.corrupt_at_byte.is_some();
+        if count_for_kill && counted && !state.killed.load(Ordering::SeqCst) {
+            let before = state.forwarded_c2s.fetch_add(got as u64, Ordering::SeqCst);
+            if let Some(offset) = state.plan.corrupt_at_byte {
+                if offset >= before
+                    && offset < before + got as u64
+                    && !state.corrupted.swap(true, Ordering::SeqCst)
+                {
+                    // Flip one seed-chosen bit in place; the connection
+                    // stays up so the tag check, not EOF, must reject it.
+                    owned = chunk.to_vec();
+                    let idx = (offset - before) as usize;
+                    if let Some(byte) = owned.get_mut(idx) {
+                        *byte ^= 1u8 << (state.plan.corrupt_seed % 8);
+                    }
+                    chunk = owned.as_slice();
+                }
+            }
             if let Some(threshold) = state.plan.kill_after_bytes {
-                let before = state.forwarded_c2s.fetch_add(got as u64, Ordering::SeqCst);
                 if before + got as u64 >= threshold && !state.killed.swap(true, Ordering::SeqCst) {
                     // Forward only up to the threshold, then cut both
                     // directions mid-frame.
@@ -178,6 +216,98 @@ fn pump(mut from: TcpStream, mut to: TcpStream, state: &Arc<ProxyState>, count_f
     }
     let _ = from.shutdown(Shutdown::Both);
     let _ = to.shutdown(Shutdown::Both);
+}
+
+/// Evaluation stage at which an [`EvalChaos`] kill can fire, in pipeline
+/// order: request admission, batch coalescing, mid-evaluation, and just
+/// before the response is written back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalStage {
+    /// The request was admitted (and journaled) but not yet scheduled.
+    Accept,
+    /// The scheduler closed a coalescing window and formed batches.
+    Coalesce,
+    /// A batch's jobs are being evaluated.
+    MidEval,
+    /// The response is built and about to be written to the socket.
+    PreReply,
+}
+
+/// Deterministic in-process fault plan for the evaluation pipeline — the
+/// eval-side sibling of the server's `CrashPlan`. Every trigger is an
+/// "nth occurrence" (1-based) so a sweep can walk kill-points one by one
+/// and replay bit-identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalChaos {
+    /// Hard-kill the server at the nth occurrence of the given stage.
+    pub kill: Option<(EvalStage, u32)>,
+    /// Inject a typed evaluation fault into the nth job executed.
+    pub fail_job: Option<u32>,
+    /// Stall the nth dispatch round by this many milliseconds before the
+    /// deadline check runs, forcing queued jobs past their deadline.
+    pub stall: Option<(u32, u64)>,
+}
+
+/// Shared occurrence counters for an [`EvalChaos`] plan. One instance is
+/// threaded through the scheduler and eval hooks; each trigger fires at
+/// most once.
+#[derive(Debug, Default)]
+pub struct EvalChaosState {
+    plan: EvalChaos,
+    stages: [AtomicU64; 4],
+    jobs: AtomicU64,
+    rounds: AtomicU64,
+    kill_fired: AtomicBool,
+}
+
+impl EvalChaosState {
+    /// State for `plan` with all counters at zero.
+    pub fn new(plan: EvalChaos) -> Self {
+        EvalChaosState {
+            plan,
+            ..EvalChaosState::default()
+        }
+    }
+
+    /// Counts one occurrence of `stage`; returns `true` exactly when the
+    /// plan's kill matches this stage and this occurrence number.
+    pub fn kill_at(&self, stage: EvalStage) -> bool {
+        let idx = stage as usize;
+        let seen = self
+            .stages
+            .get(idx)
+            .map(|c| c.fetch_add(1, Ordering::SeqCst) + 1)
+            .unwrap_or(0);
+        match self.plan.kill {
+            Some((s, nth)) if s == stage && u64::from(nth) == seen => {
+                self.kill_fired.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Counts one executed job; returns `true` exactly for the planned
+    /// nth job, which the evaluator must then fail with a typed error.
+    pub fn fail_this_job(&self) -> bool {
+        let seen = self.jobs.fetch_add(1, Ordering::SeqCst) + 1;
+        matches!(self.plan.fail_job, Some(nth) if u64::from(nth) == seen)
+    }
+
+    /// Counts one dispatch round; returns the planned stall duration for
+    /// the nth round, `None` otherwise.
+    pub fn stall_this_round(&self) -> Option<Duration> {
+        let seen = self.rounds.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.plan.stall {
+            Some((nth, ms)) if u64::from(nth) == seen => Some(Duration::from_millis(ms)),
+            _ => None,
+        }
+    }
+
+    /// Whether the planned kill has fired.
+    pub fn kill_fired(&self) -> bool {
+        self.kill_fired.load(Ordering::SeqCst)
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +349,7 @@ mod tests {
     fn kill_fires_once_and_later_connections_pass() {
         let plan = ChaosPlan {
             kill_after_bytes: Some(4),
-            delay_ms: 0,
+            ..ChaosPlan::default()
         };
         let proxy = ChaosProxy::spawn(echo_upstream(), plan).unwrap();
         let mut first = TcpStream::connect(proxy.addr()).unwrap();
@@ -235,5 +365,49 @@ mod tests {
         let mut got = [0u8; 14];
         second.read_exact(&mut got).unwrap();
         assert_eq!(&got, b"after the kill");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_seeded_bit_and_keeps_the_connection() {
+        let plan = ChaosPlan {
+            corrupt_at_byte: Some(2),
+            corrupt_seed: 11, // bit 3
+            ..ChaosPlan::default()
+        };
+        let proxy = ChaosProxy::spawn(echo_upstream(), plan).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"payload").unwrap();
+        let mut got = [0u8; 7];
+        conn.read_exact(&mut got).unwrap();
+        let mut expect = *b"payload";
+        expect[2] ^= 1 << 3;
+        assert_eq!(got, expect, "exactly byte 2, bit 3 flipped");
+        assert!(proxy.corrupted());
+        assert!(!proxy.killed());
+        // Fires once: a later round trips through unmodified.
+        conn.write_all(b"clean").unwrap();
+        let mut clean = [0u8; 5];
+        conn.read_exact(&mut clean).unwrap();
+        assert_eq!(&clean, b"clean");
+    }
+
+    #[test]
+    fn eval_chaos_triggers_fire_on_exact_occurrences() {
+        let state = EvalChaosState::new(EvalChaos {
+            kill: Some((EvalStage::MidEval, 2)),
+            fail_job: Some(3),
+            stall: Some((1, 40)),
+        });
+        assert!(!state.kill_at(EvalStage::Accept));
+        assert!(!state.kill_at(EvalStage::MidEval));
+        assert!(!state.kill_fired());
+        assert!(state.kill_at(EvalStage::MidEval), "second MidEval kills");
+        assert!(state.kill_fired());
+        assert!(!state.kill_at(EvalStage::MidEval), "fires once");
+        assert!(!state.fail_this_job() && !state.fail_this_job());
+        assert!(state.fail_this_job(), "third job faults");
+        assert!(!state.fail_this_job());
+        assert_eq!(state.stall_this_round(), Some(Duration::from_millis(40)));
+        assert_eq!(state.stall_this_round(), None);
     }
 }

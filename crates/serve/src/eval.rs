@@ -9,19 +9,33 @@
 //! executed response comes back to the connection worker over its reply
 //! channel, which writes it to the socket and bills the download.
 //!
+//! Admission is fault-isolated: a quarantined `(params_hash,
+//! program_ref)` is refused with a typed `Quarantined` response before
+//! the scheduler ever sees it, and a tenant whose circuit breaker is open
+//! gets a typed `Unavailable { retry_after_ms }`. Admitted requests are
+//! journaled ([`crate::journal::JournalSet`]) *before* scheduling, so a
+//! hard-killed server can later tell the resuming client exactly which
+//! requests died. A `CRJ1` journal query answers with that dead set.
+//!
 //! Everything here is typed-error territory: malformed setups, unknown
 //! programs, cross-scheme key blobs, and failed kernels all become
 //! [`EvalResponse`] messages (or `NeedProgram` round trips) — a hostile
 //! or buggy client can never panic a worker.
 
 use crate::cache::{EvalScheme, ProgramLookup, ServeCache};
-use crate::sched::BatchScheduler;
-use choco::remote::{EvalRequest, EvalResponse, SessionSetup, REQUEST_MAGIC, SETUP_MAGIC};
+use crate::chaos::{EvalChaosState, EvalStage};
+use crate::isolate::{Admission, Isolation};
+use crate::journal::{input_digest, JournalSet};
+use crate::sched::{BatchScheduler, Job, JobFault, JobOutcome};
+use choco::remote::{
+    EvalRequest, EvalResponse, SessionSetup, JOURNAL_MAGIC, REQUEST_MAGIC, SETUP_MAGIC,
+};
 use choco_he::params::SchemeType;
 use choco_he::{Bfv, Ckks};
 use std::collections::HashMap;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use crate::cache::CachedProgram;
 
@@ -36,6 +50,8 @@ pub struct EvalCounters {
     pub need_program: u64,
     /// Typed error responses produced (setup or evaluate).
     pub errors: u64,
+    /// `CRJ1` journal queries answered.
+    pub journal_queries: u64,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -67,32 +83,65 @@ pub enum EvalSession {
     Ckks(Arc<SchemeSession<Ckks>>),
 }
 
+/// Everything one payload dispatch needs, bundled so the worker threads a
+/// single context through instead of seven loose references.
+pub struct EvalContext<'a> {
+    /// The connection's evaluation session (set by the setup payload).
+    pub session: &'a mut Option<EvalSession>,
+    /// Global program/operand cache.
+    pub cache: &'a Arc<ServeCache>,
+    /// The batching scheduler jobs are submitted to.
+    pub sched: &'a BatchScheduler,
+    /// Shared protocol counters.
+    pub counters: &'a Mutex<EvalCounters>,
+    /// The connection's reply channel (scheduler → worker).
+    pub reply: &'a Sender<Vec<u8>>,
+    /// The authenticated tenant behind this connection.
+    pub tenant: u64,
+    /// The connection's session id (journal key, with the tenant).
+    pub conn_session: u64,
+    /// Quarantine + breaker state, checked at admission.
+    pub isolation: &'a Arc<Isolation>,
+    /// The in-flight eval journal.
+    pub journal: &'a Arc<JournalSet>,
+    /// Deterministic fault plan, if any.
+    pub chaos: Option<&'a Arc<EvalChaosState>>,
+    /// Flips the server's hard-kill switch (invoked by chaos triggers).
+    pub hard_kill: &'a (dyn Fn() + Sync),
+}
+
 /// What the connection worker should do with one handled payload.
 pub enum EvalOutcome {
     /// Write this response payload now (setup acks, `NeedProgram`, typed
-    /// errors).
+    /// refusals and errors, journal answers).
     Immediate(Vec<u8>),
     /// A job was queued; the response will arrive on the reply channel.
     Submitted,
+    /// The chaos plan hard-killed the server while handling this payload:
+    /// write nothing, the connection is dying.
+    Dropped,
 }
 
 /// Handles one `EvalRequest`-frame payload (already tag-verified by the
 /// frame layer). Never panics; every failure is a typed response.
-pub fn handle_eval_payload(
-    payload: &[u8],
-    session: &mut Option<EvalSession>,
-    cache: &Arc<ServeCache>,
-    sched: &BatchScheduler,
-    counters: &Mutex<EvalCounters>,
-    reply: &Sender<Vec<u8>>,
-) -> EvalOutcome {
+pub fn handle_eval_payload(payload: &[u8], ctx: &mut EvalContext) -> EvalOutcome {
     if payload.get(..4) == Some(SETUP_MAGIC.as_slice()) {
-        return handle_setup(payload, session, counters);
+        return handle_setup(payload, ctx.session, ctx.counters);
     }
     if payload.get(..4) == Some(REQUEST_MAGIC.as_slice()) {
-        return handle_request(payload, session, cache, sched, counters, reply);
+        return handle_request(payload, ctx);
     }
-    lock(counters).errors += 1;
+    if payload.get(..4) == Some(JOURNAL_MAGIC.as_slice()) {
+        let dead = ctx.journal.dead_requests(ctx.tenant, ctx.conn_session);
+        lock(ctx.counters).journal_queries += 1;
+        return EvalOutcome::Immediate(
+            EvalResponse::DeadRequests {
+                request_ids: dead.into_iter().map(|d| d.request_id).collect(),
+            }
+            .to_wire(),
+        );
+    }
+    lock(ctx.counters).errors += 1;
     EvalOutcome::Immediate(
         EvalResponse::Error {
             request_id: 0,
@@ -150,80 +199,126 @@ fn build_session<S: EvalScheme>(
     }))
 }
 
-fn handle_request(
-    payload: &[u8],
-    session: &Option<EvalSession>,
-    cache: &Arc<ServeCache>,
-    sched: &BatchScheduler,
-    counters: &Mutex<EvalCounters>,
-    reply: &Sender<Vec<u8>>,
-) -> EvalOutcome {
+fn handle_request(payload: &[u8], ctx: &mut EvalContext) -> EvalOutcome {
     let req = match EvalRequest::from_wire(payload) {
         Ok(r) => r,
-        Err(e) => return error_response(counters, 0, format!("bad eval request: {e}")),
+        Err(e) => return error_response(ctx.counters, 0, format!("bad eval request: {e}")),
     };
     let request_id = req.request_id;
-    match session {
+    match &*ctx.session {
         None => error_response(
-            counters,
+            ctx.counters,
             request_id,
             "evaluate before session setup (upload keys first)".into(),
         ),
-        Some(EvalSession::Bfv(s)) => {
-            submit_eval::<Bfv>(Arc::clone(s), req, cache, sched, counters, reply)
-        }
-        Some(EvalSession::Ckks(s)) => {
-            submit_eval::<Ckks>(Arc::clone(s), req, cache, sched, counters, reply)
-        }
+        Some(EvalSession::Bfv(s)) => submit_eval::<Bfv>(Arc::clone(s), req, ctx),
+        Some(EvalSession::Ckks(s)) => submit_eval::<Ckks>(Arc::clone(s), req, ctx),
     }
 }
 
 fn submit_eval<S: EvalScheme>(
     sess: Arc<SchemeSession<S>>,
     req: EvalRequest,
-    cache: &Arc<ServeCache>,
-    sched: &BatchScheduler,
-    counters: &Mutex<EvalCounters>,
-    reply: &Sender<Vec<u8>>,
+    ctx: &mut EvalContext,
 ) -> EvalOutcome {
     let request_id = req.request_id;
+    let group = (sess.params_hash, req.program_ref);
+    if let Some(reason) = ctx.isolation.check_quarantine(&group) {
+        return EvalOutcome::Immediate(EvalResponse::Quarantined { request_id, reason }.to_wire());
+    }
     let lookup =
-        cache.lookup_or_compile::<S>(sess.params_hash, req.program_ref, req.program.as_ref());
+        ctx.cache
+            .lookup_or_compile::<S>(sess.params_hash, req.program_ref, req.program.as_ref());
     let prog = match lookup {
         Ok(ProgramLookup::Ready(p)) => p,
         Ok(ProgramLookup::NeedProgram) => {
-            lock(counters).need_program += 1;
+            lock(ctx.counters).need_program += 1;
             return EvalOutcome::Immediate(EvalResponse::NeedProgram { request_id }.to_wire());
         }
         Err(msg) => {
-            return error_response(counters, request_id, format!("program rejected: {msg}"))
+            return error_response(ctx.counters, request_id, format!("program rejected: {msg}"))
         }
     };
-    let group = (sess.params_hash, req.program_ref);
-    let inputs = req.inputs;
-    let reply = reply.clone();
-    sched.submit(
-        group,
-        Box::new(move || {
-            let resp = run_request::<S>(&sess, &prog, request_id, &inputs);
-            // A dead receiver means the connection is gone; nothing to do.
-            let _ = reply.send(resp.to_wire());
-        }),
+    // Breaker last — the final gate before journaling and scheduling, so
+    // every admitted request (half-open probes included) is guaranteed to
+    // become a job whose outcome feeds back into the breaker. Checking it
+    // earlier lets a `NeedProgram` exchange consume the probe slot and
+    // wedge the tenant half-open with no outcome ever recorded.
+    if let Admission::Refuse { retry_after_ms } = ctx.isolation.admit(ctx.tenant) {
+        return EvalOutcome::Immediate(
+            EvalResponse::Unavailable {
+                request_id,
+                retry_after_ms,
+            }
+            .to_wire(),
+        );
+    }
+    // The accept is journaled (and flushed) before the scheduler sees the
+    // job: a hard kill anywhere downstream leaves the accept on disk with
+    // no matching deliver, which is exactly what the restarted server
+    // reports as dead.
+    ctx.journal.accept(
+        ctx.tenant,
+        ctx.conn_session,
+        request_id,
+        &req.program_ref,
+        &input_digest(&req.inputs),
     );
-    lock(counters).requests += 1;
+    if let Some(chaos) = ctx.chaos {
+        if chaos.kill_at(EvalStage::Accept) {
+            (ctx.hard_kill)();
+            return EvalOutcome::Dropped;
+        }
+    }
+    let deadline = req
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let inputs = req.inputs;
+    let chaos = ctx.chaos.map(Arc::clone);
+    let reply = ctx.reply.clone();
+    ctx.sched.submit(Job {
+        group,
+        tenant: ctx.tenant,
+        deadline,
+        shed_response: EvalResponse::DeadlineExceeded { request_id }.to_wire(),
+        run: Box::new(move || {
+            if chaos.as_deref().is_some_and(EvalChaosState::fail_this_job) {
+                let reason = "chaos: injected evaluation fault".to_string();
+                return JobOutcome {
+                    response: EvalResponse::Error {
+                        request_id,
+                        message: reason.clone(),
+                    }
+                    .to_wire(),
+                    fault: Some(JobFault {
+                        reason,
+                        poison: true,
+                    }),
+                };
+            }
+            run_request::<S>(&sess, &prog, request_id, &inputs)
+        }),
+        deliver: Box::new(move |payload| {
+            // A dead receiver means the connection is gone; nothing to do.
+            let _ = reply.send(payload);
+        }),
+    });
+    lock(ctx.counters).requests += 1;
     EvalOutcome::Submitted
 }
 
 /// Executes one request against the shared cached program. Runs on a
 /// scheduler thread; the shared operand cache makes warm evaluations skip
 /// every plaintext encode while staying bit-identical (the cache stores
-/// exactly what the uncached path would compute).
+/// exactly what the uncached path would compute). Execution failures are
+/// *poison* faults (they indict the program; the scheduler bisects and
+/// quarantines); rejected input blobs are job-local faults.
 fn run_request<S: EvalScheme>(
     sess: &SchemeSession<S>,
     prog: &CachedProgram<S>,
     request_id: u64,
     inputs: &[(String, Vec<u8>)],
-) -> EvalResponse {
+) -> JobOutcome {
     let mut named: HashMap<String, S::Ciphertext> = HashMap::new();
     for (name, wire) in inputs {
         match S::ct_from_wire(wire) {
@@ -231,10 +326,18 @@ fn run_request<S: EvalScheme>(
                 named.insert(name.clone(), ct);
             }
             Err(e) => {
-                return EvalResponse::Error {
-                    request_id,
-                    message: format!("input {name:?} rejected: {e}"),
-                }
+                let reason = format!("input {name:?} rejected: {e}");
+                return JobOutcome {
+                    response: EvalResponse::Error {
+                        request_id,
+                        message: reason.clone(),
+                    }
+                    .to_wire(),
+                    fault: Some(JobFault {
+                        reason,
+                        poison: false,
+                    }),
+                };
             }
         }
     }
@@ -245,13 +348,27 @@ fn run_request<S: EvalScheme>(
         &sess.galois,
         &prog.operands,
     ) {
-        Ok(outs) => EvalResponse::Outputs {
-            request_id,
-            outputs: outs.iter().map(|ct| S::ct_to_wire(ct)).collect(),
+        Ok(outs) => JobOutcome {
+            response: EvalResponse::Outputs {
+                request_id,
+                outputs: outs.iter().map(|ct| S::ct_to_wire(ct)).collect(),
+            }
+            .to_wire(),
+            fault: None,
         },
-        Err(e) => EvalResponse::Error {
-            request_id,
-            message: format!("execution failed: {e}"),
-        },
+        Err(e) => {
+            let reason = format!("execution failed: {e}");
+            JobOutcome {
+                response: EvalResponse::Error {
+                    request_id,
+                    message: reason.clone(),
+                }
+                .to_wire(),
+                fault: Some(JobFault {
+                    reason,
+                    poison: true,
+                }),
+            }
+        }
     }
 }

@@ -1,0 +1,347 @@
+//! Fault isolation for the shared evaluator: poison-program quarantine
+//! and per-tenant circuit breakers.
+//!
+//! Both structures exist so one misbehaving tenant (or one poisoned
+//! program) cannot degrade the evaluator for everyone else:
+//!
+//! * The **quarantine** is a capped list of `(params_hash, program_ref)`
+//!   pairs whose evaluation failed *in isolation* (a batch of one, or the
+//!   single offender left after bisection). A quarantined program gets an
+//!   immediate typed refusal at admission — it never enters the scheduler
+//!   again, so repeat offenders cost a hash lookup instead of evaluator
+//!   time. The list is FIFO-capped: quarantining entry `cap + 1` evicts
+//!   the oldest, bounding memory against an adversary minting unique
+//!   poison programs.
+//! * The **circuit breaker** tracks each tenant's recent evaluation
+//!   outcomes in a fixed window. When errors dominate the window the
+//!   breaker opens: the tenant's requests are refused with a typed
+//!   `Unavailable { retry_after_ms }` until the cool-down elapses, after
+//!   which the breaker goes **half-open** and admits exactly one probe.
+//!   A successful probe closes the breaker (and clears the window); a
+//!   failed probe re-opens it for another cool-down.
+//!
+//! All state is behind one mutex — admission checks are a lock, a map
+//! lookup, and a clock read, far below the cost of the HE work they gate.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The quarantine/breaker key: `(params_hash, program_ref)`.
+pub type ProgramKey = ([u8; 32], [u8; 32]);
+
+/// Tuning for [`Isolation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsolationConfig {
+    /// Maximum quarantined programs held (FIFO eviction beyond this).
+    pub quarantine_capacity: usize,
+    /// Outcomes remembered per tenant for the error-rate window.
+    pub breaker_window: usize,
+    /// Errors within the window that trip the breaker open.
+    pub breaker_threshold: usize,
+    /// Cool-down before an open breaker half-opens, in milliseconds. Also
+    /// the `retry_after_ms` hint sent to the refused tenant.
+    pub breaker_cooldown_ms: u64,
+}
+
+impl Default for IsolationConfig {
+    fn default() -> Self {
+        IsolationConfig {
+            quarantine_capacity: 64,
+            breaker_window: 16,
+            breaker_threshold: 8,
+            breaker_cooldown_ms: 250,
+        }
+    }
+}
+
+/// Point-in-time isolation counters, exported through `ServeStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IsolationStats {
+    /// Programs currently quarantined.
+    pub quarantined: u64,
+    /// Admission refusals served straight from the quarantine list.
+    pub quarantine_refusals: u64,
+    /// Tenant breakers currently open (or half-open).
+    pub open_breakers: u64,
+    /// Admission refusals served by an open breaker.
+    pub breaker_refusals: u64,
+    /// Batches that were bisected after a member evaluation faulted.
+    pub bisections: u64,
+    /// Jobs shed because their deadline passed before dispatch.
+    pub shed_deadline: u64,
+    /// Jobs whose isolated evaluation faulted (quarantine insertions
+    /// count these, minus FIFO evictions).
+    pub faults: u64,
+}
+
+#[derive(Debug)]
+enum BreakerState {
+    Closed,
+    /// Refusing until the stored instant; then half-open.
+    Open {
+        until: Instant,
+    },
+    /// One probe is in flight (or admitted); refusing further requests
+    /// until the probe's outcome is recorded — or until the stored
+    /// instant, after which another probe is admitted. The time bound
+    /// keeps a probe that never produces an outcome (shed, `NeedProgram`,
+    /// connection loss) from wedging the tenant half-open forever.
+    HalfOpen {
+        until: Instant,
+    },
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    /// Recent outcomes, `true` = ok, newest at the back.
+    window: VecDeque<bool>,
+}
+
+struct Inner {
+    quarantine: BTreeMap<ProgramKey, String>,
+    /// Insertion order for FIFO eviction.
+    quarantine_order: VecDeque<ProgramKey>,
+    breakers: BTreeMap<u64, Breaker>,
+    stats: IsolationStats,
+}
+
+/// The admission decision for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit the request.
+    Allow,
+    /// Refuse: the tenant's breaker is open; retry after the hint.
+    Refuse {
+        /// Milliseconds until the breaker half-opens.
+        retry_after_ms: u64,
+    },
+}
+
+/// Shared isolation state: quarantine list + per-tenant breakers.
+pub struct Isolation {
+    config: IsolationConfig,
+    inner: Mutex<Inner>,
+}
+
+fn lock<'a>(m: &'a Mutex<Inner>) -> MutexGuard<'a, Inner> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Isolation {
+    /// Fresh isolation state under `config`.
+    pub fn new(config: IsolationConfig) -> Self {
+        Isolation {
+            config,
+            inner: Mutex::new(Inner {
+                quarantine: BTreeMap::new(),
+                quarantine_order: VecDeque::new(),
+                breakers: BTreeMap::new(),
+                stats: IsolationStats::default(),
+            }),
+        }
+    }
+
+    /// The configured tuning.
+    pub fn config(&self) -> IsolationConfig {
+        self.config
+    }
+
+    /// If `key` is quarantined, returns the recorded reason and counts the
+    /// refusal. Admission path — called before the scheduler ever sees the
+    /// job.
+    pub fn check_quarantine(&self, key: &ProgramKey) -> Option<String> {
+        let mut inner = lock(&self.inner);
+        let hit = inner.quarantine.get(key).cloned();
+        if hit.is_some() {
+            inner.stats.quarantine_refusals += 1;
+        }
+        hit
+    }
+
+    /// Quarantines `key` after an isolated evaluation fault, evicting the
+    /// oldest entry past capacity. Idempotent per key.
+    pub fn quarantine(&self, key: ProgramKey, reason: &str) {
+        let mut inner = lock(&self.inner);
+        if inner.quarantine.contains_key(&key) {
+            return;
+        }
+        while inner.quarantine.len() >= self.config.quarantine_capacity.max(1) {
+            if let Some(old) = inner.quarantine_order.pop_front() {
+                inner.quarantine.remove(&old);
+            } else {
+                break;
+            }
+        }
+        inner.quarantine.insert(key, reason.to_string());
+        inner.quarantine_order.push_back(key);
+        inner.stats.quarantined = inner.quarantine.len() as u64;
+    }
+
+    /// The tenant's admission decision. A breaker that has cooled down
+    /// moves to half-open and admits exactly one probe; further requests
+    /// keep being refused until the probe's outcome is recorded — or, if
+    /// the probe never produces one, until a second cool-down admits the
+    /// next probe.
+    pub fn admit(&self, tenant: u64) -> Admission {
+        let mut inner = lock(&self.inner);
+        let cooldown = self.config.breaker_cooldown_ms;
+        let Some(b) = inner.breakers.get_mut(&tenant) else {
+            return Admission::Allow;
+        };
+        let now = Instant::now();
+        let probe_until = now + Duration::from_millis(cooldown);
+        let decision = match b.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::HalfOpen { until } | BreakerState::Open { until } if now >= until => {
+                // Cool-down over (or the previous probe went silent):
+                // admit one probe, time-bounded like the open state.
+                b.state = BreakerState::HalfOpen { until: probe_until };
+                Admission::Allow
+            }
+            BreakerState::HalfOpen { until } | BreakerState::Open { until } => Admission::Refuse {
+                retry_after_ms: (until - now).as_millis().max(1) as u64,
+            },
+        };
+        if matches!(decision, Admission::Refuse { .. }) {
+            inner.stats.breaker_refusals += 1;
+        }
+        decision
+    }
+
+    /// Records one evaluation outcome for `tenant` and updates its breaker:
+    /// a half-open probe closes (ok) or re-opens (fault) the breaker; in
+    /// the closed state, `breaker_threshold` errors within the window trip
+    /// it open. Deadline sheds are *not* recorded — load is not the
+    /// tenant's error.
+    pub fn record_outcome(&self, tenant: u64, ok: bool) {
+        let mut inner = lock(&self.inner);
+        let config = self.config;
+        let b = inner.breakers.entry(tenant).or_insert_with(|| Breaker {
+            state: BreakerState::Closed,
+            window: VecDeque::new(),
+        });
+        match b.state {
+            BreakerState::HalfOpen { .. } => {
+                if ok {
+                    b.state = BreakerState::Closed;
+                    b.window.clear();
+                } else {
+                    b.state = BreakerState::Open {
+                        until: Instant::now() + Duration::from_millis(config.breaker_cooldown_ms),
+                    };
+                }
+            }
+            BreakerState::Open { .. } => {
+                // Outcomes of jobs admitted before the trip; ignore.
+            }
+            BreakerState::Closed => {
+                b.window.push_back(ok);
+                while b.window.len() > config.breaker_window.max(1) {
+                    b.window.pop_front();
+                }
+                let errors = b.window.iter().filter(|ok| !**ok).count();
+                if errors >= config.breaker_threshold.max(1) {
+                    b.state = BreakerState::Open {
+                        until: Instant::now() + Duration::from_millis(config.breaker_cooldown_ms),
+                    };
+                }
+            }
+        }
+        inner.stats.open_breakers = inner
+            .breakers
+            .values()
+            .filter(|b| !matches!(b.state, BreakerState::Closed))
+            .count() as u64;
+    }
+
+    /// Counts one isolated evaluation fault (stats only; pair with
+    /// [`Isolation::quarantine`]).
+    pub fn count_fault(&self) {
+        lock(&self.inner).stats.faults += 1;
+    }
+
+    /// Counts one batch bisection.
+    pub fn count_bisection(&self) {
+        lock(&self.inner).stats.bisections += 1;
+    }
+
+    /// Counts one deadline shed.
+    pub fn count_shed(&self) {
+        lock(&self.inner).stats.shed_deadline += 1;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> IsolationStats {
+        lock(&self.inner).stats
+    }
+}
+
+impl Default for Isolation {
+    fn default() -> Self {
+        Isolation::new(IsolationConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u8) -> ProgramKey {
+        ([b; 32], [b.wrapping_add(1); 32])
+    }
+
+    #[test]
+    fn quarantine_refuses_and_caps_fifo() {
+        let iso = Isolation::new(IsolationConfig {
+            quarantine_capacity: 2,
+            ..IsolationConfig::default()
+        });
+        assert!(iso.check_quarantine(&key(1)).is_none());
+        iso.quarantine(key(1), "bad relin");
+        iso.quarantine(key(2), "noise out");
+        assert_eq!(iso.check_quarantine(&key(1)).as_deref(), Some("bad relin"));
+        // Third entry evicts the oldest.
+        iso.quarantine(key(3), "newest");
+        assert!(iso.check_quarantine(&key(1)).is_none());
+        assert!(iso.check_quarantine(&key(2)).is_some());
+        assert!(iso.check_quarantine(&key(3)).is_some());
+        let stats = iso.stats();
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(stats.quarantine_refusals, 3, "one refusal per hit");
+    }
+
+    #[test]
+    fn breaker_trips_half_opens_and_closes() {
+        let iso = Isolation::new(IsolationConfig {
+            breaker_window: 4,
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 20,
+            ..IsolationConfig::default()
+        });
+        assert_eq!(iso.admit(7), Admission::Allow);
+        iso.record_outcome(7, false);
+        assert_eq!(iso.admit(7), Admission::Allow, "one error is tolerated");
+        iso.record_outcome(7, false);
+        assert!(matches!(iso.admit(7), Admission::Refuse { .. }));
+        assert!(iso.stats().open_breakers == 1 && iso.stats().breaker_refusals >= 1);
+        // Cool down → half-open admits exactly one probe.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(iso.admit(7), Admission::Allow);
+        assert!(matches!(iso.admit(7), Admission::Refuse { .. }));
+        // Failed probe re-opens; successful probe closes.
+        iso.record_outcome(7, false);
+        assert!(matches!(iso.admit(7), Admission::Refuse { .. }));
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(iso.admit(7), Admission::Allow);
+        iso.record_outcome(7, true);
+        assert_eq!(iso.admit(7), Admission::Allow);
+        assert_eq!(iso.stats().open_breakers, 0);
+        // Other tenants were never affected.
+        assert_eq!(iso.admit(8), Admission::Allow);
+    }
+}

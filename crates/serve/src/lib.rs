@@ -28,9 +28,20 @@
 //! * graceful drain: scheduled batches are flushed and pending results
 //!   delivered *before* live per-session state is checkpointed to disk as
 //!   sealed [`record::SessionRecord`]s, so a restarted server keeps exact
-//!   duplicate/retransmit accounting across the restart, and
+//!   duplicate/retransmit accounting across the restart,
+//! * fault isolation ([`isolate::Isolation`]): poison-program quarantine
+//!   with batch bisection in the scheduler (healthy co-batched jobs still
+//!   succeed), per-tenant circuit breakers with typed
+//!   `Unavailable { retry_after_ms }` refusals, and per-job dispatch
+//!   deadlines with typed `DeadlineExceeded` shedding,
+//! * the in-flight eval [`journal::JournalSet`]: accepted requests are
+//!   journaled before scheduling and marked off after delivery, so a
+//!   hard-killed server's successor can tell a resuming client exactly
+//!   which requests died and must be resent, and
 //! * [`chaos::ChaosProxy`], a socket-level fault injector for the chaos
-//!   tests (mid-frame connection kills, per-chunk delays).
+//!   tests (mid-frame connection kills, per-chunk delays, seeded
+//!   bit-flips), plus [`chaos::EvalChaos`], the in-process eval-pipeline
+//!   fault plan (stage kills, injected job faults, dispatch stalls).
 
 #![forbid(unsafe_code)]
 // Panics hide protocol bugs: outside tests, prefer typed errors (PR 1's
@@ -41,14 +52,18 @@
 pub mod cache;
 pub mod chaos;
 pub mod eval;
+pub mod isolate;
+pub mod journal;
 pub mod record;
 pub mod registry;
 pub mod sched;
 pub mod server;
 
 pub use cache::{CachedProgram, EvalCacheStats, ProgramLookup, ServeCache};
-pub use chaos::{ChaosPlan, ChaosProxy};
+pub use chaos::{ChaosPlan, ChaosProxy, EvalChaos, EvalChaosState, EvalStage};
 pub use eval::{EvalCounters, EvalSession};
+pub use isolate::{Isolation, IsolationConfig, IsolationStats};
+pub use journal::{DeadRequest, JournalSet, JournalStats};
 pub use record::SessionRecord;
 pub use registry::TenantRegistry;
 pub use sched::{BatchScheduler, SchedStats};

@@ -35,7 +35,8 @@ OPTIONS:
   --tenant ID=SEED      register a tenant (repeatable); the seed must equal
                         the client's session seed
 
-Runtime commands on stdin: `stats` prints a snapshot, `drain` (or EOF)
+Runtime commands on stdin: `stats` prints a one-line JSON snapshot (serve,
+eval, cache, scheduler, isolation, and journal counters), `drain` (or EOF)
 drains gracefully and exits.";
 
 fn fail(msg: &str) -> ! {
@@ -143,7 +144,7 @@ fn main() {
         let Ok(line) = line else { break };
         match line.trim() {
             "" => {}
-            "stats" => print_stats(&server.stats(), server.active_sessions()),
+            "stats" => println!("{}", server.stats().to_json_line()),
             "drain" | "quit" | "exit" => break,
             other => println!("unknown command {other:?} (try: stats, drain)"),
         }

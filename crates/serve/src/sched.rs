@@ -1,4 +1,4 @@
-//! The cross-connection batching scheduler.
+//! The cross-connection batching scheduler, with fault isolation.
 //!
 //! Connection workers do not execute HE kernels on their own threads —
 //! they submit jobs here and block on a reply channel. The scheduler
@@ -16,10 +16,29 @@
 //! and never changes billing (each tenant is billed exactly its own
 //! request/response payloads by its connection worker).
 //!
+//! **Fault isolation.** Batches fate-share: if any member's evaluation
+//! returns a *poison* fault (an execution failure, as opposed to a
+//! per-job input rejection), the whole batch's results are discarded and
+//! the batch is recursively halved and re-run, so healthy co-batched jobs
+//! — possibly other tenants' — still complete with correct results. Jobs
+//! are therefore **re-runnable** ([`Job::run`] is `Fn`, deterministic by
+//! construction) while delivery is once ([`Job::deliver`] is `FnOnce`).
+//! A job that faults alone (a batch of one, or the single offender left
+//! after bisection) has its `(params_hash, program_ref)` quarantined via
+//! [`crate::isolate::Isolation`]; bisection costs at most
+//! `n · (log₂ n + 1)` job evaluations for a poisoned batch of `n`.
+//!
+//! Jobs may also carry a dispatch **deadline**: a job whose deadline has
+//! passed when its window closes is shed with its pre-built typed
+//! response instead of evaluated — load shedding that never counts
+//! against the tenant's circuit breaker.
+//!
 //! [`BatchScheduler::flush`] blocks until every submitted job has
 //! *executed* — the drain path calls it so scheduled batches are never
 //! abandoned mid-queue.
 
+use crate::chaos::{EvalChaosState, EvalStage};
+use crate::isolate::Isolation;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -29,17 +48,77 @@ use std::time::{Duration, Instant};
 /// Jobs are grouped (and coalesced) by `(params_hash, program_ref)`.
 pub type GroupKey = ([u8; 32], [u8; 32]);
 
-/// One unit of submitted work: the closure decodes inputs, executes the
-/// program, and delivers the response to its connection's reply channel.
-struct Job {
-    group: GroupKey,
-    run: Box<dyn FnOnce() + Send>,
+/// Why a job's execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFault {
+    /// The typed failure message (also carried by the job's response).
+    pub reason: String,
+    /// Whether the fault indicts the *program* (an execution failure):
+    /// poison faults trigger batch bisection and, once isolated,
+    /// quarantine. Non-poison faults (e.g. a rejected input blob) are
+    /// job-local and deliver normally.
+    pub poison: bool,
+}
+
+/// What one execution of a job produced: the response payload to deliver
+/// and the fault classification, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// Serialized `EvalResponse` payload for the connection worker.
+    pub response: Vec<u8>,
+    /// Set when the execution failed (the response is then a typed
+    /// error).
+    pub fault: Option<JobFault>,
+}
+
+/// One unit of submitted work.
+pub struct Job {
+    /// Coalescing group: `(params_hash, program_ref)`.
+    pub group: GroupKey,
+    /// The submitting tenant — breaker outcomes are recorded against it.
+    pub tenant: u64,
+    /// Shed the job (typed response, no evaluation) if dispatch starts
+    /// after this instant.
+    pub deadline: Option<Instant>,
+    /// Pre-built `DeadlineExceeded` response delivered on a shed.
+    pub shed_response: Vec<u8>,
+    /// Executes the job. Must be deterministic and side-effect free on
+    /// shared state: bisection re-runs it, and every run of a batch must
+    /// produce bit-identical outcomes.
+    pub run: Box<dyn Fn() -> JobOutcome + Send + Sync>,
+    /// Delivers the final response payload to the connection's reply
+    /// channel. Called exactly once per job.
+    pub deliver: Box<dyn FnOnce(Vec<u8>) + Send>,
+}
+
+/// Isolation state and fault-injection hooks threaded into the
+/// dispatcher. [`SchedHooks::default`] is a no-op harness (fresh
+/// isolation state, no chaos, no kill).
+pub struct SchedHooks {
+    /// Quarantine + breaker state shared with the admission path.
+    pub isolation: Arc<Isolation>,
+    /// Deterministic fault plan, if any.
+    pub chaos: Option<Arc<EvalChaosState>>,
+    /// Invoked when the chaos plan hard-kills the server at a scheduler
+    /// stage; the owner flips its kill switch here.
+    pub on_kill: Option<Box<dyn Fn() + Send + Sync>>,
+}
+
+impl Default for SchedHooks {
+    fn default() -> Self {
+        SchedHooks {
+            isolation: Arc::new(Isolation::default()),
+            chaos: None,
+            on_kill: None,
+        }
+    }
 }
 
 /// Point-in-time batching counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchedStats {
-    /// Jobs executed.
+    /// Jobs executed (shed jobs included; bisection re-runs are not
+    /// double-counted).
     pub jobs: u64,
     /// Batches executed (one per group per window).
     pub batches: u64,
@@ -58,6 +137,7 @@ struct Inner {
     in_flight: AtomicU64,
     stats: Mutex<SchedStats>,
     window_ms: u64,
+    hooks: SchedHooks,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -75,8 +155,15 @@ pub struct BatchScheduler {
 }
 
 impl BatchScheduler {
-    /// Starts the dispatcher with the given coalescing window.
+    /// Starts the dispatcher with the given coalescing window and no-op
+    /// hooks.
     pub fn new(window_ms: u64) -> Self {
+        BatchScheduler::with_hooks(window_ms, SchedHooks::default())
+    }
+
+    /// Starts the dispatcher with shared isolation state and (optional)
+    /// chaos hooks.
+    pub fn with_hooks(window_ms: u64, hooks: SchedHooks) -> Self {
         let inner = Arc::new(Inner {
             queue: Mutex::new(Vec::new()),
             wake: Condvar::new(),
@@ -84,6 +171,7 @@ impl BatchScheduler {
             in_flight: AtomicU64::new(0),
             stats: Mutex::new(SchedStats::default()),
             window_ms,
+            hooks,
         });
         let run_inner = Arc::clone(&inner);
         let dispatcher = thread::spawn(move || dispatch_loop(&run_inner));
@@ -95,9 +183,9 @@ impl BatchScheduler {
 
     /// Queues a job. It will run within roughly one window, batched with
     /// every other queued job sharing its group.
-    pub fn submit(&self, group: GroupKey, run: Box<dyn FnOnce() + Send>) {
+    pub fn submit(&self, job: Job) {
         self.inner.in_flight.fetch_add(1, Ordering::SeqCst);
-        lock(&self.inner.queue).push(Job { group, run });
+        lock(&self.inner.queue).push(job);
         self.inner.wake.notify_one();
     }
 
@@ -156,11 +244,44 @@ fn dispatch_loop(inner: &Arc<Inner>) {
         if inner.window_ms > 0 && !inner.stop.load(Ordering::SeqCst) {
             thread::sleep(Duration::from_millis(inner.window_ms));
         }
+        // Chaos: a stalled round sleeps past its jobs' deadlines, before
+        // the shed check below runs. Rounds only fire with queued jobs,
+        // so the occurrence count is deterministic.
+        if let Some(chaos) = inner.hooks.chaos.as_deref() {
+            if let Some(stall) = chaos.stall_this_round() {
+                thread::sleep(stall);
+            }
+        }
 
         let jobs = std::mem::take(&mut *lock(&inner.queue));
-        let mut groups: BTreeMap<GroupKey, Vec<Job>> = BTreeMap::new();
+
+        // Deadline shedding at dispatch: deliver the typed response
+        // without evaluating. Sheds never count against the tenant's
+        // breaker — load is not the tenant's error.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(jobs.len());
         for job in jobs {
+            if job.deadline.is_some_and(|d| now > d) {
+                inner.hooks.isolation.count_shed();
+                lock(&inner.stats).jobs += 1;
+                let shed = job.shed_response;
+                (job.deliver)(shed);
+                inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+            } else {
+                live.push(job);
+            }
+        }
+
+        let mut groups: BTreeMap<GroupKey, Vec<Job>> = BTreeMap::new();
+        for job in live {
             groups.entry(job.group).or_default().push(job);
+        }
+        if groups.is_empty() {
+            continue;
+        }
+        if kill_at(inner, EvalStage::Coalesce) {
+            discard(inner, groups.into_values().flatten());
+            continue;
         }
         for (_, batch) in groups {
             let n = batch.len() as u64;
@@ -173,21 +294,101 @@ fn dispatch_loop(inner: &Arc<Inner>) {
                 }
                 stats.max_batch = stats.max_batch.max(n);
             }
-            if batch.len() == 1 {
-                for job in batch {
-                    (job.run)();
-                }
-            } else {
-                // One batch, one shared warm cache, members concurrent.
-                thread::scope(|scope| {
-                    for job in batch {
-                        scope.spawn(move || (job.run)());
-                    }
-                });
+            if kill_at(inner, EvalStage::MidEval) {
+                discard(inner, batch.into_iter());
+                continue;
             }
-            inner.in_flight.fetch_sub(n, Ordering::SeqCst);
+            execute(inner, batch);
         }
     }
+}
+
+/// Fires the chaos kill for `stage` (if planned for this occurrence) and
+/// invokes the owner's kill switch.
+fn kill_at(inner: &Inner, stage: EvalStage) -> bool {
+    let Some(chaos) = inner.hooks.chaos.as_deref() else {
+        return false;
+    };
+    if !chaos.kill_at(stage) {
+        return false;
+    }
+    if let Some(on_kill) = inner.hooks.on_kill.as_deref() {
+        on_kill();
+    }
+    true
+}
+
+/// Drops killed jobs without delivery (the process is "dead"), keeping
+/// the in-flight count honest so a later flush cannot hang.
+fn discard(inner: &Inner, jobs: impl Iterator<Item = Job>) {
+    for job in jobs {
+        drop(job);
+        inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Executes one batch with fate-sharing, bisecting around poison faults;
+/// every job is delivered exactly once (or dropped by design on kill).
+fn execute(inner: &Inner, mut jobs: Vec<Job>) {
+    let outcomes = run_all(&jobs);
+    let poisoned = outcomes
+        .iter()
+        .any(|o| o.fault.as_ref().is_some_and(|f| f.poison));
+    if poisoned && jobs.len() > 1 {
+        // Discard the whole batch's results and isolate the offender by
+        // recursive halving: healthy members re-run bit-identically and
+        // still succeed.
+        inner.hooks.isolation.count_bisection();
+        let right = jobs.split_off(jobs.len() / 2);
+        execute(inner, jobs);
+        execute(inner, right);
+        return;
+    }
+    for (job, outcome) in jobs.into_iter().zip(outcomes) {
+        match &outcome.fault {
+            Some(fault) => {
+                if fault.poison {
+                    // Isolated offender (batch of one, or the single job
+                    // left after bisection): quarantine its program.
+                    inner.hooks.isolation.count_fault();
+                    inner.hooks.isolation.quarantine(job.group, &fault.reason);
+                }
+                inner.hooks.isolation.record_outcome(job.tenant, false);
+            }
+            None => inner.hooks.isolation.record_outcome(job.tenant, true),
+        }
+        (job.deliver)(outcome.response);
+        inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs every job in the (sub-)batch, concurrently when there is more
+/// than one. A panicking job becomes a poison fault instead of taking the
+/// dispatcher down.
+fn run_all(jobs: &[Job]) -> Vec<JobOutcome> {
+    let panicked = || JobOutcome {
+        response: Vec::new(),
+        fault: Some(JobFault {
+            reason: "job panicked".into(),
+            poison: true,
+        }),
+    };
+    if let [job] = jobs {
+        return vec![(job.run)()];
+    }
+    thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|job| {
+                let run = &*job.run;
+                scope.spawn(run)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| panicked()))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -196,18 +397,51 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
     use std::sync::mpsc;
 
+    fn ok_outcome(tag: u8) -> JobOutcome {
+        JobOutcome {
+            response: vec![tag],
+            fault: None,
+        }
+    }
+
+    fn poison_outcome(tag: u8) -> JobOutcome {
+        JobOutcome {
+            response: vec![tag],
+            fault: Some(JobFault {
+                reason: "poison".into(),
+                poison: true,
+            }),
+        }
+    }
+
+    fn job(
+        group: GroupKey,
+        run: impl Fn() -> JobOutcome + Send + Sync + 'static,
+        deliver: impl FnOnce(Vec<u8>) + Send + 'static,
+    ) -> Job {
+        Job {
+            group,
+            tenant: 1,
+            deadline: None,
+            shed_response: Vec::new(),
+            run: Box::new(run),
+            deliver: Box::new(deliver),
+        }
+    }
+
     #[test]
     fn jobs_execute_and_flush_waits_for_all() {
         let sched = BatchScheduler::new(2);
         let hits = Arc::new(AtomicUsize::new(0));
         for i in 0..8u8 {
             let hits = Arc::clone(&hits);
-            sched.submit(
+            sched.submit(job(
                 ([i % 2; 32], [0; 32]),
-                Box::new(move || {
+                move || ok_outcome(i),
+                move |_| {
                     hits.fetch_add(1, Ordering::SeqCst);
-                }),
-            );
+                },
+            ));
         }
         assert!(sched.flush(Duration::from_secs(5)));
         assert_eq!(hits.load(Ordering::SeqCst), 8);
@@ -221,17 +455,18 @@ mod tests {
     fn same_group_jobs_coalesce_into_one_batch() {
         let sched = BatchScheduler::new(20);
         let (tx, rx) = mpsc::channel();
-        for i in 0..4u64 {
+        for i in 0..4u8 {
             let tx = tx.clone();
-            sched.submit(
+            sched.submit(job(
                 ([9; 32], [9; 32]),
-                Box::new(move || {
-                    let _ = tx.send(i);
-                }),
-            );
+                move || ok_outcome(i),
+                move |resp| {
+                    let _ = tx.send(resp);
+                },
+            ));
         }
         assert!(sched.flush(Duration::from_secs(5)));
-        let mut got: Vec<u64> = rx.try_iter().collect();
+        let mut got: Vec<u8> = rx.try_iter().map(|r| r[0]).collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 3]);
         let stats = sched.stats();
@@ -250,15 +485,131 @@ mod tests {
             let sched = BatchScheduler::new(50);
             for _ in 0..3 {
                 let hits = Arc::clone(&hits);
-                sched.submit(
+                sched.submit(job(
                     ([1; 32], [1; 32]),
-                    Box::new(move || {
+                    || ok_outcome(0),
+                    move |_| {
                         hits.fetch_add(1, Ordering::SeqCst);
-                    }),
-                );
+                    },
+                ));
             }
             // Dropped immediately: dispatcher must still drain the queue.
         }
         assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn bisection_isolates_the_poison_job_and_quarantines_it() {
+        let isolation = Arc::new(Isolation::default());
+        let sched = BatchScheduler::with_hooks(
+            30,
+            SchedHooks {
+                isolation: Arc::clone(&isolation),
+                ..SchedHooks::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        let group = ([3; 32], [4; 32]);
+        for i in 0..4u8 {
+            let tx = tx.clone();
+            sched.submit(Job {
+                group,
+                tenant: u64::from(i),
+                deadline: None,
+                shed_response: Vec::new(),
+                run: Box::new(move || {
+                    if i == 2 {
+                        poison_outcome(i)
+                    } else {
+                        ok_outcome(i)
+                    }
+                }),
+                deliver: Box::new(move |resp| {
+                    let _ = tx.send((i, resp));
+                }),
+            });
+        }
+        assert!(sched.flush(Duration::from_secs(5)));
+        let mut got: Vec<(u8, Vec<u8>)> = rx.try_iter().collect();
+        got.sort();
+        // Every job delivered exactly once, healthy ones with their own
+        // (re-run, bit-identical) results; the poison job its typed error.
+        assert_eq!(
+            got,
+            vec![(0, vec![0]), (1, vec![1]), (2, vec![2]), (3, vec![3])]
+        );
+        let stats = isolation.stats();
+        assert!(stats.bisections >= 1, "a poisoned batch of 4 must bisect");
+        assert_eq!(stats.faults, 1, "exactly one isolated fault");
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(
+            isolation.check_quarantine(&group).as_deref(),
+            Some("poison")
+        );
+    }
+
+    #[test]
+    fn expired_deadline_sheds_with_the_prebuilt_response() {
+        let isolation = Arc::new(Isolation::default());
+        let sched = BatchScheduler::with_hooks(
+            5,
+            SchedHooks {
+                isolation: Arc::clone(&isolation),
+                ..SchedHooks::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran_in_job = Arc::clone(&ran);
+        let tx2 = tx.clone();
+        sched.submit(Job {
+            group: ([5; 32], [5; 32]),
+            tenant: 1,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            shed_response: b"shed".to_vec(),
+            run: Box::new(move || {
+                ran_in_job.fetch_add(1, Ordering::SeqCst);
+                ok_outcome(0)
+            }),
+            deliver: Box::new(move |resp| {
+                let _ = tx2.send(resp);
+            }),
+        });
+        assert!(sched.flush(Duration::from_secs(5)));
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![b"shed".to_vec()]);
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "shed jobs never evaluate");
+        assert_eq!(isolation.stats().shed_deadline, 1);
+        let _ = tx;
+    }
+
+    #[test]
+    fn chaos_kill_at_coalesce_drops_jobs_without_delivery() {
+        use crate::chaos::EvalChaos;
+        let killed = Arc::new(AtomicBool::new(false));
+        let killed_hook = Arc::clone(&killed);
+        let sched = BatchScheduler::with_hooks(
+            5,
+            SchedHooks {
+                chaos: Some(Arc::new(EvalChaosState::new(EvalChaos {
+                    kill: Some((EvalStage::Coalesce, 1)),
+                    ..EvalChaos::default()
+                }))),
+                on_kill: Some(Box::new(move || killed_hook.store(true, Ordering::SeqCst))),
+                ..SchedHooks::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel::<Vec<u8>>();
+        let tx2 = tx.clone();
+        sched.submit(job(
+            ([6; 32], [6; 32]),
+            || ok_outcome(0),
+            move |resp| {
+                let _ = tx2.send(resp);
+            },
+        ));
+        assert!(sched.flush(Duration::from_secs(5)), "kill frees in-flight");
+        assert!(killed.load(Ordering::SeqCst), "kill switch invoked");
+        assert!(rx.try_iter().next().is_none(), "no delivery after a kill");
+        let _ = tx;
     }
 }

@@ -52,10 +52,14 @@
 //! accounting is exact even across a full server restart.
 
 use crate::cache::{EvalCacheStats, ServeCache};
-use crate::eval::{handle_eval_payload, EvalCounters, EvalOutcome, EvalSession};
+use crate::chaos::{EvalChaos, EvalChaosState, EvalStage};
+use crate::eval::{handle_eval_payload, EvalContext, EvalCounters, EvalOutcome, EvalSession};
+use crate::isolate::{Isolation, IsolationConfig, IsolationStats};
+use crate::journal::{JournalSet, JournalStats};
 use crate::record::SessionRecord;
 use crate::registry::TenantRegistry;
-use crate::sched::{BatchScheduler, SchedStats};
+use crate::sched::{BatchScheduler, SchedHooks, SchedStats};
+use choco::remote::EvalResponse;
 use choco::transport::frame::{decode_frame, encode_frame, FrameKind};
 use choco::transport::tcp::{decode_hello, encode_ack, BlobIo, HelloStatus, HELLO_BYTES};
 use choco::transport::{TagKey, MAX_FRAME_BYTES};
@@ -98,6 +102,11 @@ pub struct ServeConfig {
     /// Batch coalescing window: how long the scheduler lets compatible
     /// evaluate requests accumulate before executing them as one batch.
     pub batch_window_ms: u64,
+    /// Quarantine/circuit-breaker tuning.
+    pub isolation: IsolationConfig,
+    /// Deterministic eval fault plan (tests only; default injects
+    /// nothing).
+    pub eval_chaos: EvalChaos,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +119,8 @@ impl Default for ServeConfig {
             checkpoint_dir: None,
             program_cache_capacity: 32,
             batch_window_ms: 4,
+            isolation: IsolationConfig::default(),
+            eval_chaos: EvalChaos::default(),
         }
     }
 }
@@ -151,6 +162,75 @@ pub struct ServeStats {
     pub eval: EvalStats,
 }
 
+impl ServeStats {
+    /// Renders the stats as one machine-readable JSON line — what the
+    /// `choco-serve` `stats` stdin command prints. Hand-rolled (the
+    /// workspace takes no serialization dependency); every value is an
+    /// unsigned integer, so no escaping is ever needed.
+    pub fn to_json_line(&self) -> String {
+        let total = self.book.combined();
+        let c = &self.eval.counters;
+        let cache = &self.eval.cache;
+        let s = &self.eval.sched;
+        let i = &self.eval.isolation;
+        let j = &self.eval.journal;
+        format!(
+            concat!(
+                "{{\"accepted\":{},\"resumed\":{},\"rejected\":{},",
+                "\"tenants\":{},\"upload_bytes\":{},\"download_bytes\":{},",
+                "\"retransmit_bytes\":{},\"recovery_bytes\":{},",
+                "\"eval\":{{\"setups\":{},\"requests\":{},\"need_program\":{},",
+                "\"errors\":{},\"journal_queries\":{}}},",
+                "\"cache\":{{\"program_hits\":{},\"program_misses\":{},",
+                "\"compiles\":{},\"operand_hits\":{},\"operand_misses\":{}}},",
+                "\"sched\":{{\"jobs\":{},\"batches\":{},\"coalesced\":{},",
+                "\"max_batch\":{}}},",
+                "\"isolation\":{{\"quarantined\":{},\"quarantine_refusals\":{},",
+                "\"open_breakers\":{},\"breaker_refusals\":{},\"bisections\":{},",
+                "\"shed_deadline\":{},\"faults\":{}}},",
+                "\"journal\":{{\"accepted\":{},\"delivered\":{},",
+                "\"reported_dead\":{}}}}}"
+            ),
+            self.accepted,
+            self.resumed,
+            self.rejected_overload
+                + self.rejected_unknown_tenant
+                + self.rejected_bad_auth
+                + self.rejected_draining
+                + self.rejected_malformed,
+            self.book.tenants(),
+            total.upload_bytes,
+            total.download_bytes,
+            total.retransmit_bytes,
+            total.recovery_bytes,
+            c.setups,
+            c.requests,
+            c.need_program,
+            c.errors,
+            c.journal_queries,
+            cache.programs.hits,
+            cache.programs.misses,
+            cache.compiles,
+            cache.operands.hits,
+            cache.operands.misses,
+            s.jobs,
+            s.batches,
+            s.coalesced,
+            s.max_batch,
+            i.quarantined,
+            i.quarantine_refusals,
+            i.open_breakers,
+            i.breaker_refusals,
+            i.bisections,
+            i.shed_deadline,
+            i.faults,
+            j.accepted,
+            j.delivered,
+            j.reported_dead,
+        )
+    }
+}
+
 /// Remote-evaluation accounting: protocol events, cache effectiveness,
 /// and batching behavior. The steady-state proof is
 /// `cache.compiles` and `cache.operands.misses` staying flat while
@@ -163,6 +243,10 @@ pub struct EvalStats {
     pub cache: EvalCacheStats,
     /// Batch scheduler counters.
     pub sched: SchedStats,
+    /// Quarantine, breaker, bisection, and shed counters.
+    pub isolation: IsolationStats,
+    /// In-flight journal counters.
+    pub journal: JournalStats,
 }
 
 struct Shared {
@@ -177,6 +261,13 @@ struct Shared {
     eval_cache: Arc<ServeCache>,
     eval_counters: Mutex<EvalCounters>,
     sched: BatchScheduler,
+    isolation: Arc<Isolation>,
+    journals: Arc<JournalSet>,
+    chaos: Option<Arc<EvalChaosState>>,
+    /// Set when the chaos plan "kills" the server: workers stop writing,
+    /// the accept loop exits, nothing is persisted — the in-process
+    /// equivalent of the process dying mid-pipeline.
+    hard_killed: Arc<AtomicBool>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -265,10 +356,27 @@ impl OffloadServer {
                 sessions.insert((rec.tenant, rec.session), rec);
             }
         }
+        let isolation = Arc::new(Isolation::new(config.isolation));
+        let journals = Arc::new(JournalSet::open(config.checkpoint_dir.as_deref()));
+        let chaos = (config.eval_chaos != EvalChaos::default())
+            .then(|| Arc::new(EvalChaosState::new(config.eval_chaos)));
+        let hard_killed = Arc::new(AtomicBool::new(false));
+        let kill_switch = Arc::clone(&hard_killed);
+        let hooks = SchedHooks {
+            isolation: Arc::clone(&isolation),
+            chaos: chaos.clone(),
+            on_kill: Some(Box::new(move || {
+                kill_switch.store(true, Ordering::SeqCst);
+            })),
+        };
         let shared = Arc::new(Shared {
             eval_cache: Arc::new(ServeCache::new(config.program_cache_capacity)),
             eval_counters: Mutex::new(EvalCounters::default()),
-            sched: BatchScheduler::new(config.batch_window_ms),
+            sched: BatchScheduler::with_hooks(config.batch_window_ms, hooks),
+            isolation,
+            journals,
+            chaos,
+            hard_killed,
             config,
             registry,
             stop: AtomicBool::new(false),
@@ -314,8 +422,26 @@ impl OffloadServer {
                 counters: *lock(&self.shared.eval_counters),
                 cache: self.shared.eval_cache.stats(),
                 sched: self.shared.sched.stats(),
+                isolation: self.shared.isolation.stats(),
+                journal: self.shared.journals.stats(),
             },
         }
+    }
+
+    /// Whether a chaos plan (or [`OffloadServer::hard_kill`]) has "killed"
+    /// this server instance.
+    pub fn was_hard_killed(&self) -> bool {
+        self.shared.hard_killed.load(Ordering::SeqCst)
+    }
+
+    /// Simulates the process dying right now: workers stop writing and
+    /// close their sockets (an orderly FIN — responses already written
+    /// flush to the client), the accept loop exits, and nothing further
+    /// is persisted. The journal keeps whatever accepts were flushed, so
+    /// a server bound later over the same checkpoint directory reports
+    /// the unanswered requests as dead.
+    pub fn hard_kill(&self) {
+        self.shared.hard_killed.store(true, Ordering::SeqCst);
     }
 
     /// Stops admitting, flushes every scheduled batch, waits for every
@@ -324,6 +450,11 @@ impl OffloadServer {
     /// in parallel on the `choco-math::par` pool — strictly after results
     /// were delivered.
     pub fn drain(&self) {
+        if self.shared.hard_killed.load(Ordering::SeqCst) {
+            // A dead process drains nothing; its journal is the only
+            // record it leaves behind.
+            return;
+        }
         self.shared.draining.store(true, Ordering::SeqCst);
         let budget = Duration::from_millis(
             self.shared.config.io_timeout_ms + 4 * self.shared.config.worker_poll_ms + 1_000,
@@ -367,7 +498,7 @@ impl Drop for OffloadServer {
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    while !shared.stop.load(Ordering::SeqCst) {
+    while !shared.stop.load(Ordering::SeqCst) && !shared.hard_killed.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let conn_shared = Arc::clone(shared);
@@ -448,8 +579,11 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     conn_worker(&mut io, shared, hello.tenant, hello.session, &key);
 
     // Records are persisted only after the worker has delivered (or given
-    // up on) every pending result — never for undelivered work.
-    shared.persist_session(hello.tenant, hello.session);
+    // up on) every pending result — never for undelivered work, and never
+    // by a "dead" process.
+    if !shared.hard_killed.load(Ordering::SeqCst) {
+        shared.persist_session(hello.tenant, hello.session);
+    }
     *lock(&shared.active) -= 1;
 }
 
@@ -490,10 +624,13 @@ fn conn_worker(io: &mut BlobIo, shared: &Arc<Shared>, tenant: u64, session: u64,
     let mut conn = ConnState::new();
     loop {
         // Deliver any eval responses that finished since the last read.
-        if flush_ready_responses(io, shared, tenant, key, &mut conn).is_err() {
+        if flush_ready_responses(io, shared, tenant, session, key, &mut conn).is_err() {
             break;
         }
-        if shared.stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst)
+            || shared.draining.load(Ordering::SeqCst)
+            || shared.hard_killed.load(Ordering::SeqCst)
+        {
             break;
         }
         // While evaluations are in flight their results land on the reply
@@ -525,23 +662,37 @@ fn conn_worker(io: &mut BlobIo, shared: &Arc<Shared>, tenant: u64, session: u64,
                 Ok(frame) => {
                     shared.bill_frame(tenant, session, frame.seq, frame.payload.len(), wire.len());
                     if frame.kind == FrameKind::EvalRequest {
-                        match handle_eval_payload(
-                            &frame.payload,
-                            &mut conn.eval_session,
-                            &shared.eval_cache,
-                            &shared.sched,
-                            &shared.eval_counters,
-                            &conn.reply_tx,
-                        ) {
+                        let hard_killed = Arc::clone(&shared.hard_killed);
+                        let hard_kill = move || hard_killed.store(true, Ordering::SeqCst);
+                        let mut ctx = EvalContext {
+                            session: &mut conn.eval_session,
+                            cache: &shared.eval_cache,
+                            sched: &shared.sched,
+                            counters: &shared.eval_counters,
+                            reply: &conn.reply_tx,
+                            tenant,
+                            conn_session: session,
+                            isolation: &shared.isolation,
+                            journal: &shared.journals,
+                            chaos: shared.chaos.as_ref(),
+                            hard_kill: &hard_kill,
+                        };
+                        match handle_eval_payload(&frame.payload, &mut ctx) {
                             EvalOutcome::Immediate(payload) => {
-                                if write_response(io, shared, tenant, key, &mut conn, &payload)
-                                    .is_err()
+                                if write_response(
+                                    io, shared, tenant, session, key, &mut conn, &payload,
+                                )
+                                .is_err()
                                 {
                                     dead = true;
                                     break;
                                 }
                             }
                             EvalOutcome::Submitted => conn.pending += 1,
+                            EvalOutcome::Dropped => {
+                                dead = true;
+                                break;
+                            }
                         }
                     } else {
                         // Echo duplicates too: a client resuming from a
@@ -561,23 +712,48 @@ fn conn_worker(io: &mut BlobIo, shared: &Arc<Shared>, tenant: u64, session: u64,
             break;
         }
     }
-    drain_pending_responses(io, shared, tenant, key, &mut conn);
+    if !shared.hard_killed.load(Ordering::SeqCst) {
+        drain_pending_responses(io, shared, tenant, session, key, &mut conn);
+    }
 }
 
-/// Writes one `EvalResponse` frame under the server's own sequence counter
-/// and bills the payload as tenant download traffic.
+/// Writes one `EvalResponse` frame under the server's own sequence
+/// counter. The download is billed — and the delivery journaled — only
+/// *after* the socket accepted the bytes, so a hard kill can never bill a
+/// response the client had no chance to receive.
+#[allow(clippy::too_many_arguments)]
 fn write_response(
     io: &mut BlobIo,
     shared: &Arc<Shared>,
     tenant: u64,
+    session: u64,
     key: &TagKey,
     conn: &mut ConnState,
     payload: &[u8],
 ) -> Result<(), ()> {
+    if shared.hard_killed.load(Ordering::SeqCst) {
+        return Err(());
+    }
+    let request_id = EvalResponse::peek_request_id(payload);
+    if request_id.is_some() {
+        // PreReply kill-point: the response exists but the process dies
+        // before the write. Only evaluation answers count occurrences —
+        // setup acks and journal answers are not replies to jobs.
+        if let Some(chaos) = shared.chaos.as_deref() {
+            if chaos.kill_at(EvalStage::PreReply) {
+                shared.hard_killed.store(true, Ordering::SeqCst);
+                return Err(());
+            }
+        }
+    }
     let wire = encode_frame(FrameKind::EvalResponse, conn.resp_seq, payload, key);
     conn.resp_seq += 1;
+    io.write_all(&wire).map_err(|_| ())?;
     shared.bill_download(tenant, payload.len());
-    io.write_all(&wire).map_err(|_| ())
+    if let Some(id) = request_id {
+        shared.journals.deliver(tenant, session, id);
+    }
+    Ok(())
 }
 
 /// Delivers already-completed eval responses without blocking.
@@ -585,12 +761,13 @@ fn flush_ready_responses(
     io: &mut BlobIo,
     shared: &Arc<Shared>,
     tenant: u64,
+    session: u64,
     key: &TagKey,
     conn: &mut ConnState,
 ) -> Result<(), ()> {
     while let Ok(payload) = conn.reply_rx.try_recv() {
         conn.pending -= 1;
-        write_response(io, shared, tenant, key, conn, &payload)?;
+        write_response(io, shared, tenant, session, key, conn, &payload)?;
     }
     Ok(())
 }
@@ -604,6 +781,7 @@ fn drain_pending_responses(
     io: &mut BlobIo,
     shared: &Arc<Shared>,
     tenant: u64,
+    session: u64,
     key: &TagKey,
     conn: &mut ConnState,
 ) {
@@ -613,7 +791,9 @@ fn drain_pending_responses(
         match conn.reply_rx.recv_timeout(budget) {
             Ok(payload) => {
                 conn.pending -= 1;
-                if !sink_only && write_response(io, shared, tenant, key, conn, &payload).is_err() {
+                if !sink_only
+                    && write_response(io, shared, tenant, session, key, conn, &payload).is_err()
+                {
                     sink_only = true;
                 }
             }
@@ -666,6 +846,27 @@ mod tests {
         assert_eq!(stats.sessions.len(), 1);
         assert_eq!(stats.sessions[0].frames, 1);
         assert_eq!(stats.sessions[0].dup_frames, 1);
+    }
+
+    #[test]
+    fn stats_json_line_is_wellformed_and_single_line() {
+        let server =
+            OffloadServer::bind("127.0.0.1:0", ServeConfig::default(), registry()).unwrap();
+        let line = server.shutdown().to_json_line();
+        assert!(!line.contains('\n'), "must be a single line");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert_eq!(line.matches('"').count() % 2, 0, "quotes must balance");
+        for field in [
+            "\"accepted\":",
+            "\"upload_bytes\":",
+            "\"eval\":{",
+            "\"sched\":{",
+            "\"isolation\":{\"quarantined\":",
+            "\"journal\":{\"accepted\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
     }
 
     #[test]

@@ -302,7 +302,7 @@ fn mid_frame_connection_cut_is_absorbed_by_redial_and_resume() {
     // ciphertext frame (tens of KB each), well past the 55-byte hello.
     let plan = ChaosPlan {
         kill_after_bytes: Some(40_000),
-        delay_ms: 0,
+        ..ChaosPlan::default()
     };
     let proxy = ChaosProxy::spawn(server.addr(), plan).unwrap();
     let (ledger, wire) = run_pagerank(&proxy.addr().to_string(), 1, 1, 3).unwrap();
@@ -327,8 +327,8 @@ fn mid_frame_connection_cut_is_absorbed_by_redial_and_resume() {
 fn uniformly_delayed_link_completes_without_recovery() {
     let server = OffloadServer::bind("127.0.0.1:0", ServeConfig::default(), registry(1)).unwrap();
     let plan = ChaosPlan {
-        kill_after_bytes: None,
         delay_ms: 2,
+        ..ChaosPlan::default()
     };
     let proxy = ChaosProxy::spawn(server.addr(), plan).unwrap();
     let (ledger, wire) = run_pagerank(&proxy.addr().to_string(), 1, 0, 0).unwrap();

@@ -67,6 +67,10 @@ boot_server first
 drain_server
 grep -q '"failed": 0' "$workdir/bench1.json" || { cat "$workdir/bench1.json"; echo "serve_smoke: phase-1 bench reported failures"; exit 1; }
 ls "$workdir/ckpt"/*.csr >/dev/null 2>&1 || { cat "$log"; echo "serve_smoke: no session records persisted on drain"; exit 1; }
+# The stdin `stats` command must answer with one machine-readable JSON
+# line covering serve + eval + isolation + journal counters.
+grep -q '^{"accepted":.*"isolation":{"quarantined":.*"journal":{"accepted":' "$log" \
+    || { cat "$log"; echo "serve_smoke: stats command printed no JSON stats line"; exit 1; }
 
 # Phase 2: restart over the same checkpoint dir; identical (tenant,
 # session) ids replay sequence numbers the reloaded cursors have already
